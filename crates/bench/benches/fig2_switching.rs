@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 2 (closed-form curves).
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig2_switching`
+
+fn main() {
+    let fig = nanobound_experiments::fig2::generate().expect("fixed parameters are valid");
+    nanobound_bench::print_figure(&fig);
+}

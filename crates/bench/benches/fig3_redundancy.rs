@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 3 (closed-form curves).
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig3_redundancy`
+
+fn main() {
+    let fig = nanobound_experiments::fig3::generate().expect("fixed parameters are valid");
+    nanobound_bench::print_figure(&fig);
+}

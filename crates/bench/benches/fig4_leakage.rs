@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 4 (closed-form curves).
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig4_leakage`
+
+fn main() {
+    let fig = nanobound_experiments::fig4::generate().expect("fixed parameters are valid");
+    nanobound_bench::print_figure(&fig);
+}

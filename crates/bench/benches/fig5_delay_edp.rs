@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 5 (closed-form curves).
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig5_delay_edp`
+
+fn main() {
+    let fig = nanobound_experiments::fig5::generate().expect("fixed parameters are valid");
+    nanobound_bench::print_figure(&fig);
+}

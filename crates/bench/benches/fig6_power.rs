@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 6 (closed-form curves).
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig6_power`
+
+fn main() {
+    let fig = nanobound_experiments::fig6::generate().expect("fixed parameters are valid");
+    nanobound_bench::print_figure(&fig);
+}

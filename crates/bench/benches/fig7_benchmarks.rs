@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 7: per-benchmark energy and delay
+//! lower bounds from measured circuit profiles.
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig7_benchmarks`
+
+use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
+
+fn main() {
+    let profiles = profile_suite(&ProfileConfig::default()).expect("suite profiles");
+    println!("profiled {} benchmarks:", profiles.len());
+    for p in &profiles {
+        println!("  {}", p.profile);
+    }
+    println!();
+    let fig = nanobound_experiments::fig7::generate_from(&profiles).expect("valid profiles");
+    nanobound_bench::print_figure(&fig);
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 8: per-benchmark average-power and
+//! energy×delay lower bounds from measured circuit profiles.
+//!
+//! Run: `cargo bench -p nanobound-bench --bench fig8_benchmarks`
+
+use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
+
+fn main() {
+    let profiles = profile_suite(&ProfileConfig::default()).expect("suite profiles");
+    let fig = nanobound_experiments::fig8::generate_from(&profiles).expect("valid profiles");
+    nanobound_bench::print_figure(&fig);
+}

@@ -1,0 +1,14 @@
+//! Re-evaluates the paper's headline claims (abstract + Section 6):
+//! H1 — ≥ 40% more energy at ε = 1%, δ = 1%;
+//! H2 — energy×delay up to ~2.8×, average power reduced, at ε = 10%.
+//!
+//! Run: `cargo bench -p nanobound-bench --bench headline_claims`
+
+use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
+
+fn main() {
+    let profiles = profile_suite(&ProfileConfig::default()).expect("suite profiles");
+    let fig =
+        nanobound_experiments::headline::generate_from(&profiles).expect("valid profiles");
+    nanobound_bench::print_figure(&fig);
+}

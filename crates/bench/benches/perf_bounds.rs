@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the closed-form bound evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nanobound_core::{BoundReport, CircuitProfile};
+
+fn parity10() -> CircuitProfile {
+    CircuitProfile {
+        name: "parity10".into(),
+        inputs: 10,
+        outputs: 1,
+        size: 21,
+        depth: 6,
+        sensitivity: 10.0,
+        activity: 0.5,
+        fanin: 3.0,
+        leak_share: 0.5,
+    }
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let profile = parity10();
+    c.bench_function("bound_report_single_point", |b| {
+        b.iter(|| BoundReport::evaluate(black_box(&profile), 0.01, 0.01).unwrap())
+    });
+
+    c.bench_function("redundancy_bound_sweep_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=1000 {
+                let eps = 0.4995 * f64::from(i) / 1000.0;
+                acc += nanobound_core::size::redundancy_lower_bound(
+                    black_box(10.0),
+                    3.0,
+                    eps,
+                    0.01,
+                )
+                .unwrap();
+            }
+            acc
+        })
+    });
+
+    c.bench_function("vdd_iso_energy_solve", |b| {
+        let tech = nanobound_energy::Technology::bulk_90nm()
+            .with_leak_share(0.05, 1000, 20, 0.3)
+            .unwrap();
+        let base = nanobound_energy::BaselineCircuit { size: 1000, depth: 20 };
+        let variant = nanobound_energy::FaultTolerantVariant {
+            size_factor: 1.3,
+            activity_factor: 1.05,
+            idle_factor: 0.95,
+            depth_factor: 1.2,
+        };
+        b.iter_batched(
+            || (),
+            |()| nanobound_energy::iso_energy_vdd(&tech, base, 0.3, black_box(&variant)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks of the redundancy constructions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nanobound_gen::{adder, parity};
+use nanobound_redundancy::{multiplex, nmr, to_nand2, MultiplexConfig};
+
+fn bench_redundancy(c: &mut Criterion) {
+    let rca = adder::ripple_carry(16).unwrap();
+    c.bench_function("nmr3_rca16", |b| {
+        b.iter(|| nmr(black_box(&rca), 3).unwrap())
+    });
+
+    c.bench_function("to_nand2_rca16", |b| {
+        b.iter(|| to_nand2(black_box(&rca)).unwrap())
+    });
+
+    let tree = parity::parity_tree(16, 2).unwrap();
+    let cfg = MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 1 };
+    c.bench_function("multiplex9_parity16", |b| {
+        b.iter(|| multiplex(black_box(&tree), &cfg).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_redundancy);
+criterion_main!(benches);

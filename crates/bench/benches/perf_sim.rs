@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the bit-parallel simulation engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use nanobound_gen::iscas;
+use nanobound_sim::{estimate_activity, evaluate_packed, monte_carlo, NoisyConfig, PatternSet};
+
+fn bench_sim(c: &mut Criterion) {
+    let mult = iscas::c6288_analog().unwrap(); // the suite's largest circuit
+    let patterns = PatternSet::random(mult.input_count(), 4096, 7);
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(
+        4096u64 * mult.gate_count() as u64,
+    ));
+    group.bench_function("packed_eval_c6288a_4096", |b| {
+        b.iter(|| evaluate_packed(black_box(&mult), black_box(&patterns)).unwrap())
+    });
+    group.finish();
+
+    c.bench_function("activity_c6288a_4096", |b| {
+        b.iter(|| estimate_activity(black_box(&mult), 4096, 7).unwrap())
+    });
+
+    c.bench_function("noisy_montecarlo_c6288a_4096", |b| {
+        let cfg = NoisyConfig::new(0.01, 5).unwrap();
+        b.iter(|| monte_carlo(black_box(&mult), &cfg, 4096, 7).unwrap())
+    });
+
+    c.bench_function("sensitivity_sampled_c6288a_256", |b| {
+        b.iter(|| nanobound_sim::sensitivity::sampled(black_box(&mult), 256, 3).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Monte-Carlo validation experiments (beyond the paper's figures):
+//! V1 — Theorem 1 measured vs predicted;
+//! V2 — constructive NMR / von Neumann multiplexing vs the Theorem-2
+//! lower bound at their *achieved* output error rates.
+//!
+//! Run: `cargo bench -p nanobound-bench --bench validation_montecarlo`
+
+fn main() {
+    for fig in nanobound_experiments::validation::generate().expect("fixed parameters") {
+        nanobound_bench::print_figure(&fig);
+    }
+}

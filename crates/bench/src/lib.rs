@@ -1,0 +1,32 @@
+//! Benchmark harness for the `nanobound` workspace.
+//!
+//! Two families of targets live under `benches/`:
+//!
+//! - **Figure regeneration** (`fig2_switching` … `fig8_benchmarks`,
+//!   `headline_claims`, `validation_montecarlo`) — plain binaries
+//!   (`harness = false`) that rebuild one paper artifact each and print
+//!   its tables and ASCII charts. Run e.g.
+//!   `cargo bench -p nanobound-bench --bench fig3_redundancy`.
+//! - **Performance** (`perf_bounds`, `perf_sim`, `perf_redundancy`) —
+//!   Criterion micro-benchmarks of the bound evaluation, the
+//!   bit-parallel simulator and the redundancy constructions.
+//!
+//! This library crate only hosts shared helpers.
+
+use nanobound_experiments::FigureOutput;
+
+/// Prints a regenerated figure the way every figure bench does.
+pub fn print_figure(fig: &FigureOutput) {
+    println!("{}", fig.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_figure_smoke() {
+        let fig = nanobound_experiments::fig2::generate().unwrap();
+        print_figure(&fig); // must not panic
+    }
+}

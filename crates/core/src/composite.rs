@@ -1,0 +1,195 @@
+//! Section 5.2 composite metrics: total energy, average power and
+//! energy×delay product, normalized to the error-free implementation.
+//!
+//! Total energy splits into switching and leakage parts. With `λ` the
+//! leakage share of the error-free budget (the paper's experiments use
+//! λ = ½, the ITRS'03 sub-90nm projection):
+//!
+//! ```text
+//! E_tot(ε,δ)/E_tot,0 = size_factor · ((1-λ)·sw(ε)/sw₀ + λ·(1-sw(ε))/(1-sw₀))
+//! ```
+//!
+//! Average power divides the energy factor by the delay factor of
+//! Theorem 4; energy×delay multiplies them. Both inherit the delay
+//! factor's feasibility region (`ξ² > 1/k`).
+
+use crate::depth::delay_factor;
+use crate::error::BoundError;
+use crate::leakage::idle_factor;
+use crate::size::size_factor;
+use crate::switching::activity_factor;
+
+/// Lower bound on the *total* (switching + leakage) energy increase
+/// factor, with `leak_share` = λ the leakage fraction of the error-free
+/// energy budget.
+///
+/// λ = 0 reduces to Corollary 2's switching-only bound; λ = ½ is the
+/// paper's experimental setting.
+///
+/// # Errors
+///
+/// Returns [`BoundError::BadParameter`] unless `S₀ ≥ 1`, `s ≥ 0`,
+/// `k ≥ 2`, `0 < sw₀ < 1`, `0 ≤ λ < 1`, `0 ≤ ε ≤ ½` and `0 ≤ δ < ½`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_core::composite::total_energy_factor;
+///
+/// # fn main() -> Result<(), nanobound_core::BoundError> {
+/// // sw0 = ½ with equal shares: both unit factors — pure size growth.
+/// let f = total_energy_factor(21.0, 10.0, 3.0, 0.5, 0.5, 0.1, 0.01)?;
+/// let size = nanobound_core::size::size_factor(21.0, 10.0, 3.0, 0.1, 0.01)?;
+/// assert!((f - size).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn total_energy_factor(
+    s0: f64,
+    s: f64,
+    k: f64,
+    sw0: f64,
+    leak_share: f64,
+    epsilon: f64,
+    delta: f64,
+) -> Result<f64, BoundError> {
+    if !(sw0 > 0.0 && sw0 < 1.0) {
+        return Err(BoundError::bad("sw0", sw0, "must lie in (0, 1)"));
+    }
+    if !(0.0..1.0).contains(&leak_share) {
+        return Err(BoundError::bad("leak_share", leak_share, "must lie in [0, 1)"));
+    }
+    let size = size_factor(s0, s, k, epsilon, delta)?;
+    let switching = activity_factor(sw0, epsilon);
+    let idle = idle_factor(sw0, epsilon)?;
+    Ok(size * ((1.0 - leak_share) * switching + leak_share * idle))
+}
+
+/// Lower bound on the normalized energy×delay product:
+/// `(E/E₀)·(D/D₀)`. Returns `None` where the delay bound does not exist
+/// (`ξ² ≤ 1/k`).
+///
+/// # Errors
+///
+/// Same as [`total_energy_factor`].
+#[allow(clippy::too_many_arguments)]
+pub fn energy_delay_factor(
+    s0: f64,
+    s: f64,
+    k: f64,
+    sw0: f64,
+    leak_share: f64,
+    epsilon: f64,
+    delta: f64,
+) -> Result<Option<f64>, BoundError> {
+    let e = total_energy_factor(s0, s, k, sw0, leak_share, epsilon, delta)?;
+    Ok(delay_factor(k, epsilon)?.map(|d| e * d))
+}
+
+/// The normalized average power `(E/E₀)/(D/D₀)` — energy spent per unit
+/// time. Returns `None` where the delay bound does not exist.
+///
+/// The paper's Figure 6: at low ε, size (and thus energy) outruns delay
+/// and the fault-tolerant design draws *more* power; at higher ε the
+/// delay blow-up near the `ξ² = 1/k` threshold dominates and average
+/// power drops *below* the error-free circuit — slower, but cooler.
+///
+/// # Errors
+///
+/// Same as [`total_energy_factor`].
+#[allow(clippy::too_many_arguments)]
+pub fn average_power_factor(
+    s0: f64,
+    s: f64,
+    k: f64,
+    sw0: f64,
+    leak_share: f64,
+    epsilon: f64,
+    delta: f64,
+) -> Result<Option<f64>, BoundError> {
+    let e = total_energy_factor(s0, s, k, sw0, leak_share, epsilon, delta)?;
+    Ok(delay_factor(k, epsilon)?.map(|d| e / d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::feasibility_threshold;
+
+    const S0: f64 = 21.0;
+    const S: f64 = 10.0;
+
+    #[test]
+    fn leak_share_zero_matches_corollary2() {
+        let total = total_energy_factor(S0, S, 3.0, 0.2, 0.0, 0.05, 0.01).unwrap();
+        let switching =
+            crate::energy::switching_energy_factor(S0, S, 3.0, 0.2, 0.05, 0.01).unwrap();
+        assert!((total - switching).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_free_is_unity() {
+        let f = total_energy_factor(S0, S, 3.0, 0.3, 0.5, 0.0, 0.01).unwrap();
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure5_edp_exceeds_delay() {
+        // Fig 5: the energy×delay curve sits above the delay curve
+        // (energy factor > 1 under the baseline settings).
+        for &k in &[2.0, 3.0, 4.0] {
+            let eps = 0.8 * feasibility_threshold(k);
+            let d = delay_factor(k, eps).unwrap().unwrap();
+            let edp = energy_delay_factor(S0, S, k, 0.5, 0.5, eps, 0.01).unwrap().unwrap();
+            assert!(edp >= d, "k={k}: edp {edp} < delay {d}");
+        }
+    }
+
+    #[test]
+    fn figure6_power_crossover() {
+        // Fig 6: power factor > 1 at low ε, < 1 near the threshold.
+        for &k in &[2.0, 3.0, 4.0] {
+            let low = average_power_factor(S0, S, k, 0.5, 0.5, 0.01, 0.01)
+                .unwrap()
+                .unwrap();
+            assert!(low > 1.0, "k={k}: low-noise power {low}");
+            let eps_hi = feasibility_threshold(k) - 1e-3;
+            let high = average_power_factor(S0, S, k, 0.5, 0.5, eps_hi, 0.01)
+                .unwrap()
+                .unwrap();
+            assert!(high < 1.0, "k={k}: near-threshold power {high}");
+        }
+    }
+
+    #[test]
+    fn figure6_larger_fanin_smaller_power_overhead() {
+        // At a common low ε the k = 4 curve lies below k = 2.
+        let p2 = average_power_factor(S0, S, 2.0, 0.5, 0.5, 0.02, 0.01).unwrap().unwrap();
+        let p4 = average_power_factor(S0, S, 4.0, 0.5, 0.5, 0.02, 0.01).unwrap().unwrap();
+        assert!(p2 > p4, "p2={p2} p4={p4}");
+    }
+
+    #[test]
+    fn none_beyond_feasibility() {
+        let eps = feasibility_threshold(2.0) + 0.02;
+        assert_eq!(energy_delay_factor(S0, S, 2.0, 0.5, 0.5, eps, 0.01).unwrap(), None);
+        assert_eq!(average_power_factor(S0, S, 2.0, 0.5, 0.5, eps, 0.01).unwrap(), None);
+    }
+
+    #[test]
+    fn leakage_helps_low_activity_circuits() {
+        // For sw0 < ½ the idle factor is < 1, so a larger leak share
+        // lowers the total-energy bound.
+        let lean = total_energy_factor(S0, S, 3.0, 0.1, 0.0, 0.1, 0.01).unwrap();
+        let leaky = total_energy_factor(S0, S, 3.0, 0.1, 0.8, 0.1, 0.01).unwrap();
+        assert!(leaky < lean);
+    }
+
+    #[test]
+    fn validates_leak_share() {
+        assert!(total_energy_factor(S0, S, 3.0, 0.5, 1.0, 0.1, 0.01).is_err());
+        assert!(total_energy_factor(S0, S, 3.0, 0.5, -0.1, 0.1, 0.01).is_err());
+        assert!(total_energy_factor(S0, S, 3.0, 1.0, 0.5, 0.1, 0.01).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Theorem 4: logic-depth lower bound (Evans-Schulman '99).
+//!
+//! Writing `ξ = 1-2ε` and `Δ = 1 - H₂(δ)`:
+//!
+//! - if `ξ² > 1/k`, any (1-δ)-reliable circuit of ε-noisy k-input gates
+//!   computing an n-input function (that depends on all n inputs) has
+//!   depth `d ≥ log₂(n·Δ) / log₂(k·ξ²)`;
+//! - otherwise signal attenuation beats fanin aggregation and reliable
+//!   computation is possible *only* for `n ≤ 1/Δ` — beyond that, no
+//!   circuit of any size or depth achieves the required reliability.
+
+use crate::error::{check_delta, check_epsilon, BoundError};
+use crate::noise::{delta_capacity, xi};
+
+/// Outcome of the Theorem-4 depth analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DepthBound {
+    /// `ξ² > 1/k`: reliable computation is possible at any input count;
+    /// the minimum depth in gate levels is the payload (0 when the
+    /// formula goes non-positive, i.e. the bound is vacuous).
+    Bounded(f64),
+    /// `ξ² ≤ 1/k` but `n ≤ 1/Δ`: reliable computation is possible, yet
+    /// no depth lower bound is known in this regime (the paper notes the
+    /// same gap for size).
+    NoKnownBound,
+    /// `ξ² ≤ 1/k` and `n > 1/Δ`: no circuit (1-δ)-reliably computes the
+    /// function. The payload is the largest feasible input count `1/Δ`.
+    Infeasible {
+        /// Largest input count for which reliable computation remains
+        /// possible at this (ε, δ).
+        max_inputs: f64,
+    },
+}
+
+impl DepthBound {
+    /// The depth value when bounded, `None` otherwise.
+    #[must_use]
+    pub fn levels(&self) -> Option<f64> {
+        match *self {
+            DepthBound::Bounded(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// `true` when reliable computation is possible at all.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, DepthBound::Infeasible { .. })
+    }
+}
+
+/// Theorem 4: the depth lower bound for an n-input function computed
+/// (1-δ)-reliably by ε-noisy k-input gates.
+///
+/// # Errors
+///
+/// Returns [`BoundError::BadParameter`] unless `n ≥ 1`, `k ≥ 2`,
+/// `0 ≤ ε ≤ ½`, `0 ≤ δ < ½`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_core::depth::{depth_lower_bound, DepthBound};
+///
+/// # fn main() -> Result<(), nanobound_core::BoundError> {
+/// // Low noise: bounded depth, slightly above the noise-free log_k(n).
+/// let d = depth_lower_bound(1024.0, 2.0, 0.01, 0.01)?;
+/// assert!(matches!(d, DepthBound::Bounded(x) if x > 10.0));
+///
+/// // Heavy noise on 2-input gates: wide functions become impossible.
+/// let d = depth_lower_bound(1024.0, 2.0, 0.25, 0.01)?;
+/// assert!(!d.is_feasible());
+/// # Ok(())
+/// # }
+/// ```
+pub fn depth_lower_bound(
+    n: f64,
+    k: f64,
+    epsilon: f64,
+    delta: f64,
+) -> Result<DepthBound, BoundError> {
+    if n.is_nan() || n < 1.0 {
+        return Err(BoundError::bad("n", n, "must be at least 1"));
+    }
+    if k.is_nan() || k < 2.0 {
+        return Err(BoundError::bad("k", k, "must be at least 2"));
+    }
+    check_epsilon(epsilon)?;
+    check_delta(delta)?;
+    let xi2 = xi(epsilon).powi(2);
+    let cap = delta_capacity(delta);
+    if xi2 > 1.0 / k {
+        let d = (n * cap).log2() / (k * xi2).log2();
+        Ok(DepthBound::Bounded(d.max(0.0)))
+    } else if n <= 1.0 / cap {
+        Ok(DepthBound::NoKnownBound)
+    } else {
+        Ok(DepthBound::Infeasible { max_inputs: 1.0 / cap })
+    }
+}
+
+/// The largest gate error ε for which `ξ² > 1/k` — the threshold below
+/// which Theorem 4 gives a finite depth for arbitrarily wide functions:
+/// `ε* = (1 - k^(-1/2)) / 2`.
+///
+/// For k = {2, 3, 4} this is ≈ {0.1464, 0.2113, 0.25} — the ε values at
+/// which the paper's Figures 5-6 curves blow up.
+#[must_use]
+pub fn feasibility_threshold(k: f64) -> f64 {
+    (1.0 - k.powf(-0.5)) / 2.0
+}
+
+/// The normalized delay factor of Section 5.2 / Figure 5:
+/// `d(ε,δ)/d₀ = log₂ k / log₂(k·ξ²)`.
+///
+/// The `log₂(n·Δ)` numerator cancels against the error-free baseline
+/// `d₀ = log₂(n·Δ)/log₂ k`, which is why the paper remarks that the
+/// delay bound depends on the circuit only through its fanin `k`.
+/// Returns `None` when `ξ² ≤ 1/k` (no finite bound exists).
+///
+/// # Errors
+///
+/// Returns [`BoundError::BadParameter`] unless `k ≥ 2`, `0 ≤ ε ≤ ½`.
+pub fn delay_factor(k: f64, epsilon: f64) -> Result<Option<f64>, BoundError> {
+    if k.is_nan() || k < 2.0 {
+        return Err(BoundError::bad("k", k, "must be at least 2"));
+    }
+    check_epsilon(epsilon)?;
+    let xi2 = xi(epsilon).powi(2);
+    if xi2 * k <= 1.0 {
+        return Ok(None);
+    }
+    Ok(Some(k.log2() / (k * xi2).log2()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_free_matches_fanin_tree_depth() {
+        // ε = 0, δ = 0: d ≥ log_k(n) exactly.
+        let d = depth_lower_bound(64.0, 2.0, 0.0, 0.0).unwrap();
+        assert_eq!(d, DepthBound::Bounded(6.0));
+        let d = depth_lower_bound(81.0, 3.0, 0.0, 0.0).unwrap();
+        assert!(matches!(d, DepthBound::Bounded(x) if (x - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn noise_increases_depth() {
+        let clean = depth_lower_bound(1000.0, 3.0, 0.0, 0.01).unwrap().levels().unwrap();
+        let noisy = depth_lower_bound(1000.0, 3.0, 0.1, 0.01).unwrap().levels().unwrap();
+        assert!(noisy > clean);
+    }
+
+    #[test]
+    fn thresholds_match_design_doc() {
+        // ε* = {0.146, 0.211, 0.25} for k = {2, 3, 4}.
+        assert!((feasibility_threshold(2.0) - 0.146_45).abs() < 1e-4);
+        assert!((feasibility_threshold(3.0) - 0.211_32).abs() < 1e-4);
+        assert!((feasibility_threshold(4.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regimes_switch_at_threshold() {
+        let k = 2.0;
+        let below = feasibility_threshold(k) - 0.01;
+        let above = feasibility_threshold(k) + 0.01;
+        assert!(matches!(
+            depth_lower_bound(100.0, k, below, 0.01).unwrap(),
+            DepthBound::Bounded(_)
+        ));
+        assert!(matches!(
+            depth_lower_bound(100.0, k, above, 0.01).unwrap(),
+            DepthBound::Infeasible { .. }
+        ));
+        // Narrow functions stay feasible past the threshold: 1/Δ at
+        // δ = 0.4 is about 34.5.
+        assert!(matches!(
+            depth_lower_bound(3.0, k, above, 0.4).unwrap(),
+            DepthBound::NoKnownBound
+        ));
+    }
+
+    #[test]
+    fn infeasible_reports_max_inputs() {
+        let d = depth_lower_bound(1000.0, 2.0, 0.3, 0.01).unwrap();
+        match d {
+            DepthBound::Infeasible { max_inputs } => {
+                // 1/Δ at δ = 0.01: Δ = 0.9192 → ≈ 1.088.
+                assert!((max_inputs - 1.088).abs() < 0.01);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vacuous_bound_clamps_to_zero() {
+        // n·Δ < 1 → negative log → clamp.
+        let d = depth_lower_bound(1.0, 2.0, 0.01, 0.4).unwrap();
+        assert_eq!(d.levels(), Some(0.0));
+    }
+
+    #[test]
+    fn delay_factor_is_one_at_zero_noise_and_diverges_at_threshold() {
+        assert_eq!(delay_factor(3.0, 0.0).unwrap(), Some(1.0));
+        let near = feasibility_threshold(3.0) - 1e-4;
+        let f = delay_factor(3.0, near).unwrap().unwrap();
+        assert!(f > 100.0, "factor {f}");
+        assert_eq!(delay_factor(3.0, feasibility_threshold(3.0) + 0.01).unwrap(), None);
+    }
+
+    #[test]
+    fn delay_factor_monotone_in_epsilon() {
+        let k = 4.0;
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let eps = 0.24 * f64::from(i) / 49.0;
+            let f = delay_factor(k, eps).unwrap().unwrap();
+            assert!(f >= prev - 1e-12, "not monotone at {eps}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn larger_fanin_hurts_less() {
+        let f2 = delay_factor(2.0, 0.1).unwrap().unwrap();
+        let f4 = delay_factor(4.0, 0.1).unwrap().unwrap();
+        assert!(f2 > f4);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(depth_lower_bound(0.0, 2.0, 0.1, 0.01).is_err());
+        assert!(depth_lower_bound(10.0, 1.0, 0.1, 0.01).is_err());
+        assert!(depth_lower_bound(10.0, 2.0, 0.6, 0.01).is_err());
+        assert!(depth_lower_bound(10.0, 2.0, 0.1, 0.5).is_err());
+        assert!(delay_factor(1.5, 0.1).is_err());
+    }
+}

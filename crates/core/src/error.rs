@@ -1,0 +1,86 @@
+//! Parameter-validation errors for the bound computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when a bound is evaluated with parameters outside the
+/// regime in which the underlying theorem holds.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoundError {
+    /// A numeric parameter was outside its admissible range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        got: f64,
+        /// Human-readable constraint, e.g. "must lie in (0, 0.5]".
+        requirement: &'static str,
+    },
+}
+
+impl BoundError {
+    pub(crate) fn bad(name: &'static str, got: f64, requirement: &'static str) -> Self {
+        BoundError::BadParameter { name, got, requirement }
+    }
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::BadParameter { name, got, requirement } => {
+                write!(f, "parameter `{name}` = {got} {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for BoundError {}
+
+/// Checks `0 ≤ ε ≤ ½` — the error-probability range of every theorem in
+/// the paper (ε = 0 is allowed and collapses each bound to its error-free
+/// value).
+pub(crate) fn check_epsilon(epsilon: f64) -> Result<(), BoundError> {
+    if !(0.0..=0.5).contains(&epsilon) {
+        return Err(BoundError::bad("epsilon", epsilon, "must lie in [0, 0.5]"));
+    }
+    Ok(())
+}
+
+/// Checks `0 ≤ δ < ½` — the output-reliability range of Theorems 2-4.
+pub(crate) fn check_delta(delta: f64) -> Result<(), BoundError> {
+    if !(0.0..0.5).contains(&delta) {
+        return Err(BoundError::bad("delta", delta, "must lie in [0, 0.5)"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_name_and_value() {
+        let e = BoundError::bad("epsilon", 0.7, "must lie in [0, 0.5]");
+        let s = e.to_string();
+        assert!(s.contains("epsilon") && s.contains("0.7") && s.contains("0.5"));
+    }
+
+    #[test]
+    fn epsilon_range() {
+        assert!(check_epsilon(0.0).is_ok());
+        assert!(check_epsilon(0.5).is_ok());
+        assert!(check_epsilon(-0.01).is_err());
+        assert!(check_epsilon(0.51).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn delta_range() {
+        assert!(check_delta(0.0).is_ok());
+        assert!(check_delta(0.499).is_ok());
+        assert!(check_delta(0.5).is_err());
+        assert!(check_delta(-0.1).is_err());
+        assert!(check_delta(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Theorem 3: leakage-to-switching energy ratio under noise.
+//!
+//! A gate is idle — leaking, not switching — with probability `1 - sw`.
+//! Since noise moves every activity toward ½ (Theorem 1), it also moves
+//! the leakage/switching energy *ratio*:
+//!
+//! ```text
+//! W(ε,δ)/W₀ = ((1-2ε)² + 2ε(1-ε)/(1-sw₀)) / ((1-2ε)² + 2ε(1-ε)/sw₀)
+//! ```
+//!
+//! For `sw₀ < ½` the ratio falls below 1 (devices idle less → leakage
+//! matters relatively less); for `sw₀ > ½` it rises above 1; at exactly
+//! ½ it is constant — the pivot of the paper's Figure 4.
+
+use crate::error::{check_epsilon, BoundError};
+use crate::switching::noisy_activity;
+
+/// Theorem 3: the normalized leakage/switching ratio
+/// `W(ε,δ) / W₀` for a circuit of average error-free activity `sw0`
+/// under gate error ε.
+///
+/// The circuit-size factor cancels between numerator and denominator, so
+/// the ratio depends only on `sw0` and ε.
+///
+/// # Errors
+///
+/// Returns [`BoundError::BadParameter`] unless `0 < sw0 < 1` and
+/// `0 ≤ ε ≤ ½`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_core::leakage::leakage_ratio_factor;
+///
+/// # fn main() -> Result<(), nanobound_core::BoundError> {
+/// // Low-activity circuits: leakage share shrinks with noise.
+/// assert!(leakage_ratio_factor(0.1, 0.2)? < 1.0);
+/// // High-activity circuits: leakage share grows.
+/// assert!(leakage_ratio_factor(0.9, 0.2)? > 1.0);
+/// // The sw0 = ½ pivot is exactly flat.
+/// assert!((leakage_ratio_factor(0.5, 0.2)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn leakage_ratio_factor(sw0: f64, epsilon: f64) -> Result<f64, BoundError> {
+    if !(sw0 > 0.0 && sw0 < 1.0) {
+        return Err(BoundError::bad("sw0", sw0, "must lie in (0, 1)"));
+    }
+    check_epsilon(epsilon)?;
+    let a = (1.0 - 2.0 * epsilon).powi(2);
+    let b = 2.0 * epsilon * (1.0 - epsilon);
+    Ok((a + b / (1.0 - sw0)) / (a + b / sw0))
+}
+
+/// The idle-probability factor `(1 - sw(ε))/(1 - sw₀)` — how much more
+/// (or less) often a gate leaks instead of switching. Together with the
+/// size factor this scales absolute leakage energy.
+///
+/// # Errors
+///
+/// Returns [`BoundError::BadParameter`] unless `0 < sw0 < 1` and
+/// `0 ≤ ε ≤ ½`.
+pub fn idle_factor(sw0: f64, epsilon: f64) -> Result<f64, BoundError> {
+    if !(sw0 > 0.0 && sw0 < 1.0) {
+        return Err(BoundError::bad("sw0", sw0, "must lie in (0, 1)"));
+    }
+    check_epsilon(epsilon)?;
+    Ok((1.0 - noisy_activity(sw0, epsilon)) / (1.0 - sw0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equals_ratio_of_ratios() {
+        // W(ε)/W0 must equal [(1-swε)/swε] / [(1-sw0)/sw0].
+        for &sw0 in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            for &eps in &[0.01, 0.1, 0.3, 0.5] {
+                let direct = leakage_ratio_factor(sw0, eps).unwrap();
+                let sw_e = noisy_activity(sw0, eps);
+                let expected = ((1.0 - sw_e) / sw_e) / ((1.0 - sw0) / sw0);
+                assert!(
+                    (direct - expected).abs() < 1e-12,
+                    "sw0={sw0} eps={eps}: {direct} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_trends() {
+        // Paper Fig 4: below-pivot curves decrease with ε, above-pivot
+        // increase, symmetric pairs multiply to 1.
+        for &eps in &[0.05, 0.2, 0.4] {
+            let low = leakage_ratio_factor(0.25, eps).unwrap();
+            let high = leakage_ratio_factor(0.75, eps).unwrap();
+            assert!(low < 1.0 && high > 1.0);
+            assert!((low * high - 1.0).abs() < 1e-12, "symmetry broken");
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_identity() {
+        for &sw0 in &[0.1, 0.5, 0.9] {
+            assert!((leakage_ratio_factor(sw0, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_noise_equalizes() {
+        // At ε = ½ every gate has sw = ½, so the ratio becomes
+        // (1/(1-sw0)) / (1/sw0) = sw0/(1-sw0) — the inverse of the
+        // baseline ratio.
+        let f = leakage_ratio_factor(0.2, 0.5).unwrap();
+        assert!((f - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_epsilon_below_pivot() {
+        let mut prev = 1.0;
+        for i in 0..=50 {
+            let eps = 0.5 * f64::from(i) / 50.0;
+            let f = leakage_ratio_factor(0.1, eps).unwrap();
+            assert!(f <= prev + 1e-12, "not decreasing at eps={eps}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn idle_factor_consistent() {
+        let sw0 = 0.3;
+        let eps = 0.1;
+        let idle = idle_factor(sw0, eps).unwrap();
+        let sw_e = noisy_activity(sw0, eps);
+        assert!((idle - (1.0 - sw_e) / (1.0 - sw0)).abs() < 1e-12);
+        // Low-activity circuits idle less under noise.
+        assert!(idle < 1.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(leakage_ratio_factor(0.0, 0.1).is_err());
+        assert!(leakage_ratio_factor(1.0, 0.1).is_err());
+        assert!(leakage_ratio_factor(0.5, 0.7).is_err());
+        assert!(idle_factor(1.0, 0.1).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Energy, size, depth, power and energy-delay lower bounds for
+//! fault-tolerant nanoscale circuits built from noisy gates.
+//!
+//! This crate implements, theorem by theorem, the analytical core of
+//! *D. Marculescu, "Energy Bounds for Fault-Tolerant Nanoscale Designs",
+//! DATE 2005*: a complexity-theoretic framework bounding what reliability
+//! costs in energy when every gate of a circuit misfires independently
+//! with probability ε and the circuit must still produce the correct
+//! output with probability 1-δ.
+//!
+//! | Paper result | Module | Entry point |
+//! |--------------|--------|-------------|
+//! | Theorem 1 (noisy switching activity) | [`switching`] | [`switching::noisy_activity`] |
+//! | Theorem 2 / Corollary 1 (size) | [`size`] | [`size::redundancy_lower_bound`] |
+//! | Corollary 2 (switching energy) | [`energy`] | [`energy::switching_energy_factor`] |
+//! | Theorem 3 (leakage/switching ratio) | [`leakage`] | [`leakage::leakage_ratio_factor`] |
+//! | Theorem 4 (logic depth) | [`depth`] | [`depth::depth_lower_bound`] |
+//! | Section 5.2 (delay, power, E×D) | [`composite`] | [`composite::average_power_factor`] |
+//!
+//! All logarithms are base 2, following the paper. Every bound is a
+//! *lower* bound — real fault-tolerant implementations (see the
+//! `nanobound-redundancy` crate) sit above these curves.
+//!
+//! # Examples
+//!
+//! Evaluate the full bound suite for the paper's running example, the
+//! 10-input parity function (`s = 10`, `S₀ = 21`), at 1% gate errors and
+//! 99% required reliability:
+//!
+//! ```
+//! use nanobound_core::{BoundReport, CircuitProfile};
+//!
+//! # fn main() -> Result<(), nanobound_core::BoundError> {
+//! let profile = CircuitProfile {
+//!     name: "parity10".into(),
+//!     inputs: 10,
+//!     outputs: 1,
+//!     size: 21,
+//!     depth: 6,
+//!     sensitivity: 10.0,
+//!     activity: 0.5,
+//!     fanin: 3.0,
+//!     leak_share: 0.5,
+//! };
+//! let report = BoundReport::evaluate(&profile, 0.01, 0.01)?;
+//! println!(
+//!     "size ≥ {:.2}×, energy ≥ {:.2}×, delay ≥ {:.2}×",
+//!     report.size_factor,
+//!     report.total_energy_factor,
+//!     report.delay_factor.unwrap(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod composite;
+pub mod depth;
+pub mod energy;
+mod error;
+pub mod leakage;
+pub mod noise;
+pub mod profile;
+pub mod size;
+pub mod sweep;
+pub mod switching;
+
+pub use depth::DepthBound;
+pub use error::BoundError;
+pub use profile::{BoundReport, CircuitProfile};

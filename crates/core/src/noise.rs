@@ -1,0 +1,139 @@
+//! Shared noise-channel quantities.
+//!
+//! All theorems of the paper are stated in terms of a few derived
+//! quantities of the binary symmetric channel with crossover ε:
+//!
+//! - `ξ = 1 - 2ε` — the channel *contraction* (how much of the signal
+//!   survives one noisy gate);
+//! - `ω = (1 - (1-2ε)^(1/k)) / 2` — the equivalent per-*wire* error of a
+//!   k-input gate whose output error is ε (Theorem 2, after Evans '94);
+//! - `t = (ω³ + (1-ω)³) / (ω(1-ω))` — the information-attenuation base
+//!   appearing in the size bound's denominator `k·log₂ t`;
+//! - `Δ = 1 - H₂(δ)` — the capacity gap of the required output
+//!   reliability (Theorem 4, after Evans-Schulman '99).
+//!
+//! All logarithms are base 2, as in the paper.
+
+/// The channel contraction `ξ = 1 - 2ε`.
+///
+/// `ξ = 1` for noise-free gates, `ξ = 0` at ε = ½ where the output
+/// carries no information about the input.
+#[must_use]
+pub fn xi(epsilon: f64) -> f64 {
+    1.0 - 2.0 * epsilon
+}
+
+/// The equivalent per-wire error probability `ω` of a k-input gate with
+/// output error ε: `ω = (1 - (1-2ε)^(1/k)) / 2`.
+///
+/// Splitting one output channel into `k` independent input channels that
+/// compose to the same contraction requires the k-th root:
+/// `(1-2ω)^k = 1-2ε`.
+#[must_use]
+pub fn omega(epsilon: f64, k: f64) -> f64 {
+    (1.0 - xi(epsilon).powf(1.0 / k)) / 2.0
+}
+
+/// The information-attenuation base `t = (ω³ + (1-ω)³) / (ω(1-ω))`.
+///
+/// Returns `+∞` for `ω = 0` (noise-free wires carry unbounded
+/// signal-to-noise) and decreases monotonically to 1 at `ω = ½`.
+#[must_use]
+pub fn t_factor(omega: f64) -> f64 {
+    if omega <= 0.0 {
+        return f64::INFINITY;
+    }
+    let c = 1.0 - omega;
+    (omega.powi(3) + c.powi(3)) / (omega * c)
+}
+
+/// The binary entropy `H₂(p) = -p·log₂ p - (1-p)·log₂(1-p)`, with the
+/// conventional limits `H₂(0) = H₂(1) = 0`.
+#[must_use]
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+/// The reliability capacity gap `Δ = 1 + δ·log₂ δ + (1-δ)·log₂(1-δ)`
+/// `= 1 - H₂(δ)` of Theorem 4.
+///
+/// `Δ = 1` for exact computation (δ = 0) and falls to 0 as δ → ½ (any
+/// output is acceptable).
+#[must_use]
+pub fn delta_capacity(delta: f64) -> f64 {
+    1.0 - binary_entropy(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_endpoints() {
+        assert_eq!(xi(0.0), 1.0);
+        assert_eq!(xi(0.5), 0.0);
+        assert_eq!(xi(0.25), 0.5);
+    }
+
+    #[test]
+    fn omega_composes_back_to_epsilon() {
+        // k wires of error ω in series contract like one ε channel:
+        // (1-2ω)^k = 1-2ε.
+        for &eps in &[0.001, 0.01, 0.1, 0.4] {
+            for &k in &[2.0, 3.0, 4.0, 7.5] {
+                let w = omega(eps, k);
+                let recomposed = (1.0 - 2.0 * w).powf(k);
+                assert!((recomposed - xi(eps)).abs() < 1e-12, "eps={eps} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_monotone_in_epsilon() {
+        let k = 3.0;
+        let mut prev = omega(0.0, k);
+        assert_eq!(prev, 0.0);
+        for i in 1..=50 {
+            let eps = 0.5 * f64::from(i) / 50.0;
+            let w = omega(eps, k);
+            assert!(w >= prev, "omega not monotone at eps={eps}");
+            prev = w;
+        }
+        assert!((omega(0.5, k) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_factor_limits() {
+        assert_eq!(t_factor(0.0), f64::INFINITY);
+        assert!((t_factor(0.5) - 1.0).abs() < 1e-12);
+        // Monotone decreasing on (0, 1/2].
+        let mut prev = f64::INFINITY;
+        for i in 1..=50 {
+            let w = 0.5 * f64::from(i) / 50.0;
+            let t = t_factor(w);
+            assert!(t <= prev, "t not decreasing at omega={w}");
+            assert!(t >= 1.0);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn entropy_properties() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        // Symmetry.
+        assert!((binary_entropy(0.1) - binary_entropy(0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_gap_endpoints() {
+        assert_eq!(delta_capacity(0.0), 1.0);
+        assert!(delta_capacity(0.5).abs() < 1e-12);
+        // H2(0.01) = 0.0808 → Δ = 0.9192, the value behind Fig 5's n·Δ.
+        assert!((delta_capacity(0.01) - 0.919_207).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Theorem 1: switching activity of an ε-noisy device.
+//!
+//! If `y` is the error-free output of a gate and `z` the output after the
+//! binary symmetric channel with crossover ε, then for temporally
+//! independent signals:
+//!
+//! ```text
+//! sw(z) = (1-2ε)²·sw(y) + 2ε(1-ε)
+//! ```
+//!
+//! — an affine contraction of the activity toward the fixed point ½.
+//! Small-activity gates become *more* active under noise (they look more
+//! random), high-activity gates become less active; at ε = ½ every gate
+//! output toggles like a fair coin.
+
+use crate::error::{check_epsilon, BoundError};
+
+/// Theorem 1: the switching activity `sw(z)` of an ε-noisy device whose
+/// error-free output has activity `sw`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_core::switching::noisy_activity;
+///
+/// // Noise-free devices are unchanged.
+/// assert_eq!(noisy_activity(0.3, 0.0), 0.3);
+/// // Total noise makes every output a coin flip.
+/// assert!((noisy_activity(0.1, 0.5) - 0.5).abs() < 1e-12);
+/// // The fixed point is ½ for every ε.
+/// assert!((noisy_activity(0.5, 0.2) - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn noisy_activity(sw: f64, epsilon: f64) -> f64 {
+    let a = 1.0 - 2.0 * epsilon;
+    a * a * sw + 2.0 * epsilon * (1.0 - epsilon)
+}
+
+/// Validated variant of [`noisy_activity`].
+///
+/// # Errors
+///
+/// Returns [`BoundError::BadParameter`] unless `0 ≤ sw ≤ 1` and
+/// `0 ≤ ε ≤ ½`.
+pub fn noisy_activity_checked(sw: f64, epsilon: f64) -> Result<f64, BoundError> {
+    if !(0.0..=1.0).contains(&sw) {
+        return Err(BoundError::bad("sw", sw, "must lie in [0, 1]"));
+    }
+    check_epsilon(epsilon)?;
+    Ok(noisy_activity(sw, epsilon))
+}
+
+/// Inverts Theorem 1: the error-free activity that would produce the
+/// observed noisy activity `sw_noisy` under error ε.
+///
+/// Returns `None` at ε = ½, where all information about the error-free
+/// activity is destroyed ((1-2ε)² = 0).
+#[must_use]
+pub fn clean_activity(sw_noisy: f64, epsilon: f64) -> Option<f64> {
+    let a = (1.0 - 2.0 * epsilon).powi(2);
+    if a == 0.0 {
+        return None;
+    }
+    Some((sw_noisy - 2.0 * epsilon * (1.0 - epsilon)) / a)
+}
+
+/// The multiplicative activity factor `sw(z)/sw(y)` — the last factor of
+/// Corollary 2's energy bound: `(1-2ε)² + 2ε(1-ε)/sw`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `sw <= 0` (a gate that never toggles has no
+/// meaningful activity ratio).
+#[must_use]
+pub fn activity_factor(sw: f64, epsilon: f64) -> f64 {
+    debug_assert!(sw > 0.0, "activity factor undefined for sw = {sw}");
+    let a = 1.0 - 2.0 * epsilon;
+    a * a + 2.0 * epsilon * (1.0 - epsilon) / sw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_identities() {
+        // sw(z) must also equal 2 p(z)(1-p(z)) when p(z) is pushed
+        // through the channel: p(z) = (1-ε)p + ε(1-p) for sw = 2p(1-p).
+        for &p in &[0.1, 0.3, 0.5, 0.8] {
+            for &eps in &[0.0, 0.05, 0.2, 0.5] {
+                let sw_y = 2.0 * p * (1.0 - p);
+                let pz = (1.0 - eps) * p + eps * (1.0 - p);
+                let sw_z_direct = 2.0 * pz * (1.0 - pz);
+                let sw_z_theorem = noisy_activity(sw_y, eps);
+                assert!(
+                    (sw_z_direct - sw_z_theorem).abs() < 1e-12,
+                    "p={p} eps={eps}: {sw_z_direct} vs {sw_z_theorem}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_toward_half() {
+        for &eps in &[0.05, 0.2, 0.4] {
+            for &sw in &[0.0, 0.2, 0.7, 1.0] {
+                let out = noisy_activity(sw, eps);
+                // Distance to ½ shrinks by exactly (1-2ε)².
+                let ratio = (out - 0.5).abs() / (sw - 0.5).abs().max(1e-300);
+                if sw != 0.5 {
+                    assert!((ratio - (1.0 - 2.0 * eps).powi(2)).abs() < 1e-9);
+                }
+                assert!((0.0..=1.0).contains(&out));
+            }
+        }
+    }
+
+    #[test]
+    fn low_activity_rises_high_activity_falls() {
+        assert!(noisy_activity(0.1, 0.2) > 0.1);
+        assert!(noisy_activity(0.9, 0.2) < 0.9);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for &sw in &[0.05, 0.3, 0.6] {
+            for &eps in &[0.01, 0.1, 0.3] {
+                let fwd = noisy_activity(sw, eps);
+                let back = clean_activity(fwd, eps).unwrap();
+                assert!((back - sw).abs() < 1e-12);
+            }
+        }
+        assert_eq!(clean_activity(0.5, 0.5), None);
+    }
+
+    #[test]
+    fn checked_variant_validates() {
+        assert!(noisy_activity_checked(1.2, 0.1).is_err());
+        assert!(noisy_activity_checked(0.5, 0.6).is_err());
+        assert!(noisy_activity_checked(0.5, 0.1).is_ok());
+    }
+
+    #[test]
+    fn factor_is_consistent_with_activity() {
+        for &sw in &[0.1, 0.5, 0.9] {
+            for &eps in &[0.01, 0.2] {
+                let f = activity_factor(sw, eps);
+                assert!((f * sw - noisy_activity(sw, eps)).abs() < 1e-12);
+            }
+        }
+    }
+}

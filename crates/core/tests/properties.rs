@@ -1,0 +1,250 @@
+//! Property-based tests for the bound formulas: invariants that must
+//! hold over the entire admissible parameter space, not just the
+//! figure-parameter spot checks of the unit tests.
+
+use proptest::prelude::*;
+
+use nanobound_core::composite::total_energy_factor;
+use nanobound_core::depth::{delay_factor, depth_lower_bound, DepthBound};
+use nanobound_core::energy::switching_energy_factor;
+use nanobound_core::leakage::leakage_ratio_factor;
+use nanobound_core::noise::{binary_entropy, delta_capacity, omega, t_factor};
+use nanobound_core::size::{redundancy_lower_bound, size_factor, strict_size_factor};
+use nanobound_core::switching::{clean_activity, noisy_activity};
+use nanobound_core::{BoundReport, CircuitProfile};
+
+fn eps() -> impl Strategy<Value = f64> {
+    0.0..=0.5f64
+}
+
+fn eps_open() -> impl Strategy<Value = f64> {
+    // Away from the ε = ½ pole where everything is ∞.
+    0.0..0.49f64
+}
+
+fn delta() -> impl Strategy<Value = f64> {
+    0.0..0.5f64
+}
+
+fn activity() -> impl Strategy<Value = f64> {
+    0.01..=0.99f64
+}
+
+fn fanin() -> impl Strategy<Value = f64> {
+    2.0..16.0f64
+}
+
+proptest! {
+    #[test]
+    fn theorem1_maps_unit_interval_into_itself(sw in 0.0..=1.0f64, e in eps()) {
+        let out = noisy_activity(sw, e);
+        prop_assert!((0.0..=1.0).contains(&out), "sw(z) = {out}");
+    }
+
+    #[test]
+    fn theorem1_is_a_contraction_with_fixed_point_half(
+        a in 0.0..=1.0f64,
+        b in 0.0..=1.0f64,
+        e in eps(),
+    ) {
+        let fa = noisy_activity(a, e);
+        let fb = noisy_activity(b, e);
+        // |f(a) - f(b)| = (1-2ε)² |a - b| ≤ |a - b|.
+        prop_assert!((fa - fb).abs() <= (a - b).abs() + 1e-12);
+        prop_assert!((noisy_activity(0.5, e) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem1_roundtrips_through_its_inverse(sw in 0.0..=1.0f64, e in 0.0..0.49f64) {
+        let there = noisy_activity(sw, e);
+        let back = clean_activity(there, e).expect("ε < ½ is invertible");
+        prop_assert!((back - sw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn omega_stays_below_half_and_composes(e in eps(), k in fanin()) {
+        let w = omega(e, k);
+        prop_assert!((0.0..=0.5).contains(&w));
+        let recomposed = (1.0 - 2.0 * w).powf(k);
+        prop_assert!((recomposed - (1.0 - 2.0 * e)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_factor_at_least_one(w in 0.0..=0.5f64) {
+        prop_assert!(t_factor(w) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn entropy_bounded_and_symmetric(p in 0.0..=1.0f64) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-12);
+        prop_assert!((delta_capacity(p.min(0.5)) - (1.0 - binary_entropy(p.min(0.5)))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundancy_nonnegative_and_monotone_in_eps(
+        s in 1.0..200.0f64,
+        k in fanin(),
+        d in delta(),
+        e1 in eps_open(),
+        e2 in eps_open(),
+    ) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let r_lo = redundancy_lower_bound(s, k, lo, d).unwrap();
+        let r_hi = redundancy_lower_bound(s, k, hi, d).unwrap();
+        prop_assert!(r_lo >= 0.0);
+        prop_assert!(r_hi + 1e-9 >= r_lo, "not monotone: {r_lo} -> {r_hi}");
+    }
+
+    #[test]
+    fn redundancy_monotone_in_delta(
+        s in 1.0..200.0f64,
+        k in fanin(),
+        e in 0.001..0.49f64,
+        d1 in delta(),
+        d2 in delta(),
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        // Stricter reliability (smaller δ) demands at least as much.
+        let r_strict = redundancy_lower_bound(s, k, e, lo).unwrap();
+        let r_loose = redundancy_lower_bound(s, k, e, hi).unwrap();
+        prop_assert!(r_strict + 1e-9 >= r_loose);
+    }
+
+    #[test]
+    fn size_factors_consistent(
+        s0 in 1.0..5000.0f64,
+        s in 1.0..200.0f64,
+        k in fanin(),
+        e in eps_open(),
+        d in delta(),
+    ) {
+        let paper = size_factor(s0, s, k, e, d).unwrap();
+        let strict = strict_size_factor(s0, s, k, e, d).unwrap();
+        prop_assert!(paper >= 1.0);
+        prop_assert!(strict >= 1.0);
+        // The paper's reading always demands at least the strict one.
+        prop_assert!(paper + 1e-12 >= strict);
+    }
+
+    #[test]
+    fn energy_factor_decomposes(
+        s0 in 1.0..5000.0f64,
+        s in 1.0..200.0f64,
+        k in fanin(),
+        sw in activity(),
+        e in eps_open(),
+        d in delta(),
+    ) {
+        let energy = switching_energy_factor(s0, s, k, sw, e, d).unwrap();
+        let size = size_factor(s0, s, k, e, d).unwrap();
+        let act = noisy_activity(sw, e) / sw;
+        prop_assert!((energy - size * act).abs() < 1e-9 * energy.max(1.0));
+    }
+
+    #[test]
+    fn leakage_ratio_positive_and_pivots(sw in activity(), e in eps()) {
+        let w = leakage_ratio_factor(sw, e).unwrap();
+        prop_assert!(w > 0.0);
+        // Below the pivot never above 1; above never below 1.
+        if sw < 0.5 {
+            prop_assert!(w <= 1.0 + 1e-12);
+        } else if sw > 0.5 {
+            prop_assert!(w >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn leakage_symmetry(sw in 0.01..=0.49f64, e in eps()) {
+        let below = leakage_ratio_factor(sw, e).unwrap();
+        let above = leakage_ratio_factor(1.0 - sw, e).unwrap();
+        prop_assert!((below * above - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_energy_interpolates_between_components(
+        s0 in 1.0..5000.0f64,
+        s in 1.0..200.0f64,
+        k in fanin(),
+        sw in activity(),
+        lam in 0.0..0.99f64,
+        e in eps_open(),
+        d in delta(),
+    ) {
+        let total = total_energy_factor(s0, s, k, sw, lam, e, d).unwrap();
+        let pure_switching = total_energy_factor(s0, s, k, sw, 0.0, e, d).unwrap();
+        let size = size_factor(s0, s, k, e, d).unwrap();
+        let idle = (1.0 - noisy_activity(sw, e)) / (1.0 - sw);
+        let pure_leakage = size * idle;
+        let lo = pure_switching.min(pure_leakage);
+        let hi = pure_switching.max(pure_leakage);
+        prop_assert!(total >= lo - 1e-9 && total <= hi + 1e-9,
+            "total {total} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn depth_bound_regimes_are_exhaustive_and_consistent(
+        n in 1.0..1e6f64,
+        k in fanin(),
+        e in eps(),
+        d in delta(),
+    ) {
+        match depth_lower_bound(n, k, e, d).unwrap() {
+            DepthBound::Bounded(levels) => {
+                prop_assert!(levels >= 0.0);
+                // Bounded implies the delay factor exists too.
+                prop_assert!(delay_factor(k, e).unwrap().is_some());
+            }
+            DepthBound::NoKnownBound => {
+                prop_assert!(n <= 1.0 / delta_capacity(d) + 1e-9);
+            }
+            DepthBound::Infeasible { max_inputs } => {
+                prop_assert!(n > max_inputs);
+                prop_assert!(delay_factor(k, e).unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn delay_factor_at_least_one_where_defined(k in fanin(), e in eps()) {
+        if let Some(f) = delay_factor(k, e).unwrap() {
+            prop_assert!(f >= 1.0 - 1e-12, "delay factor {f}");
+        }
+    }
+
+    #[test]
+    fn bound_report_internally_consistent(
+        size in 1usize..10_000,
+        s_rel in 0.01..=1.0f64,
+        inputs in 1usize..500,
+        sw in activity(),
+        k in 2.0..8.0f64,
+        lam in 0.0..0.99f64,
+        e in eps_open(),
+        d in delta(),
+    ) {
+        let sensitivity = (inputs as f64 * s_rel).max(0.0);
+        let profile = CircuitProfile {
+            name: "prop".into(),
+            inputs,
+            outputs: 1,
+            size,
+            depth: 1,
+            sensitivity,
+            activity: sw,
+            fanin: k,
+            leak_share: lam,
+        };
+        let r = BoundReport::evaluate(&profile, e, d).unwrap();
+        prop_assert!(r.size_factor >= 1.0);
+        prop_assert!((r.size_factor - (1.0 + r.redundancy_gates / size as f64)).abs()
+            < 1e-9 * r.size_factor);
+        if let (Some(df), Some(pf), Some(edp)) =
+            (r.delay_factor, r.average_power_factor, r.energy_delay_factor)
+        {
+            prop_assert!((edp - r.total_energy_factor * df).abs() < 1e-9 * edp.max(1.0));
+            prop_assert!((pf - r.total_energy_factor / df).abs() < 1e-9 * pf.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Power density and the Zhirnov limit.
+//!
+//! The paper's motivation (Section 1) leans on Zhirnov et al., "Limits
+//! to Binary Logic Switch Scaling — A Gedanken Model" (Proc. IEEE 2003):
+//! power density of irreversible binary switching approaches
+//! ~100 W/cm² within a decade, which is why redundancy-driven energy
+//! overheads matter at all. This module closes that loop: given a
+//! circuit's absolute power ([`CircuitEnergy`]) and an area model, it
+//! reports the power density and how much fault-tolerance headroom a
+//! density ceiling leaves.
+
+use crate::error::EnergyError;
+use crate::model::CircuitEnergy;
+
+/// The ~100 W/cm² practical ceiling for air-cooled CMOS the paper cites
+/// (converted to W/m²).
+pub const ZHIRNOV_LIMIT_W_PER_M2: f64 = 100.0 * 1.0e4;
+
+/// Silicon area occupied by a circuit, from a per-gate footprint.
+///
+/// `gate_area` is the average placed footprint of one gate in m²
+/// (≈ 1 µm² = 1e-12 m² at 90 nm with routing overhead).
+///
+/// # Errors
+///
+/// Returns [`EnergyError::BadParameter`] for non-positive inputs.
+pub fn circuit_area(size: usize, gate_area: f64) -> Result<f64, EnergyError> {
+    if size == 0 {
+        return Err(EnergyError::bad("size", 0.0, "must be at least 1"));
+    }
+    if gate_area.is_nan() || gate_area <= 0.0 {
+        return Err(EnergyError::bad("gate_area", gate_area, "must be positive"));
+    }
+    Ok(size as f64 * gate_area)
+}
+
+/// Power density of a circuit in W/m²: average power over placed area.
+///
+/// # Errors
+///
+/// Returns [`EnergyError::BadParameter`] for invalid area parameters.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_energy::{density, CircuitEnergy, Technology};
+///
+/// # fn main() -> Result<(), nanobound_energy::EnergyError> {
+/// let tech = Technology::bulk_90nm();
+/// let energy = CircuitEnergy::of(&tech, tech.vdd, 100_000, 20, 0.3)?;
+/// let d = density::power_density(&energy, 100_000, 1.0e-12)?;
+/// assert!(d > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_density(
+    energy: &CircuitEnergy,
+    size: usize,
+    gate_area: f64,
+) -> Result<f64, EnergyError> {
+    Ok(energy.average_power() / circuit_area(size, gate_area)?)
+}
+
+/// How much a design's power density may still grow before hitting a
+/// ceiling: `limit / density`. A value below 1 means the ceiling is
+/// already violated.
+///
+/// Redundancy-based fault tolerance multiplies *power per function* but
+/// also *area*, so density moves by the ratio (power factor)/(size
+/// factor) — exactly the paper's average-power factor divided by its
+/// size factor. [`density_factor`] computes that composite directly.
+///
+/// # Errors
+///
+/// Returns [`EnergyError::BadParameter`] for invalid parameters.
+pub fn headroom(
+    energy: &CircuitEnergy,
+    size: usize,
+    gate_area: f64,
+    limit: f64,
+) -> Result<f64, EnergyError> {
+    if limit.is_nan() || limit <= 0.0 {
+        return Err(EnergyError::bad("limit", limit, "must be positive"));
+    }
+    Ok(limit / power_density(energy, size, gate_area)?)
+}
+
+/// The power-*density* factor of a fault-tolerant variant relative to
+/// its baseline: `(P/P₀) / (S/S₀)` — what happens to W/cm² when both
+/// the power and the footprint grow.
+///
+/// A fault-tolerant design can *reduce* power density even while using
+/// more total power, because its area grows faster — the silver lining
+/// the paper's Figure 6 hints at for high error rates.
+///
+/// # Errors
+///
+/// Returns [`EnergyError::BadParameter`] unless both factors are
+/// positive finite.
+pub fn density_factor(power_factor: f64, size_factor: f64) -> Result<f64, EnergyError> {
+    if !(power_factor > 0.0 && power_factor.is_finite()) {
+        return Err(EnergyError::bad("power_factor", power_factor, "must be positive finite"));
+    }
+    if !(size_factor > 0.0 && size_factor.is_finite()) {
+        return Err(EnergyError::bad("size_factor", size_factor, "must be positive finite"));
+    }
+    Ok(power_factor / size_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+
+    fn energy_of(size: usize) -> CircuitEnergy {
+        let tech = Technology::bulk_90nm();
+        CircuitEnergy::of(&tech, tech.vdd, size, 20, 0.3).unwrap()
+    }
+
+    #[test]
+    fn density_is_intensive() {
+        // Doubling the circuit doubles power AND area: density fixed.
+        let small = power_density(&energy_of(10_000), 10_000, 1e-12).unwrap();
+        let large = power_density(&energy_of(20_000), 20_000, 1e-12).unwrap();
+        assert!((small / large - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realistic_90nm_density_is_below_zhirnov() {
+        // A modest fabric should sit under the ceiling at 90nm specs.
+        let d = power_density(&energy_of(100_000), 100_000, 1e-12).unwrap();
+        assert!(d < ZHIRNOV_LIMIT_W_PER_M2, "density {d} W/m^2");
+        let h = headroom(&energy_of(100_000), 100_000, 1e-12, ZHIRNOV_LIMIT_W_PER_M2).unwrap();
+        assert!(h > 1.0);
+    }
+
+    #[test]
+    fn shrinking_gate_area_raises_density() {
+        let coarse = power_density(&energy_of(1000), 1000, 4e-12).unwrap();
+        let dense = power_density(&energy_of(1000), 1000, 1e-12).unwrap();
+        assert!((dense / coarse - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_factor_tracks_power_over_size() {
+        // Fault tolerance at high ε: power factor < 1, size factor > 1 —
+        // density drops on both counts.
+        let f = density_factor(0.7, 1.5).unwrap();
+        assert!((f - 0.4667).abs() < 1e-3);
+        // At low ε: power 1.1×, size 1.05× — density still grows.
+        assert!(density_factor(1.1, 1.05).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(circuit_area(0, 1e-12).is_err());
+        assert!(circuit_area(10, 0.0).is_err());
+        assert!(headroom(&energy_of(10), 10, 1e-12, 0.0).is_err());
+        assert!(density_factor(0.0, 1.0).is_err());
+        assert!(density_factor(1.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Energy-model errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the technology model and the Vdd solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnergyError {
+    /// A numeric parameter was outside its admissible range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        got: f64,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+    /// A Vdd solver could not bracket a solution inside the technology's
+    /// supply range.
+    NoSolution {
+        /// What was being solved for, e.g. "iso-energy supply".
+        target: &'static str,
+        /// Lowest supply examined.
+        vdd_lo: f64,
+        /// Highest supply examined.
+        vdd_hi: f64,
+    },
+}
+
+impl EnergyError {
+    pub(crate) fn bad(name: &'static str, got: f64, requirement: &'static str) -> Self {
+        EnergyError::BadParameter { name, got, requirement }
+    }
+}
+
+impl fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyError::BadParameter { name, got, requirement } => {
+                write!(f, "parameter `{name}` = {got} {requirement}")
+            }
+            EnergyError::NoSolution { target, vdd_lo, vdd_hi } => {
+                write!(f, "no {target} exists for Vdd in [{vdd_lo:.3}, {vdd_hi:.3}] V")
+            }
+        }
+    }
+}
+
+impl Error for EnergyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EnergyError::bad("vdd", 0.1, "must exceed the threshold voltage");
+        assert!(e.to_string().contains("vdd"));
+        let e = EnergyError::NoSolution { target: "iso-energy supply", vdd_lo: 0.4, vdd_hi: 1.8 };
+        assert!(e.to_string().contains("iso-energy"));
+        assert!(e.to_string().contains("1.8"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Technology-parameterized energy, delay and Vdd-scaling models.
+//!
+//! Part of the `nanobound` workspace (a reproduction of *Marculescu,
+//! "Energy Bounds for Fault-Tolerant Nanoscale Designs", DATE 2005*).
+//! Where `nanobound-core` produces dimensionless lower-bound *factors*,
+//! this crate grounds them in volts, joules and seconds:
+//!
+//! - [`Technology`] — Vdd/VT/α, per-gate capacitance and leakage for
+//!   representative bulk-CMOS nodes, plus the α-power delay law;
+//! - [`CircuitEnergy`] — absolute per-cycle switching/leakage energy,
+//!   critical-path delay, average power and EDP of a profiled circuit;
+//! - [`iso_energy_vdd`] / [`iso_delay_vdd`] — Section 5.2's trade-offs:
+//!   hide the redundancy energy overhead by slowing down, or hide the
+//!   depth overhead by raising the supply;
+//! - [`density`] — power density against the ~100 W/cm² Zhirnov ceiling
+//!   the paper's introduction is motivated by.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanobound_energy::{BaselineCircuit, CircuitEnergy, Technology};
+//!
+//! # fn main() -> Result<(), nanobound_energy::EnergyError> {
+//! // Calibrate 90 nm leakage to the paper's 50% share assumption.
+//! let tech = Technology::bulk_90nm().with_leak_share(0.5, 1000, 20, 0.3)?;
+//! let energy = CircuitEnergy::of(&tech, tech.vdd, 1000, 20, 0.3)?;
+//! assert!((energy.leak_share() - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod density;
+mod error;
+pub mod model;
+pub mod scaling;
+mod solve;
+pub mod tech;
+
+pub use error::EnergyError;
+pub use model::CircuitEnergy;
+pub use scaling::{
+    at_nominal, iso_delay_vdd, iso_energy_vdd, BaselineCircuit, FaultTolerantVariant,
+    ScalingOutcome,
+};
+pub use tech::Technology;

@@ -1,0 +1,190 @@
+//! Absolute per-cycle energy, delay and power of a profiled circuit.
+//!
+//! Combines the paper's energy model (`E = ½·C·Vdd²·sw` switching,
+//! `(1-sw)`-weighted leakage) with the α-power delay law into absolute
+//! numbers for one circuit at one supply voltage. The reproduced figures
+//! only use *ratios* of these quantities; the absolute values exist so
+//! examples and the Vdd-scaling solvers can speak in volts, joules and
+//! seconds.
+
+use std::fmt;
+
+use crate::error::EnergyError;
+use crate::tech::Technology;
+
+/// Absolute energy/delay/power figures for one circuit at one supply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitEnergy {
+    /// Supply voltage used, volts.
+    pub vdd: f64,
+    /// Switching energy per cycle, joules.
+    pub switching: f64,
+    /// Leakage energy per cycle, joules.
+    pub leakage: f64,
+    /// Critical-path delay (= cycle time), seconds.
+    pub delay: f64,
+}
+
+impl CircuitEnergy {
+    /// Evaluates the model for a circuit of `size` gates, `depth` levels
+    /// and average per-gate activity `sw`, at supply `vdd`.
+    ///
+    /// The leakage term integrates idle-device current over one cycle:
+    /// `E_L = (1-sw)·size·I_leak·vdd·delay`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::BadParameter`] for out-of-range `vdd` (must
+    /// lie in `(VT, vdd_max]`), `sw ∉ (0, 1)`, `size == 0` or
+    /// `depth == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nanobound_energy::{CircuitEnergy, Technology};
+    ///
+    /// # fn main() -> Result<(), nanobound_energy::EnergyError> {
+    /// let tech = Technology::bulk_90nm();
+    /// let e = CircuitEnergy::of(&tech, tech.vdd, 1000, 20, 0.3)?;
+    /// assert!(e.total() > 0.0);
+    /// assert!(e.delay > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(
+        tech: &Technology,
+        vdd: f64,
+        size: usize,
+        depth: u32,
+        sw: f64,
+    ) -> Result<CircuitEnergy, EnergyError> {
+        if size == 0 {
+            return Err(EnergyError::bad("size", 0.0, "must be at least 1"));
+        }
+        if depth == 0 {
+            return Err(EnergyError::bad("depth", 0.0, "must be at least 1"));
+        }
+        if !(sw > 0.0 && sw < 1.0) {
+            return Err(EnergyError::bad("sw", sw, "must lie in (0, 1)"));
+        }
+        let delay = f64::from(depth) * tech.gate_delay(vdd)?;
+        let switching = 0.5 * tech.gate_capacitance * vdd * vdd * sw * size as f64;
+        let leakage = (1.0 - sw) * size as f64 * tech.leak_current * vdd * delay;
+        Ok(CircuitEnergy { vdd, switching, leakage, delay })
+    }
+
+    /// Total energy per cycle, joules.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.switching + self.leakage
+    }
+
+    /// Leakage share of the per-cycle energy.
+    #[must_use]
+    pub fn leak_share(&self) -> f64 {
+        self.leakage / self.total()
+    }
+
+    /// Average power (total energy / cycle time), watts.
+    #[must_use]
+    pub fn average_power(&self) -> f64 {
+        self.total() / self.delay
+    }
+
+    /// Energy-delay product, joule-seconds.
+    #[must_use]
+    pub fn energy_delay_product(&self) -> f64 {
+        self.total() * self.delay
+    }
+}
+
+impl fmt::Display for CircuitEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Vdd={:.2}V: E_sw={:.3e}J E_leak={:.3e}J delay={:.3e}s P={:.3e}W",
+            self.vdd,
+            self.switching,
+            self.leakage,
+            self.delay,
+            self.average_power()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::bulk_90nm().with_leak_share(0.5, 1000, 20, 0.3).unwrap()
+    }
+
+    #[test]
+    fn calibrated_leak_share_is_half() {
+        let t = tech();
+        let e = CircuitEnergy::of(&t, t.vdd, 1000, 20, 0.3).unwrap();
+        assert!((e.leak_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_scales_quadratically_with_vdd() {
+        let t = tech();
+        let hi = CircuitEnergy::of(&t, 1.2, 1000, 20, 0.3).unwrap();
+        let lo = CircuitEnergy::of(&t, 0.6, 1000, 20, 0.3).unwrap();
+        assert!((hi.switching / lo.switching - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowering_vdd_slows_and_saves_switching_energy() {
+        let t = tech();
+        let nominal = CircuitEnergy::of(&t, 1.2, 1000, 20, 0.3).unwrap();
+        let scaled = CircuitEnergy::of(&t, 0.8, 1000, 20, 0.3).unwrap();
+        assert!(scaled.switching < nominal.switching);
+        assert!(scaled.delay > nominal.delay);
+    }
+
+    #[test]
+    fn energy_proportional_to_size() {
+        let t = tech();
+        let small = CircuitEnergy::of(&t, 1.2, 500, 20, 0.3).unwrap();
+        let large = CircuitEnergy::of(&t, 1.2, 1000, 20, 0.3).unwrap();
+        assert!((large.total() / small.total() - 2.0).abs() < 1e-9);
+        // Delay is size-independent (depth fixed).
+        assert_eq!(small.delay, large.delay);
+    }
+
+    #[test]
+    fn composite_metrics_consistent() {
+        let t = tech();
+        let e = CircuitEnergy::of(&t, 1.2, 1000, 20, 0.3).unwrap();
+        assert!((e.average_power() * e.delay - e.total()).abs() < 1e-24);
+        assert!((e.energy_delay_product() / e.delay - e.total()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn higher_activity_means_less_leakage_share() {
+        let t = tech();
+        let idle = CircuitEnergy::of(&t, 1.2, 1000, 20, 0.1).unwrap();
+        let busy = CircuitEnergy::of(&t, 1.2, 1000, 20, 0.6).unwrap();
+        assert!(idle.leak_share() > busy.leak_share());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let t = tech();
+        assert!(CircuitEnergy::of(&t, 1.2, 0, 20, 0.3).is_err());
+        assert!(CircuitEnergy::of(&t, 1.2, 10, 0, 0.3).is_err());
+        assert!(CircuitEnergy::of(&t, 1.2, 10, 2, 0.0).is_err());
+        assert!(CircuitEnergy::of(&t, 0.2, 10, 2, 0.3).is_err()); // below VT
+        assert!(CircuitEnergy::of(&t, 5.0, 10, 2, 0.3).is_err()); // above max
+    }
+
+    #[test]
+    fn display_shows_units() {
+        let t = tech();
+        let e = CircuitEnergy::of(&t, 1.2, 100, 5, 0.4).unwrap();
+        let s = e.to_string();
+        assert!(s.contains("Vdd=1.20V") && s.contains('J') && s.contains('W'));
+    }
+}

@@ -1,0 +1,390 @@
+//! Supply-voltage scaling trade-offs for fault-tolerant variants.
+//!
+//! Section 5.2 of the paper observes that a redundancy-laden circuit can
+//! trade its energy overhead against delay by moving Vdd:
+//!
+//! - **iso-energy**: lower Vdd until the fault-tolerant variant spends
+//!   the same energy per cycle as the error-free baseline — at the cost
+//!   of further latency on top of the depth increase;
+//! - **iso-delay**: raise Vdd until the variant matches the baseline's
+//!   latency despite its deeper logic — at the cost of further energy.
+//!
+//! Both solvers work on the α-power delay law and the per-cycle energy
+//! model of [`CircuitEnergy`], searching Vdd in `(VT, vdd_max]`.
+
+use std::fmt;
+
+use nanobound_core::{BoundReport, CircuitProfile};
+
+use crate::error::EnergyError;
+use crate::model::CircuitEnergy;
+use crate::solve::{bracket_and_bisect, Scan};
+use crate::tech::Technology;
+
+/// The error-free reference circuit, in the units the solvers need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineCircuit {
+    /// Gate count `S₀`.
+    pub size: usize,
+    /// Logic depth `d₀` in gate levels.
+    pub depth: u32,
+}
+
+/// Multiplicative factors describing a fault-tolerant variant relative
+/// to its error-free baseline.
+///
+/// Typically derived from a [`BoundReport`] via
+/// [`FaultTolerantVariant::from_bounds`], in which case the outcome is
+/// the *cheapest implementation the lower bounds allow*; constructive
+/// schemes (`nanobound-redundancy`) produce larger factors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultTolerantVariant {
+    /// Gate-count factor `S(ε,δ)/S₀ ≥ 1`.
+    pub size_factor: f64,
+    /// Per-gate activity factor `sw(ε)/sw₀`.
+    pub activity_factor: f64,
+    /// Idle-probability factor `(1-sw(ε))/(1-sw₀)`.
+    pub idle_factor: f64,
+    /// Depth factor `d(ε,δ)/d₀ ≥ 1`.
+    pub depth_factor: f64,
+}
+
+impl FaultTolerantVariant {
+    /// Extracts the factors from a bound report evaluated on `profile`.
+    ///
+    /// Returns `None` when the report has no delay bound (ε beyond the
+    /// `ξ² = 1/k` feasibility threshold), since Vdd scaling is then
+    /// meaningless.
+    #[must_use]
+    pub fn from_bounds(profile: &CircuitProfile, report: &BoundReport) -> Option<Self> {
+        let depth_factor = report.delay_factor?;
+        let sw0 = profile.activity;
+        Some(FaultTolerantVariant {
+            size_factor: report.size_factor,
+            activity_factor: report.noisy_activity / sw0,
+            idle_factor: (1.0 - report.noisy_activity) / (1.0 - sw0),
+            depth_factor,
+        })
+    }
+
+    /// The identity variant (an error-free circuit).
+    #[must_use]
+    pub fn identity() -> Self {
+        FaultTolerantVariant {
+            size_factor: 1.0,
+            activity_factor: 1.0,
+            idle_factor: 1.0,
+            depth_factor: 1.0,
+        }
+    }
+}
+
+/// Result of a Vdd-scaling solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingOutcome {
+    /// The solved supply voltage for the fault-tolerant variant.
+    pub vdd: f64,
+    /// Baseline circuit at nominal supply.
+    pub baseline: CircuitEnergy,
+    /// Fault-tolerant variant at the solved supply.
+    pub scaled: CircuitEnergy,
+}
+
+impl ScalingOutcome {
+    /// Total-energy ratio variant/baseline.
+    #[must_use]
+    pub fn energy_factor(&self) -> f64 {
+        self.scaled.total() / self.baseline.total()
+    }
+
+    /// Delay ratio variant/baseline.
+    #[must_use]
+    pub fn delay_factor(&self) -> f64 {
+        self.scaled.delay / self.baseline.delay
+    }
+
+    /// Average-power ratio variant/baseline.
+    #[must_use]
+    pub fn power_factor(&self) -> f64 {
+        self.scaled.average_power() / self.baseline.average_power()
+    }
+
+    /// Energy-delay-product ratio variant/baseline.
+    #[must_use]
+    pub fn edp_factor(&self) -> f64 {
+        self.scaled.energy_delay_product() / self.baseline.energy_delay_product()
+    }
+}
+
+impl fmt::Display for ScalingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Vdd={:.3}V: energy {:.2}x, delay {:.2}x, power {:.2}x, EDP {:.2}x",
+            self.vdd,
+            self.energy_factor(),
+            self.delay_factor(),
+            self.power_factor(),
+            self.edp_factor()
+        )
+    }
+}
+
+/// Per-cycle energy and delay of the variant at supply `vdd`.
+fn variant_energy(
+    tech: &Technology,
+    vdd: f64,
+    base: BaselineCircuit,
+    sw0: f64,
+    variant: &FaultTolerantVariant,
+) -> Result<CircuitEnergy, EnergyError> {
+    let eff_size = base.size as f64 * variant.size_factor;
+    let delay = f64::from(base.depth) * variant.depth_factor * tech.gate_delay(vdd)?;
+    let switching =
+        0.5 * tech.gate_capacitance * vdd * vdd * (sw0 * variant.activity_factor) * eff_size;
+    let leakage =
+        (1.0 - sw0) * variant.idle_factor * eff_size * tech.leak_current * vdd * delay;
+    Ok(CircuitEnergy { vdd, switching, leakage, delay })
+}
+
+fn validate_common(
+    tech: &Technology,
+    base: BaselineCircuit,
+    sw0: f64,
+) -> Result<CircuitEnergy, EnergyError> {
+    tech.validate()?;
+    CircuitEnergy::of(tech, tech.vdd, base.size, base.depth, sw0)
+}
+
+/// Evaluates the variant at the *nominal* supply (no scaling): the raw
+/// energy/delay/power overheads.
+///
+/// # Errors
+///
+/// Returns [`EnergyError::BadParameter`] for invalid technology or
+/// circuit parameters.
+pub fn at_nominal(
+    tech: &Technology,
+    base: BaselineCircuit,
+    sw0: f64,
+    variant: &FaultTolerantVariant,
+) -> Result<ScalingOutcome, EnergyError> {
+    let baseline = validate_common(tech, base, sw0)?;
+    let scaled = variant_energy(tech, tech.vdd, base, sw0, variant)?;
+    Ok(ScalingOutcome { vdd: tech.vdd, baseline, scaled })
+}
+
+/// Solves for the supply at which the fault-tolerant variant spends the
+/// same per-cycle energy as the error-free baseline at nominal supply.
+///
+/// # Errors
+///
+/// Returns [`EnergyError::NoSolution`] when no supply in
+/// `(VT, vdd_max]` achieves energy parity (the redundancy overhead is too
+/// large to hide by voltage scaling), or [`EnergyError::BadParameter`]
+/// for invalid inputs.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_energy::{iso_energy_vdd, BaselineCircuit, FaultTolerantVariant, Technology};
+///
+/// # fn main() -> Result<(), nanobound_energy::EnergyError> {
+/// let tech = Technology::bulk_90nm();
+/// let base = BaselineCircuit { size: 1000, depth: 20 };
+/// let variant = FaultTolerantVariant {
+///     size_factor: 1.3,
+///     activity_factor: 1.05,
+///     idle_factor: 0.95,
+///     depth_factor: 1.2,
+/// };
+/// let outcome = iso_energy_vdd(&tech, base, 0.3, &variant)?;
+/// assert!(outcome.vdd < tech.vdd);              // had to slow down
+/// assert!(outcome.delay_factor() > 1.2);        // beyond the depth increase
+/// assert!((outcome.energy_factor() - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn iso_energy_vdd(
+    tech: &Technology,
+    base: BaselineCircuit,
+    sw0: f64,
+    variant: &FaultTolerantVariant,
+) -> Result<ScalingOutcome, EnergyError> {
+    let baseline = validate_common(tech, base, sw0)?;
+    let target = baseline.total();
+    let lo = tech.vt + 1e-3;
+    let hi = tech.vdd_max;
+    let objective = |v: f64| match variant_energy(tech, v, base, sw0, variant) {
+        Ok(e) => e.total() - target,
+        Err(_) => f64::NAN,
+    };
+    let vdd = bracket_and_bisect(objective, lo, hi, 512, 80, Scan::FromHigh).ok_or(
+        EnergyError::NoSolution {
+            target: "iso-energy supply",
+            vdd_lo: lo,
+            vdd_hi: hi,
+        },
+    )?;
+    let scaled = variant_energy(tech, vdd, base, sw0, variant)?;
+    Ok(ScalingOutcome { vdd, baseline, scaled })
+}
+
+/// Solves for the supply at which the fault-tolerant variant matches the
+/// error-free baseline's latency despite its deeper logic.
+///
+/// # Errors
+///
+/// Returns [`EnergyError::NoSolution`] when even `vdd_max` cannot recover
+/// the latency, or [`EnergyError::BadParameter`] for invalid inputs.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_energy::{iso_delay_vdd, BaselineCircuit, FaultTolerantVariant, Technology};
+///
+/// # fn main() -> Result<(), nanobound_energy::EnergyError> {
+/// let tech = Technology::bulk_90nm();
+/// let base = BaselineCircuit { size: 1000, depth: 20 };
+/// let variant = FaultTolerantVariant {
+///     size_factor: 1.3,
+///     activity_factor: 1.05,
+///     idle_factor: 0.95,
+///     depth_factor: 1.2,
+/// };
+/// let outcome = iso_delay_vdd(&tech, base, 0.3, &variant)?;
+/// assert!(outcome.vdd > tech.vdd);             // had to speed up
+/// assert!(outcome.energy_factor() > 1.3);      // beyond the size increase
+/// assert!((outcome.delay_factor() - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn iso_delay_vdd(
+    tech: &Technology,
+    base: BaselineCircuit,
+    sw0: f64,
+    variant: &FaultTolerantVariant,
+) -> Result<ScalingOutcome, EnergyError> {
+    let baseline = validate_common(tech, base, sw0)?;
+    let target = baseline.delay;
+    let lo = tech.vt + 1e-3;
+    let hi = tech.vdd_max;
+    let objective = |v: f64| match tech.gate_delay(v) {
+        Ok(d) => f64::from(base.depth) * variant.depth_factor * d - target,
+        Err(_) => f64::NAN,
+    };
+    let vdd = bracket_and_bisect(objective, lo, hi, 512, 80, Scan::FromHigh).ok_or(
+        EnergyError::NoSolution {
+            target: "iso-delay supply",
+            vdd_lo: lo,
+            vdd_hi: hi,
+        },
+    )?;
+    let scaled = variant_energy(tech, vdd, base, sw0, variant)?;
+    Ok(ScalingOutcome { vdd, baseline, scaled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Technology, BaselineCircuit, f64) {
+        let base = BaselineCircuit { size: 1000, depth: 20 };
+        let sw0 = 0.3;
+        let tech = Technology::bulk_90nm().with_leak_share(0.5, base.size, base.depth, sw0).unwrap();
+        (tech, base, sw0)
+    }
+
+    fn variant() -> FaultTolerantVariant {
+        FaultTolerantVariant {
+            size_factor: 1.4,
+            activity_factor: 1.1,
+            idle_factor: 0.96,
+            depth_factor: 1.25,
+        }
+    }
+
+    #[test]
+    fn identity_variant_is_a_fixed_point() {
+        let (tech, base, sw0) = setup();
+        let out = at_nominal(&tech, base, sw0, &FaultTolerantVariant::identity()).unwrap();
+        assert!((out.energy_factor() - 1.0).abs() < 1e-12);
+        assert!((out.delay_factor() - 1.0).abs() < 1e-12);
+        let iso = iso_energy_vdd(&tech, base, sw0, &FaultTolerantVariant::identity()).unwrap();
+        assert!((iso.vdd - tech.vdd).abs() < 0.02, "vdd {}", iso.vdd);
+    }
+
+    #[test]
+    fn iso_energy_trades_delay_for_energy() {
+        // With the paper's 50% leakage share, voltage scaling cannot hide
+        // a 1.4× size overhead (the leakage-per-cycle floor rises as the
+        // circuit slows) — use a low-leakage corner where it can.
+        let (_, base, sw0) = setup();
+        let tech = Technology::bulk_90nm().with_leak_share(0.05, base.size, base.depth, sw0).unwrap();
+        let out = iso_energy_vdd(&tech, base, sw0, &variant()).unwrap();
+        assert!((out.energy_factor() - 1.0).abs() < 1e-6);
+        assert!(out.vdd < tech.vdd);
+        // Latency penalty exceeds the bare depth factor.
+        assert!(out.delay_factor() > variant().depth_factor);
+    }
+
+    #[test]
+    fn iso_delay_trades_energy_for_delay() {
+        let (tech, base, sw0) = setup();
+        let out = iso_delay_vdd(&tech, base, sw0, &variant()).unwrap();
+        assert!((out.delay_factor() - 1.0).abs() < 1e-6);
+        assert!(out.vdd > tech.vdd);
+        // Energy penalty exceeds the nominal-voltage overhead.
+        let nominal = at_nominal(&tech, base, sw0, &variant()).unwrap();
+        assert!(out.energy_factor() > nominal.energy_factor());
+    }
+
+    #[test]
+    fn impossible_targets_report_no_solution() {
+        let (tech, base, sw0) = setup();
+        // A 50× size factor cannot be hidden inside (VT, vdd_max].
+        let huge = FaultTolerantVariant { size_factor: 50.0, ..variant() };
+        assert!(matches!(
+            iso_energy_vdd(&tech, base, sw0, &huge),
+            Err(EnergyError::NoSolution { .. })
+        ));
+        // A 100× depth factor cannot be recovered below vdd_max.
+        let deep = FaultTolerantVariant { depth_factor: 100.0, ..variant() };
+        assert!(matches!(
+            iso_delay_vdd(&tech, base, sw0, &deep),
+            Err(EnergyError::NoSolution { .. })
+        ));
+    }
+
+    #[test]
+    fn from_bounds_round_trips_profile_factors() {
+        let profile = CircuitProfile {
+            name: "p".into(),
+            inputs: 10,
+            outputs: 1,
+            size: 21,
+            depth: 6,
+            sensitivity: 10.0,
+            activity: 0.4,
+            fanin: 3.0,
+            leak_share: 0.5,
+        };
+        let report = BoundReport::evaluate(&profile, 0.05, 0.01).unwrap();
+        let v = FaultTolerantVariant::from_bounds(&profile, &report).unwrap();
+        assert!((v.size_factor - report.size_factor).abs() < 1e-12);
+        assert!(v.activity_factor > 1.0); // sw0 < ½ rises under noise
+        assert!(v.idle_factor < 1.0);
+        assert_eq!(v.depth_factor, report.delay_factor.unwrap());
+        // Beyond the threshold there is nothing to scale.
+        let far = BoundReport::evaluate(&profile, 0.3, 0.01).unwrap();
+        assert!(FaultTolerantVariant::from_bounds(&profile, &far).is_none());
+    }
+
+    #[test]
+    fn display_summarizes_factors() {
+        let (tech, base, sw0) = setup();
+        let out = at_nominal(&tech, base, sw0, &variant()).unwrap();
+        let s = out.to_string();
+        assert!(s.contains("Vdd=") && s.contains("energy") && s.contains("EDP"));
+    }
+}

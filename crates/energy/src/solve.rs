@@ -1,0 +1,117 @@
+//! Scalar root bracketing and bisection for the Vdd solvers.
+
+/// Which end of the interval the bracket scan starts from — equivalently
+/// which root of a multi-root function is returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Scan {
+    /// Return the root closest to `lo`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    FromLow,
+    /// Return the root closest to `hi`.
+    FromHigh,
+}
+
+/// Finds `x` in `[lo, hi]` with `f(x) ≈ 0` by scanning for a sign change
+/// and bisecting it.
+///
+/// `f` need not be monotone — the first bracketing sub-interval of the
+/// `scan`-point grid *in scan order* is used, so [`Scan::FromHigh`]
+/// returns the largest root on the grid. Returns `None` when no sign
+/// change exists on the grid.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`, `scan < 2` or `iters == 0`.
+pub(crate) fn bracket_and_bisect<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    scan: usize,
+    iters: u32,
+    direction: Scan,
+) -> Option<f64> {
+    assert!(lo < hi, "empty interval [{lo}, {hi}]");
+    assert!(scan >= 2 && iters > 0);
+    let step = (hi - lo) / (scan - 1) as f64;
+    let grid = |i: usize| match direction {
+        Scan::FromLow => lo + step * i as f64,
+        Scan::FromHigh => hi - step * i as f64,
+    };
+    let mut x_prev = grid(0);
+    let mut y_prev = f(x_prev);
+    if y_prev == 0.0 {
+        return Some(x_prev);
+    }
+    for i in 1..scan {
+        let x = grid(i);
+        let y = f(x);
+        if y == 0.0 {
+            return Some(x);
+        }
+        if y_prev.is_finite() && y.is_finite() && y_prev.signum() != y.signum() {
+            let (a, b) = if x_prev < x { (x_prev, x) } else { (x, x_prev) };
+            return Some(bisect(&f, a, b, iters));
+        }
+        x_prev = x;
+        y_prev = y;
+    }
+    None
+}
+
+/// Plain bisection on a bracketing interval.
+fn bisect<F: Fn(f64) -> f64>(f: &F, mut lo: f64, mut hi: f64, iters: u32) -> f64 {
+    let mut y_lo = f(lo);
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let y_mid = f(mid);
+        if y_mid == 0.0 {
+            return mid;
+        }
+        if y_lo.signum() == y_mid.signum() {
+            lo = mid;
+            y_lo = y_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_root() {
+        let root = bracket_and_bisect(|x| x * x - 2.0, 0.0, 2.0, 16, 60, Scan::FromLow).unwrap();
+        assert!((root - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_direction_selects_the_root() {
+        // f = (x-1)(x-3): roots at 1 and 3.
+        let f = |x: f64| (x - 1.0) * (x - 3.0);
+        let low = bracket_and_bisect(f, 0.0, 4.0, 64, 60, Scan::FromLow).unwrap();
+        assert!((low - 1.0).abs() < 1e-12);
+        let high = bracket_and_bisect(f, 0.0, 4.0, 64, 60, Scan::FromHigh).unwrap();
+        assert!((high - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_without_sign_change() {
+        assert_eq!(bracket_and_bisect(|x| x * x + 1.0, -2.0, 2.0, 32, 40, Scan::FromLow), None);
+        assert_eq!(bracket_and_bisect(|x| x * x + 1.0, -2.0, 2.0, 32, 40, Scan::FromHigh), None);
+    }
+
+    #[test]
+    fn exact_grid_hit_returned() {
+        let root = bracket_and_bisect(|x| x, -1.0, 1.0, 3, 40, Scan::FromLow).unwrap();
+        assert_eq!(root, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn rejects_empty_interval() {
+        let _ = bracket_and_bisect(|x| x, 1.0, 1.0, 8, 8, Scan::FromLow);
+    }
+}

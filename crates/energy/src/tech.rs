@@ -1,0 +1,281 @@
+//! Technology parameters and the α-power-law delay model.
+//!
+//! The paper's Section 5 analysis rests on two device-level models:
+//!
+//! - switching energy `E = ½·C·Vdd²·sw` per gate and cycle;
+//! - the α-power delay law `D ∝ Vdd/(Vdd-VT)^α` (Chen-Hu '98), with
+//!   `α ≈ 1.3` for velocity-saturated deep-submicron devices.
+//!
+//! [`Technology`] bundles the constants; the presets are representative
+//! bulk-CMOS corners for the nodes the paper targets (90 nm "and
+//! beyond"). Absolute values matter only for the absolute-energy
+//! examples — every reproduced figure is a *normalized* ratio, which the
+//! constants cancel out of.
+
+use std::fmt;
+
+use crate::error::EnergyError;
+
+/// A set of device/technology constants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Technology {
+    /// Technology label, e.g. `"bulk-90nm"`.
+    pub name: &'static str,
+    /// Nominal supply voltage, volts.
+    pub vdd: f64,
+    /// Threshold voltage, volts.
+    pub vt: f64,
+    /// α-power-law exponent (1 < α ≤ 2; ~2 for long channel, ~1.3 for
+    /// velocity-saturated short channel).
+    pub alpha: f64,
+    /// Average switched capacitance per gate, farads.
+    pub gate_capacitance: f64,
+    /// Leakage current per idle gate at nominal supply, amperes.
+    pub leak_current: f64,
+    /// Delay coefficient: gate delay = `delay_coefficient · Vdd/(Vdd-VT)^α`
+    /// seconds (at `Vdd` volts).
+    pub delay_coefficient: f64,
+    /// Largest supply the process tolerates (solver search ceiling).
+    pub vdd_max: f64,
+}
+
+impl Technology {
+    /// Representative 90 nm bulk-CMOS corner — the node the paper calls
+    /// out ("0.09um and beyond") where leakage reaches parity with
+    /// switching energy.
+    #[must_use]
+    pub fn bulk_90nm() -> Self {
+        Technology {
+            name: "bulk-90nm",
+            vdd: 1.2,
+            vt: 0.35,
+            alpha: 1.3,
+            gate_capacitance: 2.0e-15,
+            leak_current: 2.0e-7,
+            delay_coefficient: 2.0e-11,
+            vdd_max: 1.8,
+        }
+    }
+
+    /// Representative 65 nm bulk-CMOS corner.
+    #[must_use]
+    pub fn bulk_65nm() -> Self {
+        Technology {
+            name: "bulk-65nm",
+            vdd: 1.1,
+            vt: 0.32,
+            alpha: 1.3,
+            gate_capacitance: 1.4e-15,
+            leak_current: 4.0e-7,
+            delay_coefficient: 1.4e-11,
+            vdd_max: 1.6,
+        }
+    }
+
+    /// Representative 45 nm bulk-CMOS corner.
+    #[must_use]
+    pub fn bulk_45nm() -> Self {
+        Technology {
+            name: "bulk-45nm",
+            vdd: 1.0,
+            vt: 0.30,
+            alpha: 1.3,
+            gate_capacitance: 1.0e-15,
+            leak_current: 8.0e-7,
+            delay_coefficient: 1.0e-11,
+            vdd_max: 1.4,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::BadParameter`] for non-positive constants,
+    /// `vt ≥ vdd`, `vdd > vdd_max` or `α ∉ (1, 2]`.
+    pub fn validate(&self) -> Result<(), EnergyError> {
+        if self.vdd.is_nan() || self.vdd <= 0.0 {
+            return Err(EnergyError::bad("vdd", self.vdd, "must be positive"));
+        }
+        if !(self.vt > 0.0 && self.vt < self.vdd) {
+            return Err(EnergyError::bad("vt", self.vt, "must lie in (0, vdd)"));
+        }
+        if !(self.alpha > 1.0 && self.alpha <= 2.0) {
+            return Err(EnergyError::bad("alpha", self.alpha, "must lie in (1, 2]"));
+        }
+        if self.gate_capacitance.is_nan() || self.gate_capacitance <= 0.0 {
+            return Err(EnergyError::bad(
+                "gate_capacitance",
+                self.gate_capacitance,
+                "must be positive",
+            ));
+        }
+        if self.leak_current.is_nan() || self.leak_current < 0.0 {
+            return Err(EnergyError::bad("leak_current", self.leak_current, "must be non-negative"));
+        }
+        if self.delay_coefficient.is_nan() || self.delay_coefficient <= 0.0 {
+            return Err(EnergyError::bad(
+                "delay_coefficient",
+                self.delay_coefficient,
+                "must be positive",
+            ));
+        }
+        if self.vdd_max.is_nan() || self.vdd_max < self.vdd {
+            return Err(EnergyError::bad("vdd_max", self.vdd_max, "must be at least vdd"));
+        }
+        Ok(())
+    }
+
+    /// Gate delay at supply `vdd` by the α-power law, seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::BadParameter`] unless `vt < vdd ≤ vdd_max`.
+    pub fn gate_delay(&self, vdd: f64) -> Result<f64, EnergyError> {
+        if vdd.is_nan() || vdd <= self.vt {
+            return Err(EnergyError::bad("vdd", vdd, "must exceed the threshold voltage"));
+        }
+        if vdd > self.vdd_max {
+            return Err(EnergyError::bad("vdd", vdd, "exceeds the technology's vdd_max"));
+        }
+        Ok(self.delay_coefficient * vdd / (vdd - self.vt).powf(self.alpha))
+    }
+
+    /// Gate delay at the nominal supply, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a validated technology (nominal `vdd` is always
+    /// in range).
+    #[must_use]
+    pub fn nominal_gate_delay(&self) -> f64 {
+        self.gate_delay(self.vdd).expect("nominal vdd is in range")
+    }
+
+    /// Returns a copy with the leakage current recalibrated so that a
+    /// circuit of the given size, depth and average activity spends
+    /// exactly `share` of its per-cycle energy on leakage at nominal
+    /// supply — the paper's "50% of total energy is leakage" setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::BadParameter`] unless `0 ≤ share < 1`,
+    /// `0 < sw0 < 1`, `size ≥ 1` and `depth ≥ 1`.
+    pub fn with_leak_share(
+        &self,
+        share: f64,
+        size: usize,
+        depth: u32,
+        sw0: f64,
+    ) -> Result<Technology, EnergyError> {
+        if !(0.0..1.0).contains(&share) {
+            return Err(EnergyError::bad("share", share, "must lie in [0, 1)"));
+        }
+        if !(sw0 > 0.0 && sw0 < 1.0) {
+            return Err(EnergyError::bad("sw0", sw0, "must lie in (0, 1)"));
+        }
+        if size == 0 {
+            return Err(EnergyError::bad("size", 0.0, "must be at least 1"));
+        }
+        if depth == 0 {
+            return Err(EnergyError::bad("depth", 0.0, "must be at least 1"));
+        }
+        // E_sw = ½·C·Vdd²·sw0·S and E_L = (1-sw0)·S·I·Vdd·(depth·gate_delay):
+        // share = E_L/(E_sw + E_L)  ⇒  I = share/(1-share) · E_sw / ((1-sw0)·S·Vdd·T).
+        let e_sw = 0.5 * self.gate_capacitance * self.vdd * self.vdd * sw0 * size as f64;
+        let cycle = f64::from(depth) * self.nominal_gate_delay();
+        let denom = (1.0 - sw0) * size as f64 * self.vdd * cycle;
+        let leak_current = share / (1.0 - share) * e_sw / denom;
+        Ok(Technology { leak_current, ..self.clone() })
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: Vdd={:.2}V VT={:.2}V alpha={:.2} C={:.2e}F Ileak={:.2e}A",
+            self.name, self.vdd, self.vt, self.alpha, self.gate_capacitance, self.leak_current
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for t in [Technology::bulk_90nm(), Technology::bulk_65nm(), Technology::bulk_45nm()] {
+            t.validate().unwrap();
+            let d = t.nominal_gate_delay();
+            // Gate delays land in the 10-100 ps range.
+            assert!(d > 1e-12 && d < 1e-10, "{}: {d}", t.name);
+        }
+    }
+
+    #[test]
+    fn delay_decreases_with_supply() {
+        let t = Technology::bulk_90nm();
+        let slow = t.gate_delay(0.8).unwrap();
+        let nominal = t.gate_delay(1.2).unwrap();
+        let fast = t.gate_delay(1.6).unwrap();
+        assert!(slow > nominal && nominal > fast);
+    }
+
+    #[test]
+    fn delay_diverges_toward_threshold() {
+        let t = Technology::bulk_90nm();
+        let near = t.gate_delay(t.vt + 0.01).unwrap();
+        assert!(near > 20.0 * t.nominal_gate_delay());
+        assert!(t.gate_delay(t.vt).is_err());
+        assert!(t.gate_delay(t.vdd_max + 0.1).is_err());
+    }
+
+    #[test]
+    fn leak_share_calibration_hits_target() {
+        let t = Technology::bulk_90nm().with_leak_share(0.5, 100, 10, 0.4).unwrap();
+        let e_sw = 0.5 * t.gate_capacitance * t.vdd * t.vdd * 0.4 * 100.0;
+        let e_l =
+            0.6 * 100.0 * t.leak_current * t.vdd * 10.0 * t.nominal_gate_delay();
+        let share = e_l / (e_sw + e_l);
+        assert!((share - 0.5).abs() < 1e-12, "share {share}");
+    }
+
+    #[test]
+    fn leak_share_zero_means_no_leakage() {
+        let t = Technology::bulk_90nm().with_leak_share(0.0, 100, 10, 0.4).unwrap();
+        assert_eq!(t.leak_current, 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_broken_parameters() {
+        let mut t = Technology::bulk_90nm();
+        t.vt = 1.5;
+        assert!(t.validate().is_err());
+        let mut t = Technology::bulk_90nm();
+        t.alpha = 0.9;
+        assert!(t.validate().is_err());
+        let mut t = Technology::bulk_90nm();
+        t.vdd_max = 1.0;
+        assert!(t.validate().is_err());
+        let mut t = Technology::bulk_90nm();
+        t.gate_capacitance = 0.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn calibration_validates() {
+        let t = Technology::bulk_90nm();
+        assert!(t.with_leak_share(1.0, 10, 2, 0.5).is_err());
+        assert!(t.with_leak_share(0.5, 0, 2, 0.5).is_err());
+        assert!(t.with_leak_share(0.5, 10, 0, 0.5).is_err());
+        assert!(t.with_leak_share(0.5, 10, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn display_names_technology() {
+        let s = Technology::bulk_65nm().to_string();
+        assert!(s.contains("bulk-65nm") && s.contains("1.10"));
+    }
+}

@@ -1,0 +1,86 @@
+//! A unifying error type over every substrate the experiments touch.
+
+use std::error::Error;
+use std::fmt;
+
+use nanobound_core::BoundError;
+use nanobound_gen::GenError;
+use nanobound_logic::LogicError;
+use nanobound_redundancy::RedundancyError;
+use nanobound_report::RowLengthError;
+use nanobound_sim::SimError;
+
+/// Errors surfaced by the experiment pipelines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// Netlist construction or transformation failed.
+    Logic(LogicError),
+    /// Circuit generation failed.
+    Gen(GenError),
+    /// Simulation or analysis failed.
+    Sim(SimError),
+    /// A bound was evaluated outside its admissible parameters.
+    Bound(BoundError),
+    /// A redundancy construction failed.
+    Redundancy(RedundancyError),
+    /// A report table was assembled inconsistently.
+    Report(RowLengthError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Logic(e) => write!(f, "netlist error: {e}"),
+            ExperimentError::Gen(e) => write!(f, "generator error: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExperimentError::Bound(e) => write!(f, "bound error: {e}"),
+            ExperimentError::Redundancy(e) => write!(f, "redundancy error: {e}"),
+            ExperimentError::Report(e) => write!(f, "report error: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Logic(e) => Some(e),
+            ExperimentError::Gen(e) => Some(e),
+            ExperimentError::Sim(e) => Some(e),
+            ExperimentError::Bound(e) => Some(e),
+            ExperimentError::Redundancy(e) => Some(e),
+            ExperimentError::Report(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for ExperimentError {
+            fn from(e: $ty) -> Self {
+                ExperimentError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(Logic, LogicError);
+from_impl!(Gen, GenError);
+from_impl!(Sim, SimError);
+from_impl!(Bound, BoundError);
+from_impl!(Redundancy, RedundancyError);
+from_impl!(Report, RowLengthError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_substrate() {
+        let e: ExperimentError = LogicError::NoOutputs.into();
+        assert!(e.to_string().contains("netlist"));
+        assert!(Error::source(&e).is_some());
+        let e: ExperimentError = RowLengthError { expected: 2, got: 1 }.into();
+        assert!(e.to_string().contains("report"));
+    }
+}

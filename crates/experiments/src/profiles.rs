@@ -1,0 +1,229 @@
+//! The measurement pipeline: benchmark → synthesis-lite → simulation →
+//! [`CircuitProfile`].
+//!
+//! This is the workspace's stand-in for the paper's experimental flow
+//! ("optimized in the SIS environment using script.rugged … mapped using
+//! a generic library with a maximum fanin of three … average switching
+//! activity obtained considering randomly generated inputs"):
+//!
+//! 1. [`nanobound_logic::transform::prepare`] optimizes and maps the
+//!    netlist to the fanin budget;
+//! 2. [`nanobound_sim::estimate_activity`] measures per-gate switching
+//!    activity under random vectors;
+//! 3. sensitivity comes from the generator's analytic hint when one
+//!    exists, exact enumeration for ≤ 20 inputs, or sampling.
+
+use nanobound_core::CircuitProfile;
+use nanobound_gen::{standard_suite, Benchmark};
+use nanobound_logic::{transform, CircuitStats, Netlist};
+use nanobound_sim::{estimate_activity, sensitivity};
+
+use crate::error::ExperimentError;
+
+/// Where a profile's sensitivity value came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SensitivitySource {
+    /// Analytic value supplied by the generator.
+    Hint,
+    /// Exhaustively verified by the simulator.
+    Exact,
+    /// Maximum over random samples — a lower bound.
+    Sampled {
+        /// Number of base assignments sampled.
+        samples: usize,
+    },
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileConfig {
+    /// Library fanin budget (the paper uses 3).
+    pub max_fanin: usize,
+    /// Random vectors for activity estimation.
+    pub patterns: usize,
+    /// Base assignments for sampled sensitivity (wide circuits without
+    /// an analytic hint).
+    pub sensitivity_samples: usize,
+    /// Leakage share of the error-free energy budget (the paper assumes
+    /// 0.5 for sub-90nm nodes).
+    pub leak_share: f64,
+    /// Seed for activity patterns and sensitivity sampling.
+    pub seed: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            max_fanin: 3,
+            patterns: 10_000,
+            sensitivity_samples: 512,
+            leak_share: 0.5,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// A benchmark taken through the full measurement pipeline.
+#[derive(Clone, Debug)]
+pub struct ProfiledBenchmark {
+    /// The benchmark name.
+    pub name: String,
+    /// The optimized, fanin-mapped netlist the statistics describe.
+    pub mapped: Netlist,
+    /// The parameters feeding the bounds.
+    pub profile: CircuitProfile,
+    /// Provenance of `profile.sensitivity`.
+    pub sensitivity_source: SensitivitySource,
+}
+
+/// Profiles one netlist (generic entry point).
+///
+/// `sensitivity_hint` short-circuits measurement when the analytic value
+/// is known.
+///
+/// # Errors
+///
+/// Propagates failures from the transforms and the simulator; for
+/// netlists produced by `nanobound-gen` with valid parameters this does
+/// not occur.
+pub fn profile_netlist(
+    netlist: &Netlist,
+    sensitivity_hint: Option<u32>,
+    config: &ProfileConfig,
+) -> Result<ProfiledBenchmark, ExperimentError> {
+    let mapped = transform::prepare(netlist, config.max_fanin)?;
+    let stats = CircuitStats::of(&mapped);
+    let activity = estimate_activity(&mapped, config.patterns, config.seed)?;
+    let (sensitivity, source) = match sensitivity_hint {
+        Some(s) => (f64::from(s), SensitivitySource::Hint),
+        None => {
+            let est =
+                sensitivity::estimate(&mapped, config.sensitivity_samples, config.seed)?;
+            let source = if est.is_exact() {
+                SensitivitySource::Exact
+            } else {
+                SensitivitySource::Sampled { samples: config.sensitivity_samples }
+            };
+            (f64::from(est.value()), source)
+        }
+    };
+    let profile = CircuitProfile {
+        name: netlist.name().to_owned(),
+        inputs: stats.num_inputs,
+        outputs: stats.num_outputs,
+        size: stats.num_gates,
+        depth: stats.depth,
+        sensitivity,
+        // Clamp into the open interval the bounds require; a measured 0
+        // or 1 only occurs for degenerate circuits.
+        activity: activity.avg_gate_activity.clamp(1e-6, 1.0 - 1e-6),
+        fanin: (stats.max_fanin.max(2)) as f64,
+        leak_share: config.leak_share,
+    };
+    Ok(ProfiledBenchmark {
+        name: netlist.name().to_owned(),
+        mapped,
+        profile,
+        sensitivity_source: source,
+    })
+}
+
+/// Profiles a [`Benchmark`] (uses its sensitivity hint when present).
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+pub fn profile_benchmark(
+    benchmark: &Benchmark,
+    config: &ProfileConfig,
+) -> Result<ProfiledBenchmark, ExperimentError> {
+    profile_netlist(&benchmark.netlist, benchmark.sensitivity_hint, config)
+}
+
+/// Profiles the paper's whole Section-6 suite.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let profiles = profile_suite(&ProfileConfig::default())?;
+/// for p in &profiles {
+///     println!("{}", p.profile);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn profile_suite(config: &ProfileConfig) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
+    standard_suite()?.iter().map(|b| profile_benchmark(b, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobound_gen::{iscas, parity};
+
+    fn quick() -> ProfileConfig {
+        ProfileConfig { patterns: 2_000, sensitivity_samples: 128, ..Default::default() }
+    }
+
+    #[test]
+    fn parity_profile_matches_theory() {
+        let tree = parity::parity_tree(10, 3).unwrap();
+        let p = profile_netlist(&tree, None, &quick()).unwrap();
+        assert_eq!(p.profile.inputs, 10);
+        assert_eq!(p.profile.sensitivity, 10.0);
+        assert_eq!(p.sensitivity_source, SensitivitySource::Exact);
+        // XOR trees of balanced inputs switch near 0.5.
+        assert!((p.profile.activity - 0.5).abs() < 0.05, "sw0 {}", p.profile.activity);
+        assert!(p.profile.fanin <= 3.0);
+        p.profile.validate().unwrap();
+    }
+
+    #[test]
+    fn hint_bypasses_measurement() {
+        let tree = parity::parity_tree(10, 3).unwrap();
+        let p = profile_netlist(&tree, Some(10), &quick()).unwrap();
+        assert_eq!(p.sensitivity_source, SensitivitySource::Hint);
+        assert_eq!(p.profile.sensitivity, 10.0);
+    }
+
+    #[test]
+    fn wide_circuit_gets_sampled_sensitivity() {
+        let c432 = iscas::c432_analog().unwrap(); // 40 inputs
+        let p = profile_netlist(&c432, None, &quick()).unwrap();
+        assert!(matches!(p.sensitivity_source, SensitivitySource::Sampled { samples: 128 }));
+        assert!(p.profile.sensitivity >= 1.0);
+        assert!(p.profile.sensitivity <= 40.0);
+    }
+
+    #[test]
+    fn control_logic_has_low_activity() {
+        let c432 = iscas::c432_analog().unwrap();
+        let p = profile_netlist(&c432, None, &quick()).unwrap();
+        // Priority/inhibition chains idle most of the time.
+        assert!(p.profile.activity < 0.4, "sw0 {}", p.profile.activity);
+    }
+
+    #[test]
+    fn mapping_respects_fanin_budget() {
+        let c6288 = iscas::c6288_analog().unwrap();
+        let p = profile_netlist(&c6288, Some(32), &quick()).unwrap();
+        let stats = CircuitStats::of(&p.mapped);
+        assert!(stats.max_fanin <= 3);
+        assert!(p.profile.size > 500, "multiplier should be large, got {}", p.profile.size);
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let tree = parity::parity_tree(8, 2).unwrap();
+        let a = profile_netlist(&tree, None, &quick()).unwrap();
+        let b = profile_netlist(&tree, None, &quick()).unwrap();
+        assert_eq!(a.profile, b.profile);
+    }
+}

@@ -1,0 +1,224 @@
+//! Validation experiments beyond the paper's figures.
+//!
+//! The paper is purely analytical; these experiments close the loop
+//! against the executable substrate:
+//!
+//! - **V1** — Monte-Carlo validation of Theorem 1, at device level
+//!   (exact match expected) and at circuit level (where the theorem is
+//!   an approximation the paper knowingly makes: error accumulation
+//!   over depth pushes the measured activity beyond the one-channel
+//!   prediction);
+//! - **V2** — constructive redundancy (NMR, von Neumann multiplexing)
+//!   placed against the Theorem-2 lower bound: real schemes must sit
+//!   above the bound curve, and their measured output error δ̂ shows by
+//!   how much.
+
+use nanobound_core::size::strict_size_factor;
+use nanobound_core::switching::noisy_activity;
+use nanobound_gen::{alu, parity, priority};
+use nanobound_logic::Netlist;
+use nanobound_redundancy::{multiplex, nmr, MultiplexConfig};
+use nanobound_report::{Cell, Table};
+use nanobound_sim::{monte_carlo, NoisyConfig};
+
+use crate::error::ExperimentError;
+use crate::figure::FigureOutput;
+
+/// Patterns per Monte-Carlo run.
+const PATTERNS: usize = 100_000;
+
+/// V1: Theorem-1 validation table.
+///
+/// # Errors
+///
+/// Propagates generator/simulation failures (not expected with the
+/// fixed parameters used here).
+pub fn theorem1_validation() -> Result<FigureOutput, ExperimentError> {
+    let mut table = Table::new(
+        "V1 — Theorem 1: measured vs predicted noisy switching activity",
+        ["circuit", "depth", "epsilon", "sw_clean", "sw_measured", "sw_thm1", "deviation"],
+    );
+    let circuits: Vec<(&str, Netlist)> = vec![
+        ("and4 (single gate)", single_and(4)),
+        ("parity8 tree", parity::parity_tree(8, 2)?),
+        ("alu4", alu::alu(4)?),
+        ("prio8", priority::priority_encoder(8)?),
+    ];
+    for (name, nl) in &circuits {
+        let depth = nanobound_logic::topo::depth(nl);
+        for &eps in &[0.01, 0.05, 0.2] {
+            let out = monte_carlo(nl, &NoisyConfig::new(eps, 11)?, PATTERNS, 13)?;
+            let predicted = noisy_activity(out.clean_avg_gate_activity, eps);
+            table.push_row([
+                Cell::from(*name),
+                Cell::from(depth as usize),
+                Cell::from(eps),
+                Cell::from(out.clean_avg_gate_activity),
+                Cell::from(out.noisy_avg_gate_activity),
+                Cell::from(predicted),
+                Cell::from(out.noisy_avg_gate_activity - predicted),
+            ])?;
+        }
+    }
+    Ok(FigureOutput {
+        id: "v1",
+        caption: "Theorem 1 holds exactly per device; depth adds accumulation beyond it",
+        tables: vec![table],
+        charts: vec![],
+    })
+}
+
+fn single_and(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("and{width}"));
+    let inputs: Vec<_> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let g = nl.add_gate(nanobound_logic::GateKind::And, &inputs).expect("valid fanins");
+    nl.add_output("y", g).expect("fresh name");
+    nl
+}
+
+/// V2: constructive schemes vs the size lower bound.
+///
+/// For the paper's running example (10-input parity) at several ε, the
+/// table reports the Theorem-2 minimum size factor at the δ̂ *actually
+/// achieved* by each construction, next to the construction's real cost.
+/// Constructions must cost at least the bound — in practice far more.
+///
+/// # Errors
+///
+/// Propagates generator, redundancy and simulation failures.
+pub fn constructive_vs_bound() -> Result<FigureOutput, ExperimentError> {
+    let base = parity::parity_tree(10, 2)?;
+    let s0 = base.gate_count() as f64;
+    let mut table = Table::new(
+        "V2 — constructive redundancy vs Theorem-2 lower bound (10-input parity)",
+        [
+            "scheme",
+            "epsilon",
+            "achieved delta",
+            "size factor (actual)",
+            "size factor (bound at achieved delta)",
+            "slack",
+        ],
+    );
+    for &eps in &[0.001, 0.005] {
+        let config = NoisyConfig::new(eps, 21)?;
+        // Unprotected baseline for reference.
+        let bare = monte_carlo(&base, &config, PATTERNS, 23)?;
+        push_scheme(&mut table, "bare", eps, bare.circuit_error_rate, 1.0, s0)?;
+        for r in [3usize, 5] {
+            let protected = nmr(&base, r)?;
+            let out = monte_carlo(&protected, &config, PATTERNS, 23)?;
+            let actual = protected.gate_count() as f64 / s0;
+            push_scheme(
+                &mut table,
+                match r {
+                    3 => "TMR",
+                    _ => "5MR",
+                },
+                eps,
+                out.circuit_error_rate,
+                actual,
+                s0,
+            )?;
+        }
+        let mux = multiplex(&base, &MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 31 })?;
+        let out = monte_carlo(&mux, &config, PATTERNS, 23)?;
+        let actual = mux.gate_count() as f64 / s0;
+        push_scheme(&mut table, "mux n=9", eps, out.circuit_error_rate, actual, s0)?;
+    }
+    Ok(FigureOutput {
+        id: "v2",
+        caption: "real redundancy schemes sit (far) above the complexity-theoretic bound",
+        tables: vec![table],
+        charts: vec![],
+    })
+}
+
+fn push_scheme(
+    table: &mut Table,
+    scheme: &str,
+    eps: f64,
+    achieved_delta: f64,
+    actual_factor: f64,
+    s0: f64,
+) -> Result<(), ExperimentError> {
+    // The bound needs δ < ½; an (almost) never-failing construction at
+    // these ε gets clamped into range. The strict total-size reading of
+    // Theorem 2 is the one real constructions must obey (see
+    // `nanobound_core::size` module docs).
+    let delta = achieved_delta.clamp(1e-9, 0.499);
+    let bound = strict_size_factor(s0, 10.0, 2.0, eps, delta)?;
+    table.push_row([
+        Cell::from(scheme),
+        Cell::from(eps),
+        Cell::from(achieved_delta),
+        Cell::from(actual_factor),
+        Cell::from(bound),
+        Cell::from(actual_factor - bound),
+    ])?;
+    Ok(())
+}
+
+/// Runs both validation experiments.
+///
+/// # Errors
+///
+/// Propagates the underlying experiment failures.
+pub fn generate() -> Result<Vec<FigureOutput>, ExperimentError> {
+    Ok(vec![theorem1_validation()?, constructive_vs_bound()?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(cell: &Cell) -> f64 {
+        match cell {
+            Cell::Number(x) => *x,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_level_rows_match_theorem_tightly() {
+        let fig = theorem1_validation().unwrap();
+        // The first three rows are the single-gate circuit: deviation
+        // within Monte-Carlo noise.
+        for row in &fig.tables[0].rows()[..3] {
+            let deviation = num(&row[6]);
+            assert!(deviation.abs() < 0.01, "device-level deviation {deviation}");
+        }
+    }
+
+    #[test]
+    fn circuit_level_deviation_is_positive() {
+        // Error accumulation over depth can only push activity toward
+        // randomness beyond the single-channel prediction.
+        let fig = theorem1_validation().unwrap();
+        for row in &fig.tables[0].rows()[3..] {
+            let deviation = num(&row[6]);
+            assert!(deviation > -0.01, "accumulation went negative: {row:?}");
+        }
+    }
+
+    #[test]
+    fn constructions_respect_the_lower_bound() {
+        let fig = constructive_vs_bound().unwrap();
+        for row in fig.tables[0].rows() {
+            let slack = num(&row[5]);
+            assert!(slack >= -1e-9, "construction beat the bound: {row:?}");
+        }
+    }
+
+    #[test]
+    fn protection_improves_delta_over_bare() {
+        let fig = constructive_vs_bound().unwrap();
+        let rows = fig.tables[0].rows();
+        // Rows come in groups of 4 per ε: bare, TMR, 5MR, mux.
+        for group in rows.chunks(4) {
+            let bare = num(&group[0][2]);
+            let tmr = num(&group[1][2]);
+            assert!(tmr < bare, "TMR {tmr} not below bare {bare}");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Adders and population counters.
+//!
+//! Ripple-carry adders are one of the two computer-arithmetic circuit
+//! families the paper evaluates explicitly (Section 6). The carry-lookahead
+//! variant computes the same function with a shallower, wider structure and
+//! serves as an ablation point for the depth-related bounds. [`popcount`]
+//! is the building block of the exact majority voters in
+//! `nanobound-redundancy`.
+//!
+//! The sensitivity of `width`-bit addition (with carry-in) is `2·width + 1`:
+//! from any state, flipping any single input bit changes the numeric value
+//! of `a + b + cin`, hence at least one output bit.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// Builds a full adder over existing nodes; returns `(sum, carry)`.
+pub(crate) fn full_adder(
+    nl: &mut Netlist,
+    a: NodeId,
+    b: NodeId,
+    cin: NodeId,
+) -> Result<(NodeId, NodeId), GenError> {
+    let sum = nl.add_gate(GateKind::Xor, &[a, b, cin])?;
+    let cout = nl.add_gate(GateKind::Maj, &[a, b, cin])?;
+    Ok((sum, cout))
+}
+
+/// Builds a half adder; returns `(sum, carry)`.
+pub(crate) fn half_adder(
+    nl: &mut Netlist,
+    a: NodeId,
+    b: NodeId,
+) -> Result<(NodeId, NodeId), GenError> {
+    let sum = nl.add_gate(GateKind::Xor, &[a, b])?;
+    let carry = nl.add_gate(GateKind::And, &[a, b])?;
+    Ok((sum, carry))
+}
+
+/// A `width`-bit ripple-carry adder.
+///
+/// Inputs (in order): `a0..a{w-1}`, `b0..b{w-1}`, `cin`. Outputs:
+/// `s0..s{w-1}`, `cout`.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let rca = nanobound_gen::adder::ripple_carry(4)?;
+/// // 3 + 5 = 8: a = 0b0011, b = 0b0101, cin = 0.
+/// let mut inputs = vec![true, true, false, false]; // a, LSB first
+/// inputs.extend([true, false, true, false]);       // b
+/// inputs.push(false);                              // cin
+/// let out = rca.evaluate(&inputs).unwrap();
+/// assert_eq!(out, vec![false, false, false, true, false]); // 8, no carry
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn ripple_carry(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let mut nl = Netlist::new(format!("rca{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut carry = nl.add_input("cin");
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut nl, a[i], b[i], carry)?;
+        sums.push(s);
+        carry = c;
+    }
+    for (i, s) in sums.iter().enumerate() {
+        nl.add_output(format!("s{i}"), *s)?;
+    }
+    nl.add_output("cout", carry)?;
+    Ok(nl)
+}
+
+/// A `width`-bit carry-lookahead adder with 4-bit lookahead groups.
+///
+/// Same interface and function as [`ripple_carry`]: inputs `a`, `b`, `cin`;
+/// outputs `s0..s{w-1}`, `cout`. Within each group the carries are computed
+/// from generate/propagate terms in two logic levels; groups are chained.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+pub fn carry_lookahead(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let mut nl = Netlist::new(format!("cla{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+
+    // Bit-level generate and propagate.
+    let g: Vec<NodeId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::And, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+    let p: Vec<NodeId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::Xor, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+
+    let mut sums = Vec::with_capacity(width);
+    let mut group_cin = cin;
+    for group in (0..width).step_by(4) {
+        let hi = (group + 4).min(width);
+        // carries[j] is the carry into bit `group + j`.
+        let mut carries = vec![group_cin];
+        for j in group..hi {
+            // c_{j+1} = g_j | p_j & g_{j-1} | ... | p_j..p_{group} & group_cin
+            let mut terms: Vec<NodeId> = vec![g[j]];
+            for t in group..j {
+                // p_j & p_{j-1} & ... & p_{t+1} & g_t
+                let mut lits: Vec<NodeId> = (t + 1..=j).map(|x| p[x]).collect();
+                lits.push(g[t]);
+                terms.push(nl.add_gate(GateKind::And, &lits)?);
+            }
+            let mut lits: Vec<NodeId> = (group..=j).map(|x| p[x]).collect();
+            lits.push(group_cin);
+            terms.push(nl.add_gate(GateKind::And, &lits)?);
+            let c_next = if terms.len() == 1 {
+                terms[0]
+            } else {
+                nl.add_gate(GateKind::Or, &terms)?
+            };
+            carries.push(c_next);
+        }
+        for (j, bit) in (group..hi).enumerate() {
+            sums.push(nl.add_gate(GateKind::Xor, &[p[bit], carries[j]])?);
+        }
+        group_cin = *carries.last().expect("group has at least one carry");
+    }
+
+    for (i, s) in sums.iter().enumerate() {
+        nl.add_output(format!("s{i}"), *s)?;
+    }
+    nl.add_output("cout", group_cin)?;
+    Ok(nl)
+}
+
+/// A `width`-bit Kogge-Stone adder: a parallel-prefix carry network of
+/// logarithmic depth.
+///
+/// Same interface and function as [`ripple_carry`]: inputs `a`, `b`,
+/// `cin`; outputs `s0..s{w-1}`, `cout`. The prefix tree combines
+/// generate/propagate pairs with the associative operator
+/// `(g, p) ∘ (g', p') = (g | p·g', p·p')` at stride 1, 2, 4, …, giving
+/// depth `O(log₂ width)` against the ripple adder's `O(width)` — the
+/// structural contrast that exercises the paper's depth bound (Theorem
+/// 4): both adders have the same sensitivity and near-identical `S₀`
+/// per bit, but sit at opposite ends of the depth/size trade-off.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_gen::adder;
+/// use nanobound_logic::CircuitStats;
+///
+/// let ks = adder::kogge_stone(16)?;
+/// let rca = adder::ripple_carry(16)?;
+/// assert!(CircuitStats::of(&ks).depth < CircuitStats::of(&rca).depth);
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn kogge_stone(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let mut nl = Netlist::new(format!("ks{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+
+    // Bit-level generate/propagate; cin enters as a generate-only cell
+    // at prefix position 0, shifting everything by one.
+    let mut g: Vec<NodeId> = Vec::with_capacity(width + 1);
+    let mut p: Vec<NodeId> = Vec::with_capacity(width + 1);
+    let zero = nl.add_const(false);
+    g.push(cin);
+    p.push(zero);
+    let mut half_sum = Vec::with_capacity(width);
+    for i in 0..width {
+        g.push(nl.add_gate(GateKind::And, &[a[i], b[i]])?);
+        let prop = nl.add_gate(GateKind::Xor, &[a[i], b[i]])?;
+        p.push(prop);
+        half_sum.push(prop);
+    }
+
+    // Parallel-prefix sweep: after the pass at stride `d`, cell `i`
+    // holds the (g, p) of the span `[i-2d+1 ..= i]` combined.
+    let mut stride = 1;
+    while stride <= width {
+        let mut next_g = g.clone();
+        let mut next_p = p.clone();
+        for i in stride..=width {
+            let upper_gp_lower = nl.add_gate(GateKind::And, &[p[i], g[i - stride]])?;
+            next_g[i] = nl.add_gate(GateKind::Or, &[g[i], upper_gp_lower])?;
+            next_p[i] = nl.add_gate(GateKind::And, &[p[i], p[i - stride]])?;
+        }
+        g = next_g;
+        p = next_p;
+        stride *= 2;
+    }
+
+    // g[i] is now the carry *into* bit i (g[0] = cin span; g[i] spans
+    // cin plus bits 0..i-1... offset by the cin cell): carry into bit i
+    // is the combined generate of prefix cells 0..=i, i.e. g[i].
+    for (i, &hs) in half_sum.iter().enumerate() {
+        let s = nl.add_gate(GateKind::Xor, &[hs, g[i]])?;
+        nl.add_output(format!("s{i}"), s)?;
+    }
+    nl.add_output("cout", g[width])?;
+    Ok(nl)
+}
+
+/// A population counter: counts the ones among `width` inputs.
+///
+/// Inputs: `x0..x{w-1}`. Outputs: `c0..c{b-1}` (LSB first) where
+/// `b = ceil(log2(width + 1))`.
+///
+/// Built as an accumulating chain of half adders, which keeps the
+/// construction simple and the gate count `O(width · log width)`.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let pc = nanobound_gen::adder::popcount(5)?;
+/// let out = pc.evaluate(&[true, false, true, true, false]).unwrap();
+/// // 3 ones -> 011 (LSB first: true, true, false)
+/// assert_eq!(out, vec![true, true, false]);
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn popcount(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let out_bits = usize::BITS as usize - width.leading_zeros() as usize;
+    let mut nl = Netlist::new(format!("popcount{width}"));
+    let inputs: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+
+    // count := 0, then for each input bit: count += bit (ripple of HAs).
+    let mut count: Vec<NodeId> = vec![inputs[0]];
+    for &bit in &inputs[1..] {
+        let mut carry = bit;
+        let mut next = Vec::with_capacity(count.len() + 1);
+        for &c in &count {
+            let (s, co) = half_adder(&mut nl, c, carry)?;
+            next.push(s);
+            carry = co;
+        }
+        next.push(carry);
+        count = next;
+    }
+    count.truncate(out_bits);
+    for (i, c) in count.iter().enumerate() {
+        nl.add_output(format!("c{i}"), *c)?;
+    }
+    Ok(nl)
+}
+
+/// The analytically known sensitivity of `width`-bit addition with carry-in
+/// (`2·width + 1` — every input flip changes the arithmetic result).
+#[must_use]
+pub fn adder_sensitivity(width: usize) -> u32 {
+    (2 * width + 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobound_logic::topo;
+
+    fn eval_adder(nl: &Netlist, width: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        let mut inputs: Vec<bool> = (0..width).map(|i| a >> i & 1 == 1).collect();
+        inputs.extend((0..width).map(|i| b >> i & 1 == 1));
+        inputs.push(cin);
+        let out = nl.evaluate(&inputs).unwrap();
+        let mut sum = 0u64;
+        for (i, &bit) in out[..width].iter().enumerate() {
+            if bit {
+                sum |= 1 << i;
+            }
+        }
+        (sum, out[width])
+    }
+
+    #[test]
+    fn rca_adds_exhaustively_4bit() {
+        let nl = ripple_carry(4).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                for cin in [false, true] {
+                    let (sum, cout) = eval_adder(&nl, 4, a, b, cin);
+                    let expect = a + b + u64::from(cin);
+                    assert_eq!(sum, expect & 0xF, "a={a} b={b} cin={cin}");
+                    assert_eq!(cout, expect > 0xF, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_matches_rca_exhaustively_5bit() {
+        // Width 5 exercises a full group plus a partial second group.
+        let rca = ripple_carry(5).unwrap();
+        let cla = carry_lookahead(5).unwrap();
+        for a in 0u64..32 {
+            for b in 0u64..32 {
+                for cin in [false, true] {
+                    assert_eq!(
+                        eval_adder(&rca, 5, a, b, cin),
+                        eval_adder(&cla, 5, a, b, cin),
+                        "a={a} b={b} cin={cin}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_is_shallower_than_rca() {
+        let rca = ripple_carry(16).unwrap();
+        let cla = carry_lookahead(16).unwrap();
+        assert!(topo::depth(&cla) < topo::depth(&rca));
+    }
+
+    #[test]
+    fn rca_structure() {
+        let nl = ripple_carry(8).unwrap();
+        assert_eq!(nl.input_count(), 17);
+        assert_eq!(nl.output_count(), 9);
+        assert_eq!(nl.gate_count(), 16); // XOR3 + MAJ per bit
+    }
+
+    #[test]
+    fn popcount_counts() {
+        for width in [1usize, 2, 3, 5, 7, 9] {
+            let nl = popcount(width).unwrap();
+            for bits in 0u64..(1 << width) {
+                let inputs: Vec<bool> = (0..width).map(|i| bits >> i & 1 == 1).collect();
+                let out = nl.evaluate(&inputs).unwrap();
+                let mut count = 0u64;
+                for (i, &bit) in out.iter().enumerate() {
+                    if bit {
+                        count |= 1 << i;
+                    }
+                }
+                assert_eq!(count, u64::from(bits.count_ones()), "w={width} bits={bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_output_width() {
+        assert_eq!(popcount(1).unwrap().output_count(), 1);
+        assert_eq!(popcount(3).unwrap().output_count(), 2);
+        assert_eq!(popcount(4).unwrap().output_count(), 3);
+        assert_eq!(popcount(7).unwrap().output_count(), 3);
+        assert_eq!(popcount(8).unwrap().output_count(), 4);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(ripple_carry(0).is_err());
+        assert!(carry_lookahead(0).is_err());
+        assert!(popcount(0).is_err());
+    }
+
+    #[test]
+    fn sensitivity_value() {
+        assert_eq!(adder_sensitivity(8), 17);
+    }
+}

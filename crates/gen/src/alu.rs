@@ -1,0 +1,124 @@
+//! A small multi-function ALU — the circuit class of ISCAS `c880`.
+//!
+//! `c880` is documented as an 8-bit ALU; this generator produces an
+//! arithmetic/logic unit with the same flavour: a ripple adder datapath,
+//! bitwise logic ops and an output mux, mixing XOR-rich arithmetic with
+//! AND/OR control structures.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::adder::full_adder;
+use crate::error::GenError;
+use crate::mux::mux2;
+
+/// A `width`-bit 4-operation ALU.
+///
+/// Inputs (in order): `a0..a{w-1}`, `b0..b{w-1}`, `cin`, `op0`, `op1`.
+/// Outputs: `y0..y{w-1}`, `cout`.
+///
+/// | `op1 op0` | operation      |
+/// |-----------|----------------|
+/// | `00`      | `a + b + cin`  |
+/// | `01`      | `a AND b`      |
+/// | `10`      | `a OR b`       |
+/// | `11`      | `a XOR b`      |
+///
+/// `cout` is the adder carry, gated to 0 for the logic operations.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+pub fn alu(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let mut nl = Netlist::new(format!("alu{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+    let op0 = nl.add_input("op0");
+    let op1 = nl.add_input("op1");
+
+    // Datapath: adder plus bitwise units.
+    let mut carry = cin;
+    let mut add_bits = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut nl, a[i], b[i], carry)?;
+        add_bits.push(s);
+        carry = c;
+    }
+    let and_bits: Vec<NodeId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::And, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+    let or_bits: Vec<NodeId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::Or, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+    let xor_bits: Vec<NodeId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::Xor, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+
+    // Output select: two mux levels per bit.
+    for i in 0..width {
+        let low = mux2(&mut nl, op0, add_bits[i], and_bits[i])?; // op1 = 0
+        let high = mux2(&mut nl, op0, or_bits[i], xor_bits[i])?; // op1 = 1
+        let y = mux2(&mut nl, op1, low, high)?;
+        nl.add_output(format!("y{i}"), y)?;
+    }
+    // cout only meaningful for the add op: cout & !op0 & !op1.
+    let nop0 = nl.add_gate(GateKind::Not, &[op0])?;
+    let nop1 = nl.add_gate(GateKind::Not, &[op1])?;
+    let cout = nl.add_gate(GateKind::And, &[carry, nop0, nop1])?;
+    nl.add_output("cout", cout)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(nl: &Netlist, width: usize, a: u64, b: u64, cin: bool, op: u8) -> (u64, bool) {
+        let mut inputs: Vec<bool> = (0..width).map(|i| a >> i & 1 == 1).collect();
+        inputs.extend((0..width).map(|i| b >> i & 1 == 1));
+        inputs.push(cin);
+        inputs.push(op & 1 == 1);
+        inputs.push(op & 2 == 2);
+        let out = nl.evaluate(&inputs).unwrap();
+        let mut y = 0u64;
+        for (i, &bit) in out[..width].iter().enumerate() {
+            if bit {
+                y |= 1 << i;
+            }
+        }
+        (y, out[width])
+    }
+
+    #[test]
+    fn all_ops_exhaustive_3bit() {
+        let nl = alu(3).unwrap();
+        let mask = 0x7u64;
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                for cin in [false, true] {
+                    let (add, cout) = eval(&nl, 3, a, b, cin, 0);
+                    assert_eq!(add, (a + b + u64::from(cin)) & mask);
+                    assert_eq!(cout, a + b + u64::from(cin) > mask);
+                    assert_eq!(eval(&nl, 3, a, b, cin, 1), (a & b, false));
+                    assert_eq!(eval(&nl, 3, a, b, cin, 2), (a | b, false));
+                    assert_eq!(eval(&nl, 3, a, b, cin, 3), (a ^ b, false));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interface_width() {
+        let nl = alu(8).unwrap();
+        assert_eq!(nl.input_count(), 19);
+        assert_eq!(nl.output_count(), 9);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(alu(0).is_err());
+    }
+}

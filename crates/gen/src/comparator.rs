@@ -1,0 +1,223 @@
+//! Comparators: equality, magnitude and constant thresholds.
+//!
+//! Magnitude comparison appears in the `c7552` analog (a 32-bit
+//! adder/comparator); the constant-threshold comparator closes the loop for
+//! the exact majority voters of `nanobound-redundancy` (popcount ≥ t).
+//!
+//! The sensitivity of `width`-bit equality over `2·width` inputs is
+//! `2·width`: starting from `a == b`, flipping any single input bit breaks
+//! the equality.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// A `width`-bit equality comparator.
+///
+/// Inputs: `a0..a{w-1}`, `b0..b{w-1}`. Output: `eq` (1 iff `a == b`).
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+pub fn equal(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let mut nl = Netlist::new(format!("eq{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let bits: Vec<NodeId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::Xnor, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+    let eq = if bits.len() == 1 { bits[0] } else { nl.add_gate(GateKind::And, &bits)? };
+    nl.add_output("eq", eq)?;
+    Ok(nl)
+}
+
+/// A `width`-bit magnitude comparator computing `a < b` (unsigned).
+///
+/// Inputs: `a0..a{w-1}`, `b0..b{w-1}` (LSB first). Output: `lt`.
+///
+/// Built as the classic ripple from the LSB:
+/// `lt_i = (!a_i & b_i) | (a_i XNOR b_i) & lt_{i-1}`.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`.
+pub fn less_than(width: usize) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    let mut nl = Netlist::new(format!("lt{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut lt: Option<NodeId> = None;
+    for i in 0..width {
+        let na = nl.add_gate(GateKind::Not, &[a[i]])?;
+        let bit_lt = nl.add_gate(GateKind::And, &[na, b[i]])?;
+        lt = Some(match lt {
+            None => bit_lt,
+            Some(prev) => {
+                let eq = nl.add_gate(GateKind::Xnor, &[a[i], b[i]])?;
+                let keep = nl.add_gate(GateKind::And, &[eq, prev])?;
+                nl.add_gate(GateKind::Or, &[bit_lt, keep])?
+            }
+        });
+    }
+    nl.add_output("lt", lt.expect("width >= 1"))?;
+    Ok(nl)
+}
+
+/// A comparator asserting that a `width`-bit unsigned input is ≥ a
+/// constant `threshold`.
+///
+/// Inputs: `x0..x{w-1}` (LSB first). Output: `ge`.
+///
+/// Built by ripple from the LSB against the constant's bits, needing no
+/// constant nodes: `ge_i = x_i > t_i | (x_i == t_i) & ge_{i-1}` folded at
+/// generation time.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width == 0`, or if `threshold`
+/// does not fit in `width` bits (the output would be constant false, almost
+/// certainly a caller bug).
+///
+/// # Examples
+///
+/// ```
+/// let ge = nanobound_gen::comparator::ge_const(3, 5)?;
+/// assert_eq!(ge.evaluate(&[true, false, true]).unwrap(), vec![true]);  // 5 >= 5
+/// assert_eq!(ge.evaluate(&[false, false, true]).unwrap(), vec![false]); // 4 < 5
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn ge_const(width: usize, threshold: u64) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    if width < 64 && threshold >= 1 << width {
+        return Err(GenError::bad(
+            "threshold",
+            threshold as usize,
+            "must fit in `width` bits",
+        ));
+    }
+    let mut nl = Netlist::new(format!("ge{width}_{threshold}"));
+    let x: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+    // ge starts true for threshold 0 ("empty suffix is >=").
+    // Track as Option: None encodes a compile-time constant.
+    let mut ge: Option<NodeId> = None;
+    let mut ge_const_val = true;
+    for i in 0..width {
+        let t = threshold >> i & 1 == 1;
+        match (t, ge, ge_const_val) {
+            (false, None, true) => {
+                // ge stays: x_i=1 -> true; x_i=0 -> prev(true) => still true.
+            }
+            (false, None, false) => {
+                // ge = x_i | prev(false) = x_i.
+                ge = Some(x[i]);
+            }
+            (false, Some(prev), _) => {
+                ge = Some(nl.add_gate(GateKind::Or, &[x[i], prev])?);
+            }
+            (true, None, prev_val) => {
+                // ge = x_i & prev.
+                if prev_val {
+                    ge = Some(x[i]);
+                } else {
+                    ge_const_val = false; // stays constant false
+                }
+            }
+            (true, Some(prev), _) => {
+                ge = Some(nl.add_gate(GateKind::And, &[x[i], prev])?);
+            }
+        }
+    }
+    let out = match ge {
+        Some(id) => id,
+        None => nl.add_const(ge_const_val),
+    };
+    nl.add_output("ge", out)?;
+    Ok(nl)
+}
+
+/// The analytically known sensitivity of `width`-bit equality
+/// (`2·width`).
+#[must_use]
+pub fn equality_sensitivity(width: usize) -> u32 {
+    (2 * width) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_exhaustive() {
+        let nl = equal(3).unwrap();
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let mut inputs: Vec<bool> = (0..3).map(|i| a >> i & 1 == 1).collect();
+                inputs.extend((0..3).map(|i| b >> i & 1 == 1));
+                assert_eq!(nl.evaluate(&inputs).unwrap(), vec![a == b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn less_than_exhaustive() {
+        let nl = less_than(4).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut inputs: Vec<bool> = (0..4).map(|i| a >> i & 1 == 1).collect();
+                inputs.extend((0..4).map(|i| b >> i & 1 == 1));
+                assert_eq!(nl.evaluate(&inputs).unwrap(), vec![a < b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ge_const_exhaustive_all_thresholds() {
+        for width in [1usize, 3, 4] {
+            for threshold in 0u64..(1 << width) {
+                let nl = ge_const(width, threshold).unwrap();
+                for x in 0u64..(1 << width) {
+                    let inputs: Vec<bool> = (0..width).map(|i| x >> i & 1 == 1).collect();
+                    assert_eq!(
+                        nl.evaluate(&inputs).unwrap(),
+                        vec![x >= threshold],
+                        "w={width} t={threshold} x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ge_zero_is_constant_true() {
+        let nl = ge_const(4, 0).unwrap();
+        assert_eq!(nl.gate_count(), 0);
+        assert_eq!(nl.evaluate(&[false; 4]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn oversized_threshold_rejected() {
+        assert!(ge_const(3, 8).is_err());
+        assert!(ge_const(3, 7).is_ok());
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(equal(0).is_err());
+        assert!(less_than(0).is_err());
+        assert!(ge_const(0, 0).is_err());
+    }
+
+    #[test]
+    fn single_bit_equality() {
+        let nl = equal(1).unwrap();
+        assert_eq!(nl.evaluate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(nl.evaluate(&[true, false]).unwrap(), vec![false]);
+    }
+}

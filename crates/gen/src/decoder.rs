@@ -1,0 +1,103 @@
+//! Binary decoders — deep AND planes with very low output activity.
+//!
+//! Under uniform random inputs each of the `2^n` outputs of an `n`-input
+//! decoder is 1 with probability `2^-n`, giving a per-gate switching
+//! activity around `2^{1-n}` — the low-`sw0` regime in which the paper's
+//! energy bound rises steeply (the `2ε(1-ε)/sw0` term of Corollary 2).
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// An `width → 2^width` binary decoder with optional enable.
+///
+/// Inputs: `x0..x{w-1}` (LSB first), then `en` if `with_enable`. Outputs:
+/// `y0..y{2^w-1}`, with `y[i] = 1` iff the input encodes `i` (and `en` is
+/// high when present).
+///
+/// The sensitivity is `width` plus 1 for the enable: flipping any address
+/// bit always moves the active output, changing two outputs; flipping `en`
+/// toggles the active output.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width` is 0 or greater than 12
+/// (4096 outputs is already far beyond anything the experiments need).
+pub fn binary_decoder(width: usize, with_enable: bool) -> Result<Netlist, GenError> {
+    if width == 0 {
+        return Err(GenError::bad("width", width, "must be at least 1"));
+    }
+    if width > 12 {
+        return Err(GenError::bad("width", width, "must be at most 12"));
+    }
+    let mut nl = Netlist::new(format!("dec{width}_{}", 1usize << width));
+    let x: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let en = with_enable.then(|| nl.add_input("en"));
+    let nx: Vec<NodeId> = x
+        .iter()
+        .map(|&xi| nl.add_gate(GateKind::Not, &[xi]))
+        .collect::<Result<_, _>>()?;
+    for code in 0..(1usize << width) {
+        let mut literals: Vec<NodeId> =
+            (0..width).map(|i| if code >> i & 1 == 1 { x[i] } else { nx[i] }).collect();
+        if let Some(en) = en {
+            literals.push(en);
+        }
+        let y = if literals.len() == 1 {
+            literals[0]
+        } else {
+            nl.add_gate(GateKind::And, &literals)?
+        };
+        nl.add_output(format!("y{code}"), y)?;
+    }
+    Ok(nl)
+}
+
+/// The analytically known sensitivity of the decoder (`width`, plus one if
+/// the enable input is present).
+#[must_use]
+pub fn sensitivity(width: usize, with_enable: bool) -> u32 {
+    (width + usize::from(with_enable)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_exhaustively() {
+        for width in [1usize, 2, 4] {
+            let nl = binary_decoder(width, false).unwrap();
+            for code in 0u64..(1 << width) {
+                let inputs: Vec<bool> = (0..width).map(|i| code >> i & 1 == 1).collect();
+                let out = nl.evaluate(&inputs).unwrap();
+                for (i, &bit) in out.iter().enumerate() {
+                    assert_eq!(bit, i as u64 == code, "w={width} code={code} out={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enable_gates_all_outputs() {
+        let nl = binary_decoder(2, true).unwrap();
+        let out = nl.evaluate(&[true, false, false]).unwrap(); // en = 0
+        assert!(out.iter().all(|&b| !b));
+        let out = nl.evaluate(&[true, false, true]).unwrap(); // en = 1, code 1
+        assert_eq!(out, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn parameter_limits() {
+        assert!(binary_decoder(0, false).is_err());
+        assert!(binary_decoder(13, false).is_err());
+        assert!(binary_decoder(12, false).is_ok());
+    }
+
+    #[test]
+    fn structure() {
+        let nl = binary_decoder(4, false).unwrap();
+        assert_eq!(nl.output_count(), 16);
+        assert_eq!(nl.gate_count(), 4 + 16); // 4 inverters + 16 AND4
+    }
+}

@@ -1,0 +1,242 @@
+//! Hamming single-error correction and detection — the circuit class of
+//! ISCAS `c499`/`c1355` ("32-bit single-error-correcting circuit") and
+//! `c1908` ("16-bit error detector/corrector").
+//!
+//! These are XOR-dominated networks: wide parity-check trees followed by a
+//! syndrome decoder and correction XORs. Their switching activity under
+//! random inputs is high (XOR outputs are unbiased), putting them at the
+//! opposite end of the activity spectrum from decoders and priority logic.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// Number of Hamming check bits needed for `data_bits` of payload.
+fn check_bits_for(data_bits: usize) -> usize {
+    let mut r = 1;
+    while (1usize << r) < data_bits + r + 1 {
+        r += 1;
+    }
+    r
+}
+
+/// Hamming code positions: maps each of the `data_bits` to its codeword
+/// position (1-based, skipping powers of two which hold check bits).
+fn data_positions(data_bits: usize) -> Vec<usize> {
+    let mut positions = Vec::with_capacity(data_bits);
+    let mut pos = 1usize;
+    while positions.len() < data_bits {
+        if !pos.is_power_of_two() {
+            positions.push(pos);
+        }
+        pos += 1;
+    }
+    positions
+}
+
+/// A Hamming single-error corrector.
+///
+/// Inputs: `d0..d{n-1}` (received data), `c0..c{r-1}` (received check
+/// bits, `r` = [`check_bits`]). Outputs: `y0..y{n-1}` — the data with any
+/// single-bit error (in data *or* check bits) corrected.
+///
+/// Structure: `r` parity-check XOR trees compute the syndrome; per data
+/// bit an `r`-input AND decodes "syndrome == my position"; a final XOR
+/// applies the correction. For `data_bits = 32` (`r = 6`) this gives a
+/// 38-input, 32-output XOR-dominated network — the class of `c499`.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `data_bits < 2` or
+/// `data_bits > 256`.
+pub fn hamming_corrector(data_bits: usize) -> Result<Netlist, GenError> {
+    if data_bits < 2 {
+        return Err(GenError::bad("data_bits", data_bits, "must be at least 2"));
+    }
+    if data_bits > 256 {
+        return Err(GenError::bad("data_bits", data_bits, "must be at most 256"));
+    }
+    let r = check_bits_for(data_bits);
+    let positions = data_positions(data_bits);
+
+    let mut nl = Netlist::new(format!("sec{data_bits}"));
+    let d: Vec<NodeId> = (0..data_bits).map(|i| nl.add_input(format!("d{i}"))).collect();
+    let c: Vec<NodeId> = (0..r).map(|i| nl.add_input(format!("c{i}"))).collect();
+
+    // Syndrome bit j: parity of all codeword positions with bit j set,
+    // which is check bit j (at position 2^j) plus the covered data bits.
+    let mut syndrome = Vec::with_capacity(r);
+    for j in 0..r {
+        let mut taps = vec![c[j]];
+        for (i, &pos) in positions.iter().enumerate() {
+            if pos >> j & 1 == 1 {
+                taps.push(d[i]);
+            }
+        }
+        syndrome.push(nl.add_gate(GateKind::Xor, &taps)?);
+    }
+    let nsyndrome: Vec<NodeId> = syndrome
+        .iter()
+        .map(|&s| nl.add_gate(GateKind::Not, &[s]))
+        .collect::<Result<_, _>>()?;
+
+    for (i, &pos) in positions.iter().enumerate() {
+        let literals: Vec<NodeId> =
+            (0..r).map(|j| if pos >> j & 1 == 1 { syndrome[j] } else { nsyndrome[j] }).collect();
+        let hit = nl.add_gate(GateKind::And, &literals)?;
+        let y = nl.add_gate(GateKind::Xor, &[d[i], hit])?;
+        nl.add_output(format!("y{i}"), y)?;
+    }
+    Ok(nl)
+}
+
+/// An error detector: syndrome trees plus a single `error` output that
+/// fires when any parity check fails — the class of `c1908`.
+///
+/// Inputs: `d0..d{n-1}`, `c0..c{r-1}`. Outputs: `s0..s{r-1}` (the
+/// syndrome) and `error` (OR of the syndrome).
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] under the same conditions as
+/// [`hamming_corrector`].
+pub fn error_detector(data_bits: usize) -> Result<Netlist, GenError> {
+    if data_bits < 2 {
+        return Err(GenError::bad("data_bits", data_bits, "must be at least 2"));
+    }
+    if data_bits > 256 {
+        return Err(GenError::bad("data_bits", data_bits, "must be at most 256"));
+    }
+    let r = check_bits_for(data_bits);
+    let positions = data_positions(data_bits);
+
+    let mut nl = Netlist::new(format!("edc{data_bits}"));
+    let d: Vec<NodeId> = (0..data_bits).map(|i| nl.add_input(format!("d{i}"))).collect();
+    let c: Vec<NodeId> = (0..r).map(|i| nl.add_input(format!("c{i}"))).collect();
+
+    let mut syndrome = Vec::with_capacity(r);
+    for j in 0..r {
+        let mut taps = vec![c[j]];
+        for (i, &pos) in positions.iter().enumerate() {
+            if pos >> j & 1 == 1 {
+                taps.push(d[i]);
+            }
+        }
+        syndrome.push(nl.add_gate(GateKind::Xor, &taps)?);
+    }
+    let error = nl.add_gate(GateKind::Or, &syndrome)?;
+    for (j, &s) in syndrome.iter().enumerate() {
+        nl.add_output(format!("s{j}"), s)?;
+    }
+    nl.add_output("error", error)?;
+    Ok(nl)
+}
+
+/// Number of check bits the generators expect for `data_bits` of payload.
+#[must_use]
+pub fn check_bits(data_bits: usize) -> usize {
+    check_bits_for(data_bits)
+}
+
+/// Computes the check word the corrector expects for a clean data word
+/// (reference encoder used by the tests).
+#[must_use]
+pub fn encode_checks(data: &[bool]) -> Vec<bool> {
+    let r = check_bits_for(data.len());
+    let positions = data_positions(data.len());
+    (0..r)
+        .map(|j| {
+            positions
+                .iter()
+                .enumerate()
+                .filter(|(_, &pos)| pos >> j & 1 == 1)
+                .fold(false, |acc, (i, _)| acc ^ data[i])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_bit_counts() {
+        assert_eq!(check_bits(4), 3);
+        assert_eq!(check_bits(11), 4);
+        assert_eq!(check_bits(16), 5);
+        assert_eq!(check_bits(32), 6);
+        assert_eq!(check_bits(57), 6);
+        assert_eq!(check_bits(64), 7);
+    }
+
+    fn corrected(nl: &Netlist, data: &[bool], checks: &[bool]) -> Vec<bool> {
+        let mut inputs = data.to_vec();
+        inputs.extend_from_slice(checks);
+        nl.evaluate(&inputs).unwrap()
+    }
+
+    #[test]
+    fn clean_word_passes_through() {
+        let nl = hamming_corrector(8).unwrap();
+        for word in [0u64, 0x5A, 0xFF, 0x13] {
+            let data: Vec<bool> = (0..8).map(|i| word >> i & 1 == 1).collect();
+            let checks = encode_checks(&data);
+            assert_eq!(corrected(&nl, &data, &checks), data, "word {word:#x}");
+        }
+    }
+
+    #[test]
+    fn single_data_error_corrected() {
+        let nl = hamming_corrector(8).unwrap();
+        let word = 0xA5u64;
+        let data: Vec<bool> = (0..8).map(|i| word >> i & 1 == 1).collect();
+        let checks = encode_checks(&data);
+        for flip in 0..8 {
+            let mut corrupted = data.clone();
+            corrupted[flip] = !corrupted[flip];
+            assert_eq!(corrected(&nl, &corrupted, &checks), data, "flip {flip}");
+        }
+    }
+
+    #[test]
+    fn single_check_error_harmless() {
+        let nl = hamming_corrector(8).unwrap();
+        let data: Vec<bool> = (0..8).map(|i| 0x3C >> i & 1 == 1).collect();
+        let checks = encode_checks(&data);
+        for flip in 0..checks.len() {
+            let mut corrupted = checks.clone();
+            corrupted[flip] = !corrupted[flip];
+            assert_eq!(corrected(&nl, &data, &corrupted), data, "check flip {flip}");
+        }
+    }
+
+    #[test]
+    fn detector_flags_errors() {
+        let nl = error_detector(8).unwrap();
+        let data: Vec<bool> = (0..8).map(|i| 0x7B >> i & 1 == 1).collect();
+        let checks = encode_checks(&data);
+        let mut inputs = data.clone();
+        inputs.extend_from_slice(&checks);
+        let out = nl.evaluate(&inputs).unwrap();
+        assert!(!out[checks.len()], "clean word flags no error");
+
+        let mut corrupted = inputs.clone();
+        corrupted[3] = !corrupted[3];
+        let out = nl.evaluate(&corrupted).unwrap();
+        assert!(out[checks.len()], "corrupted word flags error");
+    }
+
+    #[test]
+    fn c499_class_interface() {
+        let nl = hamming_corrector(32).unwrap();
+        assert_eq!(nl.input_count(), 38); // 32 data + 6 checks
+        assert_eq!(nl.output_count(), 32);
+    }
+
+    #[test]
+    fn degenerate_sizes_rejected() {
+        assert!(hamming_corrector(1).is_err());
+        assert!(hamming_corrector(300).is_err());
+        assert!(error_detector(1).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Generator parameter errors.
+
+use std::error::Error;
+use std::fmt;
+
+use nanobound_logic::LogicError;
+
+/// Errors produced by circuit generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// A width/size parameter was outside the supported range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        got: usize,
+        /// Human-readable constraint, e.g. "must be at least 1".
+        requirement: &'static str,
+    },
+    /// Netlist construction failed (generator bug; should not happen for
+    /// validated parameters).
+    Logic(LogicError),
+}
+
+impl GenError {
+    pub(crate) fn bad(name: &'static str, got: usize, requirement: &'static str) -> Self {
+        GenError::BadParameter { name, got, requirement }
+    }
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::BadParameter { name, got, requirement } => {
+                write!(f, "parameter `{name}` = {got} {requirement}")
+            }
+            GenError::Logic(e) => write!(f, "netlist construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for GenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenError::Logic(e) => Some(e),
+            GenError::BadParameter { .. } => None,
+        }
+    }
+}
+
+impl From<LogicError> for GenError {
+    fn from(e: LogicError) -> Self {
+        GenError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = GenError::bad("width", 0, "must be at least 1");
+        assert!(e.to_string().contains("width"));
+        assert!(e.to_string().contains('0'));
+    }
+
+    #[test]
+    fn logic_source_preserved() {
+        let e: GenError = LogicError::NoOutputs.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,61 @@
+//! Parameterized combinational circuit generators.
+//!
+//! The paper evaluates its bounds on "a subset of ISCAS'85 benchmarks and
+//! some computer arithmetic circuits (ripple-carry adders and array
+//! multipliers) with various bitwidths" (Section 6). This crate generates
+//! those circuits — and functional analogs of the ISCAS'85 designs, whose
+//! original netlists are not redistributable — from first principles:
+//!
+//! - [`parity`] — parity trees and chains (the functions for which the
+//!   paper's bounds are tight);
+//! - [`adder`] — ripple-carry and carry-lookahead adders, popcount;
+//! - [`multiplier`] — array multipliers (the structure of ISCAS `c6288`);
+//! - [`comparator`] — equality, magnitude and constant-threshold compares;
+//! - [`mux`] / [`decoder`] — selection and decode logic (low-activity
+//!   control structures);
+//! - [`alu`] — a small multi-function ALU (the class of `c880`);
+//! - [`ecc`] — Hamming single-error correctors and error detectors (the
+//!   class of `c499`/`c1355`/`c1908`);
+//! - [`priority`] — priority encoders (the class of `c432`);
+//! - [`random`] — seeded random DAGs for fuzzing and property tests;
+//! - [`iscas`] — the verbatim `c17` plus the named ISCAS'85 analogs;
+//! - [`suite`] — the benchmark suite used by the experiments crate.
+//!
+//! Every generator documents its analytically-known Boolean sensitivity
+//! where one exists; [`suite::Benchmark`] carries it as a hint so the
+//! experiment pipeline can skip Monte-Carlo estimation.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanobound_gen::adder;
+//!
+//! # fn main() -> Result<(), nanobound_gen::GenError> {
+//! let rca = adder::ripple_carry(8)?;
+//! assert_eq!(rca.input_count(), 17); // a[8] + b[8] + cin
+//! assert_eq!(rca.output_count(), 9); // sum[8] + cout
+//! # Ok(())
+//! # }
+//! ```
+
+// Generator code walks several parallel NodeId arrays per bit position;
+// explicit index loops keep the hardware structure visible, so the
+// iterator-style rewrite clippy suggests would obscure intent.
+#![allow(clippy::needless_range_loop)]
+
+pub mod adder;
+pub mod alu;
+pub mod comparator;
+pub mod decoder;
+pub mod ecc;
+mod error;
+pub mod iscas;
+pub mod multiplier;
+pub mod mux;
+pub mod parity;
+pub mod priority;
+pub mod random;
+pub mod suite;
+
+pub use error::GenError;
+pub use suite::{standard_suite, Benchmark, CircuitClass};

@@ -1,0 +1,119 @@
+//! Multiplexer trees — selection logic with low, skewed switching
+//! activity.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// Builds a 2:1 mux over existing nodes: `sel ? hi : lo`.
+pub(crate) fn mux2(
+    nl: &mut Netlist,
+    sel: NodeId,
+    lo: NodeId,
+    hi: NodeId,
+) -> Result<NodeId, GenError> {
+    let nsel = nl.add_gate(GateKind::Not, &[sel])?;
+    let a = nl.add_gate(GateKind::And, &[nsel, lo])?;
+    let b = nl.add_gate(GateKind::And, &[sel, hi])?;
+    Ok(nl.add_gate(GateKind::Or, &[a, b])?)
+}
+
+/// A `2^select_bits : 1` multiplexer tree.
+///
+/// Inputs (in order): `s0..s{k-1}` (LSB first), then `d0..d{2^k-1}`.
+/// Output: `y = d[s]`.
+///
+/// The sensitivity is `select_bits + 1` (choose data inputs so every select
+/// flip lands on a differing neighbour; the selected data line is always
+/// sensitive).
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `select_bits` is 0 or greater
+/// than 16.
+///
+/// # Examples
+///
+/// ```
+/// let mux = nanobound_gen::mux::mux_tree(2)?;
+/// // Select line 2 (s = 10b), data = 0100b.
+/// let out = mux.evaluate(&[false, true, false, false, true, false]).unwrap();
+/// assert_eq!(out, vec![true]);
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn mux_tree(select_bits: usize) -> Result<Netlist, GenError> {
+    if select_bits == 0 {
+        return Err(GenError::bad("select_bits", select_bits, "must be at least 1"));
+    }
+    if select_bits > 16 {
+        return Err(GenError::bad("select_bits", select_bits, "must be at most 16"));
+    }
+    let data_count = 1usize << select_bits;
+    let mut nl = Netlist::new(format!("mux{data_count}"));
+    let sel: Vec<NodeId> = (0..select_bits).map(|i| nl.add_input(format!("s{i}"))).collect();
+    let mut layer: Vec<NodeId> =
+        (0..data_count).map(|i| nl.add_input(format!("d{i}"))).collect();
+    for (level, &s) in sel.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(mux2(&mut nl, s, pair[0], pair[1])?);
+        }
+        layer = next;
+        let _ = level;
+    }
+    nl.add_output("y", layer[0])?;
+    Ok(nl)
+}
+
+/// The analytically known sensitivity of a mux tree
+/// (`select_bits + 1`).
+#[must_use]
+pub fn sensitivity(select_bits: usize) -> u32 {
+    (select_bits + 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_selects_exhaustively() {
+        for select_bits in [1usize, 2, 3] {
+            let n = 1usize << select_bits;
+            let nl = mux_tree(select_bits).unwrap();
+            for s in 0..n {
+                for data in 0u64..(1 << n) {
+                    let mut inputs: Vec<bool> =
+                        (0..select_bits).map(|i| s >> i & 1 == 1).collect();
+                    inputs.extend((0..n).map(|i| data >> i & 1 == 1));
+                    let expect = data >> s & 1 == 1;
+                    assert_eq!(
+                        nl.evaluate(&inputs).unwrap(),
+                        vec![expect],
+                        "k={select_bits} s={s} d={data:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structure() {
+        let nl = mux_tree(4).unwrap();
+        assert_eq!(nl.input_count(), 4 + 16);
+        assert_eq!(nl.output_count(), 1);
+        // 15 mux2 cells, 4 gates each (NOT is a gate here).
+        assert_eq!(nl.gate_count(), 15 * 4);
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(mux_tree(0).is_err());
+        assert!(mux_tree(17).is_err());
+    }
+
+    #[test]
+    fn sensitivity_value() {
+        assert_eq!(sensitivity(4), 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Parity circuits — the functions for which the paper's bounds are tight.
+//!
+//! Theorem 2 and the upper bound it cites achieve equality "for parity
+//! functions, implemented using decision trees or Shannon-like circuits";
+//! Figure 3 of the paper is computed for a 10-input parity function with
+//! `s = 10` and `S0 = 21`. These generators produce the XOR-tree and
+//! XOR-chain realizations.
+//!
+//! The Boolean sensitivity of `n`-input parity is exactly `n`: flipping any
+//! single input always flips the output.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// A balanced tree of `fanin`-input XOR gates computing `width`-input
+/// parity.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width < 2` or `fanin < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let p = nanobound_gen::parity::parity_tree(10, 2)?;
+/// assert_eq!(p.gate_count(), 9); // n-1 two-input XORs
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn parity_tree(width: usize, fanin: usize) -> Result<Netlist, GenError> {
+    if width < 2 {
+        return Err(GenError::bad("width", width, "must be at least 2"));
+    }
+    if fanin < 2 {
+        return Err(GenError::bad("fanin", fanin, "must be at least 2"));
+    }
+    let mut nl = Netlist::new(format!("parity{width}_k{fanin}"));
+    let mut frontier: Vec<NodeId> =
+        (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(fanin));
+        for chunk in frontier.chunks(fanin) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                next.push(nl.add_gate(GateKind::Xor, chunk)?);
+            }
+        }
+        frontier = next;
+    }
+    nl.add_output("parity", frontier[0])?;
+    Ok(nl)
+}
+
+/// A linear chain of 2-input XORs computing `width`-input parity.
+///
+/// Same function as [`parity_tree`] with maximal depth (`width - 1`);
+/// useful as an ablation point for the depth bounds.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `width < 2`.
+pub fn parity_chain(width: usize) -> Result<Netlist, GenError> {
+    if width < 2 {
+        return Err(GenError::bad("width", width, "must be at least 2"));
+    }
+    let mut nl = Netlist::new(format!("parity_chain{width}"));
+    let inputs: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let mut acc = inputs[0];
+    for &x in &inputs[1..] {
+        acc = nl.add_gate(GateKind::Xor, &[acc, x])?;
+    }
+    nl.add_output("parity", acc)?;
+    Ok(nl)
+}
+
+/// The analytically known sensitivity of `width`-input parity.
+#[must_use]
+pub fn sensitivity(width: usize) -> u32 {
+    width as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobound_logic::{topo, CircuitStats};
+
+    fn parity_of(bits: u32, width: usize) -> bool {
+        (bits & ((1u32 << width) - 1)).count_ones() % 2 == 1
+    }
+
+    #[test]
+    fn tree_computes_parity_exhaustively() {
+        for width in [2usize, 3, 5, 8, 10] {
+            for fanin in [2usize, 3, 4] {
+                let nl = parity_tree(width, fanin).unwrap();
+                for bits in 0u32..(1 << width) {
+                    let assignment: Vec<bool> = (0..width).map(|i| bits >> i & 1 == 1).collect();
+                    let out = nl.evaluate(&assignment).unwrap();
+                    assert_eq!(out, vec![parity_of(bits, width)], "w={width} k={fanin} {bits:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_computes_parity() {
+        let nl = parity_chain(6).unwrap();
+        for bits in 0u32..64 {
+            let assignment: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(nl.evaluate(&assignment).unwrap(), vec![parity_of(bits, 6)]);
+        }
+    }
+
+    #[test]
+    fn tree_is_balanced_chain_is_deep() {
+        let tree = parity_tree(16, 2).unwrap();
+        let chain = parity_chain(16).unwrap();
+        assert_eq!(topo::depth(&tree), 4);
+        assert_eq!(topo::depth(&chain), 15);
+        assert_eq!(tree.gate_count(), 15);
+        assert_eq!(chain.gate_count(), 15);
+    }
+
+    #[test]
+    fn gate_counts_match_fanin() {
+        // 10-input parity with 2-input gates: 9 gates. With fanin 3: 10->4->2->1: 3+2(chunks 4: [3,1]->2 gates? ) — just assert consistency.
+        let k2 = parity_tree(10, 2).unwrap();
+        assert_eq!(k2.gate_count(), 9);
+        let st = CircuitStats::of(&parity_tree(10, 3).unwrap());
+        assert!(st.max_fanin <= 3);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(parity_tree(1, 2).is_err());
+        assert!(parity_tree(4, 1).is_err());
+        assert!(parity_chain(1).is_err());
+    }
+
+    #[test]
+    fn sensitivity_is_width() {
+        assert_eq!(sensitivity(10), 10);
+    }
+}

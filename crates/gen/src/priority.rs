@@ -1,0 +1,248 @@
+//! Priority encoders — the circuit class of ISCAS `c432` (a 36-input
+//! priority/interrupt controller).
+//!
+//! Priority logic is built from long AND/OR inhibition chains whose
+//! internal signal probabilities are strongly skewed, producing the
+//! low-switching-activity regime where the paper's energy bound is most
+//! pronounced.
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// An `lines`-input priority encoder.
+///
+/// Inputs: `r0..r{n-1}` (request lines; `r0` has the *highest* priority).
+/// Outputs: `valid` (any request active) and `i0..i{b-1}` — the index of
+/// the highest-priority active request, LSB first, `b = ceil(log2 n)`.
+///
+/// The sensitivity is `lines`: from the all-zero state, flipping any
+/// single request changes `valid` (and usually the index).
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `lines < 2` or `lines > 4096`.
+///
+/// # Examples
+///
+/// ```
+/// let pe = nanobound_gen::priority::priority_encoder(4)?;
+/// // r2 and r3 active: highest priority active line is r2 -> index 2.
+/// let out = pe.evaluate(&[false, false, true, true]).unwrap();
+/// assert_eq!(out, vec![true, false, true]); // valid, i0 = 0, i1 = 1
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn priority_encoder(lines: usize) -> Result<Netlist, GenError> {
+    if lines < 2 {
+        return Err(GenError::bad("lines", lines, "must be at least 2"));
+    }
+    if lines > 4096 {
+        return Err(GenError::bad("lines", lines, "must be at most 4096"));
+    }
+    let index_bits = usize::BITS as usize - (lines - 1).leading_zeros() as usize;
+    let mut nl = Netlist::new(format!("prio{lines}"));
+    let r: Vec<NodeId> = (0..lines).map(|i| nl.add_input(format!("r{i}"))).collect();
+
+    // grant[i] = r[i] & !r[i-1] & ... & !r[0] — the inhibition chain.
+    let mut grants = Vec::with_capacity(lines);
+    grants.push(r[0]);
+    let mut none_above = nl.add_gate(GateKind::Not, &[r[0]])?;
+    for i in 1..lines {
+        grants.push(nl.add_gate(GateKind::And, &[r[i], none_above])?);
+        if i + 1 < lines {
+            let ni = nl.add_gate(GateKind::Not, &[r[i]])?;
+            none_above = nl.add_gate(GateKind::And, &[none_above, ni])?;
+        }
+    }
+
+    let valid = nl.add_gate(GateKind::Or, &r)?;
+    nl.add_output("valid", valid)?;
+    for bit in 0..index_bits {
+        let taps: Vec<NodeId> = (0..lines)
+            .filter(|i| i >> bit & 1 == 1)
+            .map(|i| grants[i])
+            .collect();
+        let idx = match taps.len() {
+            0 => nl.add_const(false),
+            1 => taps[0],
+            _ => nl.add_gate(GateKind::Or, &taps)?,
+        };
+        nl.add_output(format!("i{bit}"), idx)?;
+    }
+    Ok(nl)
+}
+
+/// A grouped interrupt controller in the style of `c432`: `groups`
+/// request groups of `width` lines each, with per-group enables, a global
+/// priority encode and per-group grant outputs.
+///
+/// Inputs: `r{g}_{i}` for each group `g` and line `i`, then `en0..` per
+/// group. Outputs: `valid`, the encoded line index (within the winning
+/// group), and one `grant{g}` per group. With `groups = 4, width = 9`
+/// this is a 40-input controller of the same family as the 36-input
+/// `c432`.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] if `groups < 2` or `width < 2`.
+pub fn interrupt_controller(groups: usize, width: usize) -> Result<Netlist, GenError> {
+    if groups < 2 {
+        return Err(GenError::bad("groups", groups, "must be at least 2"));
+    }
+    if width < 2 {
+        return Err(GenError::bad("width", width, "must be at least 2"));
+    }
+    let mut nl = Netlist::new(format!("intctl{groups}x{width}"));
+    let mut req: Vec<Vec<NodeId>> = Vec::with_capacity(groups);
+    for g in 0..groups {
+        req.push((0..width).map(|i| nl.add_input(format!("r{g}_{i}"))).collect());
+    }
+    let en: Vec<NodeId> = (0..groups).map(|g| nl.add_input(format!("en{g}"))).collect();
+
+    // Masked per-group request lines and group-active signals.
+    let mut masked: Vec<Vec<NodeId>> = Vec::with_capacity(groups);
+    let mut active: Vec<NodeId> = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let lines: Vec<NodeId> = req[g]
+            .iter()
+            .map(|&r| nl.add_gate(GateKind::And, &[r, en[g]]))
+            .collect::<Result<_, _>>()?;
+        active.push(nl.add_gate(GateKind::Or, &lines)?);
+        masked.push(lines);
+    }
+
+    // Group-level priority (group 0 wins ties).
+    let mut group_grant = Vec::with_capacity(groups);
+    group_grant.push(active[0]);
+    let mut none_above = nl.add_gate(GateKind::Not, &[active[0]])?;
+    for g in 1..groups {
+        group_grant.push(nl.add_gate(GateKind::And, &[active[g], none_above])?);
+        if g + 1 < groups {
+            let ng = nl.add_gate(GateKind::Not, &[active[g]])?;
+            none_above = nl.add_gate(GateKind::And, &[none_above, ng])?;
+        }
+    }
+
+    // Line selected within the winning group: OR over groups of
+    // (group_grant & line-priority-grant).
+    let index_bits = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+    let mut line_grants: Vec<Vec<NodeId>> = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let mut grants = Vec::with_capacity(width);
+        grants.push(masked[g][0]);
+        let mut clear = nl.add_gate(GateKind::Not, &[masked[g][0]])?;
+        for i in 1..width {
+            grants.push(nl.add_gate(GateKind::And, &[masked[g][i], clear])?);
+            if i + 1 < width {
+                let ni = nl.add_gate(GateKind::Not, &[masked[g][i]])?;
+                clear = nl.add_gate(GateKind::And, &[clear, ni])?;
+            }
+        }
+        line_grants.push(grants);
+    }
+
+    let valid = nl.add_gate(GateKind::Or, &active)?;
+    nl.add_output("valid", valid)?;
+    for bit in 0..index_bits {
+        let mut taps = Vec::new();
+        for g in 0..groups {
+            for i in (0..width).filter(|i| i >> bit & 1 == 1) {
+                taps.push(nl.add_gate(GateKind::And, &[group_grant[g], line_grants[g][i]])?);
+            }
+        }
+        let idx = match taps.len() {
+            0 => nl.add_const(false),
+            1 => taps[0],
+            _ => nl.add_gate(GateKind::Or, &taps)?,
+        };
+        nl.add_output(format!("i{bit}"), idx)?;
+    }
+    for g in 0..groups {
+        nl.add_output(format!("grant{g}"), group_grant[g])?;
+    }
+    Ok(nl)
+}
+
+/// The analytically known sensitivity of the plain priority encoder
+/// (`lines` — from the all-idle state every request flip changes the
+/// outputs).
+#[must_use]
+pub fn sensitivity(lines: usize) -> u32 {
+    lines as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_exhaustive() {
+        for lines in [2usize, 3, 4, 6] {
+            let nl = priority_encoder(lines).unwrap();
+            let index_bits = usize::BITS as usize - (lines - 1).leading_zeros() as usize;
+            for bits in 0u64..(1 << lines) {
+                let inputs: Vec<bool> = (0..lines).map(|i| bits >> i & 1 == 1).collect();
+                let out = nl.evaluate(&inputs).unwrap();
+                let expect_valid = bits != 0;
+                assert_eq!(out[0], expect_valid, "lines={lines} bits={bits:b}");
+                if expect_valid {
+                    let winner = bits.trailing_zeros() as usize;
+                    for b in 0..index_bits {
+                        assert_eq!(
+                            out[1 + b],
+                            winner >> b & 1 == 1,
+                            "lines={lines} bits={bits:b} bit {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controller_basics() {
+        let nl = interrupt_controller(2, 3).unwrap();
+        // Inputs: r0_0..r0_2, r1_0..r1_2, en0, en1.
+        // Group 1 requests line 2, but only group 1 enabled.
+        let out = nl
+            .evaluate(&[true, false, false, false, false, true, false, true])
+            .unwrap();
+        // valid, i0, i1, grant0, grant1
+        assert!(out[0], "valid");
+        assert!(!out[3], "grant0 (disabled group)");
+        assert!(out[4], "grant1");
+        assert_eq!((out[1], out[2]), (false, true), "line index 2");
+    }
+
+    #[test]
+    fn controller_group_priority() {
+        let nl = interrupt_controller(2, 2).unwrap();
+        // Both groups request line 0, both enabled: group 0 wins.
+        let out = nl.evaluate(&[true, false, true, false, true, true]).unwrap();
+        assert!(out[0]);
+        assert!(out[2], "grant0");
+        assert!(!out[3], "grant1");
+    }
+
+    #[test]
+    fn idle_controller_reports_invalid() {
+        let nl = interrupt_controller(2, 2).unwrap();
+        let out = nl.evaluate(&[false; 6]).unwrap();
+        assert!(out.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn c432_class_interface() {
+        let nl = interrupt_controller(4, 9).unwrap();
+        assert_eq!(nl.input_count(), 40);
+        // valid + 4 index bits + 4 grants.
+        assert_eq!(nl.output_count(), 9);
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(priority_encoder(1).is_err());
+        assert!(interrupt_controller(1, 4).is_err());
+        assert!(interrupt_controller(4, 1).is_err());
+    }
+}

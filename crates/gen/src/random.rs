@@ -1,0 +1,153 @@
+//! Seeded random DAG circuits for fuzzing and property-based tests.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+use crate::error::GenError;
+
+/// Configuration for [`random_dag`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandomDagConfig {
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of gates to generate (≥ 1).
+    pub gates: usize,
+    /// Maximum gate fanin (≥ 2).
+    pub max_fanin: usize,
+    /// Number of primary outputs (≥ 1); drawn from the last gates so most
+    /// of the DAG is live.
+    pub outputs: usize,
+    /// RNG seed; equal seeds produce identical circuits.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig { inputs: 8, gates: 64, max_fanin: 3, outputs: 4, seed: 0 }
+    }
+}
+
+/// Generates a random combinational DAG.
+///
+/// Gate kinds are drawn uniformly from the multi-input library
+/// (AND/NAND/OR/NOR/XOR/XNOR) plus inverters; fanins are drawn from all
+/// previously created nodes with a bias towards recent ones, which keeps
+/// the logic depth meaningful.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] for zero sizes or `max_fanin < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_gen::random::{random_dag, RandomDagConfig};
+///
+/// let config = RandomDagConfig { seed: 7, ..RandomDagConfig::default() };
+/// let a = random_dag(&config)?;
+/// let b = random_dag(&config)?;
+/// assert_eq!(a, b); // deterministic in the seed
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn random_dag(config: &RandomDagConfig) -> Result<Netlist, GenError> {
+    if config.inputs == 0 {
+        return Err(GenError::bad("inputs", config.inputs, "must be at least 1"));
+    }
+    if config.gates == 0 {
+        return Err(GenError::bad("gates", config.gates, "must be at least 1"));
+    }
+    if config.max_fanin < 2 {
+        return Err(GenError::bad("max_fanin", config.max_fanin, "must be at least 2"));
+    }
+    if config.outputs == 0 {
+        return Err(GenError::bad("outputs", config.outputs, "must be at least 1"));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut nl = Netlist::new(format!("rand_s{}", config.seed));
+    let mut pool: Vec<NodeId> =
+        (0..config.inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+
+    const KINDS: [GateKind; 7] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ];
+    for _ in 0..config.gates {
+        let kind = *KINDS.choose(&mut rng).expect("nonempty");
+        let fanin_count = if kind == GateKind::Not {
+            1
+        } else {
+            rng.random_range(2..=config.max_fanin)
+        };
+        let mut fanins = Vec::with_capacity(fanin_count);
+        for _ in 0..fanin_count {
+            // Bias towards recent nodes: square a uniform draw.
+            let u: f64 = rng.random::<f64>();
+            let idx = ((1.0 - u * u) * pool.len() as f64) as usize;
+            fanins.push(pool[idx.min(pool.len() - 1)]);
+        }
+        // NOT with duplicate fanins is fine (arity 1); multi-input gates
+        // with all-identical fanins degenerate, so nudge one entry.
+        if fanin_count >= 2 && fanins.iter().all(|&f| f == fanins[0]) {
+            let alt = pool[rng.random_range(0..pool.len())];
+            fanins[0] = alt;
+        }
+        pool.push(nl.add_gate(kind, &fanins)?);
+    }
+    let gate_pool = &pool[config.inputs..];
+    for i in 0..config.outputs {
+        let pick = gate_pool[gate_pool.len() - 1 - (i % gate_pool.len())];
+        nl.add_output(format!("y{i}"), pick)?;
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobound_logic::CircuitStats;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = RandomDagConfig { seed: 42, ..RandomDagConfig::default() };
+        assert_eq!(random_dag(&c).unwrap(), random_dag(&c).unwrap());
+        let c2 = RandomDagConfig { seed: 43, ..RandomDagConfig::default() };
+        assert_ne!(random_dag(&c).unwrap(), random_dag(&c2).unwrap());
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let c = RandomDagConfig { inputs: 5, gates: 40, max_fanin: 4, outputs: 3, seed: 1 };
+        let nl = random_dag(&c).unwrap();
+        assert_eq!(nl.input_count(), 5);
+        assert_eq!(nl.output_count(), 3);
+        assert_eq!(nl.node_count(), 45);
+        assert!(CircuitStats::of(&nl).max_fanin <= 4);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn evaluates_without_panic() {
+        let c = RandomDagConfig::default();
+        let nl = random_dag(&c).unwrap();
+        let inputs = vec![true; nl.input_count()];
+        let out = nl.evaluate(&inputs).unwrap();
+        assert_eq!(out.len(), nl.output_count());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let base = RandomDagConfig::default();
+        assert!(random_dag(&RandomDagConfig { inputs: 0, ..base.clone() }).is_err());
+        assert!(random_dag(&RandomDagConfig { gates: 0, ..base.clone() }).is_err());
+        assert!(random_dag(&RandomDagConfig { max_fanin: 1, ..base.clone() }).is_err());
+        assert!(random_dag(&RandomDagConfig { outputs: 0, ..base }).is_err());
+    }
+}

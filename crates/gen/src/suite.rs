@@ -1,0 +1,228 @@
+//! The benchmark suite evaluated by the paper's Section 6.
+//!
+//! The paper considers "a subset of ISCAS'85 benchmarks and some computer
+//! arithmetic circuits (ripple-carry adders and array multipliers) with
+//! various bitwidths". [`standard_suite`] assembles exactly that:
+//! the [`crate::iscas`] benchmarks plus ripple-carry adders and array
+//! multipliers at several widths.
+//!
+//! Each [`Benchmark`] carries its [`CircuitClass`] (which predicts the
+//! switching-activity regime) and, where analytically known, the exact
+//! Boolean sensitivity — letting the experiment pipeline skip Monte-Carlo
+//! estimation.
+
+use std::fmt;
+
+use nanobound_logic::Netlist;
+
+use crate::error::GenError;
+use crate::{adder, ecc, iscas, multiplier, parity};
+
+/// Broad structural class of a benchmark; predicts the switching-activity
+/// and sensitivity regime the paper's bounds respond to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CircuitClass {
+    /// XOR-dominated networks (parity, ECC): activity near 0.5, high
+    /// sensitivity — where the bounds are tightest.
+    XorDominated,
+    /// Adder/multiplier datapaths: ripple structure, medium activity.
+    Arithmetic,
+    /// Priority/control logic: skewed signal probabilities, low activity —
+    /// the regime with the largest energy overhead factors.
+    Control,
+    /// Mixed datapath + control (ALUs, adder/comparator combos).
+    Mixed,
+}
+
+impl fmt::Display for CircuitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CircuitClass::XorDominated => "xor-dominated",
+            CircuitClass::Arithmetic => "arithmetic",
+            CircuitClass::Control => "control",
+            CircuitClass::Mixed => "mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named benchmark circuit with its metadata.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Short name used in reports (e.g. `c6288a`, `rca16`).
+    pub name: String,
+    /// The generated netlist (pre-optimization; the experiment pipeline
+    /// applies the synthesis-lite flow itself).
+    pub netlist: Netlist,
+    /// Structural class.
+    pub class: CircuitClass,
+    /// Exact Boolean sensitivity, when analytically known for this
+    /// generator; `None` means the pipeline must measure it.
+    pub sensitivity_hint: Option<u32>,
+}
+
+impl Benchmark {
+    /// Bundles a netlist with its metadata, taking the benchmark name from
+    /// the netlist's design name.
+    #[must_use]
+    pub fn new(netlist: Netlist, class: CircuitClass, sensitivity_hint: Option<u32>) -> Self {
+        Benchmark { name: netlist.name().to_owned(), netlist, class, sensitivity_hint }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.name, self.class, self.netlist)
+    }
+}
+
+/// The ISCAS'85 subset: `c17` verbatim plus the functional analogs
+/// documented in [`crate::iscas`].
+///
+/// # Errors
+///
+/// Propagates [`GenError`] from the generators; never fails for the fixed
+/// parameters used here.
+pub fn iscas_suite() -> Result<Vec<Benchmark>, GenError> {
+    let c1908_inputs = 16 + ecc::check_bits(16);
+    Ok(vec![
+        Benchmark::new(iscas::c17(), CircuitClass::Control, None),
+        Benchmark::new(iscas::c432_analog()?, CircuitClass::Control, None),
+        Benchmark::new(iscas::c499_analog()?, CircuitClass::XorDominated, None),
+        Benchmark::new(iscas::c880_analog()?, CircuitClass::Mixed, None),
+        Benchmark::new(iscas::c1355_analog()?, CircuitClass::XorDominated, None),
+        // Every input of the detector feeds a syndrome XOR tree, so any
+        // single flip always toggles an output: s = n exactly.
+        Benchmark::new(
+            iscas::c1908_analog()?,
+            CircuitClass::XorDominated,
+            Some(c1908_inputs as u32),
+        ),
+        Benchmark::new(
+            iscas::c6288_analog()?,
+            CircuitClass::Arithmetic,
+            Some(multiplier::sensitivity(16, 16)),
+        ),
+        // The 32-bit ripple adder inside already reaches s = 2·32 + 1 = 65,
+        // which equals the input count, the ceiling for any sensitivity.
+        Benchmark::new(iscas::c7552_analog()?, CircuitClass::Mixed, Some(65)),
+    ])
+}
+
+/// The paper's computer-arithmetic circuits: ripple-carry adders and array
+/// multipliers "with various bitwidths".
+///
+/// # Errors
+///
+/// Propagates [`GenError`] from the generators; never fails for the fixed
+/// parameters used here.
+pub fn arithmetic_suite() -> Result<Vec<Benchmark>, GenError> {
+    let mut out = Vec::new();
+    for width in [8usize, 16, 32, 64] {
+        out.push(Benchmark::new(
+            adder::ripple_carry(width)?,
+            CircuitClass::Arithmetic,
+            Some(adder::adder_sensitivity(width)),
+        ));
+    }
+    for width in [4usize, 8] {
+        out.push(Benchmark::new(
+            multiplier::array(width, width)?,
+            CircuitClass::Arithmetic,
+            Some(multiplier::sensitivity(width, width)),
+        ));
+    }
+    // Parity trees of 2-input XORs — the function family for which every
+    // bound in the paper is *tight* (decision-tree/Shannon circuits), and
+    // the source of its "at least 40% more energy at 1% gate error"
+    // headline regime.
+    for width in [16usize, 32, 64] {
+        out.push(Benchmark::new(
+            parity::parity_tree(width, 2)?,
+            CircuitClass::XorDominated,
+            Some(parity::sensitivity(width)),
+        ));
+    }
+    Ok(out)
+}
+
+/// The full Section-6 benchmark set: [`iscas_suite`] followed by
+/// [`arithmetic_suite`].
+///
+/// # Errors
+///
+/// Propagates [`GenError`] from the generators; never fails for the fixed
+/// parameters used here.
+///
+/// # Examples
+///
+/// ```
+/// let suite = nanobound_gen::standard_suite()?;
+/// assert!(suite.len() >= 12);
+/// assert!(suite.iter().any(|b| b.name == "c6288a"));
+/// # Ok::<(), nanobound_gen::GenError>(())
+/// ```
+pub fn standard_suite() -> Result<Vec<Benchmark>, GenError> {
+    let mut suite = iscas_suite()?;
+    suite.extend(arithmetic_suite()?);
+    Ok(suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique() {
+        let suite = standard_suite().unwrap();
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn suite_netlists_validate() {
+        for b in standard_suite().unwrap() {
+            b.netlist.validate().unwrap();
+            assert!(b.netlist.gate_count() > 0, "{} is empty", b.name);
+        }
+    }
+
+    #[test]
+    fn hints_do_not_exceed_input_count() {
+        for b in standard_suite().unwrap() {
+            if let Some(s) = b.sensitivity_hint {
+                assert!(
+                    (s as usize) <= b.netlist.input_count(),
+                    "{}: hint {} > n {}",
+                    b.name,
+                    s,
+                    b.netlist.input_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classes_cover_all_regimes() {
+        let suite = standard_suite().unwrap();
+        for class in [
+            CircuitClass::XorDominated,
+            CircuitClass::Arithmetic,
+            CircuitClass::Control,
+            CircuitClass::Mixed,
+        ] {
+            assert!(suite.iter().any(|b| b.class == class), "missing {class}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let suite = iscas_suite().unwrap();
+        let line = suite[0].to_string();
+        assert!(line.contains("c17"));
+        assert!(line.contains("control"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the circuit generators: arithmetic
+//! correctness against `u128` reference computations over random widths
+//! and operands.
+
+use proptest::prelude::*;
+
+use nanobound_gen::{adder, alu, comparator, decoder, ecc, multiplier, mux, parity, priority};
+
+/// Packs an integer into an LSB-first bool vector of the given width.
+fn bits(value: u128, width: usize) -> Vec<bool> {
+    (0..width).map(|i| value >> i & 1 == 1).collect()
+}
+
+/// Reads an LSB-first bool slice as an integer.
+fn value(bits: &[bool]) -> u128 {
+    bits.iter().enumerate().map(|(i, &b)| u128::from(b) << i).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ripple_carry_adds(width in 1usize..=32, a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let a = u128::from(a) & ((1 << width) - 1);
+        let b = u128::from(b) & ((1 << width) - 1);
+        let rca = adder::ripple_carry(width).unwrap();
+        let mut inputs = bits(a, width);
+        inputs.extend(bits(b, width));
+        inputs.push(cin);
+        let out = rca.evaluate(&inputs).unwrap();
+        let expect = a + b + u128::from(cin);
+        prop_assert_eq!(value(&out), expect, "{} + {} + {}", a, b, cin);
+    }
+
+    #[test]
+    fn carry_lookahead_matches_ripple(width in 1usize..=16, a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let a = u128::from(a) & ((1 << width) - 1);
+        let b = u128::from(b) & ((1 << width) - 1);
+        let mut inputs = bits(a, width);
+        inputs.extend(bits(b, width));
+        inputs.push(cin);
+        let rca = adder::ripple_carry(width).unwrap().evaluate(&inputs).unwrap();
+        let cla = adder::carry_lookahead(width).unwrap().evaluate(&inputs).unwrap();
+        prop_assert_eq!(rca, cla);
+    }
+
+    #[test]
+    fn kogge_stone_matches_ripple(width in 1usize..=16, a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let a = u128::from(a) & ((1 << width) - 1);
+        let b = u128::from(b) & ((1 << width) - 1);
+        let mut inputs = bits(a, width);
+        inputs.extend(bits(b, width));
+        inputs.push(cin);
+        let rca = adder::ripple_carry(width).unwrap().evaluate(&inputs).unwrap();
+        let ks = adder::kogge_stone(width).unwrap().evaluate(&inputs).unwrap();
+        prop_assert_eq!(rca, ks);
+    }
+
+    #[test]
+    fn multiplier_multiplies(wa in 1usize..=8, wb in 1usize..=8, a in any::<u16>(), b in any::<u16>()) {
+        let a = u128::from(a) & ((1 << wa) - 1);
+        let b = u128::from(b) & ((1 << wb) - 1);
+        let m = multiplier::array(wa, wb).unwrap();
+        let mut inputs = bits(a, wa);
+        inputs.extend(bits(b, wb));
+        let out = m.evaluate(&inputs).unwrap();
+        prop_assert_eq!(value(&out), a * b, "{} * {}", a, b);
+    }
+
+    #[test]
+    fn popcount_counts(width in 1usize..=24, v in any::<u32>()) {
+        let v = u128::from(v) & ((1 << width) - 1);
+        let pc = adder::popcount(width).unwrap();
+        let out = pc.evaluate(&bits(v, width)).unwrap();
+        prop_assert_eq!(value(&out), u128::from(v.count_ones()));
+    }
+
+    #[test]
+    fn parity_forms_agree_with_reference(width in 2usize..=24, fanin in 2usize..=4, v in any::<u32>()) {
+        let v = u128::from(v) & ((1 << width) - 1);
+        let expect = (v.count_ones() % 2) == 1;
+        let tree = parity::parity_tree(width, fanin).unwrap();
+        prop_assert_eq!(tree.evaluate(&bits(v, width)).unwrap(), vec![expect]);
+        let chain = parity::parity_chain(width).unwrap();
+        prop_assert_eq!(chain.evaluate(&bits(v, width)).unwrap(), vec![expect]);
+    }
+
+    #[test]
+    fn comparators_compare(width in 1usize..=16, a in any::<u32>(), b in any::<u32>()) {
+        let a = u128::from(a) & ((1 << width) - 1);
+        let b = u128::from(b) & ((1 << width) - 1);
+        let mut inputs = bits(a, width);
+        inputs.extend(bits(b, width));
+        let eq = comparator::equal(width).unwrap().evaluate(&inputs).unwrap();
+        prop_assert_eq!(eq, vec![a == b]);
+        let lt = comparator::less_than(width).unwrap().evaluate(&inputs).unwrap();
+        prop_assert_eq!(lt, vec![a < b]);
+    }
+
+    #[test]
+    fn threshold_comparator(width in 1usize..=12, v in any::<u16>(), t in any::<u16>()) {
+        let v = u64::from(v) & ((1 << width) - 1);
+        let t = u64::from(t) & ((1 << width) - 1);
+        let ge = comparator::ge_const(width, t).unwrap();
+        let out = ge.evaluate(&bits(u128::from(v), width)).unwrap();
+        prop_assert_eq!(out, vec![v >= t]);
+    }
+
+    #[test]
+    fn decoder_one_hot(width in 1usize..=6, v in any::<u8>(), enable in any::<bool>()) {
+        let v = usize::from(v) & ((1 << width) - 1);
+        let dec = decoder::binary_decoder(width, true).unwrap();
+        let mut inputs = bits(v as u128, width);
+        inputs.push(enable);
+        let out = dec.evaluate(&inputs).unwrap();
+        for (i, &o) in out.iter().enumerate() {
+            prop_assert_eq!(o, enable && i == v, "line {} for v = {}", i, v);
+        }
+    }
+
+    #[test]
+    fn mux_selects(select_bits in 1usize..=4, data in any::<u16>(), sel in any::<u8>()) {
+        let lanes = 1usize << select_bits;
+        let sel = usize::from(sel) % lanes;
+        let m = mux::mux_tree(select_bits).unwrap();
+        // Input order: select bits then data lanes.
+        let mut inputs = bits(sel as u128, select_bits);
+        inputs.extend((0..lanes).map(|i| u32::from(data) >> i & 1 == 1));
+        let out = m.evaluate(&inputs).unwrap();
+        prop_assert_eq!(out, vec![u32::from(data) >> sel & 1 == 1]);
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest(lines in 2usize..=12, v in any::<u16>()) {
+        let v = usize::from(v) & ((1 << lines) - 1);
+        let pe = priority::priority_encoder(lines).unwrap();
+        let out = pe.evaluate(&bits(v as u128, lines)).unwrap();
+        let expect_valid = v != 0;
+        prop_assert_eq!(out[0], expect_valid);
+        if expect_valid {
+            let winner = v.trailing_zeros() as u128;
+            let index_bits = out.len() - 1;
+            let index = value(&out[1..]);
+            prop_assert_eq!(index, winner, "v = {:0width$b}, bits {}", v, index_bits, width = lines);
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error(data_bits in 2usize..=16, data in any::<u16>(), flip in any::<usize>()) {
+        let data = u128::from(data) & ((1 << data_bits) - 1);
+        let corrector = ecc::hamming_corrector(data_bits).unwrap();
+        let data_vec = bits(data, data_bits);
+        let checks = ecc::encode_checks(&data_vec);
+        let mut word = data_vec.clone();
+        word.extend(&checks);
+        // Flip one arbitrary position (or none when flip lands on len).
+        let pos = flip % (word.len() + 1);
+        if pos < word.len() {
+            word[pos] = !word[pos];
+        }
+        let out = corrector.evaluate(&word).unwrap();
+        prop_assert_eq!(value(&out), data, "flip at {}", pos);
+    }
+
+    #[test]
+    fn alu_operations(width in 1usize..=8, a in any::<u16>(), b in any::<u16>(), cin in any::<bool>(), op in 0u8..4) {
+        let mask = (1u128 << width) - 1;
+        let a = u128::from(a) & mask;
+        let b = u128::from(b) & mask;
+        let alu = alu::alu(width).unwrap();
+        let mut inputs = bits(a, width);
+        inputs.extend(bits(b, width));
+        inputs.push(cin);
+        inputs.push(op & 1 == 1);
+        inputs.push(op & 2 == 2);
+        let out = alu.evaluate(&inputs).unwrap();
+        let y = value(&out[..width]);
+        let expect = match op {
+            0 => (a + b + u128::from(cin)) & mask,
+            1 => a & b,
+            2 => a | b,
+            _ => a ^ b,
+        };
+        prop_assert_eq!(y, expect, "op {} on {} and {}", op, a, b);
+        if op == 0 {
+            prop_assert_eq!(out[width], (a + b + u128::from(cin)) > mask);
+        } else {
+            prop_assert!(!out[width], "cout must be gated off for logic ops");
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! A practical subset of Berkeley BLIF (the native format of SIS).
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` with
+//! single-output sum-of-products covers, `.latch` (cut into the
+//! combinational envelope) and `.end`. Line continuations with `\` are
+//! handled. Covers are converted to gate networks on read (a row becomes an
+//! AND of literals, rows are ORed, an off-set cover is complemented) and
+//! gates are converted back to covers on write.
+
+use std::collections::HashMap;
+
+use nanobound_logic::{GateKind, Netlist, Node, NodeId};
+
+use crate::error::{ParseError, ParseErrorKind, WriteError};
+use crate::names;
+use crate::{Design, Latch};
+
+/// A `.names` statement: signals and the rows of its cover.
+struct Cover {
+    /// Fanin signal names; the last entry of the `.names` line (the output)
+    /// is stored separately.
+    inputs: Vec<String>,
+    output: String,
+    /// Rows as (input pattern, output char).
+    rows: Vec<(String, char)>,
+    line: usize,
+}
+
+/// Parses BLIF text into a [`Design`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for missing `.model`, malformed covers,
+/// unknown signals, duplicate definitions and combinational cycles.
+///
+/// # Examples
+///
+/// ```
+/// let design = nanobound_io::blif::parse("\
+/// .model tiny
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ")?;
+/// assert_eq!(design.netlist.evaluate(&[true, true]).unwrap(), vec![true]);
+/// # Ok::<(), nanobound_io::ParseError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Design, ParseError> {
+    let mut model: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut covers: Vec<Cover> = Vec::new();
+    let mut latches: Vec<Latch> = Vec::new();
+
+    // Join continuation lines first, remembering original line numbers.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let without_comment = raw.split('#').next().unwrap_or("");
+        let (target_no, mut buf) = pending.take().unwrap_or((line_no, String::new()));
+        if !buf.is_empty() {
+            buf.push(' ');
+        }
+        if let Some(stripped) = without_comment.trim_end().strip_suffix('\\') {
+            buf.push_str(stripped.trim());
+            pending = Some((target_no, buf));
+        } else {
+            buf.push_str(without_comment.trim());
+            logical_lines.push((target_no, buf));
+        }
+    }
+    if let Some((line_no, buf)) = pending {
+        logical_lines.push((line_no, buf));
+    }
+
+    for (line_no, line) in &logical_lines {
+        let line_no = *line_no;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("nonempty line has a token");
+        match head {
+            ".model" => {
+                model = Some(tokens.next().unwrap_or("unnamed").to_owned());
+            }
+            ".inputs" => inputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".latch" => {
+                let args: Vec<&str> = tokens.collect();
+                if args.len() < 2 {
+                    return Err(ParseError::at(
+                        line_no,
+                        ParseErrorKind::Syntax(".latch needs input and output".into()),
+                    ));
+                }
+                latches.push(Latch { input: args[0].to_owned(), output: args[1].to_owned() });
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_owned).collect();
+                if signals.is_empty() {
+                    return Err(ParseError::at(
+                        line_no,
+                        ParseErrorKind::Syntax(".names needs at least an output".into()),
+                    ));
+                }
+                let output = signals.last().expect("nonempty").clone();
+                let ins = signals[..signals.len() - 1].to_vec();
+                covers.push(Cover { inputs: ins, output, rows: Vec::new(), line: line_no });
+            }
+            ".end" => break,
+            ".exdc" | ".wire_load_slope" | ".default_input_arrival" => {
+                // Harmless SIS extensions: ignore.
+            }
+            _ if head.starts_with('.') => {
+                return Err(ParseError::at(
+                    line_no,
+                    ParseErrorKind::Syntax(format!("unsupported construct `{head}`")),
+                ));
+            }
+            _ => {
+                // A cover row for the most recent .names.
+                let cover = covers.last_mut().ok_or_else(|| {
+                    ParseError::at(line_no, ParseErrorKind::Syntax("row outside .names".into()))
+                })?;
+                let cols: Vec<&str> = line.split_whitespace().collect();
+                let (pattern, out_char) = match (cover.inputs.len(), cols.as_slice()) {
+                    (0, [out]) => (String::new(), *out),
+                    (_, [pat, out]) => ((*pat).to_owned(), *out),
+                    _ => {
+                        return Err(ParseError::at(
+                            line_no,
+                            ParseErrorKind::BadCover(format!("expected `pattern value`: {line}")),
+                        ));
+                    }
+                };
+                if pattern.len() != cover.inputs.len() {
+                    return Err(ParseError::at(
+                        line_no,
+                        ParseErrorKind::BadCover(format!(
+                            "pattern width {} does not match {} inputs",
+                            pattern.len(),
+                            cover.inputs.len()
+                        )),
+                    ));
+                }
+                if !pattern.chars().all(|c| matches!(c, '0' | '1' | '-')) {
+                    return Err(ParseError::at(
+                        line_no,
+                        ParseErrorKind::BadCover(format!("bad literal in `{pattern}`")),
+                    ));
+                }
+                let out = out_char.chars().next().expect("nonempty token");
+                if !matches!(out, '0' | '1') {
+                    return Err(ParseError::at(
+                        line_no,
+                        ParseErrorKind::BadCover(format!("bad output value `{out_char}`")),
+                    ));
+                }
+                cover.rows.push((pattern, out));
+            }
+        }
+    }
+
+    let model = model.ok_or(ParseError::at(0, ParseErrorKind::MissingModel))?;
+    build_design(&model, &inputs, &outputs, covers, latches)
+}
+
+/// Second parse phase: order covers topologically and materialize gates.
+fn build_design(
+    model: &str,
+    inputs: &[String],
+    outputs: &[String],
+    covers: Vec<Cover>,
+    latches: Vec<Latch>,
+) -> Result<Design, ParseError> {
+    let mut netlist = Netlist::new(model);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for name in inputs {
+        if ids.contains_key(name) {
+            return Err(ParseError::at(0, ParseErrorKind::DuplicateDefinition(name.clone())));
+        }
+        ids.insert(name.clone(), netlist.add_input(name.clone()));
+    }
+    for latch in &latches {
+        if ids.contains_key(&latch.output) {
+            return Err(ParseError::at(
+                0,
+                ParseErrorKind::DuplicateDefinition(latch.output.clone()),
+            ));
+        }
+        ids.insert(latch.output.clone(), netlist.add_input(latch.output.clone()));
+    }
+
+    let mut by_output: HashMap<&str, &Cover> = HashMap::new();
+    for cover in &covers {
+        if ids.contains_key(&cover.output) || by_output.insert(&cover.output, cover).is_some() {
+            return Err(ParseError::at(
+                cover.line,
+                ParseErrorKind::DuplicateDefinition(cover.output.clone()),
+            ));
+        }
+    }
+
+    // Iterative topological materialization, mirroring the .bench reader.
+    let mut in_progress: HashMap<&str, bool> = HashMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+    let mut roots: Vec<&str> = outputs.iter().map(String::as_str).collect();
+    roots.extend(latches.iter().map(|l| l.input.as_str()));
+    let mut cover_outputs: Vec<&str> = by_output.keys().copied().collect();
+    cover_outputs.sort_unstable();
+    roots.extend(cover_outputs);
+
+    for root in roots {
+        if ids.contains_key(root) {
+            continue;
+        }
+        stack.push(root);
+        while let Some(&current) = stack.last() {
+            if ids.contains_key(current) {
+                stack.pop();
+                continue;
+            }
+            let cover = *by_output.get(current).ok_or_else(|| {
+                ParseError::at(0, ParseErrorKind::UnknownSignal(current.to_owned()))
+            })?;
+            let expanded = in_progress.get(current).copied().unwrap_or(false);
+            if !expanded {
+                in_progress.insert(current, true);
+                let mut ready = true;
+                for arg in &cover.inputs {
+                    if !ids.contains_key(arg.as_str()) {
+                        if in_progress.get(arg.as_str()).copied().unwrap_or(false) {
+                            return Err(ParseError::at(
+                                cover.line,
+                                ParseErrorKind::CombinationalCycle(arg.clone()),
+                            ));
+                        }
+                        if !by_output.contains_key(arg.as_str()) {
+                            return Err(ParseError::at(
+                                cover.line,
+                                ParseErrorKind::UnknownSignal(arg.clone()),
+                            ));
+                        }
+                        stack.push(arg.as_str());
+                        ready = false;
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+            } else if let Some(arg) = cover.inputs.iter().find(|a| !ids.contains_key(a.as_str())) {
+                return Err(ParseError::at(
+                    cover.line,
+                    ParseErrorKind::CombinationalCycle(arg.clone()),
+                ));
+            }
+            let fanins: Vec<NodeId> = cover.inputs.iter().map(|a| ids[a.as_str()]).collect();
+            let id = materialize_cover(&mut netlist, cover, &fanins)?;
+            ids.insert(current.to_owned(), id);
+            in_progress.insert(current, false);
+            stack.pop();
+        }
+    }
+
+    for name in outputs {
+        let id = *ids
+            .get(name)
+            .ok_or_else(|| ParseError::at(0, ParseErrorKind::UnknownSignal(name.clone())))?;
+        netlist.add_output(name.clone(), id)?;
+    }
+    for latch in &latches {
+        let id = *ids
+            .get(&latch.input)
+            .ok_or_else(|| ParseError::at(0, ParseErrorKind::UnknownSignal(latch.input.clone())))?;
+        netlist.add_output(format!("{}$next", latch.output), id)?;
+    }
+    Ok(Design { netlist, latches })
+}
+
+/// Converts a sum-of-products cover to gates and returns the driving node.
+fn materialize_cover(
+    netlist: &mut Netlist,
+    cover: &Cover,
+    fanins: &[NodeId],
+) -> Result<NodeId, ParseError> {
+    if cover.rows.is_empty() {
+        // Empty cover: constant 0 (standard BLIF semantics).
+        return Ok(netlist.add_const(false));
+    }
+    let polarity = cover.rows[0].1;
+    if cover.rows.iter().any(|(_, v)| *v != polarity) {
+        return Err(ParseError::at(
+            cover.line,
+            ParseErrorKind::BadCover("mixed on-set and off-set rows".into()),
+        ));
+    }
+    let mut row_nodes: Vec<NodeId> = Vec::with_capacity(cover.rows.len());
+    for (pattern, _) in &cover.rows {
+        let mut literals: Vec<NodeId> = Vec::new();
+        for (i, c) in pattern.chars().enumerate() {
+            match c {
+                '1' => literals.push(fanins[i]),
+                '0' => literals.push(netlist.add_gate(GateKind::Not, &[fanins[i]])?),
+                _ => {}
+            }
+        }
+        let node = match literals.len() {
+            0 => netlist.add_const(true),
+            1 => literals[0],
+            _ => netlist.add_gate(GateKind::And, &literals)?,
+        };
+        row_nodes.push(node);
+    }
+    let or_node = match row_nodes.len() {
+        1 => row_nodes[0],
+        _ => netlist.add_gate(GateKind::Or, &row_nodes)?,
+    };
+    if polarity == '1' {
+        Ok(or_node)
+    } else {
+        Ok(netlist.add_gate(GateKind::Not, &[or_node])?)
+    }
+}
+
+/// Serializes a design to BLIF text.
+///
+/// # Errors
+///
+/// Returns [`WriteError::CoverTooWide`] if the netlist contains an
+/// XOR/XNOR gate with more than 16 fanins (its cover would need 2^15+
+/// rows); run the fanin decomposition first.
+pub fn write(design: &Design) -> Result<String, WriteError> {
+    let netlist = &design.netlist;
+    let node_names = names::node_names(netlist);
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", sanitize(netlist.name())));
+
+    let latch_outputs: Vec<&str> = design.latches.iter().map(|l| l.output.as_str()).collect();
+    let real_inputs: Vec<&str> = netlist
+        .inputs()
+        .iter()
+        .map(|&id| node_names[id.index()].as_str())
+        .filter(|n| !latch_outputs.contains(n))
+        .collect();
+    out.push_str(".inputs");
+    for n in real_inputs {
+        out.push_str(&format!(" {n}"));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for o in netlist.outputs() {
+        if !o.name.ends_with("$next") {
+            out.push_str(&format!(" {}", o.name));
+        }
+    }
+    out.push('\n');
+    for latch in &design.latches {
+        out.push_str(&format!(".latch {} {} 2\n", latch.input, latch.output));
+    }
+
+    for id in netlist.node_ids() {
+        if let Node::Gate { kind, fanins } = netlist.node(id) {
+            let ins: Vec<&str> = fanins.iter().map(|f| node_names[f.index()].as_str()).collect();
+            write_cover(&mut out, *kind, &ins, &node_names[id.index()])?;
+        }
+    }
+    for (alias, driver) in names::output_aliases(netlist, &node_names) {
+        if !alias.ends_with("$next") {
+            write_cover(&mut out, GateKind::Buf, &[&node_names[driver.index()]], &alias)?;
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+fn sanitize(name: &str) -> String {
+    if name.is_empty() {
+        "unnamed".to_owned()
+    } else {
+        name.split_whitespace().collect::<Vec<_>>().join("_")
+    }
+}
+
+/// Emits one gate as a `.names` cover.
+fn write_cover(
+    out: &mut String,
+    kind: GateKind,
+    ins: &[&str],
+    output: &str,
+) -> Result<(), WriteError> {
+    out.push_str(".names");
+    for i in ins {
+        out.push_str(&format!(" {i}"));
+    }
+    out.push_str(&format!(" {output}\n"));
+    let n = ins.len();
+    match kind {
+        GateKind::Const0 => {}
+        GateKind::Const1 => out.push_str("1\n"),
+        GateKind::Buf => out.push_str("1 1\n"),
+        GateKind::Not => out.push_str("0 1\n"),
+        GateKind::And => out.push_str(&format!("{} 1\n", "1".repeat(n))),
+        GateKind::Nand => out.push_str(&format!("{} 0\n", "1".repeat(n))),
+        GateKind::Or => {
+            for i in 0..n {
+                out.push_str(&one_hot_row(n, i, '1'));
+            }
+        }
+        GateKind::Nor => {
+            for i in 0..n {
+                out.push_str(&one_hot_row(n, i, '0'));
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            if n > 16 {
+                return Err(WriteError::CoverTooWide { fanin: n });
+            }
+            let want_odd = kind == GateKind::Xor;
+            for bits in 0u32..(1u32 << n) {
+                let odd = bits.count_ones() % 2 == 1;
+                if odd == want_odd {
+                    let pattern: String =
+                        (0..n).map(|i| if bits >> i & 1 == 1 { '1' } else { '0' }).collect();
+                    out.push_str(&format!("{pattern} 1\n"));
+                }
+            }
+        }
+        GateKind::Maj => {
+            out.push_str("11- 1\n1-1 1\n-11 1\n");
+        }
+    }
+    Ok(())
+}
+
+/// A row asserting input `hot` (with value `value`) and don't-cares
+/// elsewhere, with output 1 for `'1'`-rows (OR) and 0 for NOR.
+fn one_hot_row(n: usize, hot: usize, polarity: char) -> String {
+    let pattern: String = (0..n).map(|i| if i == hot { '1' } else { '-' }).collect();
+    // For OR the on-set rows output 1; NOR is written as the complemented
+    // on-set (output 0 rows describe the off... ); see tests.
+    let _ = polarity;
+    if polarity == '1' {
+        format!("{pattern} 1\n")
+    } else {
+        format!("{pattern} 0\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_gate() {
+        let d = parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n").unwrap();
+        assert_eq!(d.netlist.evaluate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(d.netlist.evaluate(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn parse_offset_cover() {
+        // NOR written as complemented on-set.
+        let d =
+            parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 0\n-1 0\n.end\n").unwrap();
+        assert_eq!(d.netlist.evaluate(&[false, false]).unwrap(), vec![true]);
+        assert_eq!(d.netlist.evaluate(&[true, false]).unwrap(), vec![false]);
+        assert_eq!(d.netlist.evaluate(&[false, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn parse_constants() {
+        let d = parse(".model m\n.outputs y z\n.names y\n.names z\n1\n.end\n").unwrap();
+        assert_eq!(d.netlist.evaluate(&[]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn dont_cares_expand() {
+        // y = a (b is don't care).
+        let d = parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n.end\n").unwrap();
+        assert_eq!(d.netlist.evaluate(&[true, false]).unwrap(), vec![true]);
+        assert_eq!(d.netlist.evaluate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(d.netlist.evaluate(&[false, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let d = parse(".model m\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n")
+            .unwrap();
+        assert_eq!(d.netlist.input_count(), 2);
+    }
+
+    #[test]
+    fn latch_cut() {
+        let d = parse(
+            ".model m\n.inputs d\n.outputs y\n.latch nd q 2\n.names d nd\n0 1\n.names q d y\n11 1\n.end\n",
+        )
+        .unwrap();
+        assert!(d.is_sequential());
+        assert_eq!(d.netlist.input_count(), 2); // d + pseudo q
+        assert_eq!(d.netlist.output_count(), 2); // y + q$next
+    }
+
+    #[test]
+    fn missing_model_rejected() {
+        let err = parse(".inputs a\n.outputs y\n.names a y\n1 1\n.end\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MissingModel));
+    }
+
+    #[test]
+    fn mixed_polarity_cover_rejected() {
+        let err =
+            parse(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadCover(_)));
+    }
+
+    #[test]
+    fn bad_pattern_width_rejected() {
+        let err =
+            parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadCover(_)));
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let err = parse(".model m\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownSignal(ref s) if s == "ghost"));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = parse(
+            ".model m\n.inputs a\n.outputs y\n.names a z y\n11 1\n.names y z\n1 1\n.end\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn roundtrip_every_gate_kind() {
+        let mut nl = Netlist::new("kinds");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        for (idx, kind) in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let g = nl.add_gate(kind, &[a, b, c]).unwrap();
+            nl.add_output(format!("y{idx}"), g).unwrap();
+        }
+        let m = nl.add_gate(GateKind::Maj, &[a, b, c]).unwrap();
+        nl.add_output("ymaj", m).unwrap();
+        let inv = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.add_output("yinv", inv).unwrap();
+        let k1 = nl.add_const(true);
+        nl.add_output("k1", k1).unwrap();
+
+        let text = write(&Design::combinational(nl.clone())).unwrap();
+        let d2 = parse(&text).unwrap();
+        for bits in 0u32..8 {
+            let assignment: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                nl.evaluate(&assignment).unwrap(),
+                d2.netlist.evaluate(&assignment).unwrap(),
+                "mismatch at {bits:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_xor_write_rejected() {
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<_> = (0..20).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let g = nl.add_gate(GateKind::Xor, &ins).unwrap();
+        nl.add_output("y", g).unwrap();
+        let err = write(&Design::combinational(nl)).unwrap_err();
+        assert!(matches!(err, WriteError::CoverTooWide { fanin: 20 }));
+    }
+
+    #[test]
+    fn unsupported_construct_reports_line() {
+        let err = parse(".model m\n.gate NAND2 a=x b=y O=z\n.end\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::Syntax(_)));
+    }
+}

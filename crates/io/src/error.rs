@@ -1,0 +1,135 @@
+//! Parse and write errors for the netlist interchange formats.
+
+use std::error::Error;
+use std::fmt;
+
+use nanobound_logic::LogicError;
+
+/// What went wrong while parsing, without positional information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The line did not match any known statement form.
+    Syntax(String),
+    /// A gate or cover referenced a signal that is never defined.
+    UnknownSignal(String),
+    /// A signal was given two driver definitions.
+    DuplicateDefinition(String),
+    /// Gate definitions form a combinational cycle through this signal.
+    CombinationalCycle(String),
+    /// An unknown gate-kind name was used.
+    UnknownGate(String),
+    /// A `.names` cover row was malformed.
+    BadCover(String),
+    /// BLIF text did not contain a `.model` header.
+    MissingModel,
+    /// The underlying netlist rejected a construction step.
+    Logic(LogicError),
+}
+
+/// A parse failure with the 1-based source line where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 when the error is not tied to a line).
+    pub line: usize,
+    /// The failure category and payload.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    pub(crate) fn at(line: usize, kind: ParseErrorKind) -> Self {
+        ParseError { line, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            ParseErrorKind::Syntax(s) => write!(f, "syntax error: {s}"),
+            ParseErrorKind::UnknownSignal(s) => write!(f, "signal `{s}` is never defined"),
+            ParseErrorKind::DuplicateDefinition(s) => {
+                write!(f, "signal `{s}` defined more than once")
+            }
+            ParseErrorKind::CombinationalCycle(s) => {
+                write!(f, "combinational cycle through `{s}`")
+            }
+            ParseErrorKind::UnknownGate(s) => write!(f, "unknown gate `{s}`"),
+            ParseErrorKind::BadCover(s) => write!(f, "malformed cover: {s}"),
+            ParseErrorKind::MissingModel => write!(f, "missing .model header"),
+            ParseErrorKind::Logic(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Logic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogicError> for ParseError {
+    fn from(e: LogicError) -> Self {
+        ParseError { line: 0, kind: ParseErrorKind::Logic(e) }
+    }
+}
+
+/// Errors produced while serializing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WriteError {
+    /// An XOR/XNOR cover would need `2^(n-1)` rows and the fanin `n` is too
+    /// wide to enumerate; decompose the netlist first.
+    CoverTooWide {
+        /// The offending fanin count.
+        fanin: usize,
+    },
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::CoverTooWide { fanin } => {
+                write!(f, "xor cover with fanin {fanin} too wide; decompose to smaller fanin first")
+            }
+        }
+    }
+}
+
+impl Error for WriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::at(42, ParseErrorKind::UnknownSignal("foo".into()));
+        let s = e.to_string();
+        assert!(s.contains("line 42"));
+        assert!(s.contains("foo"));
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseError::at(0, ParseErrorKind::MissingModel);
+        assert!(!e.to_string().contains("line"));
+    }
+
+    #[test]
+    fn logic_error_source_chain() {
+        let e: ParseError = LogicError::NoOutputs.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn write_error_display() {
+        let e = WriteError::CoverTooWide { fanin: 30 };
+        assert!(e.to_string().contains("30"));
+    }
+}

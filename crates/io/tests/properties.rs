@@ -1,0 +1,101 @@
+//! Property-based round-trip tests for the interchange formats.
+
+use proptest::prelude::*;
+
+use nanobound_io::{bench, blif, Design};
+use nanobound_logic::{GateKind, Netlist, NodeId};
+
+/// Builds a deterministic random netlist (xorshift-based; this crate
+/// cannot depend on `nanobound-gen`, which sits above it).
+fn build_random(seed: u64, inputs: usize, gates: usize) -> Netlist {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        state
+    };
+    let mut nl = Netlist::new("roundtrip");
+    let mut pool: Vec<NodeId> = (0..inputs).map(|i| nl.add_input(format!("in{i}"))).collect();
+    const KINDS: [GateKind; 7] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ];
+    for _ in 0..gates {
+        let kind = KINDS[(next() % KINDS.len() as u64) as usize];
+        let arity = if kind == GateKind::Not { 1 } else { 2 + (next() % 3) as usize };
+        let fanins: Vec<NodeId> =
+            (0..arity).map(|_| pool[(next() % pool.len() as u64) as usize]).collect();
+        pool.push(nl.add_gate(kind, &fanins).expect("valid construction"));
+    }
+    let last = *pool.last().expect("nonempty pool");
+    nl.add_output("out0", last).unwrap();
+    if pool.len() > inputs + 1 {
+        nl.add_output("out1", pool[inputs]).unwrap();
+    }
+    nl
+}
+
+fn exhaustively_equivalent(a: &Netlist, b: &Netlist) -> bool {
+    assert!(a.input_count() <= 8);
+    assert_eq!(a.output_count(), b.output_count());
+    (0..1u32 << a.input_count()).all(|v| {
+        let bits: Vec<bool> = (0..a.input_count()).map(|i| v >> i & 1 == 1).collect();
+        a.evaluate(&bits).unwrap() == b.evaluate(&bits).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bench_roundtrip_preserves_function(
+        seed in any::<u64>(),
+        inputs in 1usize..=6,
+        gates in 1usize..=25,
+    ) {
+        let nl = build_random(seed, inputs, gates);
+        let text = bench::write(&Design::combinational(nl.clone()));
+        let parsed = bench::parse(&text).expect("own writer output must parse");
+        prop_assert!(exhaustively_equivalent(&nl, &parsed.netlist));
+    }
+
+    #[test]
+    fn blif_roundtrip_preserves_function(
+        seed in any::<u64>(),
+        inputs in 1usize..=6,
+        gates in 1usize..=25,
+    ) {
+        let nl = build_random(seed, inputs, gates);
+        let text = blif::write(&Design::combinational(nl.clone())).expect("writable");
+        let parsed = blif::parse(&text).expect("own writer output must parse");
+        prop_assert!(exhaustively_equivalent(&nl, &parsed.netlist));
+    }
+
+    #[test]
+    fn double_roundtrip_is_structurally_stable(
+        seed in any::<u64>(),
+        inputs in 1usize..=5,
+        gates in 1usize..=15,
+    ) {
+        // Repeated write∘parse must not drift: gate and node counts,
+        // interface names and the function all stay fixed after the
+        // first round trip (internal net names may be renumbered).
+        let nl = build_random(seed, inputs, gates);
+        let once = bench::parse(&bench::write(&Design::combinational(nl))).unwrap();
+        let twice = bench::parse(&bench::write(&once)).unwrap();
+        prop_assert_eq!(once.netlist.gate_count(), twice.netlist.gate_count());
+        prop_assert_eq!(once.netlist.node_count(), twice.netlist.node_count());
+        let names = |d: &Design| -> Vec<String> {
+            d.netlist.outputs().iter().map(|o| o.name.clone()).collect()
+        };
+        prop_assert_eq!(names(&once), names(&twice));
+        prop_assert!(exhaustively_equivalent(&once.netlist, &twice.netlist));
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for netlist construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Errors produced while building, validating or transforming a [`Netlist`].
+///
+/// [`Netlist`]: crate::Netlist
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A gate was given a fanin count outside the range its kind supports.
+    ArityMismatch {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// The fanin count that was supplied.
+        got: usize,
+    },
+    /// A node id referenced a node that does not exist in the netlist.
+    UnknownNode {
+        /// Index of the referenced node.
+        id: usize,
+        /// Number of nodes currently in the netlist.
+        len: usize,
+    },
+    /// An output with the same name was already declared.
+    DuplicateOutput {
+        /// The duplicated output name.
+        name: String,
+    },
+    /// An input with the same name was already declared.
+    DuplicateInput {
+        /// The duplicated input name.
+        name: String,
+    },
+    /// An evaluation was given the wrong number of input values.
+    AssignmentLength {
+        /// Number of primary inputs of the netlist.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A gate referenced a fanin that does not precede it, breaking the
+    /// topological-order invariant.
+    FaninOrder {
+        /// Index of the gate node.
+        gate: usize,
+        /// Index of the offending fanin.
+        fanin: usize,
+    },
+    /// A fanin budget smaller than 2 was requested from the decomposer.
+    FaninBudgetTooSmall {
+        /// The requested maximum fanin.
+        requested: usize,
+    },
+    /// The netlist has no primary outputs, so the requested analysis is
+    /// meaningless.
+    NoOutputs,
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::ArityMismatch { kind, got } => {
+                write!(f, "gate kind {kind} does not accept {got} fanins")
+            }
+            LogicError::UnknownNode { id, len } => {
+                write!(f, "node id {id} out of bounds for netlist of {len} nodes")
+            }
+            LogicError::DuplicateOutput { name } => {
+                write!(f, "output `{name}` declared more than once")
+            }
+            LogicError::DuplicateInput { name } => {
+                write!(f, "input `{name}` declared more than once")
+            }
+            LogicError::AssignmentLength { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            LogicError::FaninOrder { gate, fanin } => {
+                write!(f, "gate {gate} references fanin {fanin} that does not precede it")
+            }
+            LogicError::FaninBudgetTooSmall { requested } => {
+                write!(f, "maximum fanin must be at least 2, got {requested}")
+            }
+            LogicError::NoOutputs => write!(f, "netlist has no primary outputs"),
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            LogicError::ArityMismatch { kind: GateKind::Maj, got: 2 },
+            LogicError::UnknownNode { id: 7, len: 3 },
+            LogicError::DuplicateOutput { name: "f".into() },
+            LogicError::DuplicateInput { name: "a".into() },
+            LogicError::AssignmentLength { expected: 3, got: 1 },
+            LogicError::FaninOrder { gate: 4, fanin: 9 },
+            LogicError::FaninBudgetTooSmall { requested: 1 },
+            LogicError::NoOutputs,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(LogicError::NoOutputs);
+        assert!(e.source().is_none());
+    }
+}

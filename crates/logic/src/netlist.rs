@@ -1,0 +1,627 @@
+//! The combinational netlist data structure.
+
+use std::fmt;
+
+use crate::error::LogicError;
+use crate::gate::GateKind;
+
+/// Identifier of a node inside a [`Netlist`].
+///
+/// Node ids are dense indices; a gate's fanins always have smaller ids than
+/// the gate itself, so iterating nodes in id order is a topological
+/// traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Exposed for the simulator and transform crates that store per-node
+    /// side tables; ids fabricated for one netlist are meaningless in
+    /// another.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("netlist larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node of the netlist DAG: either a primary input or a gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// A primary input with a user-visible name.
+    Input {
+        /// Name of the input signal.
+        name: String,
+    },
+    /// A gate applying [`GateKind`] semantics to its fanins.
+    Gate {
+        /// The gate's kind.
+        kind: GateKind,
+        /// Ids of the fanin nodes, all strictly smaller than this node's id.
+        fanins: Vec<NodeId>,
+    },
+}
+
+impl Node {
+    /// Returns `true` for primary inputs.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input { .. })
+    }
+
+    /// The gate kind, or `None` for primary inputs.
+    #[must_use]
+    pub fn kind(&self) -> Option<GateKind> {
+        match self {
+            Node::Input { .. } => None,
+            Node::Gate { kind, .. } => Some(*kind),
+        }
+    }
+
+    /// The fanin list (empty for inputs and constants).
+    #[must_use]
+    pub fn fanins(&self) -> &[NodeId] {
+        match self {
+            Node::Input { .. } => &[],
+            Node::Gate { fanins, .. } => fanins,
+        }
+    }
+}
+
+/// A named primary output driven by some node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Output {
+    /// Name of the output signal.
+    pub name: String,
+    /// The node driving this output.
+    pub driver: NodeId,
+}
+
+/// A combinational netlist: a DAG of gates over named primary inputs, with
+/// named primary outputs.
+///
+/// # Invariants
+///
+/// - Nodes are stored in topological order: every gate's fanins have smaller
+///   ids. [`Netlist::add_gate`] enforces this by construction, and
+///   [`Netlist::validate`] re-checks it (useful after deserialization).
+/// - Output drivers reference existing nodes.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_logic::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), nanobound_logic::LogicError> {
+/// let mut nl = Netlist::new("mux2");
+/// let s = nl.add_input("s");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let ns = nl.add_gate(GateKind::Not, &[s])?;
+/// let pa = nl.add_gate(GateKind::And, &[ns, a])?;
+/// let pb = nl.add_gate(GateKind::And, &[s, b])?;
+/// let y = nl.add_gate(GateKind::Or, &[pa, pb])?;
+/// nl.add_output("y", y)?;
+/// assert_eq!(nl.evaluate(&[false, true, false])?, vec![true]);
+/// assert_eq!(nl.evaluate(&[true, true, false])?, vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<Output>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), nodes: Vec::new(), inputs: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a primary input and returns its node id.
+    ///
+    /// Input names are not required to be unique here (the `.bench` parser
+    /// enforces uniqueness at its own level), but unique names make reports
+    /// much more readable.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node::Input { name: name.into() });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate and returns its node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ArityMismatch`] if the fanin count is invalid
+    /// for `kind`, or [`LogicError::UnknownNode`] if a fanin id does not
+    /// reference an existing node. Because the new gate receives the largest
+    /// id so far, referencing only existing nodes keeps the netlist
+    /// topologically ordered.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> Result<NodeId, LogicError> {
+        kind.check_arity(fanins.len())?;
+        for &f in fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(LogicError::UnknownNode { id: f.index(), len: self.nodes.len() });
+            }
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node::Gate { kind, fanins: fanins.to_vec() });
+        Ok(id)
+    }
+
+    /// Adds a constant node.
+    ///
+    /// Convenience wrapper over [`Netlist::add_gate`] with
+    /// [`GateKind::Const0`]/[`GateKind::Const1`].
+    pub fn add_const(&mut self, value: bool) -> NodeId {
+        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        self.add_gate(kind, &[]).expect("constants have arity 0")
+    }
+
+    /// Declares `driver` as the primary output named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::UnknownNode`] if `driver` does not exist and
+    /// [`LogicError::DuplicateOutput`] if the name is already taken.
+    pub fn add_output(&mut self, name: impl Into<String>, driver: NodeId) -> Result<(), LogicError> {
+        let name = name.into();
+        if driver.index() >= self.nodes.len() {
+            return Err(LogicError::UnknownNode { id: driver.index(), len: self.nodes.len() });
+        }
+        if self.outputs.iter().any(|o| o.name == name) {
+            return Err(LogicError::DuplicateOutput { name });
+        }
+        self.outputs.push(Output { name, driver });
+        Ok(())
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds; ids obtained from this netlist are
+    /// always in bounds.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total number of nodes (inputs + gates + constants + buffers).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the netlist contains no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all node ids in topological order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// All nodes in topological order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Primary input ids, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (excludes inputs, constants and buffers).
+    ///
+    /// This is the `S0` quantity of the paper: the device count that scales
+    /// load capacitance and leakage.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind().is_some_and(GateKind::counts_as_gate))
+            .count()
+    }
+
+    /// The name of an input or output signal driven by `id`, if any output
+    /// refers to it, otherwise a synthesized `n<id>` name.
+    #[must_use]
+    pub fn signal_name(&self, id: NodeId) -> String {
+        if let Node::Input { name } = self.node(id) {
+            return name.clone();
+        }
+        if let Some(out) = self.outputs.iter().find(|o| o.driver == id) {
+            return out.name.clone();
+        }
+        format!("{id}")
+    }
+
+    /// Re-checks every structural invariant.
+    ///
+    /// Useful after constructing a netlist through non-`add_gate` paths
+    /// (e.g. deserialization); netlists built exclusively through the public
+    /// mutators always validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: fanin ordering, arity, or
+    /// dangling output drivers.
+    pub fn validate(&self) -> Result<(), LogicError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Gate { kind, fanins } = node {
+                kind.check_arity(fanins.len())?;
+                for &f in fanins {
+                    if f.index() >= i {
+                        return Err(LogicError::FaninOrder { gate: i, fanin: f.index() });
+                    }
+                }
+            }
+        }
+        for out in &self.outputs {
+            if out.driver.index() >= self.nodes.len() {
+                return Err(LogicError::UnknownNode {
+                    id: out.driver.index(),
+                    len: self.nodes.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates every node under the given primary-input assignment and
+    /// returns one value per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::AssignmentLength`] if `assignment` does not
+    /// match the number of primary inputs.
+    pub fn evaluate_nodes(&self, assignment: &[bool]) -> Result<Vec<bool>, LogicError> {
+        if assignment.len() != self.inputs.len() {
+            return Err(LogicError::AssignmentLength {
+                expected: self.inputs.len(),
+                got: assignment.len(),
+            });
+        }
+        let mut values = vec![false; self.nodes.len()];
+        let mut next_input = 0;
+        let mut fanin_buf: Vec<bool> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input { .. } => {
+                    values[i] = assignment[next_input];
+                    next_input += 1;
+                }
+                Node::Gate { kind, fanins } => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(fanins.iter().map(|f| values[f.index()]));
+                    values[i] = kind.eval_bools(&fanin_buf);
+                }
+            }
+        }
+        Ok(values)
+    }
+
+    /// Instantiates `other` as a sub-circuit of `self`.
+    ///
+    /// `other`'s primary inputs are wired to the given `inputs` nodes (in
+    /// declaration order); all of its gates are copied. Returns the nodes
+    /// now computing `other`'s primary outputs, in declaration order.
+    /// `other`'s output *names* are not imported — the caller decides what
+    /// to expose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::AssignmentLength`] if `inputs` does not match
+    /// `other`'s input count and [`LogicError::UnknownNode`] if any supplied
+    /// id does not exist in `self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nanobound_logic::{GateKind, Netlist};
+    ///
+    /// # fn main() -> Result<(), nanobound_logic::LogicError> {
+    /// let mut half_adder = Netlist::new("ha");
+    /// let a = half_adder.add_input("a");
+    /// let b = half_adder.add_input("b");
+    /// let s = half_adder.add_gate(GateKind::Xor, &[a, b])?;
+    /// let c = half_adder.add_gate(GateKind::And, &[a, b])?;
+    /// half_adder.add_output("s", s)?;
+    /// half_adder.add_output("c", c)?;
+    ///
+    /// let mut top = Netlist::new("top");
+    /// let x = top.add_input("x");
+    /// let y = top.add_input("y");
+    /// let outs = top.import(&half_adder, &[x, y])?;
+    /// top.add_output("sum", outs[0])?;
+    /// assert_eq!(top.evaluate(&[true, true])?, vec![false]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn import(&mut self, other: &Netlist, inputs: &[NodeId]) -> Result<Vec<NodeId>, LogicError> {
+        if inputs.len() != other.input_count() {
+            return Err(LogicError::AssignmentLength {
+                expected: other.input_count(),
+                got: inputs.len(),
+            });
+        }
+        for &id in inputs {
+            if id.index() >= self.nodes.len() {
+                return Err(LogicError::UnknownNode { id: id.index(), len: self.nodes.len() });
+            }
+        }
+        let mut map: Vec<NodeId> = Vec::with_capacity(other.node_count());
+        let mut next_input = 0;
+        let mut fanin_buf: Vec<NodeId> = Vec::new();
+        for node in other.nodes() {
+            let new_id = match node {
+                Node::Input { .. } => {
+                    let id = inputs[next_input];
+                    next_input += 1;
+                    id
+                }
+                Node::Gate { kind, fanins } => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(fanins.iter().map(|f| map[f.index()]));
+                    self.add_gate(*kind, &fanin_buf)?
+                }
+            };
+            map.push(new_id);
+        }
+        Ok(other.outputs().iter().map(|o| map[o.driver.index()]).collect())
+    }
+
+    /// Evaluates the primary outputs under the given input assignment.
+    ///
+    /// This is a convenience single-vector evaluator; use
+    /// `nanobound-sim`'s bit-parallel engine for bulk simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::AssignmentLength`] if `assignment` does not
+    /// match the number of primary inputs.
+    pub fn evaluate(&self, assignment: &[bool]) -> Result<Vec<bool>, LogicError> {
+        let values = self.evaluate_nodes(assignment)?;
+        Ok(self.outputs.iter().map(|o| values[o.driver.index()]).collect())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, {} nodes",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.gate_count(),
+            self.nodes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2(nl: &mut Netlist) -> NodeId {
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        nl.add_gate(GateKind::Xor, &[a, b]).unwrap()
+    }
+
+    #[test]
+    fn build_and_evaluate_xor() {
+        let mut nl = Netlist::new("x");
+        let y = xor2(&mut nl);
+        nl.add_output("y", y).unwrap();
+        assert_eq!(nl.evaluate(&[false, false]).unwrap(), vec![false]);
+        assert_eq!(nl.evaluate(&[true, false]).unwrap(), vec![true]);
+        assert_eq!(nl.evaluate(&[false, true]).unwrap(), vec![true]);
+        assert_eq!(nl.evaluate(&[true, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let err = nl.add_gate(GateKind::Maj, &[a, a]).unwrap_err();
+        assert!(matches!(err, LogicError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_fanin_rejected() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let bogus = NodeId::from_index(17);
+        let err = nl.add_gate(GateKind::Not, &[bogus]).unwrap_err();
+        assert!(matches!(err, LogicError::UnknownNode { id: 17, .. }));
+        let _ = a;
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let mut nl = Netlist::new("x");
+        let y = xor2(&mut nl);
+        nl.add_output("y", y).unwrap();
+        let err = nl.add_output("y", y).unwrap_err();
+        assert!(matches!(err, LogicError::DuplicateOutput { .. }));
+    }
+
+    #[test]
+    fn dangling_output_rejected() {
+        let mut nl = Netlist::new("x");
+        let _ = xor2(&mut nl);
+        let err = nl.add_output("y", NodeId::from_index(99)).unwrap_err();
+        assert!(matches!(err, LogicError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn assignment_length_checked() {
+        let mut nl = Netlist::new("x");
+        let y = xor2(&mut nl);
+        nl.add_output("y", y).unwrap();
+        let err = nl.evaluate(&[true]).unwrap_err();
+        assert_eq!(err, LogicError::AssignmentLength { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn gate_count_excludes_buffers_and_constants() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let c = nl.add_const(true);
+        let g = nl.add_gate(GateKind::And, &[buf, c]).unwrap();
+        let inv = nl.add_gate(GateKind::Not, &[g]).unwrap();
+        nl.add_output("y", inv).unwrap();
+        assert_eq!(nl.gate_count(), 2); // And + Not
+        assert_eq!(nl.node_count(), 5);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let mut nl = Netlist::new("x");
+        let y = xor2(&mut nl);
+        nl.add_output("y", y).unwrap();
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut nl = Netlist::new("k");
+        let one = nl.add_const(true);
+        let zero = nl.add_const(false);
+        nl.add_output("one", one).unwrap();
+        nl.add_output("zero", zero).unwrap();
+        assert_eq!(nl.evaluate(&[]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn signal_names() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("alpha");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.add_output("out", g).unwrap();
+        assert_eq!(nl.signal_name(a), "alpha");
+        assert_eq!(nl.signal_name(g), "out");
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut nl = Netlist::new("adder");
+        let y = xor2(&mut nl);
+        nl.add_output("y", y).unwrap();
+        let s = nl.to_string();
+        assert!(s.contains("adder"));
+        assert!(s.contains("2 inputs"));
+    }
+
+    #[test]
+    fn import_wires_subcircuit() {
+        let mut inv = Netlist::new("inv");
+        let a = inv.add_input("a");
+        let g = inv.add_gate(GateKind::Not, &[a]).unwrap();
+        inv.add_output("y", g).unwrap();
+
+        let mut top = Netlist::new("top");
+        let x = top.add_input("x");
+        let o1 = top.import(&inv, &[x]).unwrap();
+        let o2 = top.import(&inv, &o1).unwrap(); // double inversion
+        top.add_output("y", o2[0]).unwrap();
+        assert_eq!(top.evaluate(&[true]).unwrap(), vec![true]);
+        assert_eq!(top.evaluate(&[false]).unwrap(), vec![false]);
+        assert_eq!(top.gate_count(), 2);
+    }
+
+    #[test]
+    fn import_checks_input_arity() {
+        let mut inv = Netlist::new("inv");
+        let a = inv.add_input("a");
+        let g = inv.add_gate(GateKind::Not, &[a]).unwrap();
+        inv.add_output("y", g).unwrap();
+
+        let mut top = Netlist::new("top");
+        let err = top.import(&inv, &[]).unwrap_err();
+        assert_eq!(err, LogicError::AssignmentLength { expected: 1, got: 0 });
+    }
+
+    #[test]
+    fn import_checks_node_existence() {
+        let mut inv = Netlist::new("inv");
+        let a = inv.add_input("a");
+        let g = inv.add_gate(GateKind::Not, &[a]).unwrap();
+        inv.add_output("y", g).unwrap();
+
+        let mut top = Netlist::new("top");
+        let err = top.import(&inv, &[NodeId::from_index(5)]).unwrap_err();
+        assert!(matches!(err, LogicError::UnknownNode { id: 5, .. }));
+    }
+
+    #[test]
+    fn node_ids_are_topological() {
+        let mut nl = Netlist::new("x");
+        let y = xor2(&mut nl);
+        nl.add_output("y", y).unwrap();
+        for id in nl.node_ids() {
+            for &f in nl.node(id).fanins() {
+                assert!(f < id);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Aggregate circuit statistics consumed by the energy/size/depth bounds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use crate::topo;
+
+/// Aggregate structural parameters of a netlist.
+///
+/// These are exactly the circuit-specific quantities the paper's bounds
+/// consume: size `S0` ([`CircuitStats::num_gates`]), depth `d0`, the fanin
+/// statistics `k`, and the interface width `n`/`m`. Switching activity and
+/// sensitivity are *behavioural* and live in `nanobound-sim`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_logic::{CircuitStats, GateKind, Netlist};
+///
+/// # fn main() -> Result<(), nanobound_logic::LogicError> {
+/// let mut nl = Netlist::new("toy");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::Nand, &[a, b])?;
+/// nl.add_output("y", g)?;
+/// let stats = CircuitStats::of(&nl);
+/// assert_eq!(stats.num_gates, 1);
+/// assert_eq!(stats.max_fanin, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitStats {
+    /// Design name copied from the netlist.
+    pub name: String,
+    /// Number of primary inputs (`n` in the paper).
+    pub num_inputs: usize,
+    /// Number of primary outputs (`m` in the paper).
+    pub num_outputs: usize,
+    /// Number of logic gates, excluding buffers and constants (`S0`).
+    pub num_gates: usize,
+    /// Number of buffer nodes (not counted in `num_gates`).
+    pub num_buffers: usize,
+    /// Number of constant nodes.
+    pub num_constants: usize,
+    /// Logic depth in gate levels (`d0`).
+    pub depth: u32,
+    /// Largest gate fanin (`k` when the netlist is mapped to a fanin-k
+    /// library).
+    pub max_fanin: usize,
+    /// Mean gate fanin over logic gates.
+    pub avg_fanin: f64,
+    /// Histogram: fanin size → number of logic gates with that fanin.
+    pub fanin_histogram: BTreeMap<usize, usize>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a netlist.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut num_gates = 0usize;
+        let mut num_buffers = 0usize;
+        let mut num_constants = 0usize;
+        let mut fanin_sum = 0usize;
+        let mut max_fanin = 0usize;
+        let mut fanin_histogram = BTreeMap::new();
+        for node in netlist.nodes() {
+            match node.kind() {
+                None => {}
+                Some(GateKind::Buf) => num_buffers += 1,
+                Some(GateKind::Const0 | GateKind::Const1) => num_constants += 1,
+                Some(_) => {
+                    num_gates += 1;
+                    let f = node.fanins().len();
+                    fanin_sum += f;
+                    max_fanin = max_fanin.max(f);
+                    *fanin_histogram.entry(f).or_insert(0) += 1;
+                }
+            }
+        }
+        let avg_fanin = if num_gates == 0 { 0.0 } else { fanin_sum as f64 / num_gates as f64 };
+        CircuitStats {
+            name: netlist.name().to_owned(),
+            num_inputs: netlist.input_count(),
+            num_outputs: netlist.output_count(),
+            num_gates,
+            num_buffers,
+            num_constants,
+            depth: topo::depth(netlist),
+            max_fanin,
+            avg_fanin,
+            fanin_histogram,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} m={} S0={} depth={} max_fanin={} avg_fanin={:.2}",
+            self.name,
+            self.num_inputs,
+            self.num_outputs,
+            self.num_gates,
+            self.depth,
+            self.max_fanin,
+            self.avg_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_gate(GateKind::And, &[a, b, c]).unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[g1]).unwrap();
+        let buf = nl.add_gate(GateKind::Buf, &[g2]).unwrap();
+        nl.add_output("y", buf).unwrap();
+        let st = CircuitStats::of(&nl);
+        assert_eq!(st.num_inputs, 3);
+        assert_eq!(st.num_outputs, 1);
+        assert_eq!(st.num_gates, 2);
+        assert_eq!(st.num_buffers, 1);
+        assert_eq!(st.depth, 2);
+        assert_eq!(st.max_fanin, 3);
+        assert!((st.avg_fanin - 2.0).abs() < 1e-12);
+        assert_eq!(st.fanin_histogram.get(&3), Some(&1));
+        assert_eq!(st.fanin_histogram.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let nl = Netlist::new("empty");
+        let st = CircuitStats::of(&nl);
+        assert_eq!(st.num_gates, 0);
+        assert_eq!(st.avg_fanin, 0.0);
+        assert_eq!(st.depth, 0);
+        assert!(st.fanin_histogram.is_empty());
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let mut nl = Netlist::new("disp");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let s = CircuitStats::of(&nl).to_string();
+        assert!(s.contains("disp"));
+        assert!(s.contains("S0=1"));
+    }
+}

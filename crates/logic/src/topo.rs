@@ -1,0 +1,196 @@
+//! Topological analyses: logic levels, depth, fanout, reachability.
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, Node, NodeId};
+
+/// Computes the logic level of every node.
+///
+/// Primary inputs and constants are at level 0. Buffers are transparent
+/// (they inherit their fanin's level) because they are not logic gates;
+/// every other gate sits one level above its deepest fanin. The result is
+/// indexed by [`NodeId::index`].
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_logic::{GateKind, Netlist, topo};
+///
+/// # fn main() -> Result<(), nanobound_logic::LogicError> {
+/// let mut nl = Netlist::new("chain");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g1 = nl.add_gate(GateKind::And, &[a, b])?;
+/// let g2 = nl.add_gate(GateKind::Not, &[g1])?;
+/// nl.add_output("y", g2)?;
+/// assert_eq!(topo::levels(&nl), vec![0, 0, 1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn levels(netlist: &Netlist) -> Vec<u32> {
+    let mut levels = vec![0u32; netlist.node_count()];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if let Node::Gate { kind, fanins } = node {
+            let deepest = fanins.iter().map(|f| levels[f.index()]).max().unwrap_or(0);
+            levels[i] = match kind {
+                GateKind::Const0 | GateKind::Const1 => 0,
+                GateKind::Buf => deepest,
+                _ => deepest + 1,
+            };
+        }
+    }
+    levels
+}
+
+/// The logic depth of the netlist: the maximum level over primary outputs.
+///
+/// This is the `d0` quantity of the paper (error-free logic depth). Returns
+/// 0 for a netlist whose outputs are all inputs/constants or that has no
+/// outputs.
+#[must_use]
+pub fn depth(netlist: &Netlist) -> u32 {
+    let levels = levels(netlist);
+    netlist.outputs().iter().map(|o| levels[o.driver.index()]).max().unwrap_or(0)
+}
+
+/// Counts how many gate fanin slots reference each node.
+///
+/// Primary outputs are not counted as fanout. The result is indexed by
+/// [`NodeId::index`].
+#[must_use]
+pub fn fanout_counts(netlist: &Netlist) -> Vec<u32> {
+    let mut counts = vec![0u32; netlist.node_count()];
+    for node in netlist.nodes() {
+        for f in node.fanins() {
+            counts[f.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Marks every node reachable from at least one primary output by walking
+/// fanins transitively. The result is indexed by [`NodeId::index`].
+#[must_use]
+pub fn reachable_from_outputs(netlist: &Netlist) -> Vec<bool> {
+    let mut reachable = vec![false; netlist.node_count()];
+    for out in netlist.outputs() {
+        reachable[out.driver.index()] = true;
+    }
+    // Reverse topological sweep: a node's reachability propagates to fanins.
+    for i in (0..netlist.node_count()).rev() {
+        if reachable[i] {
+            for f in netlist.node(NodeId::from_index(i)).fanins() {
+                reachable[f.index()] = true;
+            }
+        }
+    }
+    reachable
+}
+
+/// Ids of the nodes in the transitive fanin cone of `roots` (inclusive),
+/// in topological order.
+#[must_use]
+pub fn cone(netlist: &Netlist, roots: &[NodeId]) -> Vec<NodeId> {
+    let mut in_cone = vec![false; netlist.node_count()];
+    for &r in roots {
+        if r.index() < in_cone.len() {
+            in_cone[r.index()] = true;
+        }
+    }
+    for i in (0..netlist.node_count()).rev() {
+        if in_cone[i] {
+            for f in netlist.node(NodeId::from_index(i)).fanins() {
+                in_cone[f.index()] = true;
+            }
+        }
+    }
+    in_cone
+        .iter()
+        .enumerate()
+        .filter(|&(_i, &m)| m).map(|(i, &_m)| NodeId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn diamond() -> (Netlist, [NodeId; 5]) {
+        // a --+--> g1 --+
+        //     |         +--> g3 (output)
+        // b --+--> g2 --+
+        let mut nl = Netlist::new("diamond");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        let g3 = nl.add_gate(GateKind::Xor, &[g1, g2]).unwrap();
+        nl.add_output("y", g3).unwrap();
+        (nl, [a, b, g1, g2, g3])
+    }
+
+    #[test]
+    fn diamond_levels_and_depth() {
+        let (nl, ids) = diamond();
+        let lv = levels(&nl);
+        assert_eq!(lv[ids[0].index()], 0);
+        assert_eq!(lv[ids[2].index()], 1);
+        assert_eq!(lv[ids[4].index()], 2);
+        assert_eq!(depth(&nl), 2);
+    }
+
+    #[test]
+    fn buffers_are_transparent_for_depth() {
+        let mut nl = Netlist::new("buffered");
+        let a = nl.add_input("a");
+        let b1 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let b2 = nl.add_gate(GateKind::Buf, &[b1]).unwrap();
+        let g = nl.add_gate(GateKind::Not, &[b2]).unwrap();
+        nl.add_output("y", g).unwrap();
+        assert_eq!(depth(&nl), 1);
+    }
+
+    #[test]
+    fn fanout_counts_diamond() {
+        let (nl, ids) = diamond();
+        let fo = fanout_counts(&nl);
+        assert_eq!(fo[ids[0].index()], 2); // a feeds g1 and g2
+        assert_eq!(fo[ids[2].index()], 1); // g1 feeds g3
+        assert_eq!(fo[ids[4].index()], 0); // g3 only drives an output
+    }
+
+    #[test]
+    fn reachability_ignores_dead_logic() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let live = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let dead = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        nl.add_output("y", live).unwrap();
+        let r = reachable_from_outputs(&nl);
+        assert!(r[live.index()]);
+        assert!(!r[dead.index()]);
+        // Inputs feeding live logic are reachable.
+        assert!(r[a.index()]);
+    }
+
+    #[test]
+    fn cone_is_topological_and_inclusive() {
+        let (nl, ids) = diamond();
+        let c = cone(&nl, &[ids[4]]);
+        assert_eq!(c.len(), 5);
+        for w in c.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        let c1 = cone(&nl, &[ids[2]]);
+        assert_eq!(c1, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn empty_netlist_depth_zero() {
+        let nl = Netlist::new("empty");
+        assert_eq!(depth(&nl), 0);
+        assert!(levels(&nl).is_empty());
+    }
+}

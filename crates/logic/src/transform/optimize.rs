@@ -1,0 +1,504 @@
+//! Function-preserving cleanup passes: constant folding, buffer collapsing,
+//! structural hashing and dead-gate sweeping.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, Node, NodeId};
+use crate::topo;
+
+/// What an original node simplifies to in the rebuilt netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Repr {
+    /// A known constant value.
+    Const(bool),
+    /// An existing node of the new netlist.
+    Node(NodeId),
+}
+
+/// Bookkeeping for building a simplified copy of a netlist.
+struct Builder {
+    out: Netlist,
+    const_cache: [Option<NodeId>; 2],
+}
+
+impl Builder {
+    fn new(name: &str) -> Self {
+        Builder { out: Netlist::new(name), const_cache: [None, None] }
+    }
+
+    /// Returns a node id materializing `repr`, creating a constant node on
+    /// demand.
+    fn materialize(&mut self, repr: Repr) -> NodeId {
+        match repr {
+            Repr::Node(id) => id,
+            Repr::Const(v) => {
+                let slot = usize::from(v);
+                if let Some(id) = self.const_cache[slot] {
+                    id
+                } else {
+                    let id = self.out.add_const(v);
+                    self.const_cache[slot] = Some(id);
+                    id
+                }
+            }
+        }
+    }
+
+    fn gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> Repr {
+        Repr::Node(self.out.add_gate(kind, fanins).expect("rebuilt gate is valid"))
+    }
+
+    /// Emits `x` or `NOT x`, collapsing double negation against the nodes
+    /// already present in the output netlist.
+    fn maybe_invert(&mut self, x: NodeId, invert: bool) -> Repr {
+        if !invert {
+            return Repr::Node(x);
+        }
+        if let Node::Gate { kind: GateKind::Not, fanins } = self.out.node(x) {
+            return Repr::Node(fanins[0]);
+        }
+        self.gate(GateKind::Not, &[x])
+    }
+}
+
+/// Folds constants, drops neutral fanins, cancels XOR pairs, collapses
+/// buffers and double inverters.
+///
+/// The rebuilt netlist computes the same outputs; dead nodes may remain and
+/// are removed by [`sweep`].
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_logic::{GateKind, Netlist, transform};
+///
+/// # fn main() -> Result<(), nanobound_logic::LogicError> {
+/// let mut nl = Netlist::new("foldme");
+/// let a = nl.add_input("a");
+/// let one = nl.add_const(true);
+/// let g = nl.add_gate(GateKind::And, &[a, one])?; // AND(a, 1) == a
+/// nl.add_output("y", g)?;
+/// let folded = transform::sweep(&transform::fold_constants(&nl));
+/// assert_eq!(folded.gate_count(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn fold_constants(netlist: &Netlist) -> Netlist {
+    let mut b = Builder::new(netlist.name());
+    let mut reprs: Vec<Repr> = Vec::with_capacity(netlist.node_count());
+
+    for node in netlist.nodes() {
+        let repr = match node {
+            Node::Input { name } => Repr::Node(b.out.add_input(name.clone())),
+            Node::Gate { kind, fanins } => {
+                let fr: Vec<Repr> = fanins.iter().map(|f| reprs[f.index()]).collect();
+                simplify_gate(&mut b, *kind, &fr)
+            }
+        };
+        reprs.push(repr);
+    }
+
+    for out in netlist.outputs() {
+        let repr = reprs[out.driver.index()];
+        let id = b.materialize(repr);
+        b.out.add_output(out.name.clone(), id).expect("output names unique in source");
+    }
+    b.out
+}
+
+/// Simplifies one gate given the representations of its fanins.
+fn simplify_gate(b: &mut Builder, kind: GateKind, fanins: &[Repr]) -> Repr {
+    match kind {
+        GateKind::Const0 => Repr::Const(false),
+        GateKind::Const1 => Repr::Const(true),
+        GateKind::Buf => fanins[0],
+        GateKind::Not => match fanins[0] {
+            Repr::Const(v) => Repr::Const(!v),
+            Repr::Node(x) => b.maybe_invert(x, true),
+        },
+        GateKind::And | GateKind::Nand => {
+            simplify_and_or(b, fanins, /* or: */ false, kind == GateKind::Nand)
+        }
+        GateKind::Or | GateKind::Nor => {
+            simplify_and_or(b, fanins, /* or: */ true, kind == GateKind::Nor)
+        }
+        GateKind::Xor | GateKind::Xnor => simplify_xor(b, fanins, kind == GateKind::Xnor),
+        GateKind::Maj => simplify_maj(b, fanins),
+    }
+}
+
+/// Shared AND/OR simplifier; `or` selects the disjunctive dual and
+/// `complement` the NAND/NOR variants.
+fn simplify_and_or(b: &mut Builder, fanins: &[Repr], or: bool, complement: bool) -> Repr {
+    // For AND: 0 dominates, 1 is neutral. For OR, dual.
+    let dominating = or;
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(fanins.len());
+    for &f in fanins {
+        match f {
+            Repr::Const(v) if v == dominating => {
+                return Repr::Const(dominating ^ complement);
+            }
+            Repr::Const(_) => {} // neutral, drop
+            Repr::Node(x) => {
+                if !nodes.contains(&x) {
+                    nodes.push(x);
+                }
+            }
+        }
+    }
+    // x AND NOT(x) is contradictory; x OR NOT(x) is tautological.
+    for &x in &nodes {
+        if let Node::Gate { kind: GateKind::Not, fanins } = b.out.node(x) {
+            if nodes.contains(&fanins[0]) {
+                return Repr::Const(dominating ^ complement);
+            }
+        }
+    }
+    let base_kind = if or { GateKind::Or } else { GateKind::And };
+    match nodes.len() {
+        0 => Repr::Const(!dominating ^ complement),
+        1 => b.maybe_invert(nodes[0], complement),
+        _ => {
+            if complement {
+                let kind = base_kind.complement().expect("AND/OR have complements");
+                b.gate(kind, &nodes)
+            } else {
+                b.gate(base_kind, &nodes)
+            }
+        }
+    }
+}
+
+/// XOR/XNOR simplifier: constants fold into the parity flag, identical
+/// fanin pairs cancel.
+fn simplify_xor(b: &mut Builder, fanins: &[Repr], complement: bool) -> Repr {
+    let mut parity = complement;
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for &f in fanins {
+        match f {
+            Repr::Const(v) => parity ^= v,
+            Repr::Node(x) => *counts.entry(x).or_insert(0) += 1,
+        }
+    }
+    let mut nodes: Vec<NodeId> = counts
+        .into_iter()
+        .filter_map(|(x, c)| (c % 2 == 1).then_some(x))
+        .collect();
+    nodes.sort_unstable();
+    // x XOR NOT(x) == 1: cancel complementary pairs into the parity flag.
+    loop {
+        let mut cancelled = None;
+        'scan: for (i, &y) in nodes.iter().enumerate() {
+            if let Node::Gate { kind: GateKind::Not, fanins } = b.out.node(y) {
+                if let Some(j) = nodes.iter().position(|&x| x == fanins[0]) {
+                    cancelled = Some((i.max(j), i.min(j)));
+                    break 'scan;
+                }
+            }
+        }
+        match cancelled {
+            Some((hi, lo)) => {
+                nodes.remove(hi);
+                nodes.remove(lo);
+                parity = !parity;
+            }
+            None => break,
+        }
+    }
+    match nodes.len() {
+        0 => Repr::Const(parity),
+        1 => b.maybe_invert(nodes[0], parity),
+        _ => {
+            let kind = if parity { GateKind::Xnor } else { GateKind::Xor };
+            b.gate(kind, &nodes)
+        }
+    }
+}
+
+/// MAJ3 simplifier: constant and duplicate absorption.
+fn simplify_maj(b: &mut Builder, fanins: &[Repr]) -> Repr {
+    let consts: Vec<bool> = fanins.iter().filter_map(|f| match f {
+        Repr::Const(v) => Some(*v),
+        Repr::Node(_) => None,
+    }).collect();
+    let nodes: Vec<NodeId> = fanins.iter().filter_map(|f| match f {
+        Repr::Const(_) => None,
+        Repr::Node(x) => Some(*x),
+    }).collect();
+    match (consts.len(), nodes.len()) {
+        (0, 3) => {
+            // MAJ(a, a, b) == a.
+            if nodes[0] == nodes[1] || nodes[0] == nodes[2] {
+                Repr::Node(nodes[0])
+            } else if nodes[1] == nodes[2] {
+                Repr::Node(nodes[1])
+            } else {
+                b.gate(GateKind::Maj, &nodes)
+            }
+        }
+        (1, 2) => {
+            if nodes[0] == nodes[1] {
+                return Repr::Node(nodes[0]);
+            }
+            // MAJ(a, b, 1) == OR(a, b); MAJ(a, b, 0) == AND(a, b).
+            let kind = if consts[0] { GateKind::Or } else { GateKind::And };
+            b.gate(kind, &nodes)
+        }
+        (2, 1) => {
+            // MAJ(a, 1, 1) == 1; MAJ(a, 0, 0) == 0; MAJ(a, 0, 1) == a.
+            match (consts[0], consts[1]) {
+                (true, true) => Repr::Const(true),
+                (false, false) => Repr::Const(false),
+                _ => Repr::Node(nodes[0]),
+            }
+        }
+        (3, 0) => Repr::Const(consts.iter().filter(|&&v| v).count() >= 2),
+        _ => unreachable!("MAJ arity is 3"),
+    }
+}
+
+/// Structural hashing: replaces gates with identical (kind, fanins) by a
+/// single instance. Fanins are order-normalized because every kind in the
+/// library is commutative.
+#[must_use]
+pub fn dedupe(netlist: &Netlist) -> Netlist {
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<NodeId> = Vec::with_capacity(netlist.node_count());
+    let mut seen: HashMap<(GateKind, Vec<NodeId>), NodeId> = HashMap::new();
+
+    for node in netlist.nodes() {
+        let new_id = match node {
+            Node::Input { name } => out.add_input(name.clone()),
+            Node::Gate { kind, fanins } => {
+                let mut mapped: Vec<NodeId> = fanins.iter().map(|f| map[f.index()]).collect();
+                if kind.is_commutative() {
+                    mapped.sort_unstable();
+                }
+                let key = (*kind, mapped.clone());
+                if let Some(&existing) = seen.get(&key) {
+                    existing
+                } else {
+                    let id = out.add_gate(*kind, &mapped).expect("rebuilt gate is valid");
+                    seen.insert(key, id);
+                    id
+                }
+            }
+        };
+        map.push(new_id);
+    }
+    for o in netlist.outputs() {
+        out.add_output(o.name.clone(), map[o.driver.index()]).expect("unique names");
+    }
+    out
+}
+
+/// Dead-gate elimination: removes nodes not reachable from any primary
+/// output. Primary inputs are always kept so the interface is stable.
+#[must_use]
+pub fn sweep(netlist: &Netlist) -> Netlist {
+    let reachable = topo::reachable_from_outputs(netlist);
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.node_count()];
+
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        match node {
+            Node::Input { name } => {
+                map[i] = Some(out.add_input(name.clone()));
+            }
+            Node::Gate { kind, fanins } => {
+                if reachable[i] {
+                    let mapped: Vec<NodeId> = fanins
+                        .iter()
+                        .map(|f| map[f.index()].expect("fanin of reachable node is reachable"))
+                        .collect();
+                    map[i] = Some(out.add_gate(*kind, &mapped).expect("rebuilt gate is valid"));
+                }
+            }
+        }
+    }
+    for o in netlist.outputs() {
+        let id = map[o.driver.index()].expect("output driver is reachable");
+        out.add_output(o.name.clone(), id).expect("unique names");
+    }
+    out
+}
+
+/// Iterates folding, hashing and sweeping to a fixed point (bounded at 8
+/// rounds, which is far more than any practical netlist needs).
+#[must_use]
+pub fn optimize(netlist: &Netlist) -> Netlist {
+    let mut current = netlist.clone();
+    for _ in 0..8 {
+        let next = sweep(&dedupe(&fold_constants(&current)));
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::testutil::assert_equivalent;
+
+    #[test]
+    fn and_with_zero_folds_to_constant() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let zero = nl.add_const(false);
+        let g = nl.add_gate(GateKind::And, &[a, zero]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(opt.evaluate(&[true]).unwrap(), vec![false]);
+        assert_eq!(opt.evaluate(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn nand_with_neutral_one_becomes_inverter() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let one = nl.add_const(true);
+        let g = nl.add_gate(GateKind::Nand, &[a, one]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 1);
+        assert_equivalent(&nl, &opt);
+    }
+
+    #[test]
+    fn xor_pair_cancellation() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Xor, &[a, b, a]).unwrap(); // == b
+        nl.add_output("y", g).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 0);
+        assert_equivalent(&nl, &opt);
+    }
+
+    #[test]
+    fn xnor_with_true_const_becomes_xor() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let one = nl.add_const(true);
+        let g = nl.add_gate(GateKind::Xnor, &[a, b, one]).unwrap(); // == XOR(a,b)
+        nl.add_output("y", g).unwrap();
+        let opt = optimize(&nl);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.gate_count(), 1);
+        let kinds: Vec<_> = opt.nodes().iter().filter_map(|n| n.kind()).collect();
+        assert!(kinds.contains(&GateKind::Xor));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let n2 = nl.add_gate(GateKind::Not, &[n1]).unwrap();
+        nl.add_output("y", n2).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 0);
+        assert_equivalent(&nl, &opt);
+    }
+
+    #[test]
+    fn buffers_collapse() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b1 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let b2 = nl.add_gate(GateKind::Buf, &[b1]).unwrap();
+        let g = nl.add_gate(GateKind::Not, &[b2]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.node_count(), 2); // input + NOT
+        assert_equivalent(&nl, &opt);
+    }
+
+    #[test]
+    fn cse_merges_identical_gates_modulo_commutativity() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::And, &[b, a]).unwrap();
+        let top = nl.add_gate(GateKind::Xor, &[g1, g2]).unwrap(); // == 0
+        nl.add_output("y", top).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.gate_count(), 0);
+        assert_equivalent(&nl, &opt);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic_keeps_inputs() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let live = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        let _dead = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_output("y", live).unwrap();
+        let swept = sweep(&nl);
+        assert_eq!(swept.gate_count(), 1);
+        assert_eq!(swept.input_count(), 2);
+        assert_equivalent(&nl, &swept);
+    }
+
+    #[test]
+    fn maj_simplifications() {
+        // MAJ(a, b, 1) == OR(a, b)
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let one = nl.add_const(true);
+        let g = nl.add_gate(GateKind::Maj, &[a, b, one]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let opt = optimize(&nl);
+        assert_equivalent(&nl, &opt);
+        let kinds: Vec<_> = opt.nodes().iter().filter_map(|n| n.kind()).collect();
+        assert_eq!(kinds, vec![GateKind::Or]);
+
+        // MAJ(a, a, b) == a
+        let mut nl2 = Netlist::new("g");
+        let a2 = nl2.add_input("a");
+        let b2 = nl2.add_input("b");
+        let g2 = nl2.add_gate(GateKind::Maj, &[a2, a2, b2]).unwrap();
+        nl2.add_output("y", g2).unwrap();
+        let opt2 = optimize(&nl2);
+        assert_eq!(opt2.gate_count(), 0);
+        assert_equivalent(&nl2, &opt2);
+    }
+
+    #[test]
+    fn constant_output_materialized_once() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let na = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g = nl.add_gate(GateKind::And, &[a, na]).unwrap(); // == 0
+        let h = nl.add_gate(GateKind::Or, &[a, na]).unwrap(); // == 1
+        nl.add_output("zero", g).unwrap();
+        nl.add_output("one", h).unwrap();
+        let opt = optimize(&nl);
+        assert_eq!(opt.evaluate(&[true]).unwrap(), vec![false, true]);
+        assert_eq!(opt.evaluate(&[false]).unwrap(), vec![false, true]);
+        assert_eq!(opt.gate_count(), 0);
+    }
+
+    #[test]
+    fn optimize_reaches_fixed_point() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let once = optimize(&nl);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+    }
+}

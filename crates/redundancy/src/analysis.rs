@@ -1,0 +1,163 @@
+//! Closed-form reliability analytics for the constructive schemes.
+//!
+//! These formulas predict what the Monte-Carlo experiments measure:
+//! binomial majority voting for NMR, and von Neumann's stimulated-
+//! fraction recursion for NAND multiplexing.
+
+/// Probability that a majority vote over `r` independent replicas fails,
+/// when each replica is wrong with probability `p` and the voter itself
+/// is perfect: `Σ_{j > r/2} C(r,j) p^j (1-p)^(r-j)`.
+///
+/// # Panics
+///
+/// Panics unless `r` is odd, `r ≥ 1` and `p ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_redundancy::analysis::binomial_majority_failure;
+///
+/// // TMR with 1% replica failure: 3p² - 2p³ ≈ 2.98e-4.
+/// let f = binomial_majority_failure(0.01, 3);
+/// assert!((f - 2.98e-4).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn binomial_majority_failure(p: f64, r: usize) -> f64 {
+    assert!(r % 2 == 1 && r >= 1, "replicas must be odd, got {r}");
+    assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+    let mut total = 0.0;
+    for j in (r / 2 + 1)..=r {
+        total += binomial(r, j) * p.powi(j as i32) * (1.0 - p).powi((r - j) as i32);
+    }
+    total.min(1.0)
+}
+
+/// Binomial coefficient as f64 (exact for the small `r` used here).
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut c = 1.0;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c
+}
+
+/// Stimulated fraction at the output of one ε-noisy NAND layer whose
+/// input bundles have stimulated fractions `x` and `y` (independently
+/// paired): the error-free output level `1 - x·y` pushed through the
+/// symmetric channel.
+#[must_use]
+pub fn nand_level(x: f64, y: f64, epsilon: f64) -> f64 {
+    let clean = 1.0 - x * y;
+    clean * (1.0 - epsilon) + (1.0 - clean) * epsilon
+}
+
+/// Von Neumann's restoring organ in level space: two ε-noisy NAND layers
+/// over the same bundle, `x ↦ nand(nand(x,x))`.
+#[must_use]
+pub fn restoration_map(x: f64, epsilon: f64) -> f64 {
+    let w = nand_level(x, x, epsilon);
+    nand_level(w, w, epsilon)
+}
+
+/// The supremum gate error below which NAND multiplexing can restore
+/// signals: ε* = (3 - √7)/4 ≈ 0.08856 (von Neumann '56 for this organ).
+///
+/// Above the threshold [`restoration_map`] has a single fixed point near
+/// ½ — bundles forget their value no matter how wide they are.
+#[must_use]
+pub fn nand_multiplexing_threshold() -> f64 {
+    (3.0 - 7.0_f64.sqrt()) / 4.0
+}
+
+/// Iterates [`restoration_map`] from `x0` until convergence (or `cap`
+/// iterations) and returns the reached fixed point.
+#[must_use]
+pub fn restoration_fixed_point(x0: f64, epsilon: f64, cap: usize) -> f64 {
+    let mut x = x0;
+    for _ in 0..cap {
+        let next = restoration_map(x, epsilon);
+        if (next - x).abs() < 1e-15 {
+            return next;
+        }
+        x = next;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmr_closed_form() {
+        // r = 3: failure = 3p²(1-p) + p³ = 3p² - 2p³.
+        for &p in &[0.0, 0.01, 0.1, 0.5, 1.0] {
+            let direct = 3.0 * p * p - 2.0 * p * p * p;
+            assert!((binomial_majority_failure(p, 3) - direct).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn majority_failure_properties() {
+        assert_eq!(binomial_majority_failure(0.0, 5), 0.0);
+        assert_eq!(binomial_majority_failure(1.0, 5), 1.0);
+        assert!((binomial_majority_failure(0.5, 9) - 0.5).abs() < 1e-12);
+        // More replicas help below p = ½ and hurt above.
+        assert!(binomial_majority_failure(0.1, 7) < binomial_majority_failure(0.1, 3));
+        assert!(binomial_majority_failure(0.7, 7) > binomial_majority_failure(0.7, 3));
+    }
+
+    #[test]
+    fn binomials_are_exact() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(9, 5), 126.0);
+        assert_eq!(binomial(3, 0), 1.0);
+    }
+
+    #[test]
+    fn restoration_sharpens_below_threshold() {
+        let eps = 0.01;
+        // A degraded 1 (level 0.8) is pushed toward 1.
+        assert!(restoration_map(0.8, eps) > 0.8);
+        // A degraded 0 (level 0.2) is pushed toward 0.
+        assert!(restoration_map(0.2, eps) < 0.2);
+    }
+
+    #[test]
+    fn restoration_forgets_above_threshold() {
+        let eps = nand_multiplexing_threshold() + 0.03;
+        let from_high = restoration_fixed_point(0.95, eps, 10_000);
+        let from_low = restoration_fixed_point(0.05, eps, 10_000);
+        assert!(
+            (from_high - from_low).abs() < 1e-9,
+            "distinct fixed points {from_high} vs {from_low} above threshold"
+        );
+    }
+
+    #[test]
+    fn restoration_remembers_below_threshold() {
+        let eps = 0.01;
+        let from_high = restoration_fixed_point(0.95, eps, 10_000);
+        let from_low = restoration_fixed_point(0.05, eps, 10_000);
+        assert!(from_high > 0.9 && from_low < 0.1, "{from_low} .. {from_high}");
+    }
+
+    #[test]
+    fn threshold_value() {
+        assert!((nand_multiplexing_threshold() - 0.088_56).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nand_level_limits() {
+        assert_eq!(nand_level(1.0, 1.0, 0.0), 0.0);
+        assert_eq!(nand_level(0.0, 1.0, 0.0), 1.0);
+        assert!((nand_level(1.0, 1.0, 0.1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_replicas_panic() {
+        let _ = binomial_majority_failure(0.1, 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Redundancy-construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+use nanobound_gen::GenError;
+use nanobound_logic::LogicError;
+
+/// Errors produced by the redundancy constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RedundancyError {
+    /// A size/replication parameter was outside the supported range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        got: usize,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+    /// Netlist construction failed.
+    Logic(LogicError),
+    /// An internal voter/resolver generator failed.
+    Gen(GenError),
+}
+
+impl RedundancyError {
+    pub(crate) fn bad(name: &'static str, got: usize, requirement: &'static str) -> Self {
+        RedundancyError::BadParameter { name, got, requirement }
+    }
+}
+
+impl fmt::Display for RedundancyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RedundancyError::BadParameter { name, got, requirement } => {
+                write!(f, "parameter `{name}` = {got} {requirement}")
+            }
+            RedundancyError::Logic(e) => write!(f, "netlist construction failed: {e}"),
+            RedundancyError::Gen(e) => write!(f, "voter construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for RedundancyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RedundancyError::Logic(e) => Some(e),
+            RedundancyError::Gen(e) => Some(e),
+            RedundancyError::BadParameter { .. } => None,
+        }
+    }
+}
+
+impl From<LogicError> for RedundancyError {
+    fn from(e: LogicError) -> Self {
+        RedundancyError::Logic(e)
+    }
+}
+
+impl From<GenError> for RedundancyError {
+    fn from(e: GenError) -> Self {
+        RedundancyError::Gen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = RedundancyError::bad("replicas", 2, "must be odd");
+        assert!(e.to_string().contains("replicas"));
+        assert!(Error::source(&e).is_none());
+        let e: RedundancyError = LogicError::NoOutputs.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,95 @@
+//! Majority voters, built from ordinary (and therefore *noisy*) gates.
+//!
+//! The voter is itself part of the fault-tolerant circuit: when the NMR
+//! construction is simulated under fault injection, voter gates misfire
+//! like any other device — the realistic setting that makes simple
+//! replication saturate instead of reaching arbitrary reliability.
+
+use nanobound_gen::{adder, comparator};
+use nanobound_logic::{GateKind, Netlist};
+
+use crate::error::RedundancyError;
+
+/// An `r`-input majority voter (`r` odd): output 1 iff more than half
+/// the inputs are 1.
+///
+/// `r = 1` degenerates to a buffer, `r = 3` is a single [`GateKind::Maj`]
+/// gate, larger `r` use a popcount tree and a constant-threshold
+/// comparator.
+///
+/// # Errors
+///
+/// Returns [`RedundancyError::BadParameter`] unless `r` is odd and
+/// `1 ≤ r ≤ 63`.
+///
+/// # Examples
+///
+/// ```
+/// let v = nanobound_redundancy::voter::majority_voter(5)?;
+/// let out = v.evaluate(&[true, true, false, true, false]).unwrap();
+/// assert_eq!(out, vec![true]); // 3 of 5
+/// # Ok::<(), nanobound_redundancy::RedundancyError>(())
+/// ```
+pub fn majority_voter(r: usize) -> Result<Netlist, RedundancyError> {
+    if r.is_multiple_of(2) {
+        return Err(RedundancyError::bad("r", r, "must be odd"));
+    }
+    if r > 63 {
+        return Err(RedundancyError::bad("r", r, "must be at most 63"));
+    }
+    let mut nl = Netlist::new(format!("maj{r}"));
+    let inputs: Vec<_> = (0..r).map(|i| nl.add_input(format!("v{i}"))).collect();
+    let y = match r {
+        1 => nl.add_gate(GateKind::Buf, &[inputs[0]])?,
+        3 => nl.add_gate(GateKind::Maj, &inputs)?,
+        _ => {
+            let counts = nl.import(&adder::popcount(r)?, &inputs)?;
+            let threshold = (r as u64).div_ceil(2);
+            let ge = comparator::ge_const(counts.len(), threshold)?;
+            nl.import(&ge, &counts)?[0]
+        }
+    };
+    nl.add_output("y", y)?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks the voter against a popcount reference on all 2^r inputs.
+    fn check_voter(r: usize) {
+        let v = majority_voter(r).unwrap();
+        assert_eq!(v.input_count(), r);
+        assert_eq!(v.output_count(), 1);
+        for pattern in 0..1u64 << r {
+            let bits: Vec<bool> = (0..r).map(|i| pattern >> i & 1 == 1).collect();
+            let expect = bits.iter().filter(|&&b| b).count() > r / 2;
+            assert_eq!(
+                v.evaluate(&bits).unwrap(),
+                vec![expect],
+                "r={r} pattern={pattern:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn voters_match_popcount_reference() {
+        for r in [1usize, 3, 5, 7, 9] {
+            check_voter(r);
+        }
+    }
+
+    #[test]
+    fn even_and_oversized_r_rejected() {
+        assert!(majority_voter(2).is_err());
+        assert!(majority_voter(0).is_err());
+        assert!(majority_voter(65).is_err());
+    }
+
+    #[test]
+    fn triple_voter_is_a_single_gate() {
+        let v = majority_voter(3).unwrap();
+        assert_eq!(v.gate_count(), 1);
+    }
+}

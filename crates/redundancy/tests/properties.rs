@@ -1,0 +1,108 @@
+//! Property-based tests for the redundancy constructions.
+
+use proptest::prelude::*;
+
+use nanobound_gen::random::{random_dag, RandomDagConfig};
+use nanobound_redundancy::analysis::{
+    binomial_majority_failure, nand_level, restoration_fixed_point, restoration_map,
+};
+use nanobound_redundancy::voter::majority_voter;
+use nanobound_redundancy::{multiplex, nmr, to_nand2, MultiplexConfig};
+use nanobound_sim::equivalence;
+
+fn small_dag() -> impl Strategy<Value = RandomDagConfig> {
+    (1usize..=6, 1usize..=18, 2usize..=3, 1usize..=3, any::<u64>()).prop_map(
+        |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
+            inputs,
+            gates,
+            max_fanin,
+            outputs,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn nmr_preserves_any_function(config in small_dag(), r in prop::sample::select(vec![1usize, 3, 5])) {
+        let nl = random_dag(&config).unwrap();
+        let red = nmr(&nl, r).unwrap();
+        prop_assert!(equivalence::equivalent_exhaustive(&nl, &red).unwrap());
+        prop_assert_eq!(red.input_count(), nl.input_count());
+        prop_assert_eq!(red.output_count(), nl.output_count());
+    }
+
+    #[test]
+    fn nand_form_preserves_any_function(config in small_dag()) {
+        let nl = random_dag(&config).unwrap();
+        let nand = to_nand2(&nl).unwrap();
+        prop_assert!(equivalence::equivalent_exhaustive(&nl, &nand).unwrap());
+        for node in nand.nodes() {
+            use nanobound_logic::GateKind;
+            prop_assert!(matches!(
+                node.kind(),
+                None | Some(GateKind::Nand | GateKind::Buf | GateKind::Const0 | GateKind::Const1)
+            ));
+        }
+    }
+
+    #[test]
+    fn multiplex_preserves_any_function(
+        config in small_dag(),
+        bundle in prop::sample::select(vec![3usize, 5]),
+        stages in 0usize..=1,
+        seed in any::<u64>(),
+    ) {
+        let nl = random_dag(&config).unwrap();
+        let cfg = MultiplexConfig { bundle, restorative_stages: stages, seed };
+        let mux = multiplex(&nl, &cfg).unwrap();
+        prop_assert!(equivalence::equivalent_exhaustive(&nl, &mux).unwrap());
+    }
+
+    #[test]
+    fn voter_is_monotone_and_symmetric(r in prop::sample::select(vec![1usize, 3, 5, 7]), bits in any::<u64>()) {
+        let v = majority_voter(r).unwrap();
+        let input: Vec<bool> = (0..r).map(|i| bits >> i & 1 == 1).collect();
+        let out = v.evaluate(&input).unwrap()[0];
+        // Flipping any 0 to 1 never turns the output off (monotonicity).
+        for i in 0..r {
+            if !input[i] {
+                let mut stronger = input.clone();
+                stronger[i] = true;
+                let out2 = v.evaluate(&stronger).unwrap()[0];
+                prop_assert!(out2 || !out);
+            }
+        }
+        // Complementing every input complements the output (self-duality).
+        let complint: Vec<bool> = input.iter().map(|&b| !b).collect();
+        prop_assert_eq!(v.evaluate(&complint).unwrap()[0], !out);
+    }
+
+    #[test]
+    fn binomial_failure_is_a_probability_and_monotone_in_p(
+        p1 in 0.0..=1.0f64,
+        p2 in 0.0..=1.0f64,
+        r in prop::sample::select(vec![1usize, 3, 5, 9]),
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let f_lo = binomial_majority_failure(lo, r);
+        let f_hi = binomial_majority_failure(hi, r);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!(f_hi + 1e-12 >= f_lo);
+        // Self-duality: f(1-p) = 1 - f(p).
+        prop_assert!((binomial_majority_failure(1.0 - lo, r) - (1.0 - f_lo)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restoration_map_stays_in_unit_interval(x in 0.0..=1.0f64, e in 0.0..=0.5f64) {
+        let level = nand_level(x, x, e);
+        prop_assert!((0.0..=1.0).contains(&level));
+        let restored = restoration_map(x, e);
+        prop_assert!((0.0..=1.0).contains(&restored));
+        let fixed = restoration_fixed_point(x, e, 10_000);
+        // A fixed point of the map, up to iteration tolerance.
+        prop_assert!((restoration_map(fixed, e) - fixed).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,293 @@
+//! Log-aware ASCII line charts.
+//!
+//! The paper's figures are families of curves, several on logarithmic
+//! axes. [`Chart`] renders such families into a fixed-size character
+//! grid so the bench harnesses can show the regenerated figure *shape*
+//! directly in the terminal.
+
+use std::fmt;
+
+/// One named curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; need not be sorted.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named series from `(x, y)` pairs.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// An ASCII chart of one or more series.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_report::{Chart, Series};
+///
+/// let mut chart = Chart::new("switching activity", "sw(y)", "sw(z)");
+/// chart.add(Series::new("eps=0.1", vec![(0.0, 0.18), (0.5, 0.5), (1.0, 0.82)]));
+/// let art = chart.render(40, 12);
+/// assert!(art.contains("switching activity"));
+/// assert!(art.contains('*'));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_x: bool,
+    log_y: bool,
+}
+
+impl Chart {
+    /// Creates an empty chart with linear axes.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+        }
+    }
+
+    /// Switches the X axis to log₁₀ scale (points with `x ≤ 0` are
+    /// dropped at render time).
+    #[must_use]
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Switches the Y axis to log₁₀ scale (points with `y ≤ 0` are
+    /// dropped at render time). The paper's Figures 4 and 5 use this.
+    #[must_use]
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The series added so far.
+    #[must_use]
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Renders the chart into a `width`×`height` plot area with axes,
+    /// bounds annotations and a legend.
+    ///
+    /// Non-finite points, and non-positive points on log axes, are
+    /// skipped. Degenerate ranges (single x or y value) are padded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8` or `height < 4`.
+    #[must_use]
+    pub fn render(&self, width: usize, height: usize) -> String {
+        assert!(width >= 8 && height >= 4, "chart area too small");
+        let tx = |x: f64| if self.log_x { x.log10() } else { x };
+        let ty = |y: f64| if self.log_y { y.log10() } else { y };
+        let usable = |x: f64, y: f64| {
+            x.is_finite()
+                && y.is_finite()
+                && (!self.log_x || x > 0.0)
+                && (!self.log_y || y > 0.0)
+        };
+
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if usable(x, y) {
+                    xs.push(tx(x));
+                    ys.push(ty(y));
+                }
+            }
+        }
+        let mut out = format!("{} [y: {}]\n", self.title, self.y_label);
+        if xs.is_empty() {
+            out.push_str("(no plottable points)\n");
+            return out;
+        }
+        let (mut x_lo, mut x_hi) = min_max(&xs);
+        let (mut y_lo, mut y_hi) = min_max(&ys);
+        if x_hi - x_lo < 1e-12 {
+            x_lo -= 0.5;
+            x_hi += 0.5;
+        }
+        if y_hi - y_lo < 1e-12 {
+            y_lo -= 0.5;
+            y_hi += 0.5;
+        }
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !usable(x, y) {
+                    continue;
+                }
+                let cx = ((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+                let cy = ((ty(y) - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx] = glyph;
+            }
+        }
+
+        let untx = |v: f64| if self.log_x { 10f64.powf(v) } else { v };
+        let unty = |v: f64| if self.log_y { 10f64.powf(v) } else { v };
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{:>9.3} ", unty(y_hi))
+            } else if r == height - 1 {
+                format!("{:>9.3} ", unty(y_lo))
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(10));
+        out.push('+');
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>10} {:<width$}\n",
+            "",
+            format!(
+                "{:.4} .. {:.4}  [x: {}{}]",
+                untx(x_lo),
+                untx(x_hi),
+                self.x_label,
+                if self.log_x { ", log" } else { "" },
+            ),
+            width = width
+        ));
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Chart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(64, 16))
+    }
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, slope: f64) -> Series {
+        Series::new(name, (0..=10).map(|i| (f64::from(i), slope * f64::from(i))).collect())
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let mut c = Chart::new("test chart", "epsilon", "factor");
+        c.add(line("a", 1.0));
+        c.add(line("b", 2.0));
+        let art = c.render(40, 10);
+        assert!(art.contains("test chart"));
+        assert!(art.contains("epsilon"));
+        assert!(art.contains("factor"));
+        assert!(art.contains("* a"));
+        assert!(art.contains("+ b"));
+    }
+
+    #[test]
+    fn distinct_series_use_distinct_glyphs() {
+        let mut c = Chart::new("t", "x", "y");
+        c.add(line("up", 1.0));
+        c.add(Series::new("flat", vec![(0.0, 5.0), (10.0, 5.0)]));
+        let art = c.render(30, 8);
+        assert!(art.contains('*') && art.contains('+'));
+    }
+
+    #[test]
+    fn log_y_positions_decades_evenly() {
+        let mut c = Chart::new("t", "x", "y").log_y();
+        c.add(Series::new("d", vec![(0.0, 1.0), (1.0, 10.0), (2.0, 100.0)]));
+        let art = c.render(21, 5);
+        let rows: Vec<&str> = art.lines().collect();
+        // Rows 1..=5 are the grid; points at top, middle, bottom.
+        let grid: Vec<&str> = rows[1..6].to_vec();
+        assert!(grid[0].contains('*'), "top decade missing");
+        assert!(grid[2].contains('*'), "middle decade missing");
+        assert!(grid[4].contains('*'), "bottom decade missing");
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let mut c = Chart::new("t", "x", "y").log_y().log_x();
+        c.add(Series::new("d", vec![(0.0, 1.0), (-1.0, 10.0), (1.0, 0.0), (1.0, 10.0)]));
+        let art = c.render(20, 6);
+        // Only (1, 10) is plottable; it becomes a degenerate range, padded.
+        assert!(art.matches('*').count() >= 1);
+    }
+
+    #[test]
+    fn empty_chart_says_so() {
+        let c = Chart::new("t", "x", "y");
+        assert!(c.render(20, 6).contains("no plottable points"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut c = Chart::new("t", "x", "y");
+        c.add(Series::new("pt", vec![(1.0, 1.0)]));
+        let art = c.render(20, 6);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_area_rejected() {
+        let c = Chart::new("t", "x", "y");
+        let _ = c.render(4, 2);
+    }
+
+    #[test]
+    fn bounds_labels_reflect_log_untransform() {
+        let mut c = Chart::new("t", "x", "y").log_y();
+        c.add(Series::new("d", vec![(0.0, 0.001), (1.0, 1000.0)]));
+        let art = c.render(30, 8);
+        assert!(art.contains("1000.000"), "top label missing: {art}");
+        assert!(art.contains("0.001"), "bottom label missing: {art}");
+    }
+}

@@ -1,0 +1,298 @@
+//! Result tables with CSV and Markdown emitters.
+
+use std::error::Error;
+use std::fmt;
+
+/// A single table cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// Free-form text.
+    Text(String),
+    /// A numeric value, rendered with up to 4 significant decimals.
+    Number(f64),
+    /// An absent value (e.g. a bound that does not exist at this ε),
+    /// rendered as `-`.
+    Missing,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => f.write_str(s),
+            Cell::Number(x) => {
+                if x.is_infinite() {
+                    write!(f, "{}inf", if *x < 0.0 { "-" } else { "" })
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.0}")
+                } else if x.abs() >= 0.01 {
+                    write!(f, "{x:.4}")
+                } else {
+                    write!(f, "{x:.4e}")
+                }
+            }
+            Cell::Missing => f.write_str("-"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Number(x)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(x: usize) -> Self {
+        Cell::Number(x as f64)
+    }
+}
+
+impl From<Option<f64>> for Cell {
+    fn from(x: Option<f64>) -> Self {
+        x.map_or(Cell::Missing, Cell::Number)
+    }
+}
+
+/// Error returned when a row does not match the table header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowLengthError {
+    /// Number of header columns.
+    pub expected: usize,
+    /// Number of cells supplied.
+    pub got: usize,
+}
+
+impl fmt::Display for RowLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row has {} cells, table has {} columns", self.got, self.expected)
+    }
+}
+
+impl Error for RowLengthError {}
+
+/// A titled table of cells, the exchange format between experiments and
+/// their bench harnesses.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_report::{Cell, Table};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = Table::new("fig3", ["epsilon", "k=2", "k=3"]);
+/// t.push_row([Cell::from(0.01), Cell::from(3.45), Cell::from(1.83)])?;
+/// assert!(t.to_markdown().contains("| epsilon |"));
+/// assert!(t.to_csv().starts_with("epsilon,k=2,k=3"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    #[must_use]
+    pub fn new<I, S>(title: impl Into<String>, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowLengthError`] if the cell count does not match the
+    /// header.
+    pub fn push_row<I>(&mut self, cells: I) -> Result<(), RowLengthError>
+    where
+        I: IntoIterator<Item = Cell>,
+    {
+        let row: Vec<Cell> = cells.into_iter().collect();
+        if row.len() != self.columns.len() {
+            return Err(RowLengthError { expected: self.columns.len(), got: row.len() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Renders as RFC-4180 CSV (header first; fields with commas,
+    /// quotes or newlines are quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit_row = |out: &mut String, fields: &mut dyn Iterator<Item = String>| {
+            let mut first = true;
+            for field in fields {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if field.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&field.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(&field);
+                }
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &mut self.columns.iter().cloned());
+        for row in &self.rows {
+            emit_row(&mut out, &mut row.iter().map(ToString::to_string));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored Markdown table with a `### title`
+    /// heading, columns padded for terminal readability.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("### {}\n\n", self.title);
+        let emit = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (w, c) in widths.iter().zip(cells) {
+                out.push(' ');
+                out.push_str(c);
+                out.push_str(&" ".repeat(w - c.len() + 1));
+                out.push('|');
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.columns.to_vec());
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &rendered {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", ["name", "value", "bound"]);
+        t.push_row([Cell::from("alpha"), Cell::from(1.5), Cell::from(Some(2.0))]).unwrap();
+        t.push_row([Cell::from("beta"), Cell::from(0.001234), Cell::from(None)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "name,value,bound");
+        assert!(lines[1].starts_with("alpha,1.5"));
+        assert!(lines[2].ends_with(",-"));
+    }
+
+    #[test]
+    fn csv_escapes_special_fields() {
+        let mut t = Table::new("x", ["a", "b"]);
+        t.push_row([Cell::from("with,comma"), Cell::from("with \"quote\"")]).unwrap();
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn markdown_has_heading_separator_and_padding() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### demo"));
+        assert!(md.contains("| name  |"));
+        assert!(md.lines().nth(3).unwrap().starts_with("|---"));
+        // All body rows have equal width.
+        let lens: Vec<usize> = md.lines().skip(2).map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn row_length_checked() {
+        let mut t = Table::new("x", ["a", "b"]);
+        let err = t.push_row([Cell::from(1.0)]).unwrap_err();
+        assert_eq!(err, RowLengthError { expected: 2, got: 1 });
+        assert!(err.to_string().contains("2 columns"));
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(Cell::from(3.0).to_string(), "3");
+        assert_eq!(Cell::from(1.23456).to_string(), "1.2346");
+        assert_eq!(Cell::from(0.00123).to_string(), "1.2300e-3");
+        assert_eq!(Cell::from(f64::INFINITY).to_string(), "inf");
+        assert_eq!(Cell::from(f64::NEG_INFINITY).to_string(), "-inf");
+        assert_eq!(Cell::Missing.to_string(), "-");
+        assert_eq!(Cell::from(42usize).to_string(), "42");
+    }
+
+    #[test]
+    fn display_is_markdown() {
+        assert_eq!(sample().to_string(), sample().to_markdown());
+    }
+}

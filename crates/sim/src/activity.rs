@@ -1,0 +1,247 @@
+//! Switching-activity and signal-probability estimation.
+//!
+//! The paper's energy model is `E = ½·C·Vdd²·sw` where `sw` is switching
+//! activity: the probability a signal changes state between consecutive
+//! (temporally independent) input vectors. This module measures both the
+//! empirical toggle rate and the signal probability of every node, plus
+//! the per-gate averages (`sw0` in the paper) consumed by the bounds.
+
+use nanobound_logic::{GateKind, Netlist};
+
+use crate::engine::{evaluate_packed, NodeValues};
+use crate::error::SimError;
+use crate::patterns::PatternSet;
+
+/// Per-node activity statistics of one simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActivityProfile {
+    /// Empirical `p(x)` per node (fraction of patterns evaluating to 1).
+    pub signal_probability: Vec<f64>,
+    /// Empirical `sw(x)` per node (fraction of consecutive-pattern pairs
+    /// that toggle).
+    pub switching_activity: Vec<f64>,
+    /// Mean switching activity over *logic gates* only — the paper's
+    /// `sw0` when measured on an error-free circuit.
+    pub avg_gate_activity: f64,
+    /// Mean signal probability over logic gates.
+    pub avg_gate_probability: f64,
+    /// Number of patterns the profile was computed from.
+    pub patterns: usize,
+}
+
+/// Counts toggles between consecutive valid patterns of a packed stream.
+///
+/// Pattern pairs `(t, t+1)` for `t` in `0..count-1` are examined, across
+/// word boundaries included.
+#[must_use]
+pub fn toggle_count(stream: &[u64], count: usize) -> u64 {
+    if count < 2 {
+        return 0;
+    }
+    let transitions = count - 1;
+    let mut toggles: u64 = 0;
+    for (w, &x) in stream.iter().enumerate() {
+        let base = w * 64;
+        if base >= transitions {
+            break;
+        }
+        // Within-word transition t = base + j uses bits j and j+1 of x,
+        // for j in 0..=62.
+        let within = x ^ (x >> 1);
+        let slots = (transitions - base).min(63);
+        let mask = if slots == 0 { 0 } else { (1u64 << slots) - 1 };
+        toggles += u64::from((within & mask).count_ones());
+        // Boundary transition t = base + 63 pairs bit 63 of this word
+        // with bit 0 of the next.
+        if base + 63 < transitions {
+            let here = x >> 63 & 1;
+            let next = stream[w + 1] & 1;
+            toggles += here ^ next;
+        }
+    }
+    toggles
+}
+
+/// Derives the activity profile from already-computed node values.
+///
+/// The pattern set must consist of temporally independent vectors (e.g.
+/// [`PatternSet::random`]) for the toggle rate to estimate the paper's
+/// `sw`; applying it to exhaustive patterns measures toggling along the
+/// binary enumeration order instead, which is rarely what you want.
+#[must_use]
+pub fn activity_of_values(netlist: &Netlist, values: &NodeValues) -> ActivityProfile {
+    let count = values.count();
+    let transitions = count.saturating_sub(1).max(1);
+    let mut signal_probability = Vec::with_capacity(netlist.node_count());
+    let mut switching_activity = Vec::with_capacity(netlist.node_count());
+    let mut gate_sw_sum = 0.0;
+    let mut gate_p_sum = 0.0;
+    let mut gates = 0usize;
+    for id in netlist.node_ids() {
+        let p = values.probability(id);
+        let sw = toggle_count(values.node(id), count) as f64 / transitions as f64;
+        if netlist.node(id).kind().is_some_and(GateKind::counts_as_gate) {
+            gate_sw_sum += sw;
+            gate_p_sum += p;
+            gates += 1;
+        }
+        signal_probability.push(p);
+        switching_activity.push(sw);
+    }
+    let (avg_gate_activity, avg_gate_probability) = if gates == 0 {
+        (0.0, 0.0)
+    } else {
+        (gate_sw_sum / gates as f64, gate_p_sum / gates as f64)
+    };
+    ActivityProfile {
+        signal_probability,
+        switching_activity,
+        avg_gate_activity,
+        avg_gate_probability,
+        patterns: count,
+    }
+}
+
+/// Simulates `patterns` random vectors (seeded) and profiles the netlist.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `patterns < 2` (no transitions
+/// to measure).
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_gen::parity;
+/// use nanobound_sim::estimate_activity;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = parity::parity_tree(8, 2)?;
+/// let profile = estimate_activity(&tree, 10_000, 7)?;
+/// // XOR outputs of balanced random inputs toggle about half the time.
+/// assert!((profile.avg_gate_activity - 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_activity(
+    netlist: &Netlist,
+    patterns: usize,
+    seed: u64,
+) -> Result<ActivityProfile, SimError> {
+    if patterns < 2 {
+        return Err(SimError::bad("patterns", patterns, "must be at least 2"));
+    }
+    let set = PatternSet::random(netlist.input_count(), patterns, seed);
+    let values = evaluate_packed(netlist, &set)?;
+    Ok(activity_of_values(netlist, &values))
+}
+
+/// Switching activity of a temporally independent signal with
+/// one-probability `p`: `sw = 2·p·(1-p)`.
+///
+/// This is the identity the paper's Theorem 1 proof rests on; empirical
+/// toggle rates from [`estimate_activity`] converge to it as the pattern
+/// count grows.
+#[must_use]
+pub fn activity_from_probability(p: f64) -> f64 {
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobound_logic::{GateKind, Netlist};
+
+    #[test]
+    fn toggle_count_simple_patterns() {
+        // 0101 0101 → toggles at every transition.
+        assert_eq!(toggle_count(&[0xAA], 8), 7);
+        // Constant streams never toggle.
+        assert_eq!(toggle_count(&[0x00], 8), 0);
+        assert_eq!(toggle_count(&[0xFF], 8), 0);
+        // Single toggle in the middle: 0000 1111 over 8 patterns.
+        assert_eq!(toggle_count(&[0xF0], 8), 1);
+    }
+
+    #[test]
+    fn toggle_count_across_word_boundary() {
+        // Word 0 ends with bit 63 = 1, word 1 starts with bit 0 = 0.
+        let stream = [1u64 << 63, 0u64];
+        assert_eq!(toggle_count(&stream, 128), 2); // 0→1 at t=62, 1→0 at t=63
+        let stream = [!0u64, !0u64];
+        assert_eq!(toggle_count(&stream, 128), 0);
+    }
+
+    #[test]
+    fn toggle_count_ignores_invalid_tail() {
+        // Only 4 patterns valid: 1010 — 3 transitions, all toggles.
+        let stream = [0x5u64 | (0xFF << 4)];
+        assert_eq!(toggle_count(&stream, 4), 3);
+    }
+
+    #[test]
+    fn toggle_count_degenerate_counts() {
+        assert_eq!(toggle_count(&[0xAA], 0), 0);
+        assert_eq!(toggle_count(&[0xAA], 1), 0);
+    }
+
+    #[test]
+    fn random_input_activity_near_half() {
+        let mut nl = Netlist::new("wire");
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.add_output("y", buf).unwrap();
+        let profile = estimate_activity(&nl, 50_000, 11).unwrap();
+        // A uniform random input toggles with probability 1/2.
+        assert!((profile.switching_activity[a.index()] - 0.5).abs() < 0.02);
+        assert!((profile.signal_probability[a.index()] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn and_gate_has_skewed_probability_and_activity() {
+        let mut nl = Netlist::new("and4");
+        let inputs: Vec<_> = (0..4).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, &inputs).unwrap();
+        nl.add_output("y", g).unwrap();
+        let profile = estimate_activity(&nl, 100_000, 13).unwrap();
+        let p = profile.signal_probability[g.index()];
+        let sw = profile.switching_activity[g.index()];
+        assert!((p - 1.0 / 16.0).abs() < 0.01, "p = {p}");
+        // Independent vectors: sw = 2 p (1-p).
+        assert!((sw - activity_from_probability(p)).abs() < 0.01, "sw = {sw}");
+    }
+
+    #[test]
+    fn gate_averages_exclude_inputs_and_buffers() {
+        let mut nl = Netlist::new("mix");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let buf = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let g = nl.add_gate(GateKind::And, &[buf, b]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let profile = estimate_activity(&nl, 40_000, 5).unwrap();
+        // Only the AND counts: p ≈ 1/4 → sw ≈ 2·(1/4)·(3/4) = 0.375.
+        assert!((profile.avg_gate_activity - 0.375).abs() < 0.02);
+        assert!((profile.avg_gate_probability - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn too_few_patterns_rejected() {
+        let mut nl = Netlist::new("w");
+        let a = nl.add_input("a");
+        nl.add_output("y", a).unwrap();
+        assert!(estimate_activity(&nl, 1, 0).is_err());
+    }
+
+    #[test]
+    fn profile_is_deterministic_in_seed() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let p1 = estimate_activity(&nl, 1000, 17).unwrap();
+        let p2 = estimate_activity(&nl, 1000, 17).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bitsliced Bernoulli mask generation.
+//!
+//! Noisy simulation needs, for every gate and every pattern lane, an
+//! independent bit that is 1 with probability ε. Generating those bits
+//! one at a time would dominate the simulation cost; instead, whole
+//! 64-lane words are synthesized from ~24 uniform words using the binary
+//! expansion of ε.
+
+use rand::Rng;
+
+/// Number of binary digits used to approximate the probability; the
+/// realized density is the nearest multiple of `2^-24` (error < 6e-8).
+pub const DIGITS: u32 = 24;
+
+/// Returns a word whose bits are independently 1 with probability `p`
+/// (quantized to [`DIGITS`] binary digits).
+///
+/// The construction processes the binary expansion of `p` from the least
+/// significant digit: starting from density 0, each step halves the
+/// current density and, when the digit is 1, adds ½ — OR with a fresh
+/// uniform word for a 1-digit, AND for a 0-digit.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` (including NaN).
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use nanobound_sim::bernoulli::bernoulli_word;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// assert_eq!(bernoulli_word(&mut rng, 0.0), 0);
+/// assert_eq!(bernoulli_word(&mut rng, 1.0), !0);
+/// ```
+pub fn bernoulli_word(rng: &mut impl Rng, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+    let q = (p * f64::from(1u32 << DIGITS)).round() as u64;
+    if q == 0 {
+        return 0;
+    }
+    if q >= 1 << DIGITS {
+        return !0;
+    }
+    // Skip trailing zero digits: they only halve a still-zero density.
+    let start = q.trailing_zeros();
+    let mut mask = rng.next_u64(); // the first 1-digit: 0 | r = r
+    for d in start + 1..DIGITS {
+        let r = rng.next_u64();
+        mask = if q >> d & 1 == 1 { mask | r } else { mask & r };
+    }
+    mask
+}
+
+/// Fills `out` with independent Bernoulli(`p`) words.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn bernoulli_words(rng: &mut impl Rng, p: f64, out: &mut [u64]) {
+    for w in out {
+        *w = bernoulli_word(rng, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn density(p: f64, words: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u64; words];
+        bernoulli_words(&mut rng, p, &mut buf);
+        let ones: u64 = buf.iter().map(|w| u64::from(w.count_ones())).sum();
+        ones as f64 / (64 * words) as f64
+    }
+
+    #[test]
+    fn extreme_probabilities_are_exact() {
+        assert_eq!(density(0.0, 100, 1), 0.0);
+        assert_eq!(density(1.0, 100, 1), 1.0);
+    }
+
+    #[test]
+    fn densities_match_probability() {
+        for &p in &[0.5, 0.25, 0.1, 0.01, 0.001, 1.0 / 3.0, 0.9] {
+            let d = density(p, 4000, 42);
+            let sigma = (p * (1.0 - p) / (64.0 * 4000.0)).sqrt();
+            assert!(
+                (d - p).abs() < 6.0 * sigma.max(1e-4),
+                "p = {p}, measured {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_rng_state() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(bernoulli_word(&mut a, 0.37), bernoulli_word(&mut b, 0.37));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_out_of_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = bernoulli_word(&mut rng, 1.5);
+    }
+
+    #[test]
+    fn small_probabilities_are_not_rounded_to_zero() {
+        // 2^-20 is representable with 24 digits.
+        let p = 1.0 / f64::from(1u32 << 20);
+        let d = density(p, 200_000, 3);
+        assert!(d > 0.0, "density collapsed to zero");
+        assert!((d - p).abs() < p * 0.5, "p = {p}, measured {d}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation and analysis entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A pattern set was built for a different number of inputs than the
+    /// netlist declares.
+    InputMismatch {
+        /// Inputs the netlist declares.
+        expected: usize,
+        /// Inputs the pattern set carries.
+        got: usize,
+    },
+    /// Two netlists compared for equivalence have different interfaces.
+    InterfaceMismatch {
+        /// What differs: `"inputs"` or `"outputs"`.
+        what: &'static str,
+        /// Count on the first netlist.
+        left: usize,
+        /// Count on the second netlist.
+        right: usize,
+    },
+    /// Exhaustive analysis was requested for a circuit with too many
+    /// inputs.
+    TooManyInputs {
+        /// Inputs the netlist declares.
+        inputs: usize,
+        /// Largest supported input count for this analysis.
+        limit: usize,
+    },
+    /// A numeric parameter was outside its supported range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value formatted for display.
+        got: String,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+}
+
+impl SimError {
+    pub(crate) fn bad(
+        name: &'static str,
+        got: impl fmt::Display,
+        requirement: &'static str,
+    ) -> Self {
+        SimError::BadParameter { name, got: got.to_string(), requirement }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InputMismatch { expected, got } => {
+                write!(f, "pattern set has {got} inputs, netlist declares {expected}")
+            }
+            SimError::InterfaceMismatch { what, left, right } => {
+                write!(f, "netlists differ in {what}: {left} vs {right}")
+            }
+            SimError::TooManyInputs { inputs, limit } => {
+                write!(f, "exhaustive analysis limited to {limit} inputs, circuit has {inputs}")
+            }
+            SimError::BadParameter { name, got, requirement } => {
+                write!(f, "parameter `{name}` = {got} {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::InputMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4'));
+        let e = SimError::TooManyInputs { inputs: 40, limit: 20 };
+        assert!(e.to_string().contains("40"));
+        let e = SimError::bad("epsilon", 1.5, "must lie in [0, 1]");
+        assert!(e.to_string().contains("epsilon"));
+        let e = SimError::InterfaceMismatch { what: "outputs", left: 1, right: 2 };
+        assert!(e.to_string().contains("outputs"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Noisy (fault-injecting) Monte-Carlo simulation.
+//!
+//! Implements the paper's Figure-1 error model in executable form: every
+//! logic gate is an error-free device cascaded with a binary symmetric
+//! channel of crossover probability ε. Per pattern lane and per gate, an
+//! independent Bernoulli(ε) bit is XORed onto the gate's error-free
+//! output.
+//!
+//! Buffers and constants are treated as wiring artifacts, not devices,
+//! and receive no noise — consistent with [`Netlist::gate_count`]
+//! defining the paper's device count `S0`.
+
+use nanobound_logic::{Netlist, Node};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::activity::activity_of_values;
+use crate::bernoulli::bernoulli_word;
+use crate::engine::{eval_gate, evaluate_packed, NodeValues};
+use crate::error::SimError;
+use crate::patterns::{tail_mask, PatternSet};
+
+/// Configuration of one noisy simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoisyConfig {
+    /// Per-gate output error probability ε of the symmetric channel.
+    pub epsilon: f64,
+    /// Seed of the fault-mask RNG (independent of the pattern seed).
+    pub seed: u64,
+}
+
+impl NoisyConfig {
+    /// Creates a configuration, validating ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ 1`. (The paper
+    /// restricts attention to `ε ≤ ½`; larger values remain simulable for
+    /// exploring the formulas' symmetric branch.)
+    pub fn new(epsilon: f64, seed: u64) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(SimError::bad("epsilon", epsilon, "must lie in [0, 1]"));
+        }
+        Ok(NoisyConfig { epsilon, seed })
+    }
+}
+
+/// Evaluates every node with per-gate fault injection.
+///
+/// Downstream gates consume the *noisy* value of their fanins, so errors
+/// propagate and interact exactly as in the paper's model.
+///
+/// # Errors
+///
+/// Returns [`SimError::InputMismatch`] if the pattern set does not match
+/// the netlist's input count.
+pub fn evaluate_noisy(
+    netlist: &Netlist,
+    patterns: &PatternSet,
+    config: &NoisyConfig,
+) -> Result<NodeValues, SimError> {
+    if patterns.num_inputs() != netlist.input_count() {
+        return Err(SimError::InputMismatch {
+            expected: netlist.input_count(),
+            got: patterns.num_inputs(),
+        });
+    }
+    let words = patterns.words_per_signal();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut values: Vec<Vec<u64>> = Vec::with_capacity(netlist.node_count());
+    let mut next_input = 0usize;
+    for node in netlist.nodes() {
+        let stream = match node {
+            Node::Input { .. } => {
+                let s = patterns.input_words(next_input).to_vec();
+                next_input += 1;
+                s
+            }
+            Node::Gate { kind, fanins } => {
+                let mut s = eval_gate(*kind, fanins, &values, words);
+                if kind.counts_as_gate() {
+                    for w in &mut s {
+                        *w ^= bernoulli_word(&mut rng, config.epsilon);
+                    }
+                }
+                s
+            }
+        };
+        values.push(stream);
+    }
+    Ok(NodeValues::from_parts(values, patterns.count()))
+}
+
+/// Aggregate outcome of a noisy-vs-clean Monte-Carlo comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoisyOutcome {
+    /// Patterns simulated.
+    pub patterns: usize,
+    /// Fraction of patterns on which *any* primary output differed from
+    /// the error-free circuit — the empirical output failure rate δ̂.
+    pub circuit_error_rate: f64,
+    /// Per-output error rates, in output declaration order.
+    pub per_output_error_rate: Vec<f64>,
+    /// Mean switching activity over logic gates of the *noisy* values —
+    /// the `sw(ε)` that Theorem 1 predicts from the error-free `sw0`.
+    pub noisy_avg_gate_activity: f64,
+    /// Mean switching activity over logic gates of the error-free run,
+    /// from the same input patterns.
+    pub clean_avg_gate_activity: f64,
+}
+
+/// Runs the paired clean/noisy Monte-Carlo experiment on random input
+/// vectors.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `patterns < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_gen::parity;
+/// use nanobound_sim::{monte_carlo, NoisyConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = parity::parity_tree(8, 2)?;
+/// let noisy = monte_carlo(&tree, &NoisyConfig::new(0.01, 7)?, 20_000, 11)?;
+/// // 7 XOR gates, each failing 1% of the time, errors never mask on the
+/// // single parity output: failure rate just under 7%.
+/// assert!(noisy.circuit_error_rate > 0.04 && noisy.circuit_error_rate < 0.10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn monte_carlo(
+    netlist: &Netlist,
+    config: &NoisyConfig,
+    patterns: usize,
+    pattern_seed: u64,
+) -> Result<NoisyOutcome, SimError> {
+    if patterns < 2 {
+        return Err(SimError::bad("patterns", patterns, "must be at least 2"));
+    }
+    let set = PatternSet::random(netlist.input_count(), patterns, pattern_seed);
+    let clean = evaluate_packed(netlist, &set)?;
+    let noisy = evaluate_noisy(netlist, &set, config)?;
+    Ok(compare_runs(netlist, &clean, &noisy))
+}
+
+/// Compares a clean and a noisy run over the same pattern set.
+///
+/// # Panics
+///
+/// Panics if the two runs have different pattern counts.
+#[must_use]
+pub fn compare_runs(netlist: &Netlist, clean: &NodeValues, noisy: &NodeValues) -> NoisyOutcome {
+    assert_eq!(clean.count(), noisy.count(), "runs cover different pattern counts");
+    let count = clean.count();
+    let words = count.div_ceil(64);
+    let tail = tail_mask(count);
+
+    let mut per_output_error_rate = Vec::with_capacity(netlist.output_count());
+    let mut any_diff = vec![0u64; words];
+    for out in netlist.outputs() {
+        let c = clean.node(out.driver);
+        let z = noisy.node(out.driver);
+        let mut ones: u64 = 0;
+        for w in 0..words {
+            let mut diff = c[w] ^ z[w];
+            if w + 1 == words {
+                diff &= tail;
+            }
+            ones += u64::from(diff.count_ones());
+            any_diff[w] |= diff;
+        }
+        per_output_error_rate.push(ones as f64 / count as f64);
+    }
+    let circuit_errors: u64 = any_diff.iter().map(|w| u64::from(w.count_ones())).sum();
+
+    let clean_profile = activity_of_values(netlist, clean);
+    let noisy_profile = activity_of_values(netlist, noisy);
+    NoisyOutcome {
+        patterns: count,
+        circuit_error_rate: circuit_errors as f64 / count as f64,
+        per_output_error_rate,
+        noisy_avg_gate_activity: noisy_profile.avg_gate_activity,
+        clean_avg_gate_activity: clean_profile.avg_gate_activity,
+    }
+}
+
+/// Theorem 1 of the paper: switching activity of an ε-noisy device whose
+/// error-free output has activity `sw`.
+///
+/// Re-exported by `nanobound-core` as the bound; duplicated here (one
+/// line) so the simulator crate can state its own validation tests
+/// without a dependency cycle.
+#[must_use]
+pub fn theorem1_prediction(sw: f64, epsilon: f64) -> f64 {
+    let a = 1.0 - 2.0 * epsilon;
+    a * a * sw + 2.0 * epsilon * (1.0 - epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobound_logic::GateKind;
+
+    fn single_gate(kind: GateKind, fanin: usize) -> Netlist {
+        let mut nl = Netlist::new("g");
+        let inputs: Vec<_> = (0..fanin).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let g = nl.add_gate(kind, &inputs).unwrap();
+        nl.add_output("y", g).unwrap();
+        nl
+    }
+
+    #[test]
+    fn epsilon_zero_is_noise_free() {
+        let nl = single_gate(GateKind::Xor, 3);
+        let out = monte_carlo(&nl, &NoisyConfig::new(0.0, 1).unwrap(), 5_000, 2).unwrap();
+        assert_eq!(out.circuit_error_rate, 0.0);
+        assert_eq!(out.per_output_error_rate, vec![0.0]);
+        assert_eq!(out.noisy_avg_gate_activity, out.clean_avg_gate_activity);
+    }
+
+    #[test]
+    fn single_gate_error_rate_is_epsilon() {
+        let nl = single_gate(GateKind::And, 2);
+        for &eps in &[0.05, 0.2, 0.5] {
+            let out =
+                monte_carlo(&nl, &NoisyConfig::new(eps, 3).unwrap(), 100_000, 4).unwrap();
+            let sigma = (eps * (1.0 - eps) / 100_000.0).sqrt();
+            assert!(
+                (out.circuit_error_rate - eps).abs() < 6.0 * sigma,
+                "eps = {eps}, measured {}",
+                out.circuit_error_rate
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_holds_for_a_single_device() {
+        // A buffer-free single gate: its noisy activity must match the
+        // closed form within Monte-Carlo error.
+        let nl = single_gate(GateKind::And, 3); // low-activity output
+        for &eps in &[0.01, 0.1, 0.3] {
+            let out =
+                monte_carlo(&nl, &NoisyConfig::new(eps, 5).unwrap(), 200_000, 6).unwrap();
+            let predicted = theorem1_prediction(out.clean_avg_gate_activity, eps);
+            assert!(
+                (out.noisy_avg_gate_activity - predicted).abs() < 0.01,
+                "eps = {eps}: measured {} predicted {predicted}",
+                out.noisy_avg_gate_activity
+            );
+        }
+    }
+
+    #[test]
+    fn noise_makes_output_look_random_at_half() {
+        // ε = 0.5 destroys all information: output is a coin flip.
+        let nl = single_gate(GateKind::And, 4);
+        let out = monte_carlo(&nl, &NoisyConfig::new(0.5, 7).unwrap(), 100_000, 8).unwrap();
+        assert!((out.noisy_avg_gate_activity - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn buffers_are_noise_free() {
+        let mut nl = Netlist::new("b");
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.add_output("y", buf).unwrap();
+        let out = monte_carlo(&nl, &NoisyConfig::new(0.4, 9).unwrap(), 10_000, 10).unwrap();
+        assert_eq!(out.circuit_error_rate, 0.0);
+    }
+
+    #[test]
+    fn errors_propagate_through_depth() {
+        // A chain of 10 buffers realized as double inverters: 20 noisy
+        // devices; each error flips the output unless masked by another.
+        let mut nl = Netlist::new("chain");
+        let mut node = nl.add_input("a");
+        for _ in 0..20 {
+            node = nl.add_gate(GateKind::Not, &[node]).unwrap();
+        }
+        nl.add_output("y", node).unwrap();
+        let eps = 0.01;
+        let out =
+            monte_carlo(&nl, &NoisyConfig::new(eps, 11).unwrap(), 200_000, 12).unwrap();
+        // Output wrong iff an odd number of the 20 channels flip:
+        // P = (1 - (1-2ε)^20) / 2 ≈ 0.1655.
+        let expected = (1.0 - (1.0 - 2.0 * eps).powi(20)) / 2.0;
+        assert!(
+            (out.circuit_error_rate - expected).abs() < 0.01,
+            "measured {} expected {expected}",
+            out.circuit_error_rate
+        );
+    }
+
+    #[test]
+    fn config_validates_epsilon() {
+        assert!(NoisyConfig::new(-0.1, 0).is_err());
+        assert!(NoisyConfig::new(1.1, 0).is_err());
+        assert!(NoisyConfig::new(f64::NAN, 0).is_err());
+        assert!(NoisyConfig::new(0.5, 0).is_ok());
+    }
+
+    #[test]
+    fn deterministic_in_seeds() {
+        let nl = single_gate(GateKind::Or, 3);
+        let cfg = NoisyConfig::new(0.1, 21).unwrap();
+        let a = monte_carlo(&nl, &cfg, 5_000, 22).unwrap();
+        let b = monte_carlo(&nl, &cfg, 5_000, 22).unwrap();
+        assert_eq!(a, b);
+        let c = monte_carlo(&nl, &NoisyConfig::new(0.1, 23).unwrap(), 5_000, 22).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_output_rates_cover_all_outputs() {
+        let mut nl = Netlist::new("two");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        nl.add_output("y1", g1).unwrap();
+        nl.add_output("y2", g2).unwrap();
+        let out = monte_carlo(&nl, &NoisyConfig::new(0.1, 1).unwrap(), 50_000, 2).unwrap();
+        assert_eq!(out.per_output_error_rate.len(), 2);
+        for &r in &out.per_output_error_rate {
+            assert!((r - 0.1).abs() < 0.01, "rate {r}");
+        }
+        // Circuit-level rate: either gate failing = 1 - (1-ε)² ≈ 0.19.
+        assert!((out.circuit_error_rate - 0.19).abs() < 0.01);
+    }
+}

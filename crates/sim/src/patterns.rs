@@ -1,0 +1,283 @@
+//! Packed input-pattern sets for 64-way bit-parallel simulation.
+//!
+//! Pattern `p` lives in bit `p % 64` of word `p / 64` of every signal
+//! stream. [`PatternSet::exhaustive`] enumerates all `2^n` assignments in
+//! natural binary order (pattern `p` assigns bit `i` of `p` to input `i`),
+//! which is what lets [`crate::sensitivity`] relate a pattern to its
+//! single-bit-flip neighbours by pure lane permutations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SimError;
+
+/// Largest input count accepted by [`PatternSet::exhaustive`] (`2^24`
+/// patterns ≈ 16.8 M lanes; beyond this, use random sampling).
+pub const EXHAUSTIVE_LIMIT: usize = 24;
+
+/// A set of input assignments, packed 64 patterns per word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternSet {
+    /// One packed stream per primary input, all of equal word length.
+    words: Vec<Vec<u64>>,
+    /// Number of valid patterns (bits) per stream.
+    count: usize,
+}
+
+impl PatternSet {
+    /// All `2^num_inputs` assignments in natural binary order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyInputs`] if `num_inputs` exceeds
+    /// [`EXHAUSTIVE_LIMIT`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nanobound_sim::PatternSet;
+    ///
+    /// let p = PatternSet::exhaustive(3)?;
+    /// assert_eq!(p.count(), 8);
+    /// // Input 0 alternates every pattern: 0b10101010.
+    /// assert_eq!(p.input_words(0)[0] & 0xFF, 0xAA);
+    /// # Ok::<(), nanobound_sim::SimError>(())
+    /// ```
+    pub fn exhaustive(num_inputs: usize) -> Result<Self, SimError> {
+        if num_inputs > EXHAUSTIVE_LIMIT {
+            return Err(SimError::TooManyInputs { inputs: num_inputs, limit: EXHAUSTIVE_LIMIT });
+        }
+        let count = 1usize << num_inputs;
+        let words_per_signal = count.div_ceil(64);
+        let mut words = Vec::with_capacity(num_inputs);
+        for i in 0..num_inputs {
+            let mut stream = Vec::with_capacity(words_per_signal);
+            for w in 0..words_per_signal {
+                stream.push(exhaustive_word(i, w));
+            }
+            words.push(stream);
+        }
+        Ok(PatternSet { words, count })
+    }
+
+    /// `count` uniformly random assignments, deterministic in `seed`.
+    ///
+    /// Each pattern is independent of its neighbours, so consecutive
+    /// lanes model temporally independent input vectors — the signal
+    /// model under which the paper's switching-activity results hold.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nanobound_sim::PatternSet;
+    ///
+    /// let a = PatternSet::random(5, 1000, 42);
+    /// let b = PatternSet::random(5, 1000, 42);
+    /// assert_eq!(a, b);
+    /// ```
+    #[must_use]
+    pub fn random(num_inputs: usize, count: usize, seed: u64) -> Self {
+        let words_per_signal = count.div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = (0..num_inputs)
+            .map(|_| (0..words_per_signal).map(|_| rng.next_u64()).collect())
+            .collect();
+        PatternSet { words, count }
+    }
+
+    /// Builds a pattern set from raw packed streams.
+    ///
+    /// All streams must have identical length and hold at least `count`
+    /// bits; bits above `count` in the last word are ignored by every
+    /// consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] if stream lengths disagree or
+    /// are too short for `count`.
+    pub fn from_raw(words: Vec<Vec<u64>>, count: usize) -> Result<Self, SimError> {
+        let need = count.div_ceil(64);
+        for stream in &words {
+            if stream.len() != need {
+                return Err(SimError::bad(
+                    "words",
+                    stream.len(),
+                    "every stream must have exactly ceil(count / 64) words",
+                ));
+            }
+        }
+        Ok(PatternSet { words, count })
+    }
+
+    /// Number of valid patterns.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of primary-input streams.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words per signal stream.
+    #[must_use]
+    pub fn words_per_signal(&self) -> usize {
+        self.count.div_ceil(64)
+    }
+
+    /// The packed stream of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid input index.
+    #[must_use]
+    pub fn input_words(&self, i: usize) -> &[u64] {
+        &self.words[i]
+    }
+
+    /// Mask selecting the valid bits of the *last* word of every stream
+    /// (all ones when `count` is a multiple of 64).
+    #[must_use]
+    pub fn tail_mask(&self) -> u64 {
+        tail_mask(self.count)
+    }
+
+    /// Extracts pattern `p` as a plain assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.count()`.
+    #[must_use]
+    pub fn assignment(&self, p: usize) -> Vec<bool> {
+        assert!(p < self.count, "pattern {p} out of range {}", self.count);
+        self.words.iter().map(|s| s[p / 64] >> (p % 64) & 1 == 1).collect()
+    }
+
+    /// Returns a copy with input `i`'s stream complemented — every
+    /// pattern has that one input flipped. Used by sensitivity sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid input index.
+    #[must_use]
+    pub fn with_input_flipped(&self, i: usize) -> Self {
+        let mut flipped = self.clone();
+        for w in &mut flipped.words[i] {
+            *w = !*w;
+        }
+        flipped
+    }
+}
+
+/// Mask of valid bits in the final word of a `count`-pattern stream.
+#[must_use]
+pub(crate) fn tail_mask(count: usize) -> u64 {
+    match count % 64 {
+        0 => !0,
+        r => (1u64 << r) - 1,
+    }
+}
+
+/// Word `w` of the exhaustive stream of input `i`: bit `j` is bit `i` of
+/// the pattern index `64·w + j`.
+pub(crate) fn exhaustive_word(input: usize, word: usize) -> u64 {
+    /// `PERIODIC[i]` has bit `j` set iff bit `i` of `j` is set.
+    const PERIODIC: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    if input < 6 {
+        PERIODIC[input]
+    } else if word >> (input - 6) & 1 == 1 {
+        !0
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_matches_binary_order() {
+        let p = PatternSet::exhaustive(7).unwrap();
+        assert_eq!(p.count(), 128);
+        assert_eq!(p.words_per_signal(), 2);
+        for v in 0..128usize {
+            let a = p.assignment(v);
+            for (i, &bit) in a.iter().enumerate() {
+                assert_eq!(bit, v >> i & 1 == 1, "pattern {v} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_n_has_partial_word() {
+        let p = PatternSet::exhaustive(3).unwrap();
+        assert_eq!(p.count(), 8);
+        assert_eq!(p.words_per_signal(), 1);
+        assert_eq!(p.tail_mask(), 0xFF);
+    }
+
+    #[test]
+    fn exhaustive_rejects_large_n() {
+        let err = PatternSet::exhaustive(30).unwrap_err();
+        assert_eq!(err, SimError::TooManyInputs { inputs: 30, limit: EXHAUSTIVE_LIMIT });
+    }
+
+    #[test]
+    fn random_is_deterministic_and_distinct_across_seeds() {
+        let a = PatternSet::random(4, 256, 1);
+        let b = PatternSet::random(4, 256, 1);
+        let c = PatternSet::random(4, 256, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.count(), 256);
+        assert_eq!(a.num_inputs(), 4);
+    }
+
+    #[test]
+    fn tail_mask_handles_full_and_partial_words() {
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(128), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(65), 1);
+        assert_eq!(tail_mask(70), 0x3F);
+    }
+
+    #[test]
+    fn flipping_an_input_complements_its_stream_only() {
+        let p = PatternSet::random(3, 100, 9);
+        let f = p.with_input_flipped(1);
+        for v in 0..100 {
+            let a = p.assignment(v);
+            let b = f.assignment(v);
+            assert_eq!(a[0], b[0]);
+            assert_eq!(a[1], !b[1]);
+            assert_eq!(a[2], b[2]);
+        }
+    }
+
+    #[test]
+    fn from_raw_validates_lengths() {
+        let ok = PatternSet::from_raw(vec![vec![0; 2], vec![0; 2]], 100);
+        assert!(ok.is_ok());
+        let err = PatternSet::from_raw(vec![vec![0; 2], vec![0; 1]], 100);
+        assert!(matches!(err, Err(SimError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn random_densities_are_balanced() {
+        let p = PatternSet::random(1, 64_000, 7);
+        let ones: u32 = p.input_words(0).iter().map(|w| w.count_ones()).sum();
+        let frac = f64::from(ones) / 64_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "density {frac}");
+    }
+}

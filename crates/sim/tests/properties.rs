@@ -1,0 +1,109 @@
+//! Property-based tests for the simulation engines: the bit-parallel
+//! path must agree with the scalar evaluator on arbitrary circuits, and
+//! the statistical estimators must obey their defining identities.
+
+use proptest::prelude::*;
+
+use nanobound_gen::random::{random_dag, RandomDagConfig};
+use nanobound_sim::activity::toggle_count;
+use nanobound_sim::{
+    equivalence, evaluate_noisy, evaluate_packed, sensitivity, NoisyConfig, PatternSet,
+};
+
+fn small_dag() -> impl Strategy<Value = RandomDagConfig> {
+    (1usize..=8, 1usize..=40, 2usize..=4, 1usize..=4, any::<u64>()).prop_map(
+        |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
+            inputs,
+            gates,
+            max_fanin,
+            outputs,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_engine_matches_scalar_on_random_dags(config in small_dag()) {
+        let nl = random_dag(&config).unwrap();
+        let patterns = PatternSet::exhaustive(nl.input_count()).unwrap();
+        let packed = evaluate_packed(&nl, &patterns).unwrap();
+        // Check every pattern on every output against the scalar path.
+        for p in 0..patterns.count() {
+            let scalar = nl.evaluate(&patterns.assignment(p)).unwrap();
+            for (o, out) in nl.outputs().iter().enumerate() {
+                prop_assert_eq!(packed.bit(out.driver, p), scalar[o],
+                    "pattern {} output {}", p, o);
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_count_matches_naive_reference(
+        bits in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let naive = bits.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+        prop_assert_eq!(toggle_count(&words, bits.len()), naive);
+    }
+
+    #[test]
+    fn probability_counts_respect_tail(
+        count in 1usize..=130,
+        seed in any::<u64>(),
+    ) {
+        let set = PatternSet::random(1, count, seed);
+        let ones: u64 = set
+            .input_words(0)
+            .iter()
+            .enumerate()
+            .map(|(w, &x)| {
+                let mask = if w + 1 == set.words_per_signal() { set.tail_mask() } else { !0 };
+                u64::from((x & mask).count_ones())
+            })
+            .sum();
+        prop_assert!(ones <= count as u64);
+    }
+
+    #[test]
+    fn noise_free_noisy_run_equals_clean_run(config in small_dag()) {
+        let nl = random_dag(&config).unwrap();
+        let patterns = PatternSet::random(nl.input_count(), 256, 1);
+        let clean = evaluate_packed(&nl, &patterns).unwrap();
+        let noisy = evaluate_noisy(&nl, &patterns, &NoisyConfig::new(0.0, 9).unwrap()).unwrap();
+        prop_assert_eq!(clean, noisy);
+    }
+
+    #[test]
+    fn every_circuit_is_self_equivalent(config in small_dag()) {
+        let nl = random_dag(&config).unwrap();
+        prop_assert!(equivalence::equivalent_exhaustive(&nl, &nl).unwrap());
+    }
+
+    #[test]
+    fn sampled_sensitivity_never_exceeds_exact(config in small_dag()) {
+        let nl = random_dag(&config).unwrap();
+        let exact = sensitivity::exact(&nl).unwrap();
+        let sampled = sensitivity::sampled(&nl, 128, config.seed).unwrap();
+        prop_assert!(sampled <= exact, "sampled {} > exact {}", sampled, exact);
+        prop_assert!(exact <= nl.input_count() as u32);
+    }
+
+    #[test]
+    fn flipping_inputs_is_an_involution(
+        count in 1usize..=200,
+        seed in any::<u64>(),
+        input in 0usize..4,
+    ) {
+        let set = PatternSet::random(4, count, seed);
+        let twice = set.with_input_flipped(input).with_input_flipped(input);
+        prop_assert_eq!(set, twice);
+    }
+}

@@ -1,0 +1,71 @@
+//! Protecting a ripple-carry adder: constructive schemes vs the bound.
+//!
+//! Takes an 8-bit ripple-carry adder built from ε-noisy gates, applies
+//! the two classical redundancy schemes (triple-modular redundancy and
+//! von Neumann NAND multiplexing), measures what reliability each one
+//! *actually* achieves by Monte-Carlo fault injection, and puts their
+//! gate cost against the paper's complexity-theoretic lower bound at the
+//! achieved reliability.
+//!
+//! Run: `cargo run --release --example protect_an_adder`
+
+use nanobound::core::size::strict_size_factor;
+use nanobound::gen::adder;
+use nanobound::redundancy::{multiplex, nmr, MultiplexConfig};
+use nanobound::report::{Cell, Table};
+use nanobound::sim::{monte_carlo, sensitivity, NoisyConfig};
+
+const EPSILON: f64 = 0.002;
+const PATTERNS: usize = 200_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rca = adder::ripple_carry(8)?;
+    let s0 = rca.gate_count() as f64;
+    let s = f64::from(sensitivity::estimate(&rca, 512, 1)?.value());
+    println!("circuit: {rca}");
+    println!("gate error probability: {EPSILON}\n");
+
+    let candidates: Vec<(&str, nanobound::logic::Netlist)> = vec![
+        ("bare", rca.clone()),
+        ("TMR", nmr(&rca, 3)?),
+        ("5MR", nmr(&rca, 5)?),
+        (
+            "mux n=5",
+            multiplex(&rca, &MultiplexConfig { bundle: 5, restorative_stages: 1, seed: 3 })?,
+        ),
+        (
+            "mux n=9",
+            multiplex(&rca, &MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 3 })?,
+        ),
+    ];
+
+    let mut table = Table::new(
+        "protection schemes at eps = 0.002 (8-bit ripple-carry adder)",
+        ["scheme", "gates", "size factor", "achieved delta", "bound size factor", "slack"],
+    );
+    let config = NoisyConfig::new(EPSILON, 11)?;
+    for (name, netlist) in &candidates {
+        let outcome = monte_carlo(netlist, &config, PATTERNS, 13)?;
+        let achieved = outcome.circuit_error_rate;
+        let actual_factor = netlist.gate_count() as f64 / s0;
+        // The strict (total-size) reading of Theorem 2 at the reliability
+        // this scheme actually delivers.
+        let bound = strict_size_factor(s0, s, 2.0, EPSILON, achieved.clamp(1e-9, 0.499))?;
+        table.push_row([
+            Cell::from(*name),
+            Cell::from(netlist.gate_count()),
+            Cell::from(actual_factor),
+            Cell::from(achieved),
+            Cell::from(bound),
+            Cell::from(actual_factor - bound),
+        ])?;
+    }
+    println!("{table}");
+    println!(
+        "Every real scheme pays far more than the information-theoretic\n\
+         minimum — the gap the paper attributes to redundancy schemes being\n\
+         'committed' to one mechanism (voting, bundles) instead of the\n\
+         optimal code-like use of extra gates."
+    );
+    Ok(())
+}

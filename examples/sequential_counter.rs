@@ -1,0 +1,87 @@
+//! Sequential circuits via time-frame expansion — the paper's stated
+//! future work ("treatment of sequential circuits"), realized with the
+//! standard unrolling reduction.
+//!
+//! A 4-bit counter (parsed from ISCAS `.bench` text with `DFF`s) is
+//! unrolled over a growing number of time frames; each unrolled circuit
+//! is combinational, so the whole measurement-and-bounds pipeline
+//! applies unchanged. The bounds then speak about *T cycles of
+//! operation*: per-frame energy stays flat while the depth (and with it
+//! the delay bound) accumulates.
+//!
+//! Run: `cargo run --release --example sequential_counter`
+
+use nanobound::core::BoundReport;
+use nanobound::experiments::profiles::{profile_netlist, ProfileConfig};
+use nanobound::io::{bench, unroll};
+use nanobound::report::{Cell, Table};
+
+/// A 4-bit synchronous counter with enable, in ISCAS `.bench` syntax.
+const COUNTER: &str = "\
+INPUT(en)
+OUTPUT(b0)
+OUTPUT(b1)
+OUTPUT(b2)
+OUTPUT(b3)
+q0 = DFF(n0)
+q1 = DFF(n1)
+q2 = DFF(n2)
+q3 = DFF(n3)
+n0 = XOR(q0, en)
+c0 = AND(q0, en)
+n1 = XOR(q1, c0)
+c1 = AND(q1, c0)
+n2 = XOR(q2, c1)
+c2 = AND(q2, c1)
+n3 = XOR(q3, c2)
+b0 = BUFF(q0)
+b1 = BUFF(q1)
+b2 = BUFF(q2)
+b3 = BUFF(q3)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = bench::parse(COUNTER)?;
+    println!(
+        "parsed sequential design: {} ({} latches)\n",
+        design.netlist,
+        design.latches.len()
+    );
+
+    let mut table = Table::new(
+        "4-bit counter unrolled over T frames — bounds at eps = 1%, delta = 1%",
+        ["frames", "S0", "depth", "sw0", "energy bound", "delay bound", "EDP bound"],
+    );
+    let config = ProfileConfig::default();
+    for frames in [1usize, 2, 4, 8, 16] {
+        let unrolled = unroll::unroll_free(&design, frames)?;
+        let profiled = profile_netlist(&unrolled, None, &config)?;
+        let report = BoundReport::evaluate(&profiled.profile, 0.01, 0.01)?;
+        table.push_row([
+            Cell::from(frames),
+            Cell::from(profiled.profile.size),
+            Cell::from(profiled.profile.depth as usize),
+            Cell::from(profiled.profile.activity),
+            Cell::from(report.total_energy_factor),
+            Cell::from(report.delay_factor),
+            Cell::from(report.energy_delay_factor),
+        ])?;
+    }
+    println!("{table}");
+    println!(
+        "The energy bound is nearly frame-independent (per-cycle logic is\n\
+         replicated), while unrolling verifies that the sequential design's\n\
+         function — counting — survives the combinational reduction."
+    );
+
+    // Behavioural sanity check printed for the skeptical reader:
+    let five = unroll::unroll(&design, 5, &[false; 4])?;
+    let outs = five.evaluate(&[true; 5])?;
+    let states: Vec<u8> = (0..5)
+        .map(|t| {
+            (0..4).fold(0u8, |acc, b| acc | (u8::from(outs[4 * t + b]) << b))
+        })
+        .collect();
+    println!("\ncounting check over 5 enabled frames: {states:?}");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # nanobound
+//!
+//! A reproduction of *D. Marculescu, "Energy Bounds for Fault-Tolerant
+//! Nanoscale Designs", DATE 2005* — lower bounds on the energy, size, depth,
+//! average power and energy-delay cost of computing reliably with noisy
+//! gates, together with the full substrate needed to apply those bounds to
+//! real circuits.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`logic`] — netlist IR, statistics and synthesis-lite transforms;
+//! - [`io`] — ISCAS `.bench` and BLIF readers/writers;
+//! - [`gen`] — parameterized circuit generators (arithmetic, parity,
+//!   control, ISCAS'85 functional analogs);
+//! - [`sim`] — bit-parallel simulation, switching activity, noisy
+//!   Monte-Carlo fault injection, sensitivity;
+//! - [`core`] — the paper's theory: Theorems 1-4, Corollaries 1-2 and the
+//!   composite delay/power/energy-delay bounds;
+//! - [`energy`] — technology-parameterized energy/delay models and Vdd
+//!   scaling;
+//! - [`redundancy`] — constructive fault tolerance (NMR, von Neumann
+//!   multiplexing);
+//! - [`report`] — tables, CSV/Markdown emitters, ASCII charts;
+//! - [`experiments`] — regeneration of every figure and headline claim of
+//!   the paper.
+//!
+//! # Quickstart
+//!
+//! Bound the energy cost of making a 10-input parity circuit 99%-reliable
+//! when every gate fails with probability 1% — measuring every
+//! circuit-specific parameter from a real netlist:
+//!
+//! ```
+//! use nanobound::core::BoundReport;
+//! use nanobound::experiments::profiles::{profile_netlist, ProfileConfig};
+//! use nanobound::gen::parity;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tree = parity::parity_tree(10, 3)?;
+//! let profiled = profile_netlist(&tree, None, &ProfileConfig::default())?;
+//! let bounds = BoundReport::evaluate(&profiled.profile, 0.01, 0.01)?;
+//! assert!(bounds.total_energy_factor >= 1.0);
+//! println!(
+//!     "{}: at eps=1% reliability costs >= {:.1}% more energy",
+//!     profiled.name,
+//!     (bounds.total_energy_factor - 1.0) * 100.0,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use nanobound_core as core;
+pub use nanobound_energy as energy;
+pub use nanobound_experiments as experiments;
+pub use nanobound_gen as gen;
+pub use nanobound_io as io;
+pub use nanobound_logic as logic;
+pub use nanobound_redundancy as redundancy;
+pub use nanobound_report as report;
+pub use nanobound_sim as sim;

@@ -1,0 +1,241 @@
+//! `nanobound` — command-line front end.
+//!
+//! ```console
+//! nanobound profile <file.bench|file.blif> [--eps E]... [--delta D] [--frames T]
+//! nanobound bounds --size S0 --sensitivity S --activity SW --fanin K [--inputs N] [--eps E] [--delta D]
+//! nanobound figures [--out DIR]
+//! ```
+//!
+//! `profile` parses a netlist (ISCAS `.bench` or BLIF), runs the
+//! measurement pipeline and prints the bound report; sequential designs
+//! are unrolled over `--frames` time frames first. `bounds` skips the
+//! netlist and evaluates the closed-form bounds for hand-supplied
+//! circuit parameters. `figures` regenerates every figure of the paper
+//! into CSV files.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use nanobound::core::{BoundReport, CircuitProfile, DepthBound};
+use nanobound::experiments::profiles::{profile_netlist, ProfileConfig};
+use nanobound::io::{bench, blif, unroll, Design};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+nanobound — energy bounds for fault-tolerant nanoscale designs
+          (reproduction of Marculescu, DATE 2005)
+
+USAGE:
+    nanobound profile <FILE> [OPTIONS]   profile a .bench/.blif netlist and
+                                         print its bound report
+    nanobound bounds [OPTIONS]           evaluate the bounds for explicit
+                                         circuit parameters
+    nanobound figures [--out DIR]        regenerate every paper figure as CSV
+
+PROFILE OPTIONS:
+    --eps <E>        gate error probability (repeatable; default 0.001 0.01 0.1)
+    --delta <D>      required output error bound        [default: 0.01]
+    --frames <T>     unroll sequential designs T frames [default: 4]
+    --patterns <N>   activity-simulation vectors        [default: 10000]
+    --leak <L>       baseline leakage share             [default: 0.5]
+
+BOUNDS OPTIONS:
+    --size <S0>  --sensitivity <S>  --activity <SW>  --fanin <K>
+    --inputs <N>     [default: max(sensitivity, 2)]
+    --depth <D0>     [default: 8]
+    --eps, --delta, --leak as above
+";
+
+/// Pulls `--name value` pairs out of an argument list; returns the
+/// positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} expects a value"))?;
+            flags.push((name.to_owned(), value.clone()));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_values<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    flags.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+}
+
+fn flag_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
+    match flag_values(flags, name).last() {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: `{v}` is not a number")),
+    }
+}
+
+fn flag_usize(flags: &[(String, String)], name: &str, default: usize) -> Result<usize, String> {
+    match flag_values(flags, name).last() {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: `{v}` is not an integer")),
+    }
+}
+
+fn epsilons(flags: &[(String, String)]) -> Result<Vec<f64>, String> {
+    let supplied = flag_values(flags, "eps");
+    if supplied.is_empty() {
+        return Ok(vec![0.001, 0.01, 0.1]);
+    }
+    supplied
+        .iter()
+        .map(|v| v.parse().map_err(|_| format!("--eps: `{v}` is not a number")))
+        .collect()
+}
+
+fn load_design(path: &str) -> Result<Design, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if Path::new(path).extension().is_some_and(|e| e.eq_ignore_ascii_case("blif")) {
+        blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        bench::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err(format!("`profile` expects exactly one netlist file\n\n{USAGE}"));
+    };
+    let delta = flag_f64(&flags, "delta", 0.01)?;
+    let frames = flag_usize(&flags, "frames", 4)?;
+    let patterns = flag_usize(&flags, "patterns", 10_000)?;
+    let leak = flag_f64(&flags, "leak", 0.5)?;
+    let eps = epsilons(&flags)?;
+
+    let design = load_design(path)?;
+    let netlist = if design.is_sequential() {
+        println!(
+            "sequential design ({} latches): unrolling {frames} time frames",
+            design.latches.len()
+        );
+        unroll::unroll_free(&design, frames).map_err(|e| e.to_string())?
+    } else {
+        design.netlist
+    };
+    let config = ProfileConfig { patterns, leak_share: leak, ..Default::default() };
+    let profiled = profile_netlist(&netlist, None, &config).map_err(|e| e.to_string())?;
+    println!("profile: {}", profiled.profile);
+    print_reports(&profiled.profile, &eps, delta)
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!("`bounds` takes only flags\n\n{USAGE}"));
+    }
+    let size = flag_usize(&flags, "size", 0)?;
+    let sensitivity = flag_f64(&flags, "sensitivity", 0.0)?;
+    let activity = flag_f64(&flags, "activity", 0.0)?;
+    let fanin = flag_f64(&flags, "fanin", 0.0)?;
+    if size == 0 || sensitivity <= 0.0 || activity <= 0.0 || fanin < 2.0 {
+        return Err(format!(
+            "`bounds` needs --size, --sensitivity, --activity and --fanin\n\n{USAGE}"
+        ));
+    }
+    let profile = CircuitProfile {
+        name: "cli".into(),
+        inputs: flag_usize(&flags, "inputs", sensitivity.ceil().max(2.0) as usize)?,
+        outputs: 1,
+        size,
+        depth: flag_usize(&flags, "depth", 8)? as u32,
+        sensitivity,
+        activity,
+        fanin,
+        leak_share: flag_f64(&flags, "leak", 0.5)?,
+    };
+    let delta = flag_f64(&flags, "delta", 0.01)?;
+    let eps = epsilons(&flags)?;
+    println!("profile: {profile}");
+    print_reports(&profile, &eps, delta)
+}
+
+fn print_reports(profile: &CircuitProfile, epsilons: &[f64], delta: f64) -> Result<(), String> {
+    for &eps in epsilons {
+        let r = BoundReport::evaluate(profile, eps, delta).map_err(|e| e.to_string())?;
+        println!("\nbounds at eps = {eps}, delta = {delta}:");
+        println!("  size        >= {:.4}x  ({:.1} added gates)", r.size_factor, r.redundancy_gates);
+        println!("  energy      >= {:.4}x  (switching-only: {:.4}x)",
+            r.total_energy_factor, r.switching_energy_factor);
+        println!("  leakage/switching ratio: {:.4}x", r.leakage_ratio_factor);
+        match r.depth_bound {
+            DepthBound::Bounded(d) => println!("  depth       >= {d:.2} levels"),
+            DepthBound::NoKnownBound => println!("  depth       : no known bound in this regime"),
+            DepthBound::Infeasible { max_inputs } => println!(
+                "  INFEASIBLE  : reliable computation impossible beyond {max_inputs:.1} inputs"
+            ),
+        }
+        match (r.delay_factor, r.average_power_factor, r.energy_delay_factor) {
+            (Some(d), Some(p), Some(e)) => {
+                println!("  delay       >= {d:.4}x   power >= {p:.4}x   EDP >= {e:.4}x");
+            }
+            _ => println!("  delay/power/EDP: not defined (xi^2 <= 1/k)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!("`figures` takes only flags\n\n{USAGE}"));
+    }
+    let dir = flag_values(&flags, "out").last().copied().unwrap_or("results").to_owned();
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+
+    use nanobound::experiments::profiles::profile_suite;
+    use nanobound::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline};
+    let mut figures = vec![
+        fig2::generate(),
+        fig3::generate(),
+        fig4::generate(),
+        fig5::generate(),
+        fig6::generate(),
+    ];
+    let profiles = profile_suite(&ProfileConfig::default()).map_err(|e| e.to_string())?;
+    figures.push(fig7::generate_from(&profiles));
+    figures.push(fig8::generate_from(&profiles));
+    figures.push(headline::generate_from(&profiles));
+    for fig in figures {
+        let fig = fig.map_err(|e| e.to_string())?;
+        for (i, table) in fig.tables.iter().enumerate() {
+            let suffix = if fig.tables.len() > 1 { format!("_{i}") } else { String::new() };
+            let path = format!("{dir}/{}{suffix}.csv", fig.id);
+            fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}

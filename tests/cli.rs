@@ -1,0 +1,103 @@
+//! End-to-end tests of the `nanobound` command-line binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nanobound"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, _, err) = run(&["--help"]);
+    assert!(ok);
+    assert!(err.contains("USAGE"));
+    assert!(err.contains("profile"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn bounds_evaluates_explicit_parameters() {
+    let (ok, out, err) = run(&[
+        "bounds",
+        "--size",
+        "21",
+        "--sensitivity",
+        "10",
+        "--activity",
+        "0.5",
+        "--fanin",
+        "3",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("size        >= 1.10"), "out: {out}");
+    assert!(out.contains("delay"));
+}
+
+#[test]
+fn bounds_requires_mandatory_flags() {
+    let (ok, _, err) = run(&["bounds", "--size", "10"]);
+    assert!(!ok);
+    assert!(err.contains("needs --size, --sensitivity"));
+}
+
+#[test]
+fn profile_handles_combinational_bench_file() {
+    let dir = std::env::temp_dir().join("nanobound_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("xor2.bench");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+    let (ok, out, err) = run(&["profile", path.to_str().unwrap(), "--eps", "0.05"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("profile:"), "out: {out}");
+    assert!(out.contains("eps = 0.05"));
+}
+
+#[test]
+fn profile_unrolls_sequential_designs() {
+    let dir = std::env::temp_dir().join("nanobound_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("toggle.bench");
+    std::fs::write(
+        &path,
+        "INPUT(en)\nOUTPUT(count)\nq = DFF(next)\nnext = XOR(q, en)\ncount = BUFF(q)\n",
+    )
+    .unwrap();
+    let (ok, out, err) =
+        run(&["profile", path.to_str().unwrap(), "--frames", "3", "--eps", "0.01"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("unrolling 3 time frames"), "out: {out}");
+}
+
+#[test]
+fn profile_reports_parse_errors() {
+    let dir = std::env::temp_dir().join("nanobound_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.bench");
+    std::fs::write(&path, "OUTPUT(y)\ny = FROB(a)\n").unwrap();
+    let (ok, _, err) = run(&["profile", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("error"), "stderr: {err}");
+}
+
+#[test]
+fn missing_flag_value_is_an_error() {
+    let (ok, _, err) = run(&["bounds", "--size"]);
+    assert!(!ok);
+    assert!(err.contains("expects a value"));
+}

@@ -1,0 +1,133 @@
+//! Integration of the constructive schemes with the simulator and the
+//! bounds: redundancy must buy reliability, and must cost at least what
+//! the theory demands.
+
+use nanobound::core::size::strict_size_factor;
+use nanobound::gen::{adder, parity};
+use nanobound::redundancy::{analysis, multiplex, nmr, MultiplexConfig};
+use nanobound::sim::{equivalence, monte_carlo, sensitivity, NoisyConfig};
+
+#[test]
+fn tmr_tracks_the_binomial_prediction() {
+    // The replica failure probability measured on the bare circuit,
+    // pushed through the closed-form majority formula, predicts the
+    // TMR failure rate (up to voter noise, which adds a little).
+    let tree = parity::parity_tree(8, 2).unwrap();
+    let eps = 0.003;
+    let config = NoisyConfig::new(eps, 5).unwrap();
+    let bare = monte_carlo(&tree, &config, 400_000, 6).unwrap();
+    let tmr = nmr(&tree, 3).unwrap();
+    let protected = monte_carlo(&tmr, &config, 400_000, 6).unwrap();
+    let predicted = analysis::binomial_majority_failure(bare.circuit_error_rate, 3);
+    // Voter (one Maj gate) adds ~eps of its own failures.
+    assert!(
+        protected.circuit_error_rate >= predicted - 0.002,
+        "measured {} below prediction {predicted}",
+        protected.circuit_error_rate
+    );
+    assert!(
+        protected.circuit_error_rate <= predicted + eps + 0.004,
+        "measured {} too far above prediction {predicted} + voter",
+        protected.circuit_error_rate
+    );
+}
+
+#[test]
+fn all_schemes_respect_the_strict_size_bound() {
+    let rca = adder::ripple_carry(4).unwrap();
+    let s0 = rca.gate_count() as f64;
+    let s = f64::from(sensitivity::exact(&rca).unwrap());
+    let eps = 0.002;
+    let config = NoisyConfig::new(eps, 7).unwrap();
+    let schemes: Vec<(String, nanobound::logic::Netlist)> = vec![
+        ("tmr".into(), nmr(&rca, 3).unwrap()),
+        ("5mr".into(), nmr(&rca, 5).unwrap()),
+        (
+            "mux5".into(),
+            multiplex(&rca, &MultiplexConfig { bundle: 5, restorative_stages: 1, seed: 9 })
+                .unwrap(),
+        ),
+    ];
+    for (name, scheme) in &schemes {
+        let out = monte_carlo(scheme, &config, 100_000, 8).unwrap();
+        let actual = scheme.gate_count() as f64 / s0;
+        let bound = strict_size_factor(
+            s0,
+            s,
+            2.0,
+            eps,
+            out.circuit_error_rate.clamp(1e-9, 0.499),
+        )
+        .unwrap();
+        assert!(
+            actual + 1e-9 >= bound,
+            "{name}: actual factor {actual} below bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn protected_circuits_keep_the_function() {
+    let rca = adder::ripple_carry(3).unwrap();
+    let tmr = nmr(&rca, 3).unwrap();
+    assert!(equivalence::equivalent_exhaustive(&rca, &tmr).unwrap());
+    let mux = multiplex(&rca, &MultiplexConfig { bundle: 5, restorative_stages: 2, seed: 2 })
+        .unwrap();
+    assert!(equivalence::equivalent_exhaustive(&rca, &mux).unwrap());
+}
+
+/// Ideal-resolution (off-circuit bundle majority) error rate of a
+/// multiplexed circuit with one output.
+fn ideal_resolution_error(
+    source: &nanobound::logic::Netlist,
+    cfg: &MultiplexConfig,
+    noise: &NoisyConfig,
+    patterns: usize,
+) -> f64 {
+    use nanobound::redundancy::multiplex_full;
+    use nanobound::sim::{evaluate_noisy, evaluate_packed, PatternSet};
+    let mux = multiplex_full(source, cfg).unwrap();
+    let set = PatternSet::random(source.input_count(), patterns, 17);
+    let clean = evaluate_packed(source, &set).unwrap();
+    let noisy = evaluate_noisy(&mux.netlist, &set, noise).unwrap();
+    let reference = clean.node(source.outputs()[0].driver);
+    let bundle = &mux.output_bundles[0];
+    let mut wrong = 0usize;
+    for lane in 0..set.count() {
+        let stimulated = bundle.iter().filter(|&&w| noisy.bit(w, lane)).count();
+        let ideal = stimulated > cfg.bundle / 2;
+        let expect = reference[lane / 64] >> (lane % 64) & 1 == 1;
+        wrong += usize::from(ideal != expect);
+    }
+    wrong as f64 / set.count() as f64
+}
+
+#[test]
+fn restoration_threshold_separates_regimes_in_simulation() {
+    // Von Neumann's restoring organ earns its cost on *deep* circuits:
+    // without it, executive stages compound bundle degradation toward a
+    // coin flip; with it, the per-wire error is pinned near its fixed
+    // point — provided ε is below the ε* ≈ 0.0886 threshold. Resolution
+    // is taken off-circuit (bundle majority) to isolate the bundle
+    // statistics from resolver noise.
+    let chain = parity::parity_chain(16).unwrap(); // deep: 15 chained XORs
+    let below = NoisyConfig::new(0.01, 3).unwrap();
+    let plain_cfg = MultiplexConfig { bundle: 9, restorative_stages: 0, seed: 4 };
+    let restored_cfg = MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 4 };
+
+    let plain_low = ideal_resolution_error(&chain, &plain_cfg, &below, 60_000);
+    let restored_low = ideal_resolution_error(&chain, &restored_cfg, &below, 60_000);
+    assert!(
+        restored_low < plain_low,
+        "below threshold: restored {restored_low} vs plain {plain_low}"
+    );
+
+    // Far above threshold restoration cannot help: the bundle forgets
+    // its value and parity of a forgotten bundle is a coin flip.
+    let above = NoisyConfig::new(0.2, 3).unwrap();
+    let restored_high = ideal_resolution_error(&chain, &restored_cfg, &above, 60_000);
+    assert!(
+        restored_high > 0.4,
+        "above threshold restoration still 'works': {restored_high}"
+    );
+}
