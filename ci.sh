@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Continuous-integration gate for the nanobound workspace.
+#
+# Usage: ./ci.sh
+#
+# Runs the same checks a PR must pass, in fail-fast order:
+#   1. release build of every workspace member
+#   2. full test suite (unit, integration, doc-tests, CLI end-to-end)
+#   3. clippy with warnings denied
+#   4. rustfmt in check mode
+#   5. a figure-bench dry run proving the harness = false targets resolve
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo bench -p nanobound-bench --bench fig3_redundancy (dry run)"
+cargo bench -p nanobound-bench --bench fig3_redundancy >/dev/null
+
+echo "CI green."

@@ -37,7 +37,13 @@ fn redundancy_with_omega(omega: f64, k: f64) -> f64 {
 fn main() {
     let mut table = Table::new(
         "omega ablation — redundancy bound under both PDF readings (k = 2)",
-        ["epsilon", "R (k-th root)", "R (k-th power)", "root/S0", "power/S0"],
+        [
+            "epsilon",
+            "R (k-th root)",
+            "R (k-th power)",
+            "root/S0",
+            "power/S0",
+        ],
     );
     let k = 2.0;
     for eps in [0.001, 0.01, 0.1, 0.3, 0.45, 0.49] {

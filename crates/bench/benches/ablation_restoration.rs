@@ -17,8 +17,7 @@ fn ideal_error(
     let mux = multiplex_full(source, cfg).unwrap();
     let set = PatternSet::random(source.input_count(), patterns, 17);
     let clean = evaluate_packed(source, &set).unwrap();
-    let noisy =
-        evaluate_noisy(&mux.netlist, &set, &NoisyConfig::new(eps, 6).unwrap()).unwrap();
+    let noisy = evaluate_noisy(&mux.netlist, &set, &NoisyConfig::new(eps, 6).unwrap()).unwrap();
     let reference = clean.node(source.outputs()[0].driver);
     let bundle = &mux.output_bundles[0];
     let mut wrong = 0usize;
@@ -36,11 +35,20 @@ fn main() {
     let eps = 0.01;
     let mut table = Table::new(
         "restoration ablation — 16-bit parity chain, eps = 0.01, ideal resolution",
-        ["bundle", "restorative stages", "gates", "bundle-majority error"],
+        [
+            "bundle",
+            "restorative stages",
+            "gates",
+            "bundle-majority error",
+        ],
     );
     for bundle in [3usize, 9, 15] {
         for stages in [0usize, 1, 2] {
-            let cfg = MultiplexConfig { bundle, restorative_stages: stages, seed: 4 };
+            let cfg = MultiplexConfig {
+                bundle,
+                restorative_stages: stages,
+                seed: 4,
+            };
             let (err, gates) = ideal_error(&chain, &cfg, eps, 40_000);
             table
                 .push_row([

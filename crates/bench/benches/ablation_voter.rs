@@ -11,8 +11,8 @@
 
 use nanobound_gen::parity;
 use nanobound_redundancy::analysis::binomial_majority_failure;
-use nanobound_redundancy::voter::majority_voter;
 use nanobound_redundancy::nmr;
+use nanobound_redundancy::voter::majority_voter;
 use nanobound_report::{Cell, Table};
 use nanobound_sim::{monte_carlo, NoisyConfig};
 
@@ -20,15 +20,24 @@ fn main() {
     let base = parity::parity_tree(16, 2).unwrap();
     let mut table = Table::new(
         "voter ablation — 16-input parity, measured over 200k vectors",
-        ["epsilon", "r", "voter gates", "delta (measured)", "delta (ideal voter)"],
+        [
+            "epsilon",
+            "r",
+            "voter gates",
+            "delta (measured)",
+            "delta (ideal voter)",
+        ],
     );
     for eps in [0.0005, 0.002, 0.008] {
         let config = NoisyConfig::new(eps, 3).unwrap();
-        let bare = monte_carlo(&base, &config, 200_000, 4).unwrap().circuit_error_rate;
+        let bare = monte_carlo(&base, &config, 200_000, 4)
+            .unwrap()
+            .circuit_error_rate;
         for r in [1usize, 3, 5, 7] {
             let protected = nmr(&base, r).unwrap();
-            let measured =
-                monte_carlo(&protected, &config, 200_000, 4).unwrap().circuit_error_rate;
+            let measured = monte_carlo(&protected, &config, 200_000, 4)
+                .unwrap()
+                .circuit_error_rate;
             let ideal = binomial_majority_failure(bare, r);
             table
                 .push_row([

@@ -8,7 +8,6 @@ use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
 
 fn main() {
     let profiles = profile_suite(&ProfileConfig::default()).expect("suite profiles");
-    let fig =
-        nanobound_experiments::headline::generate_from(&profiles).expect("valid profiles");
+    let fig = nanobound_experiments::headline::generate_from(&profiles).expect("valid profiles");
     nanobound_bench::print_figure(&fig);
 }

@@ -30,13 +30,9 @@ fn bench_bounds(c: &mut Criterion) {
             let mut acc = 0.0;
             for i in 1..=1000 {
                 let eps = 0.4995 * f64::from(i) / 1000.0;
-                acc += nanobound_core::size::redundancy_lower_bound(
-                    black_box(10.0),
-                    3.0,
-                    eps,
-                    0.01,
-                )
-                .unwrap();
+                acc +=
+                    nanobound_core::size::redundancy_lower_bound(black_box(10.0), 3.0, eps, 0.01)
+                        .unwrap();
             }
             acc
         })
@@ -46,7 +42,10 @@ fn bench_bounds(c: &mut Criterion) {
         let tech = nanobound_energy::Technology::bulk_90nm()
             .with_leak_share(0.05, 1000, 20, 0.3)
             .unwrap();
-        let base = nanobound_energy::BaselineCircuit { size: 1000, depth: 20 };
+        let base = nanobound_energy::BaselineCircuit {
+            size: 1000,
+            depth: 20,
+        };
         let variant = nanobound_energy::FaultTolerantVariant {
             size_factor: 1.3,
             activity_factor: 1.05,

@@ -17,7 +17,11 @@ fn bench_redundancy(c: &mut Criterion) {
     });
 
     let tree = parity::parity_tree(16, 2).unwrap();
-    let cfg = MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 1 };
+    let cfg = MultiplexConfig {
+        bundle: 9,
+        restorative_stages: 1,
+        seed: 1,
+    };
     c.bench_function("multiplex9_parity16", |b| {
         b.iter(|| multiplex(black_box(&tree), &cfg).unwrap())
     });

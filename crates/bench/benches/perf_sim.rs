@@ -11,9 +11,7 @@ fn bench_sim(c: &mut Criterion) {
     let patterns = PatternSet::random(mult.input_count(), 4096, 7);
 
     let mut group = c.benchmark_group("simulator");
-    group.throughput(Throughput::Elements(
-        4096u64 * mult.gate_count() as u64,
-    ));
+    group.throughput(Throughput::Elements(4096u64 * mult.gate_count() as u64));
     group.bench_function("packed_eval_c6288a_4096", |b| {
         b.iter(|| evaluate_packed(black_box(&mult), black_box(&patterns)).unwrap())
     });

@@ -58,7 +58,11 @@ pub fn total_energy_factor(
         return Err(BoundError::bad("sw0", sw0, "must lie in (0, 1)"));
     }
     if !(0.0..1.0).contains(&leak_share) {
-        return Err(BoundError::bad("leak_share", leak_share, "must lie in [0, 1)"));
+        return Err(BoundError::bad(
+            "leak_share",
+            leak_share,
+            "must lie in [0, 1)",
+        ));
     }
     let size = size_factor(s0, s, k, epsilon, delta)?;
     let switching = activity_factor(sw0, epsilon);
@@ -141,7 +145,9 @@ mod tests {
         for &k in &[2.0, 3.0, 4.0] {
             let eps = 0.8 * feasibility_threshold(k);
             let d = delay_factor(k, eps).unwrap().unwrap();
-            let edp = energy_delay_factor(S0, S, k, 0.5, 0.5, eps, 0.01).unwrap().unwrap();
+            let edp = energy_delay_factor(S0, S, k, 0.5, 0.5, eps, 0.01)
+                .unwrap()
+                .unwrap();
             assert!(edp >= d, "k={k}: edp {edp} < delay {d}");
         }
     }
@@ -165,16 +171,26 @@ mod tests {
     #[test]
     fn figure6_larger_fanin_smaller_power_overhead() {
         // At a common low ε the k = 4 curve lies below k = 2.
-        let p2 = average_power_factor(S0, S, 2.0, 0.5, 0.5, 0.02, 0.01).unwrap().unwrap();
-        let p4 = average_power_factor(S0, S, 4.0, 0.5, 0.5, 0.02, 0.01).unwrap().unwrap();
+        let p2 = average_power_factor(S0, S, 2.0, 0.5, 0.5, 0.02, 0.01)
+            .unwrap()
+            .unwrap();
+        let p4 = average_power_factor(S0, S, 4.0, 0.5, 0.5, 0.02, 0.01)
+            .unwrap()
+            .unwrap();
         assert!(p2 > p4, "p2={p2} p4={p4}");
     }
 
     #[test]
     fn none_beyond_feasibility() {
         let eps = feasibility_threshold(2.0) + 0.02;
-        assert_eq!(energy_delay_factor(S0, S, 2.0, 0.5, 0.5, eps, 0.01).unwrap(), None);
-        assert_eq!(average_power_factor(S0, S, 2.0, 0.5, 0.5, eps, 0.01).unwrap(), None);
+        assert_eq!(
+            energy_delay_factor(S0, S, 2.0, 0.5, 0.5, eps, 0.01).unwrap(),
+            None
+        );
+        assert_eq!(
+            average_power_factor(S0, S, 2.0, 0.5, 0.5, eps, 0.01).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -95,7 +95,9 @@ pub fn depth_lower_bound(
     } else if n <= 1.0 / cap {
         Ok(DepthBound::NoKnownBound)
     } else {
-        Ok(DepthBound::Infeasible { max_inputs: 1.0 / cap })
+        Ok(DepthBound::Infeasible {
+            max_inputs: 1.0 / cap,
+        })
     }
 }
 
@@ -148,8 +150,14 @@ mod tests {
 
     #[test]
     fn noise_increases_depth() {
-        let clean = depth_lower_bound(1000.0, 3.0, 0.0, 0.01).unwrap().levels().unwrap();
-        let noisy = depth_lower_bound(1000.0, 3.0, 0.1, 0.01).unwrap().levels().unwrap();
+        let clean = depth_lower_bound(1000.0, 3.0, 0.0, 0.01)
+            .unwrap()
+            .levels()
+            .unwrap();
+        let noisy = depth_lower_bound(1000.0, 3.0, 0.1, 0.01)
+            .unwrap()
+            .levels()
+            .unwrap();
         assert!(noisy > clean);
     }
 
@@ -207,7 +215,10 @@ mod tests {
         let near = feasibility_threshold(3.0) - 1e-4;
         let f = delay_factor(3.0, near).unwrap().unwrap();
         assert!(f > 100.0, "factor {f}");
-        assert_eq!(delay_factor(3.0, feasibility_threshold(3.0) + 0.01).unwrap(), None);
+        assert_eq!(
+            delay_factor(3.0, feasibility_threshold(3.0) + 0.01).unwrap(),
+            None
+        );
     }
 
     #[test]

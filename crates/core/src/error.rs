@@ -21,14 +21,22 @@ pub enum BoundError {
 
 impl BoundError {
     pub(crate) fn bad(name: &'static str, got: f64, requirement: &'static str) -> Self {
-        BoundError::BadParameter { name, got, requirement }
+        BoundError::BadParameter {
+            name,
+            got,
+            requirement,
+        }
     }
 }
 
 impl fmt::Display for BoundError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BoundError::BadParameter { name, got, requirement } => {
+            BoundError::BadParameter {
+                name,
+                got,
+                requirement,
+            } => {
                 write!(f, "parameter `{name}` = {got} {requirement}")
             }
         }

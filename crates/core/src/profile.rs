@@ -56,7 +56,11 @@ impl CircuitProfile {
             return Err(BoundError::bad("size", 0.0, "must be at least 1"));
         }
         if self.sensitivity.is_nan() || self.sensitivity < 0.0 {
-            return Err(BoundError::bad("sensitivity", self.sensitivity, "must be non-negative"));
+            return Err(BoundError::bad(
+                "sensitivity",
+                self.sensitivity,
+                "must be non-negative",
+            ));
         }
         if self.sensitivity > self.inputs as f64 {
             return Err(BoundError::bad(
@@ -66,13 +70,21 @@ impl CircuitProfile {
             ));
         }
         if !(self.activity > 0.0 && self.activity < 1.0) {
-            return Err(BoundError::bad("activity", self.activity, "must lie in (0, 1)"));
+            return Err(BoundError::bad(
+                "activity",
+                self.activity,
+                "must lie in (0, 1)",
+            ));
         }
         if self.fanin.is_nan() || self.fanin < 2.0 {
             return Err(BoundError::bad("fanin", self.fanin, "must be at least 2"));
         }
         if !(0.0..1.0).contains(&self.leak_share) {
-            return Err(BoundError::bad("leak_share", self.leak_share, "must lie in [0, 1)"));
+            return Err(BoundError::bad(
+                "leak_share",
+                self.leak_share,
+                "must lie in [0, 1)",
+            ));
         }
         Ok(())
     }

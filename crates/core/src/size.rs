@@ -67,12 +67,7 @@ use crate::noise::{omega, t_factor};
 /// # Ok(())
 /// # }
 /// ```
-pub fn redundancy_lower_bound(
-    s: f64,
-    k: f64,
-    epsilon: f64,
-    delta: f64,
-) -> Result<f64, BoundError> {
+pub fn redundancy_lower_bound(s: f64, k: f64, epsilon: f64, delta: f64) -> Result<f64, BoundError> {
     if s.is_nan() || s < 0.0 {
         return Err(BoundError::bad("s", s, "must be non-negative"));
     }
@@ -119,13 +114,7 @@ pub fn size_lower_bound(
 /// # Errors
 ///
 /// Same as [`size_lower_bound`].
-pub fn size_factor(
-    s0: f64,
-    s: f64,
-    k: f64,
-    epsilon: f64,
-    delta: f64,
-) -> Result<f64, BoundError> {
+pub fn size_factor(s0: f64, s: f64, k: f64, epsilon: f64, delta: f64) -> Result<f64, BoundError> {
     Ok(size_lower_bound(s0, s, k, epsilon, delta)? / s0)
 }
 

@@ -40,7 +40,10 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 #[must_use]
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0, "logspace needs positive lo, got {lo}");
-    linspace(lo.log10(), hi.log10(), n).into_iter().map(|e| 10f64.powf(e)).collect()
+    linspace(lo.log10(), hi.log10(), n)
+        .into_iter()
+        .map(|e| 10f64.powf(e))
+        .collect()
 }
 
 /// Evaluates `f` over `xs`, returning `(x, f(x))` pairs — the row format

@@ -99,10 +99,18 @@ pub fn headroom(
 /// positive finite.
 pub fn density_factor(power_factor: f64, size_factor: f64) -> Result<f64, EnergyError> {
     if !(power_factor > 0.0 && power_factor.is_finite()) {
-        return Err(EnergyError::bad("power_factor", power_factor, "must be positive finite"));
+        return Err(EnergyError::bad(
+            "power_factor",
+            power_factor,
+            "must be positive finite",
+        ));
     }
     if !(size_factor > 0.0 && size_factor.is_finite()) {
-        return Err(EnergyError::bad("size_factor", size_factor, "must be positive finite"));
+        return Err(EnergyError::bad(
+            "size_factor",
+            size_factor,
+            "must be positive finite",
+        ));
     }
     Ok(power_factor / size_factor)
 }

@@ -30,18 +30,33 @@ pub enum EnergyError {
 
 impl EnergyError {
     pub(crate) fn bad(name: &'static str, got: f64, requirement: &'static str) -> Self {
-        EnergyError::BadParameter { name, got, requirement }
+        EnergyError::BadParameter {
+            name,
+            got,
+            requirement,
+        }
     }
 }
 
 impl fmt::Display for EnergyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EnergyError::BadParameter { name, got, requirement } => {
+            EnergyError::BadParameter {
+                name,
+                got,
+                requirement,
+            } => {
                 write!(f, "parameter `{name}` = {got} {requirement}")
             }
-            EnergyError::NoSolution { target, vdd_lo, vdd_hi } => {
-                write!(f, "no {target} exists for Vdd in [{vdd_lo:.3}, {vdd_hi:.3}] V")
+            EnergyError::NoSolution {
+                target,
+                vdd_lo,
+                vdd_hi,
+            } => {
+                write!(
+                    f,
+                    "no {target} exists for Vdd in [{vdd_lo:.3}, {vdd_hi:.3}] V"
+                )
             }
         }
     }
@@ -57,7 +72,11 @@ mod tests {
     fn displays_are_informative() {
         let e = EnergyError::bad("vdd", 0.1, "must exceed the threshold voltage");
         assert!(e.to_string().contains("vdd"));
-        let e = EnergyError::NoSolution { target: "iso-energy supply", vdd_lo: 0.4, vdd_hi: 1.8 };
+        let e = EnergyError::NoSolution {
+            target: "iso-energy supply",
+            vdd_lo: 0.4,
+            vdd_hi: 1.8,
+        };
         assert!(e.to_string().contains("iso-energy"));
         assert!(e.to_string().contains("1.8"));
     }

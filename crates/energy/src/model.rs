@@ -70,7 +70,12 @@ impl CircuitEnergy {
         let delay = f64::from(depth) * tech.gate_delay(vdd)?;
         let switching = 0.5 * tech.gate_capacitance * vdd * vdd * sw * size as f64;
         let leakage = (1.0 - sw) * size as f64 * tech.leak_current * vdd * delay;
-        Ok(CircuitEnergy { vdd, switching, leakage, delay })
+        Ok(CircuitEnergy {
+            vdd,
+            switching,
+            leakage,
+            delay,
+        })
     }
 
     /// Total energy per cycle, joules.
@@ -117,7 +122,9 @@ mod tests {
     use super::*;
 
     fn tech() -> Technology {
-        Technology::bulk_90nm().with_leak_share(0.5, 1000, 20, 0.3).unwrap()
+        Technology::bulk_90nm()
+            .with_leak_share(0.5, 1000, 20, 0.3)
+            .unwrap()
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   latency despite its deeper logic — at the cost of further energy.
 //!
 //! Both solvers work on the α-power delay law and the per-cycle energy
-//! model of [`CircuitEnergy`], searching Vdd in `(VT, vdd_max]`.
+//! model of [`CircuitEnergy`]: iso-energy searches Vdd downward in
+//! `(VT, vdd]`, iso-delay upward in `(VT, vdd_max]`.
 
 use std::fmt;
 
@@ -142,9 +143,13 @@ fn variant_energy(
     let delay = f64::from(base.depth) * variant.depth_factor * tech.gate_delay(vdd)?;
     let switching =
         0.5 * tech.gate_capacitance * vdd * vdd * (sw0 * variant.activity_factor) * eff_size;
-    let leakage =
-        (1.0 - sw0) * variant.idle_factor * eff_size * tech.leak_current * vdd * delay;
-    Ok(CircuitEnergy { vdd, switching, leakage, delay })
+    let leakage = (1.0 - sw0) * variant.idle_factor * eff_size * tech.leak_current * vdd * delay;
+    Ok(CircuitEnergy {
+        vdd,
+        switching,
+        leakage,
+        delay,
+    })
 }
 
 fn validate_common(
@@ -171,16 +176,24 @@ pub fn at_nominal(
 ) -> Result<ScalingOutcome, EnergyError> {
     let baseline = validate_common(tech, base, sw0)?;
     let scaled = variant_energy(tech, tech.vdd, base, sw0, variant)?;
-    Ok(ScalingOutcome { vdd: tech.vdd, baseline, scaled })
+    Ok(ScalingOutcome {
+        vdd: tech.vdd,
+        baseline,
+        scaled,
+    })
 }
 
 /// Solves for the supply at which the fault-tolerant variant spends the
 /// same per-cycle energy as the error-free baseline at nominal supply.
 ///
+/// Iso-energy only ever *lowers* the supply: the search covers
+/// `(VT, vdd]`, so an energy-saving variant is never sped up past the
+/// nominal point to burn its savings.
+///
 /// # Errors
 ///
 /// Returns [`EnergyError::NoSolution`] when no supply in
-/// `(VT, vdd_max]` achieves energy parity (the redundancy overhead is too
+/// `(VT, vdd]` achieves energy parity (the redundancy overhead is too
 /// large to hide by voltage scaling), or [`EnergyError::BadParameter`]
 /// for invalid inputs.
 ///
@@ -214,7 +227,16 @@ pub fn iso_energy_vdd(
     let baseline = validate_common(tech, base, sw0)?;
     let target = baseline.total();
     let lo = tech.vt + 1e-3;
-    let hi = tech.vdd_max;
+    let hi = tech.vdd;
+    if lo >= hi {
+        // The nominal supply sits within the bracketing margin of VT:
+        // there is no room to scale at all.
+        return Err(EnergyError::NoSolution {
+            target: "iso-energy supply",
+            vdd_lo: lo,
+            vdd_hi: hi,
+        });
+    }
     let objective = |v: f64| match variant_energy(tech, v, base, sw0, variant) {
         Ok(e) => e.total() - target,
         Err(_) => f64::NAN,
@@ -227,7 +249,11 @@ pub fn iso_energy_vdd(
         },
     )?;
     let scaled = variant_energy(tech, vdd, base, sw0, variant)?;
-    Ok(ScalingOutcome { vdd, baseline, scaled })
+    Ok(ScalingOutcome {
+        vdd,
+        baseline,
+        scaled,
+    })
 }
 
 /// Solves for the supply at which the fault-tolerant variant matches the
@@ -281,7 +307,11 @@ pub fn iso_delay_vdd(
         },
     )?;
     let scaled = variant_energy(tech, vdd, base, sw0, variant)?;
-    Ok(ScalingOutcome { vdd, baseline, scaled })
+    Ok(ScalingOutcome {
+        vdd,
+        baseline,
+        scaled,
+    })
 }
 
 #[cfg(test)]
@@ -289,9 +319,14 @@ mod tests {
     use super::*;
 
     fn setup() -> (Technology, BaselineCircuit, f64) {
-        let base = BaselineCircuit { size: 1000, depth: 20 };
+        let base = BaselineCircuit {
+            size: 1000,
+            depth: 20,
+        };
         let sw0 = 0.3;
-        let tech = Technology::bulk_90nm().with_leak_share(0.5, base.size, base.depth, sw0).unwrap();
+        let tech = Technology::bulk_90nm()
+            .with_leak_share(0.5, base.size, base.depth, sw0)
+            .unwrap();
         (tech, base, sw0)
     }
 
@@ -320,7 +355,9 @@ mod tests {
         // a 1.4× size overhead (the leakage-per-cycle floor rises as the
         // circuit slows) — use a low-leakage corner where it can.
         let (_, base, sw0) = setup();
-        let tech = Technology::bulk_90nm().with_leak_share(0.05, base.size, base.depth, sw0).unwrap();
+        let tech = Technology::bulk_90nm()
+            .with_leak_share(0.05, base.size, base.depth, sw0)
+            .unwrap();
         let out = iso_energy_vdd(&tech, base, sw0, &variant()).unwrap();
         assert!((out.energy_factor() - 1.0).abs() < 1e-6);
         assert!(out.vdd < tech.vdd);
@@ -342,14 +379,20 @@ mod tests {
     #[test]
     fn impossible_targets_report_no_solution() {
         let (tech, base, sw0) = setup();
-        // A 50× size factor cannot be hidden inside (VT, vdd_max].
-        let huge = FaultTolerantVariant { size_factor: 50.0, ..variant() };
+        // A 50× size factor cannot be hidden inside (VT, vdd].
+        let huge = FaultTolerantVariant {
+            size_factor: 50.0,
+            ..variant()
+        };
         assert!(matches!(
             iso_energy_vdd(&tech, base, sw0, &huge),
             Err(EnergyError::NoSolution { .. })
         ));
         // A 100× depth factor cannot be recovered below vdd_max.
-        let deep = FaultTolerantVariant { depth_factor: 100.0, ..variant() };
+        let deep = FaultTolerantVariant {
+            depth_factor: 100.0,
+            ..variant()
+        };
         assert!(matches!(
             iso_delay_vdd(&tech, base, sw0, &deep),
             Err(EnergyError::NoSolution { .. })

@@ -99,8 +99,14 @@ mod tests {
 
     #[test]
     fn none_without_sign_change() {
-        assert_eq!(bracket_and_bisect(|x| x * x + 1.0, -2.0, 2.0, 32, 40, Scan::FromLow), None);
-        assert_eq!(bracket_and_bisect(|x| x * x + 1.0, -2.0, 2.0, 32, 40, Scan::FromHigh), None);
+        assert_eq!(
+            bracket_and_bisect(|x| x * x + 1.0, -2.0, 2.0, 32, 40, Scan::FromLow),
+            None
+        );
+        assert_eq!(
+            bracket_and_bisect(|x| x * x + 1.0, -2.0, 2.0, 32, 40, Scan::FromHigh),
+            None
+        );
     }
 
     #[test]

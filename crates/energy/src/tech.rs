@@ -111,7 +111,11 @@ impl Technology {
             ));
         }
         if self.leak_current.is_nan() || self.leak_current < 0.0 {
-            return Err(EnergyError::bad("leak_current", self.leak_current, "must be non-negative"));
+            return Err(EnergyError::bad(
+                "leak_current",
+                self.leak_current,
+                "must be non-negative",
+            ));
         }
         if self.delay_coefficient.is_nan() || self.delay_coefficient <= 0.0 {
             return Err(EnergyError::bad(
@@ -121,7 +125,11 @@ impl Technology {
             ));
         }
         if self.vdd_max.is_nan() || self.vdd_max < self.vdd {
-            return Err(EnergyError::bad("vdd_max", self.vdd_max, "must be at least vdd"));
+            return Err(EnergyError::bad(
+                "vdd_max",
+                self.vdd_max,
+                "must be at least vdd",
+            ));
         }
         Ok(())
     }
@@ -133,10 +141,18 @@ impl Technology {
     /// Returns [`EnergyError::BadParameter`] unless `vt < vdd ≤ vdd_max`.
     pub fn gate_delay(&self, vdd: f64) -> Result<f64, EnergyError> {
         if vdd.is_nan() || vdd <= self.vt {
-            return Err(EnergyError::bad("vdd", vdd, "must exceed the threshold voltage"));
+            return Err(EnergyError::bad(
+                "vdd",
+                vdd,
+                "must exceed the threshold voltage",
+            ));
         }
         if vdd > self.vdd_max {
-            return Err(EnergyError::bad("vdd", vdd, "exceeds the technology's vdd_max"));
+            return Err(EnergyError::bad(
+                "vdd",
+                vdd,
+                "exceeds the technology's vdd_max",
+            ));
         }
         Ok(self.delay_coefficient * vdd / (vdd - self.vt).powf(self.alpha))
     }
@@ -186,7 +202,10 @@ impl Technology {
         let cycle = f64::from(depth) * self.nominal_gate_delay();
         let denom = (1.0 - sw0) * size as f64 * self.vdd * cycle;
         let leak_current = share / (1.0 - share) * e_sw / denom;
-        Ok(Technology { leak_current, ..self.clone() })
+        Ok(Technology {
+            leak_current,
+            ..self.clone()
+        })
     }
 }
 
@@ -206,7 +225,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for t in [Technology::bulk_90nm(), Technology::bulk_65nm(), Technology::bulk_45nm()] {
+        for t in [
+            Technology::bulk_90nm(),
+            Technology::bulk_65nm(),
+            Technology::bulk_45nm(),
+        ] {
             t.validate().unwrap();
             let d = t.nominal_gate_delay();
             // Gate delays land in the 10-100 ps range.
@@ -234,17 +257,20 @@ mod tests {
 
     #[test]
     fn leak_share_calibration_hits_target() {
-        let t = Technology::bulk_90nm().with_leak_share(0.5, 100, 10, 0.4).unwrap();
+        let t = Technology::bulk_90nm()
+            .with_leak_share(0.5, 100, 10, 0.4)
+            .unwrap();
         let e_sw = 0.5 * t.gate_capacitance * t.vdd * t.vdd * 0.4 * 100.0;
-        let e_l =
-            0.6 * 100.0 * t.leak_current * t.vdd * 10.0 * t.nominal_gate_delay();
+        let e_l = 0.6 * 100.0 * t.leak_current * t.vdd * 10.0 * t.nominal_gate_delay();
         let share = e_l / (e_sw + e_l);
         assert!((share - 0.5).abs() < 1e-12, "share {share}");
     }
 
     #[test]
     fn leak_share_zero_means_no_leakage() {
-        let t = Technology::bulk_90nm().with_leak_share(0.0, 100, 10, 0.4).unwrap();
+        let t = Technology::bulk_90nm()
+            .with_leak_share(0.0, 100, 10, 0.4)
+            .unwrap();
         assert_eq!(t.leak_current, 0.0);
     }
 

@@ -80,7 +80,11 @@ mod tests {
         let e: ExperimentError = LogicError::NoOutputs.into();
         assert!(e.to_string().contains("netlist"));
         assert!(Error::source(&e).is_some());
-        let e: ExperimentError = RowLengthError { expected: 2, got: 1 }.into();
+        let e: ExperimentError = RowLengthError {
+            expected: 2,
+            got: 1,
+        }
+        .into();
         assert!(e.to_string().contains("report"));
     }
 }

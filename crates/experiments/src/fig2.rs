@@ -5,8 +5,8 @@
 //! pivoting around the fixed point `(½, ½)`, flattening to the constant
 //! ½ at ε = ½.
 
-use nanobound_core::switching::noisy_activity;
 use nanobound_core::sweep::linspace;
+use nanobound_core::switching::noisy_activity;
 use nanobound_report::{Cell, Chart, Series, Table};
 
 use crate::error::ExperimentError;
@@ -25,8 +25,7 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     let sw_values = linspace(0.0, 1.0, 21);
     let mut table = Table::new(
         "Figure 2 — sw(z) as a function of sw(y)",
-        std::iter::once("sw(y)".to_owned())
-            .chain(EPSILONS.iter().map(|e| format!("eps={e}"))),
+        std::iter::once("sw(y)".to_owned()).chain(EPSILONS.iter().map(|e| format!("eps={e}"))),
     );
     for &sw in &sw_values {
         let mut row = vec![Cell::from(sw)];
@@ -38,7 +37,10 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     for &e in &EPSILONS {
         chart.add(Series::new(
             format!("eps={e}"),
-            sw_values.iter().map(|&sw| (sw, noisy_activity(sw, e))).collect(),
+            sw_values
+                .iter()
+                .map(|&sw| (sw, noisy_activity(sw, e)))
+                .collect(),
         ));
     }
     Ok(FigureOutput {

@@ -28,11 +28,14 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.005, 0.495, 50);
     let mut table = Table::new(
         "Figure 3 — minimum added redundancy (gates), s=10, S0=21, delta=0.01",
-        std::iter::once("epsilon".to_owned())
-            .chain(FANINS.iter().map(|k| format!("k={k}"))),
+        std::iter::once("epsilon".to_owned()).chain(FANINS.iter().map(|k| format!("k={k}"))),
     );
-    let mut chart =
-        Chart::new("Figure 3 — redundancy lower bound", "epsilon", "added gates").log_y();
+    let mut chart = Chart::new(
+        "Figure 3 — redundancy lower bound",
+        "epsilon",
+        "added gates",
+    )
+    .log_y();
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); FANINS.len()];
     for &eps in &epsilons {
         let mut row = vec![Cell::from(eps)];

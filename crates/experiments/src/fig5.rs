@@ -12,8 +12,8 @@ use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
 
 use crate::error::ExperimentError;
-use crate::figure::FigureOutput;
 use crate::fig3::{DELTA, FANINS, S0, SENSITIVITY};
+use crate::figure::FigureOutput;
 
 /// Baseline average switching activity.
 pub const SW0: f64 = 0.5;
@@ -56,8 +56,7 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
         table.push_row(row)?;
     }
 
-    let mut delay_chart =
-        Chart::new("Figure 5a — normalized delay", "epsilon", "D/D0").log_y();
+    let mut delay_chart = Chart::new("Figure 5a — normalized delay", "epsilon", "D/D0").log_y();
     for (points, &k) in delay_series.into_iter().zip(&FANINS) {
         delay_chart.add(Series::new(format!("k={k}"), points));
     }
@@ -87,7 +86,13 @@ mod tests {
         let delay = &fig.charts[0].series()[1]; // k = 3
         let edp = &fig.charts[1].series()[1];
         for (d, e) in delay.points.iter().zip(&edp.points) {
-            assert!(e.1 >= d.1 - 1e-12, "EDP {} below delay {} at eps {}", e.1, d.1, d.0);
+            assert!(
+                e.1 >= d.1 - 1e-12,
+                "EDP {} below delay {} at eps {}",
+                e.1,
+                d.1,
+                d.0
+            );
         }
     }
 

@@ -24,8 +24,7 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.26, 105);
     let mut table = Table::new(
         "Figure 6 — normalized average power lower bound",
-        std::iter::once("epsilon".to_owned())
-            .chain(FANINS.iter().map(|k| format!("k={k}"))),
+        std::iter::once("epsilon".to_owned()).chain(FANINS.iter().map(|k| format!("k={k}"))),
     );
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); FANINS.len()];
     for &eps in &epsilons {
@@ -60,7 +59,13 @@ mod tests {
         let fig = generate().unwrap();
         for series in fig.charts[0].series() {
             let early = &series.points[1]; // first non-zero ε
-            assert!(early.1 > 1.0, "{}: {} at eps {}", series.name, early.1, early.0);
+            assert!(
+                early.1 > 1.0,
+                "{}: {} at eps {}",
+                series.name,
+                early.1,
+                early.0
+            );
         }
     }
 
@@ -69,7 +74,13 @@ mod tests {
         let fig = generate().unwrap();
         for series in fig.charts[0].series() {
             let last = series.points.last().unwrap();
-            assert!(last.1 < 1.0, "{}: {} at eps {}", series.name, last.1, last.0);
+            assert!(
+                last.1 < 1.0,
+                "{}: {} at eps {}",
+                series.name,
+                last.1,
+                last.0
+            );
         }
     }
 

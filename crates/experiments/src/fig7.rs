@@ -25,12 +25,18 @@ pub const DELTA: f64 = 0.01;
 ///
 /// Propagates bound-evaluation failures (out-of-range profiles).
 pub fn generate_from(profiles: &[ProfiledBenchmark]) -> Result<FigureOutput, ExperimentError> {
-    let mut header = vec!["benchmark".to_owned(), "S0".to_owned(), "sw0".to_owned(),
-        "s".to_owned()];
+    let mut header = vec![
+        "benchmark".to_owned(),
+        "S0".to_owned(),
+        "sw0".to_owned(),
+        "s".to_owned(),
+    ];
     header.extend(EPSILONS.iter().map(|e| format!("energy eps={e}")));
     header.extend(EPSILONS.iter().map(|e| format!("delay eps={e}")));
-    let mut table =
-        Table::new("Figure 7 — normalized energy and delay lower bounds", header);
+    let mut table = Table::new(
+        "Figure 7 — normalized energy and delay lower bounds",
+        header,
+    );
     for p in profiles {
         let mut row = vec![
             Cell::from(p.name.clone()),
@@ -107,7 +113,10 @@ mod tests {
         let fig = generate_from(&quick_profiles()).unwrap();
         for row in fig.tables[0].rows() {
             for i in 7..10 {
-                assert!(matches!(row[i], Cell::Number(_)), "missing delay in {row:?}");
+                assert!(
+                    matches!(row[i], Cell::Number(_)),
+                    "missing delay in {row:?}"
+                );
             }
         }
     }

@@ -23,8 +23,10 @@ pub fn generate_from(profiles: &[ProfiledBenchmark]) -> Result<FigureOutput, Exp
     let mut header = vec!["benchmark".to_owned()];
     header.extend(EPSILONS.iter().map(|e| format!("power eps={e}")));
     header.extend(EPSILONS.iter().map(|e| format!("EDP eps={e}")));
-    let mut table =
-        Table::new("Figure 8 — normalized average power and energy*delay lower bounds", header);
+    let mut table = Table::new(
+        "Figure 8 — normalized average power and energy*delay lower bounds",
+        header,
+    );
     for p in profiles {
         let mut row = vec![Cell::from(p.name.clone())];
         let reports: Vec<BoundReport> = EPSILONS
@@ -103,7 +105,11 @@ mod tests {
         // The paper reports up to a 2.8× energy*delay increase over its
         // suite at ε = 0.1; ours should land in the same decade.
         let fig = generate_from(&quick_profiles()).unwrap();
-        let max_edp = fig.tables[0].rows().iter().map(|r| num(&r[6])).fold(0.0f64, f64::max);
+        let max_edp = fig.tables[0]
+            .rows()
+            .iter()
+            .map(|r| num(&r[6]))
+            .fold(0.0f64, f64::max);
         assert!(max_edp > 1.5 && max_edp < 10.0, "max EDP {max_edp}");
     }
 }

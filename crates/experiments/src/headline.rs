@@ -36,9 +36,7 @@ pub struct ClaimOutcome {
 /// # Errors
 ///
 /// Propagates bound-evaluation failures.
-pub fn evaluate_from(
-    profiles: &[ProfiledBenchmark],
-) -> Result<Vec<ClaimOutcome>, ExperimentError> {
+pub fn evaluate_from(profiles: &[ProfiledBenchmark]) -> Result<Vec<ClaimOutcome>, ExperimentError> {
     let mut max_energy_at_1pct = 0.0f64;
     let mut max_edp_at_10pct = 0.0f64;
     let mut max_power_at_10pct = 0.0f64;
@@ -137,7 +135,11 @@ mod tests {
         let outcomes = evaluate_from(&profiles).unwrap();
         assert_eq!(outcomes.len(), 3);
         for o in &outcomes {
-            assert!(o.holds, "{}: measured {} vs paper {}", o.id, o.measured, o.paper_value);
+            assert!(
+                o.holds,
+                "{}: measured {} vs paper {}",
+                o.id, o.measured, o.paper_value
+            );
         }
     }
 }

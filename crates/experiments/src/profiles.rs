@@ -97,12 +97,13 @@ pub fn profile_netlist(
     let (sensitivity, source) = match sensitivity_hint {
         Some(s) => (f64::from(s), SensitivitySource::Hint),
         None => {
-            let est =
-                sensitivity::estimate(&mapped, config.sensitivity_samples, config.seed)?;
+            let est = sensitivity::estimate(&mapped, config.sensitivity_samples, config.seed)?;
             let source = if est.is_exact() {
                 SensitivitySource::Exact
             } else {
-                SensitivitySource::Sampled { samples: config.sensitivity_samples }
+                SensitivitySource::Sampled {
+                    samples: config.sensitivity_samples,
+                }
             };
             (f64::from(est.value()), source)
         }
@@ -160,7 +161,10 @@ pub fn profile_benchmark(
 /// # }
 /// ```
 pub fn profile_suite(config: &ProfileConfig) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
-    standard_suite()?.iter().map(|b| profile_benchmark(b, config)).collect()
+    standard_suite()?
+        .iter()
+        .map(|b| profile_benchmark(b, config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -169,7 +173,11 @@ mod tests {
     use nanobound_gen::{iscas, parity};
 
     fn quick() -> ProfileConfig {
-        ProfileConfig { patterns: 2_000, sensitivity_samples: 128, ..Default::default() }
+        ProfileConfig {
+            patterns: 2_000,
+            sensitivity_samples: 128,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -180,7 +188,11 @@ mod tests {
         assert_eq!(p.profile.sensitivity, 10.0);
         assert_eq!(p.sensitivity_source, SensitivitySource::Exact);
         // XOR trees of balanced inputs switch near 0.5.
-        assert!((p.profile.activity - 0.5).abs() < 0.05, "sw0 {}", p.profile.activity);
+        assert!(
+            (p.profile.activity - 0.5).abs() < 0.05,
+            "sw0 {}",
+            p.profile.activity
+        );
         assert!(p.profile.fanin <= 3.0);
         p.profile.validate().unwrap();
     }
@@ -197,7 +209,10 @@ mod tests {
     fn wide_circuit_gets_sampled_sensitivity() {
         let c432 = iscas::c432_analog().unwrap(); // 40 inputs
         let p = profile_netlist(&c432, None, &quick()).unwrap();
-        assert!(matches!(p.sensitivity_source, SensitivitySource::Sampled { samples: 128 }));
+        assert!(matches!(
+            p.sensitivity_source,
+            SensitivitySource::Sampled { samples: 128 }
+        ));
         assert!(p.profile.sensitivity >= 1.0);
         assert!(p.profile.sensitivity <= 40.0);
     }
@@ -216,7 +231,11 @@ mod tests {
         let p = profile_netlist(&c6288, Some(32), &quick()).unwrap();
         let stats = CircuitStats::of(&p.mapped);
         assert!(stats.max_fanin <= 3);
-        assert!(p.profile.size > 500, "multiplier should be large, got {}", p.profile.size);
+        assert!(
+            p.profile.size > 500,
+            "multiplier should be large, got {}",
+            p.profile.size
+        );
     }
 
     #[test]

@@ -36,7 +36,15 @@ const PATTERNS: usize = 100_000;
 pub fn theorem1_validation() -> Result<FigureOutput, ExperimentError> {
     let mut table = Table::new(
         "V1 — Theorem 1: measured vs predicted noisy switching activity",
-        ["circuit", "depth", "epsilon", "sw_clean", "sw_measured", "sw_thm1", "deviation"],
+        [
+            "circuit",
+            "depth",
+            "epsilon",
+            "sw_clean",
+            "sw_measured",
+            "sw_thm1",
+            "deviation",
+        ],
     );
     let circuits: Vec<(&str, Netlist)> = vec![
         ("and4 (single gate)", single_and(4)),
@@ -71,7 +79,9 @@ pub fn theorem1_validation() -> Result<FigureOutput, ExperimentError> {
 fn single_and(width: usize) -> Netlist {
     let mut nl = Netlist::new(format!("and{width}"));
     let inputs: Vec<_> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
-    let g = nl.add_gate(nanobound_logic::GateKind::And, &inputs).expect("valid fanins");
+    let g = nl
+        .add_gate(nanobound_logic::GateKind::And, &inputs)
+        .expect("valid fanins");
     nl.add_output("y", g).expect("fresh name");
     nl
 }
@@ -121,10 +131,24 @@ pub fn constructive_vs_bound() -> Result<FigureOutput, ExperimentError> {
                 s0,
             )?;
         }
-        let mux = multiplex(&base, &MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 31 })?;
+        let mux = multiplex(
+            &base,
+            &MultiplexConfig {
+                bundle: 9,
+                restorative_stages: 1,
+                seed: 31,
+            },
+        )?;
         let out = monte_carlo(&mux, &config, PATTERNS, 23)?;
         let actual = mux.gate_count() as f64 / s0;
-        push_scheme(&mut table, "mux n=9", eps, out.circuit_error_rate, actual, s0)?;
+        push_scheme(
+            &mut table,
+            "mux n=9",
+            eps,
+            out.circuit_error_rate,
+            actual,
+            s0,
+        )?;
     }
     Ok(FigureOutput {
         id: "v2",

@@ -358,7 +358,11 @@ mod tests {
                         count |= 1 << i;
                     }
                 }
-                assert_eq!(count, u64::from(bits.count_ones()), "w={width} bits={bits:b}");
+                assert_eq!(
+                    count,
+                    u64::from(bits.count_ones()),
+                    "w={width} bits={bits:b}"
+                );
             }
         }
     }

@@ -29,7 +29,11 @@ pub fn equal(width: usize) -> Result<Netlist, GenError> {
     let bits: Vec<NodeId> = (0..width)
         .map(|i| nl.add_gate(GateKind::Xnor, &[a[i], b[i]]))
         .collect::<Result<_, _>>()?;
-    let eq = if bits.len() == 1 { bits[0] } else { nl.add_gate(GateKind::And, &bits)? };
+    let eq = if bits.len() == 1 {
+        bits[0]
+    } else {
+        nl.add_gate(GateKind::And, &bits)?
+    };
     nl.add_output("eq", eq)?;
     Ok(nl)
 }

@@ -38,8 +38,9 @@ pub fn binary_decoder(width: usize, with_enable: bool) -> Result<Netlist, GenErr
         .map(|&xi| nl.add_gate(GateKind::Not, &[xi]))
         .collect::<Result<_, _>>()?;
     for code in 0..(1usize << width) {
-        let mut literals: Vec<NodeId> =
-            (0..width).map(|i| if code >> i & 1 == 1 { x[i] } else { nx[i] }).collect();
+        let mut literals: Vec<NodeId> = (0..width)
+            .map(|i| if code >> i & 1 == 1 { x[i] } else { nx[i] })
+            .collect();
         if let Some(en) = en {
             literals.push(en);
         }

@@ -60,7 +60,9 @@ pub fn hamming_corrector(data_bits: usize) -> Result<Netlist, GenError> {
     let positions = data_positions(data_bits);
 
     let mut nl = Netlist::new(format!("sec{data_bits}"));
-    let d: Vec<NodeId> = (0..data_bits).map(|i| nl.add_input(format!("d{i}"))).collect();
+    let d: Vec<NodeId> = (0..data_bits)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
     let c: Vec<NodeId> = (0..r).map(|i| nl.add_input(format!("c{i}"))).collect();
 
     // Syndrome bit j: parity of all codeword positions with bit j set,
@@ -81,8 +83,15 @@ pub fn hamming_corrector(data_bits: usize) -> Result<Netlist, GenError> {
         .collect::<Result<_, _>>()?;
 
     for (i, &pos) in positions.iter().enumerate() {
-        let literals: Vec<NodeId> =
-            (0..r).map(|j| if pos >> j & 1 == 1 { syndrome[j] } else { nsyndrome[j] }).collect();
+        let literals: Vec<NodeId> = (0..r)
+            .map(|j| {
+                if pos >> j & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    nsyndrome[j]
+                }
+            })
+            .collect();
         let hit = nl.add_gate(GateKind::And, &literals)?;
         let y = nl.add_gate(GateKind::Xor, &[d[i], hit])?;
         nl.add_output(format!("y{i}"), y)?;
@@ -111,7 +120,9 @@ pub fn error_detector(data_bits: usize) -> Result<Netlist, GenError> {
     let positions = data_positions(data_bits);
 
     let mut nl = Netlist::new(format!("edc{data_bits}"));
-    let d: Vec<NodeId> = (0..data_bits).map(|i| nl.add_input(format!("d{i}"))).collect();
+    let d: Vec<NodeId> = (0..data_bits)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
     let c: Vec<NodeId> = (0..r).map(|i| nl.add_input(format!("c{i}"))).collect();
 
     let mut syndrome = Vec::with_capacity(r);

@@ -25,14 +25,22 @@ pub enum GenError {
 
 impl GenError {
     pub(crate) fn bad(name: &'static str, got: usize, requirement: &'static str) -> Self {
-        GenError::BadParameter { name, got, requirement }
+        GenError::BadParameter {
+            name,
+            got,
+            requirement,
+        }
     }
 }
 
 impl fmt::Display for GenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GenError::BadParameter { name, got, requirement } => {
+            GenError::BadParameter {
+                name,
+                got,
+                requirement,
+            } => {
                 write!(f, "parameter `{name}` = {got} {requirement}")
             }
             GenError::Logic(e) => write!(f, "netlist construction failed: {e}"),

@@ -47,12 +47,24 @@ pub fn c17() -> Netlist {
     let n6 = nl.add_input("N6");
     let n7 = nl.add_input("N7");
     // Gate list exactly as in the published benchmark.
-    let n10 = nl.add_gate(GateKind::Nand, &[n1, n3]).expect("valid fanins");
-    let n11 = nl.add_gate(GateKind::Nand, &[n3, n6]).expect("valid fanins");
-    let n16 = nl.add_gate(GateKind::Nand, &[n2, n11]).expect("valid fanins");
-    let n19 = nl.add_gate(GateKind::Nand, &[n11, n7]).expect("valid fanins");
-    let n22 = nl.add_gate(GateKind::Nand, &[n10, n16]).expect("valid fanins");
-    let n23 = nl.add_gate(GateKind::Nand, &[n16, n19]).expect("valid fanins");
+    let n10 = nl
+        .add_gate(GateKind::Nand, &[n1, n3])
+        .expect("valid fanins");
+    let n11 = nl
+        .add_gate(GateKind::Nand, &[n3, n6])
+        .expect("valid fanins");
+    let n16 = nl
+        .add_gate(GateKind::Nand, &[n2, n11])
+        .expect("valid fanins");
+    let n19 = nl
+        .add_gate(GateKind::Nand, &[n11, n7])
+        .expect("valid fanins");
+    let n22 = nl
+        .add_gate(GateKind::Nand, &[n10, n16])
+        .expect("valid fanins");
+    let n23 = nl
+        .add_gate(GateKind::Nand, &[n16, n19])
+        .expect("valid fanins");
     nl.add_output("N22", n22).expect("fresh output name");
     nl.add_output("N23", n23).expect("fresh output name");
     nl
@@ -216,11 +228,7 @@ pub fn expand_xor_to_nand(netlist: &Netlist) -> Result<Netlist, GenError> {
 
 /// Chains `taps` into 2-input NAND-expanded XOR stages; `invert` selects
 /// XNOR of the whole group.
-fn nand_parity_chain(
-    nl: &mut Netlist,
-    taps: &[NodeId],
-    invert: bool,
-) -> Result<NodeId, GenError> {
+fn nand_parity_chain(nl: &mut Netlist, taps: &[NodeId], invert: bool) -> Result<NodeId, GenError> {
     let mut acc = taps[0];
     for &t in &taps[1..] {
         acc = nand_xor2(nl, acc, t)?;
@@ -326,8 +334,11 @@ mod tests {
         inputs[32] = true; // b0
         inputs[35] = true; // b3
         let out = nl.evaluate(&inputs).unwrap();
-        let sum: u64 =
-            out[..32].iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+        let sum: u64 = out[..32]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum();
         assert_eq!(sum, 14);
         assert!(!out[32]); // cout
         assert!(out[33]); // lt

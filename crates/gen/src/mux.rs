@@ -43,16 +43,27 @@ pub(crate) fn mux2(
 /// ```
 pub fn mux_tree(select_bits: usize) -> Result<Netlist, GenError> {
     if select_bits == 0 {
-        return Err(GenError::bad("select_bits", select_bits, "must be at least 1"));
+        return Err(GenError::bad(
+            "select_bits",
+            select_bits,
+            "must be at least 1",
+        ));
     }
     if select_bits > 16 {
-        return Err(GenError::bad("select_bits", select_bits, "must be at most 16"));
+        return Err(GenError::bad(
+            "select_bits",
+            select_bits,
+            "must be at most 16",
+        ));
     }
     let data_count = 1usize << select_bits;
     let mut nl = Netlist::new(format!("mux{data_count}"));
-    let sel: Vec<NodeId> = (0..select_bits).map(|i| nl.add_input(format!("s{i}"))).collect();
-    let mut layer: Vec<NodeId> =
-        (0..data_count).map(|i| nl.add_input(format!("d{i}"))).collect();
+    let sel: Vec<NodeId> = (0..select_bits)
+        .map(|i| nl.add_input(format!("s{i}")))
+        .collect();
+    let mut layer: Vec<NodeId> = (0..data_count)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
     for (level, &s) in sel.iter().enumerate() {
         let mut next = Vec::with_capacity(layer.len() / 2);
         for pair in layer.chunks(2) {
@@ -83,8 +94,7 @@ mod tests {
             let nl = mux_tree(select_bits).unwrap();
             for s in 0..n {
                 for data in 0u64..(1 << n) {
-                    let mut inputs: Vec<bool> =
-                        (0..select_bits).map(|i| s >> i & 1 == 1).collect();
+                    let mut inputs: Vec<bool> = (0..select_bits).map(|i| s >> i & 1 == 1).collect();
                     inputs.extend((0..n).map(|i| data >> i & 1 == 1));
                     let expect = data >> s & 1 == 1;
                     assert_eq!(

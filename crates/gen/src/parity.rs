@@ -35,8 +35,7 @@ pub fn parity_tree(width: usize, fanin: usize) -> Result<Netlist, GenError> {
         return Err(GenError::bad("fanin", fanin, "must be at least 2"));
     }
     let mut nl = Netlist::new(format!("parity{width}_k{fanin}"));
-    let mut frontier: Vec<NodeId> =
-        (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let mut frontier: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
     while frontier.len() > 1 {
         let mut next = Vec::with_capacity(frontier.len().div_ceil(fanin));
         for chunk in frontier.chunks(fanin) {
@@ -97,7 +96,11 @@ mod tests {
                 for bits in 0u32..(1 << width) {
                     let assignment: Vec<bool> = (0..width).map(|i| bits >> i & 1 == 1).collect();
                     let out = nl.evaluate(&assignment).unwrap();
-                    assert_eq!(out, vec![parity_of(bits, width)], "w={width} k={fanin} {bits:b}");
+                    assert_eq!(
+                        out,
+                        vec![parity_of(bits, width)],
+                        "w={width} k={fanin} {bits:b}"
+                    );
                 }
             }
         }

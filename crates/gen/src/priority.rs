@@ -95,9 +95,15 @@ pub fn interrupt_controller(groups: usize, width: usize) -> Result<Netlist, GenE
     let mut nl = Netlist::new(format!("intctl{groups}x{width}"));
     let mut req: Vec<Vec<NodeId>> = Vec::with_capacity(groups);
     for g in 0..groups {
-        req.push((0..width).map(|i| nl.add_input(format!("r{g}_{i}"))).collect());
+        req.push(
+            (0..width)
+                .map(|i| nl.add_input(format!("r{g}_{i}")))
+                .collect(),
+        );
     }
-    let en: Vec<NodeId> = (0..groups).map(|g| nl.add_input(format!("en{g}"))).collect();
+    let en: Vec<NodeId> = (0..groups)
+        .map(|g| nl.add_input(format!("en{g}")))
+        .collect();
 
     // Masked per-group request lines and group-active signals.
     let mut masked: Vec<Vec<NodeId>> = Vec::with_capacity(groups);
@@ -218,7 +224,9 @@ mod tests {
     fn controller_group_priority() {
         let nl = interrupt_controller(2, 2).unwrap();
         // Both groups request line 0, both enabled: group 0 wins.
-        let out = nl.evaluate(&[true, false, true, false, true, true]).unwrap();
+        let out = nl
+            .evaluate(&[true, false, true, false, true, true])
+            .unwrap();
         assert!(out[0]);
         assert!(out[2], "grant0");
         assert!(!out[3], "grant1");

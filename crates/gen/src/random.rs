@@ -26,7 +26,13 @@ pub struct RandomDagConfig {
 
 impl Default for RandomDagConfig {
     fn default() -> Self {
-        RandomDagConfig { inputs: 8, gates: 64, max_fanin: 3, outputs: 4, seed: 0 }
+        RandomDagConfig {
+            inputs: 8,
+            gates: 64,
+            max_fanin: 3,
+            outputs: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -60,15 +66,24 @@ pub fn random_dag(config: &RandomDagConfig) -> Result<Netlist, GenError> {
         return Err(GenError::bad("gates", config.gates, "must be at least 1"));
     }
     if config.max_fanin < 2 {
-        return Err(GenError::bad("max_fanin", config.max_fanin, "must be at least 2"));
+        return Err(GenError::bad(
+            "max_fanin",
+            config.max_fanin,
+            "must be at least 2",
+        ));
     }
     if config.outputs == 0 {
-        return Err(GenError::bad("outputs", config.outputs, "must be at least 1"));
+        return Err(GenError::bad(
+            "outputs",
+            config.outputs,
+            "must be at least 1",
+        ));
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut nl = Netlist::new(format!("rand_s{}", config.seed));
-    let mut pool: Vec<NodeId> =
-        (0..config.inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let mut pool: Vec<NodeId> = (0..config.inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
 
     const KINDS: [GateKind; 7] = [
         GateKind::And,
@@ -116,15 +131,27 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let c = RandomDagConfig { seed: 42, ..RandomDagConfig::default() };
+        let c = RandomDagConfig {
+            seed: 42,
+            ..RandomDagConfig::default()
+        };
         assert_eq!(random_dag(&c).unwrap(), random_dag(&c).unwrap());
-        let c2 = RandomDagConfig { seed: 43, ..RandomDagConfig::default() };
+        let c2 = RandomDagConfig {
+            seed: 43,
+            ..RandomDagConfig::default()
+        };
         assert_ne!(random_dag(&c).unwrap(), random_dag(&c2).unwrap());
     }
 
     #[test]
     fn respects_sizes() {
-        let c = RandomDagConfig { inputs: 5, gates: 40, max_fanin: 4, outputs: 3, seed: 1 };
+        let c = RandomDagConfig {
+            inputs: 5,
+            gates: 40,
+            max_fanin: 4,
+            outputs: 3,
+            seed: 1,
+        };
         let nl = random_dag(&c).unwrap();
         assert_eq!(nl.input_count(), 5);
         assert_eq!(nl.output_count(), 3);
@@ -145,9 +172,21 @@ mod tests {
     #[test]
     fn bad_parameters_rejected() {
         let base = RandomDagConfig::default();
-        assert!(random_dag(&RandomDagConfig { inputs: 0, ..base.clone() }).is_err());
-        assert!(random_dag(&RandomDagConfig { gates: 0, ..base.clone() }).is_err());
-        assert!(random_dag(&RandomDagConfig { max_fanin: 1, ..base.clone() }).is_err());
+        assert!(random_dag(&RandomDagConfig {
+            inputs: 0,
+            ..base.clone()
+        })
+        .is_err());
+        assert!(random_dag(&RandomDagConfig {
+            gates: 0,
+            ..base.clone()
+        })
+        .is_err());
+        assert!(random_dag(&RandomDagConfig {
+            max_fanin: 1,
+            ..base.clone()
+        })
+        .is_err());
         assert!(random_dag(&RandomDagConfig { outputs: 0, ..base }).is_err());
     }
 }

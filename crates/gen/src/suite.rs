@@ -67,7 +67,12 @@ impl Benchmark {
     /// the netlist's design name.
     #[must_use]
     pub fn new(netlist: Netlist, class: CircuitClass, sensitivity_hint: Option<u32>) -> Self {
-        Benchmark { name: netlist.name().to_owned(), netlist, class, sensitivity_hint }
+        Benchmark {
+            name: netlist.name().to_owned(),
+            netlist,
+            class,
+            sensitivity_hint,
+        }
     }
 }
 

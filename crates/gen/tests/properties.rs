@@ -13,7 +13,10 @@ fn bits(value: u128, width: usize) -> Vec<bool> {
 
 /// Reads an LSB-first bool slice as an integer.
 fn value(bits: &[bool]) -> u128 {
-    bits.iter().enumerate().map(|(i, &b)| u128::from(b) << i).sum()
+    bits.iter()
+        .enumerate()
+        .map(|(i, &b)| u128::from(b) << i)
+        .sum()
 }
 
 proptest! {

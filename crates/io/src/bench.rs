@@ -68,7 +68,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let lhs = lhs.trim();
             if lhs.is_empty() {
-                return Err(ParseError::at(line_no, ParseErrorKind::Syntax(line.to_owned())));
+                return Err(ParseError::at(
+                    line_no,
+                    ParseErrorKind::Syntax(line.to_owned()),
+                ));
             }
             let (kind_name, args) = parse_call(rhs.trim())
                 .ok_or_else(|| ParseError::at(line_no, ParseErrorKind::Syntax(line.to_owned())))?;
@@ -76,16 +79,29 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 if args.len() != 1 {
                     return Err(ParseError::at(
                         line_no,
-                        ParseErrorKind::BadCover(format!("DFF takes 1 argument, got {}", args.len())),
+                        ParseErrorKind::BadCover(format!(
+                            "DFF takes 1 argument, got {}",
+                            args.len()
+                        )),
                     ));
                 }
-                latches.push((Latch { input: args[0].clone(), output: lhs.to_owned() }, line_no));
+                latches.push((
+                    Latch {
+                        input: args[0].clone(),
+                        output: lhs.to_owned(),
+                    },
+                    line_no,
+                ));
                 continue;
             }
-            let kind: GateKind = kind_name
-                .parse()
-                .map_err(|_| ParseError::at(line_no, ParseErrorKind::UnknownGate(kind_name.clone())))?;
-            let def = GateDef { kind, args, line: line_no };
+            let kind: GateKind = kind_name.parse().map_err(|_| {
+                ParseError::at(line_no, ParseErrorKind::UnknownGate(kind_name.clone()))
+            })?;
+            let def = GateDef {
+                kind,
+                args,
+                line: line_no,
+            };
             if defs.insert(lhs.to_owned(), def).is_some() {
                 return Err(ParseError::at(
                     line_no,
@@ -93,7 +109,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 ));
             }
         } else {
-            return Err(ParseError::at(line_no, ParseErrorKind::Syntax(line.to_owned())));
+            return Err(ParseError::at(
+                line_no,
+                ParseErrorKind::Syntax(line.to_owned()),
+            ));
         }
     }
 
@@ -101,10 +120,16 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     for (name, line) in &inputs {
         if ids.contains_key(name) {
-            return Err(ParseError::at(*line, ParseErrorKind::DuplicateDefinition(name.clone())));
+            return Err(ParseError::at(
+                *line,
+                ParseErrorKind::DuplicateDefinition(name.clone()),
+            ));
         }
         if defs.contains_key(name) {
-            return Err(ParseError::at(*line, ParseErrorKind::DuplicateDefinition(name.clone())));
+            return Err(ParseError::at(
+                *line,
+                ParseErrorKind::DuplicateDefinition(name.clone()),
+            ));
         }
         ids.insert(name.clone(), netlist.add_input(name.clone()));
     }
@@ -115,7 +140,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 ParseErrorKind::DuplicateDefinition(latch.output.clone()),
             ));
         }
-        ids.insert(latch.output.clone(), netlist.add_input(latch.output.clone()));
+        ids.insert(
+            latch.output.clone(),
+            netlist.add_input(latch.output.clone()),
+        );
     }
 
     // Topological resolution with an explicit stack (bench files can be huge
@@ -123,17 +151,38 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
     let mut resolving: Vec<&str> = Vec::new();
     let mut in_progress: HashMap<&str, bool> = HashMap::new();
     for (name, _) in &outputs {
-        resolve(name, &defs, &mut ids, &mut netlist, &mut resolving, &mut in_progress)?;
+        resolve(
+            name,
+            &defs,
+            &mut ids,
+            &mut netlist,
+            &mut resolving,
+            &mut in_progress,
+        )?;
     }
     for (latch, _) in &latches {
-        resolve(&latch.input, &defs, &mut ids, &mut netlist, &mut resolving, &mut in_progress)?;
+        resolve(
+            &latch.input,
+            &defs,
+            &mut ids,
+            &mut netlist,
+            &mut resolving,
+            &mut in_progress,
+        )?;
     }
     // Also materialize defined-but-dead gates so statistics see the whole
     // file; the optimizer can sweep them later if desired.
     let mut def_names: Vec<&String> = defs.keys().collect();
     def_names.sort();
     for name in def_names {
-        resolve(name, &defs, &mut ids, &mut netlist, &mut resolving, &mut in_progress)?;
+        resolve(
+            name,
+            &defs,
+            &mut ids,
+            &mut netlist,
+            &mut resolving,
+            &mut in_progress,
+        )?;
     }
 
     for (name, line) in &outputs {
@@ -153,7 +202,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             .map_err(|e| ParseError::at(*line, ParseErrorKind::Logic(e)))?;
     }
 
-    Ok(Design { netlist, latches: latches.into_iter().map(|(l, _)| l).collect() })
+    Ok(Design {
+        netlist,
+        latches: latches.into_iter().map(|(l, _)| l).collect(),
+    })
 }
 
 /// Resolves one signal name to a node id, recursively materializing its
@@ -175,9 +227,9 @@ fn resolve<'a>(
             stack.pop();
             continue;
         }
-        let def = defs.get(current).ok_or_else(|| {
-            ParseError::at(0, ParseErrorKind::UnknownSignal(current.to_owned()))
-        })?;
+        let def = defs
+            .get(current)
+            .ok_or_else(|| ParseError::at(0, ParseErrorKind::UnknownSignal(current.to_owned())))?;
         // `in_progress == true` marks nodes that have been *expanded* (their
         // fanins pushed) but not yet finished — exactly the current DFS
         // path. Meeting one of those as a fanin is a genuine cycle; a
@@ -306,13 +358,24 @@ pub fn write(design: &Design) -> String {
             .outputs()
             .iter()
             .find(|o| o.name == format!("{}$next", latch.output))
-            .map_or_else(|| latch.input.clone(), |o| node_names[o.driver.index()].clone());
+            .map_or_else(
+                || latch.input.clone(),
+                |o| node_names[o.driver.index()].clone(),
+            );
         out.push_str(&format!("{} = DFF({d_name})\n", latch.output));
     }
     for id in netlist.node_ids() {
         if let Node::Gate { kind, fanins } = netlist.node(id) {
-            let args: Vec<&str> = fanins.iter().map(|f| node_names[f.index()].as_str()).collect();
-            out.push_str(&format!("{} = {}({})\n", node_names[id.index()], kind, args.join(", ")));
+            let args: Vec<&str> = fanins
+                .iter()
+                .map(|f| node_names[f.index()].as_str())
+                .collect();
+            out.push_str(&format!(
+                "{} = {}({})\n",
+                node_names[id.index()],
+                kind,
+                args.join(", ")
+            ));
         }
     }
     for (alias, driver) in names::output_aliases(netlist, &node_names) {
@@ -362,27 +425,33 @@ mod tests {
 
     #[test]
     fn out_of_order_definitions() {
-        let d = parse("\
+        let d = parse(
+            "\
 OUTPUT(y)
 y = AND(m, n)
 m = NOT(a)
 n = NOT(b)
 INPUT(a)
 INPUT(b)
-").unwrap();
+",
+        )
+        .unwrap();
         assert_eq!(d.netlist.gate_count(), 3);
         assert_eq!(d.netlist.evaluate(&[false, false]).unwrap(), vec![true]);
     }
 
     #[test]
     fn dff_cut_into_envelope() {
-        let d = parse("\
+        let d = parse(
+            "\
 INPUT(d)
 OUTPUT(y)
 q = DFF(nd)
 nd = NOT(d)
 y = AND(q, d)
-").unwrap();
+",
+        )
+        .unwrap();
         assert!(d.is_sequential());
         assert_eq!(d.latches.len(), 1);
         // Inputs: d, then pseudo-input q. Outputs: y, then q$next.
@@ -473,7 +542,10 @@ y = AND(q, d)
         assert_eq!(d2.netlist.output_count(), d.netlist.output_count());
         assert_eq!(d2.netlist.input_count(), d.netlist.input_count());
         let text2 = write(&d2);
-        assert_eq!(parse(&text2).unwrap().netlist.gate_count(), d2.netlist.gate_count());
+        assert_eq!(
+            parse(&text2).unwrap().netlist.gate_count(),
+            d2.netlist.gate_count()
+        );
     }
 
     #[test]
@@ -492,8 +564,8 @@ y = AND(q, d)
 
     #[test]
     fn whitespace_and_comments_tolerated() {
-        let d = parse("  INPUT( a )  # the input\n\nOUTPUT(y)\n y  =  NOT( a ) # invert\n")
-            .unwrap();
+        let d =
+            parse("  INPUT( a )  # the input\n\nOUTPUT(y)\n y  =  NOT( a ) # invert\n").unwrap();
         assert_eq!(d.netlist.gate_count(), 1);
     }
 }

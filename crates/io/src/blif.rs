@@ -98,7 +98,10 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                         ParseErrorKind::Syntax(".latch needs input and output".into()),
                     ));
                 }
-                latches.push(Latch { input: args[0].to_owned(), output: args[1].to_owned() });
+                latches.push(Latch {
+                    input: args[0].to_owned(),
+                    output: args[1].to_owned(),
+                });
             }
             ".names" => {
                 let signals: Vec<String> = tokens.map(str::to_owned).collect();
@@ -110,7 +113,12 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                 }
                 let output = signals.last().expect("nonempty").clone();
                 let ins = signals[..signals.len() - 1].to_vec();
-                covers.push(Cover { inputs: ins, output, rows: Vec::new(), line: line_no });
+                covers.push(Cover {
+                    inputs: ins,
+                    output,
+                    rows: Vec::new(),
+                    line: line_no,
+                });
             }
             ".end" => break,
             ".exdc" | ".wire_load_slope" | ".default_input_arrival" => {
@@ -182,7 +190,10 @@ fn build_design(
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     for name in inputs {
         if ids.contains_key(name) {
-            return Err(ParseError::at(0, ParseErrorKind::DuplicateDefinition(name.clone())));
+            return Err(ParseError::at(
+                0,
+                ParseErrorKind::DuplicateDefinition(name.clone()),
+            ));
         }
         ids.insert(name.clone(), netlist.add_input(name.clone()));
     }
@@ -193,7 +204,10 @@ fn build_design(
                 ParseErrorKind::DuplicateDefinition(latch.output.clone()),
             ));
         }
-        ids.insert(latch.output.clone(), netlist.add_input(latch.output.clone()));
+        ids.insert(
+            latch.output.clone(),
+            netlist.add_input(latch.output.clone()),
+        );
     }
 
     let mut by_output: HashMap<&str, &Cover> = HashMap::new();
@@ -365,13 +379,21 @@ pub fn write(design: &Design) -> Result<String, WriteError> {
 
     for id in netlist.node_ids() {
         if let Node::Gate { kind, fanins } = netlist.node(id) {
-            let ins: Vec<&str> = fanins.iter().map(|f| node_names[f.index()].as_str()).collect();
+            let ins: Vec<&str> = fanins
+                .iter()
+                .map(|f| node_names[f.index()].as_str())
+                .collect();
             write_cover(&mut out, *kind, &ins, &node_names[id.index()])?;
         }
     }
     for (alias, driver) in names::output_aliases(netlist, &node_names) {
         if !alias.ends_with("$next") {
-            write_cover(&mut out, GateKind::Buf, &[&node_names[driver.index()]], &alias)?;
+            write_cover(
+                &mut out,
+                GateKind::Buf,
+                &[&node_names[driver.index()]],
+                &alias,
+            )?;
         }
     }
     out.push_str(".end\n");
@@ -424,8 +446,9 @@ fn write_cover(
             for bits in 0u32..(1u32 << n) {
                 let odd = bits.count_ones() % 2 == 1;
                 if odd == want_odd {
-                    let pattern: String =
-                        (0..n).map(|i| if bits >> i & 1 == 1 { '1' } else { '0' }).collect();
+                    let pattern: String = (0..n)
+                        .map(|i| if bits >> i & 1 == 1 { '1' } else { '0' })
+                        .collect();
                     out.push_str(&format!("{pattern} 1\n"));
                 }
             }
@@ -489,8 +512,8 @@ mod tests {
 
     #[test]
     fn continuation_lines() {
-        let d = parse(".model m\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n")
-            .unwrap();
+        let d =
+            parse(".model m\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n").unwrap();
         assert_eq!(d.netlist.input_count(), 2);
     }
 
@@ -528,16 +551,16 @@ mod tests {
 
     #[test]
     fn unknown_signal_rejected() {
-        let err = parse(".model m\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n").unwrap_err();
+        let err =
+            parse(".model m\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n").unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::UnknownSignal(ref s) if s == "ghost"));
     }
 
     #[test]
     fn cycle_rejected() {
-        let err = parse(
-            ".model m\n.inputs a\n.outputs y\n.names a z y\n11 1\n.names y z\n1 1\n.end\n",
-        )
-        .unwrap_err();
+        let err =
+            parse(".model m\n.inputs a\n.outputs y\n.names a z y\n11 1\n.names y z\n1 1\n.end\n")
+                .unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::CombinationalCycle(_)));
     }
 

@@ -75,7 +75,10 @@ impl Error for ParseError {
 
 impl From<LogicError> for ParseError {
     fn from(e: LogicError) -> Self {
-        ParseError { line: 0, kind: ParseErrorKind::Logic(e) }
+        ParseError {
+            line: 0,
+            kind: ParseErrorKind::Logic(e),
+        }
     }
 }
 
@@ -95,7 +98,10 @@ impl fmt::Display for WriteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WriteError::CoverTooWide { fanin } => {
-                write!(f, "xor cover with fanin {fanin} too wide; decompose to smaller fanin first")
+                write!(
+                    f,
+                    "xor cover with fanin {fanin} too wide; decompose to smaller fanin first"
+                )
             }
         }
     }

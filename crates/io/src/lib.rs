@@ -58,7 +58,10 @@ impl Design {
     /// Wraps a purely combinational netlist.
     #[must_use]
     pub fn combinational(netlist: Netlist) -> Self {
-        Design { netlist, latches: Vec::new() }
+        Design {
+            netlist,
+            latches: Vec::new(),
+        }
     }
 
     /// Returns `true` if the design had sequential elements.

@@ -29,7 +29,9 @@ pub(crate) fn node_names(netlist: &Netlist) -> Vec<String> {
     }
 
     for id in netlist.node_ids() {
-        let base = preferred[id.index()].clone().unwrap_or_else(|| format!("{id}"));
+        let base = preferred[id.index()]
+            .clone()
+            .unwrap_or_else(|| format!("{id}"));
         let mut name = base;
         while !used.insert(name.clone()) {
             name.push('_');

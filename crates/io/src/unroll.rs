@@ -46,7 +46,10 @@ impl fmt::Display for UnrollError {
         match self {
             UnrollError::NoFrames => write!(f, "cannot unroll zero frames"),
             UnrollError::InitialStateLength { expected, got } => {
-                write!(f, "initial state has {got} bits, design has {expected} latches")
+                write!(
+                    f,
+                    "initial state has {got} bits, design has {expected} latches"
+                )
             }
             UnrollError::MissingLatchSignal { name } => {
                 write!(f, "latch signal `{name}` not found in the netlist")
@@ -179,7 +182,9 @@ fn unroll_impl(
             .outputs()
             .iter()
             .position(|o| o.name == wanted)
-            .ok_or_else(|| UnrollError::MissingLatchSignal { name: latch.output.clone() })?;
+            .ok_or_else(|| UnrollError::MissingLatchSignal {
+                name: latch.output.clone(),
+            })?;
         next_indices.push(idx);
     }
     let state_outputs: Vec<bool> = netlist
@@ -214,9 +219,7 @@ fn unroll_impl(
             })
             .collect();
         let frame_outputs = out.import(netlist, &frame_inputs)?;
-        for (o, (output, &is_state)) in
-            netlist.outputs().iter().zip(&state_outputs).enumerate()
-        {
+        for (o, (output, &is_state)) in netlist.outputs().iter().zip(&state_outputs).enumerate() {
             if !is_state {
                 out.add_output(format!("{}@{t}", output.name), frame_outputs[o])?;
             }
@@ -255,7 +258,7 @@ mod tests {
         let design = counter2();
         let unrolled = unroll(&design, 5, &[false, false]).unwrap();
         assert_eq!(unrolled.input_count(), 5); // en@0..en@4
-        // Enable every cycle: states 0,1,2,3,0 observed at b1b0.
+                                               // Enable every cycle: states 0,1,2,3,0 observed at b1b0.
         let outs = unrolled.evaluate(&[true; 5]).unwrap();
         // Outputs: (b0@t, b1@t) for t in 0..5, then q0$final, q1$final.
         let states: Vec<u8> = (0..5)
@@ -287,24 +290,29 @@ mod tests {
 
     #[test]
     fn combinational_designs_unroll_to_copies() {
-        let design = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-        )
-        .unwrap();
+        let design = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
         let unrolled = unroll(&design, 3, &[]).unwrap();
         assert_eq!(unrolled.input_count(), 6);
         assert_eq!(unrolled.output_count(), 3);
-        let outs = unrolled.evaluate(&[true, true, true, false, false, false]).unwrap();
+        let outs = unrolled
+            .evaluate(&[true, true, true, false, false, false])
+            .unwrap();
         assert_eq!(outs, vec![true, false, false]);
     }
 
     #[test]
     fn errors_are_reported() {
         let design = counter2();
-        assert_eq!(unroll(&design, 0, &[false, false]).unwrap_err(), UnrollError::NoFrames);
+        assert_eq!(
+            unroll(&design, 0, &[false, false]).unwrap_err(),
+            UnrollError::NoFrames
+        );
         assert_eq!(
             unroll(&design, 2, &[false]).unwrap_err(),
-            UnrollError::InitialStateLength { expected: 2, got: 1 }
+            UnrollError::InitialStateLength {
+                expected: 2,
+                got: 1
+            }
         );
     }
 
@@ -344,8 +352,7 @@ mod tests {
     fn frame_signals_are_named_by_time() {
         let design = counter2();
         let unrolled = unroll(&design, 2, &[false, false]).unwrap();
-        let names: Vec<String> =
-            unrolled.outputs().iter().map(|o| o.name.clone()).collect();
+        let names: Vec<String> = unrolled.outputs().iter().map(|o| o.name.clone()).collect();
         assert!(names.contains(&"b0@0".to_owned()));
         assert!(names.contains(&"b1@1".to_owned()));
         assert!(names.contains(&"q0$final".to_owned()));

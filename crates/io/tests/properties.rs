@@ -17,7 +17,9 @@ fn build_random(seed: u64, inputs: usize, gates: usize) -> Netlist {
         state
     };
     let mut nl = Netlist::new("roundtrip");
-    let mut pool: Vec<NodeId> = (0..inputs).map(|i| nl.add_input(format!("in{i}"))).collect();
+    let mut pool: Vec<NodeId> = (0..inputs)
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
     const KINDS: [GateKind; 7] = [
         GateKind::And,
         GateKind::Nand,
@@ -29,9 +31,14 @@ fn build_random(seed: u64, inputs: usize, gates: usize) -> Netlist {
     ];
     for _ in 0..gates {
         let kind = KINDS[(next() % KINDS.len() as u64) as usize];
-        let arity = if kind == GateKind::Not { 1 } else { 2 + (next() % 3) as usize };
-        let fanins: Vec<NodeId> =
-            (0..arity).map(|_| pool[(next() % pool.len() as u64) as usize]).collect();
+        let arity = if kind == GateKind::Not {
+            1
+        } else {
+            2 + (next() % 3) as usize
+        };
+        let fanins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[(next() % pool.len() as u64) as usize])
+            .collect();
         pool.push(nl.add_gate(kind, &fanins).expect("valid construction"));
     }
     let last = *pool.last().expect("nonempty pool");

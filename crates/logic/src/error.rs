@@ -79,7 +79,10 @@ impl fmt::Display for LogicError {
                 write!(f, "expected {expected} input values, got {got}")
             }
             LogicError::FaninOrder { gate, fanin } => {
-                write!(f, "gate {gate} references fanin {fanin} that does not precede it")
+                write!(
+                    f,
+                    "gate {gate} references fanin {fanin} that does not precede it"
+                )
             }
             LogicError::FaninBudgetTooSmall { requested } => {
                 write!(f, "maximum fanin must be at least 2, got {requested}")
@@ -98,11 +101,17 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
-            LogicError::ArityMismatch { kind: GateKind::Maj, got: 2 },
+            LogicError::ArityMismatch {
+                kind: GateKind::Maj,
+                got: 2,
+            },
             LogicError::UnknownNode { id: 7, len: 3 },
             LogicError::DuplicateOutput { name: "f".into() },
             LogicError::DuplicateInput { name: "a".into() },
-            LogicError::AssignmentLength { expected: 3, got: 1 },
+            LogicError::AssignmentLength {
+                expected: 3,
+                got: 1,
+            },
             LogicError::FaninOrder { gate: 4, fanin: 9 },
             LogicError::FaninBudgetTooSmall { requested: 1 },
             LogicError::NoOutputs,

@@ -274,7 +274,11 @@ impl FromStr for GateKind {
             "XOR" => GateKind::Xor,
             "XNOR" => GateKind::Xnor,
             "MAJ" => GateKind::Maj,
-            _ => return Err(ParseGateKindError { input: s.to_owned() }),
+            _ => {
+                return Err(ParseGateKindError {
+                    input: s.to_owned(),
+                })
+            }
         };
         Ok(kind)
     }
@@ -368,7 +372,13 @@ mod tests {
     #[test]
     fn check_arity_error_payload() {
         let err = GateKind::Maj.check_arity(2).unwrap_err();
-        assert_eq!(err, LogicError::ArityMismatch { kind: GateKind::Maj, got: 2 });
+        assert_eq!(
+            err,
+            LogicError::ArityMismatch {
+                kind: GateKind::Maj,
+                got: 2
+            }
+        );
     }
 
     #[test]
@@ -402,8 +412,14 @@ mod tests {
 
     #[test]
     fn decomposition_core_only_for_reducible_kinds() {
-        assert_eq!(GateKind::Nand.decomposition_core(), Some((GateKind::And, true)));
-        assert_eq!(GateKind::Xor.decomposition_core(), Some((GateKind::Xor, false)));
+        assert_eq!(
+            GateKind::Nand.decomposition_core(),
+            Some((GateKind::And, true))
+        );
+        assert_eq!(
+            GateKind::Xor.decomposition_core(),
+            Some((GateKind::Xor, false))
+        );
         assert_eq!(GateKind::Maj.decomposition_core(), None);
         assert_eq!(GateKind::Not.decomposition_core(), None);
     }

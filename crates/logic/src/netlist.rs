@@ -135,7 +135,12 @@ impl Netlist {
     /// Creates an empty netlist with the given design name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), nodes: Vec::new(), inputs: Vec::new(), outputs: Vec::new() }
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// The design name.
@@ -174,11 +179,17 @@ impl Netlist {
         kind.check_arity(fanins.len())?;
         for &f in fanins {
             if f.index() >= self.nodes.len() {
-                return Err(LogicError::UnknownNode { id: f.index(), len: self.nodes.len() });
+                return Err(LogicError::UnknownNode {
+                    id: f.index(),
+                    len: self.nodes.len(),
+                });
             }
         }
         let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(Node::Gate { kind, fanins: fanins.to_vec() });
+        self.nodes.push(Node::Gate {
+            kind,
+            fanins: fanins.to_vec(),
+        });
         Ok(id)
     }
 
@@ -187,7 +198,11 @@ impl Netlist {
     /// Convenience wrapper over [`Netlist::add_gate`] with
     /// [`GateKind::Const0`]/[`GateKind::Const1`].
     pub fn add_const(&mut self, value: bool) -> NodeId {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.add_gate(kind, &[]).expect("constants have arity 0")
     }
 
@@ -197,10 +212,17 @@ impl Netlist {
     ///
     /// Returns [`LogicError::UnknownNode`] if `driver` does not exist and
     /// [`LogicError::DuplicateOutput`] if the name is already taken.
-    pub fn add_output(&mut self, name: impl Into<String>, driver: NodeId) -> Result<(), LogicError> {
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        driver: NodeId,
+    ) -> Result<(), LogicError> {
         let name = name.into();
         if driver.index() >= self.nodes.len() {
-            return Err(LogicError::UnknownNode { id: driver.index(), len: self.nodes.len() });
+            return Err(LogicError::UnknownNode {
+                id: driver.index(),
+                len: self.nodes.len(),
+            });
         }
         if self.outputs.iter().any(|o| o.name == name) {
             return Err(LogicError::DuplicateOutput { name });
@@ -308,7 +330,10 @@ impl Netlist {
                 kind.check_arity(fanins.len())?;
                 for &f in fanins {
                     if f.index() >= i {
-                        return Err(LogicError::FaninOrder { gate: i, fanin: f.index() });
+                        return Err(LogicError::FaninOrder {
+                            gate: i,
+                            fanin: f.index(),
+                        });
                     }
                 }
             }
@@ -394,7 +419,11 @@ impl Netlist {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn import(&mut self, other: &Netlist, inputs: &[NodeId]) -> Result<Vec<NodeId>, LogicError> {
+    pub fn import(
+        &mut self,
+        other: &Netlist,
+        inputs: &[NodeId],
+    ) -> Result<Vec<NodeId>, LogicError> {
         if inputs.len() != other.input_count() {
             return Err(LogicError::AssignmentLength {
                 expected: other.input_count(),
@@ -403,7 +432,10 @@ impl Netlist {
         }
         for &id in inputs {
             if id.index() >= self.nodes.len() {
-                return Err(LogicError::UnknownNode { id: id.index(), len: self.nodes.len() });
+                return Err(LogicError::UnknownNode {
+                    id: id.index(),
+                    len: self.nodes.len(),
+                });
             }
         }
         let mut map: Vec<NodeId> = Vec::with_capacity(other.node_count());
@@ -424,7 +456,11 @@ impl Netlist {
             };
             map.push(new_id);
         }
-        Ok(other.outputs().iter().map(|o| map[o.driver.index()]).collect())
+        Ok(other
+            .outputs()
+            .iter()
+            .map(|o| map[o.driver.index()])
+            .collect())
     }
 
     /// Evaluates the primary outputs under the given input assignment.
@@ -438,7 +474,11 @@ impl Netlist {
     /// match the number of primary inputs.
     pub fn evaluate(&self, assignment: &[bool]) -> Result<Vec<bool>, LogicError> {
         let values = self.evaluate_nodes(assignment)?;
-        Ok(self.outputs.iter().map(|o| values[o.driver.index()]).collect())
+        Ok(self
+            .outputs
+            .iter()
+            .map(|o| values[o.driver.index()])
+            .collect())
     }
 }
 
@@ -518,7 +558,13 @@ mod tests {
         let y = xor2(&mut nl);
         nl.add_output("y", y).unwrap();
         let err = nl.evaluate(&[true]).unwrap_err();
-        assert_eq!(err, LogicError::AssignmentLength { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            LogicError::AssignmentLength {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -598,7 +644,13 @@ mod tests {
 
         let mut top = Netlist::new("top");
         let err = top.import(&inv, &[]).unwrap_err();
-        assert_eq!(err, LogicError::AssignmentLength { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            LogicError::AssignmentLength {
+                expected: 1,
+                got: 0
+            }
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl CircuitStats {
                 }
             }
         }
-        let avg_fanin = if num_gates == 0 { 0.0 } else { fanin_sum as f64 / num_gates as f64 };
+        let avg_fanin = if num_gates == 0 {
+            0.0
+        } else {
+            fanin_sum as f64 / num_gates as f64
+        };
         CircuitStats {
             name: netlist.name().to_owned(),
             num_inputs: netlist.input_count(),

@@ -50,7 +50,12 @@ pub fn levels(netlist: &Netlist) -> Vec<u32> {
 #[must_use]
 pub fn depth(netlist: &Netlist) -> u32 {
     let levels = levels(netlist);
-    netlist.outputs().iter().map(|o| levels[o.driver.index()]).max().unwrap_or(0)
+    netlist
+        .outputs()
+        .iter()
+        .map(|o| levels[o.driver.index()])
+        .max()
+        .unwrap_or(0)
 }
 
 /// Counts how many gate fanin slots reference each node.
@@ -107,7 +112,8 @@ pub fn cone(netlist: &Netlist, roots: &[NodeId]) -> Vec<NodeId> {
     in_cone
         .iter()
         .enumerate()
-        .filter(|&(_i, &m)| m).map(|(i, &_m)| NodeId::from_index(i))
+        .filter(|&(_i, &m)| m)
+        .map(|(i, &_m)| NodeId::from_index(i))
         .collect()
 }
 

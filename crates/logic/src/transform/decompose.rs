@@ -38,7 +38,9 @@ use crate::netlist::{Netlist, Node, NodeId};
 /// ```
 pub fn decompose_to_max_fanin(netlist: &Netlist, max_fanin: usize) -> Result<Netlist, LogicError> {
     if max_fanin < 2 {
-        return Err(LogicError::FaninBudgetTooSmall { requested: max_fanin });
+        return Err(LogicError::FaninBudgetTooSmall {
+            requested: max_fanin,
+        });
     }
     let mut out = Netlist::new(netlist.name());
     let mut map: Vec<NodeId> = Vec::with_capacity(netlist.node_count());

@@ -90,7 +90,10 @@ mod tests {
         let b = nl.add_input("b");
         let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
         nl.add_output("y", g).unwrap();
-        assert!(matches!(prepare(&nl, 1), Err(LogicError::FaninBudgetTooSmall { .. })));
+        assert!(matches!(
+            prepare(&nl, 1),
+            Err(LogicError::FaninBudgetTooSmall { .. })
+        ));
     }
 
     #[test]

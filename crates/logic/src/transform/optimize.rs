@@ -24,7 +24,10 @@ struct Builder {
 
 impl Builder {
     fn new(name: &str) -> Self {
-        Builder { out: Netlist::new(name), const_cache: [None, None] }
+        Builder {
+            out: Netlist::new(name),
+            const_cache: [None, None],
+        }
     }
 
     /// Returns a node id materializing `repr`, creating a constant node on
@@ -46,7 +49,11 @@ impl Builder {
     }
 
     fn gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> Repr {
-        Repr::Node(self.out.add_gate(kind, fanins).expect("rebuilt gate is valid"))
+        Repr::Node(
+            self.out
+                .add_gate(kind, fanins)
+                .expect("rebuilt gate is valid"),
+        )
     }
 
     /// Emits `x` or `NOT x`, collapsing double negation against the nodes
@@ -55,7 +62,11 @@ impl Builder {
         if !invert {
             return Repr::Node(x);
         }
-        if let Node::Gate { kind: GateKind::Not, fanins } = self.out.node(x) {
+        if let Node::Gate {
+            kind: GateKind::Not,
+            fanins,
+        } = self.out.node(x)
+        {
             return Repr::Node(fanins[0]);
         }
         self.gate(GateKind::Not, &[x])
@@ -103,7 +114,9 @@ pub fn fold_constants(netlist: &Netlist) -> Netlist {
     for out in netlist.outputs() {
         let repr = reprs[out.driver.index()];
         let id = b.materialize(repr);
-        b.out.add_output(out.name.clone(), id).expect("output names unique in source");
+        b.out
+            .add_output(out.name.clone(), id)
+            .expect("output names unique in source");
     }
     b.out
 }
@@ -150,7 +163,11 @@ fn simplify_and_or(b: &mut Builder, fanins: &[Repr], or: bool, complement: bool)
     }
     // x AND NOT(x) is contradictory; x OR NOT(x) is tautological.
     for &x in &nodes {
-        if let Node::Gate { kind: GateKind::Not, fanins } = b.out.node(x) {
+        if let Node::Gate {
+            kind: GateKind::Not,
+            fanins,
+        } = b.out.node(x)
+        {
             if nodes.contains(&fanins[0]) {
                 return Repr::Const(dominating ^ complement);
             }
@@ -191,7 +208,11 @@ fn simplify_xor(b: &mut Builder, fanins: &[Repr], complement: bool) -> Repr {
     loop {
         let mut cancelled = None;
         'scan: for (i, &y) in nodes.iter().enumerate() {
-            if let Node::Gate { kind: GateKind::Not, fanins } = b.out.node(y) {
+            if let Node::Gate {
+                kind: GateKind::Not,
+                fanins,
+            } = b.out.node(y)
+            {
                 if let Some(j) = nodes.iter().position(|&x| x == fanins[0]) {
                     cancelled = Some((i.max(j), i.min(j)));
                     break 'scan;
@@ -211,7 +232,11 @@ fn simplify_xor(b: &mut Builder, fanins: &[Repr], complement: bool) -> Repr {
         0 => Repr::Const(parity),
         1 => b.maybe_invert(nodes[0], parity),
         _ => {
-            let kind = if parity { GateKind::Xnor } else { GateKind::Xor };
+            let kind = if parity {
+                GateKind::Xnor
+            } else {
+                GateKind::Xor
+            };
             b.gate(kind, &nodes)
         }
     }
@@ -219,14 +244,20 @@ fn simplify_xor(b: &mut Builder, fanins: &[Repr], complement: bool) -> Repr {
 
 /// MAJ3 simplifier: constant and duplicate absorption.
 fn simplify_maj(b: &mut Builder, fanins: &[Repr]) -> Repr {
-    let consts: Vec<bool> = fanins.iter().filter_map(|f| match f {
-        Repr::Const(v) => Some(*v),
-        Repr::Node(_) => None,
-    }).collect();
-    let nodes: Vec<NodeId> = fanins.iter().filter_map(|f| match f {
-        Repr::Const(_) => None,
-        Repr::Node(x) => Some(*x),
-    }).collect();
+    let consts: Vec<bool> = fanins
+        .iter()
+        .filter_map(|f| match f {
+            Repr::Const(v) => Some(*v),
+            Repr::Node(_) => None,
+        })
+        .collect();
+    let nodes: Vec<NodeId> = fanins
+        .iter()
+        .filter_map(|f| match f {
+            Repr::Const(_) => None,
+            Repr::Node(x) => Some(*x),
+        })
+        .collect();
     match (consts.len(), nodes.len()) {
         (0, 3) => {
             // MAJ(a, a, b) == a.
@@ -243,7 +274,11 @@ fn simplify_maj(b: &mut Builder, fanins: &[Repr]) -> Repr {
                 return Repr::Node(nodes[0]);
             }
             // MAJ(a, b, 1) == OR(a, b); MAJ(a, b, 0) == AND(a, b).
-            let kind = if consts[0] { GateKind::Or } else { GateKind::And };
+            let kind = if consts[0] {
+                GateKind::Or
+            } else {
+                GateKind::And
+            };
             b.gate(kind, &nodes)
         }
         (2, 1) => {
@@ -289,7 +324,8 @@ pub fn dedupe(netlist: &Netlist) -> Netlist {
         map.push(new_id);
     }
     for o in netlist.outputs() {
-        out.add_output(o.name.clone(), map[o.driver.index()]).expect("unique names");
+        out.add_output(o.name.clone(), map[o.driver.index()])
+            .expect("unique names");
     }
     out
 }

@@ -39,8 +39,9 @@ fn build_random(netlist_seed: u64, inputs: usize, gates: usize) -> Netlist {
             GateKind::Not | GateKind::Buf => 1,
             _ => 2 + (next() % 4) as usize, // fanin 2..=5
         };
-        let fanins: Vec<NodeId> =
-            (0..arity).map(|_| pool[(next() % pool.len() as u64) as usize]).collect();
+        let fanins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[(next() % pool.len() as u64) as usize])
+            .collect();
         let id = nl.add_gate(kind, &fanins).expect("valid construction");
         pool.push(id);
         if g % 5 == 0 {
@@ -50,7 +51,8 @@ fn build_random(netlist_seed: u64, inputs: usize, gates: usize) -> Netlist {
     }
     let gate_pool = &pool[inputs..];
     for i in 0..2.min(gate_pool.len()) {
-        nl.add_output(format!("y{i}"), gate_pool[gate_pool.len() - 1 - i]).unwrap();
+        nl.add_output(format!("y{i}"), gate_pool[gate_pool.len() - 1 - i])
+            .unwrap();
     }
     nl
 }

@@ -94,7 +94,10 @@ mod tests {
         // r = 3: failure = 3p²(1-p) + p³ = 3p² - 2p³.
         for &p in &[0.0, 0.01, 0.1, 0.5, 1.0] {
             let direct = 3.0 * p * p - 2.0 * p * p * p;
-            assert!((binomial_majority_failure(p, 3) - direct).abs() < 1e-12, "p={p}");
+            assert!(
+                (binomial_majority_failure(p, 3) - direct).abs() < 1e-12,
+                "p={p}"
+            );
         }
     }
 
@@ -140,7 +143,10 @@ mod tests {
         let eps = 0.01;
         let from_high = restoration_fixed_point(0.95, eps, 10_000);
         let from_low = restoration_fixed_point(0.05, eps, 10_000);
-        assert!(from_high > 0.9 && from_low < 0.1, "{from_low} .. {from_high}");
+        assert!(
+            from_high > 0.9 && from_low < 0.1,
+            "{from_low} .. {from_high}"
+        );
     }
 
     #[test]

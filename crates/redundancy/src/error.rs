@@ -27,14 +27,22 @@ pub enum RedundancyError {
 
 impl RedundancyError {
     pub(crate) fn bad(name: &'static str, got: usize, requirement: &'static str) -> Self {
-        RedundancyError::BadParameter { name, got, requirement }
+        RedundancyError::BadParameter {
+            name,
+            got,
+            requirement,
+        }
     }
 }
 
 impl fmt::Display for RedundancyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RedundancyError::BadParameter { name, got, requirement } => {
+            RedundancyError::BadParameter {
+                name,
+                got,
+                requirement,
+            } => {
                 write!(f, "parameter `{name}` = {got} {requirement}")
             }
             RedundancyError::Logic(e) => write!(f, "netlist construction failed: {e}"),

@@ -40,6 +40,6 @@ pub mod nmr;
 pub mod voter;
 
 pub use error::RedundancyError;
-pub use multiplex::{multiplex, multiplex_full, Multiplexed, MultiplexConfig};
+pub use multiplex::{multiplex, multiplex_full, MultiplexConfig, Multiplexed};
 pub use nand_form::to_nand2;
 pub use nmr::{nmr, nmr_size_factor};

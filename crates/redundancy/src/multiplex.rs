@@ -39,7 +39,11 @@ pub struct MultiplexConfig {
 
 impl Default for MultiplexConfig {
     fn default() -> Self {
-        MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 0 }
+        MultiplexConfig {
+            bundle: 9,
+            restorative_stages: 1,
+            seed: 0,
+        }
     }
 }
 
@@ -84,10 +88,7 @@ pub struct Multiplexed {
 /// # Ok(())
 /// # }
 /// ```
-pub fn multiplex(
-    netlist: &Netlist,
-    config: &MultiplexConfig,
-) -> Result<Netlist, RedundancyError> {
+pub fn multiplex(netlist: &Netlist, config: &MultiplexConfig) -> Result<Netlist, RedundancyError> {
     Ok(multiplex_full(netlist, config)?.netlist)
 }
 
@@ -114,7 +115,11 @@ pub fn multiplex_full(
         return Err(RedundancyError::bad("bundle", n, "must lie in 3..=63"));
     }
     if netlist.output_count() == 0 {
-        return Err(RedundancyError::bad("outputs", 0, "netlist must drive outputs"));
+        return Err(RedundancyError::bad(
+            "outputs",
+            0,
+            "netlist must drive outputs",
+        ));
     }
     let nand = to_nand2(netlist)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -128,12 +133,21 @@ pub fn multiplex_full(
                 let wire = out.add_input(name.clone());
                 vec![wire; n]
             }
-            Node::Gate { kind: GateKind::Buf, fanins } => bundles[fanins[0].index()].clone(),
-            Node::Gate { kind: kind @ (GateKind::Const0 | GateKind::Const1), .. } => {
+            Node::Gate {
+                kind: GateKind::Buf,
+                fanins,
+            } => bundles[fanins[0].index()].clone(),
+            Node::Gate {
+                kind: kind @ (GateKind::Const0 | GateKind::Const1),
+                ..
+            } => {
                 let c = out.add_gate(*kind, &[])?;
                 vec![c; n]
             }
-            Node::Gate { kind: GateKind::Nand, fanins } => {
+            Node::Gate {
+                kind: GateKind::Nand,
+                fanins,
+            } => {
                 let a = &bundles[fanins[0].index()];
                 let b = &bundles[fanins[1].index()];
                 let mut z = executive_stage(&mut out, a, b, &mut rng)?;
@@ -157,7 +171,10 @@ pub fn multiplex_full(
         out.add_output(o.name.clone(), y)?;
         output_bundles.push(bundle);
     }
-    Ok(Multiplexed { netlist: out, output_bundles })
+    Ok(Multiplexed {
+        netlist: out,
+        output_bundles,
+    })
 }
 
 /// One layer of `n` NANDs over randomly permuted pairings of `a` and `b`.
@@ -217,7 +234,11 @@ mod tests {
     fn multiplexing_preserves_function() {
         let rca = adder::ripple_carry(2).unwrap();
         for stages in [0usize, 1, 2] {
-            let cfg = MultiplexConfig { bundle: 5, restorative_stages: stages, seed: 7 };
+            let cfg = MultiplexConfig {
+                bundle: 5,
+                restorative_stages: stages,
+                seed: 7,
+            };
             let mux = multiplex(&rca, &cfg).unwrap();
             assert!(
                 equivalence::equivalent_exhaustive(&rca, &mux).unwrap(),
@@ -229,7 +250,11 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let p = parity::parity_tree(4, 2).unwrap();
-        let cfg = MultiplexConfig { bundle: 5, restorative_stages: 1, seed: 11 };
+        let cfg = MultiplexConfig {
+            bundle: 5,
+            restorative_stages: 1,
+            seed: 11,
+        };
         assert_eq!(multiplex(&p, &cfg).unwrap(), multiplex(&p, &cfg).unwrap());
         let cfg2 = MultiplexConfig { seed: 12, ..cfg };
         assert_ne!(multiplex(&p, &cfg).unwrap(), multiplex(&p, &cfg2).unwrap());
@@ -249,11 +274,14 @@ mod tests {
         let clean = evaluate_packed(&p, &patterns).unwrap();
         let mut prev = f64::INFINITY;
         for bundle in [3usize, 9, 21] {
-            let cfg = MultiplexConfig { bundle, restorative_stages: 1, seed: 5 };
+            let cfg = MultiplexConfig {
+                bundle,
+                restorative_stages: 1,
+                seed: 5,
+            };
             let mux = multiplex_full(&p, &cfg).unwrap();
-            let noisy =
-                evaluate_noisy(&mux.netlist, &patterns, &NoisyConfig::new(eps, 6).unwrap())
-                    .unwrap();
+            let noisy = evaluate_noisy(&mux.netlist, &patterns, &NoisyConfig::new(eps, 6).unwrap())
+                .unwrap();
             // Ideal resolution: majority over the bundle, off-circuit.
             let mut wrong = 0usize;
             let reference = clean.node(p.outputs()[0].driver);
@@ -283,7 +311,11 @@ mod tests {
         let p = parity::parity_tree(4, 2).unwrap();
         let eps = 0.005;
         let run = |bundle: usize| {
-            let cfg = MultiplexConfig { bundle, restorative_stages: 1, seed: 5 };
+            let cfg = MultiplexConfig {
+                bundle,
+                restorative_stages: 1,
+                seed: 5,
+            };
             let mux = multiplex(&p, &cfg).unwrap();
             monte_carlo(&mux, &NoisyConfig::new(eps, 6).unwrap(), 100_000, 7)
                 .unwrap()
@@ -292,18 +324,37 @@ mod tests {
         let narrow = run(3);
         let mid = run(9);
         let wide = run(21);
-        assert!(mid < narrow, "bundle 9 ({mid}) should beat bundle 3 ({narrow})");
-        assert!(wide > mid, "expected resolver floor: 21 ({wide}) above 9 ({mid})");
+        assert!(
+            mid < narrow,
+            "bundle 9 ({mid}) should beat bundle 3 ({narrow})"
+        );
+        assert!(
+            wide > mid,
+            "expected resolver floor: 21 ({wide}) above 9 ({mid})"
+        );
     }
 
     #[test]
     fn cost_scales_with_bundle_and_stages() {
         let p = parity::parity_tree(4, 2).unwrap();
-        let bare = multiplex(&p, &MultiplexConfig { bundle: 5, restorative_stages: 0, seed: 0 })
-            .unwrap();
-        let restored =
-            multiplex(&p, &MultiplexConfig { bundle: 5, restorative_stages: 1, seed: 0 })
-                .unwrap();
+        let bare = multiplex(
+            &p,
+            &MultiplexConfig {
+                bundle: 5,
+                restorative_stages: 0,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let restored = multiplex(
+            &p,
+            &MultiplexConfig {
+                bundle: 5,
+                restorative_stages: 1,
+                seed: 0,
+            },
+        )
+        .unwrap();
         // Each restorative stage adds 2 extra NAND layers per gate.
         assert!(restored.gate_count() > 2 * bare.gate_count() / 2);
         assert!(restored.gate_count() > bare.gate_count());
@@ -313,7 +364,11 @@ mod tests {
     fn rejects_bad_bundles() {
         let p = parity::parity_tree(3, 2).unwrap();
         for bundle in [0usize, 1, 4, 65] {
-            let cfg = MultiplexConfig { bundle, restorative_stages: 1, seed: 0 };
+            let cfg = MultiplexConfig {
+                bundle,
+                restorative_stages: 1,
+                seed: 0,
+            };
             assert!(multiplex(&p, &cfg).is_err(), "bundle {bundle} accepted");
         }
     }

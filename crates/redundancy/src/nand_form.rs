@@ -60,11 +60,7 @@ fn nand_not(nl: &mut Netlist, x: NodeId) -> Result<NodeId, RedundancyError> {
     Ok(nl.add_gate(GateKind::Nand, &[x, x])?)
 }
 
-fn rewrite_gate(
-    nl: &mut Netlist,
-    kind: GateKind,
-    f: &[NodeId],
-) -> Result<NodeId, RedundancyError> {
+fn rewrite_gate(nl: &mut Netlist, kind: GateKind, f: &[NodeId]) -> Result<NodeId, RedundancyError> {
     Ok(match kind {
         GateKind::Const0 | GateKind::Const1 => nl.add_gate(kind, &[])?,
         GateKind::Buf => nl.add_gate(GateKind::Buf, &[f[0]])?,

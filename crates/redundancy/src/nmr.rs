@@ -42,7 +42,11 @@ use crate::voter::majority_voter;
 /// ```
 pub fn nmr(netlist: &Netlist, r: usize) -> Result<Netlist, RedundancyError> {
     if netlist.output_count() == 0 {
-        return Err(RedundancyError::bad("outputs", 0, "netlist must drive outputs"));
+        return Err(RedundancyError::bad(
+            "outputs",
+            0,
+            "netlist must drive outputs",
+        ));
     }
     let voter = majority_voter(r)?; // validates r
     let mut out = Netlist::new(format!("{}_nmr{r}", netlist.name()));
@@ -155,7 +159,10 @@ mod tests {
     fn input_names_survive() {
         let rca = adder::ripple_carry(2).unwrap();
         let red = nmr(&rca, 3).unwrap();
-        assert_eq!(red.signal_name(red.inputs()[0]), rca.signal_name(rca.inputs()[0]));
+        assert_eq!(
+            red.signal_name(red.inputs()[0]),
+            rca.signal_name(rca.inputs()[0])
+        );
     }
 
     #[test]

@@ -11,15 +11,22 @@ use nanobound_redundancy::{multiplex, nmr, to_nand2, MultiplexConfig};
 use nanobound_sim::equivalence;
 
 fn small_dag() -> impl Strategy<Value = RandomDagConfig> {
-    (1usize..=6, 1usize..=18, 2usize..=3, 1usize..=3, any::<u64>()).prop_map(
-        |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
-            inputs,
-            gates,
-            max_fanin,
-            outputs,
-            seed,
-        },
+    (
+        1usize..=6,
+        1usize..=18,
+        2usize..=3,
+        1usize..=3,
+        any::<u64>(),
     )
+        .prop_map(
+            |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
+                inputs,
+                gates,
+                max_fanin,
+                outputs,
+                seed,
+            },
+        )
 }
 
 proptest! {

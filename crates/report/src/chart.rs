@@ -20,7 +20,10 @@ impl Series {
     /// Creates a named series from `(x, y)` pairs.
     #[must_use]
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points }
+        Series {
+            name: name.into(),
+            points,
+        }
     }
 }
 
@@ -110,10 +113,7 @@ impl Chart {
         let tx = |x: f64| if self.log_x { x.log10() } else { x };
         let ty = |y: f64| if self.log_y { y.log10() } else { y };
         let usable = |x: f64, y: f64| {
-            x.is_finite()
-                && y.is_finite()
-                && (!self.log_x || x > 0.0)
-                && (!self.log_y || y > 0.0)
+            x.is_finite() && y.is_finite() && (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0)
         };
 
         let mut xs: Vec<f64> = Vec::new();
@@ -214,7 +214,12 @@ mod tests {
     use super::*;
 
     fn line(name: &str, slope: f64) -> Series {
-        Series::new(name, (0..=10).map(|i| (f64::from(i), slope * f64::from(i))).collect())
+        Series::new(
+            name,
+            (0..=10)
+                .map(|i| (f64::from(i), slope * f64::from(i)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -242,7 +247,10 @@ mod tests {
     #[test]
     fn log_y_positions_decades_evenly() {
         let mut c = Chart::new("t", "x", "y").log_y();
-        c.add(Series::new("d", vec![(0.0, 1.0), (1.0, 10.0), (2.0, 100.0)]));
+        c.add(Series::new(
+            "d",
+            vec![(0.0, 1.0), (1.0, 10.0), (2.0, 100.0)],
+        ));
         let art = c.render(21, 5);
         let rows: Vec<&str> = art.lines().collect();
         // Rows 1..=5 are the grid; points at top, middle, bottom.
@@ -255,7 +263,10 @@ mod tests {
     #[test]
     fn log_axes_drop_nonpositive_points() {
         let mut c = Chart::new("t", "x", "y").log_y().log_x();
-        c.add(Series::new("d", vec![(0.0, 1.0), (-1.0, 10.0), (1.0, 0.0), (1.0, 10.0)]));
+        c.add(Series::new(
+            "d",
+            vec![(0.0, 1.0), (-1.0, 10.0), (1.0, 0.0), (1.0, 10.0)],
+        ));
         let art = c.render(20, 6);
         // Only (1, 10) is plottable; it becomes a degenerate range, padded.
         assert!(art.matches('*').count() >= 1);

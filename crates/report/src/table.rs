@@ -76,7 +76,11 @@ pub struct RowLengthError {
 
 impl fmt::Display for RowLengthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "row has {} cells, table has {} columns", self.got, self.expected)
+        write!(
+            f,
+            "row has {} cells, table has {} columns",
+            self.got, self.expected
+        )
     }
 }
 
@@ -150,7 +154,10 @@ impl Table {
     {
         let row: Vec<Cell> = cells.into_iter().collect();
         if row.len() != self.columns.len() {
-            return Err(RowLengthError { expected: self.columns.len(), got: row.len() });
+            return Err(RowLengthError {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         self.rows.push(row);
         Ok(())
@@ -237,8 +244,10 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("demo", ["name", "value", "bound"]);
-        t.push_row([Cell::from("alpha"), Cell::from(1.5), Cell::from(Some(2.0))]).unwrap();
-        t.push_row([Cell::from("beta"), Cell::from(0.001234), Cell::from(None)]).unwrap();
+        t.push_row([Cell::from("alpha"), Cell::from(1.5), Cell::from(Some(2.0))])
+            .unwrap();
+        t.push_row([Cell::from("beta"), Cell::from(0.001234), Cell::from(None)])
+            .unwrap();
         t
     }
 
@@ -255,7 +264,8 @@ mod tests {
     #[test]
     fn csv_escapes_special_fields() {
         let mut t = Table::new("x", ["a", "b"]);
-        t.push_row([Cell::from("with,comma"), Cell::from("with \"quote\"")]).unwrap();
+        t.push_row([Cell::from("with,comma"), Cell::from("with \"quote\"")])
+            .unwrap();
         let csv = t.to_csv();
         assert!(csv.contains("\"with,comma\""));
         assert!(csv.contains("\"with \"\"quote\"\"\""));
@@ -276,7 +286,13 @@ mod tests {
     fn row_length_checked() {
         let mut t = Table::new("x", ["a", "b"]);
         let err = t.push_row([Cell::from(1.0)]).unwrap_err();
-        assert_eq!(err, RowLengthError { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            RowLengthError {
+                expected: 2,
+                got: 1
+            }
+        );
         assert!(err.to_string().contains("2 columns"));
     }
 

@@ -80,7 +80,11 @@ pub fn activity_of_values(netlist: &Netlist, values: &NodeValues) -> ActivityPro
     for id in netlist.node_ids() {
         let p = values.probability(id);
         let sw = toggle_count(values.node(id), count) as f64 / transitions as f64;
-        if netlist.node(id).kind().is_some_and(GateKind::counts_as_gate) {
+        if netlist
+            .node(id)
+            .kind()
+            .is_some_and(GateKind::counts_as_gate)
+        {
             gate_sw_sum += sw;
             gate_p_sum += p;
             gates += 1;
@@ -208,7 +212,10 @@ mod tests {
         let sw = profile.switching_activity[g.index()];
         assert!((p - 1.0 / 16.0).abs() < 0.01, "p = {p}");
         // Independent vectors: sw = 2 p (1-p).
-        assert!((sw - activity_from_probability(p)).abs() < 0.01, "sw = {sw}");
+        assert!(
+            (sw - activity_from_probability(p)).abs() < 0.01,
+            "sw = {sw}"
+        );
     }
 
     #[test]

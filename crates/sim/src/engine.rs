@@ -44,7 +44,11 @@ impl NodeValues {
         let stream = self.node(id);
         let mut ones: u64 = 0;
         for (w, &x) in stream.iter().enumerate() {
-            let m = if w + 1 == stream.len() { tail_mask(self.count) } else { !0 };
+            let m = if w + 1 == stream.len() {
+                tail_mask(self.count)
+            } else {
+                !0
+            };
             ones += u64::from((x & m).count_ones());
         }
         ones
@@ -207,7 +211,11 @@ mod tests {
             let assignment = patterns.assignment(p);
             let scalar = nl.evaluate_nodes(&assignment).unwrap();
             for id in nl.node_ids() {
-                assert_eq!(packed.bit(id, p), scalar[id.index()], "node {id} pattern {p}");
+                assert_eq!(
+                    packed.bit(id, p),
+                    scalar[id.index()],
+                    "node {id} pattern {p}"
+                );
             }
         }
     }
@@ -257,7 +265,13 @@ mod tests {
         let a = nl.add_input("a");
         nl.add_output("y", a).unwrap();
         let err = evaluate_packed(&nl, &PatternSet::exhaustive(3).unwrap()).unwrap_err();
-        assert_eq!(err, SimError::InputMismatch { expected: 1, got: 3 });
+        assert_eq!(
+            err,
+            SimError::InputMismatch {
+                expected: 1,
+                got: 3
+            }
+        );
     }
 
     #[test]

@@ -190,7 +190,9 @@ mod tests {
         let b = and.add_input("b");
         let g = and.add_gate(GateKind::And, &[a, b]).unwrap();
         and.add_output("y", g).unwrap();
-        let cex = find_mismatch_exhaustive(&xor, &and).unwrap().expect("must differ");
+        let cex = find_mismatch_exhaustive(&xor, &and)
+            .unwrap()
+            .expect("must differ");
         assert_ne!(xor.evaluate(&cex).unwrap(), and.evaluate(&cex).unwrap());
     }
 
@@ -204,7 +206,10 @@ mod tests {
         let g = wide.add_gate(GateKind::Xor, &[a, b, c]).unwrap();
         wide.add_output("y", g).unwrap();
         let err = find_mismatch_exhaustive(&xor, &wide).unwrap_err();
-        assert!(matches!(err, SimError::InterfaceMismatch { what: "inputs", .. }));
+        assert!(matches!(
+            err,
+            SimError::InterfaceMismatch { what: "inputs", .. }
+        ));
     }
 
     #[test]

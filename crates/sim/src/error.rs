@@ -49,7 +49,11 @@ impl SimError {
         got: impl fmt::Display,
         requirement: &'static str,
     ) -> Self {
-        SimError::BadParameter { name, got: got.to_string(), requirement }
+        SimError::BadParameter {
+            name,
+            got: got.to_string(),
+            requirement,
+        }
     }
 }
 
@@ -57,15 +61,25 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InputMismatch { expected, got } => {
-                write!(f, "pattern set has {got} inputs, netlist declares {expected}")
+                write!(
+                    f,
+                    "pattern set has {got} inputs, netlist declares {expected}"
+                )
             }
             SimError::InterfaceMismatch { what, left, right } => {
                 write!(f, "netlists differ in {what}: {left} vs {right}")
             }
             SimError::TooManyInputs { inputs, limit } => {
-                write!(f, "exhaustive analysis limited to {limit} inputs, circuit has {inputs}")
+                write!(
+                    f,
+                    "exhaustive analysis limited to {limit} inputs, circuit has {inputs}"
+                )
             }
-            SimError::BadParameter { name, got, requirement } => {
+            SimError::BadParameter {
+                name,
+                got,
+                requirement,
+            } => {
                 write!(f, "parameter `{name}` = {got} {requirement}")
             }
         }
@@ -80,13 +94,23 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = SimError::InputMismatch { expected: 4, got: 2 };
+        let e = SimError::InputMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4'));
-        let e = SimError::TooManyInputs { inputs: 40, limit: 20 };
+        let e = SimError::TooManyInputs {
+            inputs: 40,
+            limit: 20,
+        };
         assert!(e.to_string().contains("40"));
         let e = SimError::bad("epsilon", 1.5, "must lie in [0, 1]");
         assert!(e.to_string().contains("epsilon"));
-        let e = SimError::InterfaceMismatch { what: "outputs", left: 1, right: 2 };
+        let e = SimError::InterfaceMismatch {
+            what: "outputs",
+            left: 1,
+            right: 2,
+        };
         assert!(e.to_string().contains("outputs"));
     }
 }

@@ -153,7 +153,11 @@ pub fn monte_carlo(
 /// Panics if the two runs have different pattern counts.
 #[must_use]
 pub fn compare_runs(netlist: &Netlist, clean: &NodeValues, noisy: &NodeValues) -> NoisyOutcome {
-    assert_eq!(clean.count(), noisy.count(), "runs cover different pattern counts");
+    assert_eq!(
+        clean.count(),
+        noisy.count(),
+        "runs cover different pattern counts"
+    );
     let count = clean.count();
     let words = count.div_ceil(64);
     let tail = tail_mask(count);
@@ -225,8 +229,7 @@ mod tests {
     fn single_gate_error_rate_is_epsilon() {
         let nl = single_gate(GateKind::And, 2);
         for &eps in &[0.05, 0.2, 0.5] {
-            let out =
-                monte_carlo(&nl, &NoisyConfig::new(eps, 3).unwrap(), 100_000, 4).unwrap();
+            let out = monte_carlo(&nl, &NoisyConfig::new(eps, 3).unwrap(), 100_000, 4).unwrap();
             let sigma = (eps * (1.0 - eps) / 100_000.0).sqrt();
             assert!(
                 (out.circuit_error_rate - eps).abs() < 6.0 * sigma,
@@ -242,8 +245,7 @@ mod tests {
         // closed form within Monte-Carlo error.
         let nl = single_gate(GateKind::And, 3); // low-activity output
         for &eps in &[0.01, 0.1, 0.3] {
-            let out =
-                monte_carlo(&nl, &NoisyConfig::new(eps, 5).unwrap(), 200_000, 6).unwrap();
+            let out = monte_carlo(&nl, &NoisyConfig::new(eps, 5).unwrap(), 200_000, 6).unwrap();
             let predicted = theorem1_prediction(out.clean_avg_gate_activity, eps);
             assert!(
                 (out.noisy_avg_gate_activity - predicted).abs() < 0.01,
@@ -282,8 +284,7 @@ mod tests {
         }
         nl.add_output("y", node).unwrap();
         let eps = 0.01;
-        let out =
-            monte_carlo(&nl, &NoisyConfig::new(eps, 11).unwrap(), 200_000, 12).unwrap();
+        let out = monte_carlo(&nl, &NoisyConfig::new(eps, 11).unwrap(), 200_000, 12).unwrap();
         // Output wrong iff an odd number of the 20 channels flip:
         // P = (1 - (1-2ε)^20) / 2 ≈ 0.1655.
         let expected = (1.0 - (1.0 - 2.0 * eps).powi(20)) / 2.0;

@@ -45,7 +45,10 @@ impl PatternSet {
     /// ```
     pub fn exhaustive(num_inputs: usize) -> Result<Self, SimError> {
         if num_inputs > EXHAUSTIVE_LIMIT {
-            return Err(SimError::TooManyInputs { inputs: num_inputs, limit: EXHAUSTIVE_LIMIT });
+            return Err(SimError::TooManyInputs {
+                inputs: num_inputs,
+                limit: EXHAUSTIVE_LIMIT,
+            });
         }
         let count = 1usize << num_inputs;
         let words_per_signal = count.div_ceil(64);
@@ -152,7 +155,10 @@ impl PatternSet {
     #[must_use]
     pub fn assignment(&self, p: usize) -> Vec<bool> {
         assert!(p < self.count, "pattern {p} out of range {}", self.count);
-        self.words.iter().map(|s| s[p / 64] >> (p % 64) & 1 == 1).collect()
+        self.words
+            .iter()
+            .map(|s| s[p / 64] >> (p % 64) & 1 == 1)
+            .collect()
     }
 
     /// Returns a copy with input `i`'s stream complemented — every
@@ -229,7 +235,13 @@ mod tests {
     #[test]
     fn exhaustive_rejects_large_n() {
         let err = PatternSet::exhaustive(30).unwrap_err();
-        assert_eq!(err, SimError::TooManyInputs { inputs: 30, limit: EXHAUSTIVE_LIMIT });
+        assert_eq!(
+            err,
+            SimError::TooManyInputs {
+                inputs: 30,
+                limit: EXHAUSTIVE_LIMIT
+            }
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl SensitivityEstimate {
 pub fn exact(netlist: &Netlist) -> Result<u32, SimError> {
     let n = netlist.input_count();
     if n > EXACT_LIMIT {
-        return Err(SimError::TooManyInputs { inputs: n, limit: EXACT_LIMIT });
+        return Err(SimError::TooManyInputs {
+            inputs: n,
+            limit: EXACT_LIMIT,
+        });
     }
     if n == 0 {
         return Ok(0);
@@ -242,7 +245,11 @@ mod tests {
     fn adder_sensitivity_matches_analytic() {
         for w in [2usize, 4, 6] {
             let rca = adder::ripple_carry(w).unwrap();
-            assert_eq!(exact(&rca).unwrap(), adder::adder_sensitivity(w), "width {w}");
+            assert_eq!(
+                exact(&rca).unwrap(),
+                adder::adder_sensitivity(w),
+                "width {w}"
+            );
         }
     }
 
@@ -271,7 +278,10 @@ mod tests {
     #[test]
     fn exact_rejects_wide_circuits() {
         let rca = adder::ripple_carry(12).unwrap(); // 25 inputs
-        assert!(matches!(exact(&rca), Err(SimError::TooManyInputs { inputs: 25, .. })));
+        assert!(matches!(
+            exact(&rca),
+            Err(SimError::TooManyInputs { inputs: 25, .. })
+        ));
     }
 
     #[test]

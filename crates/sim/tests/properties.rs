@@ -11,15 +11,22 @@ use nanobound_sim::{
 };
 
 fn small_dag() -> impl Strategy<Value = RandomDagConfig> {
-    (1usize..=8, 1usize..=40, 2usize..=4, 1usize..=4, any::<u64>()).prop_map(
-        |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
-            inputs,
-            gates,
-            max_fanin,
-            outputs,
-            seed,
-        },
+    (
+        1usize..=8,
+        1usize..=40,
+        2usize..=4,
+        1usize..=4,
+        any::<u64>(),
     )
+        .prop_map(
+            |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
+                inputs,
+                gates,
+                max_fanin,
+                outputs,
+                seed,
+            },
+        )
 }
 
 proptest! {

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile.depth,
         profile.activity,
     )?;
-    let base = BaselineCircuit { size: profile.size, depth: profile.depth };
+    let base = BaselineCircuit {
+        size: profile.size,
+        depth: profile.depth,
+    };
     println!("technology: {tech}\n");
 
     let nominal = at_nominal(&tech, base, profile.activity, &variant)?;

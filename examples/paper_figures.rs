@@ -11,13 +11,17 @@ use std::fs;
 use std::path::Path;
 
 use nanobound::experiments::profiles::{profile_suite, ProfileConfig};
-use nanobound::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline, validation};
 use nanobound::experiments::FigureOutput;
+use nanobound::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline, validation};
 
 fn save(dir: &Path, fig: &FigureOutput) -> std::io::Result<()> {
     println!("{}", fig.render());
     for (i, table) in fig.tables.iter().enumerate() {
-        let suffix = if fig.tables.len() > 1 { format!("_{i}") } else { String::new() };
+        let suffix = if fig.tables.len() > 1 {
+            format!("_{i}")
+        } else {
+            String::new()
+        };
         let path = dir.join(format!("{}{suffix}.csv", fig.id));
         fs::write(&path, table.to_csv())?;
         println!("wrote {}", path.display());

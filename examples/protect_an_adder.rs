@@ -31,17 +31,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("5MR", nmr(&rca, 5)?),
         (
             "mux n=5",
-            multiplex(&rca, &MultiplexConfig { bundle: 5, restorative_stages: 1, seed: 3 })?,
+            multiplex(
+                &rca,
+                &MultiplexConfig {
+                    bundle: 5,
+                    restorative_stages: 1,
+                    seed: 3,
+                },
+            )?,
         ),
         (
             "mux n=9",
-            multiplex(&rca, &MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 3 })?,
+            multiplex(
+                &rca,
+                &MultiplexConfig {
+                    bundle: 9,
+                    restorative_stages: 1,
+                    seed: 3,
+                },
+            )?,
         ),
     ];
 
     let mut table = Table::new(
         "protection schemes at eps = 0.002 (8-bit ripple-carry adder)",
-        ["scheme", "gates", "size factor", "achieved delta", "bound size factor", "slack"],
+        [
+            "scheme",
+            "gates",
+            "size factor",
+            "achieved delta",
+            "bound size factor",
+            "slack",
+        ],
     );
     let config = NoisyConfig::new(EPSILON, 11)?;
     for (name, netlist) in &candidates {

@@ -24,12 +24,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (epsilon, delta) = (0.01, 0.01);
     let report = BoundReport::evaluate(&profiled.profile, epsilon, delta)?;
     println!("\nbounds at eps = {epsilon}, delta = {delta}:");
-    println!("  noisy activity (Thm 1)      : {:.4}", report.noisy_activity);
-    println!("  added gates (Thm 2)         : >= {:.2}", report.redundancy_gates);
-    println!("  size factor                 : >= {:.3}x", report.size_factor);
-    println!("  switching energy (Cor 2)    : >= {:.3}x", report.switching_energy_factor);
-    println!("  leakage/switching (Thm 3)   : {:.3}x", report.leakage_ratio_factor);
-    println!("  total energy (leak 50%)     : >= {:.3}x", report.total_energy_factor);
+    println!(
+        "  noisy activity (Thm 1)      : {:.4}",
+        report.noisy_activity
+    );
+    println!(
+        "  added gates (Thm 2)         : >= {:.2}",
+        report.redundancy_gates
+    );
+    println!(
+        "  size factor                 : >= {:.3}x",
+        report.size_factor
+    );
+    println!(
+        "  switching energy (Cor 2)    : >= {:.3}x",
+        report.switching_energy_factor
+    );
+    println!(
+        "  leakage/switching (Thm 3)   : {:.3}x",
+        report.leakage_ratio_factor
+    );
+    println!(
+        "  total energy (leak 50%)     : >= {:.3}x",
+        report.total_energy_factor
+    );
     match report.depth_bound {
         DepthBound::Bounded(levels) => {
             println!("  logic depth (Thm 4)         : >= {levels:.2} levels");
@@ -39,9 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  reliable computation IMPOSSIBLE beyond {max_inputs:.1} inputs");
         }
     }
-    if let (Some(d), Some(p), Some(edp)) =
-        (report.delay_factor, report.average_power_factor, report.energy_delay_factor)
-    {
+    if let (Some(d), Some(p), Some(edp)) = (
+        report.delay_factor,
+        report.average_power_factor,
+        report.energy_delay_factor,
+    ) {
         println!("  delay                       : >= {d:.3}x");
         println!("  average power               : >= {p:.3}x");
         println!("  energy x delay              : >= {edp:.3}x");

@@ -50,7 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "4-bit counter unrolled over T frames — bounds at eps = 1%, delta = 1%",
-        ["frames", "S0", "depth", "sw0", "energy bound", "delay bound", "EDP bound"],
+        [
+            "frames",
+            "S0",
+            "depth",
+            "sw0",
+            "energy bound",
+            "delay bound",
+            "EDP bound",
+        ],
     );
     let config = ProfileConfig::default();
     for frames in [1usize, 2, 4, 8, 16] {
@@ -78,9 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let five = unroll::unroll(&design, 5, &[false; 4])?;
     let outs = five.evaluate(&[true; 5])?;
     let states: Vec<u8> = (0..5)
-        .map(|t| {
-            (0..4).fold(0u8, |acc, b| acc | (u8::from(outs[4 * t + b]) << b))
-        })
+        .map(|t| (0..4).fold(0u8, |acc, b| acc | (u8::from(outs[4 * t + b]) << b)))
         .collect();
     println!("\ncounting check over 5 enabled frames: {states:?}");
     Ok(())

@@ -67,9 +67,12 @@ BOUNDS OPTIONS:
     --eps, --delta, --leak as above
 ";
 
+/// Parsed `--name value` pairs, in order of appearance.
+type Flags = Vec<(String, String)>;
+
 /// Pulls `--name value` pairs out of an argument list; returns the
 /// positional arguments.
-fn parse_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
@@ -87,20 +90,28 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), 
 }
 
 fn flag_values<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
-    flags.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect()
 }
 
 fn flag_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
     match flag_values(flags, name).last() {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: `{v}` is not a number")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: `{v}` is not a number")),
     }
 }
 
 fn flag_usize(flags: &[(String, String)], name: &str, default: usize) -> Result<usize, String> {
     match flag_values(flags, name).last() {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: `{v}` is not an integer")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: `{v}` is not an integer")),
     }
 }
 
@@ -111,13 +122,19 @@ fn epsilons(flags: &[(String, String)]) -> Result<Vec<f64>, String> {
     }
     supplied
         .iter()
-        .map(|v| v.parse().map_err(|_| format!("--eps: `{v}` is not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--eps: `{v}` is not a number"))
+        })
         .collect()
 }
 
 fn load_design(path: &str) -> Result<Design, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if Path::new(path).extension().is_some_and(|e| e.eq_ignore_ascii_case("blif")) {
+    if Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("blif"))
+    {
         blif::parse(&text).map_err(|e| format!("{path}: {e}"))
     } else {
         bench::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -127,7 +144,9 @@ fn load_design(path: &str) -> Result<Design, String> {
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
     let [path] = positional.as_slice() else {
-        return Err(format!("`profile` expects exactly one netlist file\n\n{USAGE}"));
+        return Err(format!(
+            "`profile` expects exactly one netlist file\n\n{USAGE}"
+        ));
     };
     let delta = flag_f64(&flags, "delta", 0.01)?;
     let frames = flag_usize(&flags, "frames", 4)?;
@@ -145,7 +164,11 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     } else {
         design.netlist
     };
-    let config = ProfileConfig { patterns, leak_share: leak, ..Default::default() };
+    let config = ProfileConfig {
+        patterns,
+        leak_share: leak,
+        ..Default::default()
+    };
     let profiled = profile_netlist(&netlist, None, &config).map_err(|e| e.to_string())?;
     println!("profile: {}", profiled.profile);
     print_reports(&profiled.profile, &eps, delta)
@@ -186,9 +209,14 @@ fn print_reports(profile: &CircuitProfile, epsilons: &[f64], delta: f64) -> Resu
     for &eps in epsilons {
         let r = BoundReport::evaluate(profile, eps, delta).map_err(|e| e.to_string())?;
         println!("\nbounds at eps = {eps}, delta = {delta}:");
-        println!("  size        >= {:.4}x  ({:.1} added gates)", r.size_factor, r.redundancy_gates);
-        println!("  energy      >= {:.4}x  (switching-only: {:.4}x)",
-            r.total_energy_factor, r.switching_energy_factor);
+        println!(
+            "  size        >= {:.4}x  ({:.1} added gates)",
+            r.size_factor, r.redundancy_gates
+        );
+        println!(
+            "  energy      >= {:.4}x  (switching-only: {:.4}x)",
+            r.total_energy_factor, r.switching_energy_factor
+        );
         println!("  leakage/switching ratio: {:.4}x", r.leakage_ratio_factor);
         match r.depth_bound {
             DepthBound::Bounded(d) => println!("  depth       >= {d:.2} levels"),
@@ -197,7 +225,11 @@ fn print_reports(profile: &CircuitProfile, epsilons: &[f64], delta: f64) -> Resu
                 "  INFEASIBLE  : reliable computation impossible beyond {max_inputs:.1} inputs"
             ),
         }
-        match (r.delay_factor, r.average_power_factor, r.energy_delay_factor) {
+        match (
+            r.delay_factor,
+            r.average_power_factor,
+            r.energy_delay_factor,
+        ) {
             (Some(d), Some(p), Some(e)) => {
                 println!("  delay       >= {d:.4}x   power >= {p:.4}x   EDP >= {e:.4}x");
             }
@@ -212,7 +244,11 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
     if !positional.is_empty() {
         return Err(format!("`figures` takes only flags\n\n{USAGE}"));
     }
-    let dir = flag_values(&flags, "out").last().copied().unwrap_or("results").to_owned();
+    let dir = flag_values(&flags, "out")
+        .last()
+        .copied()
+        .unwrap_or("results")
+        .to_owned();
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
 
     use nanobound::experiments::profiles::profile_suite;
@@ -231,7 +267,11 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
     for fig in figures {
         let fig = fig.map_err(|e| e.to_string())?;
         for (i, table) in fig.tables.iter().enumerate() {
-            let suffix = if fig.tables.len() > 1 { format!("_{i}") } else { String::new() };
+            let suffix = if fig.tables.len() > 1 {
+                format!("_{i}")
+            } else {
+                String::new()
+            };
             let path = format!("{dir}/{}{suffix}.csv", fig.id);
             fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("wrote {path}");

@@ -78,8 +78,14 @@ fn profile_unrolls_sequential_designs() {
         "INPUT(en)\nOUTPUT(count)\nq = DFF(next)\nnext = XOR(q, en)\ncount = BUFF(q)\n",
     )
     .unwrap();
-    let (ok, out, err) =
-        run(&["profile", path.to_str().unwrap(), "--frames", "3", "--eps", "0.01"]);
+    let (ok, out, err) = run(&[
+        "profile",
+        path.to_str().unwrap(),
+        "--frames",
+        "3",
+        "--eps",
+        "0.01",
+    ]);
     assert!(ok, "stderr: {err}");
     assert!(out.contains("unrolling 3 time frames"), "out: {out}");
 }
@@ -93,6 +99,27 @@ fn profile_reports_parse_errors() {
     let (ok, _, err) = run(&["profile", path.to_str().unwrap()]);
     assert!(!ok);
     assert!(err.contains("error"), "stderr: {err}");
+}
+
+#[test]
+fn figures_writes_csv_files() {
+    let dir = std::env::temp_dir().join("nanobound_cli_test_figures");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, out, err) = run(&["figures", "--out", dir.to_str().unwrap()]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("wrote "), "out: {out}");
+    let csvs = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "csv")
+        })
+        .count();
+    assert!(csvs >= 8, "expected every figure as CSV, found {csvs}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -44,21 +44,22 @@ fn all_schemes_respect_the_strict_size_bound() {
         ("5mr".into(), nmr(&rca, 5).unwrap()),
         (
             "mux5".into(),
-            multiplex(&rca, &MultiplexConfig { bundle: 5, restorative_stages: 1, seed: 9 })
-                .unwrap(),
+            multiplex(
+                &rca,
+                &MultiplexConfig {
+                    bundle: 5,
+                    restorative_stages: 1,
+                    seed: 9,
+                },
+            )
+            .unwrap(),
         ),
     ];
     for (name, scheme) in &schemes {
         let out = monte_carlo(scheme, &config, 100_000, 8).unwrap();
         let actual = scheme.gate_count() as f64 / s0;
-        let bound = strict_size_factor(
-            s0,
-            s,
-            2.0,
-            eps,
-            out.circuit_error_rate.clamp(1e-9, 0.499),
-        )
-        .unwrap();
+        let bound =
+            strict_size_factor(s0, s, 2.0, eps, out.circuit_error_rate.clamp(1e-9, 0.499)).unwrap();
         assert!(
             actual + 1e-9 >= bound,
             "{name}: actual factor {actual} below bound {bound}"
@@ -71,8 +72,15 @@ fn protected_circuits_keep_the_function() {
     let rca = adder::ripple_carry(3).unwrap();
     let tmr = nmr(&rca, 3).unwrap();
     assert!(equivalence::equivalent_exhaustive(&rca, &tmr).unwrap());
-    let mux = multiplex(&rca, &MultiplexConfig { bundle: 5, restorative_stages: 2, seed: 2 })
-        .unwrap();
+    let mux = multiplex(
+        &rca,
+        &MultiplexConfig {
+            bundle: 5,
+            restorative_stages: 2,
+            seed: 2,
+        },
+    )
+    .unwrap();
     assert!(equivalence::equivalent_exhaustive(&rca, &mux).unwrap());
 }
 
@@ -112,8 +120,16 @@ fn restoration_threshold_separates_regimes_in_simulation() {
     // statistics from resolver noise.
     let chain = parity::parity_chain(16).unwrap(); // deep: 15 chained XORs
     let below = NoisyConfig::new(0.01, 3).unwrap();
-    let plain_cfg = MultiplexConfig { bundle: 9, restorative_stages: 0, seed: 4 };
-    let restored_cfg = MultiplexConfig { bundle: 9, restorative_stages: 1, seed: 4 };
+    let plain_cfg = MultiplexConfig {
+        bundle: 9,
+        restorative_stages: 0,
+        seed: 4,
+    };
+    let restored_cfg = MultiplexConfig {
+        bundle: 9,
+        restorative_stages: 1,
+        seed: 4,
+    };
 
     let plain_low = ideal_resolution_error(&chain, &plain_cfg, &below, 60_000);
     let restored_low = ideal_resolution_error(&chain, &restored_cfg, &below, 60_000);

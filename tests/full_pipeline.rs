@@ -8,7 +8,11 @@ use nanobound::logic::{transform, CircuitStats};
 use nanobound::sim::equivalence;
 
 fn quick_config() -> ProfileConfig {
-    ProfileConfig { patterns: 2_000, sensitivity_samples: 128, ..Default::default() }
+    ProfileConfig {
+        patterns: 2_000,
+        sensitivity_samples: 128,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -16,7 +20,12 @@ fn pipeline_preserves_function_and_respects_fanin() {
     for b in standard_suite().unwrap() {
         let mapped = transform::prepare(&b.netlist, 3).unwrap();
         let stats = CircuitStats::of(&mapped);
-        assert!(stats.max_fanin <= 3, "{}: fanin {}", b.name, stats.max_fanin);
+        assert!(
+            stats.max_fanin <= 3,
+            "{}: fanin {}",
+            b.name,
+            stats.max_fanin
+        );
         // Function preserved: exhaustive where cheap, random elsewhere.
         let equivalent = if b.netlist.input_count() <= 14 {
             equivalence::equivalent_exhaustive(&b.netlist, &mapped).unwrap()
@@ -61,7 +70,10 @@ fn measured_sensitivity_matches_analytic_hint() {
     // analytic value where both are available (exact range).
     let rca = adder::ripple_carry(8).unwrap(); // 17 inputs: exact
     let measured = profile_netlist(&rca, None, &quick_config()).unwrap();
-    assert_eq!(measured.profile.sensitivity, f64::from(adder::adder_sensitivity(8)));
+    assert_eq!(
+        measured.profile.sensitivity,
+        f64::from(adder::adder_sensitivity(8))
+    );
 }
 
 #[test]

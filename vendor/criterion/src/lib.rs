@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal wall-clock harness exposing the API surface its
+//! `perf_*` benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: a short warm-up sizes the batch,
+//! then the median of several timed batches is reported (with a
+//! throughput line when configured). There are no plots, baselines or
+//! significance tests.
+
+use std::time::{Duration, Instant};
+
+/// How a benchmark's workload scales, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stub re-runs setup for
+/// every routine call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the most recent `iter` call.
+    ns_per_iter: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(150);
+const SAMPLES: usize = 7;
+
+impl Bencher {
+    /// Times `routine`, storing the median nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size the batch so one sample is ~10ms.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((10.0e6 / per_iter).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[SAMPLES / 2];
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<40} time: {}", human_time(ns));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (ns / 1e9);
+        line.push_str(&format!("   thrpt: {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    throughput: Option<Throughput>,
+    group: Option<String>,
+}
+
+impl Criterion {
+    fn qualified(&self, name: &str) -> String {
+        match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_owned(),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&self.qualified(name), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Opens a named group; benches inside share its throughput setting.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        self.group = Some(name.to_owned());
+        BenchmarkGroup { c: self }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.c.throughput = t.into();
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.c.bench_function(name, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {
+        self.c.group = None;
+        self.c.throughput = None;
+    }
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_time_scales() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1.5e3), "1.50 µs");
+        assert_eq!(human_time(2.5e6), "2.50 ms");
+        assert_eq!(human_time(3.5e9), "3.500 s");
+    }
+}

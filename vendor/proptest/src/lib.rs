@@ -1,0 +1,325 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest's API its property tests use: the [`proptest!`]
+//! macro (with an optional `#![proptest_config(...)]` header), range /
+//! tuple / `any::<T>()` / [`collection::vec`] / [`sample::select`]
+//! strategies, [`Strategy::prop_map`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! - sampling is **deterministic**: every test function derives its RNG
+//!   seed from its own name, so failures reproduce exactly;
+//! - there is **no shrinking**: a failing case reports the sampled
+//!   inputs (via the assertion message) but is not minimized.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// How many random cases each `proptest!` test executes.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of sampled cases per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 128 }
+        }
+    }
+}
+
+pub mod rng {
+    //! Deterministic RNG used by the runner.
+
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::{Rng, SeedableRng};
+
+    /// FNV-1a hash of a test name, used to give every test its own
+    /// deterministic sample stream.
+    #[must_use]
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut rng::TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut rng::TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut rng::TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut rng::TestRng) -> $t {
+                use rng::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut rng::TestRng) -> $t {
+                use rng::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+/// Uniform full-domain generation, the `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut rng::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rng::TestRng) -> Self {
+                use rng::Rng;
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_uniform!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Strategy generating any value of `T`. Construct with [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut rng::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy: uniform over `T`'s whole domain.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut rng::TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{rng, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `len` and whose
+    /// elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut rng::TestRng) -> Self::Value {
+            use rng::Rng;
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that pick from explicit value sets.
+
+    use super::{rng, Strategy};
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options` (cloned per case).
+    ///
+    /// # Panics
+    ///
+    /// Sampling panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut rng::TestRng) -> T {
+            use rng::Rng;
+            assert!(
+                !self.options.is_empty(),
+                "select() needs at least one option"
+            );
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports of the strategy combinator types.
+
+    pub use super::{Any, Map, Strategy};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias (`prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests.
+///
+/// Each `#[test] fn name(binding in strategy, ...) { body }` item becomes
+/// a normal `#[test]` that samples its bindings `config.cases` times from
+/// a per-test deterministic RNG and runs the body for each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let seed = $crate::rng::seed_from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng = <$crate::rng::TestRng as $crate::rng::SeedableRng>::
+                        seed_from_u64(seed ^ (u64::from(case) << 32));
+                    $(
+                        let $pat = $crate::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
