@@ -5,10 +5,14 @@
 #
 # Runs the same checks a PR must pass, in fail-fast order:
 #   1. release build of every workspace member
-#   2. full test suite (unit, integration, doc-tests, CLI end-to-end)
+#   2. full test suite (unit, integration, doc-tests, CLI end-to-end,
+#      golden-file and parallel-determinism property suites)
 #   3. clippy with warnings denied
 #   4. rustfmt in check mode
-#   5. a figure-bench dry run proving the harness = false targets resolve
+#   5. the figure-bench dry run TWICE — single-threaded and with every
+#      hardware thread — plus a byte-level diff of the `figures` CSVs at
+#      --jobs 1 vs --jobs $(nproc), so any single-thread/multi-thread
+#      divergence in the parallel runner fails the gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,7 +28,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo bench -p nanobound-bench --bench fig3_redundancy (dry run)"
-cargo bench -p nanobound-bench --bench fig3_redundancy >/dev/null
+echo "==> figure-bench dry run, NANOBOUND_JOBS=1 then NANOBOUND_JOBS=$(nproc)"
+NANOBOUND_JOBS=1 cargo bench -p nanobound-bench --bench fig3_redundancy >/dev/null
+NANOBOUND_JOBS="$(nproc)" cargo bench -p nanobound-bench --bench fig3_redundancy >/dev/null
+
+echo "==> determinism gate: figures --jobs 1 vs --jobs $(nproc)"
+detdir="$(mktemp -d)"
+trap 'rm -rf "$detdir"' EXIT
+target/release/nanobound figures --out "$detdir/j1" --jobs 1 >/dev/null
+target/release/nanobound figures --out "$detdir/jn" --jobs "$(nproc)" >/dev/null
+diff -r "$detdir/j1" "$detdir/jn"
 
 echo "CI green."

@@ -3,6 +3,7 @@
 //! Run: `cargo bench -p nanobound-bench --bench fig3_redundancy`
 
 fn main() {
-    let fig = nanobound_experiments::fig3::generate().expect("fixed parameters are valid");
+    let fig = nanobound_experiments::fig3::generate_with(&nanobound_bench::pool_from_env())
+        .expect("fixed parameters are valid");
     nanobound_bench::print_figure(&fig);
 }

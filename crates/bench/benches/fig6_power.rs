@@ -3,6 +3,7 @@
 //! Run: `cargo bench -p nanobound-bench --bench fig6_power`
 
 fn main() {
-    let fig = nanobound_experiments::fig6::generate().expect("fixed parameters are valid");
+    let fig = nanobound_experiments::fig6::generate_with(&nanobound_bench::pool_from_env())
+        .expect("fixed parameters are valid");
     nanobound_bench::print_figure(&fig);
 }

@@ -3,10 +3,11 @@
 //!
 //! Run: `cargo bench -p nanobound-bench --bench fig7_benchmarks`
 
-use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
+use nanobound_experiments::profiles::{profile_suite_with, ProfileConfig};
 
 fn main() {
-    let profiles = profile_suite(&ProfileConfig::default()).expect("suite profiles");
+    let profiles = profile_suite_with(&nanobound_bench::pool_from_env(), &ProfileConfig::default())
+        .expect("suite profiles");
     println!("profiled {} benchmarks:", profiles.len());
     for p in &profiles {
         println!("  {}", p.profile);

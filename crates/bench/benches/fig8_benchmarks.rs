@@ -3,10 +3,11 @@
 //!
 //! Run: `cargo bench -p nanobound-bench --bench fig8_benchmarks`
 
-use nanobound_experiments::profiles::{profile_suite, ProfileConfig};
+use nanobound_experiments::profiles::{profile_suite_with, ProfileConfig};
 
 fn main() {
-    let profiles = profile_suite(&ProfileConfig::default()).expect("suite profiles");
+    let profiles = profile_suite_with(&nanobound_bench::pool_from_env(), &ProfileConfig::default())
+        .expect("suite profiles");
     let fig = nanobound_experiments::fig8::generate_from(&profiles).expect("valid profiles");
     nanobound_bench::print_figure(&fig);
 }

@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use nanobound_core::sweep::linspace;
 use nanobound_core::{BoundReport, CircuitProfile};
+use nanobound_runner::{try_grid_map, ThreadPool};
 
 fn parity10() -> CircuitProfile {
     CircuitProfile {
@@ -37,6 +39,35 @@ fn bench_bounds(c: &mut Criterion) {
             acc
         })
     });
+
+    // Full bound-report sweep, serial vs pooled grid_map: per-point cost
+    // is microseconds, so this also measures how well the runner
+    // amortizes scheduling over a fine-grained grid.
+    let eps_grid = linspace(0.001, 0.4995, 1000);
+    let serial = ThreadPool::serial();
+    c.bench_function("bound_report_sweep_1000_jobs1", |b| {
+        b.iter(|| {
+            try_grid_map(&serial, black_box(&eps_grid), |&eps| {
+                BoundReport::evaluate(&profile, eps, 0.01)
+            })
+            .unwrap()
+        })
+    });
+    // Only meaningful (and only distinctly named) on multi-core hosts.
+    let auto = ThreadPool::auto();
+    if auto.jobs() > 1 {
+        c.bench_function(
+            &format!("bound_report_sweep_1000_jobs{}", auto.jobs()),
+            |b| {
+                b.iter(|| {
+                    try_grid_map(&auto, black_box(&eps_grid), |&eps| {
+                        BoundReport::evaluate(&profile, eps, 0.01)
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
 
     c.bench_function("vdd_iso_energy_solve", |b| {
         let tech = nanobound_energy::Technology::bulk_90nm()

@@ -4,6 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use nanobound_gen::iscas;
+use nanobound_runner::{monte_carlo_sharded, ThreadPool};
 use nanobound_sim::{estimate_activity, evaluate_packed, monte_carlo, NoisyConfig, PatternSet};
 
 fn bench_sim(c: &mut Criterion) {
@@ -25,6 +26,23 @@ fn bench_sim(c: &mut Criterion) {
         let cfg = NoisyConfig::new(0.01, 5).unwrap();
         b.iter(|| monte_carlo(black_box(&mult), &cfg, 4096, 7).unwrap())
     });
+
+    // The sharded Monte-Carlo, serial vs all hardware threads: identical
+    // work (32 chunks of 1024 patterns), identical output bits — the
+    // speedup is the runner's whole value proposition. Expect ~Nx on an
+    // N-core host for this embarrassingly parallel workload.
+    let cfg = NoisyConfig::new(0.01, 5).unwrap();
+    let serial = ThreadPool::serial();
+    c.bench_function("noisy_mc_sharded_32k_jobs1", |b| {
+        b.iter(|| monte_carlo_sharded(&serial, black_box(&mult), &cfg, 32_768, 7, 1024).unwrap())
+    });
+    // Only meaningful (and only distinctly named) on multi-core hosts.
+    let auto = ThreadPool::auto();
+    if auto.jobs() > 1 {
+        c.bench_function(&format!("noisy_mc_sharded_32k_jobs{}", auto.jobs()), |b| {
+            b.iter(|| monte_carlo_sharded(&auto, black_box(&mult), &cfg, 32_768, 7, 1024).unwrap())
+        });
+    }
 
     c.bench_function("sensitivity_sampled_c6288a_256", |b| {
         b.iter(|| nanobound_sim::sensitivity::sampled(black_box(&mult), 256, 3).unwrap())

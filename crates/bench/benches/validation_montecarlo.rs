@@ -6,7 +6,9 @@
 //! Run: `cargo bench -p nanobound-bench --bench validation_montecarlo`
 
 fn main() {
-    for fig in nanobound_experiments::validation::generate().expect("fixed parameters") {
+    for fig in nanobound_experiments::validation::generate_with(&nanobound_bench::pool_from_env())
+        .expect("fixed parameters")
+    {
         nanobound_bench::print_figure(&fig);
     }
 }

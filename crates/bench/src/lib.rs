@@ -14,10 +14,36 @@
 //! This library crate only hosts shared helpers.
 
 use nanobound_experiments::FigureOutput;
+use nanobound_runner::ThreadPool;
 
 /// Prints a regenerated figure the way every figure bench does.
 pub fn print_figure(fig: &FigureOutput) {
     println!("{}", fig.render());
+}
+
+/// Builds the worker pool for a bench run from the `NANOBOUND_JOBS`
+/// environment variable (default: the host's available parallelism).
+///
+/// CI runs every figure bench twice — `NANOBOUND_JOBS=1` and
+/// `NANOBOUND_JOBS=$(nproc)` — and diffs the regenerated artifacts, so
+/// single-thread/multi-thread divergence fails the gate.
+///
+/// # Panics
+///
+/// Panics when `NANOBOUND_JOBS` is set to something that is not a
+/// worker count in `1..=MAX_JOBS`: a bench run with a silently ignored
+/// jobs override would defeat the divergence gate.
+#[must_use]
+pub fn pool_from_env() -> ThreadPool {
+    match std::env::var("NANOBOUND_JOBS") {
+        Err(_) => ThreadPool::auto(),
+        Ok(v) => {
+            let jobs: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("NANOBOUND_JOBS=`{v}` is not an integer"));
+            ThreadPool::new(jobs).expect("NANOBOUND_JOBS out of the supported range")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -28,5 +54,12 @@ mod tests {
     fn print_figure_smoke() {
         let fig = nanobound_experiments::fig2::generate().unwrap();
         print_figure(&fig); // must not panic
+    }
+
+    #[test]
+    fn default_pool_is_valid() {
+        // NANOBOUND_JOBS handling is exercised end-to-end by ci.sh; here
+        // just pin that the default path yields a usable pool.
+        assert!(pool_from_env().jobs() >= 1);
     }
 }

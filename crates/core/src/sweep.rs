@@ -46,6 +46,30 @@ pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Evaluates `f` over every grid point in order, returning one result
+/// per point.
+///
+/// This is the *reference semantics* for sweep evaluation:
+/// `nanobound_runner::grid_map` promises byte-identical output to this
+/// loop for any worker count, and the runner's property tests compare
+/// against it directly. Production sweeps (the figure generators) go
+/// through the runner — with `ThreadPool::serial()` when they want this
+/// exact loop. Unlike [`curve`] it carries arbitrary per-point payloads
+/// (a whole table row, a family of bounds), not just `(x, y)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_core::sweep::{grid_map, linspace};
+///
+/// let eps = linspace(0.0, 0.5, 3);
+/// let rows = grid_map(&eps, |&e| vec![e, 1.0 - 2.0 * e]);
+/// assert_eq!(rows, vec![vec![0.0, 1.0], vec![0.25, 0.5], vec![0.5, 0.0]]);
+/// ```
+pub fn grid_map<X, T, F: FnMut(&X) -> T>(xs: &[X], f: F) -> Vec<T> {
+    xs.iter().map(f).collect()
+}
+
 /// Evaluates `f` over `xs`, returning `(x, f(x))` pairs — the row format
 /// consumed by `nanobound-report` series.
 pub fn curve<F: FnMut(f64) -> f64>(xs: &[f64], mut f: F) -> Vec<(f64, f64)> {
@@ -91,6 +115,15 @@ mod tests {
     #[should_panic(expected = "positive lo")]
     fn logspace_rejects_zero() {
         let _ = logspace(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn grid_map_preserves_order_and_arity() {
+        let xs = [3.0, 1.0, 2.0];
+        let out = grid_map(&xs, |&x| x * 10.0);
+        assert_eq!(out, vec![30.0, 10.0, 20.0]);
+        let empty: Vec<f64> = grid_map(&[], |x: &f64| *x);
+        assert!(empty.is_empty());
     }
 
     #[test]

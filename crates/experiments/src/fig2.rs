@@ -8,6 +8,7 @@
 use nanobound_core::sweep::linspace;
 use nanobound_core::switching::noisy_activity;
 use nanobound_report::{Cell, Chart, Series, Table};
+use nanobound_runner::{grid_map, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::figure::FigureOutput;
@@ -15,31 +16,45 @@ use crate::figure::FigureOutput;
 /// The ε values of the plotted family.
 pub const EPSILONS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
 
-/// Regenerates Figure 2.
+/// Regenerates Figure 2 on the serial engine.
 ///
 /// # Errors
 ///
 /// Infallible in practice (all parameters are fixed and valid); the
 /// `Result` keeps the signature uniform across figures.
 pub fn generate() -> Result<FigureOutput, ExperimentError> {
+    generate_with(&ThreadPool::serial())
+}
+
+/// Regenerates Figure 2, sharding the sw(y) grid across `pool` —
+/// byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let sw_values = linspace(0.0, 1.0, 21);
+    let families: Vec<Vec<f64>> = grid_map(pool, &sw_values, |&sw| {
+        EPSILONS.iter().map(|&e| noisy_activity(sw, e)).collect()
+    });
     let mut table = Table::new(
         "Figure 2 — sw(z) as a function of sw(y)",
         std::iter::once("sw(y)".to_owned()).chain(EPSILONS.iter().map(|e| format!("eps={e}"))),
     );
-    for &sw in &sw_values {
+    for (&sw, family) in sw_values.iter().zip(&families) {
         let mut row = vec![Cell::from(sw)];
-        row.extend(EPSILONS.iter().map(|&e| Cell::from(noisy_activity(sw, e))));
+        row.extend(family.iter().map(|&z| Cell::from(z)));
         table.push_row(row)?;
     }
 
     let mut chart = Chart::new("Figure 2 — noisy switching activity", "sw(y)", "sw(z)");
-    for &e in &EPSILONS {
+    for (i, &e) in EPSILONS.iter().enumerate() {
         chart.add(Series::new(
             format!("eps={e}"),
             sw_values
                 .iter()
-                .map(|&sw| (sw, noisy_activity(sw, e)))
+                .zip(&families)
+                .map(|(&sw, family)| (sw, family[i]))
                 .collect(),
         ));
     }
@@ -74,6 +89,13 @@ mod tests {
                 other => panic!("unexpected cell {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parallel_regeneration_is_identical() {
+        let serial = generate().unwrap();
+        let par = generate_with(&ThreadPool::new(4).unwrap()).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
     }
 
     #[test]

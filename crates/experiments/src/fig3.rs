@@ -5,6 +5,7 @@
 use nanobound_core::size::redundancy_lower_bound;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
+use nanobound_runner::{try_grid_map, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::figure::FigureOutput;
@@ -18,14 +19,31 @@ pub const DELTA: f64 = 0.01;
 /// Gate fanins of the plotted family.
 pub const FANINS: [f64; 3] = [2.0, 3.0, 4.0];
 
-/// Regenerates Figure 3.
+/// Regenerates Figure 3 on the serial engine.
 ///
 /// # Errors
 ///
 /// Propagates [`nanobound_core::BoundError`] — never triggered by the
 /// fixed parameters used here.
 pub fn generate() -> Result<FigureOutput, ExperimentError> {
+    generate_with(&ThreadPool::serial())
+}
+
+/// Regenerates Figure 3, sharding the ε grid across `pool` —
+/// byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.005, 0.495, 50);
+    let bounds: Vec<Vec<f64>> = try_grid_map(pool, &epsilons, |&eps| {
+        FANINS
+            .iter()
+            .map(|&k| redundancy_lower_bound(SENSITIVITY, k, eps, DELTA))
+            .collect::<Result<_, _>>()
+            .map_err(ExperimentError::from)
+    })?;
     let mut table = Table::new(
         "Figure 3 — minimum added redundancy (gates), s=10, S0=21, delta=0.01",
         std::iter::once("epsilon".to_owned()).chain(FANINS.iter().map(|k| format!("k={k}"))),
@@ -37,10 +55,9 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     )
     .log_y();
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); FANINS.len()];
-    for &eps in &epsilons {
+    for (&eps, family) in epsilons.iter().zip(&bounds) {
         let mut row = vec![Cell::from(eps)];
-        for (i, &k) in FANINS.iter().enumerate() {
-            let r = redundancy_lower_bound(SENSITIVITY, k, eps, DELTA)?;
+        for (i, &r) in family.iter().enumerate() {
             row.push(Cell::from(r));
             series[i].push((eps, r));
         }
@@ -71,6 +88,13 @@ mod tests {
             let k4 = s[2].points[i].1;
             assert!(k2 >= k3 && k3 >= k4, "ordering broken at point {i}");
         }
+    }
+
+    #[test]
+    fn parallel_regeneration_is_identical() {
+        let serial = generate().unwrap();
+        let par = generate_with(&ThreadPool::new(8).unwrap()).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use nanobound_core::leakage::leakage_ratio_factor;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
+use nanobound_runner::{try_grid_map, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::figure::FigureOutput;
@@ -11,14 +12,31 @@ use crate::figure::FigureOutput;
 /// The error-free switching activities of the plotted family.
 pub const ACTIVITIES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
 
-/// Regenerates Figure 4.
+/// Regenerates Figure 4 on the serial engine.
 ///
 /// # Errors
 ///
 /// Propagates [`nanobound_core::BoundError`] — never triggered by the
 /// fixed parameters used here.
 pub fn generate() -> Result<FigureOutput, ExperimentError> {
+    generate_with(&ThreadPool::serial())
+}
+
+/// Regenerates Figure 4, sharding the ε grid across `pool` —
+/// byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.5, 51);
+    let ratios: Vec<Vec<f64>> = try_grid_map(pool, &epsilons, |&eps| {
+        ACTIVITIES
+            .iter()
+            .map(|&sw0| leakage_ratio_factor(sw0, eps))
+            .collect::<Result<_, _>>()
+            .map_err(ExperimentError::from)
+    })?;
     let mut table = Table::new(
         "Figure 4 — normalized leakage/switching ratio W(eps)/W0",
         std::iter::once("epsilon".to_owned())
@@ -27,10 +45,9 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     let mut chart =
         Chart::new("Figure 4 — leakage/switching ratio", "epsilon", "W(eps)/W0").log_y();
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ACTIVITIES.len()];
-    for &eps in &epsilons {
+    for (&eps, family) in epsilons.iter().zip(&ratios) {
         let mut row = vec![Cell::from(eps)];
-        for (i, &sw0) in ACTIVITIES.iter().enumerate() {
-            let w = leakage_ratio_factor(sw0, eps)?;
+        for (i, &w) in family.iter().enumerate() {
             row.push(Cell::from(w));
             series[i].push((eps, w));
         }
@@ -58,6 +75,13 @@ mod tests {
         for &(_, y) in &pivot.points {
             assert!((y - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_regeneration_is_identical() {
+        let serial = generate().unwrap();
+        let par = generate_with(&ThreadPool::new(3).unwrap()).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
     }
 
     #[test]

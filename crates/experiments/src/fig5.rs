@@ -10,6 +10,7 @@ use nanobound_core::composite::energy_delay_factor;
 use nanobound_core::depth::delay_factor;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
+use nanobound_runner::{try_grid_map, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::fig3::{DELTA, FANINS, S0, SENSITIVITY};
@@ -21,14 +22,35 @@ pub const SW0: f64 = 0.5;
 /// energy are assumed equal").
 pub const LEAK_SHARE: f64 = 0.5;
 
-/// Regenerates Figure 5.
+/// Regenerates Figure 5 on the serial engine.
 ///
 /// # Errors
 ///
 /// Propagates [`nanobound_core::BoundError`] — never triggered by the
 /// fixed parameters used here.
 pub fn generate() -> Result<FigureOutput, ExperimentError> {
+    generate_with(&ThreadPool::serial())
+}
+
+/// Regenerates Figure 5, sharding the ε grid across `pool` —
+/// byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.26, 53);
+    type PointRow = Vec<(Option<f64>, Option<f64>)>;
+    let points: Vec<PointRow> = try_grid_map(pool, &epsilons, |&eps| {
+        FANINS
+            .iter()
+            .map(|&k| {
+                let d = delay_factor(k, eps)?;
+                let edp = energy_delay_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA)?;
+                Ok::<_, ExperimentError>((d, edp))
+            })
+            .collect()
+    })?;
     let mut table = Table::new(
         "Figure 5 — normalized delay and energy*delay lower bounds",
         std::iter::once("epsilon".to_owned())
@@ -37,16 +59,14 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
     );
     let mut delay_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); FANINS.len()];
     let mut edp_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); FANINS.len()];
-    for &eps in &epsilons {
+    for (&eps, family) in epsilons.iter().zip(&points) {
         let mut row = vec![Cell::from(eps)];
         let mut edp_cells = Vec::with_capacity(FANINS.len());
-        for (i, &k) in FANINS.iter().enumerate() {
-            let d = delay_factor(k, eps)?;
+        for (i, &(d, edp)) in family.iter().enumerate() {
             row.push(Cell::from(d));
             if let Some(d) = d {
                 delay_series[i].push((eps, d));
             }
-            let edp = energy_delay_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA)?;
             edp_cells.push(Cell::from(edp));
             if let Some(e) = edp {
                 edp_series[i].push((eps, e));
@@ -94,6 +114,13 @@ mod tests {
                 d.0
             );
         }
+    }
+
+    #[test]
+    fn parallel_regeneration_is_identical() {
+        let serial = generate().unwrap();
+        let par = generate_with(&ThreadPool::new(4).unwrap()).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
     }
 
     #[test]

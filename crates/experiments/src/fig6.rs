@@ -8,29 +8,46 @@
 use nanobound_core::composite::average_power_factor;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
+use nanobound_runner::{try_grid_map, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::fig3::{DELTA, FANINS, S0, SENSITIVITY};
 use crate::fig5::{LEAK_SHARE, SW0};
 use crate::figure::FigureOutput;
 
-/// Regenerates Figure 6.
+/// Regenerates Figure 6 on the serial engine.
 ///
 /// # Errors
 ///
 /// Propagates [`nanobound_core::BoundError`] — never triggered by the
 /// fixed parameters used here.
 pub fn generate() -> Result<FigureOutput, ExperimentError> {
+    generate_with(&ThreadPool::serial())
+}
+
+/// Regenerates Figure 6, sharding the ε grid across `pool` —
+/// byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.26, 105);
+    let powers: Vec<Vec<Option<f64>>> = try_grid_map(pool, &epsilons, |&eps| {
+        FANINS
+            .iter()
+            .map(|&k| average_power_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA))
+            .collect::<Result<_, _>>()
+            .map_err(ExperimentError::from)
+    })?;
     let mut table = Table::new(
         "Figure 6 — normalized average power lower bound",
         std::iter::once("epsilon".to_owned()).chain(FANINS.iter().map(|k| format!("k={k}"))),
     );
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); FANINS.len()];
-    for &eps in &epsilons {
+    for (&eps, family) in epsilons.iter().zip(&powers) {
         let mut row = vec![Cell::from(eps)];
-        for (i, &k) in FANINS.iter().enumerate() {
-            let p = average_power_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA)?;
+        for (i, &p) in family.iter().enumerate() {
             row.push(Cell::from(p));
             if let Some(p) = p {
                 series[i].push((eps, p));
@@ -67,6 +84,13 @@ mod tests {
                 early.0
             );
         }
+    }
+
+    #[test]
+    fn parallel_regeneration_is_identical() {
+        let serial = generate().unwrap();
+        let par = generate_with(&ThreadPool::new(5).unwrap()).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
     }
 
     #[test]

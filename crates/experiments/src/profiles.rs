@@ -16,6 +16,7 @@
 use nanobound_core::CircuitProfile;
 use nanobound_gen::{standard_suite, Benchmark};
 use nanobound_logic::{transform, CircuitStats, Netlist};
+use nanobound_runner::{try_grid_map, ThreadPool};
 use nanobound_sim::{estimate_activity, sensitivity};
 
 use crate::error::ExperimentError;
@@ -161,10 +162,26 @@ pub fn profile_benchmark(
 /// # }
 /// ```
 pub fn profile_suite(config: &ProfileConfig) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
-    standard_suite()?
-        .iter()
-        .map(|b| profile_benchmark(b, config))
-        .collect()
+    profile_suite_with(&ThreadPool::serial(), config)
+}
+
+/// Profiles the paper's Section-6 suite with one benchmark per parallel
+/// task.
+///
+/// Each benchmark's measurement is already deterministic in
+/// `config.seed`, and benchmarks share no state, so the profile list is
+/// byte-identical to the serial [`profile_suite`] for every worker
+/// count.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+pub fn profile_suite_with(
+    pool: &ThreadPool,
+    config: &ProfileConfig,
+) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
+    let suite = standard_suite()?;
+    try_grid_map(pool, &suite, |b| profile_benchmark(b, config))
 }
 
 #[cfg(test)]
@@ -244,5 +261,17 @@ mod tests {
         let a = profile_netlist(&tree, None, &quick()).unwrap();
         let b = profile_netlist(&tree, None, &quick()).unwrap();
         assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let config = quick();
+        let serial = profile_suite(&config).unwrap();
+        let par = profile_suite_with(&ThreadPool::new(4).unwrap(), &config).unwrap();
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.profile, p.profile, "{}", s.name);
+            assert_eq!(s.sensitivity_source, p.sensitivity_source);
+        }
     }
 }

@@ -19,7 +19,8 @@ use nanobound_gen::{alu, parity, priority};
 use nanobound_logic::Netlist;
 use nanobound_redundancy::{multiplex, nmr, MultiplexConfig};
 use nanobound_report::{Cell, Table};
-use nanobound_sim::{monte_carlo, NoisyConfig};
+use nanobound_runner::{monte_carlo_sharded, ThreadPool, DEFAULT_CHUNK};
+use nanobound_sim::{NoisyConfig, NoisyOutcome, SimError};
 
 use crate::error::ExperimentError;
 use crate::figure::FigureOutput;
@@ -27,13 +28,37 @@ use crate::figure::FigureOutput;
 /// Patterns per Monte-Carlo run.
 const PATTERNS: usize = 100_000;
 
-/// V1: Theorem-1 validation table.
+/// Runs one validation Monte-Carlo through the sharded runner.
+///
+/// The chunk size is pinned to [`DEFAULT_CHUNK`] so the published
+/// validation numbers are part of the workspace's reproducibility
+/// contract: any `--jobs` count replays the same RNG stream layout.
+fn validation_mc(
+    pool: &ThreadPool,
+    netlist: &Netlist,
+    config: &NoisyConfig,
+    pattern_seed: u64,
+) -> Result<NoisyOutcome, SimError> {
+    monte_carlo_sharded(pool, netlist, config, PATTERNS, pattern_seed, DEFAULT_CHUNK)
+}
+
+/// V1: Theorem-1 validation table, on the serial engine.
 ///
 /// # Errors
 ///
 /// Propagates generator/simulation failures (not expected with the
 /// fixed parameters used here).
 pub fn theorem1_validation() -> Result<FigureOutput, ExperimentError> {
+    theorem1_validation_with(&ThreadPool::serial())
+}
+
+/// V1: Theorem-1 validation table, Monte-Carlo chunks sharded across
+/// `pool` — byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`theorem1_validation`].
+pub fn theorem1_validation_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let mut table = Table::new(
         "V1 — Theorem 1: measured vs predicted noisy switching activity",
         [
@@ -55,7 +80,7 @@ pub fn theorem1_validation() -> Result<FigureOutput, ExperimentError> {
     for (name, nl) in &circuits {
         let depth = nanobound_logic::topo::depth(nl);
         for &eps in &[0.01, 0.05, 0.2] {
-            let out = monte_carlo(nl, &NoisyConfig::new(eps, 11)?, PATTERNS, 13)?;
+            let out = validation_mc(pool, nl, &NoisyConfig::strict(eps, 11)?, 13)?;
             let predicted = noisy_activity(out.clean_avg_gate_activity, eps);
             table.push_row([
                 Cell::from(*name),
@@ -86,7 +111,8 @@ fn single_and(width: usize) -> Netlist {
     nl
 }
 
-/// V2: constructive schemes vs the size lower bound.
+/// V2: constructive schemes vs the size lower bound, on the serial
+/// engine.
 ///
 /// For the paper's running example (10-input parity) at several ε, the
 /// table reports the Theorem-2 minimum size factor at the δ̂ *actually
@@ -97,6 +123,17 @@ fn single_and(width: usize) -> Netlist {
 ///
 /// Propagates generator, redundancy and simulation failures.
 pub fn constructive_vs_bound() -> Result<FigureOutput, ExperimentError> {
+    constructive_vs_bound_with(&ThreadPool::serial())
+}
+
+/// V2: constructive schemes vs the size lower bound, Monte-Carlo chunks
+/// sharded across `pool` — byte-identical output for every worker
+/// count.
+///
+/// # Errors
+///
+/// Same as [`constructive_vs_bound`].
+pub fn constructive_vs_bound_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
     let base = parity::parity_tree(10, 2)?;
     let s0 = base.gate_count() as f64;
     let mut table = Table::new(
@@ -111,13 +148,13 @@ pub fn constructive_vs_bound() -> Result<FigureOutput, ExperimentError> {
         ],
     );
     for &eps in &[0.001, 0.005] {
-        let config = NoisyConfig::new(eps, 21)?;
+        let config = NoisyConfig::strict(eps, 21)?;
         // Unprotected baseline for reference.
-        let bare = monte_carlo(&base, &config, PATTERNS, 23)?;
+        let bare = validation_mc(pool, &base, &config, 23)?;
         push_scheme(&mut table, "bare", eps, bare.circuit_error_rate, 1.0, s0)?;
         for r in [3usize, 5] {
             let protected = nmr(&base, r)?;
-            let out = monte_carlo(&protected, &config, PATTERNS, 23)?;
+            let out = validation_mc(pool, &protected, &config, 23)?;
             let actual = protected.gate_count() as f64 / s0;
             push_scheme(
                 &mut table,
@@ -139,7 +176,7 @@ pub fn constructive_vs_bound() -> Result<FigureOutput, ExperimentError> {
                 seed: 31,
             },
         )?;
-        let out = monte_carlo(&mux, &config, PATTERNS, 23)?;
+        let out = validation_mc(pool, &mux, &config, 23)?;
         let actual = mux.gate_count() as f64 / s0;
         push_scheme(
             &mut table,
@@ -183,13 +220,26 @@ fn push_scheme(
     Ok(())
 }
 
-/// Runs both validation experiments.
+/// Runs both validation experiments on the serial engine.
 ///
 /// # Errors
 ///
 /// Propagates the underlying experiment failures.
 pub fn generate() -> Result<Vec<FigureOutput>, ExperimentError> {
-    Ok(vec![theorem1_validation()?, constructive_vs_bound()?])
+    generate_with(&ThreadPool::serial())
+}
+
+/// Runs both validation experiments with Monte-Carlo chunks sharded
+/// across `pool` — byte-identical output for every worker count.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with(pool: &ThreadPool) -> Result<Vec<FigureOutput>, ExperimentError> {
+    Ok(vec![
+        theorem1_validation_with(pool)?,
+        constructive_vs_bound_with(pool)?,
+    ])
 }
 
 #[cfg(test)]
@@ -223,6 +273,13 @@ mod tests {
             let deviation = num(&row[6]);
             assert!(deviation > -0.01, "accumulation went negative: {row:?}");
         }
+    }
+
+    #[test]
+    fn parallel_validation_is_identical() {
+        let serial = theorem1_validation().unwrap();
+        let par = theorem1_validation_with(&ThreadPool::new(4).unwrap()).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Runner errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring the parallel executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunnerError {
+    /// A worker count outside the supported `1..=MAX_JOBS` range was
+    /// requested.
+    BadJobs {
+        /// The requested worker count.
+        got: usize,
+        /// Largest supported worker count ([`crate::pool::MAX_JOBS`]).
+        max: usize,
+    },
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::BadJobs { got, max } => {
+                write!(f, "jobs = {got} unsupported: must lie in 1..={max}")
+            }
+        }
+    }
+}
+
+impl Error for RunnerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_bounds() {
+        let e = RunnerError::BadJobs { got: 0, max: 512 };
+        let s = e.to_string();
+        assert!(s.contains("jobs = 0") && s.contains("512"), "{s}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic parallel execution for the `nanobound` workspace.
+//!
+//! Every experiment in the paper — the noisy Monte-Carlo validation and
+//! the ε/δ/k sweep families behind Figures 2–8 — is embarrassingly
+//! parallel. This crate is the substrate that exploits that without
+//! giving up reproducibility:
+//!
+//! - [`ThreadPool`] — a std-only work-stealing executor over
+//!   index-addressed task sets ([`ThreadPool::map_indexed`]);
+//! - [`shard_seed`] — frozen per-shard RNG seed derivation, so a
+//!   shard's random stream is a function of (master seed, shard index)
+//!   and never of the worker that ran it;
+//! - [`monte_carlo_sharded`] — chunked trial batching for
+//!   `nanobound_sim`'s noisy Monte-Carlo, merging integer
+//!   [`nanobound_sim::NoisyTally`] counts in chunk order;
+//! - [`grid_map`] / [`try_grid_map`] — parallel sweep evaluation that
+//!   shards grid points across workers and returns them in grid order.
+//!
+//! **The determinism contract.** For every entry point in this crate,
+//! the output is a pure function of the arguments: running with
+//! `--jobs 1` and `--jobs N` produces byte-identical results. The
+//! property-test suite (`tests/properties.rs`) pins this for thread
+//! counts 1/2/4/8 and arbitrary chunk sizes; the workspace's golden
+//! figure CSVs pin it end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanobound_runner::{grid_map, ThreadPool};
+//!
+//! let pool = ThreadPool::auto();
+//! let xs = nanobound_core::sweep::linspace(0.0, 0.5, 101);
+//! let ys = grid_map(&pool, &xs, |&eps| 2.0 * eps * (1.0 - eps));
+//! assert_eq!(ys.len(), 101);
+//! // Identical to the serial sweep, element for element:
+//! assert_eq!(ys, nanobound_core::sweep::grid_map(&xs, |&eps| 2.0 * eps * (1.0 - eps)));
+//! ```
+
+mod error;
+mod grid;
+mod montecarlo;
+mod pool;
+mod seed;
+
+pub use error::RunnerError;
+pub use grid::{grid_map, try_grid_map};
+pub use montecarlo::{monte_carlo_sharded, DEFAULT_CHUNK};
+pub use pool::{ThreadPool, MAX_JOBS};
+pub use seed::shard_seed;

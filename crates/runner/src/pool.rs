@@ -1,0 +1,242 @@
+//! A std-only work-stealing thread pool for index-addressed task sets.
+//!
+//! The executor runs a *known, finite* set of tasks `0..n` — Monte-Carlo
+//! chunks, sweep grid points, benchmark profiles. That closed-world
+//! assumption keeps the scheduler small: tasks are dealt into one deque
+//! per worker up front, each worker drains its own deque from the front
+//! and steals from the back of its neighbours' when it runs dry, and the
+//! pool is done when every deque is empty (no task ever enqueues another
+//! task, so an empty sweep means termination).
+//!
+//! Determinism: results are addressed by task index, never by completion
+//! order, so the output of [`ThreadPool::map_indexed`] is a pure function
+//! of the closure — identical for any worker count and any steal
+//! interleaving.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+use crate::error::RunnerError;
+
+/// Hard ceiling on the worker count.
+///
+/// Far above any sensible hardware concurrency; it exists so an absurd
+/// `--jobs 1000000` is rejected as a configuration error instead of
+/// exhausting the OS thread limit.
+pub const MAX_JOBS: usize = 512;
+
+/// A deterministic parallel executor with a fixed worker budget.
+///
+/// Workers are scoped to each [`map_indexed`](ThreadPool::map_indexed)
+/// call (spawned on entry, joined before return): the pool holds no
+/// global state, cannot leak threads and cannot be poisoned by a
+/// panicking task — the panic is propagated to the caller instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    jobs: NonZeroUsize,
+}
+
+impl ThreadPool {
+    /// Creates a pool running at most `jobs` tasks concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::BadJobs`] unless `1 <= jobs <= MAX_JOBS`.
+    pub fn new(jobs: usize) -> Result<Self, RunnerError> {
+        match NonZeroUsize::new(jobs) {
+            Some(n) if jobs <= MAX_JOBS => Ok(ThreadPool { jobs: n }),
+            _ => Err(RunnerError::BadJobs {
+                got: jobs,
+                max: MAX_JOBS,
+            }),
+        }
+    }
+
+    /// The single-worker pool — the serial reference engine every
+    /// parallel result must be byte-identical to.
+    #[must_use]
+    pub fn serial() -> Self {
+        ThreadPool {
+            jobs: NonZeroUsize::MIN,
+        }
+    }
+
+    /// A pool sized to the host's available parallelism (1 when the OS
+    /// cannot report it).
+    #[must_use]
+    pub fn auto() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .map_or(1, NonZeroUsize::get)
+            .min(MAX_JOBS);
+        ThreadPool::new(jobs).expect("clamped into range")
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs.get()
+    }
+
+    /// Evaluates `f` over every index in `0..n`, returning the results
+    /// in index order.
+    ///
+    /// The schedule (which worker runs which index, steal order) is
+    /// nondeterministic; the returned vector is not — element `i` is
+    /// always `f(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.get().min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        // Deal contiguous index runs, one deque per worker: run w gets
+        // [w*n/workers, (w+1)*n/workers) — balanced to within one task.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+            .collect();
+
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        while let Some(i) = next_task(queues, w) {
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // join() returns Err only when the worker panicked;
+                // resume the panic on the caller's thread.
+                for (i, value) in handle
+                    .join()
+                    .unwrap_or_else(|e| std::panic::resume_unwind(e))
+                {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index 0..n was dealt exactly once"))
+            .collect()
+    }
+}
+
+/// Pops the next task for worker `w`: front of its own deque, else a
+/// steal from the back of the first non-empty neighbour.
+fn next_task(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    for off in 1..queues.len() {
+        let victim = (w + off) % queues.len();
+        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn rejects_zero_and_absurd_worker_counts() {
+        assert!(matches!(
+            ThreadPool::new(0),
+            Err(RunnerError::BadJobs { got: 0, .. })
+        ));
+        assert!(ThreadPool::new(MAX_JOBS).is_ok());
+        assert!(ThreadPool::new(MAX_JOBS + 1).is_err());
+        assert!(ThreadPool::new(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn results_are_in_index_order_for_every_worker_count() {
+        for jobs in [1, 2, 3, 4, 8, 17] {
+            let pool = ThreadPool::new(jobs).unwrap();
+            let out = pool.map_indexed(100, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = ThreadPool::new(4).unwrap();
+        let counter = AtomicUsize::new(0);
+        let out = pool.map_indexed(1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn skewed_task_durations_still_complete() {
+        // One pathological long task at index 0 forces the other workers
+        // to steal the rest of worker 0's deque.
+        let pool = ThreadPool::new(4).unwrap();
+        let out = pool.map_indexed(64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_task_sets() {
+        let pool = ThreadPool::new(8).unwrap();
+        assert_eq!(pool.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map_indexed(1, |i| i + 7), vec![7]);
+        assert_eq!(pool.map_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let pool = ThreadPool::new(32).unwrap();
+        assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_caller() {
+        let pool = ThreadPool::new(4).unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.map_indexed(16, |i| {
+                assert!(i != 9, "task nine exploded");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn auto_and_serial_are_valid() {
+        assert_eq!(ThreadPool::serial().jobs(), 1);
+        let auto = ThreadPool::auto();
+        assert!((1..=MAX_JOBS).contains(&auto.jobs()));
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic per-shard seed derivation.
+//!
+//! Every parallel entry point of this crate splits its work into shards
+//! whose random streams must be (a) statistically independent of each
+//! other and (b) a pure function of the *master* seed and the shard
+//! index — never of the worker that happens to execute the shard. That
+//! is what makes `--jobs N` byte-identical to `--jobs 1`.
+//!
+//! **Stability contract:** the mixing function below is frozen. Golden
+//! figure CSVs committed under `tests/golden/` and every recorded
+//! experiment seed depend on it; changing it is a breaking change of the
+//! workspace's reproducibility surface.
+
+/// Derives the seed of shard `shard` from a master seed.
+///
+/// The construction feeds `master` and `shard` through two rounds of the
+/// SplitMix64 finalizer (the same mixer `rand::rngs::StdRng` uses for
+/// seeding), so shard seeds are decorrelated even for adjacent shard
+/// indices and adjacent master seeds. `shard_seed(m, a) == shard_seed(m, b)`
+/// only if `a == b`.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_runner::shard_seed;
+///
+/// assert_eq!(shard_seed(42, 3), shard_seed(42, 3));
+/// assert_ne!(shard_seed(42, 3), shard_seed(42, 4));
+/// assert_ne!(shard_seed(42, 3), shard_seed(43, 3));
+/// ```
+#[must_use]
+pub fn shard_seed(master: u64, shard: u64) -> u64 {
+    // Weyl-sequence offset keeps (master, shard) pairs on distinct
+    // lattice points before mixing.
+    let mut z = master ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn frozen_reference_values() {
+        // Pinned outputs: these exact values underwrite the golden CSVs.
+        // If this test fails, the mixing function changed — revert it.
+        assert_eq!(shard_seed(0, 0), 0xa706_dd2f_4d19_7e6f);
+        assert_eq!(shard_seed(0xBEEF, 1), 0xfe18_acc9_c3af_5200);
+        assert_eq!(shard_seed(u64::MAX, u64::MAX), 0x7f46_a57c_92db_ee5f);
+    }
+
+    #[test]
+    fn no_collisions_over_a_dense_grid() {
+        let mut seen = HashSet::new();
+        for master in 0..64u64 {
+            for shard in 0..256u64 {
+                assert!(
+                    seen.insert(shard_seed(master, shard)),
+                    "collision at master={master} shard={shard}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_shards_differ_in_many_bits() {
+        for shard in 0..1000u64 {
+            let a = shard_seed(7, shard);
+            let b = shard_seed(7, shard + 1);
+            let flipped = (a ^ b).count_ones();
+            assert!(flipped >= 8, "only {flipped} bits differ at shard {shard}");
+        }
+    }
+}

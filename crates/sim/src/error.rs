@@ -33,6 +33,13 @@ pub enum SimError {
         limit: usize,
     },
     /// A numeric parameter was outside its supported range.
+    ///
+    /// The `requirement` text states the *supported* range of the entry
+    /// point that rejected the value, which is not always the paper's
+    /// range: the simulator accepts any ε in `[0, 1]` (the symmetric
+    /// branch above ½ is physically meaningful noise), while the bound
+    /// formulas require ε ≤ ½ and reject the rest via
+    /// [`crate::NoisyConfig::strict`]'s tighter requirement.
     BadParameter {
         /// Name of the offending parameter.
         name: &'static str,
@@ -44,11 +51,10 @@ pub enum SimError {
 }
 
 impl SimError {
-    pub(crate) fn bad(
-        name: &'static str,
-        got: impl fmt::Display,
-        requirement: &'static str,
-    ) -> Self {
+    /// Builds a [`SimError::BadParameter`], formatting the value for
+    /// display. Public so downstream executors (e.g. `nanobound-runner`)
+    /// can report parameter errors in the same shape.
+    pub fn bad(name: &'static str, got: impl fmt::Display, requirement: &'static str) -> Self {
         SimError::BadParameter {
             name,
             got: got.to_string(),

@@ -45,6 +45,9 @@ pub mod sensitivity;
 pub use activity::{activity_from_probability, estimate_activity, ActivityProfile};
 pub use engine::{evaluate_packed, NodeValues};
 pub use error::SimError;
-pub use noisy::{compare_runs, evaluate_noisy, monte_carlo, NoisyConfig, NoisyOutcome};
+pub use noisy::{
+    compare_runs, evaluate_noisy, monte_carlo, monte_carlo_tally, tally_runs, NoisyConfig,
+    NoisyOutcome, NoisyTally,
+};
 pub use patterns::PatternSet;
 pub use sensitivity::SensitivityEstimate;

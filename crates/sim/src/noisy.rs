@@ -14,7 +14,7 @@ use nanobound_logic::{Netlist, Node};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::activity::activity_of_values;
+use crate::activity::{activity_of_values, toggle_count};
 use crate::bernoulli::bernoulli_word;
 use crate::engine::{eval_gate, evaluate_packed, NodeValues};
 use crate::error::SimError;
@@ -32,16 +32,54 @@ pub struct NoisyConfig {
 impl NoisyConfig {
     /// Creates a configuration, validating ε.
     ///
+    /// # The symmetric branch (ε > ½)
+    ///
+    /// The *simulator* is well defined on the whole interval `[0, 1]`:
+    /// at ε = 1 every gate output is deterministically inverted, and the
+    /// switching statistics are symmetric around ε = ½ (an ε-channel and
+    /// a (1-ε)-channel produce identical toggle rates — Theorem 1's
+    /// `(1-2ε)²` factor is even in `ε - ½`). The paper's *bound*
+    /// formulas, however, assume ε ≤ ½: above it the channel contraction
+    /// `ξ = 1 - 2ε` goes negative and quantities like `ξ^(1/k)` stop
+    /// being real. Use [`NoisyConfig::strict`] when the configuration
+    /// feeds the bounds, and plain `new` when deliberately exploring the
+    /// symmetric branch; see [`SimError::BadParameter`] for how the two
+    /// domains are reported.
+    ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ 1`. (The paper
-    /// restricts attention to `ε ≤ ½`; larger values remain simulable for
-    /// exploring the formulas' symmetric branch.)
+    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ 1`.
     pub fn new(epsilon: f64, seed: u64) -> Result<Self, SimError> {
         if !(0.0..=1.0).contains(&epsilon) {
             return Err(SimError::bad("epsilon", epsilon, "must lie in [0, 1]"));
         }
         Ok(NoisyConfig { epsilon, seed })
+    }
+
+    /// Creates a configuration restricted to the paper's regime ε ≤ ½.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ ½`; the
+    /// requirement text points at [`NoisyConfig::new`] for callers that
+    /// really do want the symmetric branch.
+    pub fn strict(epsilon: f64, seed: u64) -> Result<Self, SimError> {
+        if !(0.0..=0.5).contains(&epsilon) {
+            return Err(SimError::bad(
+                "epsilon",
+                epsilon,
+                "must lie in [0, 0.5]: the bound formulas assume eps <= 1/2 \
+                 (use NoisyConfig::new to simulate the symmetric branch)",
+            ));
+        }
+        Ok(NoisyConfig { epsilon, seed })
+    }
+
+    /// Whether this ε lies beyond the paper's ε ≤ ½ regime, where only
+    /// the simulator — not the bound formulas — is meaningful.
+    #[must_use]
+    pub fn is_symmetric_branch(&self) -> bool {
+        self.epsilon > 0.5
     }
 }
 
@@ -191,6 +229,181 @@ pub fn compare_runs(netlist: &Netlist, clean: &NodeValues, noisy: &NodeValues) -
     }
 }
 
+/// Mergeable integer tallies of one noisy-vs-clean comparison chunk.
+///
+/// [`NoisyOutcome`] stores *rates* — floating-point ratios that cannot
+/// be combined across runs without reintroducing rounding that depends
+/// on the combination order. `NoisyTally` keeps the raw counts instead,
+/// so a Monte-Carlo experiment can be split into chunks, the chunks
+/// simulated in any order (or in parallel), and the totals merged with
+/// plain integer addition — the final [`NoisyTally::outcome`] is
+/// bit-identical no matter how the work was scheduled. This is the
+/// substrate of `nanobound-runner`'s sharded Monte-Carlo.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NoisyTally {
+    /// Patterns simulated.
+    pub patterns: usize,
+    /// Consecutive-pattern transitions observed (`patterns - 1` per
+    /// chunk; chunk boundaries contribute none).
+    pub transitions: usize,
+    /// Logic gates of the netlist (constant across chunks).
+    pub gates: usize,
+    /// Patterns on which any primary output differed from the clean run.
+    pub circuit_errors: u64,
+    /// Per-output mismatch counts, in output declaration order.
+    pub per_output_errors: Vec<u64>,
+    /// Total toggles summed over all logic gates, error-free run.
+    pub clean_gate_toggles: u64,
+    /// Total toggles summed over all logic gates, noisy run.
+    pub noisy_gate_toggles: u64,
+}
+
+impl NoisyTally {
+    /// Folds another chunk's tallies into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks describe different netlists (output or gate
+    /// counts disagree).
+    pub fn merge(&mut self, other: &NoisyTally) {
+        assert_eq!(
+            self.per_output_errors.len(),
+            other.per_output_errors.len(),
+            "tallies cover different output counts"
+        );
+        assert_eq!(self.gates, other.gates, "tallies cover different netlists");
+        self.patterns += other.patterns;
+        self.transitions += other.transitions;
+        self.circuit_errors += other.circuit_errors;
+        for (a, b) in self
+            .per_output_errors
+            .iter_mut()
+            .zip(&other.per_output_errors)
+        {
+            *a += b;
+        }
+        self.clean_gate_toggles += other.clean_gate_toggles;
+        self.noisy_gate_toggles += other.noisy_gate_toggles;
+    }
+
+    /// Converts the accumulated counts into rates.
+    ///
+    /// The gate-activity averages divide the *total* toggle count by
+    /// `transitions × gates` — mathematically the per-gate mean of
+    /// toggle rates that [`compare_runs`] reports, computed in one
+    /// division so the result does not depend on how the patterns were
+    /// chunked into tallies.
+    #[must_use]
+    pub fn outcome(&self) -> NoisyOutcome {
+        let patterns = self.patterns.max(1) as f64;
+        let toggle_slots = (self.transitions.max(1) * self.gates.max(1)) as f64;
+        let gate_avg = |toggles: u64| {
+            if self.gates == 0 {
+                0.0
+            } else {
+                toggles as f64 / toggle_slots
+            }
+        };
+        NoisyOutcome {
+            patterns: self.patterns,
+            circuit_error_rate: self.circuit_errors as f64 / patterns,
+            per_output_error_rate: self
+                .per_output_errors
+                .iter()
+                .map(|&e| e as f64 / patterns)
+                .collect(),
+            noisy_avg_gate_activity: gate_avg(self.noisy_gate_toggles),
+            clean_avg_gate_activity: gate_avg(self.clean_gate_toggles),
+        }
+    }
+}
+
+/// Tallies a clean and a noisy run over the same pattern set into
+/// mergeable integer counts (the chunk-level sibling of
+/// [`compare_runs`]).
+///
+/// # Panics
+///
+/// Panics if the two runs have different pattern counts.
+#[must_use]
+pub fn tally_runs(netlist: &Netlist, clean: &NodeValues, noisy: &NodeValues) -> NoisyTally {
+    assert_eq!(
+        clean.count(),
+        noisy.count(),
+        "runs cover different pattern counts"
+    );
+    let count = clean.count();
+    let words = count.div_ceil(64);
+    let tail = tail_mask(count);
+
+    let mut per_output_errors = Vec::with_capacity(netlist.output_count());
+    let mut any_diff = vec![0u64; words];
+    for out in netlist.outputs() {
+        let c = clean.node(out.driver);
+        let z = noisy.node(out.driver);
+        let mut ones: u64 = 0;
+        for w in 0..words {
+            let mut diff = c[w] ^ z[w];
+            if w + 1 == words {
+                diff &= tail;
+            }
+            ones += u64::from(diff.count_ones());
+            any_diff[w] |= diff;
+        }
+        per_output_errors.push(ones);
+    }
+    let circuit_errors: u64 = any_diff.iter().map(|w| u64::from(w.count_ones())).sum();
+
+    let mut gates = 0usize;
+    let mut clean_gate_toggles = 0u64;
+    let mut noisy_gate_toggles = 0u64;
+    for id in netlist.node_ids() {
+        if netlist
+            .node(id)
+            .kind()
+            .is_some_and(nanobound_logic::GateKind::counts_as_gate)
+        {
+            gates += 1;
+            clean_gate_toggles += toggle_count(clean.node(id), count);
+            noisy_gate_toggles += toggle_count(noisy.node(id), count);
+        }
+    }
+    NoisyTally {
+        patterns: count,
+        transitions: count.saturating_sub(1),
+        gates,
+        circuit_errors,
+        per_output_errors,
+        clean_gate_toggles,
+        noisy_gate_toggles,
+    }
+}
+
+/// Runs one chunk of the paired clean/noisy Monte-Carlo experiment and
+/// returns its mergeable tallies.
+///
+/// Unlike [`monte_carlo`], a single-pattern chunk is allowed (it simply
+/// contributes no transitions); the chunk-splitting caller is
+/// responsible for requiring a statistically meaningful total.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `patterns == 0`.
+pub fn monte_carlo_tally(
+    netlist: &Netlist,
+    config: &NoisyConfig,
+    patterns: usize,
+    pattern_seed: u64,
+) -> Result<NoisyTally, SimError> {
+    if patterns == 0 {
+        return Err(SimError::bad("patterns", patterns, "must be at least 1"));
+    }
+    let set = PatternSet::random(netlist.input_count(), patterns, pattern_seed);
+    let clean = evaluate_packed(netlist, &set)?;
+    let noisy = evaluate_noisy(netlist, &set, config)?;
+    Ok(tally_runs(netlist, &clean, &noisy))
+}
+
 /// Theorem 1 of the paper: switching activity of an ε-noisy device whose
 /// error-free output has activity `sw`.
 ///
@@ -312,6 +525,100 @@ mod tests {
         assert_eq!(a, b);
         let c = monte_carlo(&nl, &NoisyConfig::new(0.1, 23).unwrap(), 5_000, 22).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn epsilon_boundaries_zero_half_one() {
+        // ε = 0: noise-free. ε = ½: pure coin flip. ε = 1: every gate
+        // deterministically inverted — the far end of the symmetric
+        // branch, simulable even though the bounds assume ε ≤ ½.
+        let nl = single_gate(GateKind::And, 2);
+
+        let at0 = monte_carlo(&nl, &NoisyConfig::new(0.0, 1).unwrap(), 50_000, 2).unwrap();
+        assert_eq!(at0.circuit_error_rate, 0.0);
+
+        let cfg_half = NoisyConfig::new(0.5, 1).unwrap();
+        assert!(!cfg_half.is_symmetric_branch());
+        let at_half = monte_carlo(&nl, &cfg_half, 50_000, 2).unwrap();
+        assert!((at_half.circuit_error_rate - 0.5).abs() < 0.01);
+        assert!((at_half.noisy_avg_gate_activity - 0.5).abs() < 0.01);
+
+        let cfg_one = NoisyConfig::new(1.0, 1).unwrap();
+        assert!(cfg_one.is_symmetric_branch());
+        let at1 = monte_carlo(&nl, &cfg_one, 50_000, 2).unwrap();
+        // Deterministic inversion: the single output is always wrong.
+        assert_eq!(at1.circuit_error_rate, 1.0);
+        // Theorem 1's activity is symmetric in ε ↔ 1-ε: at ε = 1 the
+        // noisy toggle rate equals the clean one exactly.
+        assert_eq!(at1.noisy_avg_gate_activity, at1.clean_avg_gate_activity);
+    }
+
+    #[test]
+    fn strict_constructor_rejects_the_symmetric_branch() {
+        assert!(NoisyConfig::strict(0.0, 0).is_ok());
+        assert!(NoisyConfig::strict(0.5, 0).is_ok());
+        let err = NoisyConfig::strict(0.51, 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("eps <= 1/2") && msg.contains("symmetric branch"),
+            "unhelpful error: {msg}"
+        );
+        assert!(NoisyConfig::strict(1.0, 0).is_err());
+        assert!(NoisyConfig::strict(-0.1, 0).is_err());
+        assert!(NoisyConfig::strict(f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn tally_matches_compare_runs_on_one_chunk() {
+        let nl = single_gate(GateKind::Xor, 3);
+        let cfg = NoisyConfig::new(0.2, 9).unwrap();
+        let set = PatternSet::random(nl.input_count(), 10_000, 10);
+        let clean = evaluate_packed(&nl, &set).unwrap();
+        let noisy = evaluate_noisy(&nl, &set, &cfg).unwrap();
+        let from_compare = compare_runs(&nl, &clean, &noisy);
+        let from_tally = tally_runs(&nl, &clean, &noisy).outcome();
+        assert_eq!(from_tally.patterns, from_compare.patterns);
+        assert_eq!(
+            from_tally.circuit_error_rate,
+            from_compare.circuit_error_rate
+        );
+        assert_eq!(
+            from_tally.per_output_error_rate,
+            from_compare.per_output_error_rate
+        );
+        // Activity averages agree mathematically; single gate ⇒ exactly.
+        assert_eq!(
+            from_tally.noisy_avg_gate_activity,
+            from_compare.noisy_avg_gate_activity
+        );
+    }
+
+    #[test]
+    fn merged_tallies_sum_counts() {
+        let nl = single_gate(GateKind::Or, 2);
+        let cfg_a = NoisyConfig::new(0.1, 1).unwrap();
+        let cfg_b = NoisyConfig::new(0.1, 2).unwrap();
+        let mut a = monte_carlo_tally(&nl, &cfg_a, 1000, 3).unwrap();
+        let b = monte_carlo_tally(&nl, &cfg_b, 500, 4).unwrap();
+        let (ca, cb) = (a.circuit_errors, b.circuit_errors);
+        a.merge(&b);
+        assert_eq!(a.patterns, 1500);
+        assert_eq!(a.transitions, 999 + 499);
+        assert_eq!(a.circuit_errors, ca + cb);
+        let out = a.outcome();
+        assert_eq!(out.patterns, 1500);
+        assert!((out.circuit_error_rate - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn single_pattern_chunks_are_allowed_in_tallies() {
+        let nl = single_gate(GateKind::And, 2);
+        let cfg = NoisyConfig::new(0.3, 5).unwrap();
+        let t = monte_carlo_tally(&nl, &cfg, 1, 6).unwrap();
+        assert_eq!(t.patterns, 1);
+        assert_eq!(t.transitions, 0);
+        assert_eq!(t.outcome().noisy_avg_gate_activity, 0.0);
+        assert!(monte_carlo_tally(&nl, &cfg, 0, 6).is_err());
     }
 
     #[test]

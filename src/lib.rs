@@ -21,6 +21,9 @@
 //! - [`redundancy`] — constructive fault tolerance (NMR, von Neumann
 //!   multiplexing);
 //! - [`report`] — tables, CSV/Markdown emitters, ASCII charts;
+//! - [`runner`] — deterministic parallel execution (work-stealing pool,
+//!   sharded Monte-Carlo, parallel grid sweeps; `--jobs N` is
+//!   byte-identical to `--jobs 1`);
 //! - [`experiments`] — regeneration of every figure and headline claim of
 //!   the paper.
 //!
@@ -57,4 +60,5 @@ pub use nanobound_io as io;
 pub use nanobound_logic as logic;
 pub use nanobound_redundancy as redundancy;
 pub use nanobound_report as report;
+pub use nanobound_runner as runner;
 pub use nanobound_sim as sim;

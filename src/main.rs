@@ -12,14 +12,20 @@
 //! netlist and evaluates the closed-form bounds for hand-supplied
 //! circuit parameters. `figures` regenerates every figure of the paper
 //! into CSV files.
+//!
+//! Every subcommand accepts `--jobs N` (default: the host's available
+//! parallelism). Work is sharded through `nanobound-runner`, whose
+//! determinism contract guarantees the output is byte-identical for
+//! every `N` — parallelism changes wall-clock time, never results.
 
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
 use nanobound::core::{BoundReport, CircuitProfile, DepthBound};
-use nanobound::experiments::profiles::{profile_netlist, ProfileConfig};
+use nanobound::experiments::profiles::{profile_netlist, profile_suite_with, ProfileConfig};
 use nanobound::io::{bench, blif, unroll, Design};
+use nanobound::runner::{try_grid_map, ThreadPool, MAX_JOBS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +58,10 @@ USAGE:
     nanobound bounds [OPTIONS]           evaluate the bounds for explicit
                                          circuit parameters
     nanobound figures [--out DIR]        regenerate every paper figure as CSV
+
+COMMON OPTIONS:
+    --jobs <N>       worker threads (1..=512)  [default: all hardware threads]
+                     results are byte-identical for every N
 
 PROFILE OPTIONS:
     --eps <E>        gate error probability (repeatable; default 0.001 0.01 0.1)
@@ -115,6 +125,23 @@ fn flag_usize(flags: &[(String, String)], name: &str, default: usize) -> Result<
     }
 }
 
+/// Builds the worker pool from `--jobs` (default: hardware threads).
+///
+/// Absurd values are configuration errors, not panics: `--jobs 0` and
+/// anything above [`MAX_JOBS`] are rejected with the runner's own
+/// message naming the supported range.
+fn pool_from_flags(flags: &[(String, String)]) -> Result<ThreadPool, String> {
+    match flag_values(flags, "jobs").last() {
+        None => Ok(ThreadPool::auto()),
+        Some(v) => {
+            let jobs: usize = v.parse().map_err(|_| {
+                format!("--jobs: `{v}` is not an integer (supported: 1..={MAX_JOBS})")
+            })?;
+            ThreadPool::new(jobs).map_err(|e| format!("--jobs: {e}"))
+        }
+    }
+}
+
 fn epsilons(flags: &[(String, String)]) -> Result<Vec<f64>, String> {
     let supplied = flag_values(flags, "eps");
     if supplied.is_empty() {
@@ -153,6 +180,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let patterns = flag_usize(&flags, "patterns", 10_000)?;
     let leak = flag_f64(&flags, "leak", 0.5)?;
     let eps = epsilons(&flags)?;
+    let pool = pool_from_flags(&flags)?;
 
     let design = load_design(path)?;
     let netlist = if design.is_sequential() {
@@ -171,7 +199,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     };
     let profiled = profile_netlist(&netlist, None, &config).map_err(|e| e.to_string())?;
     println!("profile: {}", profiled.profile);
-    print_reports(&profiled.profile, &eps, delta)
+    print_reports(&pool, &profiled.profile, &eps, delta)
 }
 
 fn cmd_bounds(args: &[String]) -> Result<(), String> {
@@ -201,13 +229,24 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
     };
     let delta = flag_f64(&flags, "delta", 0.01)?;
     let eps = epsilons(&flags)?;
+    let pool = pool_from_flags(&flags)?;
     println!("profile: {profile}");
-    print_reports(&profile, &eps, delta)
+    print_reports(&pool, &profile, &eps, delta)
 }
 
-fn print_reports(profile: &CircuitProfile, epsilons: &[f64], delta: f64) -> Result<(), String> {
-    for &eps in epsilons {
-        let r = BoundReport::evaluate(profile, eps, delta).map_err(|e| e.to_string())?;
+/// Evaluates one bound report per ε across the pool (grid order is
+/// preserved, so the printed output never depends on the worker count)
+/// and prints them.
+fn print_reports(
+    pool: &ThreadPool,
+    profile: &CircuitProfile,
+    epsilons: &[f64],
+    delta: f64,
+) -> Result<(), String> {
+    let reports = try_grid_map(pool, epsilons, |&eps| {
+        BoundReport::evaluate(profile, eps, delta).map_err(|e| e.to_string())
+    })?;
+    for (&eps, r) in epsilons.iter().zip(&reports) {
         println!("\nbounds at eps = {eps}, delta = {delta}:");
         println!(
             "  size        >= {:.4}x  ({:.1} added gates)",
@@ -249,18 +288,19 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
         .copied()
         .unwrap_or("results")
         .to_owned();
+    let pool = pool_from_flags(&flags)?;
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
 
-    use nanobound::experiments::profiles::profile_suite;
     use nanobound::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline};
     let mut figures = vec![
-        fig2::generate(),
-        fig3::generate(),
-        fig4::generate(),
-        fig5::generate(),
-        fig6::generate(),
+        fig2::generate_with(&pool),
+        fig3::generate_with(&pool),
+        fig4::generate_with(&pool),
+        fig5::generate_with(&pool),
+        fig6::generate_with(&pool),
     ];
-    let profiles = profile_suite(&ProfileConfig::default()).map_err(|e| e.to_string())?;
+    let profiles =
+        profile_suite_with(&pool, &ProfileConfig::default()).map_err(|e| e.to_string())?;
     figures.push(fig7::generate_from(&profiles));
     figures.push(fig8::generate_from(&profiles));
     figures.push(headline::generate_from(&profiles));

@@ -103,9 +103,12 @@ fn profile_reports_parse_errors() {
 
 #[test]
 fn figures_writes_csv_files() {
+    // `--jobs 2` exercises the flag on the figures path; byte-identity
+    // across worker counts is pinned by tests/figures_golden.rs, which
+    // compares --jobs 1 and --jobs 5 runs against the committed goldens.
     let dir = std::env::temp_dir().join("nanobound_cli_test_figures");
     let _ = std::fs::remove_dir_all(&dir);
-    let (ok, out, err) = run(&["figures", "--out", dir.to_str().unwrap()]);
+    let (ok, out, err) = run(&["figures", "--out", dir.to_str().unwrap(), "--jobs", "2"]);
     assert!(ok, "stderr: {err}");
     assert!(out.contains("wrote "), "out: {out}");
     let csvs = std::fs::read_dir(&dir)
@@ -127,4 +130,79 @@ fn missing_flag_value_is_an_error() {
     let (ok, _, err) = run(&["bounds", "--size"]);
     assert!(!ok);
     assert!(err.contains("expects a value"));
+}
+
+const BOUNDS_ARGS: &[&str] = &[
+    "bounds",
+    "--size",
+    "21",
+    "--sensitivity",
+    "10",
+    "--activity",
+    "0.5",
+    "--fanin",
+    "3",
+];
+
+#[test]
+fn jobs_zero_is_a_clean_error_not_a_panic() {
+    let (ok, _, err) = run(&[BOUNDS_ARGS, &["--jobs", "0"]].concat());
+    assert!(!ok);
+    assert!(
+        err.contains("--jobs") && err.contains("must lie in 1..="),
+        "stderr: {err}"
+    );
+    assert!(!err.contains("panicked"), "stderr: {err}");
+}
+
+#[test]
+fn absurd_jobs_values_are_rejected() {
+    for bad in ["1000000", "-3", "2.5", "many"] {
+        let (ok, _, err) = run(&[BOUNDS_ARGS, &["--jobs", bad]].concat());
+        assert!(!ok, "--jobs {bad} unexpectedly succeeded");
+        assert!(err.contains("--jobs"), "--jobs {bad}: stderr {err}");
+        assert!(!err.contains("panicked"), "--jobs {bad}: stderr {err}");
+    }
+}
+
+#[test]
+fn bounds_output_is_identical_across_jobs() {
+    let args = [
+        BOUNDS_ARGS,
+        &["--eps", "0.001", "--eps", "0.01", "--eps", "0.1"],
+    ]
+    .concat();
+    let (ok1, out1, err1) = run(&[&args[..], &["--jobs", "1"]].concat());
+    let (ok4, out4, _) = run(&[&args[..], &["--jobs", "4"]].concat());
+    assert!(ok1 && ok4, "stderr: {err1}");
+    assert_eq!(out1, out4, "--jobs changed the bounds output");
+}
+
+#[test]
+fn profile_accepts_jobs_flag() {
+    let dir = std::env::temp_dir().join("nanobound_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("xor2_jobs.bench");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+    let (ok, out, err) = run(&[
+        "profile",
+        path.to_str().unwrap(),
+        "--eps",
+        "0.05",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("eps = 0.05"), "out: {out}");
+}
+
+#[test]
+fn usage_documents_the_jobs_flag() {
+    let (ok, _, err) = run(&["--help"]);
+    assert!(ok);
+    assert!(err.contains("--jobs"), "usage missing --jobs: {err}");
+    // The usage text hardcodes the range; keep it tied to the runner's
+    // actual ceiling so the two cannot silently diverge.
+    let range = format!("1..={}", nanobound::runner::MAX_JOBS);
+    assert!(err.contains(&range), "usage range stale: {err}");
 }

@@ -1,0 +1,88 @@
+//! Golden-file regression gate over the `figures` artifacts.
+//!
+//! The CSVs under `tests/golden/` are the committed output of
+//! `nanobound figures`. This test regenerates them — once on the serial
+//! engine and once with several workers — and requires byte-for-byte
+//! equality, so it catches both figure drift (a bound formula or sweep
+//! grid changed without refreshing the goldens) and any nondeterminism
+//! the parallel runner would introduce (worker-dependent RNG streams,
+//! order-dependent float accumulation, racy table assembly).
+//!
+//! To refresh after an intentional figure change:
+//! `cargo run --release -- figures --out tests/golden`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// Runs `nanobound figures --out <dir> --jobs <jobs>` and returns the
+/// produced files as name → bytes.
+fn regenerate(dir: &Path, jobs: &str) -> BTreeMap<String, Vec<u8>> {
+    let out = Command::new(env!("CARGO_BIN_EXE_nanobound"))
+        .args(["figures", "--out", dir.to_str().unwrap(), "--jobs", jobs])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "figures --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    read_csvs(dir)
+}
+
+fn read_csvs(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap())
+        .filter(|entry| entry.path().extension().is_some_and(|x| x == "csv"))
+        .map(|entry| {
+            (
+                entry.file_name().into_string().unwrap(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_matches_golden(fresh: &BTreeMap<String, Vec<u8>>, label: &str) {
+    let golden = read_csvs(&golden_dir());
+    assert!(!golden.is_empty(), "no golden CSVs committed");
+    assert_eq!(
+        fresh.keys().collect::<Vec<_>>(),
+        golden.keys().collect::<Vec<_>>(),
+        "{label}: artifact set diverged from tests/golden/"
+    );
+    for (name, bytes) in &golden {
+        assert_eq!(
+            &fresh[name], bytes,
+            "{label}: {name} differs from the committed golden \
+             (refresh with `cargo run --release -- figures --out tests/golden` \
+             if the figure change is intentional)"
+        );
+    }
+}
+
+#[test]
+fn serial_figures_match_the_committed_goldens() {
+    let dir = std::env::temp_dir().join("nanobound_golden_j1");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = regenerate(&dir, "1");
+    assert_matches_golden(&fresh, "--jobs 1");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parallel_figures_match_the_committed_goldens() {
+    // 5 workers: deliberately coprime to every sweep length in the
+    // figure set, so contiguous-block dealing never aligns with a
+    // family boundary by luck.
+    let dir = std::env::temp_dir().join("nanobound_golden_j5");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = regenerate(&dir, "5");
+    assert_matches_golden(&fresh, "--jobs 5");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
