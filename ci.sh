@@ -13,6 +13,10 @@
 #      hardware thread — plus a byte-level diff of the `figures` CSVs at
 #      --jobs 1 vs --jobs $(nproc), so any single-thread/multi-thread
 #      divergence in the parallel runner fails the gate
+#   6. the cache gate: `figures` cold into a fresh --cache-dir, again
+#      warm from the same cache, and once more with --no-cache, diffing
+#      all three outputs byte-for-byte — a cache that changes results
+#      (or a warm run that misses) fails the gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,5 +42,20 @@ trap 'rm -rf "$detdir"' EXIT
 target/release/nanobound figures --out "$detdir/j1" --jobs 1 >/dev/null
 target/release/nanobound figures --out "$detdir/jn" --jobs "$(nproc)" >/dev/null
 diff -r "$detdir/j1" "$detdir/jn"
+
+echo "==> cache gate: figures cold vs warm vs --no-cache"
+target/release/nanobound figures --out "$detdir/cold" --cache-dir "$detdir/cache" \
+    --jobs "$(nproc)" >/dev/null
+warm_summary="$(target/release/nanobound figures --out "$detdir/warm" \
+    --cache-dir "$detdir/cache" --jobs 1 | grep '^cache ')"
+case "$warm_summary" in
+  *" 0 misses"*) ;;
+  *) echo "warm run was not fully cached: $warm_summary" >&2; exit 1 ;;
+esac
+target/release/nanobound figures --out "$detdir/nocache" --cache-dir "$detdir/cache" \
+    --no-cache >/dev/null
+diff -r "$detdir/cold" "$detdir/warm"
+diff -r "$detdir/cold" "$detdir/nocache"
+diff -r "$detdir/j1" "$detdir/cold"
 
 echo "CI green."

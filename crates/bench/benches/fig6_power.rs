@@ -3,7 +3,11 @@
 //! Run: `cargo bench -p nanobound-bench --bench fig6_power`
 
 fn main() {
-    let fig = nanobound_experiments::fig6::generate_with(&nanobound_bench::pool_from_env())
-        .expect("fixed parameters are valid");
+    let cache = nanobound_bench::cache_from_env();
+    let fig = nanobound_experiments::fig6::generate_cached(
+        &nanobound_bench::pool_from_env(),
+        cache.as_ref(),
+    )
+    .expect("fixed parameters are valid");
     nanobound_bench::print_figure(&fig);
 }

@@ -3,11 +3,15 @@
 //!
 //! Run: `cargo bench -p nanobound-bench --bench fig7_benchmarks`
 
-use nanobound_experiments::profiles::{profile_suite_with, ProfileConfig};
+use nanobound_experiments::profiles::{profile_suite_cached, ProfileConfig};
 
 fn main() {
-    let profiles = profile_suite_with(&nanobound_bench::pool_from_env(), &ProfileConfig::default())
-        .expect("suite profiles");
+    let profiles = profile_suite_cached(
+        &nanobound_bench::pool_from_env(),
+        &ProfileConfig::default(),
+        nanobound_bench::cache_from_env().as_ref(),
+    )
+    .expect("suite profiles");
     println!("profiled {} benchmarks:", profiles.len());
     for p in &profiles {
         println!("  {}", p.profile);

@@ -4,11 +4,15 @@
 //!
 //! Run: `cargo bench -p nanobound-bench --bench headline_claims`
 
-use nanobound_experiments::profiles::{profile_suite_with, ProfileConfig};
+use nanobound_experiments::profiles::{profile_suite_cached, ProfileConfig};
 
 fn main() {
-    let profiles = profile_suite_with(&nanobound_bench::pool_from_env(), &ProfileConfig::default())
-        .expect("suite profiles");
+    let profiles = profile_suite_cached(
+        &nanobound_bench::pool_from_env(),
+        &ProfileConfig::default(),
+        nanobound_bench::cache_from_env().as_ref(),
+    )
+    .expect("suite profiles");
     let fig = nanobound_experiments::headline::generate_from(&profiles).expect("valid profiles");
     nanobound_bench::print_figure(&fig);
 }

@@ -6,8 +6,12 @@
 //! Run: `cargo bench -p nanobound-bench --bench validation_montecarlo`
 
 fn main() {
-    for fig in nanobound_experiments::validation::generate_with(&nanobound_bench::pool_from_env())
-        .expect("fixed parameters")
+    let cache = nanobound_bench::cache_from_env();
+    for fig in nanobound_experiments::validation::generate_cached(
+        &nanobound_bench::pool_from_env(),
+        cache.as_ref(),
+    )
+    .expect("fixed parameters")
     {
         nanobound_bench::print_figure(&fig);
     }

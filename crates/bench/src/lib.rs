@@ -13,6 +13,7 @@
 //!
 //! This library crate only hosts shared helpers.
 
+use nanobound_cache::ShardCache;
 use nanobound_experiments::FigureOutput;
 use nanobound_runner::ThreadPool;
 
@@ -43,6 +44,29 @@ pub fn pool_from_env() -> ThreadPool {
                 .unwrap_or_else(|_| panic!("NANOBOUND_JOBS=`{v}` is not an integer"));
             ThreadPool::new(jobs).expect("NANOBOUND_JOBS out of the supported range")
         }
+    }
+}
+
+/// Opens the shard cache for a bench run from the
+/// `NANOBOUND_CACHE_DIR` environment variable (default: no caching).
+///
+/// The figure benches regenerate identical artifacts whether or not a
+/// cache is configured — the CI determinism gates rely on that — so the
+/// variable only trades recomputation for disk reads on repeated runs.
+///
+/// # Panics
+///
+/// Panics when the configured directory cannot be created: a bench run
+/// that silently dropped its cache override would misreport warm-run
+/// timings.
+#[must_use]
+pub fn cache_from_env() -> Option<ShardCache> {
+    match std::env::var("NANOBOUND_CACHE_DIR") {
+        Err(_) => None,
+        Ok(dir) => Some(
+            ShardCache::open(&dir)
+                .unwrap_or_else(|e| panic!("NANOBOUND_CACHE_DIR=`{dir}` cannot be opened: {e}")),
+        ),
     }
 }
 

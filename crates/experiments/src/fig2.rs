@@ -5,13 +5,14 @@
 //! pivoting around the fixed point `(½, ½)`, flattening to the constant
 //! ½ at ε = ½.
 
+use nanobound_cache::ShardCache;
 use nanobound_core::sweep::linspace;
 use nanobound_core::switching::noisy_activity;
 use nanobound_report::{Cell, Chart, Series, Table};
-use nanobound_runner::{grid_map, ThreadPool};
+use nanobound_runner::{grid_map_cached, ThreadPool};
 
 use crate::error::ExperimentError;
-use crate::figure::FigureOutput;
+use crate::figure::{sweep_fingerprint, FigureOutput};
 
 /// The ε values of the plotted family.
 pub const EPSILONS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
@@ -33,8 +34,22 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`generate`].
 pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    generate_cached(pool, None)
+}
+
+/// Regenerates Figure 2 with per-cell results served from / written to
+/// `cache` — byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let sw_values = linspace(0.0, 1.0, 21);
-    let families: Vec<Vec<f64>> = grid_map(pool, &sw_values, |&sw| {
+    let fingerprint = sweep_fingerprint("fig2", &sw_values, &EPSILONS);
+    let families: Vec<Vec<f64>> = grid_map_cached(pool, &sw_values, &fingerprint, cache, |&sw| {
         EPSILONS.iter().map(|&e| noisy_activity(sw, e)).collect()
     });
     let mut table = Table::new(
@@ -96,6 +111,20 @@ mod tests {
         let serial = generate().unwrap();
         let par = generate_with(&ThreadPool::new(4).unwrap()).unwrap();
         assert_eq!(serial.tables[0].to_csv(), par.tables[0].to_csv());
+    }
+
+    #[test]
+    fn warm_cache_regeneration_is_identical() {
+        let dir = std::env::temp_dir().join("nanobound_fig2_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ShardCache::open(&dir).unwrap();
+        let serial = generate().unwrap();
+        let cold = generate_cached(&ThreadPool::new(2).unwrap(), Some(&cache)).unwrap();
+        let warm = generate_cached(&ThreadPool::serial(), Some(&cache)).unwrap();
+        assert_eq!(serial.tables[0].to_csv(), cold.tables[0].to_csv());
+        assert_eq!(serial.tables[0].to_csv(), warm.tables[0].to_csv());
+        assert_eq!(cache.stats().hits, 21);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

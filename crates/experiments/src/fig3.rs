@@ -2,13 +2,14 @@
 //! 10-input parity function (`s = 10`, `S₀ = 21`, δ = 0.01), with 2-,
 //! 3- and 4-input gate libraries.
 
+use nanobound_cache::ShardCache;
 use nanobound_core::size::redundancy_lower_bound;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
-use nanobound_runner::{try_grid_map, ThreadPool};
+use nanobound_runner::{try_grid_map_cached, ThreadPool};
 
 use crate::error::ExperimentError;
-use crate::figure::FigureOutput;
+use crate::figure::{sweep_fingerprint, FigureOutput};
 
 /// Sensitivity of the target function (10-input parity).
 pub const SENSITIVITY: f64 = 10.0;
@@ -36,14 +37,31 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`generate`].
 pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    generate_cached(pool, None)
+}
+
+/// Regenerates Figure 3 with per-cell results served from / written to
+/// `cache` — byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.005, 0.495, 50);
-    let bounds: Vec<Vec<f64>> = try_grid_map(pool, &epsilons, |&eps| {
-        FANINS
-            .iter()
-            .map(|&k| redundancy_lower_bound(SENSITIVITY, k, eps, DELTA))
-            .collect::<Result<_, _>>()
-            .map_err(ExperimentError::from)
-    })?;
+    let mut params = vec![SENSITIVITY, DELTA];
+    params.extend_from_slice(&FANINS);
+    let fingerprint = sweep_fingerprint("fig3", &epsilons, &params);
+    let bounds: Vec<Vec<f64>> =
+        try_grid_map_cached(pool, &epsilons, &fingerprint, cache, |&eps| {
+            FANINS
+                .iter()
+                .map(|&k| redundancy_lower_bound(SENSITIVITY, k, eps, DELTA))
+                .collect::<Result<_, _>>()
+                .map_err(ExperimentError::from)
+        })?;
     let mut table = Table::new(
         "Figure 3 — minimum added redundancy (gates), s=10, S0=21, delta=0.01",
         std::iter::once("epsilon".to_owned()).chain(FANINS.iter().map(|k| format!("k={k}"))),

@@ -1,13 +1,14 @@
 //! Figure 4: normalized leakage/switching energy ratio vs device error,
 //! for a family of error-free switching activities (log-Y in the paper).
 
+use nanobound_cache::ShardCache;
 use nanobound_core::leakage::leakage_ratio_factor;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
-use nanobound_runner::{try_grid_map, ThreadPool};
+use nanobound_runner::{try_grid_map_cached, ThreadPool};
 
 use crate::error::ExperimentError;
-use crate::figure::FigureOutput;
+use crate::figure::{sweep_fingerprint, FigureOutput};
 
 /// The error-free switching activities of the plotted family.
 pub const ACTIVITIES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
@@ -29,14 +30,29 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`generate`].
 pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    generate_cached(pool, None)
+}
+
+/// Regenerates Figure 4 with per-cell results served from / written to
+/// `cache` — byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.5, 51);
-    let ratios: Vec<Vec<f64>> = try_grid_map(pool, &epsilons, |&eps| {
-        ACTIVITIES
-            .iter()
-            .map(|&sw0| leakage_ratio_factor(sw0, eps))
-            .collect::<Result<_, _>>()
-            .map_err(ExperimentError::from)
-    })?;
+    let fingerprint = sweep_fingerprint("fig4", &epsilons, &ACTIVITIES);
+    let ratios: Vec<Vec<f64>> =
+        try_grid_map_cached(pool, &epsilons, &fingerprint, cache, |&eps| {
+            ACTIVITIES
+                .iter()
+                .map(|&sw0| leakage_ratio_factor(sw0, eps))
+                .collect::<Result<_, _>>()
+                .map_err(ExperimentError::from)
+        })?;
     let mut table = Table::new(
         "Figure 4 — normalized leakage/switching ratio W(eps)/W0",
         std::iter::once("epsilon".to_owned())

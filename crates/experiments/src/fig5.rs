@@ -6,15 +6,16 @@
 //! Curves exist only while `ξ² > 1/k`; each fanin's curve blows up at
 //! its feasibility threshold ε* = (1 - k^(-1/2))/2.
 
+use nanobound_cache::ShardCache;
 use nanobound_core::composite::energy_delay_factor;
 use nanobound_core::depth::delay_factor;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
-use nanobound_runner::{try_grid_map, ThreadPool};
+use nanobound_runner::{try_grid_map_cached, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::fig3::{DELTA, FANINS, S0, SENSITIVITY};
-use crate::figure::FigureOutput;
+use crate::figure::{sweep_fingerprint, FigureOutput};
 
 /// Baseline average switching activity.
 pub const SW0: f64 = 0.5;
@@ -39,18 +40,35 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`generate`].
 pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    generate_cached(pool, None)
+}
+
+/// Regenerates Figure 5 with per-cell results served from / written to
+/// `cache` — byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.26, 53);
+    let mut params = vec![S0, SENSITIVITY, SW0, LEAK_SHARE, DELTA];
+    params.extend_from_slice(&FANINS);
+    let fingerprint = sweep_fingerprint("fig5", &epsilons, &params);
     type PointRow = Vec<(Option<f64>, Option<f64>)>;
-    let points: Vec<PointRow> = try_grid_map(pool, &epsilons, |&eps| {
-        FANINS
-            .iter()
-            .map(|&k| {
-                let d = delay_factor(k, eps)?;
-                let edp = energy_delay_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA)?;
-                Ok::<_, ExperimentError>((d, edp))
-            })
-            .collect()
-    })?;
+    let points: Vec<PointRow> =
+        try_grid_map_cached(pool, &epsilons, &fingerprint, cache, |&eps| {
+            FANINS
+                .iter()
+                .map(|&k| {
+                    let d = delay_factor(k, eps)?;
+                    let edp = energy_delay_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA)?;
+                    Ok::<_, ExperimentError>((d, edp))
+                })
+                .collect()
+        })?;
     let mut table = Table::new(
         "Figure 5 — normalized delay and energy*delay lower bounds",
         std::iter::once("epsilon".to_owned())

@@ -5,15 +5,16 @@
 //! delay blow-up dominates and average power falls *below* the
 //! error-free circuit.
 
+use nanobound_cache::ShardCache;
 use nanobound_core::composite::average_power_factor;
 use nanobound_core::sweep::linspace;
 use nanobound_report::{Cell, Chart, Series, Table};
-use nanobound_runner::{try_grid_map, ThreadPool};
+use nanobound_runner::{try_grid_map_cached, ThreadPool};
 
 use crate::error::ExperimentError;
 use crate::fig3::{DELTA, FANINS, S0, SENSITIVITY};
 use crate::fig5::{LEAK_SHARE, SW0};
-use crate::figure::FigureOutput;
+use crate::figure::{sweep_fingerprint, FigureOutput};
 
 /// Regenerates Figure 6 on the serial engine.
 ///
@@ -32,14 +33,31 @@ pub fn generate() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`generate`].
 pub fn generate_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    generate_cached(pool, None)
+}
+
+/// Regenerates Figure 6 with per-cell results served from / written to
+/// `cache` — byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let epsilons = linspace(0.0, 0.26, 105);
-    let powers: Vec<Vec<Option<f64>>> = try_grid_map(pool, &epsilons, |&eps| {
-        FANINS
-            .iter()
-            .map(|&k| average_power_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA))
-            .collect::<Result<_, _>>()
-            .map_err(ExperimentError::from)
-    })?;
+    let mut params = vec![S0, SENSITIVITY, SW0, LEAK_SHARE, DELTA];
+    params.extend_from_slice(&FANINS);
+    let fingerprint = sweep_fingerprint("fig6", &epsilons, &params);
+    let powers: Vec<Vec<Option<f64>>> =
+        try_grid_map_cached(pool, &epsilons, &fingerprint, cache, |&eps| {
+            FANINS
+                .iter()
+                .map(|&k| average_power_factor(S0, SENSITIVITY, k, SW0, LEAK_SHARE, eps, DELTA))
+                .collect::<Result<_, _>>()
+                .map_err(ExperimentError::from)
+        })?;
     let mut table = Table::new(
         "Figure 6 — normalized average power lower bound",
         std::iter::once("epsilon".to_owned()).chain(FANINS.iter().map(|k| format!("k={k}"))),

@@ -8,6 +8,13 @@
 //! [`profiles::profile_suite`] once and pass the result to their
 //! `generate_from` variants to avoid re-profiling.
 //!
+//! Every generator also has a `generate_cached` variant taking an
+//! optional [`nanobound_cache::ShardCache`]: sweep cells, Monte-Carlo
+//! chunk tallies and benchmark measurements are then served from the
+//! content-addressed store when present. Cached payloads round-trip
+//! bit-exactly, so warm-cache output is byte-identical to a cold or
+//! uncached run (the golden-CSV suite pins this end to end).
+//!
 //! | Paper artifact | Module |
 //! |----------------|--------|
 //! | Figure 2 (noisy switching activity) | [`fig2`] |

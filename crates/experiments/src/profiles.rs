@@ -13,10 +13,11 @@
 //! 3. sensitivity comes from the generator's analytic hint when one
 //!    exists, exact enumeration for ≤ 20 inputs, or sampling.
 
+use nanobound_cache::{CacheCodec, Decoder, Encoder, FingerprintBuilder, ShardCache};
 use nanobound_core::CircuitProfile;
 use nanobound_gen::{standard_suite, Benchmark};
 use nanobound_logic::{transform, CircuitStats, Netlist};
-use nanobound_runner::{try_grid_map, ThreadPool};
+use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
 use nanobound_sim::{estimate_activity, sensitivity};
 
 use crate::error::ExperimentError;
@@ -64,6 +65,62 @@ impl Default for ProfileConfig {
     }
 }
 
+impl CacheCodec for SensitivitySource {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SensitivitySource::Hint => enc.put_u64(0),
+            SensitivitySource::Exact => enc.put_u64(1),
+            SensitivitySource::Sampled { samples } => {
+                enc.put_u64(2);
+                enc.put_usize(*samples);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Option<Self> {
+        match dec.take_u64()? {
+            0 => Some(SensitivitySource::Hint),
+            1 => Some(SensitivitySource::Exact),
+            2 => Some(SensitivitySource::Sampled {
+                samples: dec.take_usize()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The cached slice of one benchmark's measurement: the two quantities
+/// the simulator produces. Everything else in a [`CircuitProfile`] is
+/// recomputed structurally (mapping and stats are cheap and
+/// deterministic), so the cache stores only what is expensive.
+struct Measurement {
+    /// Raw `avg_gate_activity` (pre-clamp).
+    activity: f64,
+    /// Measured or hinted sensitivity.
+    sensitivity: f64,
+    source: SensitivitySource,
+}
+
+impl CacheCodec for Measurement {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.activity);
+        enc.put_f64(self.sensitivity);
+        self.source.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder) -> Option<Self> {
+        let m = Measurement {
+            activity: dec.take_f64()?,
+            sensitivity: dec.take_f64()?,
+            source: SensitivitySource::decode(dec)?,
+        };
+        // Sanity-gate decoded values: anything outside the simulator's
+        // codomain is a stale or colliding entry — recompute.
+        ((0.0..=1.0).contains(&m.activity) && m.sensitivity.is_finite() && m.sensitivity >= 0.0)
+            .then_some(m)
+    }
+}
+
 /// A benchmark taken through the full measurement pipeline.
 #[derive(Clone, Debug)]
 pub struct ProfiledBenchmark {
@@ -92,33 +149,90 @@ pub fn profile_netlist(
     sensitivity_hint: Option<u32>,
     config: &ProfileConfig,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
+    profile_netlist_cached(netlist, sensitivity_hint, config, None)
+}
+
+/// [`profile_netlist`] with the expensive measurements (activity
+/// simulation, sensitivity estimation) served from / written to
+/// `cache`.
+///
+/// The mapped netlist and its structural statistics are always
+/// recomputed — `transform::prepare` is deterministic and cheap — so a
+/// cache hit reproduces the exact [`ProfiledBenchmark`] a cold run
+/// builds, floats included (the cache stores their bit patterns). The
+/// fingerprint covers the *mapped* netlist structure, the measurement
+/// parameters and the hint, so any change to the benchmark or the
+/// config addresses fresh entries.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`]; cache failures degrade to measurement.
+pub fn profile_netlist_cached(
+    netlist: &Netlist,
+    sensitivity_hint: Option<u32>,
+    config: &ProfileConfig,
+    cache: Option<&ShardCache>,
+) -> Result<ProfiledBenchmark, ExperimentError> {
     let mapped = transform::prepare(netlist, config.max_fanin)?;
     let stats = CircuitStats::of(&mapped);
-    let activity = estimate_activity(&mapped, config.patterns, config.seed)?;
-    let (sensitivity, source) = match sensitivity_hint {
-        Some(s) => (f64::from(s), SensitivitySource::Hint),
+
+    let fingerprint = cache.map(|_| {
+        let mut builder = FingerprintBuilder::new("profile");
+        netlist_fingerprint(&mut builder, &mapped);
+        builder.push_usize(config.patterns);
+        builder.push_usize(config.sensitivity_samples);
+        builder.push_u64(config.seed);
+        match sensitivity_hint {
+            None => builder.push_u64(u64::MAX),
+            Some(s) => builder.push_u64(u64::from(s)),
+        }
+        builder.finish()
+    });
+    let cached = match (cache, &fingerprint) {
+        (Some(c), Some(fp)) => c.load_value::<Measurement>(fp, 0),
+        _ => None,
+    };
+    let measurement = match cached {
+        Some(m) => m,
         None => {
-            let est = sensitivity::estimate(&mapped, config.sensitivity_samples, config.seed)?;
-            let source = if est.is_exact() {
-                SensitivitySource::Exact
-            } else {
-                SensitivitySource::Sampled {
-                    samples: config.sensitivity_samples,
+            let activity = estimate_activity(&mapped, config.patterns, config.seed)?;
+            let (sensitivity, source) = match sensitivity_hint {
+                Some(s) => (f64::from(s), SensitivitySource::Hint),
+                None => {
+                    let est =
+                        sensitivity::estimate(&mapped, config.sensitivity_samples, config.seed)?;
+                    let source = if est.is_exact() {
+                        SensitivitySource::Exact
+                    } else {
+                        SensitivitySource::Sampled {
+                            samples: config.sensitivity_samples,
+                        }
+                    };
+                    (f64::from(est.value()), source)
                 }
             };
-            (f64::from(est.value()), source)
+            let measurement = Measurement {
+                activity: activity.avg_gate_activity,
+                sensitivity,
+                source,
+            };
+            if let (Some(c), Some(fp)) = (cache, &fingerprint) {
+                c.store_value(fp, 0, &measurement);
+            }
+            measurement
         }
     };
+
     let profile = CircuitProfile {
         name: netlist.name().to_owned(),
         inputs: stats.num_inputs,
         outputs: stats.num_outputs,
         size: stats.num_gates,
         depth: stats.depth,
-        sensitivity,
+        sensitivity: measurement.sensitivity,
         // Clamp into the open interval the bounds require; a measured 0
         // or 1 only occurs for degenerate circuits.
-        activity: activity.avg_gate_activity.clamp(1e-6, 1.0 - 1e-6),
+        activity: measurement.activity.clamp(1e-6, 1.0 - 1e-6),
         fanin: (stats.max_fanin.max(2)) as f64,
         leak_share: config.leak_share,
     };
@@ -126,7 +240,7 @@ pub fn profile_netlist(
         name: netlist.name().to_owned(),
         mapped,
         profile,
-        sensitivity_source: source,
+        sensitivity_source: measurement.source,
     })
 }
 
@@ -140,6 +254,24 @@ pub fn profile_benchmark(
     config: &ProfileConfig,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
     profile_netlist(&benchmark.netlist, benchmark.sensitivity_hint, config)
+}
+
+/// [`profile_benchmark`] through the measurement cache.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+pub fn profile_benchmark_cached(
+    benchmark: &Benchmark,
+    config: &ProfileConfig,
+    cache: Option<&ShardCache>,
+) -> Result<ProfiledBenchmark, ExperimentError> {
+    profile_netlist_cached(
+        &benchmark.netlist,
+        benchmark.sensitivity_hint,
+        config,
+        cache,
+    )
 }
 
 /// Profiles the paper's whole Section-6 suite.
@@ -180,8 +312,23 @@ pub fn profile_suite_with(
     pool: &ThreadPool,
     config: &ProfileConfig,
 ) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
+    profile_suite_cached(pool, config, None)
+}
+
+/// Profiles the Section-6 suite with per-benchmark measurements served
+/// from / written to `cache` — the dominant cost of a `figures` run, so
+/// this is where a warm cache pays off most.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+pub fn profile_suite_cached(
+    pool: &ThreadPool,
+    config: &ProfileConfig,
+    cache: Option<&ShardCache>,
+) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
     let suite = standard_suite()?;
-    try_grid_map(pool, &suite, |b| profile_benchmark(b, config))
+    try_grid_map(pool, &suite, |b| profile_benchmark_cached(b, config, cache))
 }
 
 #[cfg(test)]
@@ -261,6 +408,36 @@ mod tests {
         let a = profile_netlist(&tree, None, &quick()).unwrap();
         let b = profile_netlist(&tree, None, &quick()).unwrap();
         assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn cached_profile_is_identical_to_measured() {
+        let dir = std::env::temp_dir().join("nanobound_profiles_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ShardCache::open(&dir).unwrap();
+        let config = quick();
+        let tree = parity::parity_tree(8, 2).unwrap();
+        let plain = profile_netlist(&tree, None, &config).unwrap();
+        let cold = profile_netlist_cached(&tree, None, &config, Some(&cache)).unwrap();
+        let warm = profile_netlist_cached(&tree, None, &config, Some(&cache)).unwrap();
+        for p in [&cold, &warm] {
+            assert_eq!(p.profile, plain.profile);
+            assert_eq!(p.sensitivity_source, plain.sensitivity_source);
+            assert_eq!(p.mapped, plain.mapped);
+        }
+        assert_eq!(cache.stats().hits, 1);
+        // A different seed is a different experiment: miss, not stale hit.
+        let other = ProfileConfig {
+            seed: 0xD00D,
+            ..config
+        };
+        let _ = profile_netlist_cached(&tree, None, &other, Some(&cache)).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+        // A hint is part of the identity too.
+        let hinted = profile_netlist_cached(&tree, Some(8), &config, Some(&cache)).unwrap();
+        assert_eq!(hinted.sensitivity_source, SensitivitySource::Hint);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -13,13 +13,14 @@
 //!   above the bound curve, and their measured output error δ̂ shows by
 //!   how much.
 
+use nanobound_cache::ShardCache;
 use nanobound_core::size::strict_size_factor;
 use nanobound_core::switching::noisy_activity;
 use nanobound_gen::{alu, parity, priority};
 use nanobound_logic::Netlist;
 use nanobound_redundancy::{multiplex, nmr, MultiplexConfig};
 use nanobound_report::{Cell, Table};
-use nanobound_runner::{monte_carlo_sharded, ThreadPool, DEFAULT_CHUNK};
+use nanobound_runner::{monte_carlo_sharded_cached, ThreadPool, DEFAULT_CHUNK};
 use nanobound_sim::{NoisyConfig, NoisyOutcome, SimError};
 
 use crate::error::ExperimentError;
@@ -38,8 +39,17 @@ fn validation_mc(
     netlist: &Netlist,
     config: &NoisyConfig,
     pattern_seed: u64,
+    cache: Option<&ShardCache>,
 ) -> Result<NoisyOutcome, SimError> {
-    monte_carlo_sharded(pool, netlist, config, PATTERNS, pattern_seed, DEFAULT_CHUNK)
+    monte_carlo_sharded_cached(
+        pool,
+        netlist,
+        config,
+        PATTERNS,
+        pattern_seed,
+        DEFAULT_CHUNK,
+        cache,
+    )
 }
 
 /// V1: Theorem-1 validation table, on the serial engine.
@@ -59,6 +69,19 @@ pub fn theorem1_validation() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`theorem1_validation`].
 pub fn theorem1_validation_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    theorem1_validation_cached(pool, None)
+}
+
+/// V1 with Monte-Carlo chunk tallies served from / written to `cache` —
+/// byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`theorem1_validation`].
+pub fn theorem1_validation_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let mut table = Table::new(
         "V1 — Theorem 1: measured vs predicted noisy switching activity",
         [
@@ -80,7 +103,7 @@ pub fn theorem1_validation_with(pool: &ThreadPool) -> Result<FigureOutput, Exper
     for (name, nl) in &circuits {
         let depth = nanobound_logic::topo::depth(nl);
         for &eps in &[0.01, 0.05, 0.2] {
-            let out = validation_mc(pool, nl, &NoisyConfig::strict(eps, 11)?, 13)?;
+            let out = validation_mc(pool, nl, &NoisyConfig::strict(eps, 11)?, 13, cache)?;
             let predicted = noisy_activity(out.clean_avg_gate_activity, eps);
             table.push_row([
                 Cell::from(*name),
@@ -134,6 +157,19 @@ pub fn constructive_vs_bound() -> Result<FigureOutput, ExperimentError> {
 ///
 /// Same as [`constructive_vs_bound`].
 pub fn constructive_vs_bound_with(pool: &ThreadPool) -> Result<FigureOutput, ExperimentError> {
+    constructive_vs_bound_cached(pool, None)
+}
+
+/// V2 with Monte-Carlo chunk tallies served from / written to `cache` —
+/// byte-identical to the uncached run for any hit/miss mix.
+///
+/// # Errors
+///
+/// Same as [`constructive_vs_bound`].
+pub fn constructive_vs_bound_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let base = parity::parity_tree(10, 2)?;
     let s0 = base.gate_count() as f64;
     let mut table = Table::new(
@@ -150,11 +186,11 @@ pub fn constructive_vs_bound_with(pool: &ThreadPool) -> Result<FigureOutput, Exp
     for &eps in &[0.001, 0.005] {
         let config = NoisyConfig::strict(eps, 21)?;
         // Unprotected baseline for reference.
-        let bare = validation_mc(pool, &base, &config, 23)?;
+        let bare = validation_mc(pool, &base, &config, 23, cache)?;
         push_scheme(&mut table, "bare", eps, bare.circuit_error_rate, 1.0, s0)?;
         for r in [3usize, 5] {
             let protected = nmr(&base, r)?;
-            let out = validation_mc(pool, &protected, &config, 23)?;
+            let out = validation_mc(pool, &protected, &config, 23, cache)?;
             let actual = protected.gate_count() as f64 / s0;
             push_scheme(
                 &mut table,
@@ -176,7 +212,7 @@ pub fn constructive_vs_bound_with(pool: &ThreadPool) -> Result<FigureOutput, Exp
                 seed: 31,
             },
         )?;
-        let out = validation_mc(pool, &mux, &config, 23)?;
+        let out = validation_mc(pool, &mux, &config, 23, cache)?;
         let actual = mux.gate_count() as f64 / s0;
         push_scheme(
             &mut table,
@@ -236,9 +272,21 @@ pub fn generate() -> Result<Vec<FigureOutput>, ExperimentError> {
 ///
 /// Same as [`generate`].
 pub fn generate_with(pool: &ThreadPool) -> Result<Vec<FigureOutput>, ExperimentError> {
+    generate_cached(pool, None)
+}
+
+/// Runs both validation experiments through the shard result cache.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+) -> Result<Vec<FigureOutput>, ExperimentError> {
     Ok(vec![
-        theorem1_validation_with(pool)?,
-        constructive_vs_bound_with(pool)?,
+        theorem1_validation_cached(pool, cache)?,
+        constructive_vs_bound_cached(pool, cache)?,
     ])
 }
 

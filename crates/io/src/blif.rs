@@ -146,20 +146,25 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                         ));
                     }
                 };
-                if pattern.len() != cover.inputs.len() {
-                    return Err(ParseError::at(
-                        line_no,
-                        ParseErrorKind::BadCover(format!(
-                            "pattern width {} does not match {} inputs",
-                            pattern.len(),
-                            cover.inputs.len()
-                        )),
-                    ));
-                }
+                // Validate literals before the width check, and count
+                // width in characters: `pattern.len()` counts *bytes*,
+                // so a row containing a multi-byte character used to be
+                // reported as a misleading width mismatch instead of as
+                // the bad literal it is.
                 if !pattern.chars().all(|c| matches!(c, '0' | '1' | '-')) {
                     return Err(ParseError::at(
                         line_no,
                         ParseErrorKind::BadCover(format!("bad literal in `{pattern}`")),
+                    ));
+                }
+                let width = pattern.chars().count();
+                if width != cover.inputs.len() {
+                    return Err(ParseError::at(
+                        line_no,
+                        ParseErrorKind::BadCover(format!(
+                            "pattern width {width} does not match {} inputs",
+                            cover.inputs.len()
+                        )),
                     ));
                 }
                 let out = out_char.chars().next().expect("nonempty token");
@@ -547,6 +552,37 @@ mod tests {
             parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n").unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::BadCover(_)));
         assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn multibyte_garbage_row_reports_bad_literal_not_width() {
+        // "1µ" is 3 bytes but 2 characters: with the old byte-width
+        // check this row was rejected as "pattern width 3 does not
+        // match 2 inputs" — misleading, since the width is right and
+        // the *literal* is bad.
+        let err = parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n1\u{b5} 1\n.end\n")
+            .unwrap_err();
+        match &err.kind {
+            ParseErrorKind::BadCover(msg) => {
+                assert!(msg.contains("bad literal"), "wrong diagnosis: {msg}");
+                assert!(!msg.contains("width"), "still a width error: {msg}");
+            }
+            other => panic!("expected BadCover, got {other:?}"),
+        }
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn multibyte_row_of_wrong_length_also_reports_bad_literal_first() {
+        // Literal validation runs before the width check, so garbage
+        // rows are never misdiagnosed as width mismatches.
+        let err = parse(".model m\n.inputs a b\n.outputs y\n.names a b y\n11\u{20ac} 1\n.end\n")
+            .unwrap_err();
+        assert!(
+            matches!(&err.kind, ParseErrorKind::BadCover(msg) if msg.contains("bad literal")),
+            "expected bad-literal BadCover, got {:?}",
+            err.kind
+        );
     }
 
     #[test]

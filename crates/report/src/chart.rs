@@ -159,9 +159,9 @@ impl Chart {
         let unty = |v: f64| if self.log_y { 10f64.powf(v) } else { v };
         for (r, row) in grid.iter().enumerate() {
             let label = if r == 0 {
-                format!("{:>9.3} ", unty(y_hi))
+                format!("{:>9} ", axis_label(unty(y_hi), 3))
             } else if r == height - 1 {
-                format!("{:>9.3} ", unty(y_lo))
+                format!("{:>9} ", axis_label(unty(y_lo), 3))
             } else {
                 " ".repeat(10)
             };
@@ -178,9 +178,9 @@ impl Chart {
             "{:>10} {:<width$}\n",
             "",
             format!(
-                "{:.4} .. {:.4}  [x: {}{}]",
-                untx(x_lo),
-                untx(x_hi),
+                "{} .. {}  [x: {}{}]",
+                axis_label(untx(x_lo), 4),
+                axis_label(untx(x_hi), 4),
                 self.x_label,
                 if self.log_x { ", log" } else { "" },
             ),
@@ -196,6 +196,27 @@ impl Chart {
 impl fmt::Display for Chart {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render(64, 16))
+    }
+}
+
+/// Formats one axis-bound label at the given fixed-point precision,
+/// falling back to scientific notation when fixed-point would lose the
+/// value entirely.
+///
+/// Log-axis bounds routinely span many decades (ε down to 1e-8 in the
+/// paper's sweeps); printed with a fixed `{:.3}` they all collapse to
+/// `0.000`. A bound whose fixed rendering carries no significant digit,
+/// or whose magnitude is 1e4 and above (which would overflow the label
+/// column), is rendered as `{:.3e}`-style scientific instead. Values
+/// that fit — including exactly 0 — keep the fixed form.
+fn axis_label(v: f64, precision: usize) -> String {
+    let fixed = format!("{v:.precision$}");
+    // All-zero digits for a nonzero value: the label lost the number.
+    let collapsed = v != 0.0 && fixed.trim_start_matches(['-', '0', '.']).is_empty();
+    if collapsed || v.abs() >= 1e4 {
+        format!("{v:.precision$e}")
+    } else {
+        fixed
     }
 }
 
@@ -300,5 +321,60 @@ mod tests {
         let art = c.render(30, 8);
         assert!(art.contains("1000.000"), "top label missing: {art}");
         assert!(art.contains("0.001"), "bottom label missing: {art}");
+    }
+
+    #[test]
+    fn log_x_bounds_use_scientific_notation_instead_of_collapsing() {
+        // The paper's ε sweeps: x from 1e-8 to 1e-2. With fixed `{:.4}`
+        // both bounds printed as `0.0000 .. 0.0100`; the lower bound
+        // must survive as scientific notation.
+        let mut c = Chart::new("t", "epsilon", "y").log_x();
+        c.add(Series::new(
+            "d",
+            vec![(1e-8, 1.0), (1e-5, 2.0), (1e-2, 3.0)],
+        ));
+        let art = c.render(40, 8);
+        assert!(art.contains("1.0000e-8"), "x lower bound lost: {art}");
+        assert!(art.contains("0.0100"), "x upper bound changed: {art}");
+        assert!(
+            !art.contains("0.0000 .."),
+            "collapsed lower bound resurfaced: {art}"
+        );
+    }
+
+    #[test]
+    fn log_y_bounds_use_scientific_notation_instead_of_collapsing() {
+        let mut c = Chart::new("t", "x", "delta").log_y();
+        c.add(Series::new("d", vec![(0.0, 1e-8), (1.0, 10.0)]));
+        let art = c.render(30, 8);
+        let rows: Vec<&str> = art.lines().collect();
+        // Row 1 is the grid top (y_hi), the last grid row holds y_lo.
+        assert!(rows[1].contains("10.000"), "top label: {art}");
+        assert!(rows[8].contains("1.000e-8"), "bottom label: {art}");
+        assert!(!rows[8].contains("    0.000 "), "collapsed label: {art}");
+    }
+
+    #[test]
+    fn huge_bounds_use_scientific_notation() {
+        let mut c = Chart::new("t", "x", "gates").log_y();
+        c.add(Series::new("d", vec![(0.0, 1.0), (1.0, 2.5e6)]));
+        let art = c.render(30, 8);
+        assert!(art.contains("2.500e6"), "top label: {art}");
+        assert!(art.contains("1.000 "), "bottom label: {art}");
+    }
+
+    #[test]
+    fn axis_label_boundaries() {
+        // The fixed/scientific decision hinges on whether fixed-point
+        // keeps a significant digit, so the boundary sits at the
+        // rendering precision, not at a hard magnitude.
+        assert_eq!(axis_label(0.0, 3), "0.000");
+        assert_eq!(axis_label(0.001, 3), "0.001");
+        assert_eq!(axis_label(0.0004, 3), "4.000e-4");
+        assert_eq!(axis_label(-0.0004, 3), "-4.000e-4");
+        assert_eq!(axis_label(9999.5, 3), "9999.500");
+        assert_eq!(axis_label(10_000.0, 3), "1.000e4");
+        assert_eq!(axis_label(1e-8, 4), "1.0000e-8");
+        assert_eq!(axis_label(0.5, 4), "0.5000");
     }
 }

@@ -1,0 +1,412 @@
+//! Cache-aware variants of the parallel entry points.
+//!
+//! Every function here is the same pure computation as its uncached
+//! sibling with one extra layer: before a shard is computed, the
+//! [`ShardCache`] is consulted under a [`Fingerprint`] that captures the
+//! complete experiment identity, and after a shard is computed its
+//! result is written back. Because shard results are encoded bit-exactly
+//! (integer tallies, `f64` bit patterns), a warm-cache run is
+//! **byte-identical** to a cold run, to a `--no-cache` run and to
+//! `--jobs 1` — the cache changes wall-clock time, never results.
+//!
+//! Passing `cache: None` makes every entry point identical to its
+//! uncached sibling, so callers thread one optional through instead of
+//! duplicating code paths.
+//!
+//! **Staleness and corruption.** The fingerprint hashes everything a
+//! shard's result depends on (netlist structure, ε, master seeds, chunk
+//! size, trial count, and the workspace [`FORMAT_VERSION`] salt), so a
+//! parameter change addresses a different entry set instead of reading
+//! stale data. Unreadable or corrupt entries are counted misses and
+//! recomputed; decoded tallies are additionally cross-checked against
+//! the live netlist before being merged, so even a fingerprint
+//! collision cannot panic the merge.
+//!
+//! [`FORMAT_VERSION`]: nanobound_cache::FORMAT_VERSION
+
+use nanobound_cache::{CacheCodec, Fingerprint, FingerprintBuilder, ShardCache};
+use nanobound_logic::{GateKind, Netlist, Node};
+use nanobound_sim::{monte_carlo_tally, NoisyConfig, NoisyOutcome, NoisyTally, SimError};
+
+use crate::pool::ThreadPool;
+use crate::seed::shard_seed;
+
+/// Folds a netlist's complete structure into a fingerprint: node kinds,
+/// fanin wiring and output drivers in declaration order.
+///
+/// Signal *names* are deliberately excluded — they do not influence any
+/// simulated or analyzed result, so two structurally identical netlists
+/// share cache entries regardless of naming.
+pub fn netlist_fingerprint(builder: &mut FingerprintBuilder, netlist: &Netlist) {
+    builder.push_usize(netlist.node_count());
+    for node in netlist.nodes() {
+        match node {
+            Node::Input { .. } => builder.push_u64(u64::MAX),
+            Node::Gate { kind, fanins } => {
+                let kind_index = GateKind::ALL
+                    .iter()
+                    .position(|k| k == kind)
+                    .expect("GateKind::ALL covers every kind");
+                builder.push_u64(kind_index as u64);
+                builder.push_usize(fanins.len());
+                for f in fanins {
+                    builder.push_usize(f.index());
+                }
+            }
+        }
+    }
+    builder.push_usize(netlist.output_count());
+    for output in netlist.outputs() {
+        builder.push_usize(output.driver.index());
+    }
+}
+
+/// The fingerprint under which [`monte_carlo_sharded_cached`] stores its
+/// chunk tallies (exposed so tests can corrupt specific entries).
+#[must_use]
+pub fn monte_carlo_fingerprint(
+    netlist: &Netlist,
+    config: &NoisyConfig,
+    patterns: usize,
+    pattern_seed: u64,
+    chunk: usize,
+) -> Fingerprint {
+    let mut builder = FingerprintBuilder::new("monte-carlo");
+    netlist_fingerprint(&mut builder, netlist);
+    builder.push_f64(config.epsilon);
+    builder.push_u64(config.seed);
+    builder.push_usize(patterns);
+    builder.push_u64(pattern_seed);
+    builder.push_usize(chunk);
+    builder.finish()
+}
+
+/// [`monte_carlo_sharded`] with chunk tallies served from / written to
+/// `cache`.
+///
+/// The merged [`NoisyOutcome`] is bit-identical to the uncached variant
+/// for every mix of hits and misses: cached [`NoisyTally`] chunks carry
+/// the same integer counts a fresh simulation would produce, and the
+/// merge is the same chunk-ordered integer addition.
+///
+/// # Errors
+///
+/// Same as [`monte_carlo_sharded`]; cache failures of any kind degrade
+/// to recomputation and are never surfaced as errors.
+///
+/// # Examples
+///
+/// ```
+/// use nanobound_cache::ShardCache;
+/// use nanobound_gen::parity;
+/// use nanobound_runner::{monte_carlo_sharded, monte_carlo_sharded_cached, ThreadPool};
+/// use nanobound_sim::NoisyConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join("nanobound-runner-doc-cache");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// let cache = ShardCache::open(&dir)?;
+/// let tree = parity::parity_tree(8, 2)?;
+/// let config = NoisyConfig::new(0.01, 7)?;
+/// let pool = ThreadPool::serial();
+///
+/// let cold = monte_carlo_sharded_cached(&pool, &tree, &config, 10_000, 11, 512, Some(&cache))?;
+/// let warm = monte_carlo_sharded_cached(&pool, &tree, &config, 10_000, 11, 512, Some(&cache))?;
+/// let uncached = monte_carlo_sharded(&pool, &tree, &config, 10_000, 11, 512)?;
+/// assert_eq!(cold, warm);
+/// assert_eq!(cold, uncached);
+/// assert!(cache.stats().hits > 0);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+pub fn monte_carlo_sharded_cached(
+    pool: &ThreadPool,
+    netlist: &Netlist,
+    config: &NoisyConfig,
+    patterns: usize,
+    pattern_seed: u64,
+    chunk: usize,
+    cache: Option<&ShardCache>,
+) -> Result<NoisyOutcome, SimError> {
+    if patterns < 2 {
+        return Err(SimError::bad("patterns", patterns, "must be at least 2"));
+    }
+    if chunk == 0 {
+        return Err(SimError::bad("chunk", chunk, "must be at least 1"));
+    }
+    // This is the single sharding pipeline: the uncached
+    // [`monte_carlo_sharded`] delegates here with `cache: None`, so the
+    // shard math, seed derivation and merge can never diverge between
+    // the two entry points.
+    let fingerprint =
+        cache.map(|_| monte_carlo_fingerprint(netlist, config, patterns, pattern_seed, chunk));
+    let shards = patterns.div_ceil(chunk);
+    let tallies: Vec<Result<NoisyTally, SimError>> = pool.map_indexed(shards, |i| {
+        let len = chunk.min(patterns - i * chunk);
+        if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
+            if let Some(tally) = cache.load_value::<NoisyTally>(fingerprint, i as u64) {
+                // Guard the merge against entries that verified and
+                // decoded but describe a different experiment (only
+                // reachable via a fingerprint collision): mismatches
+                // recompute.
+                if tally.patterns == len
+                    && tally.gates == netlist.gate_count()
+                    && tally.per_output_errors.len() == netlist.output_count()
+                {
+                    return Ok(tally);
+                }
+            }
+        }
+        let shard_config = NoisyConfig::new(config.epsilon, shard_seed(config.seed, i as u64))?;
+        let tally = monte_carlo_tally(
+            netlist,
+            &shard_config,
+            len,
+            shard_seed(pattern_seed, i as u64),
+        )?;
+        if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
+            cache.store_value(fingerprint, i as u64, &tally);
+        }
+        Ok(tally)
+    });
+    let mut merged: Option<NoisyTally> = None;
+    for tally in tallies {
+        let tally = tally?;
+        match &mut merged {
+            None => merged = Some(tally),
+            Some(total) => total.merge(&tally),
+        }
+    }
+    Ok(merged
+        .expect("patterns >= 2 yields at least one shard")
+        .outcome())
+}
+
+/// [`grid_map`](crate::grid_map) with per-cell results served from /
+/// written to `cache` under `fingerprint`.
+///
+/// Cells are keyed by grid index, so `fingerprint` must capture the
+/// grid itself and every parameter of `f` — use
+/// [`FingerprintBuilder::push_f64s`] for the grid and push each
+/// constant explicitly. Encoded cells round-trip bit-exactly, so the
+/// result is identical to the uncached sweep for every hit/miss mix.
+pub fn grid_map_cached<X, T, F>(
+    pool: &ThreadPool,
+    xs: &[X],
+    fingerprint: &Fingerprint,
+    cache: Option<&ShardCache>,
+    f: F,
+) -> Vec<T>
+where
+    X: Sync,
+    T: CacheCodec + Send,
+    F: Fn(&X) -> T + Sync,
+{
+    pool.map_indexed(xs.len(), |i| {
+        let Some(cache) = cache else { return f(&xs[i]) };
+        if let Some(value) = cache.load_value::<T>(fingerprint, i as u64) {
+            return value;
+        }
+        let value = f(&xs[i]);
+        cache.store_value(fingerprint, i as u64, &value);
+        value
+    })
+}
+
+/// [`try_grid_map`](crate::try_grid_map) with per-cell caching: only
+/// successful cells are cached; errors always recompute and keep the
+/// lowest-indexed-error contract.
+///
+/// # Errors
+///
+/// Returns the error produced at the first (by index) failing grid
+/// point, exactly like the uncached variant.
+pub fn try_grid_map_cached<X, T, E, F>(
+    pool: &ThreadPool,
+    xs: &[X],
+    fingerprint: &Fingerprint,
+    cache: Option<&ShardCache>,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    X: Sync,
+    T: CacheCodec + Send,
+    E: Send,
+    F: Fn(&X) -> Result<T, E> + Sync,
+{
+    pool.map_indexed(xs.len(), |i| {
+        let Some(cache) = cache else { return f(&xs[i]) };
+        if let Some(value) = cache.load_value::<T>(fingerprint, i as u64) {
+            return Ok(value);
+        }
+        let value = f(&xs[i])?;
+        cache.store_value(fingerprint, i as u64, &value);
+        Ok(value)
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::monte_carlo_sharded;
+    use nanobound_cache::FingerprintBuilder;
+    use nanobound_logic::{GateKind, Netlist as Nl};
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nanobound_runner_cached_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn xor_pair() -> Nl {
+        let mut nl = Nl::new("xp");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::And, &[a, g1]).unwrap();
+        nl.add_output("y1", g1).unwrap();
+        nl.add_output("y2", g2).unwrap();
+        nl
+    }
+
+    #[test]
+    fn none_cache_matches_uncached_exactly() {
+        let nl = xor_pair();
+        let cfg = NoisyConfig::new(0.05, 17).unwrap();
+        let pool = ThreadPool::serial();
+        let plain = monte_carlo_sharded(&pool, &nl, &cfg, 10_000, 19, 512).unwrap();
+        let cached = monte_carlo_sharded_cached(&pool, &nl, &cfg, 10_000, 19, 512, None).unwrap();
+        assert_eq!(plain, cached);
+    }
+
+    #[test]
+    fn warm_cache_is_bit_identical_across_jobs() {
+        let dir = scratch("warm");
+        let cache = ShardCache::open(&dir).unwrap();
+        let nl = xor_pair();
+        let cfg = NoisyConfig::new(0.05, 17).unwrap();
+        let reference =
+            monte_carlo_sharded(&ThreadPool::serial(), &nl, &cfg, 10_000, 19, 512).unwrap();
+        let cold = monte_carlo_sharded_cached(
+            &ThreadPool::new(4).unwrap(),
+            &nl,
+            &cfg,
+            10_000,
+            19,
+            512,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(cold, reference);
+        let cold_stats = cache.stats();
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses, 20); // ceil(10000/512)
+        for jobs in [1, 3, 8] {
+            let warm = monte_carlo_sharded_cached(
+                &ThreadPool::new(jobs).unwrap(),
+                &nl,
+                &cfg,
+                10_000,
+                19,
+                512,
+                Some(&cache),
+            )
+            .unwrap();
+            assert_eq!(warm, reference, "jobs={jobs}");
+        }
+        assert_eq!(cache.stats().hits, 60);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_parameters_use_distinct_entries() {
+        let nl = xor_pair();
+        let base = monte_carlo_fingerprint(&nl, &NoisyConfig::new(0.05, 1).unwrap(), 1000, 2, 64);
+        let other_eps =
+            monte_carlo_fingerprint(&nl, &NoisyConfig::new(0.06, 1).unwrap(), 1000, 2, 64);
+        let other_seed =
+            monte_carlo_fingerprint(&nl, &NoisyConfig::new(0.05, 9).unwrap(), 1000, 2, 64);
+        let other_chunk =
+            monte_carlo_fingerprint(&nl, &NoisyConfig::new(0.05, 1).unwrap(), 1000, 2, 128);
+        let mut all = vec![base, other_eps, other_seed, other_chunk];
+        all.dedup();
+        assert_eq!(all.len(), 4, "fingerprints collided: {all:?}");
+    }
+
+    #[test]
+    fn structurally_different_netlists_have_different_fingerprints() {
+        let a = xor_pair();
+        let mut b = xor_pair();
+        let extra = b.add_gate(GateKind::Not, &[b.inputs()[0]]).unwrap();
+        b.add_output("y3", extra).unwrap();
+        let cfg = NoisyConfig::new(0.1, 1).unwrap();
+        assert_ne!(
+            monte_carlo_fingerprint(&a, &cfg, 100, 1, 64),
+            monte_carlo_fingerprint(&b, &cfg, 100, 1, 64)
+        );
+    }
+
+    #[test]
+    fn names_do_not_change_the_fingerprint() {
+        let mut a = Nl::new("one");
+        let x = a.add_input("x");
+        let g = a.add_gate(GateKind::Not, &[x]).unwrap();
+        a.add_output("y", g).unwrap();
+        let mut b = Nl::new("two");
+        let x = b.add_input("renamed");
+        let g = b.add_gate(GateKind::Not, &[x]).unwrap();
+        b.add_output("other", g).unwrap();
+        let fp = |nl: &Nl| {
+            let mut builder = FingerprintBuilder::new("t");
+            netlist_fingerprint(&mut builder, nl);
+            builder.finish()
+        };
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn cached_grid_map_roundtrips_and_matches_serial() {
+        let dir = scratch("grid");
+        let cache = ShardCache::open(&dir).unwrap();
+        let fp = FingerprintBuilder::new("grid-test").finish();
+        let xs: Vec<f64> = (0..57).map(|i| f64::from(i) * 0.25).collect();
+        let f = |x: &f64| vec![x.sin(), x.cos()];
+        let serial: Vec<Vec<f64>> = xs.iter().map(f).collect();
+        let pool = ThreadPool::new(4).unwrap();
+        let cold = grid_map_cached(&pool, &xs, &fp, Some(&cache), f);
+        assert_eq!(cold, serial);
+        let warm = grid_map_cached(&pool, &xs, &fp, Some(&cache), |_| -> Vec<f64> {
+            panic!("warm run must not recompute any cell")
+        });
+        assert_eq!(warm, serial);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn try_grid_map_cached_keeps_the_error_contract_and_skips_caching_errors() {
+        let dir = scratch("try_grid");
+        let cache = ShardCache::open(&dir).unwrap();
+        let fp = FingerprintBuilder::new("try-grid-test").finish();
+        let xs: Vec<u64> = (0..32).collect();
+        let pool = ThreadPool::new(4).unwrap();
+        let out: Result<Vec<u64>, u64> = try_grid_map_cached(&pool, &xs, &fp, Some(&cache), |&x| {
+            if x % 10 == 3 {
+                Err(x)
+            } else {
+                Ok(x * 2)
+            }
+        });
+        assert_eq!(out.unwrap_err(), 3);
+        // Successes were cached; failures were not, and still fail warm.
+        let out2: Result<Vec<u64>, u64> =
+            try_grid_map_cached(&pool, &xs, &fp, Some(&cache), |&x| {
+                assert_eq!(x % 10, 3, "cached cell {x} recomputed");
+                Err(x)
+            });
+        assert_eq!(out2.unwrap_err(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

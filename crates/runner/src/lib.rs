@@ -14,7 +14,12 @@
 //!   `nanobound_sim`'s noisy Monte-Carlo, merging integer
 //!   [`nanobound_sim::NoisyTally`] counts in chunk order;
 //! - [`grid_map`] / [`try_grid_map`] — parallel sweep evaluation that
-//!   shards grid points across workers and returns them in grid order.
+//!   shards grid points across workers and returns them in grid order;
+//! - cached variants ([`monte_carlo_sharded_cached`], [`grid_map_cached`],
+//!   [`try_grid_map_cached`]) — the same computations backed by
+//!   `nanobound-cache`'s content-addressed shard store, keyed by a
+//!   [`monte_carlo_fingerprint`]-style experiment identity so a warm
+//!   cache run stays byte-identical to a cold one.
 //!
 //! **The determinism contract.** For every entry point in this crate,
 //! the output is a pure function of the arguments: running with
@@ -36,12 +41,17 @@
 //! assert_eq!(ys, nanobound_core::sweep::grid_map(&xs, |&eps| 2.0 * eps * (1.0 - eps)));
 //! ```
 
+mod cached;
 mod error;
 mod grid;
 mod montecarlo;
 mod pool;
 mod seed;
 
+pub use cached::{
+    grid_map_cached, monte_carlo_fingerprint, monte_carlo_sharded_cached, netlist_fingerprint,
+    try_grid_map_cached,
+};
 pub use error::RunnerError;
 pub use grid::{grid_map, try_grid_map};
 pub use montecarlo::{monte_carlo_sharded, DEFAULT_CHUNK};

@@ -16,10 +16,10 @@
 //! [`DEFAULT_CHUNK`] is the workspace-wide convention.
 
 use nanobound_logic::Netlist;
-use nanobound_sim::{monte_carlo_tally, NoisyConfig, NoisyOutcome, NoisyTally, SimError};
+use nanobound_sim::{NoisyConfig, NoisyOutcome, SimError};
 
+use crate::cached::monte_carlo_sharded_cached;
 use crate::pool::ThreadPool;
-use crate::seed::shard_seed;
 
 /// Workspace-wide default Monte-Carlo chunk size (patterns per shard).
 ///
@@ -69,34 +69,10 @@ pub fn monte_carlo_sharded(
     pattern_seed: u64,
     chunk: usize,
 ) -> Result<NoisyOutcome, SimError> {
-    if patterns < 2 {
-        return Err(SimError::bad("patterns", patterns, "must be at least 2"));
-    }
-    if chunk == 0 {
-        return Err(SimError::bad("chunk", chunk, "must be at least 1"));
-    }
-    let shards = patterns.div_ceil(chunk);
-    let tallies: Vec<Result<NoisyTally, SimError>> = pool.map_indexed(shards, |i| {
-        let len = chunk.min(patterns - i * chunk);
-        let shard_config = NoisyConfig::new(config.epsilon, shard_seed(config.seed, i as u64))?;
-        monte_carlo_tally(
-            netlist,
-            &shard_config,
-            len,
-            shard_seed(pattern_seed, i as u64),
-        )
-    });
-    let mut merged: Option<NoisyTally> = None;
-    for tally in tallies {
-        let tally = tally?;
-        match &mut merged {
-            None => merged = Some(tally),
-            Some(total) => total.merge(&tally),
-        }
-    }
-    Ok(merged
-        .expect("patterns >= 2 yields at least one shard")
-        .outcome())
+    // One sharding pipeline for cached and uncached execution: the
+    // cache-aware sibling with `cache: None` performs no cache traffic,
+    // so the two entry points cannot drift apart.
+    monte_carlo_sharded_cached(pool, netlist, config, patterns, pattern_seed, chunk, None)
 }
 
 #[cfg(test)]

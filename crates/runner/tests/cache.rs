@@ -1,0 +1,173 @@
+//! Corruption-tolerance suite for the cached runner entry points.
+//!
+//! The cache's contract is that it can *never* change a result or crash
+//! a run: a truncated, bit-flipped, oversized or garbage entry is a
+//! counted miss, the shard recomputes, and the merged outcome stays
+//! byte-identical to a cold (or uncached) run. These tests damage
+//! on-disk entries mid-suite and assert exactly that.
+
+use std::fs;
+use std::path::PathBuf;
+
+use nanobound_cache::{FingerprintBuilder, ShardCache};
+use nanobound_logic::{GateKind, Netlist};
+use nanobound_runner::{
+    grid_map_cached, monte_carlo_fingerprint, monte_carlo_sharded, monte_carlo_sharded_cached,
+    ThreadPool,
+};
+use nanobound_sim::NoisyConfig;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nanobound_cache_corruption_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn xor_chain() -> Netlist {
+    let mut nl = Netlist::new("chain");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let mut node = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+    for _ in 0..4 {
+        node = nl.add_gate(GateKind::Xor, &[node, a]).unwrap();
+    }
+    nl.add_output("y", node).unwrap();
+    nl
+}
+
+const PATTERNS: usize = 6_000;
+const CHUNK: usize = 512; // 12 shards: 11 full + 1 tail
+
+#[test]
+fn truncated_entries_recompute_to_identical_results() {
+    let dir = scratch("truncate");
+    let cache = ShardCache::open(&dir).unwrap();
+    let nl = xor_chain();
+    let cfg = NoisyConfig::new(0.03, 5).unwrap();
+    let pool = ThreadPool::new(2).unwrap();
+
+    let cold =
+        monte_carlo_sharded_cached(&pool, &nl, &cfg, PATTERNS, 7, CHUNK, Some(&cache)).unwrap();
+    let uncached = monte_carlo_sharded(&pool, &nl, &cfg, PATTERNS, 7, CHUNK).unwrap();
+    assert_eq!(cold, uncached);
+
+    // Truncate a few entries at different depths: empty file, inside
+    // the header, inside the payload.
+    let fp = monte_carlo_fingerprint(&nl, &cfg, PATTERNS, 7, CHUNK);
+    for (shard, keep) in [(0u64, 0usize), (3, 9), (11, 40)] {
+        let path = cache.entry_path(&fp, shard);
+        let bytes = fs::read(&path).unwrap();
+        assert!(keep < bytes.len());
+        fs::write(&path, &bytes[..keep]).unwrap();
+    }
+
+    let before = cache.stats();
+    let warm =
+        monte_carlo_sharded_cached(&pool, &nl, &cfg, PATTERNS, 7, CHUNK, Some(&cache)).unwrap();
+    assert_eq!(warm, cold, "corruption changed the outcome");
+    let after = cache.stats();
+    assert_eq!(
+        after.misses - before.misses,
+        3,
+        "3 damaged shards must miss"
+    );
+    assert_eq!(after.hits - before.hits, 9, "undamaged shards must hit");
+
+    // The damaged entries were rewritten: a third run is all hits.
+    let third =
+        monte_carlo_sharded_cached(&pool, &nl, &cfg, PATTERNS, 7, CHUNK, Some(&cache)).unwrap();
+    assert_eq!(third, cold);
+    assert_eq!(cache.stats().hits - after.hits, 12);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flipped_entries_recompute_to_identical_results() {
+    let dir = scratch("bitflip");
+    let cache = ShardCache::open(&dir).unwrap();
+    let nl = xor_chain();
+    let cfg = NoisyConfig::new(0.08, 21).unwrap();
+    let pool = ThreadPool::serial();
+
+    let cold =
+        monte_carlo_sharded_cached(&pool, &nl, &cfg, PATTERNS, 9, CHUNK, Some(&cache)).unwrap();
+
+    // Flip one bit in every entry — header bytes, checksum bytes and
+    // payload bytes alike.
+    let fp = monte_carlo_fingerprint(&nl, &cfg, PATTERNS, 9, CHUNK);
+    let shards = PATTERNS.div_ceil(CHUNK) as u64;
+    for shard in 0..shards {
+        let path = cache.entry_path(&fp, shard);
+        let mut bytes = fs::read(&path).unwrap();
+        let target = (shard as usize * 7) % bytes.len();
+        bytes[target] ^= 1 << (shard % 8);
+        fs::write(&path, &bytes).unwrap();
+    }
+
+    let before = cache.stats();
+    let warm =
+        monte_carlo_sharded_cached(&pool, &nl, &cfg, PATTERNS, 9, CHUNK, Some(&cache)).unwrap();
+    assert_eq!(warm, cold, "bit flips changed the outcome");
+    assert_eq!(
+        cache.stats().misses - before.misses,
+        shards,
+        "every flipped entry must be rejected"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn garbage_and_oversized_entries_never_panic() {
+    let dir = scratch("garbage");
+    let cache = ShardCache::open(&dir).unwrap();
+    let nl = xor_chain();
+    let cfg = NoisyConfig::new(0.05, 3).unwrap();
+    let pool = ThreadPool::serial();
+    let fp = monte_carlo_fingerprint(&nl, &cfg, PATTERNS, 4, CHUNK);
+
+    // Pre-seed hostile entries before any run: random noise, a valid
+    // frame around garbage, an entry claiming an absurd payload length.
+    fs::create_dir_all(cache.entry_path(&fp, 0).parent().unwrap()).unwrap();
+    fs::write(cache.entry_path(&fp, 0), b"not a cache entry at all").unwrap();
+    cache.store(&fp, 1, b"valid frame, invalid NoisyTally payload");
+    let mut oversized = b"NBSC".to_vec();
+    oversized.extend_from_slice(&1u32.to_le_bytes());
+    oversized.extend_from_slice(&u64::MAX.to_le_bytes());
+    oversized.extend_from_slice(&[0u8; 16]);
+    fs::write(cache.entry_path(&fp, 2), &oversized).unwrap();
+
+    let out =
+        monte_carlo_sharded_cached(&pool, &nl, &cfg, PATTERNS, 4, CHUNK, Some(&cache)).unwrap();
+    let reference = monte_carlo_sharded(&pool, &nl, &cfg, PATTERNS, 4, CHUNK).unwrap();
+    assert_eq!(out, reference);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn grid_cells_survive_corruption_bit_identically() {
+    let dir = scratch("grid");
+    let cache = ShardCache::open(&dir).unwrap();
+    let fp = FingerprintBuilder::new("corruption-grid").finish();
+    let xs: Vec<f64> = (0..40).map(|i| f64::from(i) * 0.17).collect();
+    let f = |x: &f64| vec![x.sin(), x.exp(), x.sqrt()];
+    let pool = ThreadPool::new(3).unwrap();
+
+    let cold = grid_map_cached(&pool, &xs, &fp, Some(&cache), f);
+
+    // Truncate one cell, flip a bit in another, delete a third.
+    let truncate = cache.entry_path(&fp, 5);
+    let bytes = fs::read(&truncate).unwrap();
+    fs::write(&truncate, &bytes[..bytes.len() / 2]).unwrap();
+    let flip = cache.entry_path(&fp, 17);
+    let mut bytes = fs::read(&flip).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&flip, &bytes).unwrap();
+    fs::remove_file(cache.entry_path(&fp, 33)).unwrap();
+
+    let before = cache.stats();
+    let warm = grid_map_cached(&pool, &xs, &fp, Some(&cache), f);
+    assert_eq!(warm, cold, "corrupted grid cells changed the sweep");
+    assert_eq!(cache.stats().misses - before.misses, 3);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -10,6 +10,7 @@
 //! and receive no noise — consistent with [`Netlist::gate_count`]
 //! defining the paper's device count `S0`.
 
+use nanobound_cache::{CacheCodec, Decoder, Encoder};
 use nanobound_logic::{Netlist, Node};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -404,6 +405,34 @@ pub fn monte_carlo_tally(
     Ok(tally_runs(netlist, &clean, &noisy))
 }
 
+/// Integer-only encoding: every field round-trips exactly, so a tally
+/// served from the shard cache merges bit-identically with freshly
+/// computed ones — the substrate of `nanobound-runner`'s
+/// `monte_carlo_sharded_cached`.
+impl CacheCodec for NoisyTally {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.patterns);
+        enc.put_usize(self.transitions);
+        enc.put_usize(self.gates);
+        enc.put_u64(self.circuit_errors);
+        self.per_output_errors.encode(enc);
+        enc.put_u64(self.clean_gate_toggles);
+        enc.put_u64(self.noisy_gate_toggles);
+    }
+
+    fn decode(dec: &mut Decoder) -> Option<Self> {
+        Some(NoisyTally {
+            patterns: dec.take_usize()?,
+            transitions: dec.take_usize()?,
+            gates: dec.take_usize()?,
+            circuit_errors: dec.take_u64()?,
+            per_output_errors: Vec::decode(dec)?,
+            clean_gate_toggles: dec.take_u64()?,
+            noisy_gate_toggles: dec.take_u64()?,
+        })
+    }
+}
+
 /// Theorem 1 of the paper: switching activity of an ε-noisy device whose
 /// error-free output has activity `sw`.
 ///
@@ -619,6 +648,20 @@ mod tests {
         assert_eq!(t.transitions, 0);
         assert_eq!(t.outcome().noisy_avg_gate_activity, 0.0);
         assert!(monte_carlo_tally(&nl, &cfg, 0, 6).is_err());
+    }
+
+    #[test]
+    fn tally_codec_roundtrips_exactly() {
+        let nl = single_gate(GateKind::Xor, 3);
+        let cfg = NoisyConfig::new(0.2, 9).unwrap();
+        let tally = monte_carlo_tally(&nl, &cfg, 4_097, 10).unwrap();
+        let bytes = nanobound_cache::encode_to_vec(&tally);
+        let back: NoisyTally = nanobound_cache::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, tally);
+        // Truncations never decode.
+        assert!(
+            nanobound_cache::decode_from_slice::<NoisyTally>(&bytes[..bytes.len() - 1]).is_none()
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! - [`logic`] — netlist IR, statistics and synthesis-lite transforms;
+//! - [`cache`] — content-addressed shard result cache (fingerprints,
+//!   corruption-tolerant store; warm runs are byte-identical to cold);
 //! - [`io`] — ISCAS `.bench` and BLIF readers/writers;
 //! - [`gen`] — parameterized circuit generators (arithmetic, parity,
 //!   control, ISCAS'85 functional analogs);
@@ -52,6 +54,7 @@
 //! # }
 //! ```
 
+pub use nanobound_cache as cache;
 pub use nanobound_core as core;
 pub use nanobound_energy as energy;
 pub use nanobound_experiments as experiments;

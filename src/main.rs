@@ -17,13 +17,23 @@
 //! parallelism). Work is sharded through `nanobound-runner`, whose
 //! determinism contract guarantees the output is byte-identical for
 //! every `N` — parallelism changes wall-clock time, never results.
+//!
+//! `profile` and `figures` additionally accept `--cache-dir DIR` to
+//! reuse shard results (Monte-Carlo chunk tallies, sweep grid cells,
+//! benchmark measurements) across runs, and `--no-cache` to veto a
+//! configured cache. The cache is content-addressed and bit-exact:
+//! warm-cache output is byte-identical to cold-cache and `--no-cache`
+//! output, and corrupt entries silently recompute.
 
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
+use nanobound::cache::ShardCache;
 use nanobound::core::{BoundReport, CircuitProfile, DepthBound};
-use nanobound::experiments::profiles::{profile_netlist, profile_suite_with, ProfileConfig};
+use nanobound::experiments::profiles::{
+    profile_netlist_cached, profile_suite_cached, ProfileConfig,
+};
 use nanobound::io::{bench, blif, unroll, Design};
 use nanobound::runner::{try_grid_map, ThreadPool, MAX_JOBS};
 
@@ -62,6 +72,11 @@ USAGE:
 COMMON OPTIONS:
     --jobs <N>       worker threads (1..=512)  [default: all hardware threads]
                      results are byte-identical for every N
+    --cache-dir <D>  reuse shard results (Monte-Carlo chunks, sweep cells,
+                     benchmark measurements) across runs via a
+                     content-addressed cache at D; warm output is
+                     byte-identical to cold   [default: caching off]
+    --no-cache       ignore --cache-dir and recompute everything
 
 PROFILE OPTIONS:
     --eps <E>        gate error probability (repeatable; default 0.001 0.01 0.1)
@@ -80,14 +95,21 @@ BOUNDS OPTIONS:
 /// Parsed `--name value` pairs, in order of appearance.
 type Flags = Vec<(String, String)>;
 
-/// Pulls `--name value` pairs out of an argument list; returns the
-/// positional arguments.
+/// Flags that take no value (stored with the placeholder value `"true"`).
+const BOOLEAN_FLAGS: [&str; 1] = ["no-cache"];
+
+/// Pulls `--name value` pairs (and valueless [`BOOLEAN_FLAGS`]) out of
+/// an argument list; returns the positional arguments.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{name} expects a value"))?;
@@ -142,6 +164,43 @@ fn pool_from_flags(flags: &[(String, String)]) -> Result<ThreadPool, String> {
     }
 }
 
+/// Opens the shard cache requested by `--cache-dir`, unless `--no-cache`
+/// vetoes it (useful when a wrapper script always passes a cache dir).
+///
+/// `None` means caching is off; results are identical either way — the
+/// cache only trades recomputation for disk reads.
+fn cache_from_flags(flags: &[(String, String)]) -> Result<Option<ShardCache>, String> {
+    if !flag_values(flags, "no-cache").is_empty() {
+        return Ok(None);
+    }
+    match flag_values(flags, "cache-dir").last() {
+        None => Ok(None),
+        Some(dir) => ShardCache::open(dir)
+            .map(Some)
+            .map_err(|e| format!("--cache-dir: cannot open `{dir}`: {e}")),
+    }
+}
+
+/// Prints the cache traffic summary after a cached run.
+fn print_cache_summary(cache: &ShardCache) {
+    let stats = cache.stats();
+    println!(
+        "cache {}: {} hits, {} misses, {} entries written{}",
+        cache.root().display(),
+        stats.hits,
+        stats.misses,
+        stats.writes,
+        if stats.write_errors > 0 {
+            format!(
+                ", {} write errors (cache degraded, results unaffected)",
+                stats.write_errors
+            )
+        } else {
+            String::new()
+        },
+    );
+}
+
 fn epsilons(flags: &[(String, String)]) -> Result<Vec<f64>, String> {
     let supplied = flag_values(flags, "eps");
     if supplied.is_empty() {
@@ -181,6 +240,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let leak = flag_f64(&flags, "leak", 0.5)?;
     let eps = epsilons(&flags)?;
     let pool = pool_from_flags(&flags)?;
+    let cache = cache_from_flags(&flags)?;
 
     let design = load_design(path)?;
     let netlist = if design.is_sequential() {
@@ -197,9 +257,14 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         leak_share: leak,
         ..Default::default()
     };
-    let profiled = profile_netlist(&netlist, None, &config).map_err(|e| e.to_string())?;
+    let profiled = profile_netlist_cached(&netlist, None, &config, cache.as_ref())
+        .map_err(|e| e.to_string())?;
     println!("profile: {}", profiled.profile);
-    print_reports(&pool, &profiled.profile, &eps, delta)
+    print_reports(&pool, &profiled.profile, &eps, delta)?;
+    if let Some(cache) = &cache {
+        print_cache_summary(cache);
+    }
+    Ok(())
 }
 
 fn cmd_bounds(args: &[String]) -> Result<(), String> {
@@ -289,18 +354,20 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
         .unwrap_or("results")
         .to_owned();
     let pool = pool_from_flags(&flags)?;
+    let cache = cache_from_flags(&flags)?;
+    let shards = cache.as_ref();
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
 
     use nanobound::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline};
     let mut figures = vec![
-        fig2::generate_with(&pool),
-        fig3::generate_with(&pool),
-        fig4::generate_with(&pool),
-        fig5::generate_with(&pool),
-        fig6::generate_with(&pool),
+        fig2::generate_cached(&pool, shards),
+        fig3::generate_cached(&pool, shards),
+        fig4::generate_cached(&pool, shards),
+        fig5::generate_cached(&pool, shards),
+        fig6::generate_cached(&pool, shards),
     ];
-    let profiles =
-        profile_suite_with(&pool, &ProfileConfig::default()).map_err(|e| e.to_string())?;
+    let profiles = profile_suite_cached(&pool, &ProfileConfig::default(), shards)
+        .map_err(|e| e.to_string())?;
     figures.push(fig7::generate_from(&profiles));
     figures.push(fig8::generate_from(&profiles));
     figures.push(headline::generate_from(&profiles));
@@ -316,6 +383,9 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("wrote {path}");
         }
+    }
+    if let Some(cache) = &cache {
+        print_cache_summary(cache);
     }
     Ok(())
 }

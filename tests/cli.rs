@@ -125,6 +125,131 @@ fn figures_writes_csv_files() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Reads every CSV in a directory as name → bytes.
+fn read_csvs(dir: &std::path::Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "csv"))
+        .map(|e| {
+            (
+                e.file_name().into_string().unwrap(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn warm_cache_figures_are_byte_identical_to_cold_and_uncached() {
+    let base = std::env::temp_dir().join("nanobound_cli_cache");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let dir = |name: &str| base.join(name).to_str().unwrap().to_owned();
+    let cache = dir("cache");
+
+    let (ok, cold_out, err) = run(&["figures", "--out", &dir("cold"), "--cache-dir", &cache]);
+    assert!(ok, "cold run failed: {err}");
+    assert!(
+        cold_out.contains("cache ") && cold_out.contains(" misses"),
+        "missing cache summary: {cold_out}"
+    );
+
+    let (ok, warm_out, err) = run(&["figures", "--out", &dir("warm"), "--cache-dir", &cache]);
+    assert!(ok, "warm run failed: {err}");
+    assert!(
+        warm_out.contains("0 misses"),
+        "warm run missed entries: {warm_out}"
+    );
+
+    let (ok, plain_out, err) = run(&[
+        "figures",
+        "--out",
+        &dir("plain"),
+        "--cache-dir",
+        &cache,
+        "--no-cache",
+    ]);
+    assert!(ok, "--no-cache run failed: {err}");
+    assert!(
+        !plain_out.contains("cache "),
+        "--no-cache still printed a cache summary: {plain_out}"
+    );
+
+    let cold = read_csvs(&base.join("cold"));
+    assert!(cold.len() >= 8, "figure set incomplete: {}", cold.len());
+    assert_eq!(cold, read_csvs(&base.join("warm")), "warm != cold");
+    assert_eq!(cold, read_csvs(&base.join("plain")), "--no-cache != cold");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn profile_accepts_cache_flags_and_reports_traffic() {
+    let base = std::env::temp_dir().join("nanobound_cli_profile_cache");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("xor2.bench");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+    let cache = base.join("cache").to_str().unwrap().to_owned();
+    let args = [
+        "profile",
+        path.to_str().unwrap(),
+        "--eps",
+        "0.05",
+        "--cache-dir",
+        &cache,
+    ];
+    let (ok, cold, err) = run(&args);
+    assert!(ok, "stderr: {err}");
+    assert!(cold.contains("1 misses"), "out: {cold}");
+    let (ok, warm, err) = run(&args);
+    assert!(ok, "stderr: {err}");
+    assert!(warm.contains("1 hits"), "out: {warm}");
+    // The report itself is identical; only the cache summary differs.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("cache "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&cold), strip(&warm));
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn unopenable_cache_dir_is_a_clean_error() {
+    let base = std::env::temp_dir().join("nanobound_cli_cache_bad");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let file = base.join("not_a_dir");
+    std::fs::write(&file, b"occupied").unwrap();
+    let (ok, _, err) = run(&[
+        "figures",
+        "--out",
+        base.join("out").to_str().unwrap(),
+        "--cache-dir",
+        file.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--cache-dir"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "stderr: {err}");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn usage_documents_the_cache_flags() {
+    let (ok, _, err) = run(&["--help"]);
+    assert!(ok);
+    assert!(
+        err.contains("--cache-dir"),
+        "usage missing --cache-dir: {err}"
+    );
+    assert!(
+        err.contains("--no-cache"),
+        "usage missing --no-cache: {err}"
+    );
+}
+
 #[test]
 fn missing_flag_value_is_an_error() {
     let (ok, _, err) = run(&["bounds", "--size"]);
