@@ -17,6 +17,12 @@
 #      warm from the same cache, and once more with --no-cache, diffing
 #      all three outputs byte-for-byte — a cache that changes results
 #      (or a warm run that misses) fails the gate
+#   7. the serve gate: one scripted multi-request session piped into
+#      `nanobound serve` twice — cold cache at --jobs 1, then warm
+#      cache at --jobs $(nproc) — diffing the two response streams
+#      against each other AND against a stream assembled from the
+#      equivalent one-shot CLI invocations, so a service-mode response
+#      that drifts from the one-shot output by a single byte fails
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -52,10 +58,41 @@ case "$warm_summary" in
   *" 0 misses"*) ;;
   *) echo "warm run was not fully cached: $warm_summary" >&2; exit 1 ;;
 esac
-target/release/nanobound figures --out "$detdir/nocache" --cache-dir "$detdir/cache" \
-    --no-cache >/dev/null
+target/release/nanobound figures --out "$detdir/nocache" --no-cache >/dev/null
 diff -r "$detdir/cold" "$detdir/warm"
 diff -r "$detdir/cold" "$detdir/nocache"
 diff -r "$detdir/j1" "$detdir/cold"
+
+echo "==> serve gate: scripted session, cold --jobs 1 vs warm --jobs $(nproc) vs one-shot CLI"
+printf 'INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n' > "$detdir/xor2.bench"
+cat > "$detdir/session.jsonl" <<EOF
+{"id":"a","workload":"bound","args":["--size","21","--sensitivity","10","--activity","0.5","--fanin","3","--eps","0.01"]}
+{"id":"b","workload":"figure","args":["fig3"]}
+{"id":"c","workload":"profile","args":["$detdir/xor2.bench","--eps","0.05"]}
+{"id":"d","workload":"validate"}
+{"id":"e","workload":"figure","args":["fig3"]}
+EOF
+target/release/nanobound serve --cache-dir "$detdir/serve-cache" --jobs 1 \
+    < "$detdir/session.jsonl" > "$detdir/serve-cold.out" 2>/dev/null
+target/release/nanobound serve --cache-dir "$detdir/serve-cache" --jobs "$(nproc)" \
+    < "$detdir/session.jsonl" > "$detdir/serve-warm.out" 2>/dev/null
+diff "$detdir/serve-cold.out" "$detdir/serve-warm.out"
+
+target/release/nanobound bounds --size 21 --sensitivity 10 --activity 0.5 --fanin 3 \
+    --eps 0.01 > "$detdir/exp-a"
+target/release/nanobound figures --only fig3 --stdout > "$detdir/exp-b"
+target/release/nanobound profile "$detdir/xor2.bench" --eps 0.05 > "$detdir/exp-c"
+target/release/nanobound validate --stdout > "$detdir/exp-d"
+# Assemble the response stream the service must produce: a JSON header
+# naming the payload size, then the one-shot stdout bytes verbatim.
+emit() { printf '{"id":"%s","status":"ok","bytes":%d}\n' "$1" "$(wc -c < "$2")"; cat "$2"; }
+{
+  emit a "$detdir/exp-a"
+  emit b "$detdir/exp-b"
+  emit c "$detdir/exp-c"
+  emit d "$detdir/exp-d"
+  emit e "$detdir/exp-b"
+} > "$detdir/serve-expected.out"
+diff "$detdir/serve-expected.out" "$detdir/serve-cold.out"
 
 echo "CI green."

@@ -21,7 +21,11 @@
 //!   `(fingerprint, shard)` under `<dir>/<fingerprint-hex>/<shard>.bin`,
 //!   each entry framed with magic, version, its own fingerprint and
 //!   shard index (so misplaced files never verify), length and
-//!   checksum.
+//!   checksum;
+//! - [`ShardCache::sweep`] — a size/age-bounded GC pass ([`GcPolicy`] /
+//!   [`GcReport`]) for long-lived deployments: garbage (temp leftovers,
+//!   stale-version entries) first, then oldest live entries, with a
+//!   caller-supplied protected fingerprint set that is never deleted.
 //!
 //! **The corruption contract.** The cache is an accelerator, never an
 //! authority: every failure mode — unreadable file, truncated entry,
@@ -52,8 +56,10 @@
 
 mod codec;
 mod fingerprint;
+mod gc;
 mod store;
 
 pub use codec::{decode_from_slice, encode_to_vec, CacheCodec, Decoder, Encoder};
 pub use fingerprint::{Fingerprint, FingerprintBuilder, FORMAT_VERSION};
+pub use gc::{GcPolicy, GcReport};
 pub use store::{CacheStats, ShardCache};

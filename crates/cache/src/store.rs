@@ -27,7 +27,7 @@ use crate::codec::{decode_from_slice, encode_to_vec, CacheCodec};
 use crate::fingerprint::{Fingerprint, FNV_OFFSET, FNV_PRIME, FORMAT_VERSION};
 
 /// Entry-frame magic: "nanobound shard cache".
-const MAGIC: [u8; 4] = *b"NBSC";
+pub(crate) const MAGIC: [u8; 4] = *b"NBSC";
 /// Fixed frame bytes before the payload: magic, version, fingerprint,
 /// shard index, len, checksum. The fingerprint and shard index are part
 /// of the frame so an entry only ever verifies at its own address: a

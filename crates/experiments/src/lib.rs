@@ -47,7 +47,9 @@ pub mod fig8;
 mod figure;
 pub mod headline;
 pub mod profiles;
+pub mod request;
 pub mod validation;
 
 pub use error::ExperimentError;
 pub use figure::FigureOutput;
+pub use request::{generate_figure_cached, FigureId};

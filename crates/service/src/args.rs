@@ -1,0 +1,239 @@
+//! Command-line / request argument parsing shared by the one-shot CLI
+//! and the `serve` protocol.
+//!
+//! Both front ends accept the same `--name value` token streams, so the
+//! parser lives here once: a command (or workload) declares the flags
+//! it understands as a [`FlagSpec`] slice, and [`parse_flags`] rejects
+//! anything else by name. Rejection is deliberate — a typo like
+//! `--epz 0.01` must be a hard error naming the offending token, never
+//! a silently ignored parameter that changes which experiment ran.
+
+use nanobound_cache::ShardCache;
+use nanobound_runner::{ThreadPool, MAX_JOBS};
+
+/// One accepted flag: its `--name` and whether a value must follow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlagSpec {
+    /// The flag name, without the leading `--`.
+    pub name: &'static str,
+    /// `true` when the next token is consumed as the flag's value.
+    pub takes_value: bool,
+}
+
+/// A flag that takes a value (`--eps 0.01`).
+#[must_use]
+pub const fn flag(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+/// A boolean switch (`--no-cache`); stored with the placeholder value
+/// `"true"`.
+#[must_use]
+pub const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+/// The flags every CLI subcommand accepts on top of its own set.
+pub const COMMON_FLAGS: [FlagSpec; 3] = [flag("jobs"), flag("cache-dir"), switch("no-cache")];
+
+/// Parsed `--name value` pairs, in order of appearance.
+pub type Flags = Vec<(String, String)>;
+
+/// Splits an argument list into positional arguments and `--name value`
+/// pairs, accepting only the flags in `spec`.
+///
+/// # Errors
+///
+/// - an unknown flag: `` unknown flag `--frob` ``;
+/// - a value flag at the end of the list: `flag --eps expects a value`.
+pub fn parse_flags(args: &[String], spec: &[FlagSpec]) -> Result<(Vec<String>, Flags), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let Some(known) = spec.iter().find(|f| f.name == name) else {
+                return Err(format!("unknown flag `--{name}`"));
+            };
+            if !known.takes_value {
+                flags.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} expects a value"))?;
+            flags.push((name.to_owned(), value.clone()));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Every value supplied for `name`, in order.
+#[must_use]
+pub fn flag_values<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect()
+}
+
+/// The last `--name` value parsed as `f64`, or `default`.
+///
+/// # Errors
+///
+/// Returns a message naming the flag when the value does not parse.
+pub fn flag_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
+    match flag_values(flags, name).last() {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: `{v}` is not a number")),
+    }
+}
+
+/// The last `--name` value parsed as `usize`, or `default`.
+///
+/// # Errors
+///
+/// Returns a message naming the flag when the value does not parse.
+pub fn flag_usize(flags: &[(String, String)], name: &str, default: usize) -> Result<usize, String> {
+    match flag_values(flags, name).last() {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: `{v}` is not an integer")),
+    }
+}
+
+/// The `--eps` list, or the workspace default `0.001 0.01 0.1`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when one does not
+/// parse.
+pub fn epsilons(flags: &[(String, String)]) -> Result<Vec<f64>, String> {
+    let supplied = flag_values(flags, "eps");
+    if supplied.is_empty() {
+        return Ok(vec![0.001, 0.01, 0.1]);
+    }
+    supplied
+        .iter()
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--eps: `{v}` is not a number"))
+        })
+        .collect()
+}
+
+/// Builds the worker pool from `--jobs` (default: hardware threads).
+///
+/// # Errors
+///
+/// Absurd values are configuration errors, not panics: `--jobs 0` and
+/// anything above [`MAX_JOBS`] are rejected with the runner's own
+/// message naming the supported range.
+pub fn pool_from_flags(flags: &[(String, String)]) -> Result<ThreadPool, String> {
+    match flag_values(flags, "jobs").last() {
+        None => Ok(ThreadPool::auto()),
+        Some(v) => {
+            let jobs: usize = v.parse().map_err(|_| {
+                format!("--jobs: `{v}` is not an integer (supported: 1..={MAX_JOBS})")
+            })?;
+            ThreadPool::new(jobs).map_err(|e| format!("--jobs: {e}"))
+        }
+    }
+}
+
+/// Opens the shard cache requested by `--cache-dir`.
+///
+/// `None` means caching is off; results are identical either way — the
+/// cache only trades recomputation for disk reads.
+///
+/// # Errors
+///
+/// - `--cache-dir` and `--no-cache` together are contradictory
+///   configuration and rejected with both tokens named (scripts that
+///   want to veto a wrapper-supplied cache should drop the wrapper
+///   flag instead);
+/// - an unopenable cache directory.
+pub fn cache_from_flags(flags: &[(String, String)]) -> Result<Option<ShardCache>, String> {
+    let no_cache = !flag_values(flags, "no-cache").is_empty();
+    let cache_dir = flag_values(flags, "cache-dir").last().copied();
+    match (no_cache, cache_dir) {
+        (true, Some(_)) => {
+            Err("--no-cache conflicts with --cache-dir; pass one or the other".to_owned())
+        }
+        (_, None) => Ok(None),
+        (false, Some(dir)) => ShardCache::open(dir)
+            .map(Some)
+            .map_err(|e| format!("--cache-dir: cannot open `{dir}`: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_are_named_in_the_error() {
+        let spec = [flag("eps")];
+        let err = parse_flags(&strings(&["--frob", "1"]), &spec).unwrap_err();
+        assert!(
+            err.contains("--frob"),
+            "error does not name the token: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_values_are_errors() {
+        let spec = [flag("eps")];
+        let err = parse_flags(&strings(&["--eps"]), &spec).unwrap_err();
+        assert!(err.contains("--eps") && err.contains("expects a value"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let spec = [switch("no-cache"), flag("eps")];
+        let (pos, flags) =
+            parse_flags(&strings(&["a.bench", "--no-cache", "--eps", "0.1"]), &spec).unwrap();
+        assert_eq!(pos, vec!["a.bench"]);
+        assert_eq!(flag_values(&flags, "no-cache"), vec!["true"]);
+        assert_eq!(flag_values(&flags, "eps"), vec!["0.1"]);
+    }
+
+    #[test]
+    fn cache_dir_and_no_cache_conflict() {
+        let spec = COMMON_FLAGS;
+        let (_, flags) =
+            parse_flags(&strings(&["--cache-dir", "/tmp/x", "--no-cache"]), &spec).unwrap();
+        let err = cache_from_flags(&flags).unwrap_err();
+        assert!(err.contains("--no-cache") && err.contains("--cache-dir"));
+    }
+
+    #[test]
+    fn no_cache_alone_is_fine() {
+        let (_, flags) = parse_flags(&strings(&["--no-cache"]), &COMMON_FLAGS).unwrap();
+        assert!(cache_from_flags(&flags).unwrap().is_none());
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_in_order() {
+        let spec = [flag("eps")];
+        let (_, flags) = parse_flags(&strings(&["--eps", "0.1", "--eps", "0.2"]), &spec).unwrap();
+        assert_eq!(flag_values(&flags, "eps"), vec!["0.1", "0.2"]);
+        assert_eq!(epsilons(&flags).unwrap(), vec![0.1, 0.2]);
+    }
+}

@@ -1,0 +1,328 @@
+//! The command layer shared by the `nanobound` binary.
+//!
+//! Every subcommand is a thin shell over the [`Engine`]: parse and
+//! validate tokens (rejecting unknown flags by name), build the
+//! pool/cache, call the engine method, print its text. `serve` builds
+//! the same engine once and keeps it alive for a whole request
+//! session — which is exactly why one-shot output and service
+//! responses are byte-identical: they are the same code path.
+
+use std::fs;
+use std::time::Duration;
+
+use nanobound_cache::GcPolicy;
+use nanobound_experiments::{FigureId, FigureOutput};
+
+use crate::args::{
+    cache_from_flags, flag, flag_values, parse_flags, pool_from_flags, switch, FlagSpec, Flags,
+    COMMON_FLAGS,
+};
+use crate::engine::{cache_summary, csv_of, Engine};
+use crate::requests::{BoundRequest, ProfileRequest};
+use crate::serve::{self, ServeOptions};
+
+/// The binary's usage text (printed to stderr on `--help`).
+pub const USAGE: &str = "\
+nanobound — energy bounds for fault-tolerant nanoscale designs
+          (reproduction of Marculescu, DATE 2005)
+
+USAGE:
+    nanobound profile <FILE> [OPTIONS]   profile a .bench/.blif netlist and
+                                         print its bound report
+    nanobound bounds [OPTIONS]           evaluate the bounds for explicit
+                                         circuit parameters
+    nanobound figures [OPTIONS]          regenerate paper figures as CSV
+    nanobound validate [OPTIONS]         run the Monte-Carlo validation
+                                         experiments (V1, V2) as CSV
+    nanobound serve [OPTIONS]            long-running batch service: one
+                                         request per stdin line, framed
+                                         responses on stdout
+
+COMMON OPTIONS:
+    --jobs <N>       worker threads (1..=512)  [default: all hardware threads]
+                     results are byte-identical for every N
+    --cache-dir <D>  reuse shard results (Monte-Carlo chunks, sweep cells,
+                     benchmark measurements) across runs via a
+                     content-addressed cache at D; warm output is
+                     byte-identical to cold   [default: caching off]
+    --no-cache       run without a cache (conflicts with --cache-dir)
+
+PROFILE OPTIONS:
+    --eps <E>        gate error probability (repeatable; default 0.001 0.01 0.1)
+    --delta <D>      required output error bound        [default: 0.01]
+    --frames <T>     unroll sequential designs T frames [default: 4]
+    --patterns <N>   activity-simulation vectors        [default: 10000]
+    --leak <L>       baseline leakage share             [default: 0.5]
+
+BOUNDS OPTIONS:
+    --size <S0>  --sensitivity <S>  --activity <SW>  --fanin <K>
+    --inputs <N>     [default: max(sensitivity, 2)]
+    --depth <D0>     [default: 8]
+    --eps, --delta, --leak as above
+
+FIGURES / VALIDATE OPTIONS:
+    --out <DIR>      write CSV files into DIR           [default: results]
+    --only <FIG>     figures only: restrict to one artifact (repeatable;
+                     fig2..fig8, headline)
+    --stdout         print CSV to stdout instead of writing files
+                     (conflicts with --out)
+
+SERVE OPTIONS:
+    --listen <ADDR>  accept TCP connections on ADDR instead of stdio
+    --gc-bytes <N>   at startup, sweep the cache down toward N bytes
+    --gc-age-days <D>  at startup, expire cache entries older than D days
+
+SERVE PROTOCOL (one request per line; full grammar in the README):
+    {\"id\":\"1\",\"workload\":\"figure\",\"args\":[\"fig3\"]}
+    -> {\"id\":\"1\",\"status\":\"ok\",\"bytes\":N} then exactly N payload
+       bytes — byte-identical to the equivalent one-shot CLI stdout
+       (workloads: profile, bound, figure, validate, stats, ping,
+       shutdown)
+";
+
+/// Top-level dispatch for the `nanobound` binary.
+///
+/// # Errors
+///
+/// Every user-facing failure, as the message the binary prints behind
+/// `error: `.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let spec = [&ProfileRequest::FLAGS[..], &COMMON_FLAGS[..]].concat();
+    let (positional, flags) = parse_flags(args, &spec)?;
+    let request = ProfileRequest::from_parts(&positional, &flags)?;
+    let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
+    print!("{}", engine.profile(&request)?);
+    if let Some(cache) = engine.cache() {
+        println!("{}", cache_summary(cache));
+    }
+    Ok(())
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let spec = [&BoundRequest::FLAGS[..], &[flag("jobs")][..]].concat();
+    let (positional, flags) = parse_flags(args, &spec)?;
+    let request = BoundRequest::from_parts(&positional, &flags)?;
+    let engine = Engine::new(pool_from_flags(&flags)?, None);
+    print!("{}", engine.bound(&request)?);
+    Ok(())
+}
+
+/// Flags shared by the two CSV-artifact subcommands.
+const ARTIFACT_FLAGS: [FlagSpec; 2] = [flag("out"), switch("stdout")];
+
+/// Resolves the `--out`/`--stdout` choice; `None` means stdout mode.
+fn artifact_sink(flags: &Flags) -> Result<Option<String>, String> {
+    let to_stdout = !flag_values(flags, "stdout").is_empty();
+    let out = flag_values(flags, "out").last().copied();
+    match (to_stdout, out) {
+        (true, Some(_)) => Err("--stdout conflicts with --out; pass one or the other".to_owned()),
+        (true, None) => Ok(None),
+        (false, out) => Ok(Some(out.unwrap_or("results").to_owned())),
+    }
+}
+
+/// Writes a figure's tables under `dir` (multi-table figures get
+/// `_0`, `_1`, … suffixes); returns the written paths.
+fn write_figure(dir: &str, figure: &FigureOutput) -> Result<Vec<String>, String> {
+    let mut paths = Vec::new();
+    for (i, table) in figure.tables.iter().enumerate() {
+        let suffix = if figure.tables.len() > 1 {
+            format!("_{i}")
+        } else {
+            String::new()
+        };
+        let path = format!("{dir}/{}{suffix}.csv", figure.id);
+        fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    let spec = [&ARTIFACT_FLAGS[..], &[flag("only")][..], &COMMON_FLAGS[..]].concat();
+    let (positional, flags) = parse_flags(args, &spec)?;
+    if !positional.is_empty() {
+        return Err("`figures` takes only flags".to_owned());
+    }
+    let only = flag_values(&flags, "only");
+    let ids: Vec<FigureId> = if only.is_empty() {
+        FigureId::ALL.to_vec()
+    } else {
+        only.iter()
+            .map(|name| {
+                FigureId::parse(name).ok_or_else(|| {
+                    format!("--only: unknown figure `{name}` (expected fig2..fig8 or headline)")
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let sink = artifact_sink(&flags)?;
+    let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
+    let Some(dir) = sink else {
+        for &id in &ids {
+            print!("{}", engine.figure_csv(id)?);
+        }
+        return Ok(());
+    };
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for &id in &ids {
+        let figure = engine.figure(id)?;
+        for path in write_figure(&dir, &figure)? {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(cache) = engine.cache() {
+        println!("{}", cache_summary(cache));
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let spec = [&ARTIFACT_FLAGS[..], &COMMON_FLAGS[..]].concat();
+    let (positional, flags) = parse_flags(args, &spec)?;
+    if !positional.is_empty() {
+        return Err("`validate` takes only flags".to_owned());
+    }
+    let sink = artifact_sink(&flags)?;
+    let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
+    let outputs = engine.validation()?;
+    let Some(dir) = sink else {
+        for figure in &outputs {
+            print!("{}", csv_of(figure));
+        }
+        return Ok(());
+    };
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for figure in &outputs {
+        for path in write_figure(&dir, figure)? {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(cache) = engine.cache() {
+        println!("{}", cache_summary(cache));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let spec = [
+        &[flag("listen"), flag("gc-bytes"), flag("gc-age-days")][..],
+        &COMMON_FLAGS[..],
+    ]
+    .concat();
+    let (positional, flags) = parse_flags(args, &spec)?;
+    if !positional.is_empty() {
+        return Err("`serve` takes only flags".to_owned());
+    }
+    let cache = cache_from_flags(&flags)?;
+    let max_bytes = match flag_values(&flags, "gc-bytes").last() {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--gc-bytes: `{v}` is not a byte count"))?,
+        ),
+    };
+    let max_age = match flag_values(&flags, "gc-age-days").last() {
+        None => None,
+        Some(v) => {
+            // Absurd values are configuration errors, not panics:
+            // Duration::from_secs_f64 would abort on NaN/∞/overflow.
+            let days: f64 = v
+                .parse()
+                .map_err(|_| format!("--gc-age-days: `{v}` is not a number"))?;
+            if !days.is_finite() || days < 0.0 {
+                return Err(format!(
+                    "--gc-age-days: `{v}` must be a finite, non-negative number of days"
+                ));
+            }
+            Some(
+                Duration::try_from_secs_f64(days * 86_400.0)
+                    .map_err(|_| format!("--gc-age-days: `{v}` is out of range"))?,
+            )
+        }
+    };
+    if (max_bytes.is_some() || max_age.is_some()) && cache.is_none() {
+        return Err("--gc-bytes/--gc-age-days need --cache-dir".to_owned());
+    }
+    let options = ServeOptions {
+        listen: flag_values(&flags, "listen")
+            .last()
+            .map(|s| (*s).to_owned()),
+        gc: GcPolicy { max_bytes, max_age },
+    };
+    let mut engine = Engine::new(pool_from_flags(&flags)?, cache);
+    serve::run(&mut engine, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_names_every_subcommand_and_transport_flag() {
+        for needle in [
+            "USAGE",
+            "profile",
+            "bounds",
+            "figures",
+            "validate",
+            "serve",
+            "--jobs",
+            "--cache-dir",
+            "--no-cache",
+            "--only",
+            "--stdout",
+            "--listen",
+            "--gc-bytes",
+            "1..=512",
+        ] {
+            assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+
+    #[test]
+    fn artifact_sink_resolves_the_three_shapes() {
+        let flags = |pairs: &[(&str, &str)]| -> Flags {
+            pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect()
+        };
+        assert_eq!(
+            artifact_sink(&flags(&[])).unwrap(),
+            Some("results".to_owned())
+        );
+        assert_eq!(
+            artifact_sink(&flags(&[("out", "x")])).unwrap(),
+            Some("x".to_owned())
+        );
+        assert_eq!(artifact_sink(&flags(&[("stdout", "true")])).unwrap(), None);
+        let err = artifact_sink(&flags(&[("stdout", "true"), ("out", "x")])).unwrap_err();
+        assert!(err.contains("--stdout") && err.contains("--out"));
+    }
+
+    #[test]
+    fn gc_flags_require_a_cache() {
+        let args: Vec<String> = ["--gc-bytes", "1024"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let err = cmd_serve(&args).unwrap_err();
+        assert!(err.contains("--cache-dir"), "{err}");
+    }
+}

@@ -1,0 +1,471 @@
+//! The long-lived job engine.
+//!
+//! An [`Engine`] owns the two expensive, shareable resources of the
+//! workspace — one [`ThreadPool`] and one open [`ShardCache`] — for its
+//! whole lifetime, and executes [`ProfileRequest`]/[`BoundRequest`]/
+//! figure/validation workloads against them. On top of the on-disk
+//! shard cache it keeps in-memory registries so a busy service
+//! amortizes work across requests:
+//!
+//! - parsed designs, keyed by file content (a changed file on disk is
+//!   a different design, a re-request of the same bytes parses zero
+//!   times);
+//! - profiled netlists, keyed by a fingerprint over the netlist
+//!   structure ([`netlist_fingerprint`]) and the full measurement
+//!   configuration;
+//! - rendered figures and the profiled benchmark suite, computed once.
+//!
+//! **The byte-identity contract.** Every workload method returns the
+//! *exact text* the equivalent one-shot CLI invocation (without cache
+//! flags) prints on stdout. The one-shot CLI calls these same methods,
+//! so the two front ends cannot drift; and because registries and the
+//! shard cache only ever replay bit-exact results, the text is
+//! independent of request order, warm/cold cache state and worker
+//! count.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use nanobound_cache::{Fingerprint, FingerprintBuilder, GcPolicy, GcReport, ShardCache};
+use nanobound_core::{BoundReport, CircuitProfile, DepthBound};
+use nanobound_experiments::profiles::{
+    profile_netlist_cached, profile_suite_cached, ProfileConfig, ProfiledBenchmark,
+};
+use nanobound_experiments::{generate_figure_cached, validation, FigureId, FigureOutput};
+use nanobound_io::{bench, blif, unroll, Design};
+use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
+
+use crate::requests::{BoundRequest, ProfileRequest};
+
+/// The cache traffic summary line the CLI prints after a cached run
+/// (and the `stats` workload returns).
+#[must_use]
+pub fn cache_summary(cache: &ShardCache) -> String {
+    let stats = cache.stats();
+    format!(
+        "cache {}: {} hits, {} misses, {} entries written{}",
+        cache.root().display(),
+        stats.hits,
+        stats.misses,
+        stats.writes,
+        if stats.write_errors > 0 {
+            format!(
+                ", {} write errors (cache degraded, results unaffected)",
+                stats.write_errors
+            )
+        } else {
+            String::new()
+        },
+    )
+}
+
+/// Cap on each keyed in-memory registry. Reaching it flushes the whole
+/// registry: registries are pure caches over deterministic
+/// computations, so a flush can only cost recomputation (often served
+/// from the on-disk shard cache), never change a result — but without
+/// a cap a service fed an endless stream of distinct netlists would
+/// grow monotonically until it OOMed.
+const REGISTRY_LIMIT: usize = 1024;
+
+/// Inserts into a bounded registry, flushing it first when full.
+fn bounded_insert<V>(registry: &mut HashMap<Fingerprint, V>, key: Fingerprint, value: V) {
+    if registry.len() >= REGISTRY_LIMIT {
+        registry.clear();
+    }
+    registry.insert(key, value);
+}
+
+/// The long-lived job engine; see the [module docs](self).
+#[derive(Debug)]
+pub struct Engine {
+    pool: ThreadPool,
+    cache: Option<ShardCache>,
+    designs: HashMap<Fingerprint, Design>,
+    profiled: HashMap<Fingerprint, ProfiledBenchmark>,
+    figures: HashMap<FigureId, FigureOutput>,
+    suite: Option<Vec<ProfiledBenchmark>>,
+    validation: Option<Vec<FigureOutput>>,
+}
+
+impl Engine {
+    /// Creates an engine over `pool`, with shard results served from /
+    /// written to `cache` when present.
+    #[must_use]
+    pub fn new(pool: ThreadPool, cache: Option<ShardCache>) -> Self {
+        Engine {
+            pool,
+            cache,
+            designs: HashMap::new(),
+            profiled: HashMap::new(),
+            figures: HashMap::new(),
+            suite: None,
+            validation: None,
+        }
+    }
+
+    /// The engine's worker pool.
+    #[must_use]
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The engine's shard cache, when one is configured.
+    #[must_use]
+    pub fn cache(&self) -> Option<&ShardCache> {
+        self.cache.as_ref()
+    }
+
+    /// Sweeps the shard cache under `policy` (no-op without a cache).
+    ///
+    /// Run this at startup, before requests are in flight — nothing is
+    /// protected yet, and the sweep contract guarantees anything
+    /// deleted is recomputed as a plain miss.
+    pub fn gc(&self, policy: &GcPolicy) -> Option<GcReport> {
+        self.cache.as_ref().map(|c| c.sweep(policy, &[]))
+    }
+
+    /// Executes a `profile` workload; returns the one-shot CLI's exact
+    /// stdout text.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable/unparseable netlist files, unroll failures and
+    /// simulation errors, with the CLI's exact messages.
+    pub fn profile(&mut self, request: &ProfileRequest) -> Result<String, String> {
+        let path = &request.path;
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let as_blif = Path::new(path)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("blif"));
+
+        let mut design_key = FingerprintBuilder::new("service-design");
+        design_key.push_str(&text);
+        design_key.push_u64(u64::from(as_blif));
+        let design_key = design_key.finish();
+        if !self.designs.contains_key(&design_key) {
+            let design = if as_blif {
+                blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
+            } else {
+                bench::parse(&text).map_err(|e| format!("{path}: {e}"))?
+            };
+            bounded_insert(&mut self.designs, design_key, design);
+        }
+        let design = &self.designs[&design_key];
+
+        let mut out = String::new();
+        let netlist = if design.is_sequential() {
+            let _ = writeln!(
+                out,
+                "sequential design ({} latches): unrolling {} time frames",
+                design.latches.len(),
+                request.frames,
+            );
+            unroll::unroll_free(design, request.frames).map_err(|e| e.to_string())?
+        } else {
+            design.netlist.clone()
+        };
+
+        let config = ProfileConfig {
+            patterns: request.patterns,
+            leak_share: request.leak,
+            ..Default::default()
+        };
+        let mut profile_key = FingerprintBuilder::new("service-profile");
+        netlist_fingerprint(&mut profile_key, &netlist);
+        profile_key.push_usize(config.max_fanin);
+        profile_key.push_usize(config.patterns);
+        profile_key.push_usize(config.sensitivity_samples);
+        profile_key.push_u64(config.seed);
+        profile_key.push_f64(config.leak_share);
+        let profile_key = profile_key.finish();
+        if !self.profiled.contains_key(&profile_key) {
+            let profiled = profile_netlist_cached(&netlist, None, &config, self.cache.as_ref())
+                .map_err(|e| e.to_string())?;
+            bounded_insert(&mut self.profiled, profile_key, profiled);
+        }
+        let profiled = &self.profiled[&profile_key];
+
+        let _ = writeln!(out, "profile: {}", profiled.profile);
+        out.push_str(&render_reports(
+            &self.pool,
+            &profiled.profile,
+            &request.eps,
+            request.delta,
+        )?);
+        Ok(out)
+    }
+
+    /// Executes a `bound` workload; returns the one-shot CLI's exact
+    /// stdout text.
+    ///
+    /// # Errors
+    ///
+    /// Bound-evaluation failures for out-of-range parameters, with the
+    /// CLI's exact messages.
+    pub fn bound(&self, request: &BoundRequest) -> Result<String, String> {
+        let mut out = String::new();
+        let _ = writeln!(out, "profile: {}", request.profile);
+        out.push_str(&render_reports(
+            &self.pool,
+            &request.profile,
+            &request.eps,
+            request.delta,
+        )?);
+        Ok(out)
+    }
+
+    /// Regenerates (or replays) one figure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failures (not expected for the paper's
+    /// fixed parameters).
+    pub fn figure(&mut self, id: FigureId) -> Result<FigureOutput, String> {
+        if let Some(figure) = self.figures.get(&id) {
+            return Ok(figure.clone());
+        }
+        if id.needs_profiles() {
+            self.ensure_suite()?;
+        }
+        let profiles = self.suite.as_deref().unwrap_or(&[]);
+        let figure = generate_figure_cached(id, &self.pool, self.cache.as_ref(), profiles)
+            .map_err(|e| e.to_string())?;
+        self.figures.insert(id, figure.clone());
+        Ok(figure)
+    }
+
+    /// One figure's tables as CSV — the `figures --only <id> --stdout`
+    /// text.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::figure`].
+    pub fn figure_csv(&mut self, id: FigureId) -> Result<String, String> {
+        Ok(csv_of(&self.figure(id)?))
+    }
+
+    /// Runs (or replays) both validation experiments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying experiment failures.
+    pub fn validation(&mut self) -> Result<Vec<FigureOutput>, String> {
+        if self.validation.is_none() {
+            let outputs = validation::generate_cached(&self.pool, self.cache.as_ref())
+                .map_err(|e| e.to_string())?;
+            self.validation = Some(outputs);
+        }
+        Ok(self.validation.clone().expect("just populated"))
+    }
+
+    /// The validation tables as CSV — the `validate --stdout` text.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::validation`].
+    pub fn validation_csv(&mut self) -> Result<String, String> {
+        Ok(self.validation()?.iter().map(csv_of).collect())
+    }
+
+    /// Profiles the benchmark suite once and keeps it for every figure
+    /// that consumes measured profiles.
+    fn ensure_suite(&mut self) -> Result<(), String> {
+        if self.suite.is_none() {
+            let suite =
+                profile_suite_cached(&self.pool, &ProfileConfig::default(), self.cache.as_ref())
+                    .map_err(|e| e.to_string())?;
+            self.suite = Some(suite);
+        }
+        Ok(())
+    }
+}
+
+/// All of a figure's tables rendered as concatenated CSV.
+#[must_use]
+pub fn csv_of(figure: &FigureOutput) -> String {
+    figure.tables.iter().map(|t| t.to_csv()).collect()
+}
+
+/// Renders one bound report per ε across the pool — the exact text the
+/// CLI prints below the profile line. Grid order is preserved, so the
+/// output never depends on the worker count.
+fn render_reports(
+    pool: &ThreadPool,
+    profile: &CircuitProfile,
+    epsilons: &[f64],
+    delta: f64,
+) -> Result<String, String> {
+    let reports = try_grid_map(pool, epsilons, |&eps| {
+        BoundReport::evaluate(profile, eps, delta).map_err(|e| e.to_string())
+    })?;
+    let mut out = String::new();
+    for (&eps, r) in epsilons.iter().zip(&reports) {
+        let _ = writeln!(out, "\nbounds at eps = {eps}, delta = {delta}:");
+        let _ = writeln!(
+            out,
+            "  size        >= {:.4}x  ({:.1} added gates)",
+            r.size_factor, r.redundancy_gates
+        );
+        let _ = writeln!(
+            out,
+            "  energy      >= {:.4}x  (switching-only: {:.4}x)",
+            r.total_energy_factor, r.switching_energy_factor
+        );
+        let _ = writeln!(
+            out,
+            "  leakage/switching ratio: {:.4}x",
+            r.leakage_ratio_factor
+        );
+        match r.depth_bound {
+            DepthBound::Bounded(d) => {
+                let _ = writeln!(out, "  depth       >= {d:.2} levels");
+            }
+            DepthBound::NoKnownBound => {
+                let _ = writeln!(out, "  depth       : no known bound in this regime");
+            }
+            DepthBound::Infeasible { max_inputs } => {
+                let _ = writeln!(
+                    out,
+                    "  INFEASIBLE  : reliable computation impossible beyond {max_inputs:.1} inputs"
+                );
+            }
+        }
+        match (
+            r.delay_factor,
+            r.average_power_factor,
+            r.energy_delay_factor,
+        ) {
+            (Some(d), Some(p), Some(e)) => {
+                let _ = writeln!(
+                    out,
+                    "  delay       >= {d:.4}x   power >= {p:.4}x   EDP >= {e:.4}x"
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  delay/power/EDP: not defined (xi^2 <= 1/k)");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_flags;
+    use crate::requests::BoundRequest;
+
+    fn engine() -> Engine {
+        Engine::new(ThreadPool::serial(), None)
+    }
+
+    fn bound_request() -> BoundRequest {
+        let args: Vec<String> = [
+            "--size",
+            "21",
+            "--sensitivity",
+            "10",
+            "--activity",
+            "0.5",
+            "--fanin",
+            "3",
+            "--eps",
+            "0.01",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let (pos, flags) = parse_flags(&args, &BoundRequest::FLAGS).unwrap();
+        BoundRequest::from_parts(&pos, &flags).unwrap()
+    }
+
+    #[test]
+    fn bound_text_has_the_cli_shape() {
+        let out = engine().bound(&bound_request()).unwrap();
+        assert!(out.starts_with("profile: "), "out: {out}");
+        assert!(out.contains("\nbounds at eps = 0.01, delta = 0.01:\n"));
+        assert!(out.contains("size        >= "));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn bound_text_is_pool_invariant() {
+        let serial = engine().bound(&bound_request()).unwrap();
+        let parallel = Engine::new(ThreadPool::new(4).unwrap(), None)
+            .bound(&bound_request())
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn profile_replays_identically_and_registers_once() {
+        let dir = std::env::temp_dir().join("nanobound_service_engine_profile");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("xor2.bench");
+        fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+        let request = ProfileRequest {
+            path: path.to_str().unwrap().to_owned(),
+            eps: vec![0.05],
+            delta: 0.01,
+            frames: 4,
+            patterns: 2_000,
+            leak: 0.5,
+        };
+        let mut engine = engine();
+        let first = engine.profile(&request).unwrap();
+        let second = engine.profile(&request).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.designs.len(), 1, "design parsed once");
+        assert_eq!(engine.profiled.len(), 1, "netlist profiled once");
+        assert!(first.contains("profile: "));
+        assert!(first.contains("eps = 0.05"));
+        // A content change under the same path is a different design.
+        fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let changed = engine.profile(&request).unwrap();
+        assert_ne!(first, changed);
+        assert_eq!(engine.designs.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn figure_replay_is_memoized_and_identical() {
+        let mut engine = engine();
+        let first = engine.figure_csv(FigureId::Fig2).unwrap();
+        let second = engine.figure_csv(FigureId::Fig2).unwrap();
+        assert_eq!(first, second);
+        assert!(first.starts_with("sw(y),"), "csv: {first}");
+    }
+
+    #[test]
+    fn registries_never_exceed_the_cap() {
+        let mut registry = HashMap::new();
+        for i in 0..REGISTRY_LIMIT * 2 + 3 {
+            let mut builder = FingerprintBuilder::new("bound-test");
+            builder.push_usize(i);
+            bounded_insert(&mut registry, builder.finish(), i);
+            assert!(registry.len() <= REGISTRY_LIMIT, "cap exceeded at {i}");
+        }
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn unreadable_file_is_the_cli_error() {
+        let err = engine()
+            .profile(&ProfileRequest {
+                path: "/nonexistent/x.bench".to_owned(),
+                eps: vec![0.01],
+                delta: 0.01,
+                frames: 4,
+                patterns: 100,
+                leak: 0.5,
+            })
+            .unwrap_err();
+        assert!(
+            err.starts_with("cannot read /nonexistent/x.bench:"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,506 @@
+//! The line-delimited request/response protocol `nanobound serve`
+//! speaks on stdin/stdout (and on `--listen` sockets).
+//!
+//! # Grammar
+//!
+//! One request per line, a JSON object restricted to string and
+//! string-array values:
+//!
+//! ```text
+//! request  := { "id": STRING, "workload": STRING, "args": [STRING, ...] }
+//! ```
+//!
+//! `id` is an opaque client token echoed in the response; `workload`
+//! names the job (`profile`, `figure`, `bound`, `validate`, `stats`,
+//! `ping`, `shutdown`); `args` (optional, default empty) carries the
+//! workload's CLI-style tokens — the same tokens the one-shot binary
+//! would take, *minus* transport-level flags (`--jobs`, `--cache-dir`,
+//! `--no-cache`), which belong to the server.
+//!
+//! Each response is a one-line JSON header followed by an exact byte
+//! count of raw payload:
+//!
+//! ```text
+//! response := { "id": STRING, "status": "ok" | "error", "bytes": N } "\n"
+//!             <exactly N raw payload bytes>
+//! ```
+//!
+//! For `status: ok` the payload is byte-identical to what the
+//! equivalent one-shot CLI invocation prints on stdout; for
+//! `status: error` it is the `error: ...` line the CLI prints on
+//! stderr. Payloads are raw (not JSON-escaped) so clients and tests
+//! can diff them against CLI output directly.
+//!
+//! The parser accepts only this subset — it is "JSON-ish" by design:
+//! objects of string keys; string, unsigned-integer and
+//! array-of-string values; `\" \\ \/ \n \t \r \b \f \uXXXX` escapes.
+//! Anything else is a malformed request, answered with a
+//! `status: error` response (id `"?"` when none was recoverable), and
+//! the session continues.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen token, echoed in the response header.
+    pub id: String,
+    /// The workload name.
+    pub workload: String,
+    /// CLI-style argument tokens for the workload.
+    pub args: Vec<String>,
+}
+
+/// A decoded value of the JSON-ish subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Num(u64),
+    Arr(Vec<String>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(line: &'a str) -> Self {
+        Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    /// Parses the 4 hex digits of a `\uXXXX` escape into a UTF-16 code
+    /// unit.
+    fn parse_code_unit(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "malformed \\u escape".to_owned())?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| format!("malformed \\u escape `{hex}`"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')
+            .map_err(|_| format!("expected a string at byte {}", self.pos))?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let unit = self.parse_code_unit()?;
+                            let ch = match unit {
+                                // High surrogate: standard JSON encoders
+                                // emit astral characters as a \uXXXX
+                                // surrogate pair; combine it.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(format!(
+                                            "unpaired high surrogate \\u{unit:04x}"
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.parse_code_unit()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(format!("invalid low surrogate \\u{low:04x}"));
+                                    }
+                                    let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(code).expect("surrogate pairs are valid chars")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!("unpaired low surrogate \\u{unit:04x}"))
+                                }
+                                bmp => char::from_u32(bmp)
+                                    .expect("non-surrogate BMP code point is a char"),
+                            };
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(format!("unsupported escape `\\{}`", char::from(other)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let ch = text.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_string()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                    }
+                    self.skip_ws();
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let digits =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+                digits
+                    .parse()
+                    .map(Value::Num)
+                    .map_err(|_| format!("number out of range `{digits}`"))
+            }
+            _ => Err(format!(
+                "expected a string, array or number at byte {}",
+                self.pos
+            )),
+        }
+    }
+
+    /// Parses the whole line as one object, rejecting trailing junk.
+    fn parse_object(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.expect(b'{')
+            .map_err(|_| "request must be a `{...}` object".to_owned())?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.parse_string()?;
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key `{key}`"));
+                }
+                self.expect(b':')?;
+                let value = self.parse_value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing input at byte {}", self.pos));
+        }
+        Ok(fields)
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A message describing the first syntax or schema violation; the
+/// caller answers it with a `status: error` response and keeps the
+/// session alive.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = Parser::new(line).parse_object()?;
+    let mut id = None;
+    let mut workload = None;
+    let mut args = Vec::new();
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("id", Value::Str(s)) => id = Some(s),
+            ("workload", Value::Str(s)) => workload = Some(s),
+            ("args", Value::Arr(a)) => args = a,
+            ("id" | "workload", _) => {
+                return Err(format!("key `{key}` must be a string"));
+            }
+            ("args", _) => return Err("key `args` must be an array of strings".to_owned()),
+            (other, _) => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    Ok(Request {
+        id: id.ok_or("request needs an \"id\"")?,
+        workload: workload.ok_or("request needs a \"workload\"")?,
+        args,
+    })
+}
+
+/// JSON-escapes a string for a response header.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The response header line (without trailing newline).
+#[must_use]
+pub fn response_header(id: &str, ok: bool, bytes: usize) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"status\":\"{}\",\"bytes\":{bytes}}}",
+        escape(id),
+        if ok { "ok" } else { "error" },
+    )
+}
+
+/// Writes one framed response (header line + raw payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O failure (a vanished client).
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    id: &str,
+    ok: bool,
+    payload: &[u8],
+) -> io::Result<()> {
+    writer.write_all(response_header(id, ok, payload.len()).as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one framed response: `Ok(None)` at clean EOF, otherwise
+/// `(id, ok, payload)`.
+///
+/// The counterpart of [`write_response`], used by tests and scripted
+/// clients.
+///
+/// # Errors
+///
+/// I/O failures, and [`io::ErrorKind::InvalidData`] for a malformed
+/// header.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Option<(String, bool, Vec<u8>)>> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let malformed =
+        |msg: String| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {msg}"));
+    let fields = Parser::new(header.trim_end_matches('\n'))
+        .parse_object()
+        .map_err(malformed)?;
+    let mut id = None;
+    let mut status = None;
+    let mut bytes = None;
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("id", Value::Str(s)) => id = Some(s),
+            ("status", Value::Str(s)) => status = Some(s),
+            ("bytes", Value::Num(n)) => bytes = Some(n),
+            (k, v) => return Err(malformed(format!("unexpected field {k}={v:?}"))),
+        }
+    }
+    let (Some(id), Some(status), Some(bytes)) = (id, status, bytes) else {
+        return Err(malformed("missing id/status/bytes".to_owned()));
+    };
+    // Never size an allocation from the untrusted header: `take` +
+    // `read_to_end` grows with the bytes that actually arrive, so a
+    // corrupt or hostile count ends in an error, not an abort.
+    let mut payload = Vec::new();
+    reader.take(bytes).read_to_end(&mut payload)?;
+    if payload.len() as u64 != bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "payload truncated: header said {bytes}, got {}",
+                payload.len()
+            ),
+        ));
+    }
+    Ok(Some((id, status == "ok", payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let req = parse_request(
+            r#"{"id": "r1", "workload": "profile", "args": ["x.bench", "--eps", "0.05"]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.workload, "profile");
+        assert_eq!(req.args, vec!["x.bench", "--eps", "0.05"]);
+    }
+
+    #[test]
+    fn args_default_to_empty() {
+        let req = parse_request(r#"{"id":"1","workload":"validate"}"#).unwrap();
+        assert!(req.args.is_empty());
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let req =
+            parse_request(r#"{"id":"q\"uo\\te","workload":"ping","args":["a b","tab\there","A"]}"#)
+                .unwrap();
+        assert_eq!(req.id, "q\"uo\\te");
+        assert_eq!(req.args, vec!["a b", "tab\there", "A"]);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_characters() {
+        // Standard JSON encoders (e.g. json.dumps with ensure_ascii)
+        // emit non-BMP characters as \uXXXX surrogate pairs.
+        let req = parse_request(r#"{"id":"😀","workload":"ping","args":["é"]}"#).unwrap();
+        assert_eq!(req.id, "😀");
+        assert_eq!(req.args, vec!["é"]);
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_malformed() {
+        for (line, needle) in [
+            (r#"{"id":"\ud83d","workload":"ping"}"#, "unpaired high"),
+            (r#"{"id":"\ud83dx","workload":"ping"}"#, "unpaired high"),
+            (r#"{"id":"\ude00","workload":"ping"}"#, "unpaired low"),
+            (r#"{"id":"\ud83d\u0041","workload":"ping"}"#, "invalid low"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "line {line:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn absurd_byte_counts_error_instead_of_allocating() {
+        // A hostile or corrupt header must not drive a huge upfront
+        // allocation; the reader errors once the stream runs dry.
+        let stream = format!(
+            "{{\"id\":\"x\",\"status\":\"ok\",\"bytes\":{}}}\nshort",
+            u64::MAX
+        );
+        let mut reader = io::BufReader::new(stream.as_bytes());
+        let err = read_response(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn malformed_lines_are_described() {
+        for (line, needle) in [
+            ("", "object"),
+            ("profile x.bench", "object"),
+            (r#"{"id":"1"}"#, "workload"),
+            (r#"{"workload":"ping"}"#, "id"),
+            (r#"{"id":"1","workload":"ping","extra":"x"}"#, "unknown key"),
+            (r#"{"id":"1","workload":"ping"} junk"#, "trailing"),
+            (r#"{"id":"1","id":"2","workload":"ping"}"#, "duplicate"),
+            (r#"{"id":"1","workload":["ping"]}"#, "must be a string"),
+            (r#"{"id":"1","workload":"ping","args":"x"}"#, "array"),
+            (r#"{"id":"1","workload":"ping","args":["\q"]}"#, "escape"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "line {line:?}: error {err:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_frame() {
+        let mut buffer = Vec::new();
+        write_response(&mut buffer, "r1", true, b"line one\nline two\n").unwrap();
+        write_response(&mut buffer, "we\"ird", false, b"error: nope\n").unwrap();
+        let mut reader = io::BufReader::new(buffer.as_slice());
+        let (id, ok, payload) = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!((id.as_str(), ok), ("r1", true));
+        assert_eq!(payload, b"line one\nline two\n");
+        let (id, ok, payload) = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!((id.as_str(), ok), ("we\"ird", false));
+        assert_eq!(payload, b"error: nope\n");
+        assert_eq!(read_response(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_payloads_frame_cleanly() {
+        let mut buffer = Vec::new();
+        write_response(&mut buffer, "z", true, b"").unwrap();
+        let mut reader = io::BufReader::new(buffer.as_slice());
+        let (_, ok, payload) = read_response(&mut reader).unwrap().unwrap();
+        assert!(ok);
+        assert!(payload.is_empty());
+        assert_eq!(read_response(&mut reader).unwrap(), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! The request shapes the engine executes.
+//!
+//! A request is the parsed, validated form of one workload invocation —
+//! the same struct whether the tokens came from the one-shot CLI or
+//! from a `serve` protocol line. Each request type declares the flags
+//! it understands ([`ProfileRequest::FLAGS`], [`BoundRequest::FLAGS`]),
+//! so the CLI appends its transport-level flags (`--jobs`,
+//! `--cache-dir`, `--no-cache`) while the protocol rejects them — in
+//! service mode those belong to the server, not to a request.
+
+use nanobound_core::CircuitProfile;
+
+use crate::args::{epsilons, flag, flag_f64, flag_usize, FlagSpec, Flags};
+
+/// A `profile` workload: measure one netlist file and report its
+/// bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileRequest {
+    /// Path of the `.bench`/`.blif` netlist.
+    pub path: String,
+    /// Gate error probabilities to evaluate.
+    pub eps: Vec<f64>,
+    /// Required output error bound δ.
+    pub delta: f64,
+    /// Time frames for unrolling sequential designs.
+    pub frames: usize,
+    /// Activity-simulation vectors.
+    pub patterns: usize,
+    /// Baseline leakage share.
+    pub leak: f64,
+}
+
+impl ProfileRequest {
+    /// The flags a `profile` request understands.
+    pub const FLAGS: [FlagSpec; 5] = [
+        flag("eps"),
+        flag("delta"),
+        flag("frames"),
+        flag("patterns"),
+        flag("leak"),
+    ];
+
+    /// Builds the request from parsed positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// Exactly one positional (the netlist file) is required; flag
+    /// values must parse.
+    pub fn from_parts(positional: &[String], flags: &Flags) -> Result<Self, String> {
+        let [path] = positional else {
+            return Err("`profile` expects exactly one netlist file".to_owned());
+        };
+        Ok(ProfileRequest {
+            path: path.clone(),
+            eps: epsilons(flags)?,
+            delta: flag_f64(flags, "delta", 0.01)?,
+            frames: flag_usize(flags, "frames", 4)?,
+            patterns: flag_usize(flags, "patterns", 10_000)?,
+            leak: flag_f64(flags, "leak", 0.5)?,
+        })
+    }
+}
+
+/// A `bound` workload: evaluate the closed-form bounds for explicit
+/// circuit parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundRequest {
+    /// The hand-supplied circuit profile.
+    pub profile: CircuitProfile,
+    /// Gate error probabilities to evaluate.
+    pub eps: Vec<f64>,
+    /// Required output error bound δ.
+    pub delta: f64,
+}
+
+impl BoundRequest {
+    /// The flags a `bound` request understands.
+    pub const FLAGS: [FlagSpec; 9] = [
+        flag("size"),
+        flag("sensitivity"),
+        flag("activity"),
+        flag("fanin"),
+        flag("inputs"),
+        flag("depth"),
+        flag("eps"),
+        flag("delta"),
+        flag("leak"),
+    ];
+
+    /// Builds the request from parsed positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// `bound` takes no positionals; `--size`, `--sensitivity`,
+    /// `--activity` and `--fanin` are mandatory and must be in range.
+    pub fn from_parts(positional: &[String], flags: &Flags) -> Result<Self, String> {
+        if !positional.is_empty() {
+            return Err("`bounds` takes only flags".to_owned());
+        }
+        let size = flag_usize(flags, "size", 0)?;
+        let sensitivity = flag_f64(flags, "sensitivity", 0.0)?;
+        let activity = flag_f64(flags, "activity", 0.0)?;
+        let fanin = flag_f64(flags, "fanin", 0.0)?;
+        if size == 0 || sensitivity <= 0.0 || activity <= 0.0 || fanin < 2.0 {
+            return Err("`bounds` needs --size, --sensitivity, --activity and --fanin".to_owned());
+        }
+        let profile = CircuitProfile {
+            name: "cli".into(),
+            inputs: flag_usize(flags, "inputs", sensitivity.ceil().max(2.0) as usize)?,
+            outputs: 1,
+            size,
+            depth: flag_usize(flags, "depth", 8)? as u32,
+            sensitivity,
+            activity,
+            fanin,
+            leak_share: flag_f64(flags, "leak", 0.5)?,
+        };
+        Ok(BoundRequest {
+            profile,
+            eps: epsilons(flags)?,
+            delta: flag_f64(flags, "delta", 0.01)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_flags;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn profile_request_defaults_match_the_cli_contract() {
+        let (pos, flags) = parse_flags(&strings(&["x.bench"]), &ProfileRequest::FLAGS).unwrap();
+        let req = ProfileRequest::from_parts(&pos, &flags).unwrap();
+        assert_eq!(req.path, "x.bench");
+        assert_eq!(req.eps, vec![0.001, 0.01, 0.1]);
+        assert_eq!(req.delta, 0.01);
+        assert_eq!(req.frames, 4);
+        assert_eq!(req.patterns, 10_000);
+        assert_eq!(req.leak, 0.5);
+    }
+
+    #[test]
+    fn profile_request_requires_one_file() {
+        let err = ProfileRequest::from_parts(&[], &Vec::new()).unwrap_err();
+        assert!(err.contains("exactly one netlist file"));
+        let err =
+            ProfileRequest::from_parts(&strings(&["a.bench", "b.bench"]), &Vec::new()).unwrap_err();
+        assert!(err.contains("exactly one netlist file"));
+    }
+
+    #[test]
+    fn bound_request_requires_the_mandatory_quadruple() {
+        let (pos, flags) = parse_flags(&strings(&["--size", "10"]), &BoundRequest::FLAGS).unwrap();
+        let err = BoundRequest::from_parts(&pos, &flags).unwrap_err();
+        assert!(err.contains("needs --size, --sensitivity"));
+    }
+
+    #[test]
+    fn bound_request_builds_the_profile() {
+        let (pos, flags) = parse_flags(
+            &strings(&[
+                "--size",
+                "21",
+                "--sensitivity",
+                "10",
+                "--activity",
+                "0.5",
+                "--fanin",
+                "3",
+                "--eps",
+                "0.01",
+            ]),
+            &BoundRequest::FLAGS,
+        )
+        .unwrap();
+        let req = BoundRequest::from_parts(&pos, &flags).unwrap();
+        assert_eq!(req.profile.size, 21);
+        assert_eq!(req.profile.sensitivity, 10.0);
+        assert_eq!(req.profile.inputs, 10);
+        assert_eq!(req.profile.depth, 8);
+        assert_eq!(req.eps, vec![0.01]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The serve loop: a session of protocol requests executed against one
+//! long-lived [`Engine`].
+//!
+//! `nanobound serve` reads requests from stdin and writes framed
+//! responses to stdout (diagnostics go to stderr, so stdout stays a
+//! clean protocol stream). With `--listen ADDR` it accepts TCP
+//! connections instead, serving them sequentially against the same
+//! engine — connections share the pool, the shard cache and every
+//! in-memory registry, which is the whole point of service mode.
+//!
+//! A malformed line or a failed workload answers with a
+//! `status: error` response and the session continues; only a
+//! `shutdown` request (or EOF / a vanished client) ends it.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use nanobound_cache::GcPolicy;
+use nanobound_experiments::FigureId;
+
+use crate::args::parse_flags;
+use crate::engine::{cache_summary, Engine};
+use crate::proto::{parse_request, write_response, Request};
+use crate::requests::{BoundRequest, ProfileRequest};
+
+/// Transport configuration for one `serve` run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// `Some(addr)` to accept TCP connections instead of stdio.
+    pub listen: Option<String>,
+    /// The startup cache-GC policy (a no-pressure sweep still reclaims
+    /// temp leftovers and stale-version entries).
+    pub gc: GcPolicy,
+}
+
+/// Runs the service until shutdown: startup GC, then the stdio session
+/// or the TCP accept loop.
+///
+/// # Errors
+///
+/// Unbindable listen addresses and stdio I/O failures; per-connection
+/// TCP failures are logged to stderr and survived.
+pub fn run(engine: &mut Engine, options: &ServeOptions) -> Result<(), String> {
+    if let Some(report) = engine.gc(&options.gc) {
+        eprintln!(
+            "nanobound serve: cache gc: {} entries deleted ({} bytes), {} kept ({} bytes), {} failed deletes",
+            report.deleted_entries,
+            report.deleted_bytes,
+            report.kept_entries,
+            report.kept_bytes,
+            report.failed_deletes,
+        );
+    }
+    match &options.listen {
+        None => {
+            eprintln!("nanobound serve: ready on stdio");
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            serve_session(engine, stdin.lock(), &mut stdout.lock())
+                .map_err(|e| format!("serve: {e}"))?;
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)
+                .map_err(|e| format!("--listen: cannot bind `{addr}`: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("--listen: {e}"))?;
+            eprintln!("nanobound serve: listening on {local}");
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        eprintln!("nanobound serve: accept failed: {e}");
+                        continue;
+                    }
+                };
+                let reader = match stream.try_clone() {
+                    Ok(clone) => BufReader::new(clone),
+                    Err(e) => {
+                        eprintln!("nanobound serve: cannot clone stream: {e}");
+                        continue;
+                    }
+                };
+                let mut writer = stream;
+                match serve_session(engine, reader, &mut writer) {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    // A client that vanished mid-response must not take
+                    // the service down with it.
+                    Err(e) => eprintln!("nanobound serve: session ended: {e}"),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serves one request stream until EOF or `shutdown`; returns `true`
+/// when the client asked the whole service to stop.
+///
+/// # Errors
+///
+/// Propagates I/O failures on the transport; workload failures are
+/// answered in-band as `status: error` responses.
+pub fn serve_session<R: BufRead, W: Write>(
+    engine: &mut Engine,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(message) => {
+                write_response(writer, "?", false, format!("error: {message}\n").as_bytes())?;
+            }
+            Ok(request) => {
+                let (ok, payload) = dispatch(engine, &request);
+                write_response(writer, &request.id, ok, payload.as_bytes())?;
+                if ok && request.workload == "shutdown" {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Executes one request; `(true, stdout-equivalent)` or
+/// `(false, "error: ...\n")` — the exact texts the one-shot CLI prints.
+fn dispatch(engine: &mut Engine, request: &Request) -> (bool, String) {
+    let result = match request.workload.as_str() {
+        "profile" => parse_flags(&request.args, &ProfileRequest::FLAGS)
+            .and_then(|(positional, flags)| ProfileRequest::from_parts(&positional, &flags))
+            .and_then(|req| engine.profile(&req)),
+        // `bound` per the protocol; `bounds` accepted as the CLI
+        // subcommand spelling.
+        "bound" | "bounds" => parse_flags(&request.args, &BoundRequest::FLAGS)
+            .and_then(|(positional, flags)| BoundRequest::from_parts(&positional, &flags))
+            .and_then(|req| engine.bound(&req)),
+        "figure" => parse_flags(&request.args, &[])
+            .and_then(|(positional, _)| match positional.as_slice() {
+                [name] => FigureId::parse(name).ok_or_else(|| format!("unknown figure `{name}`")),
+                _ => Err(
+                    "`figure` expects exactly one figure name (fig2..fig8, headline)".to_owned(),
+                ),
+            })
+            .and_then(|id| engine.figure_csv(id)),
+        "validate" => {
+            if request.args.is_empty() {
+                engine.validation_csv()
+            } else {
+                Err("`validate` takes no arguments".to_owned())
+            }
+        }
+        "stats" => Ok(match engine.cache() {
+            Some(cache) => format!("{}\n", cache_summary(cache)),
+            None => "cache: off\n".to_owned(),
+        }),
+        "ping" => Ok("pong\n".to_owned()),
+        "shutdown" => Ok("bye\n".to_owned()),
+        other => Err(format!("unknown workload `{other}`")),
+    };
+    match result {
+        Ok(payload) => (true, payload),
+        Err(message) => (false, format!("error: {message}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::read_response;
+    use nanobound_runner::ThreadPool;
+
+    /// Runs a scripted session against a fresh engine; returns the
+    /// parsed responses.
+    fn session(script: &str) -> Vec<(String, bool, String)> {
+        let mut engine = Engine::new(ThreadPool::serial(), None);
+        let mut out = Vec::new();
+        serve_session(&mut engine, script.as_bytes(), &mut out).unwrap();
+        let mut reader = BufReader::new(out.as_slice());
+        let mut responses = Vec::new();
+        while let Some((id, ok, payload)) = read_response(&mut reader).unwrap() {
+            responses.push((id, ok, String::from_utf8(payload).unwrap()));
+        }
+        responses
+    }
+
+    #[test]
+    fn ping_and_unknown_workloads() {
+        let responses = session(
+            "{\"id\":\"a\",\"workload\":\"ping\"}\n\
+             {\"id\":\"b\",\"workload\":\"frobnicate\"}\n",
+        );
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0], ("a".to_owned(), true, "pong\n".to_owned()));
+        let (id, ok, payload) = &responses[1];
+        assert_eq!(id, "b");
+        assert!(!ok);
+        assert!(payload.contains("unknown workload `frobnicate`"));
+    }
+
+    #[test]
+    fn bound_payload_matches_the_engine_text() {
+        let responses = session(
+            "{\"id\":\"r\",\"workload\":\"bound\",\"args\":[\"--size\",\"21\",\
+             \"--sensitivity\",\"10\",\"--activity\",\"0.5\",\"--fanin\",\"3\",\
+             \"--eps\",\"0.01\"]}\n",
+        );
+        let (_, ok, payload) = &responses[0];
+        assert!(ok, "payload: {payload}");
+        assert!(payload.starts_with("profile: "));
+        assert!(payload.contains("bounds at eps = 0.01"));
+    }
+
+    #[test]
+    fn malformed_lines_do_not_end_the_session() {
+        let responses = session(
+            "this is not a request\n\
+             \n\
+             {\"id\":\"ok\",\"workload\":\"ping\"}\n",
+        );
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].0, "?");
+        assert!(!responses[0].1);
+        assert_eq!(responses[1], ("ok".to_owned(), true, "pong\n".to_owned()));
+    }
+
+    #[test]
+    fn figure_workload_returns_csv_and_validates_the_name() {
+        let responses = session(
+            "{\"id\":\"f\",\"workload\":\"figure\",\"args\":[\"fig2\"]}\n\
+             {\"id\":\"g\",\"workload\":\"figure\",\"args\":[\"fig99\"]}\n",
+        );
+        let (_, ok, payload) = &responses[0];
+        assert!(ok);
+        assert!(payload.starts_with("sw(y),"), "csv: {payload}");
+        let (_, ok, payload) = &responses[1];
+        assert!(!ok);
+        assert!(payload.contains("unknown figure `fig99`"));
+    }
+
+    #[test]
+    fn transport_flags_are_rejected_per_request() {
+        // --jobs belongs to the server, not to a request: determinism
+        // makes it meaningless per-request, so it must be an error.
+        let responses =
+            session("{\"id\":\"j\",\"workload\":\"bound\",\"args\":[\"--jobs\",\"4\"]}\n");
+        let (_, ok, payload) = &responses[0];
+        assert!(!ok);
+        assert!(
+            payload.contains("unknown flag `--jobs`"),
+            "payload: {payload}"
+        );
+    }
+
+    #[test]
+    fn shutdown_ends_the_session_early() {
+        let responses = session(
+            "{\"id\":\"s\",\"workload\":\"shutdown\"}\n\
+             {\"id\":\"never\",\"workload\":\"ping\"}\n",
+        );
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0], ("s".to_owned(), true, "bye\n".to_owned()));
+    }
+
+    #[test]
+    fn stats_reports_cache_off_without_a_cache() {
+        let responses = session("{\"id\":\"st\",\"workload\":\"stats\"}\n");
+        assert_eq!(
+            responses[0],
+            ("st".to_owned(), true, "cache: off\n".to_owned())
+        );
+    }
+}

@@ -27,7 +27,10 @@
 //!   sharded Monte-Carlo, parallel grid sweeps; `--jobs N` is
 //!   byte-identical to `--jobs 1`);
 //! - [`experiments`] — regeneration of every figure and headline claim of
-//!   the paper.
+//!   the paper;
+//! - [`service`] — the long-running batch service: job engine over one
+//!   pool + one shard cache, line-delimited request protocol, serve
+//!   loop, and the CLI command layer shared with the one-shot binary.
 //!
 //! # Quickstart
 //!
@@ -64,4 +67,5 @@ pub use nanobound_logic as logic;
 pub use nanobound_redundancy as redundancy;
 pub use nanobound_report as report;
 pub use nanobound_runner as runner;
+pub use nanobound_service as service;
 pub use nanobound_sim as sim;

@@ -3,389 +3,33 @@
 //! ```console
 //! nanobound profile <file.bench|file.blif> [--eps E]... [--delta D] [--frames T]
 //! nanobound bounds --size S0 --sensitivity S --activity SW --fanin K [--inputs N] [--eps E] [--delta D]
-//! nanobound figures [--out DIR]
+//! nanobound figures [--out DIR | --stdout] [--only FIG]...
+//! nanobound validate [--out DIR | --stdout]
+//! nanobound serve [--listen ADDR] [--gc-bytes N] [--gc-age-days D]
 //! ```
 //!
-//! `profile` parses a netlist (ISCAS `.bench` or BLIF), runs the
-//! measurement pipeline and prints the bound report; sequential designs
-//! are unrolled over `--frames` time frames first. `bounds` skips the
-//! netlist and evaluates the closed-form bounds for hand-supplied
-//! circuit parameters. `figures` regenerates every figure of the paper
-//! into CSV files.
+//! The binary is a thin shell: every subcommand lives in
+//! [`nanobound_service::cli`], which routes one-shot commands and the
+//! long-running `serve` mode through the same
+//! [`nanobound_service::Engine`] — that shared code path is what makes
+//! service responses byte-identical to one-shot output.
 //!
 //! Every subcommand accepts `--jobs N` (default: the host's available
-//! parallelism). Work is sharded through `nanobound-runner`, whose
-//! determinism contract guarantees the output is byte-identical for
-//! every `N` — parallelism changes wall-clock time, never results.
-//!
-//! `profile` and `figures` additionally accept `--cache-dir DIR` to
-//! reuse shard results (Monte-Carlo chunk tallies, sweep grid cells,
-//! benchmark measurements) across runs, and `--no-cache` to veto a
-//! configured cache. The cache is content-addressed and bit-exact:
-//! warm-cache output is byte-identical to cold-cache and `--no-cache`
-//! output, and corrupt entries silently recompute.
+//! parallelism); results are byte-identical for every `N`. `profile`,
+//! `figures`, `validate` and `serve` additionally accept
+//! `--cache-dir DIR` to reuse shard results across runs via the
+//! content-addressed cache, and `--no-cache` to run without one; warm
+//! output is byte-identical to cold.
 
-use std::fs;
-use std::path::Path;
 use std::process::ExitCode;
-
-use nanobound::cache::ShardCache;
-use nanobound::core::{BoundReport, CircuitProfile, DepthBound};
-use nanobound::experiments::profiles::{
-    profile_netlist_cached, profile_suite_cached, ProfileConfig,
-};
-use nanobound::io::{bench, blif, unroll, Design};
-use nanobound::runner::{try_grid_map, ThreadPool, MAX_JOBS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("profile") => cmd_profile(&args[1..]),
-        Some("bounds") => cmd_bounds(&args[1..]),
-        Some("figures") => cmd_figures(&args[1..]),
-        Some("--help" | "-h" | "help") | None => {
-            eprint!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
-    };
-    match result {
+    match nanobound_service::cli::run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }
-}
-
-const USAGE: &str = "\
-nanobound — energy bounds for fault-tolerant nanoscale designs
-          (reproduction of Marculescu, DATE 2005)
-
-USAGE:
-    nanobound profile <FILE> [OPTIONS]   profile a .bench/.blif netlist and
-                                         print its bound report
-    nanobound bounds [OPTIONS]           evaluate the bounds for explicit
-                                         circuit parameters
-    nanobound figures [--out DIR]        regenerate every paper figure as CSV
-
-COMMON OPTIONS:
-    --jobs <N>       worker threads (1..=512)  [default: all hardware threads]
-                     results are byte-identical for every N
-    --cache-dir <D>  reuse shard results (Monte-Carlo chunks, sweep cells,
-                     benchmark measurements) across runs via a
-                     content-addressed cache at D; warm output is
-                     byte-identical to cold   [default: caching off]
-    --no-cache       ignore --cache-dir and recompute everything
-
-PROFILE OPTIONS:
-    --eps <E>        gate error probability (repeatable; default 0.001 0.01 0.1)
-    --delta <D>      required output error bound        [default: 0.01]
-    --frames <T>     unroll sequential designs T frames [default: 4]
-    --patterns <N>   activity-simulation vectors        [default: 10000]
-    --leak <L>       baseline leakage share             [default: 0.5]
-
-BOUNDS OPTIONS:
-    --size <S0>  --sensitivity <S>  --activity <SW>  --fanin <K>
-    --inputs <N>     [default: max(sensitivity, 2)]
-    --depth <D0>     [default: 8]
-    --eps, --delta, --leak as above
-";
-
-/// Parsed `--name value` pairs, in order of appearance.
-type Flags = Vec<(String, String)>;
-
-/// Flags that take no value (stored with the placeholder value `"true"`).
-const BOOLEAN_FLAGS: [&str; 1] = ["no-cache"];
-
-/// Pulls `--name value` pairs (and valueless [`BOOLEAN_FLAGS`]) out of
-/// an argument list; returns the positional arguments.
-fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    let mut positional = Vec::new();
-    let mut flags = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            if BOOLEAN_FLAGS.contains(&name) {
-                flags.push((name.to_owned(), "true".to_owned()));
-                continue;
-            }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} expects a value"))?;
-            flags.push((name.to_owned(), value.clone()));
-        } else {
-            positional.push(arg.clone());
-        }
-    }
-    Ok((positional, flags))
-}
-
-fn flag_values<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
-    flags
-        .iter()
-        .filter(|(n, _)| n == name)
-        .map(|(_, v)| v.as_str())
-        .collect()
-}
-
-fn flag_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
-    match flag_values(flags, name).last() {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{name}: `{v}` is not a number")),
-    }
-}
-
-fn flag_usize(flags: &[(String, String)], name: &str, default: usize) -> Result<usize, String> {
-    match flag_values(flags, name).last() {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{name}: `{v}` is not an integer")),
-    }
-}
-
-/// Builds the worker pool from `--jobs` (default: hardware threads).
-///
-/// Absurd values are configuration errors, not panics: `--jobs 0` and
-/// anything above [`MAX_JOBS`] are rejected with the runner's own
-/// message naming the supported range.
-fn pool_from_flags(flags: &[(String, String)]) -> Result<ThreadPool, String> {
-    match flag_values(flags, "jobs").last() {
-        None => Ok(ThreadPool::auto()),
-        Some(v) => {
-            let jobs: usize = v.parse().map_err(|_| {
-                format!("--jobs: `{v}` is not an integer (supported: 1..={MAX_JOBS})")
-            })?;
-            ThreadPool::new(jobs).map_err(|e| format!("--jobs: {e}"))
-        }
-    }
-}
-
-/// Opens the shard cache requested by `--cache-dir`, unless `--no-cache`
-/// vetoes it (useful when a wrapper script always passes a cache dir).
-///
-/// `None` means caching is off; results are identical either way — the
-/// cache only trades recomputation for disk reads.
-fn cache_from_flags(flags: &[(String, String)]) -> Result<Option<ShardCache>, String> {
-    if !flag_values(flags, "no-cache").is_empty() {
-        return Ok(None);
-    }
-    match flag_values(flags, "cache-dir").last() {
-        None => Ok(None),
-        Some(dir) => ShardCache::open(dir)
-            .map(Some)
-            .map_err(|e| format!("--cache-dir: cannot open `{dir}`: {e}")),
-    }
-}
-
-/// Prints the cache traffic summary after a cached run.
-fn print_cache_summary(cache: &ShardCache) {
-    let stats = cache.stats();
-    println!(
-        "cache {}: {} hits, {} misses, {} entries written{}",
-        cache.root().display(),
-        stats.hits,
-        stats.misses,
-        stats.writes,
-        if stats.write_errors > 0 {
-            format!(
-                ", {} write errors (cache degraded, results unaffected)",
-                stats.write_errors
-            )
-        } else {
-            String::new()
-        },
-    );
-}
-
-fn epsilons(flags: &[(String, String)]) -> Result<Vec<f64>, String> {
-    let supplied = flag_values(flags, "eps");
-    if supplied.is_empty() {
-        return Ok(vec![0.001, 0.01, 0.1]);
-    }
-    supplied
-        .iter()
-        .map(|v| {
-            v.parse()
-                .map_err(|_| format!("--eps: `{v}` is not a number"))
-        })
-        .collect()
-}
-
-fn load_design(path: &str) -> Result<Design, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if Path::new(path)
-        .extension()
-        .is_some_and(|e| e.eq_ignore_ascii_case("blif"))
-    {
-        blif::parse(&text).map_err(|e| format!("{path}: {e}"))
-    } else {
-        bench::parse(&text).map_err(|e| format!("{path}: {e}"))
-    }
-}
-
-fn cmd_profile(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = parse_flags(args)?;
-    let [path] = positional.as_slice() else {
-        return Err(format!(
-            "`profile` expects exactly one netlist file\n\n{USAGE}"
-        ));
-    };
-    let delta = flag_f64(&flags, "delta", 0.01)?;
-    let frames = flag_usize(&flags, "frames", 4)?;
-    let patterns = flag_usize(&flags, "patterns", 10_000)?;
-    let leak = flag_f64(&flags, "leak", 0.5)?;
-    let eps = epsilons(&flags)?;
-    let pool = pool_from_flags(&flags)?;
-    let cache = cache_from_flags(&flags)?;
-
-    let design = load_design(path)?;
-    let netlist = if design.is_sequential() {
-        println!(
-            "sequential design ({} latches): unrolling {frames} time frames",
-            design.latches.len()
-        );
-        unroll::unroll_free(&design, frames).map_err(|e| e.to_string())?
-    } else {
-        design.netlist
-    };
-    let config = ProfileConfig {
-        patterns,
-        leak_share: leak,
-        ..Default::default()
-    };
-    let profiled = profile_netlist_cached(&netlist, None, &config, cache.as_ref())
-        .map_err(|e| e.to_string())?;
-    println!("profile: {}", profiled.profile);
-    print_reports(&pool, &profiled.profile, &eps, delta)?;
-    if let Some(cache) = &cache {
-        print_cache_summary(cache);
-    }
-    Ok(())
-}
-
-fn cmd_bounds(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = parse_flags(args)?;
-    if !positional.is_empty() {
-        return Err(format!("`bounds` takes only flags\n\n{USAGE}"));
-    }
-    let size = flag_usize(&flags, "size", 0)?;
-    let sensitivity = flag_f64(&flags, "sensitivity", 0.0)?;
-    let activity = flag_f64(&flags, "activity", 0.0)?;
-    let fanin = flag_f64(&flags, "fanin", 0.0)?;
-    if size == 0 || sensitivity <= 0.0 || activity <= 0.0 || fanin < 2.0 {
-        return Err(format!(
-            "`bounds` needs --size, --sensitivity, --activity and --fanin\n\n{USAGE}"
-        ));
-    }
-    let profile = CircuitProfile {
-        name: "cli".into(),
-        inputs: flag_usize(&flags, "inputs", sensitivity.ceil().max(2.0) as usize)?,
-        outputs: 1,
-        size,
-        depth: flag_usize(&flags, "depth", 8)? as u32,
-        sensitivity,
-        activity,
-        fanin,
-        leak_share: flag_f64(&flags, "leak", 0.5)?,
-    };
-    let delta = flag_f64(&flags, "delta", 0.01)?;
-    let eps = epsilons(&flags)?;
-    let pool = pool_from_flags(&flags)?;
-    println!("profile: {profile}");
-    print_reports(&pool, &profile, &eps, delta)
-}
-
-/// Evaluates one bound report per ε across the pool (grid order is
-/// preserved, so the printed output never depends on the worker count)
-/// and prints them.
-fn print_reports(
-    pool: &ThreadPool,
-    profile: &CircuitProfile,
-    epsilons: &[f64],
-    delta: f64,
-) -> Result<(), String> {
-    let reports = try_grid_map(pool, epsilons, |&eps| {
-        BoundReport::evaluate(profile, eps, delta).map_err(|e| e.to_string())
-    })?;
-    for (&eps, r) in epsilons.iter().zip(&reports) {
-        println!("\nbounds at eps = {eps}, delta = {delta}:");
-        println!(
-            "  size        >= {:.4}x  ({:.1} added gates)",
-            r.size_factor, r.redundancy_gates
-        );
-        println!(
-            "  energy      >= {:.4}x  (switching-only: {:.4}x)",
-            r.total_energy_factor, r.switching_energy_factor
-        );
-        println!("  leakage/switching ratio: {:.4}x", r.leakage_ratio_factor);
-        match r.depth_bound {
-            DepthBound::Bounded(d) => println!("  depth       >= {d:.2} levels"),
-            DepthBound::NoKnownBound => println!("  depth       : no known bound in this regime"),
-            DepthBound::Infeasible { max_inputs } => println!(
-                "  INFEASIBLE  : reliable computation impossible beyond {max_inputs:.1} inputs"
-            ),
-        }
-        match (
-            r.delay_factor,
-            r.average_power_factor,
-            r.energy_delay_factor,
-        ) {
-            (Some(d), Some(p), Some(e)) => {
-                println!("  delay       >= {d:.4}x   power >= {p:.4}x   EDP >= {e:.4}x");
-            }
-            _ => println!("  delay/power/EDP: not defined (xi^2 <= 1/k)"),
-        }
-    }
-    Ok(())
-}
-
-fn cmd_figures(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = parse_flags(args)?;
-    if !positional.is_empty() {
-        return Err(format!("`figures` takes only flags\n\n{USAGE}"));
-    }
-    let dir = flag_values(&flags, "out")
-        .last()
-        .copied()
-        .unwrap_or("results")
-        .to_owned();
-    let pool = pool_from_flags(&flags)?;
-    let cache = cache_from_flags(&flags)?;
-    let shards = cache.as_ref();
-    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
-
-    use nanobound::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, headline};
-    let mut figures = vec![
-        fig2::generate_cached(&pool, shards),
-        fig3::generate_cached(&pool, shards),
-        fig4::generate_cached(&pool, shards),
-        fig5::generate_cached(&pool, shards),
-        fig6::generate_cached(&pool, shards),
-    ];
-    let profiles = profile_suite_cached(&pool, &ProfileConfig::default(), shards)
-        .map_err(|e| e.to_string())?;
-    figures.push(fig7::generate_from(&profiles));
-    figures.push(fig8::generate_from(&profiles));
-    figures.push(headline::generate_from(&profiles));
-    for fig in figures {
-        let fig = fig.map_err(|e| e.to_string())?;
-        for (i, table) in fig.tables.iter().enumerate() {
-            let suffix = if fig.tables.len() > 1 {
-                format!("_{i}")
-            } else {
-                String::new()
-            };
-            let path = format!("{dir}/{}{suffix}.csv", fig.id);
-            fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
-            println!("wrote {path}");
-        }
-    }
-    if let Some(cache) = &cache {
-        print_cache_summary(cache);
-    }
-    Ok(())
 }

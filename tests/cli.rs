@@ -162,14 +162,7 @@ fn warm_cache_figures_are_byte_identical_to_cold_and_uncached() {
         "warm run missed entries: {warm_out}"
     );
 
-    let (ok, plain_out, err) = run(&[
-        "figures",
-        "--out",
-        &dir("plain"),
-        "--cache-dir",
-        &cache,
-        "--no-cache",
-    ]);
+    let (ok, plain_out, err) = run(&["figures", "--out", &dir("plain"), "--no-cache"]);
     assert!(ok, "--no-cache run failed: {err}");
     assert!(
         !plain_out.contains("cache "),
@@ -254,7 +247,130 @@ fn usage_documents_the_cache_flags() {
 fn missing_flag_value_is_an_error() {
     let (ok, _, err) = run(&["bounds", "--size"]);
     assert!(!ok);
-    assert!(err.contains("expects a value"));
+    assert!(
+        err.contains("--size") && err.contains("expects a value"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn unknown_flags_are_rejected_by_name_on_every_subcommand() {
+    // A typo must never be silently ignored — it would change which
+    // experiment ran without any signal.
+    for subcommand in [
+        &["profile", "x.bench", "--epz", "0.1"][..],
+        &["bounds", "--size", "21", "--frob", "3"][..],
+        &["figures", "--bogus", "x"][..],
+        &["validate", "--bogus", "x"][..],
+        &["serve", "--bogus", "x"][..],
+    ] {
+        let (ok, _, err) = run(subcommand);
+        assert!(!ok, "{subcommand:?} unexpectedly succeeded");
+        assert!(
+            err.contains("unknown flag `--"),
+            "{subcommand:?}: stderr {err}"
+        );
+        assert!(
+            err.contains("--epz") || err.contains("--frob") || err.contains("--bogus"),
+            "{subcommand:?}: error does not name the token: {err}"
+        );
+        assert!(!err.contains("panicked"), "{subcommand:?}: stderr {err}");
+    }
+}
+
+#[test]
+fn cache_dir_with_no_cache_is_a_conflict_error() {
+    let (ok, _, err) = run(&["figures", "--cache-dir", "/tmp/x", "--no-cache"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--no-cache") && err.contains("--cache-dir"),
+        "error does not name both tokens: {err}"
+    );
+    assert!(!err.contains("panicked"), "stderr: {err}");
+}
+
+#[test]
+fn figures_only_selects_a_subset_and_rejects_unknown_names() {
+    let dir = std::env::temp_dir().join("nanobound_cli_figures_only");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, out, err) = run(&[
+        "figures",
+        "--only",
+        "fig2",
+        "--only",
+        "fig4",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(
+        out.contains("fig2.csv") && out.contains("fig4.csv"),
+        "out: {out}"
+    );
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(names.len(), 2, "unexpected artifacts: {names:?}");
+    let (ok, _, err) = run(&["figures", "--only", "fig9"]);
+    assert!(!ok);
+    assert!(err.contains("fig9"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn figures_stdout_prints_the_csv_and_conflicts_with_out() {
+    let (ok, out, err) = run(&["figures", "--only", "fig2", "--stdout"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.starts_with("sw(y),"), "not CSV: {out}");
+    let (ok, _, err) = run(&["figures", "--stdout", "--out", "somewhere"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--stdout") && err.contains("--out"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn validate_writes_both_validation_tables() {
+    let dir = std::env::temp_dir().join("nanobound_cli_validate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, out, err) = run(&["validate", "--out", dir.to_str().unwrap(), "--jobs", "2"]);
+    assert!(ok, "stderr: {err}");
+    assert!(
+        out.contains("v1.csv") && out.contains("v2.csv"),
+        "out: {out}"
+    );
+    let v1 = std::fs::read_to_string(dir.join("v1.csv")).unwrap();
+    assert!(v1.starts_with("circuit,"), "v1: {v1}");
+    let v2 = std::fs::read_to_string(dir.join("v2.csv")).unwrap();
+    assert!(v2.starts_with("scheme,"), "v2: {v2}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn absurd_gc_age_values_are_clean_errors_not_panics() {
+    for bad in ["nan", "inf", "-3", "1e300", "many"] {
+        let (ok, _, err) = run(&["serve", "--cache-dir", "/tmp/x", "--gc-age-days", bad]);
+        assert!(!ok, "--gc-age-days {bad} unexpectedly succeeded");
+        assert!(
+            err.contains("--gc-age-days"),
+            "--gc-age-days {bad}: stderr {err}"
+        );
+        assert!(
+            !err.contains("panicked"),
+            "--gc-age-days {bad}: stderr {err}"
+        );
+    }
+}
+
+#[test]
+fn usage_documents_the_new_subcommands() {
+    let (ok, _, err) = run(&["--help"]);
+    assert!(ok);
+    for needle in ["validate", "serve", "--only", "--stdout", "--listen"] {
+        assert!(err.contains(needle), "usage missing {needle}: {err}");
+    }
 }
 
 const BOUNDS_ARGS: &[&str] = &[

@@ -51,6 +51,24 @@ fn golden_dir() -> std::path::PathBuf {
 fn assert_matches_golden(fresh: &BTreeMap<String, Vec<u8>>, label: &str) {
     let golden = read_csvs(&golden_dir());
     assert!(!golden.is_empty(), "no golden CSVs committed");
+    // Pin the full artifact set explicitly: coverage of the
+    // profile-driven figures (fig7, fig8, headline) is a contract, not
+    // an accident of what happens to be committed.
+    for required in [
+        "fig2.csv",
+        "fig3.csv",
+        "fig4.csv",
+        "fig5.csv",
+        "fig6.csv",
+        "fig7.csv",
+        "fig8.csv",
+        "headline.csv",
+    ] {
+        assert!(
+            golden.contains_key(required),
+            "tests/golden/ is missing {required}"
+        );
+    }
     assert_eq!(
         fresh.keys().collect::<Vec<_>>(),
         golden.keys().collect::<Vec<_>>(),

@@ -1,0 +1,254 @@
+//! End-to-end tests of `nanobound serve`: the service's responses must
+//! be **byte-identical** to the stdout of the equivalent one-shot CLI
+//! invocations — across request order, repetition, cold/warm cache and
+//! worker count — and the stdio and TCP transports must speak the same
+//! protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use nanobound::service::proto::read_response;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nanobound"))
+}
+
+/// Runs a one-shot CLI invocation that must succeed; returns stdout.
+fn one_shot(args: &[&str]) -> Vec<u8> {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "one-shot {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// Runs a one-shot CLI invocation that must fail; returns stderr.
+fn one_shot_failure(args: &[&str]) -> Vec<u8> {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(!out.status.success(), "one-shot {args:?} unexpectedly ok");
+    out.stderr
+}
+
+/// Pipes a scripted session into `nanobound serve <extra>` and returns
+/// the parsed responses plus the raw stdout stream.
+#[allow(clippy::type_complexity)]
+fn serve_session(extra: &[&str], script: &str) -> (Vec<(String, bool, Vec<u8>)>, Vec<u8>) {
+    let mut child = bin()
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "serve exited nonzero");
+    let mut reader = BufReader::new(out.stdout.as_slice());
+    let mut responses = Vec::new();
+    while let Some(response) = read_response(&mut reader).expect("well-framed response stream") {
+        responses.push(response);
+    }
+    (responses, out.stdout)
+}
+
+/// A scratch dir holding a small netlist for `profile` requests.
+fn scratch_netlist(name: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("nanobound_serve_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("xor2.bench");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+    (dir, path.to_str().unwrap().to_owned())
+}
+
+const BOUND_ARGS: [&str; 10] = [
+    "--size",
+    "21",
+    "--sensitivity",
+    "10",
+    "--activity",
+    "0.5",
+    "--fanin",
+    "3",
+    "--eps",
+    "0.01",
+];
+
+fn json_args(args: &[&str]) -> String {
+    let quoted: Vec<String> = args.iter().map(|a| format!("\"{a}\"")).collect();
+    quoted.join(",")
+}
+
+#[test]
+fn serve_responses_equal_one_shot_cli_output_byte_for_byte() {
+    let (dir, netlist) = scratch_netlist("equiv");
+    let profile_args = [netlist.as_str(), "--eps", "0.05", "--patterns", "2000"];
+    let script = format!(
+        "{{\"id\":\"b\",\"workload\":\"bound\",\"args\":[{}]}}\n\
+         {{\"id\":\"f\",\"workload\":\"figure\",\"args\":[\"fig2\"]}}\n\
+         {{\"id\":\"p\",\"workload\":\"profile\",\"args\":[{}]}}\n\
+         {{\"id\":\"p2\",\"workload\":\"profile\",\"args\":[{}]}}\n\
+         {{\"id\":\"bad\",\"workload\":\"profile\",\"args\":[\"/nope/missing.bench\"]}}\n",
+        json_args(&BOUND_ARGS),
+        json_args(&profile_args),
+        json_args(&profile_args),
+    );
+    let (responses, _) = serve_session(&[], &script);
+    assert_eq!(responses.len(), 5);
+
+    let bounds_expected = one_shot(&[&["bounds"][..], &BOUND_ARGS[..]].concat());
+    let figure_expected = one_shot(&["figures", "--only", "fig2", "--stdout"]);
+    let profile_expected = one_shot(&[&["profile"][..], &profile_args[..]].concat());
+    let failure_expected = one_shot_failure(&["profile", "/nope/missing.bench"]);
+
+    let (id, ok, payload) = &responses[0];
+    assert_eq!((id.as_str(), *ok), ("b", true));
+    assert_eq!(
+        payload, &bounds_expected,
+        "bound payload != `nanobound bounds` stdout"
+    );
+    let (id, ok, payload) = &responses[1];
+    assert_eq!((id.as_str(), *ok), ("f", true));
+    assert_eq!(
+        payload, &figure_expected,
+        "figure payload != `figures --only fig2 --stdout` stdout"
+    );
+    for index in [2, 3] {
+        let (id, ok, payload) = &responses[index];
+        assert!(id.starts_with('p'));
+        assert!(*ok);
+        assert_eq!(
+            payload, &profile_expected,
+            "profile payload (request {index}) != one-shot stdout"
+        );
+    }
+    let (id, ok, payload) = &responses[4];
+    assert_eq!((id.as_str(), *ok), ("bad", false));
+    assert_eq!(
+        payload, &failure_expected,
+        "error payload != one-shot stderr"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cold_warm_cache_and_worker_count_leave_the_stream_identical() {
+    let (dir, netlist) = scratch_netlist("warm");
+    let cache = dir.join("cache").to_str().unwrap().to_owned();
+    // Mixed-order script touching every deterministic workload,
+    // including a replay of an earlier request.
+    let script = format!(
+        "{{\"id\":\"1\",\"workload\":\"figure\",\"args\":[\"fig4\"]}}\n\
+         {{\"id\":\"2\",\"workload\":\"profile\",\"args\":[{}]}}\n\
+         {{\"id\":\"3\",\"workload\":\"bound\",\"args\":[{}]}}\n\
+         {{\"id\":\"4\",\"workload\":\"figure\",\"args\":[\"fig2\"]}}\n\
+         {{\"id\":\"5\",\"workload\":\"figure\",\"args\":[\"fig4\"]}}\n",
+        json_args(&[netlist.as_str(), "--eps", "0.01", "--patterns", "2000"]),
+        json_args(&BOUND_ARGS),
+    );
+    let (_, cold_stream) = serve_session(&["--cache-dir", &cache, "--jobs", "1"], &script);
+    let (_, warm_stream) = serve_session(&["--cache-dir", &cache, "--jobs", "5"], &script);
+    let (_, plain_stream) = serve_session(&["--jobs", "3"], &script);
+    assert_eq!(
+        cold_stream, warm_stream,
+        "warm-cache --jobs 5 stream != cold-cache --jobs 1 stream"
+    );
+    assert_eq!(
+        cold_stream, plain_stream,
+        "uncached stream != cached stream"
+    );
+
+    // The warm run above must actually have been served from the
+    // cache: a fresh session over the same store reports zero misses
+    // for a replayed figure.
+    let stats_script = "{\"id\":\"f\",\"workload\":\"figure\",\"args\":[\"fig4\"]}\n\
+                        {\"id\":\"s\",\"workload\":\"stats\"}\n";
+    let (responses, _) = serve_session(&["--cache-dir", &cache], stats_script);
+    let stats = String::from_utf8(responses[1].2.clone()).unwrap();
+    assert!(
+        stats.contains(" 0 misses"),
+        "warm figure request missed the cache: {stats}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn validate_over_serve_matches_the_one_shot_cli() {
+    let script = "{\"id\":\"v\",\"workload\":\"validate\"}\n";
+    let (responses, _) = serve_session(&[], script);
+    let (id, ok, payload) = &responses[0];
+    assert_eq!((id.as_str(), *ok), ("v", true));
+    let expected = one_shot(&["validate", "--stdout"]);
+    assert_eq!(
+        payload, &expected,
+        "validate payload != `validate --stdout`"
+    );
+}
+
+#[test]
+fn tcp_transport_speaks_the_same_protocol() {
+    let mut child = bin()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // The service announces the bound address on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "serve exited before announcing its address"
+        );
+        if let Some(rest) = line
+            .trim_end()
+            .strip_prefix("nanobound serve: listening on ")
+        {
+            break rest.to_owned();
+        }
+    };
+
+    let stream = TcpStream::connect(&addr).expect("connect to serve");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(
+            b"{\"id\":\"t1\",\"workload\":\"ping\"}\n\
+              {\"id\":\"t2\",\"workload\":\"figure\",\"args\":[\"fig2\"]}\n\
+              {\"id\":\"t3\",\"workload\":\"shutdown\"}\n",
+        )
+        .expect("requests written");
+    let mut reader = BufReader::new(stream);
+    let (id, ok, payload) = read_response(&mut reader).unwrap().expect("ping response");
+    assert_eq!(
+        (id.as_str(), ok, &payload[..]),
+        ("t1", true, &b"pong\n"[..])
+    );
+    let (id, ok, payload) = read_response(&mut reader)
+        .unwrap()
+        .expect("figure response");
+    assert_eq!((id.as_str(), ok), ("t2", true));
+    assert_eq!(
+        payload,
+        one_shot(&["figures", "--only", "fig2", "--stdout"]),
+        "TCP figure payload != one-shot stdout"
+    );
+    let (id, ok, payload) = read_response(&mut reader)
+        .unwrap()
+        .expect("shutdown response");
+    assert_eq!((id.as_str(), ok, &payload[..]), ("t3", true, &b"bye\n"[..]));
+    // Shutdown ends the whole service.
+    let status = child.wait().expect("serve exits after shutdown");
+    assert!(status.success());
+}

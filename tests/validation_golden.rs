@@ -1,0 +1,83 @@
+//! Golden-file regression gate over the `validate` artifacts.
+//!
+//! The CSVs under `tests/golden/validation/` are the committed output
+//! of `nanobound validate`. Like the figure goldens, they are
+//! regenerated on the serial engine and with several workers and must
+//! match byte for byte — catching both drift in the validation
+//! experiments (Monte-Carlo seeds, redundancy constructions, table
+//! formatting) and any worker-count dependence in the sharded runner.
+//!
+//! To refresh after an intentional change:
+//! `cargo run --release -- validate --out tests/golden/validation`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+fn read_csvs(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap())
+        .filter(|entry| entry.path().extension().is_some_and(|x| x == "csv"))
+        .map(|entry| {
+            (
+                entry.file_name().into_string().unwrap(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn regenerate(dir: &Path, jobs: &str) -> BTreeMap<String, Vec<u8>> {
+    let out = Command::new(env!("CARGO_BIN_EXE_nanobound"))
+        .args(["validate", "--out", dir.to_str().unwrap(), "--jobs", jobs])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "validate --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    read_csvs(dir)
+}
+
+fn assert_matches_golden(fresh: &BTreeMap<String, Vec<u8>>, label: &str) {
+    let golden = read_csvs(&Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/validation"));
+    assert_eq!(
+        golden.keys().collect::<Vec<_>>(),
+        vec!["v1.csv", "v2.csv"],
+        "golden validation set incomplete"
+    );
+    assert_eq!(
+        fresh.keys().collect::<Vec<_>>(),
+        golden.keys().collect::<Vec<_>>(),
+        "{label}: artifact set diverged from tests/golden/validation/"
+    );
+    for (name, bytes) in &golden {
+        assert_eq!(
+            &fresh[name], bytes,
+            "{label}: {name} differs from the committed golden (refresh with \
+             `cargo run --release -- validate --out tests/golden/validation` \
+             if the change is intentional)"
+        );
+    }
+}
+
+#[test]
+fn serial_validation_matches_the_committed_goldens() {
+    let dir = std::env::temp_dir().join("nanobound_validation_golden_j1");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = regenerate(&dir, "1");
+    assert_matches_golden(&fresh, "--jobs 1");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parallel_validation_matches_the_committed_goldens() {
+    // 5 workers, coprime to the shard counts, as in the figure gate.
+    let dir = std::env::temp_dir().join("nanobound_validation_golden_j5");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = regenerate(&dir, "5");
+    assert_matches_golden(&fresh, "--jobs 5");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
