@@ -23,6 +23,11 @@
 #      against each other AND against a stream assembled from the
 #      equivalent one-shot CLI invocations, so a service-mode response
 #      that drifts from the one-shot output by a single byte fails
+#   8. the engine gate: `figures` and `validate` re-run under
+#      NANOBOUND_ENGINE=interp (the interpreted oracle) and diffed
+#      byte-for-byte against the default compiled engine's artifacts —
+#      a compiled executor that drifts from the oracle by one bit in
+#      any tally, activity or sensitivity fails the gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -94,5 +99,19 @@ emit() { printf '{"id":"%s","status":"ok","bytes":%d}\n' "$1" "$(wc -c < "$2")";
   emit e "$detdir/exp-b"
 } > "$detdir/serve-expected.out"
 diff "$detdir/serve-expected.out" "$detdir/serve-cold.out"
+
+echo "==> engine gate: NANOBOUND_ENGINE=interp vs default compiled"
+NANOBOUND_ENGINE=interp target/release/nanobound figures --out "$detdir/fig-interp" \
+    --jobs "$(nproc)" >/dev/null
+diff -r "$detdir/j1" "$detdir/fig-interp"
+target/release/nanobound validate --out "$detdir/val-compiled" >/dev/null
+NANOBOUND_ENGINE=interp target/release/nanobound validate --out "$detdir/val-interp" >/dev/null
+diff -r "$detdir/val-compiled" "$detdir/val-interp"
+# Unknown engine names are hard configuration errors, not silent
+# fallbacks (that would defeat this very gate).
+if NANOBOUND_ENGINE=turbo target/release/nanobound validate --stdout >/dev/null 2>&1; then
+  echo "NANOBOUND_ENGINE=turbo was silently accepted" >&2
+  exit 1
+fi
 
 echo "CI green."

@@ -1,0 +1,142 @@
+//! Machine-readable engine benchmark: interpreted vs compiled
+//! Monte-Carlo throughput per benchmark netlist.
+//!
+//! A plain binary (`harness = false`) that prints one JSON document to
+//! stdout — `scripts/bench_json.sh` redirects it into `BENCH_5.json`,
+//! the workspace's first performance-trajectory artifact. Future PRs
+//! regenerate the file and compare patterns/sec against it.
+//!
+//! Three workloads per netlist, both engines each:
+//!
+//! - `mc_sparse` — the paired clean/noisy chunk at ε = 0.25. A dyadic ε
+//!   needs a single fault-mask RNG draw per word, so this measures the
+//!   *executor* (graph walk, allocation, tally passes) rather than RNG
+//!   serialization. This is the headline speedup.
+//! - `mc_dense` — the same chunk at ε = 0.01, where ε's 22 live binary
+//!   digits cost 22 sequential RNG draws per gate-word in *both*
+//!   engines (the bit-identity contract freezes the mask stream), so
+//!   the ratio is bounded by the shared RNG cost. Reported so the
+//!   trajectory keeps both regimes honest.
+//! - `clean` — the error-free profiling evaluation behind
+//!   `figures`/`profile` (activity + sensitivity measurement).
+//!
+//! Every measured pair is also checked for bitwise tally equality —
+//! a benchmark run that drifted would be meaningless.
+
+use std::time::Instant;
+
+use nanobound_gen::standard_suite;
+use nanobound_logic::Netlist;
+use nanobound_sim::{evaluate_packed, monte_carlo_tally, NoisyConfig, PatternSet, SimProgram};
+
+/// Patterns per measured chunk — the workspace's DEFAULT_CHUNK.
+const CHUNK: usize = 4096;
+/// Minimum wall-clock per measurement.
+const MIN_SECS: f64 = 0.2;
+/// Minimum iterations per measurement.
+const MIN_ITERS: u32 = 3;
+
+/// Times `f` (one chunk of `CHUNK` patterns per call) and returns
+/// patterns per second.
+fn patterns_per_sec(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: fills caches and scratch arenas
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < MIN_ITERS || start.elapsed().as_secs_f64() < MIN_SECS {
+        f();
+        iters += 1;
+    }
+    f64::from(iters) * CHUNK as f64 / start.elapsed().as_secs_f64()
+}
+
+struct EnginePair {
+    interp_pps: f64,
+    compiled_pps: f64,
+}
+
+impl EnginePair {
+    fn speedup(&self) -> f64 {
+        self.compiled_pps / self.interp_pps
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"interp_patterns_per_sec\": {:.0}, \"compiled_patterns_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+            self.interp_pps,
+            self.compiled_pps,
+            self.speedup()
+        )
+    }
+}
+
+fn measure_mc(netlist: &Netlist, program: &SimProgram, eps: f64) -> EnginePair {
+    let cfg = NoisyConfig::new(eps, 5).expect("valid epsilon");
+    let mut scratch = program.scratch();
+    // The contract behind the comparison: identical tallies.
+    let reference = monte_carlo_tally(netlist, &cfg, CHUNK, 7).expect("interpreted chunk");
+    let compiled = program
+        .run_tally(&mut scratch, &cfg, CHUNK, 7)
+        .expect("compiled chunk");
+    assert_eq!(reference, compiled, "engines diverged — benchmark void");
+
+    let interp_pps = patterns_per_sec(|| drop(monte_carlo_tally(netlist, &cfg, CHUNK, 7).unwrap()));
+    let compiled_pps =
+        patterns_per_sec(|| drop(program.run_tally(&mut scratch, &cfg, CHUNK, 7).unwrap()));
+    EnginePair {
+        interp_pps,
+        compiled_pps,
+    }
+}
+
+fn measure_clean(netlist: &Netlist, program: &SimProgram) -> EnginePair {
+    let patterns = PatternSet::random(netlist.input_count(), CHUNK, 7);
+    let mut scratch = program.scratch();
+    let interp_pps = patterns_per_sec(|| drop(evaluate_packed(netlist, &patterns).unwrap()));
+    let compiled_pps = patterns_per_sec(|| program.run_clean(&mut scratch, &patterns).unwrap());
+    EnginePair {
+        interp_pps,
+        compiled_pps,
+    }
+}
+
+fn main() {
+    let suite = standard_suite().expect("standard suite generates");
+    let mut entries = Vec::new();
+    let mut largest: Option<(String, usize, f64)> = None;
+    for bench in &suite {
+        let netlist = &bench.netlist;
+        let program = SimProgram::compile(netlist);
+        let sparse = measure_mc(netlist, &program, 0.25);
+        let dense = measure_mc(netlist, &program, 0.01);
+        let clean = measure_clean(netlist, &program);
+        if largest
+            .as_ref()
+            .is_none_or(|(_, gates, _)| netlist.gate_count() > *gates)
+        {
+            largest = Some((bench.name.clone(), netlist.gate_count(), sparse.speedup()));
+        }
+        entries.push(format!(
+            "    {{\"name\": \"{}\", \"gates\": {}, \"inputs\": {}, \"mc_sparse\": {}, \"mc_dense\": {}, \"clean\": {}}}",
+            bench.name,
+            netlist.gate_count(),
+            netlist.input_count(),
+            sparse.json(),
+            dense.json(),
+            clean.json(),
+        ));
+    }
+    let (largest_name, largest_gates, largest_speedup) = largest.expect("non-empty suite");
+    println!("{{");
+    println!("  \"bench\": \"engines\",");
+    println!("  \"pr\": 5,");
+    println!("  \"chunk_patterns\": {CHUNK},");
+    println!("  \"mc_sparse_eps\": 0.25,");
+    println!("  \"mc_dense_eps\": 0.01,");
+    println!(
+        "  \"largest_netlist\": {{\"name\": \"{largest_name}\", \"gates\": {largest_gates}, \"mc_sparse_speedup\": {largest_speedup:.2}}},"
+    );
+    println!("  \"netlists\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

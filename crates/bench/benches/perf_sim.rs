@@ -5,7 +5,10 @@ use std::hint::black_box;
 
 use nanobound_gen::iscas;
 use nanobound_runner::{monte_carlo_sharded, ThreadPool};
-use nanobound_sim::{estimate_activity, evaluate_packed, monte_carlo, NoisyConfig, PatternSet};
+use nanobound_sim::{
+    estimate_activity, evaluate_packed, monte_carlo, monte_carlo_tally, NoisyConfig, PatternSet,
+    SimProgram,
+};
 
 fn bench_sim(c: &mut Criterion) {
     let mult = iscas::c6288_analog().unwrap(); // the suite's largest circuit
@@ -26,6 +29,42 @@ fn bench_sim(c: &mut Criterion) {
         let cfg = NoisyConfig::new(0.01, 5).unwrap();
         b.iter(|| monte_carlo(black_box(&mult), &cfg, 4096, 7).unwrap())
     });
+
+    // Interpreted vs compiled, on the exact same chunk workload (the
+    // two produce bit-identical tallies — see crates/sim/tests/
+    // compiled.rs). Two ε regimes: at mask-sparse ε (one fault-mask RNG
+    // draw per word) the executor dominates and the compiled tape wins
+    // big; at mask-dense ε both engines are bound by the frozen
+    // fault-mask RNG stream, which bit-identity forbids changing.
+    for (label, eps) in [("sparse_eps0.25", 0.25), ("dense_eps0.01", 0.01)] {
+        let cfg = NoisyConfig::new(eps, 5).unwrap();
+        c.bench_function(&format!("mc_tally_interp_c6288a_4096_{label}"), |b| {
+            b.iter(|| monte_carlo_tally(black_box(&mult), &cfg, 4096, 7).unwrap())
+        });
+        let program = SimProgram::compile(&mult);
+        let mut scratch = program.scratch();
+        c.bench_function(&format!("mc_tally_compiled_c6288a_4096_{label}"), |b| {
+            b.iter(|| {
+                program
+                    .run_tally(black_box(&mut scratch), &cfg, 4096, 7)
+                    .unwrap()
+            })
+        });
+    }
+
+    // Clean profiling eval (the figures pipeline's hot loop), both
+    // engines.
+    {
+        let program = SimProgram::compile(&mult);
+        let mut scratch = program.scratch();
+        c.bench_function("clean_eval_compiled_c6288a_4096", |b| {
+            b.iter(|| {
+                program
+                    .run_clean(black_box(&mut scratch), black_box(&patterns))
+                    .unwrap()
+            })
+        });
+    }
 
     // The sharded Monte-Carlo, serial vs all hardware threads: identical
     // work (32 chunks of 1024 patterns), identical output bits — the

@@ -13,12 +13,16 @@
 //! 3. sensitivity comes from the generator's analytic hint when one
 //!    exists, exact enumeration for ≤ 20 inputs, or sampling.
 
+use std::sync::Arc;
+
 use nanobound_cache::{CacheCodec, Decoder, Encoder, FingerprintBuilder, ShardCache};
 use nanobound_core::CircuitProfile;
 use nanobound_gen::{standard_suite, Benchmark};
 use nanobound_logic::{transform, CircuitStats, Netlist};
 use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
-use nanobound_sim::{estimate_activity, sensitivity};
+use nanobound_sim::{
+    estimate_activity, sensitivity, EngineKind, ProgramCache, SensitivityEstimate, SimProgram,
+};
 
 use crate::error::ExperimentError;
 
@@ -173,6 +177,33 @@ pub fn profile_netlist_cached(
     config: &ProfileConfig,
     cache: Option<&ShardCache>,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
+    profile_netlist_cached_programs(netlist, sensitivity_hint, config, cache, None)
+}
+
+/// [`profile_netlist_cached`] with compiled simulation programs served
+/// from / written to `programs` — for long-lived services that profile
+/// the same structures repeatedly under varying measurement configs.
+///
+/// The measurement backend is resolved from `NANOBOUND_ENGINE`
+/// ([`EngineKind::from_env`]); compiled and interpreted measurements
+/// are bit-identical, so the profile (and everything derived from it —
+/// figures, bounds, cache entries) does not depend on the choice.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`], plus a configuration error for an
+/// unrecognized `NANOBOUND_ENGINE` value.
+pub fn profile_netlist_cached_programs(
+    netlist: &Netlist,
+    sensitivity_hint: Option<u32>,
+    config: &ProfileConfig,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<ProfiledBenchmark, ExperimentError> {
+    // Resolve (and strictly validate) the engine before the cache is
+    // consulted: a typo'd NANOBOUND_ENGINE must be a hard error on warm
+    // runs too, not only when a measurement is actually executed.
+    let engine = EngineKind::from_env().map_err(ExperimentError::from)?;
     let mapped = transform::prepare(netlist, config.max_fanin)?;
     let stats = CircuitStats::of(&mapped);
 
@@ -195,27 +226,7 @@ pub fn profile_netlist_cached(
     let measurement = match cached {
         Some(m) => m,
         None => {
-            let activity = estimate_activity(&mapped, config.patterns, config.seed)?;
-            let (sensitivity, source) = match sensitivity_hint {
-                Some(s) => (f64::from(s), SensitivitySource::Hint),
-                None => {
-                    let est =
-                        sensitivity::estimate(&mapped, config.sensitivity_samples, config.seed)?;
-                    let source = if est.is_exact() {
-                        SensitivitySource::Exact
-                    } else {
-                        SensitivitySource::Sampled {
-                            samples: config.sensitivity_samples,
-                        }
-                    };
-                    (f64::from(est.value()), source)
-                }
-            };
-            let measurement = Measurement {
-                activity: activity.avg_gate_activity,
-                sensitivity,
-                source,
-            };
+            let measurement = measure(engine, &mapped, sensitivity_hint, config, programs)?;
             if let (Some(c), Some(fp)) = (cache, &fingerprint) {
                 c.store_value(fp, 0, &measurement);
             }
@@ -244,6 +255,71 @@ pub fn profile_netlist_cached(
     })
 }
 
+/// Runs the expensive simulator measurements on a mapped netlist,
+/// dispatching on the resolved `NANOBOUND_ENGINE` backend. Both
+/// engines are bit-identical (pinned by `crates/sim/tests/compiled.rs`
+/// and the ci.sh engine gate), so the stored [`Measurement`] never
+/// depends on the backend.
+fn measure(
+    engine: EngineKind,
+    mapped: &Netlist,
+    sensitivity_hint: Option<u32>,
+    config: &ProfileConfig,
+    programs: Option<&ProgramCache>,
+) -> Result<Measurement, ExperimentError> {
+    let (avg_activity, estimate): (f64, Option<SensitivityEstimate>) = match engine {
+        EngineKind::Interp => {
+            let activity = estimate_activity(mapped, config.patterns, config.seed)?;
+            let estimate = match sensitivity_hint {
+                Some(_) => None,
+                None => Some(sensitivity::estimate(
+                    mapped,
+                    config.sensitivity_samples,
+                    config.seed,
+                )?),
+            };
+            (activity.avg_gate_activity, estimate)
+        }
+        EngineKind::Compiled => {
+            let program = match programs {
+                Some(cache) => cache.get_or_compile(mapped),
+                None => Arc::new(SimProgram::compile(mapped)),
+            };
+            let mut scratch = program.scratch();
+            let activity = program.estimate_activity(&mut scratch, config.patterns, config.seed)?;
+            let estimate = match sensitivity_hint {
+                Some(_) => None,
+                None => Some(sensitivity::estimate_with(
+                    &program,
+                    &mut scratch,
+                    config.sensitivity_samples,
+                    config.seed,
+                )?),
+            };
+            (activity.avg_gate_activity, estimate)
+        }
+    };
+    let (sensitivity, source) = match (sensitivity_hint, estimate) {
+        (Some(s), _) => (f64::from(s), SensitivitySource::Hint),
+        (None, Some(est)) => {
+            let source = if est.is_exact() {
+                SensitivitySource::Exact
+            } else {
+                SensitivitySource::Sampled {
+                    samples: config.sensitivity_samples,
+                }
+            };
+            (f64::from(est.value()), source)
+        }
+        (None, None) => unreachable!("estimate computed whenever the hint is absent"),
+    };
+    Ok(Measurement {
+        activity: avg_activity,
+        sensitivity,
+        source,
+    })
+}
+
 /// Profiles a [`Benchmark`] (uses its sensitivity hint when present).
 ///
 /// # Errors
@@ -266,11 +342,27 @@ pub fn profile_benchmark_cached(
     config: &ProfileConfig,
     cache: Option<&ShardCache>,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
-    profile_netlist_cached(
+    profile_benchmark_cached_programs(benchmark, config, cache, None)
+}
+
+/// [`profile_benchmark_cached`] with compiled programs shared through
+/// `programs`.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+pub fn profile_benchmark_cached_programs(
+    benchmark: &Benchmark,
+    config: &ProfileConfig,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<ProfiledBenchmark, ExperimentError> {
+    profile_netlist_cached_programs(
         &benchmark.netlist,
         benchmark.sensitivity_hint,
         config,
         cache,
+        programs,
     )
 }
 
@@ -327,8 +419,25 @@ pub fn profile_suite_cached(
     config: &ProfileConfig,
     cache: Option<&ShardCache>,
 ) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
+    profile_suite_cached_programs(pool, config, cache, None)
+}
+
+/// [`profile_suite_cached`] with compiled programs shared through
+/// `programs`.
+///
+/// # Errors
+///
+/// Same as [`profile_netlist`].
+pub fn profile_suite_cached_programs(
+    pool: &ThreadPool,
+    config: &ProfileConfig,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
     let suite = standard_suite()?;
-    try_grid_map(pool, &suite, |b| profile_benchmark_cached(b, config, cache))
+    try_grid_map(pool, &suite, |b| {
+        profile_benchmark_cached_programs(b, config, cache, programs)
+    })
 }
 
 #[cfg(test)]

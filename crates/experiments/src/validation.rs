@@ -20,8 +20,8 @@ use nanobound_gen::{alu, parity, priority};
 use nanobound_logic::Netlist;
 use nanobound_redundancy::{multiplex, nmr, MultiplexConfig};
 use nanobound_report::{Cell, Table};
-use nanobound_runner::{monte_carlo_sharded_cached, ThreadPool, DEFAULT_CHUNK};
-use nanobound_sim::{NoisyConfig, NoisyOutcome, SimError};
+use nanobound_runner::{monte_carlo_sharded_cached_programs, ThreadPool, DEFAULT_CHUNK};
+use nanobound_sim::{NoisyConfig, NoisyOutcome, ProgramCache, SimError};
 
 use crate::error::ExperimentError;
 use crate::figure::FigureOutput;
@@ -40,8 +40,9 @@ fn validation_mc(
     config: &NoisyConfig,
     pattern_seed: u64,
     cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
 ) -> Result<NoisyOutcome, SimError> {
-    monte_carlo_sharded_cached(
+    monte_carlo_sharded_cached_programs(
         pool,
         netlist,
         config,
@@ -49,6 +50,7 @@ fn validation_mc(
         pattern_seed,
         DEFAULT_CHUNK,
         cache,
+        programs,
     )
 }
 
@@ -82,6 +84,20 @@ pub fn theorem1_validation_cached(
     pool: &ThreadPool,
     cache: Option<&ShardCache>,
 ) -> Result<FigureOutput, ExperimentError> {
+    theorem1_validation_cached_programs(pool, cache, None)
+}
+
+/// V1 with compiled simulation programs shared through `programs`, so a
+/// long-lived service compiles each validation circuit once.
+///
+/// # Errors
+///
+/// Same as [`theorem1_validation`].
+pub fn theorem1_validation_cached_programs(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let mut table = Table::new(
         "V1 — Theorem 1: measured vs predicted noisy switching activity",
         [
@@ -103,7 +119,14 @@ pub fn theorem1_validation_cached(
     for (name, nl) in &circuits {
         let depth = nanobound_logic::topo::depth(nl);
         for &eps in &[0.01, 0.05, 0.2] {
-            let out = validation_mc(pool, nl, &NoisyConfig::strict(eps, 11)?, 13, cache)?;
+            let out = validation_mc(
+                pool,
+                nl,
+                &NoisyConfig::strict(eps, 11)?,
+                13,
+                cache,
+                programs,
+            )?;
             let predicted = noisy_activity(out.clean_avg_gate_activity, eps);
             table.push_row([
                 Cell::from(*name),
@@ -170,6 +193,19 @@ pub fn constructive_vs_bound_cached(
     pool: &ThreadPool,
     cache: Option<&ShardCache>,
 ) -> Result<FigureOutput, ExperimentError> {
+    constructive_vs_bound_cached_programs(pool, cache, None)
+}
+
+/// V2 with compiled simulation programs shared through `programs`.
+///
+/// # Errors
+///
+/// Same as [`constructive_vs_bound`].
+pub fn constructive_vs_bound_cached_programs(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<FigureOutput, ExperimentError> {
     let base = parity::parity_tree(10, 2)?;
     let s0 = base.gate_count() as f64;
     let mut table = Table::new(
@@ -186,11 +222,11 @@ pub fn constructive_vs_bound_cached(
     for &eps in &[0.001, 0.005] {
         let config = NoisyConfig::strict(eps, 21)?;
         // Unprotected baseline for reference.
-        let bare = validation_mc(pool, &base, &config, 23, cache)?;
+        let bare = validation_mc(pool, &base, &config, 23, cache, programs)?;
         push_scheme(&mut table, "bare", eps, bare.circuit_error_rate, 1.0, s0)?;
         for r in [3usize, 5] {
             let protected = nmr(&base, r)?;
-            let out = validation_mc(pool, &protected, &config, 23, cache)?;
+            let out = validation_mc(pool, &protected, &config, 23, cache, programs)?;
             let actual = protected.gate_count() as f64 / s0;
             push_scheme(
                 &mut table,
@@ -212,7 +248,7 @@ pub fn constructive_vs_bound_cached(
                 seed: 31,
             },
         )?;
-        let out = validation_mc(pool, &mux, &config, 23, cache)?;
+        let out = validation_mc(pool, &mux, &config, 23, cache, programs)?;
         let actual = mux.gate_count() as f64 / s0;
         push_scheme(
             &mut table,
@@ -284,9 +320,23 @@ pub fn generate_cached(
     pool: &ThreadPool,
     cache: Option<&ShardCache>,
 ) -> Result<Vec<FigureOutput>, ExperimentError> {
+    generate_cached_programs(pool, cache, None)
+}
+
+/// Runs both validation experiments with compiled simulation programs
+/// shared through `programs`.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_cached_programs(
+    pool: &ThreadPool,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<Vec<FigureOutput>, ExperimentError> {
     Ok(vec![
-        theorem1_validation_cached(pool, cache)?,
-        constructive_vs_bound_cached(pool, cache)?,
+        theorem1_validation_cached_programs(pool, cache, programs)?,
+        constructive_vs_bound_cached_programs(pool, cache, programs)?,
     ])
 }
 

@@ -24,42 +24,21 @@
 //!
 //! [`FORMAT_VERSION`]: nanobound_cache::FORMAT_VERSION
 
+use std::sync::Arc;
+
 use nanobound_cache::{CacheCodec, Fingerprint, FingerprintBuilder, ShardCache};
-use nanobound_logic::{GateKind, Netlist, Node};
-use nanobound_sim::{monte_carlo_tally, NoisyConfig, NoisyOutcome, NoisyTally, SimError};
+use nanobound_logic::Netlist;
+use nanobound_sim::{
+    monte_carlo_tally, EngineKind, NoisyConfig, NoisyOutcome, NoisyTally, ProgramCache, SimError,
+    SimProgram,
+};
 
 use crate::pool::ThreadPool;
 use crate::seed::shard_seed;
 
-/// Folds a netlist's complete structure into a fingerprint: node kinds,
-/// fanin wiring and output drivers in declaration order.
-///
-/// Signal *names* are deliberately excluded — they do not influence any
-/// simulated or analyzed result, so two structurally identical netlists
-/// share cache entries regardless of naming.
-pub fn netlist_fingerprint(builder: &mut FingerprintBuilder, netlist: &Netlist) {
-    builder.push_usize(netlist.node_count());
-    for node in netlist.nodes() {
-        match node {
-            Node::Input { .. } => builder.push_u64(u64::MAX),
-            Node::Gate { kind, fanins } => {
-                let kind_index = GateKind::ALL
-                    .iter()
-                    .position(|k| k == kind)
-                    .expect("GateKind::ALL covers every kind");
-                builder.push_u64(kind_index as u64);
-                builder.push_usize(fanins.len());
-                for f in fanins {
-                    builder.push_usize(f.index());
-                }
-            }
-        }
-    }
-    builder.push_usize(netlist.output_count());
-    for output in netlist.outputs() {
-        builder.push_usize(output.driver.index());
-    }
-}
+// Re-exported from `nanobound-sim`, where it moved so the compiled
+// [`ProgramCache`] can address programs by the same structural identity.
+pub use nanobound_sim::netlist_fingerprint;
 
 /// The fingerprint under which [`monte_carlo_sharded_cached`] stores its
 /// chunk tallies (exposed so tests can corrupt specific entries).
@@ -129,6 +108,46 @@ pub fn monte_carlo_sharded_cached(
     chunk: usize,
     cache: Option<&ShardCache>,
 ) -> Result<NoisyOutcome, SimError> {
+    monte_carlo_sharded_cached_programs(
+        pool,
+        netlist,
+        config,
+        patterns,
+        pattern_seed,
+        chunk,
+        cache,
+        None,
+    )
+}
+
+/// [`monte_carlo_sharded_cached`] with compiled [`SimProgram`]s served
+/// from / written to `programs` — the entry point for long-lived
+/// services that execute many experiments over the same netlists and
+/// want warm requests to skip compilation entirely.
+///
+/// The evaluation backend is resolved per call from the
+/// `NANOBOUND_ENGINE` environment variable ([`EngineKind::from_env`]):
+/// the compiled engine by default, the interpreted oracle under
+/// `NANOBOUND_ENGINE=interp`. Both produce **bit-identical** outcomes —
+/// the compiled executor replays the interpreted engines' exact pattern
+/// and fault-mask RNG streams — so cache entries, golden CSVs and
+/// `--jobs` invariance hold across backends.
+///
+/// # Errors
+///
+/// Same as [`monte_carlo_sharded_cached`], plus a configuration error
+/// for an unrecognized `NANOBOUND_ENGINE` value.
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_sharded_cached_programs(
+    pool: &ThreadPool,
+    netlist: &Netlist,
+    config: &NoisyConfig,
+    patterns: usize,
+    pattern_seed: u64,
+    chunk: usize,
+    cache: Option<&ShardCache>,
+    programs: Option<&ProgramCache>,
+) -> Result<NoisyOutcome, SimError> {
     if patterns < 2 {
         return Err(SimError::bad("patterns", patterns, "must be at least 2"));
     }
@@ -139,48 +158,103 @@ pub fn monte_carlo_sharded_cached(
     // [`monte_carlo_sharded`] delegates here with `cache: None`, so the
     // shard math, seed derivation and merge can never diverge between
     // the two entry points.
+    let engine = EngineKind::from_env()?;
     let fingerprint =
         cache.map(|_| monte_carlo_fingerprint(netlist, config, patterns, pattern_seed, chunk));
     let shards = patterns.div_ceil(chunk);
-    let tallies: Vec<Result<NoisyTally, SimError>> = pool.map_indexed(shards, |i| {
-        let len = chunk.min(patterns - i * chunk);
-        if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
-            if let Some(tally) = cache.load_value::<NoisyTally>(fingerprint, i as u64) {
-                // Guard the merge against entries that verified and
-                // decoded but describe a different experiment (only
-                // reachable via a fingerprint collision): mismatches
-                // recompute.
-                if tally.patterns == len
-                    && tally.gates == netlist.gate_count()
-                    && tally.per_output_errors.len() == netlist.output_count()
-                {
-                    return Ok(tally);
-                }
+
+    // Validates a cached tally before merging: guard against entries
+    // that verified and decoded but describe a different experiment
+    // (only reachable via a fingerprint collision) — mismatches
+    // recompute.
+    let load_shard = |i: usize, len: usize| -> Option<NoisyTally> {
+        let (cache, fingerprint) = (cache?, fingerprint.as_ref()?);
+        let tally = cache.load_value::<NoisyTally>(fingerprint, i as u64)?;
+        (tally.patterns == len
+            && tally.gates == netlist.gate_count()
+            && tally.per_output_errors.len() == netlist.output_count())
+        .then_some(tally)
+    };
+
+    if engine == EngineKind::Interp {
+        let tallies: Vec<Result<NoisyTally, SimError>> = pool.map_indexed(shards, |i| {
+            let len = chunk.min(patterns - i * chunk);
+            if let Some(tally) = load_shard(i, len) {
+                return Ok(tally);
+            }
+            let shard_config = NoisyConfig::new(config.epsilon, shard_seed(config.seed, i as u64))?;
+            let tally = monte_carlo_tally(
+                netlist,
+                &shard_config,
+                len,
+                shard_seed(pattern_seed, i as u64),
+            )?;
+            if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
+                cache.store_value(fingerprint, i as u64, &tally);
+            }
+            Ok(tally)
+        });
+        let mut merged: Option<NoisyTally> = None;
+        for tally in tallies {
+            let tally = tally?;
+            match &mut merged {
+                None => merged = Some(tally),
+                Some(total) => total.merge(&tally),
             }
         }
-        let shard_config = NoisyConfig::new(config.epsilon, shard_seed(config.seed, i as u64))?;
-        let tally = monte_carlo_tally(
-            netlist,
-            &shard_config,
-            len,
-            shard_seed(pattern_seed, i as u64),
-        )?;
-        if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
-            cache.store_value(fingerprint, i as u64, &tally);
-        }
-        Ok(tally)
-    });
-    let mut merged: Option<NoisyTally> = None;
-    for tally in tallies {
-        let tally = tally?;
-        match &mut merged {
-            None => merged = Some(tally),
-            Some(total) => total.merge(&tally),
+        return Ok(merged
+            .expect("patterns >= 2 yields at least one shard")
+            .outcome());
+    }
+
+    // Compiled engine: one program per call (or shared through the
+    // program cache), one scratch + running tally per worker. Without
+    // cache traffic a shard folds straight into its worker's
+    // accumulator — zero heap allocation per chunk after warm-up; with
+    // a cache, shards produce standalone tallies so they can be stored.
+    // Integer tallies merge associatively and commutatively, so the
+    // scheduling-dependent split between per-chunk tallies and worker
+    // accumulators cannot change the merged counts.
+    let program: Arc<SimProgram> = match programs {
+        Some(cache) => cache.get_or_compile(netlist),
+        None => Arc::new(SimProgram::compile(netlist)),
+    };
+    let (chunk_tallies, workers) = pool.map_indexed_init(
+        shards,
+        || (program.scratch(), program.empty_tally()),
+        |(scratch, acc), i| -> Result<Option<NoisyTally>, SimError> {
+            let len = chunk.min(patterns - i * chunk);
+            if let Some(tally) = load_shard(i, len) {
+                return Ok(Some(tally));
+            }
+            let shard_config = NoisyConfig::new(config.epsilon, shard_seed(config.seed, i as u64))?;
+            let shard_pattern_seed = shard_seed(pattern_seed, i as u64);
+            if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
+                let tally = program.run_tally(scratch, &shard_config, len, shard_pattern_seed)?;
+                cache.store_value(fingerprint, i as u64, &tally);
+                Ok(Some(tally))
+            } else {
+                program.run_tally_accumulate(
+                    scratch,
+                    &shard_config,
+                    len,
+                    shard_pattern_seed,
+                    acc,
+                )?;
+                Ok(None)
+            }
+        },
+    );
+    let mut merged = program.empty_tally();
+    for tally in chunk_tallies {
+        if let Some(tally) = tally? {
+            merged.merge(&tally);
         }
     }
-    Ok(merged
-        .expect("patterns >= 2 yields at least one shard")
-        .outcome())
+    for (_, acc) in workers {
+        merged.merge(&acc);
+    }
+    Ok(merged.outcome())
 }
 
 /// [`grid_map`](crate::grid_map) with per-cell results served from /
@@ -319,6 +393,57 @@ mod tests {
         }
         assert_eq!(cache.stats().hits, 60);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compiled_pipeline_matches_interpreted_chunk_merge() {
+        // The default (compiled) pipeline against a hand-rolled merge of
+        // interpreted chunk tallies: bit-identical, for several worker
+        // counts (per-worker accumulators must not change the sums).
+        let nl = xor_pair();
+        let cfg = NoisyConfig::new(0.07, 5).unwrap();
+        let (patterns, chunk) = (5_000usize, 512usize);
+        let mut merged: Option<NoisyTally> = None;
+        for i in 0..patterns.div_ceil(chunk) {
+            let len = chunk.min(patterns - i * chunk);
+            let shard_config = NoisyConfig::new(0.07, shard_seed(5, i as u64)).unwrap();
+            let tally =
+                monte_carlo_tally(&nl, &shard_config, len, shard_seed(9, i as u64)).unwrap();
+            match &mut merged {
+                None => merged = Some(tally),
+                Some(total) => total.merge(&tally),
+            }
+        }
+        let expected = merged.unwrap().outcome();
+        for jobs in [1, 3, 8] {
+            let pool = ThreadPool::new(jobs).unwrap();
+            let out = monte_carlo_sharded(&pool, &nl, &cfg, patterns, 9, chunk).unwrap();
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn shared_program_cache_compiles_once_and_changes_nothing() {
+        let nl = xor_pair();
+        let cfg = NoisyConfig::new(0.05, 17).unwrap();
+        let pool = ThreadPool::serial();
+        let plain = monte_carlo_sharded(&pool, &nl, &cfg, 10_000, 19, 512).unwrap();
+        let programs = ProgramCache::new();
+        for _ in 0..3 {
+            let out = monte_carlo_sharded_cached_programs(
+                &pool,
+                &nl,
+                &cfg,
+                10_000,
+                19,
+                512,
+                None,
+                Some(&programs),
+            )
+            .unwrap();
+            assert_eq!(out, plain);
+        }
+        assert_eq!(programs.len(), 1, "one structure, one compilation");
     }
 
     #[test]

@@ -93,9 +93,38 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_indexed_init(n, || (), |(), i| f(i)).0
+    }
+
+    /// Like [`ThreadPool::map_indexed`], but each worker carries a
+    /// private state created by `init` — reusable scratch buffers,
+    /// running accumulators — threaded through every task that worker
+    /// executes.
+    ///
+    /// Returns the task results in index order plus the final worker
+    /// states. **Which tasks fed which state is scheduling-dependent**
+    /// (work stealing), so states are only deterministic in aggregate:
+    /// fold them with an operation that is associative and commutative
+    /// (integer tally merges qualify) or treat them as caches.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `init` or `f`.
+    pub fn map_indexed_init<S, T, I, F>(&self, n: usize, init: I, f: F) -> (Vec<T>, Vec<S>)
+    where
+        S: Send,
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
         let workers = self.jobs.get().min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            let mut state = init();
+            let results = (0..n).map(|i| f(&mut state, i)).collect();
+            return (results, vec![state]);
         }
 
         // Deal contiguous index runs, one deque per worker: run w gets
@@ -105,35 +134,40 @@ impl ThreadPool {
             .collect();
 
         let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut states: Vec<S> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let queues = &queues;
+                    let init = &init;
                     let f = &f;
                     scope.spawn(move || {
+                        let mut state = init();
                         let mut local: Vec<(usize, T)> = Vec::new();
                         while let Some(i) = next_task(queues, w) {
-                            local.push((i, f(i)));
+                            local.push((i, f(&mut state, i)));
                         }
-                        local
+                        (local, state)
                     })
                 })
                 .collect();
             for handle in handles {
                 // join() returns Err only when the worker panicked;
                 // resume the panic on the caller's thread.
-                for (i, value) in handle
+                let (local, state) = handle
                     .join()
-                    .unwrap_or_else(|e| std::panic::resume_unwind(e))
-                {
+                    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+                for (i, value) in local {
                     slots[i] = Some(value);
                 }
+                states.push(state);
             }
         });
-        slots
+        let results = slots
             .into_iter()
             .map(|s| s.expect("every index 0..n was dealt exactly once"))
-            .collect()
+            .collect();
+        (results, states)
     }
 }
 
@@ -231,6 +265,28 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn per_worker_states_cover_every_task_exactly_once() {
+        for jobs in [1usize, 4, 9] {
+            let pool = ThreadPool::new(jobs).unwrap();
+            let (results, states) = pool.map_indexed_init(
+                100,
+                || 0usize,
+                |tasks_seen, i| {
+                    *tasks_seen += 1;
+                    i * 3
+                },
+            );
+            assert_eq!(results, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            assert!(states.len() <= jobs, "jobs={jobs}");
+            assert_eq!(states.iter().sum::<usize>(), 100, "jobs={jobs}");
+        }
+        let pool = ThreadPool::new(4).unwrap();
+        let (results, states) = pool.map_indexed_init(0, || 1u8, |_, i| i);
+        assert!(results.is_empty());
+        assert!(states.is_empty());
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! - profiled netlists, keyed by a fingerprint over the netlist
 //!   structure ([`netlist_fingerprint`]) and the full measurement
 //!   configuration;
+//! - compiled simulation programs ([`ProgramCache`]), keyed by netlist
+//!   structure alone, so warm requests over a known netlist skip
+//!   compilation entirely — one structure is compiled once per engine
+//!   lifetime no matter how many measurement configs or workloads
+//!   touch it;
 //! - rendered figures and the profiled benchmark suite, computed once.
 //!
 //! **The byte-identity contract.** Every workload method returns the
@@ -31,11 +36,13 @@ use std::path::Path;
 use nanobound_cache::{Fingerprint, FingerprintBuilder, GcPolicy, GcReport, ShardCache};
 use nanobound_core::{BoundReport, CircuitProfile, DepthBound};
 use nanobound_experiments::profiles::{
-    profile_netlist_cached, profile_suite_cached, ProfileConfig, ProfiledBenchmark,
+    profile_netlist_cached_programs, profile_suite_cached_programs, ProfileConfig,
+    ProfiledBenchmark,
 };
 use nanobound_experiments::{generate_figure_cached, validation, FigureId, FigureOutput};
 use nanobound_io::{bench, blif, unroll, Design};
 use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
+use nanobound_sim::ProgramCache;
 
 use crate::requests::{BoundRequest, ProfileRequest};
 
@@ -84,6 +91,7 @@ pub struct Engine {
     cache: Option<ShardCache>,
     designs: HashMap<Fingerprint, Design>,
     profiled: HashMap<Fingerprint, ProfiledBenchmark>,
+    programs: ProgramCache,
     figures: HashMap<FigureId, FigureOutput>,
     suite: Option<Vec<ProfiledBenchmark>>,
     validation: Option<Vec<FigureOutput>>,
@@ -99,10 +107,17 @@ impl Engine {
             cache,
             designs: HashMap::new(),
             profiled: HashMap::new(),
+            programs: ProgramCache::new(),
             figures: HashMap::new(),
             suite: None,
             validation: None,
         }
+    }
+
+    /// The engine's registry of compiled simulation programs.
+    #[must_use]
+    pub fn programs(&self) -> &ProgramCache {
+        &self.programs
     }
 
     /// The engine's worker pool.
@@ -181,8 +196,14 @@ impl Engine {
         profile_key.push_f64(config.leak_share);
         let profile_key = profile_key.finish();
         if !self.profiled.contains_key(&profile_key) {
-            let profiled = profile_netlist_cached(&netlist, None, &config, self.cache.as_ref())
-                .map_err(|e| e.to_string())?;
+            let profiled = profile_netlist_cached_programs(
+                &netlist,
+                None,
+                &config,
+                self.cache.as_ref(),
+                Some(&self.programs),
+            )
+            .map_err(|e| e.to_string())?;
             bounded_insert(&mut self.profiled, profile_key, profiled);
         }
         let profiled = &self.profiled[&profile_key];
@@ -253,8 +274,12 @@ impl Engine {
     /// Propagates the underlying experiment failures.
     pub fn validation(&mut self) -> Result<Vec<FigureOutput>, String> {
         if self.validation.is_none() {
-            let outputs = validation::generate_cached(&self.pool, self.cache.as_ref())
-                .map_err(|e| e.to_string())?;
+            let outputs = validation::generate_cached_programs(
+                &self.pool,
+                self.cache.as_ref(),
+                Some(&self.programs),
+            )
+            .map_err(|e| e.to_string())?;
             self.validation = Some(outputs);
         }
         Ok(self.validation.clone().expect("just populated"))
@@ -273,9 +298,13 @@ impl Engine {
     /// that consumes measured profiles.
     fn ensure_suite(&mut self) -> Result<(), String> {
         if self.suite.is_none() {
-            let suite =
-                profile_suite_cached(&self.pool, &ProfileConfig::default(), self.cache.as_ref())
-                    .map_err(|e| e.to_string())?;
+            let suite = profile_suite_cached_programs(
+                &self.pool,
+                &ProfileConfig::default(),
+                self.cache.as_ref(),
+                Some(&self.programs),
+            )
+            .map_err(|e| e.to_string())?;
             self.suite = Some(suite);
         }
         Ok(())
@@ -427,6 +456,40 @@ mod tests {
         let changed = engine.profile(&request).unwrap();
         assert_ne!(first, changed);
         assert_eq!(engine.designs.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn program_registry_shares_compilations_across_configs() {
+        let dir = std::env::temp_dir().join("nanobound_service_engine_programs");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("maj.bench");
+        fs::write(
+            &path,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = MAJ(a, b, c)\n",
+        )
+        .unwrap();
+        let request = |patterns: usize| ProfileRequest {
+            path: path.to_str().unwrap().to_owned(),
+            eps: vec![0.01],
+            delta: 0.01,
+            frames: 4,
+            patterns,
+            leak: 0.5,
+        };
+        let mut engine = engine();
+        engine.profile(&request(2_000)).unwrap();
+        assert_eq!(engine.programs().len(), 1, "first profile compiles once");
+        // A different measurement config re-measures the same mapped
+        // structure: new profile registry entry, same compiled program.
+        engine.profile(&request(3_000)).unwrap();
+        assert_eq!(engine.profiled.len(), 2);
+        assert_eq!(
+            engine.programs().len(),
+            1,
+            "structure shared, not recompiled"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

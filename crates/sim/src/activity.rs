@@ -33,31 +33,33 @@ pub struct ActivityProfile {
 ///
 /// Pattern pairs `(t, t+1)` for `t` in `0..count-1` are examined, across
 /// word boundaries included.
+///
+/// Transitions come in complete 64-blocks (63 in-word slots plus the
+/// boundary into the next word); the hot loop handles those with a
+/// fixed mask and no per-word branches, and only the final partial
+/// block computes a tail mask — this is the simulator's single most
+/// executed counting loop (every gate, every chunk, clean and noisy).
 #[must_use]
 pub fn toggle_count(stream: &[u64], count: usize) -> u64 {
     if count < 2 {
         return 0;
     }
     let transitions = count - 1;
+    // Bits 0..=62: the 63 in-word transition slots of a full block.
+    const WITHIN: u64 = (1u64 << 63) - 1;
+    let full = transitions / 64;
     let mut toggles: u64 = 0;
-    for (w, &x) in stream.iter().enumerate() {
-        let base = w * 64;
-        if base >= transitions {
-            break;
-        }
-        // Within-word transition t = base + j uses bits j and j+1 of x,
-        // for j in 0..=62.
-        let within = x ^ (x >> 1);
-        let slots = (transitions - base).min(63);
-        let mask = if slots == 0 { 0 } else { (1u64 << slots) - 1 };
-        toggles += u64::from((within & mask).count_ones());
-        // Boundary transition t = base + 63 pairs bit 63 of this word
-        // with bit 0 of the next.
-        if base + 63 < transitions {
-            let here = x >> 63 & 1;
-            let next = stream[w + 1] & 1;
-            toggles += here ^ next;
-        }
+    for w in 0..full {
+        let x = stream[w];
+        toggles += u64::from(((x ^ (x >> 1)) & WITHIN).count_ones());
+        toggles += (x >> 63) ^ (stream[w + 1] & 1);
+    }
+    // Remaining in-word transitions of the final partial block.
+    let rest = transitions - 64 * full;
+    if rest > 0 {
+        let x = stream[full];
+        let mask = (1u64 << rest) - 1;
+        toggles += u64::from(((x ^ (x >> 1)) & mask).count_ones());
     }
     toggles
 }

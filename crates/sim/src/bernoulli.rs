@@ -36,22 +36,80 @@ pub const DIGITS: u32 = 24;
 /// assert_eq!(bernoulli_word(&mut rng, 1.0), !0);
 /// ```
 pub fn bernoulli_word(rng: &mut impl Rng, p: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
-    let q = (p * f64::from(1u32 << DIGITS)).round() as u64;
-    if q == 0 {
-        return 0;
+    BernoulliPlan::new(p).draw(rng)
+}
+
+/// The per-ε invariants of [`bernoulli_word`], hoisted out of the inner
+/// loop: the quantized probability and the first live digit.
+///
+/// A Monte-Carlo chunk draws one mask per gate per word — recomputing
+/// the binary expansion of ε on every call is measurable overhead at
+/// mask-sparse ε. Compile the plan once per run and call
+/// [`BernoulliPlan::draw`] in the loop; the drawn stream is exactly the
+/// one `bernoulli_word` produces (the function itself delegates here,
+/// so the two cannot drift).
+#[derive(Clone, Copy, Debug)]
+pub struct BernoulliPlan {
+    /// `round(p · 2^DIGITS)`.
+    q: u64,
+    /// Index of the least-significant 1-digit of `q` (0 when `q` is 0
+    /// or saturated — the draw-free fast paths).
+    start: u32,
+}
+
+impl BernoulliPlan {
+    /// Quantizes `p` and locates its first live digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` (including NaN).
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let q = (p * f64::from(1u32 << DIGITS)).round() as u64;
+        let start = if q == 0 || q >= 1 << DIGITS {
+            0
+        } else {
+            q.trailing_zeros()
+        };
+        BernoulliPlan { q, start }
     }
-    if q >= 1 << DIGITS {
-        return !0;
+
+    /// Whether drawing consumes no RNG words (ε quantized to 0 or 1).
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.q == 0 || self.q >= 1 << DIGITS
     }
-    // Skip trailing zero digits: they only halve a still-zero density.
-    let start = q.trailing_zeros();
-    let mut mask = rng.next_u64(); // the first 1-digit: 0 | r = r
-    for d in start + 1..DIGITS {
-        let r = rng.next_u64();
-        mask = if q >> d & 1 == 1 { mask | r } else { mask & r };
+
+    /// Whether every drawn mask is all-zero with no RNG consumption
+    /// (ε quantized to 0) — callers may skip drawing entirely.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.q == 0
     }
-    mask
+
+    /// Draws one Bernoulli word; the exact stream of [`bernoulli_word`]
+    /// with the plan's probability.
+    pub fn draw(&self, rng: &mut impl Rng) -> u64 {
+        if self.q == 0 {
+            return 0;
+        }
+        if self.q >= 1 << DIGITS {
+            return !0;
+        }
+        // Skip trailing zero digits: they only halve a still-zero
+        // density.
+        let mut mask = rng.next_u64(); // the first 1-digit: 0 | r = r
+        for d in self.start + 1..DIGITS {
+            let r = rng.next_u64();
+            mask = if self.q >> d & 1 == 1 {
+                mask | r
+            } else {
+                mask & r
+            };
+        }
+        mask
+    }
 }
 
 /// Fills `out` with independent Bernoulli(`p`) words.
@@ -111,6 +169,21 @@ mod tests {
     fn rejects_out_of_range() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = bernoulli_word(&mut rng, 1.5);
+    }
+
+    #[test]
+    fn plan_draws_the_exact_bernoulli_word_stream() {
+        for &p in &[0.0, 1.0, 0.5, 0.25, 0.01, 1.0 / 3.0, 0.999] {
+            let plan = BernoulliPlan::new(p);
+            let mut a = StdRng::seed_from_u64(31);
+            let mut b = StdRng::seed_from_u64(31);
+            for i in 0..50 {
+                assert_eq!(plan.draw(&mut a), bernoulli_word(&mut b, p), "p={p} i={i}");
+            }
+        }
+        assert!(BernoulliPlan::new(0.0).is_trivial());
+        assert!(BernoulliPlan::new(1.0).is_trivial());
+        assert!(!BernoulliPlan::new(0.5).is_trivial());
     }
 
     #[test]

@@ -1,0 +1,943 @@
+//! Compile-once / execute-many simulation programs.
+//!
+//! The interpreted engines ([`crate::evaluate_packed`],
+//! [`crate::evaluate_noisy`]) re-walk the [`Netlist`] graph on every
+//! chunk: enum dispatch per node, fanin indirection through `NodeId`s,
+//! and one full value matrix per run. That is fine for a one-shot
+//! query, but the Monte-Carlo experiments behind the paper's Figures
+//! 7/8 and the validation tables execute the *same* netlist thousands
+//! of times — the graph walk, the per-node bookkeeping and the
+//! intermediate matrices are pure overhead.
+//!
+//! [`SimProgram`] lowers a netlist once into a flat instruction tape:
+//!
+//! - one [`Op`] per *logic gate* (in topological node order, which is
+//!   id order by the netlist invariant), each carrying its [`GateKind`]
+//!   and the operand *slot* offsets of its fanins;
+//! - buffers are **slot aliases** — a `Buf` node shares its fanin's
+//!   slot instead of copying the stream; constants share one
+//!   materialized all-zero / all-one slot;
+//! - every slot is a `words`-sized window into one contiguous scratch
+//!   arena ([`SimScratch`]), so a chunk executes with **zero heap
+//!   allocation**: the arena is sized on first use and reused across
+//!   chunks (a smaller tail chunk never reallocates).
+//!
+//! The fused executor ([`SimProgram::run_tally_accumulate`]) computes
+//! the clean and the noisy value of each gate in a single pass and
+//! folds toggle counts and output mismatches into a
+//! [`NoisyTally`] *while the streams are still cache-hot* — no stored
+//! `NodeValues`, no second and third walk over the matrices.
+//!
+//! # The bit-identity contract
+//!
+//! The compiled engine is an optimization, not a new experiment: for
+//! every input it must produce **bit-identical** tallies, activity
+//! profiles and sensitivities to the interpreted path. Three frozen
+//! streams make that possible:
+//!
+//! - input patterns are drawn exactly like [`PatternSet::random`]
+//!   (input-major, one `next_u64` per word);
+//! - fault masks are drawn through the existing
+//!   [`bernoulli_word`](crate::bernoulli::bernoulli_word) stream, in
+//!   the exact per-gate, per-word order of [`crate::evaluate_noisy`]
+//!   (gates in id order — buffers and constants draw nothing there and
+//!   are not ops here);
+//! - tallies are integer counts, and integer addition is associative,
+//!   so accumulation order cannot change the merged result.
+//!
+//! The interpreted engines stay alive as the differential-testing
+//! oracle (`crates/sim/tests/compiled.rs` pins the equivalence on
+//! random DAGs), and the `NANOBOUND_ENGINE=interp` escape hatch
+//! ([`EngineKind::from_env`]) switches every workload back to them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use nanobound_cache::{Fingerprint, FingerprintBuilder};
+use nanobound_logic::{GateKind, Netlist, Node, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::activity::{toggle_count, ActivityProfile};
+use crate::bernoulli::BernoulliPlan;
+use crate::error::SimError;
+use crate::fingerprint::netlist_fingerprint;
+use crate::noisy::{NoisyConfig, NoisyTally};
+use crate::patterns::{popcount_valid, tail_mask, PatternSet};
+
+/// Which evaluation backend executes simulation workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The compile-once / execute-many tape executor (the default).
+    Compiled,
+    /// The interpreted graph walkers — the differential-testing oracle.
+    Interp,
+}
+
+/// Name of the engine-selection environment variable.
+pub const ENGINE_ENV: &str = "NANOBOUND_ENGINE";
+
+impl EngineKind {
+    /// Resolves the backend from the `NANOBOUND_ENGINE` environment
+    /// variable: unset or empty selects [`EngineKind::Compiled`];
+    /// `compiled` and `interp` select explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Any other value is a configuration error naming the token — a
+    /// silently ignored engine override would defeat the differential
+    /// CI gate, exactly like an unknown CLI flag.
+    pub fn from_env() -> Result<EngineKind, SimError> {
+        match std::env::var(ENGINE_ENV) {
+            Err(std::env::VarError::NotPresent) => Ok(EngineKind::Compiled),
+            Err(std::env::VarError::NotUnicode(_)) => Err(SimError::bad(
+                ENGINE_ENV,
+                "<non-UTF-8 value>",
+                "must be `compiled` or `interp`",
+            )),
+            Ok(value) => match value.as_str() {
+                "" | "compiled" => Ok(EngineKind::Compiled),
+                "interp" => Ok(EngineKind::Interp),
+                other => Err(SimError::bad(
+                    ENGINE_ENV,
+                    other,
+                    "must be `compiled` or `interp`",
+                )),
+            },
+        }
+    }
+}
+
+/// One executed instruction: a logic gate with its operand slots.
+///
+/// Only kinds with [`GateKind::counts_as_gate`] become ops — buffers
+/// alias slots and constants are materialized once per run — so every
+/// op draws fault masks and contributes to the gate tallies.
+#[derive(Clone, Debug)]
+struct Op {
+    kind: GateKind,
+    /// Clean destination slot; the noisy destination is `dst + 1`.
+    dst: u32,
+    /// Range of this op's operands in [`SimProgram::operands`].
+    operands: (u32, u32),
+}
+
+/// A netlist lowered to a flat, allocation-free instruction tape.
+///
+/// Compile once with [`SimProgram::compile`], then execute any number
+/// of chunks against a reusable [`SimScratch`]. See the
+/// [module docs](self) for the layout and the bit-identity contract.
+#[derive(Clone, Debug)]
+pub struct SimProgram {
+    ops: Vec<Op>,
+    /// Flattened operand slots: `(clean, noisy)` per fanin.
+    operands: Vec<(u32, u32)>,
+    /// `(clean, noisy)` slot of every node, in node-id order.
+    node_slots: Vec<(u32, u32)>,
+    /// Whether each node counts as a logic gate, in node-id order.
+    is_gate: Vec<bool>,
+    /// Input slots in primary-input order.
+    input_slots: Vec<u32>,
+    /// `(clean, noisy)` slot of every output driver, declaration order.
+    output_slots: Vec<(u32, u32)>,
+    zero_slot: Option<u32>,
+    ones_slot: Option<u32>,
+    num_slots: usize,
+}
+
+impl SimProgram {
+    /// Lowers `netlist` into an instruction tape.
+    ///
+    /// Compilation is a single pass over the nodes (the id order *is* a
+    /// levelized schedule by the netlist's topological invariant) and
+    /// costs far less than one simulated chunk; amortize it anyway by
+    /// compiling once per experiment, or share programs across calls
+    /// through a [`ProgramCache`].
+    #[must_use]
+    pub fn compile(netlist: &Netlist) -> SimProgram {
+        let mut program = SimProgram {
+            ops: Vec::with_capacity(netlist.gate_count()),
+            operands: Vec::new(),
+            node_slots: Vec::with_capacity(netlist.node_count()),
+            is_gate: Vec::with_capacity(netlist.node_count()),
+            input_slots: Vec::with_capacity(netlist.input_count()),
+            output_slots: Vec::with_capacity(netlist.output_count()),
+            zero_slot: None,
+            ones_slot: None,
+            num_slots: 0,
+        };
+        let mut next_slot = 0u32;
+        let mut fresh = |n: u32| {
+            let slot = next_slot;
+            next_slot += n;
+            slot
+        };
+        for node in netlist.nodes() {
+            let slots = match node {
+                Node::Input { .. } => {
+                    let slot = fresh(1);
+                    program.input_slots.push(slot);
+                    (slot, slot)
+                }
+                Node::Gate { kind, fanins } => match kind {
+                    GateKind::Const0 => {
+                        let slot = *program.zero_slot.get_or_insert_with(|| fresh(1));
+                        (slot, slot)
+                    }
+                    GateKind::Const1 => {
+                        let slot = *program.ones_slot.get_or_insert_with(|| fresh(1));
+                        (slot, slot)
+                    }
+                    GateKind::Buf => program.node_slots[fanins[0].index()],
+                    kind => {
+                        let start = u32::try_from(program.operands.len())
+                            .expect("operand tape exceeds u32::MAX entries");
+                        for f in fanins {
+                            program.operands.push(program.node_slots[f.index()]);
+                        }
+                        let end = u32::try_from(program.operands.len())
+                            .expect("operand tape exceeds u32::MAX entries");
+                        let dst = fresh(2);
+                        program.ops.push(Op {
+                            kind: *kind,
+                            dst,
+                            operands: (start, end),
+                        });
+                        (dst, dst + 1)
+                    }
+                },
+            };
+            program
+                .is_gate
+                .push(node.kind().is_some_and(GateKind::counts_as_gate));
+            program.node_slots.push(slots);
+        }
+        for output in netlist.outputs() {
+            program
+                .output_slots
+                .push(program.node_slots[output.driver.index()]);
+        }
+        program.num_slots = next_slot as usize;
+        program
+    }
+
+    /// Number of primary inputs the program expects.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.output_slots.len()
+    }
+
+    /// Number of logic gates (= executed ops = the paper's `S0`).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// A fresh, empty scratch for this program. The arena is sized on
+    /// first execution and reused afterwards; keep one per worker.
+    #[must_use]
+    pub fn scratch(&self) -> SimScratch {
+        SimScratch {
+            arena: Vec::new(),
+            any_diff: Vec::new(),
+            words: 0,
+            count: 0,
+        }
+    }
+
+    /// An all-zero tally shaped for this program, ready for
+    /// [`SimProgram::run_tally_accumulate`].
+    #[must_use]
+    pub fn empty_tally(&self) -> NoisyTally {
+        NoisyTally {
+            patterns: 0,
+            transitions: 0,
+            gates: self.gate_count(),
+            circuit_errors: 0,
+            per_output_errors: vec![0; self.num_outputs()],
+            clean_gate_toggles: 0,
+            noisy_gate_toggles: 0,
+        }
+    }
+
+    /// Runs one fused clean/noisy Monte-Carlo chunk and returns its
+    /// tally (a convenience over
+    /// [`SimProgram::run_tally_accumulate`]).
+    ///
+    /// Bit-identical to
+    /// [`monte_carlo_tally`](crate::monte_carlo_tally) with the same
+    /// arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] if `patterns == 0`.
+    pub fn run_tally(
+        &self,
+        scratch: &mut SimScratch,
+        config: &NoisyConfig,
+        patterns: usize,
+        pattern_seed: u64,
+    ) -> Result<NoisyTally, SimError> {
+        let mut tally = self.empty_tally();
+        self.run_tally_accumulate(scratch, config, patterns, pattern_seed, &mut tally)?;
+        Ok(tally)
+    }
+
+    /// Runs one fused clean/noisy Monte-Carlo chunk, folding the counts
+    /// into `tally` — the zero-allocation hot path.
+    ///
+    /// Patterns are drawn like [`PatternSet::random`] from
+    /// `pattern_seed` and fault masks through
+    /// [`bernoulli_word`](crate::bernoulli::bernoulli_word)'s stream from
+    /// `config.seed`, in the interpreted engines' exact stream order,
+    /// so `tally` grows by precisely the counts
+    /// [`monte_carlo_tally`](crate::monte_carlo_tally) would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] if `patterns == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tally` was shaped for a different program (output or
+    /// gate counts disagree) — the same guard as [`NoisyTally::merge`].
+    pub fn run_tally_accumulate(
+        &self,
+        scratch: &mut SimScratch,
+        config: &NoisyConfig,
+        patterns: usize,
+        pattern_seed: u64,
+        tally: &mut NoisyTally,
+    ) -> Result<(), SimError> {
+        if patterns == 0 {
+            return Err(SimError::bad("patterns", patterns, "must be at least 1"));
+        }
+        assert_eq!(
+            tally.per_output_errors.len(),
+            self.num_outputs(),
+            "tally covers a different output count"
+        );
+        assert_eq!(
+            tally.gates,
+            self.gate_count(),
+            "tally covers a different netlist"
+        );
+        let count = patterns;
+        let words = count.div_ceil(64);
+        scratch.prepare(self.num_slots, words, count);
+
+        // Input patterns: the exact stream `PatternSet::random` draws.
+        let mut pattern_rng = StdRng::seed_from_u64(pattern_seed);
+        for &slot in &self.input_slots {
+            for w in scratch.slot_mut(slot, words) {
+                *w = pattern_rng.next_u64();
+            }
+        }
+        self.fill_consts(scratch, words);
+
+        // The fused pass: clean and noisy streams per op, fault masks
+        // in evaluate_noisy's per-gate per-word order, toggle tallies
+        // while the streams are cache-hot. The Bernoulli plan (ε's
+        // binary expansion) is hoisted out of the loop — the drawn mask
+        // stream is exactly `bernoulli_word`'s.
+        let plan = BernoulliPlan::new(config.epsilon);
+        // ε quantized to zero draws nothing and XORs nothing: skip the
+        // mask loop outright (bit-identical — `bernoulli_word` consumes
+        // no RNG words there either).
+        let draw_masks = !plan.is_zero();
+        let mut fault_rng = StdRng::seed_from_u64(config.seed);
+        let mut clean_toggles = 0u64;
+        let mut noisy_toggles = 0u64;
+        for op in &self.ops {
+            let (lo, clean_dst, noisy_dst) = scratch.op_dsts(op.dst, words);
+            let operands = &self.operands[op.operands.0 as usize..op.operands.1 as usize];
+            eval_op(op.kind, lo, words, operands, Lane::Clean, clean_dst);
+            eval_op(op.kind, lo, words, operands, Lane::Noisy, noisy_dst);
+            if draw_masks {
+                for w in noisy_dst.iter_mut() {
+                    *w ^= plan.draw(&mut fault_rng);
+                }
+            }
+            let (clean, noisy) = toggle_count_pair(clean_dst, noisy_dst, count);
+            clean_toggles += clean;
+            noisy_toggles += noisy;
+        }
+
+        // Output mismatches, full words first and the tail word masked
+        // once at the end. Borrow the arena and the diff accumulator as
+        // disjoint fields.
+        let tail = tail_mask(count);
+        let arena = &scratch.arena;
+        let any_diff = &mut scratch.any_diff;
+        any_diff[..words].fill(0);
+        for (o, &(clean, noisy)) in self.output_slots.iter().enumerate() {
+            let c = &arena[clean as usize * words..][..words];
+            let z = &arena[noisy as usize * words..][..words];
+            let mut ones = 0u64;
+            for w in 0..words - 1 {
+                let diff = c[w] ^ z[w];
+                ones += u64::from(diff.count_ones());
+                any_diff[w] |= diff;
+            }
+            let diff = (c[words - 1] ^ z[words - 1]) & tail;
+            ones += u64::from(diff.count_ones());
+            any_diff[words - 1] |= diff;
+            tally.per_output_errors[o] += ones;
+        }
+        tally.circuit_errors += any_diff[..words]
+            .iter()
+            .map(|&w| u64::from(w.count_ones()))
+            .sum::<u64>();
+        tally.patterns += count;
+        tally.transitions += count - 1;
+        tally.clean_gate_toggles += clean_toggles;
+        tally.noisy_gate_toggles += noisy_toggles;
+        Ok(())
+    }
+
+    /// Evaluates every node error-free under `patterns`, leaving the
+    /// streams in `scratch` for [`SimProgram::node_stream`] /
+    /// [`SimProgram::output_stream`].
+    ///
+    /// Produces the exact word values of
+    /// [`evaluate_packed`](crate::evaluate_packed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InputMismatch`] if the pattern set was built
+    /// for a different input count.
+    pub fn run_clean(
+        &self,
+        scratch: &mut SimScratch,
+        patterns: &PatternSet,
+    ) -> Result<(), SimError> {
+        if patterns.num_inputs() != self.num_inputs() {
+            return Err(SimError::InputMismatch {
+                expected: self.num_inputs(),
+                got: patterns.num_inputs(),
+            });
+        }
+        let words = patterns.words_per_signal();
+        scratch.prepare(self.num_slots, words, patterns.count());
+        for (i, &slot) in self.input_slots.iter().enumerate() {
+            scratch
+                .slot_mut(slot, words)
+                .copy_from_slice(patterns.input_words(i));
+        }
+        self.fill_consts(scratch, words);
+        for op in &self.ops {
+            let (lo, clean_dst, _) = scratch.op_dsts(op.dst, words);
+            let operands = &self.operands[op.operands.0 as usize..op.operands.1 as usize];
+            eval_op(op.kind, lo, words, operands, Lane::Clean, clean_dst);
+        }
+        Ok(())
+    }
+
+    /// The clean stream of node `id` after a [`SimProgram::run_clean`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the compiled netlist.
+    #[must_use]
+    pub fn node_stream<'s>(&self, scratch: &'s SimScratch, id: NodeId) -> &'s [u64] {
+        scratch.slot(self.node_slots[id.index()].0, scratch.words)
+    }
+
+    /// The clean stream of output `index` after a
+    /// [`SimProgram::run_clean`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a valid output index.
+    #[must_use]
+    pub fn output_stream<'s>(&self, scratch: &'s SimScratch, index: usize) -> &'s [u64] {
+        scratch.slot(self.output_slots[index].0, scratch.words)
+    }
+
+    /// Derives the activity profile of one clean run — bit-identical to
+    /// [`activity_of_values`](crate::activity::activity_of_values) over
+    /// [`evaluate_packed`](crate::evaluate_packed) on the same
+    /// patterns.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimProgram::run_clean`].
+    pub fn activity(
+        &self,
+        scratch: &mut SimScratch,
+        patterns: &PatternSet,
+    ) -> Result<ActivityProfile, SimError> {
+        self.run_clean(scratch, patterns)?;
+        let count = scratch.count;
+        let transitions = count.saturating_sub(1).max(1);
+        let mut signal_probability = Vec::with_capacity(self.node_slots.len());
+        let mut switching_activity = Vec::with_capacity(self.node_slots.len());
+        let mut gate_sw_sum = 0.0;
+        let mut gate_p_sum = 0.0;
+        let mut gates = 0usize;
+        for (&(clean, _), &is_gate) in self.node_slots.iter().zip(&self.is_gate) {
+            let stream = scratch.slot(clean, scratch.words);
+            let p = if count == 0 {
+                0.0
+            } else {
+                popcount_valid(stream, count) as f64 / count as f64
+            };
+            let sw = toggle_count(stream, count) as f64 / transitions as f64;
+            if is_gate {
+                gate_sw_sum += sw;
+                gate_p_sum += p;
+                gates += 1;
+            }
+            signal_probability.push(p);
+            switching_activity.push(sw);
+        }
+        let (avg_gate_activity, avg_gate_probability) = if gates == 0 {
+            (0.0, 0.0)
+        } else {
+            (gate_sw_sum / gates as f64, gate_p_sum / gates as f64)
+        };
+        Ok(ActivityProfile {
+            signal_probability,
+            switching_activity,
+            avg_gate_activity,
+            avg_gate_probability,
+            patterns: count,
+        })
+    }
+
+    /// Simulates `patterns` random vectors (seeded) and profiles the
+    /// netlist — bit-identical to
+    /// [`estimate_activity`](crate::estimate_activity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] if `patterns < 2`.
+    pub fn estimate_activity(
+        &self,
+        scratch: &mut SimScratch,
+        patterns: usize,
+        seed: u64,
+    ) -> Result<ActivityProfile, SimError> {
+        if patterns < 2 {
+            return Err(SimError::bad("patterns", patterns, "must be at least 2"));
+        }
+        let set = PatternSet::random(self.num_inputs(), patterns, seed);
+        self.activity(scratch, &set)
+    }
+
+    /// Writes the constant slots for the current word width.
+    fn fill_consts(&self, scratch: &mut SimScratch, words: usize) {
+        if let Some(slot) = self.zero_slot {
+            scratch.slot_mut(slot, words).fill(0);
+        }
+        if let Some(slot) = self.ones_slot {
+            scratch.slot_mut(slot, words).fill(!0);
+        }
+    }
+}
+
+/// [`toggle_count`] over a gate's clean and noisy streams in one fused
+/// loop — both streams are L1-hot right after evaluation, and the two
+/// independent popcount chains fill the pipeline the single-stream loop
+/// leaves half idle. Bit-identical to two `toggle_count` calls (pinned
+/// by a unit test below).
+fn toggle_count_pair(clean: &[u64], noisy: &[u64], count: usize) -> (u64, u64) {
+    if count < 2 {
+        return (0, 0);
+    }
+    let transitions = count - 1;
+    const WITHIN: u64 = (1u64 << 63) - 1;
+    let full = transitions / 64;
+    let mut c_toggles = 0u64;
+    let mut n_toggles = 0u64;
+    for w in 0..full {
+        let c = clean[w];
+        let n = noisy[w];
+        c_toggles += u64::from(((c ^ (c >> 1)) & WITHIN).count_ones());
+        n_toggles += u64::from(((n ^ (n >> 1)) & WITHIN).count_ones());
+        c_toggles += (c >> 63) ^ (clean[w + 1] & 1);
+        n_toggles += (n >> 63) ^ (noisy[w + 1] & 1);
+    }
+    let rest = transitions - 64 * full;
+    if rest > 0 {
+        let mask = (1u64 << rest) - 1;
+        let c = clean[full];
+        let n = noisy[full];
+        c_toggles += u64::from(((c ^ (c >> 1)) & mask).count_ones());
+        n_toggles += u64::from(((n ^ (n >> 1)) & mask).count_ones());
+    }
+    (c_toggles, n_toggles)
+}
+
+/// Which of a node's two streams an operand read selects.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Clean,
+    Noisy,
+}
+
+/// Computes one op's packed stream from already-computed slots.
+///
+/// `lo` is the arena prefix below the op's destination — every operand
+/// slot lies inside it because fanins precede their gate in slot order.
+fn eval_op(
+    kind: GateKind,
+    lo: &[u64],
+    words: usize,
+    operands: &[(u32, u32)],
+    lane: Lane,
+    out: &mut [u64],
+) {
+    let src = |i: usize| -> &[u64] {
+        let (clean, noisy) = operands[i];
+        let slot = if lane == Lane::Clean { clean } else { noisy };
+        &lo[slot as usize * words..][..words]
+    };
+    match kind {
+        GateKind::Const0 | GateKind::Const1 | GateKind::Buf => {
+            unreachable!("constants and buffers are slots, not ops")
+        }
+        GateKind::Not => {
+            for (o, &a) in out.iter_mut().zip(src(0)) {
+                *o = !a;
+            }
+        }
+        GateKind::And | GateKind::Nand => {
+            out.copy_from_slice(src(0));
+            for i in 1..operands.len() {
+                for (o, &r) in out.iter_mut().zip(src(i)) {
+                    *o &= r;
+                }
+            }
+            if kind == GateKind::Nand {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            out.copy_from_slice(src(0));
+            for i in 1..operands.len() {
+                for (o, &r) in out.iter_mut().zip(src(i)) {
+                    *o |= r;
+                }
+            }
+            if kind == GateKind::Nor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            out.copy_from_slice(src(0));
+            for i in 1..operands.len() {
+                for (o, &r) in out.iter_mut().zip(src(i)) {
+                    *o ^= r;
+                }
+            }
+            if kind == GateKind::Xnor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Maj => {
+            let (a, b, c) = (src(0), src(1), src(2));
+            for (w, o) in out.iter_mut().enumerate() {
+                *o = (a[w] & b[w]) | (a[w] & c[w]) | (b[w] & c[w]);
+            }
+        }
+    }
+}
+
+/// Reusable execution state for one [`SimProgram`].
+///
+/// Holds the slot arena and the output-diff buffer. Allocated lazily on
+/// the first run, grown never shrunk, so a steady-state chunk loop
+/// performs no heap allocation. Keep one scratch per worker thread.
+#[derive(Clone, Debug)]
+pub struct SimScratch {
+    /// `num_slots × words` packed values, slot-major.
+    arena: Vec<u64>,
+    /// Per-word OR of all output mismatches of the current chunk.
+    any_diff: Vec<u64>,
+    /// Word width of the most recent run.
+    words: usize,
+    /// Pattern count of the most recent run.
+    count: usize,
+}
+
+impl SimScratch {
+    /// Sizes the buffers for a run (no-op when already large enough).
+    fn prepare(&mut self, num_slots: usize, words: usize, count: usize) {
+        let need = num_slots * words;
+        if self.arena.len() < need {
+            self.arena.resize(need, 0);
+        }
+        if self.any_diff.len() < words {
+            self.any_diff.resize(words, 0);
+        }
+        self.words = words;
+        self.count = count;
+    }
+
+    /// Pattern count of the most recent run.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    fn slot(&self, slot: u32, words: usize) -> &[u64] {
+        &self.arena[slot as usize * words..][..words]
+    }
+
+    fn slot_mut(&mut self, slot: u32, words: usize) -> &mut [u64] {
+        &mut self.arena[slot as usize * words..][..words]
+    }
+
+    /// Splits the arena at an op's destination: the read-only prefix
+    /// holding every operand, the clean destination, and the noisy
+    /// destination (`dst + 1`).
+    fn op_dsts(&mut self, dst: u32, words: usize) -> (&[u64], &mut [u64], &mut [u64]) {
+        let (lo, hi) = self.arena.split_at_mut(dst as usize * words);
+        let (clean, hi) = hi.split_at_mut(words);
+        (lo, clean, &mut hi[..words])
+    }
+}
+
+/// How many distinct programs a [`ProgramCache`] holds before flushing.
+///
+/// Programs are pure functions of netlist structure, so a flush only
+/// costs recompilation — the same policy as the service registries.
+const PROGRAM_CACHE_LIMIT: usize = 1024;
+
+/// A keyed, thread-safe store of compiled programs.
+///
+/// Programs are addressed by [`netlist_fingerprint`] (structure only —
+/// names do not influence execution), so structurally identical
+/// netlists share one compilation. A long-lived service keeps one
+/// `ProgramCache` next to its other registries and warm requests skip
+/// compilation entirely.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    inner: Mutex<HashMap<Fingerprint, Arc<SimProgram>>>,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Returns the compiled program for `netlist`, compiling and
+    /// storing it on first sight of the structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn get_or_compile(&self, netlist: &Netlist) -> Arc<SimProgram> {
+        let mut builder = FingerprintBuilder::new("sim-program");
+        netlist_fingerprint(&mut builder, netlist);
+        let key = builder.finish();
+        let mut map = self.inner.lock().expect("program cache lock");
+        if let Some(program) = map.get(&key) {
+            return Arc::clone(program);
+        }
+        if map.len() >= PROGRAM_CACHE_LIMIT {
+            map.clear();
+        }
+        let program = Arc::new(SimProgram::compile(netlist));
+        map.insert(key, Arc::clone(&program));
+        program
+    }
+
+    /// Number of cached programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("program cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noisy::monte_carlo_tally;
+    use crate::{estimate_activity, evaluate_packed};
+
+    fn mixed_netlist() -> Netlist {
+        let mut nl = Netlist::new("mixed");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let zero = nl.add_const(false);
+        let one = nl.add_const(true);
+        let buf = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let not = nl.add_gate(GateKind::Not, &[buf]).unwrap();
+        let and = nl.add_gate(GateKind::And, &[a, b, c]).unwrap();
+        let nor = nl.add_gate(GateKind::Nor, &[not, zero]).unwrap();
+        let xor = nl.add_gate(GateKind::Xor, &[and, nor, one]).unwrap();
+        let maj = nl.add_gate(GateKind::Maj, &[a, b, xor]).unwrap();
+        let buf2 = nl.add_gate(GateKind::Buf, &[maj]).unwrap();
+        nl.add_output("y", buf2).unwrap();
+        nl.add_output("z", xor).unwrap();
+        nl
+    }
+
+    #[test]
+    fn compiled_tally_matches_interpreter_exactly() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        for eps in [0.0, 0.01, 0.3, 0.5, 1.0] {
+            let cfg = NoisyConfig::new(eps, 17).unwrap();
+            for patterns in [1usize, 7, 64, 65, 1000] {
+                let compiled = program.run_tally(&mut scratch, &cfg, patterns, 23).unwrap();
+                let interp = monte_carlo_tally(&nl, &cfg, patterns, 23).unwrap();
+                assert_eq!(compiled, interp, "eps={eps} patterns={patterns}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_equals_interpreted_merge() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let cfg = NoisyConfig::new(0.2, 3).unwrap();
+        let mut acc = program.empty_tally();
+        // Big chunk first so the smaller one reuses the arena.
+        program
+            .run_tally_accumulate(&mut scratch, &cfg, 500, 5, &mut acc)
+            .unwrap();
+        program
+            .run_tally_accumulate(&mut scratch, &cfg, 33, 6, &mut acc)
+            .unwrap();
+        let mut expected = monte_carlo_tally(&nl, &cfg, 500, 5).unwrap();
+        expected.merge(&monte_carlo_tally(&nl, &cfg, 33, 6).unwrap());
+        assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn clean_run_matches_evaluate_packed() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let patterns = PatternSet::random(nl.input_count(), 300, 9);
+        program.run_clean(&mut scratch, &patterns).unwrap();
+        let values = evaluate_packed(&nl, &patterns).unwrap();
+        for id in nl.node_ids() {
+            assert_eq!(
+                program.node_stream(&scratch, id),
+                values.node(id),
+                "node {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn activity_is_bit_identical() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let compiled = program.estimate_activity(&mut scratch, 2000, 11).unwrap();
+        let interp = estimate_activity(&nl, 2000, 11).unwrap();
+        assert_eq!(compiled, interp);
+    }
+
+    #[test]
+    fn zero_gate_netlists_execute() {
+        let mut nl = Netlist::new("wires");
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let one = nl.add_const(true);
+        nl.add_output("y", buf).unwrap();
+        nl.add_output("k", one).unwrap();
+        let program = SimProgram::compile(&nl);
+        assert_eq!(program.gate_count(), 0);
+        let mut scratch = program.scratch();
+        let cfg = NoisyConfig::new(0.4, 1).unwrap();
+        let compiled = program.run_tally(&mut scratch, &cfg, 100, 2).unwrap();
+        let interp = monte_carlo_tally(&nl, &cfg, 100, 2).unwrap();
+        assert_eq!(compiled, interp);
+        assert_eq!(compiled.circuit_errors, 0);
+    }
+
+    #[test]
+    fn rejects_zero_patterns_and_wrong_input_counts() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let cfg = NoisyConfig::new(0.1, 1).unwrap();
+        assert!(program.run_tally(&mut scratch, &cfg, 0, 2).is_err());
+        let wrong = PatternSet::random(2, 64, 3);
+        assert_eq!(
+            program.run_clean(&mut scratch, &wrong).unwrap_err(),
+            SimError::InputMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn program_cache_shares_structures_and_is_bounded() {
+        let cache = ProgramCache::new();
+        let a = cache.get_or_compile(&mixed_netlist());
+        let b = cache.get_or_compile(&mixed_netlist());
+        assert!(Arc::ptr_eq(&a, &b), "same structure must share a program");
+        assert_eq!(cache.len(), 1);
+        let mut other = mixed_netlist();
+        let extra = other.add_gate(GateKind::Not, &[other.inputs()[0]]).unwrap();
+        other.add_output("w", extra).unwrap();
+        let c = cache.get_or_compile(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn fused_toggle_pair_matches_toggle_count() {
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        for count in [1usize, 2, 63, 64, 65, 128, 130, 500] {
+            let words = count.div_ceil(64);
+            let clean: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            let noisy: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            let (c, n) = toggle_count_pair(&clean, &noisy, count);
+            assert_eq!(c, toggle_count(&clean, count), "count={count}");
+            assert_eq!(n, toggle_count(&noisy, count), "count={count}");
+        }
+    }
+
+    #[test]
+    fn engine_kind_defaults_to_compiled_when_env_unset() {
+        // In-process env mutation is unsafe under parallel tests, so
+        // only assert when the hatch is not exported; the full parse
+        // matrix (valid values, typos, warm-cache strictness) is
+        // exercised end-to-end by tests/cli.rs and the ci.sh gate.
+        if std::env::var_os(ENGINE_ENV).is_none() {
+            assert_eq!(EngineKind::from_env().unwrap(), EngineKind::Compiled);
+        }
+    }
+}

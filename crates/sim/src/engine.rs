@@ -8,18 +8,28 @@
 use nanobound_logic::{GateKind, Netlist, Node, NodeId};
 
 use crate::error::SimError;
-use crate::patterns::{tail_mask, PatternSet};
+use crate::patterns::{popcount_valid, PatternSet};
 
 /// Per-node packed simulation values for one pattern set.
+///
+/// Streams live in one flat, node-major matrix (`node_count × words`
+/// words in a single allocation) rather than one `Vec` per node: the
+/// evaluators write each stream in place with `copy_from_slice`, so a
+/// full-netlist simulation performs exactly one heap allocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeValues {
-    values: Vec<Vec<u64>>,
+    values: Vec<u64>,
+    words: usize,
     count: usize,
 }
 
 impl NodeValues {
-    pub(crate) fn from_parts(values: Vec<Vec<u64>>, count: usize) -> Self {
-        NodeValues { values, count }
+    pub(crate) fn from_flat(values: Vec<u64>, words: usize, count: usize) -> Self {
+        NodeValues {
+            values,
+            words,
+            count,
+        }
     }
 
     /// Number of valid patterns.
@@ -35,23 +45,16 @@ impl NodeValues {
     /// Panics if `id` does not belong to the simulated netlist.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &[u64] {
-        &self.values[id.index()]
+        &self.values[id.index() * self.words..][..self.words]
     }
 
     /// Number of patterns under which the node evaluates to 1.
+    ///
+    /// Full words are popcounted in one pass; only the final word is
+    /// masked against the valid-pattern tail.
     #[must_use]
     pub fn ones(&self, id: NodeId) -> u64 {
-        let stream = self.node(id);
-        let mut ones: u64 = 0;
-        for (w, &x) in stream.iter().enumerate() {
-            let m = if w + 1 == stream.len() {
-                tail_mask(self.count)
-            } else {
-                !0
-            };
-            ones += u64::from((x & m).count_ones());
-        }
-        ones
+        popcount_valid(self.node(id), self.count)
     }
 
     /// Fraction of patterns under which the node evaluates to 1 — the
@@ -109,93 +112,92 @@ pub fn evaluate_packed(netlist: &Netlist, patterns: &PatternSet) -> Result<NodeV
         });
     }
     let words = patterns.words_per_signal();
-    let mut values: Vec<Vec<u64>> = Vec::with_capacity(netlist.node_count());
+    let mut values = vec![0u64; netlist.node_count() * words];
     let mut next_input = 0usize;
-    for node in netlist.nodes() {
-        let stream = match node {
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let (done, rest) = values.split_at_mut(i * words);
+        let out = &mut rest[..words];
+        match node {
             Node::Input { .. } => {
-                let s = patterns.input_words(next_input).to_vec();
+                out.copy_from_slice(patterns.input_words(next_input));
                 next_input += 1;
-                s
             }
-            Node::Gate { kind, fanins } => eval_gate(*kind, fanins, &values, words),
-        };
-        values.push(stream);
+            Node::Gate { kind, fanins } => eval_gate_into(*kind, fanins, done, words, out),
+        }
     }
-    Ok(NodeValues::from_parts(values, patterns.count()))
+    Ok(NodeValues::from_flat(values, words, patterns.count()))
 }
 
-/// Computes one gate's packed stream from its fanins' streams.
-pub(crate) fn eval_gate(
+/// Computes one gate's packed stream from its fanins' streams, writing
+/// into the node's pre-allocated window of the flat value matrix.
+///
+/// `done` is the matrix prefix holding every already-evaluated node —
+/// fanins always precede their gate, so all sources lie inside it. The
+/// first operand is brought in with `copy_from_slice` (no per-node
+/// `Vec` allocation) and the rest are folded in place.
+pub(crate) fn eval_gate_into(
     kind: GateKind,
     fanins: &[NodeId],
-    values: &[Vec<u64>],
+    done: &[u64],
     words: usize,
-) -> Vec<u64> {
-    let mut out: Vec<u64>;
+    out: &mut [u64],
+) {
+    let src = |f: &NodeId| -> &[u64] { &done[f.index() * words..][..words] };
     match kind {
-        GateKind::Const0 => out = vec![0; words],
-        GateKind::Const1 => out = vec![!0; words],
-        GateKind::Buf => out = values[fanins[0].index()].clone(),
+        GateKind::Const0 => out.fill(0),
+        GateKind::Const1 => out.fill(!0),
+        GateKind::Buf => out.copy_from_slice(src(&fanins[0])),
         GateKind::Not => {
-            out = values[fanins[0].index()].clone();
-            for w in &mut out {
-                *w = !*w;
+            for (o, &a) in out.iter_mut().zip(src(&fanins[0])) {
+                *o = !a;
             }
         }
         GateKind::And | GateKind::Nand => {
-            out = values[fanins[0].index()].clone();
+            out.copy_from_slice(src(&fanins[0]));
             for f in &fanins[1..] {
-                let rhs = &values[f.index()];
-                for (o, &r) in out.iter_mut().zip(rhs) {
+                for (o, &r) in out.iter_mut().zip(src(f)) {
                     *o &= r;
                 }
             }
             if kind == GateKind::Nand {
-                for w in &mut out {
-                    *w = !*w;
+                for o in out.iter_mut() {
+                    *o = !*o;
                 }
             }
         }
         GateKind::Or | GateKind::Nor => {
-            out = values[fanins[0].index()].clone();
+            out.copy_from_slice(src(&fanins[0]));
             for f in &fanins[1..] {
-                let rhs = &values[f.index()];
-                for (o, &r) in out.iter_mut().zip(rhs) {
+                for (o, &r) in out.iter_mut().zip(src(f)) {
                     *o |= r;
                 }
             }
             if kind == GateKind::Nor {
-                for w in &mut out {
-                    *w = !*w;
+                for o in out.iter_mut() {
+                    *o = !*o;
                 }
             }
         }
         GateKind::Xor | GateKind::Xnor => {
-            out = values[fanins[0].index()].clone();
+            out.copy_from_slice(src(&fanins[0]));
             for f in &fanins[1..] {
-                let rhs = &values[f.index()];
-                for (o, &r) in out.iter_mut().zip(rhs) {
+                for (o, &r) in out.iter_mut().zip(src(f)) {
                     *o ^= r;
                 }
             }
             if kind == GateKind::Xnor {
-                for w in &mut out {
-                    *w = !*w;
+                for o in out.iter_mut() {
+                    *o = !*o;
                 }
             }
         }
         GateKind::Maj => {
-            let a = &values[fanins[0].index()];
-            let b = &values[fanins[1].index()];
-            let c = &values[fanins[2].index()];
-            out = Vec::with_capacity(words);
-            for w in 0..words {
-                out.push((a[w] & b[w]) | (a[w] & c[w]) | (b[w] & c[w]));
+            let (a, b, c) = (src(&fanins[0]), src(&fanins[1]), src(&fanins[2]));
+            for (w, o) in out.iter_mut().enumerate() {
+                *o = (a[w] & b[w]) | (a[w] & c[w]) | (b[w] & c[w]);
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,39 @@
+//! Structural netlist fingerprinting.
+//!
+//! Lives in the simulator crate (rather than `nanobound-runner`, which
+//! re-exports it) so the [`ProgramCache`](crate::compiled::ProgramCache)
+//! can address compiled programs by the same identity the shard cache
+//! uses for experiment results.
+
+use nanobound_cache::FingerprintBuilder;
+use nanobound_logic::{GateKind, Netlist, Node};
+
+/// Folds a netlist's complete structure into a fingerprint: node kinds,
+/// fanin wiring and output drivers in declaration order.
+///
+/// Signal *names* are deliberately excluded — they do not influence any
+/// simulated or analyzed result, so two structurally identical netlists
+/// share cache entries regardless of naming.
+pub fn netlist_fingerprint(builder: &mut FingerprintBuilder, netlist: &Netlist) {
+    builder.push_usize(netlist.node_count());
+    for node in netlist.nodes() {
+        match node {
+            Node::Input { .. } => builder.push_u64(u64::MAX),
+            Node::Gate { kind, fanins } => {
+                let kind_index = GateKind::ALL
+                    .iter()
+                    .position(|k| k == kind)
+                    .expect("GateKind::ALL covers every kind");
+                builder.push_u64(kind_index as u64);
+                builder.push_usize(fanins.len());
+                for f in fanins {
+                    builder.push_usize(f.index());
+                }
+            }
+        }
+    }
+    builder.push_usize(netlist.output_count());
+    for output in netlist.outputs() {
+        builder.push_usize(output.driver.index());
+    }
+}

@@ -35,16 +35,20 @@
 
 pub mod activity;
 pub mod bernoulli;
+pub mod compiled;
 pub mod engine;
 pub mod equivalence;
 mod error;
+pub mod fingerprint;
 pub mod noisy;
 pub mod patterns;
 pub mod sensitivity;
 
 pub use activity::{activity_from_probability, estimate_activity, ActivityProfile};
+pub use compiled::{EngineKind, ProgramCache, SimProgram, SimScratch, ENGINE_ENV};
 pub use engine::{evaluate_packed, NodeValues};
 pub use error::SimError;
+pub use fingerprint::netlist_fingerprint;
 pub use noisy::{
     compare_runs, evaluate_noisy, monte_carlo, monte_carlo_tally, tally_runs, NoisyConfig,
     NoisyOutcome, NoisyTally,

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 
 use crate::activity::{activity_of_values, toggle_count};
 use crate::bernoulli::bernoulli_word;
-use crate::engine::{eval_gate, evaluate_packed, NodeValues};
+use crate::engine::{eval_gate_into, evaluate_packed, NodeValues};
 use crate::error::SimError;
 use crate::patterns::{tail_mask, PatternSet};
 
@@ -106,28 +106,27 @@ pub fn evaluate_noisy(
     }
     let words = patterns.words_per_signal();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut values: Vec<Vec<u64>> = Vec::with_capacity(netlist.node_count());
+    let mut values = vec![0u64; netlist.node_count() * words];
     let mut next_input = 0usize;
-    for node in netlist.nodes() {
-        let stream = match node {
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        let (done, rest) = values.split_at_mut(i * words);
+        let out = &mut rest[..words];
+        match node {
             Node::Input { .. } => {
-                let s = patterns.input_words(next_input).to_vec();
+                out.copy_from_slice(patterns.input_words(next_input));
                 next_input += 1;
-                s
             }
             Node::Gate { kind, fanins } => {
-                let mut s = eval_gate(*kind, fanins, &values, words);
+                eval_gate_into(*kind, fanins, done, words, out);
                 if kind.counts_as_gate() {
-                    for w in &mut s {
+                    for w in out.iter_mut() {
                         *w ^= bernoulli_word(&mut rng, config.epsilon);
                     }
                 }
-                s
             }
-        };
-        values.push(stream);
+        }
     }
-    Ok(NodeValues::from_parts(values, patterns.count()))
+    Ok(NodeValues::from_flat(values, words, patterns.count()))
 }
 
 /// Aggregate outcome of a noisy-vs-clean Monte-Carlo comparison.
@@ -185,6 +184,27 @@ pub fn monte_carlo(
     Ok(compare_runs(netlist, &clean, &noisy))
 }
 
+/// Accumulates one output's clean-vs-noisy mismatches: the popcount of
+/// the valid diff bits, ORed into `any_diff` per word. Full words are
+/// processed unmasked in one pass; only the final word is masked with
+/// the valid-pattern tail.
+fn output_diff_ones(c: &[u64], z: &[u64], tail: u64, any_diff: &mut [u64]) -> u64 {
+    let words = any_diff.len();
+    if words == 0 {
+        return 0;
+    }
+    let mut ones = 0u64;
+    for w in 0..words - 1 {
+        let diff = c[w] ^ z[w];
+        ones += u64::from(diff.count_ones());
+        any_diff[w] |= diff;
+    }
+    let diff = (c[words - 1] ^ z[words - 1]) & tail;
+    ones += u64::from(diff.count_ones());
+    any_diff[words - 1] |= diff;
+    ones
+}
+
 /// Compares a clean and a noisy run over the same pattern set.
 ///
 /// # Panics
@@ -206,15 +226,7 @@ pub fn compare_runs(netlist: &Netlist, clean: &NodeValues, noisy: &NodeValues) -
     for out in netlist.outputs() {
         let c = clean.node(out.driver);
         let z = noisy.node(out.driver);
-        let mut ones: u64 = 0;
-        for w in 0..words {
-            let mut diff = c[w] ^ z[w];
-            if w + 1 == words {
-                diff &= tail;
-            }
-            ones += u64::from(diff.count_ones());
-            any_diff[w] |= diff;
-        }
+        let ones = output_diff_ones(c, z, tail, &mut any_diff);
         per_output_error_rate.push(ones as f64 / count as f64);
     }
     let circuit_errors: u64 = any_diff.iter().map(|w| u64::from(w.count_ones())).sum();
@@ -342,16 +354,7 @@ pub fn tally_runs(netlist: &Netlist, clean: &NodeValues, noisy: &NodeValues) -> 
     for out in netlist.outputs() {
         let c = clean.node(out.driver);
         let z = noisy.node(out.driver);
-        let mut ones: u64 = 0;
-        for w in 0..words {
-            let mut diff = c[w] ^ z[w];
-            if w + 1 == words {
-                diff &= tail;
-            }
-            ones += u64::from(diff.count_ones());
-            any_diff[w] |= diff;
-        }
-        per_output_errors.push(ones);
+        per_output_errors.push(output_diff_ones(c, z, tail, &mut any_diff));
     }
     let circuit_errors: u64 = any_diff.iter().map(|w| u64::from(w.count_ones())).sum();
 

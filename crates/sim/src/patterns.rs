@@ -186,6 +186,17 @@ pub(crate) fn tail_mask(count: usize) -> u64 {
     }
 }
 
+/// Population count over the valid bits of a `count`-pattern stream:
+/// full words popcounted in one pass, only the final word masked.
+#[must_use]
+pub(crate) fn popcount_valid(stream: &[u64], count: usize) -> u64 {
+    let Some((&last, full)) = stream.split_last() else {
+        return 0;
+    };
+    let ones: u64 = full.iter().map(|&w| u64::from(w.count_ones())).sum();
+    ones + u64::from((last & tail_mask(count)).count_ones())
+}
+
 /// Word `w` of the exhaustive stream of input `i`: bit `j` is bit `i` of
 /// the pattern index `64·w + j`.
 pub(crate) fn exhaustive_word(input: usize, word: usize) -> u64 {

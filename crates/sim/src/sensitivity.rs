@@ -13,6 +13,7 @@
 
 use nanobound_logic::Netlist;
 
+use crate::compiled::{SimProgram, SimScratch};
 use crate::engine::evaluate_packed;
 use crate::error::SimError;
 use crate::patterns::{tail_mask, PatternSet};
@@ -91,29 +92,78 @@ pub fn exact(netlist: &Netlist) -> Result<u32, SimError> {
     }
     let patterns = PatternSet::exhaustive(n)?;
     let values = evaluate_packed(netlist, &patterns)?;
+    let streams: Vec<&[u64]> = netlist
+        .outputs()
+        .iter()
+        .map(|out| values.node(out.driver))
+        .collect();
+    Ok(exact_from_streams(&streams, n, &patterns))
+}
+
+/// Exact sensitivity on the compiled engine: evaluates the program
+/// exhaustively and applies the same lane-permutation counting as
+/// [`exact`] — bit-identical results, no per-node allocation.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyInputs`] beyond [`EXACT_LIMIT`] inputs.
+pub fn exact_with(program: &SimProgram, scratch: &mut SimScratch) -> Result<u32, SimError> {
+    let n = program.num_inputs();
+    if n > EXACT_LIMIT {
+        return Err(SimError::TooManyInputs {
+            inputs: n,
+            limit: EXACT_LIMIT,
+        });
+    }
+    if n == 0 {
+        return Ok(0);
+    }
+    let patterns = PatternSet::exhaustive(n)?;
+    program.run_clean(scratch, &patterns)?;
+    let streams: Vec<&[u64]> = (0..program.num_outputs())
+        .map(|o| program.output_stream(scratch, o))
+        .collect();
+    Ok(exact_from_streams(&streams, n, &patterns))
+}
+
+/// The exhaustive counting core shared by both engines: for every
+/// input, OR the flip-diffs of every output stream, then track how many
+/// inputs are sensitive at each assignment.
+fn exact_from_streams(output_streams: &[&[u64]], n: usize, patterns: &PatternSet) -> u32 {
     let count = patterns.count();
     let words = patterns.words_per_signal();
     let tail = patterns.tail_mask();
-
-    // counts[p] = number of inputs sensitive at assignment p (n ≤ 20 < 256).
-    let mut counts = vec![0u8; count];
+    // counts[p] = number of inputs sensitive at assignment p (n ≤ 20).
+    let mut counts = vec![0u16; count];
     let mut any_diff = vec![0u64; words];
     for i in 0..n {
         any_diff.fill(0);
-        for out in netlist.outputs() {
-            let stream = values.node(out.driver);
+        for stream in output_streams {
             accumulate_flip_diff(stream, i, &mut any_diff);
         }
-        for (w, &diff) in any_diff.iter().enumerate() {
-            let mut d = if w + 1 == words { diff & tail } else { diff };
-            while d != 0 {
-                let j = d.trailing_zeros() as usize;
-                counts[w * 64 + j] += 1;
-                d &= d - 1;
-            }
-        }
+        add_sensitive_bits(&any_diff, tail, &mut counts);
     }
-    Ok(u32::from(counts.iter().copied().max().unwrap_or(0)))
+    u32::from(counts.iter().copied().max().unwrap_or(0))
+}
+
+/// Increments `counts[p]` for every valid set bit of `any_diff`. Full
+/// words are scanned unmasked; only the final word is masked with the
+/// valid-pattern tail.
+fn add_sensitive_bits(any_diff: &[u64], tail: u64, counts: &mut [u16]) {
+    let Some((&last, full)) = any_diff.split_last() else {
+        return;
+    };
+    let mut bump = |w: usize, mut d: u64| {
+        while d != 0 {
+            let j = d.trailing_zeros() as usize;
+            counts[w * 64 + j] += 1;
+            d &= d - 1;
+        }
+    };
+    for (w, &d) in full.iter().enumerate() {
+        bump(w, d);
+    }
+    bump(full.len(), last & tail);
 }
 
 /// ORs into `acc` the positions where `stream` differs from itself under
@@ -173,10 +223,11 @@ pub fn sampled(netlist: &Netlist, samples: usize, seed: u64) -> Result<u32, SimE
     let tail = tail_mask(count);
 
     let mut counts = vec![0u16; count];
+    let mut any_diff = vec![0u64; words];
     for i in 0..n {
         let flipped = base.with_input_flipped(i);
         let flipped_values = evaluate_packed(netlist, &flipped)?;
-        let mut any_diff = vec![0u64; words];
+        any_diff.fill(0);
         for out in netlist.outputs() {
             let a = base_values.node(out.driver);
             let b = flipped_values.node(out.driver);
@@ -184,14 +235,53 @@ pub fn sampled(netlist: &Netlist, samples: usize, seed: u64) -> Result<u32, SimE
                 any_diff[w] |= a[w] ^ b[w];
             }
         }
-        for (w, &diff) in any_diff.iter().enumerate() {
-            let mut d = if w + 1 == words { diff & tail } else { diff };
-            while d != 0 {
-                let j = d.trailing_zeros() as usize;
-                counts[w * 64 + j] += 1;
-                d &= d - 1;
+        add_sensitive_bits(&any_diff, tail, &mut counts);
+    }
+    Ok(u32::from(counts.iter().copied().max().unwrap_or(0)))
+}
+
+/// Sensitivity lower bound from random sampling on the compiled engine
+/// — bit-identical to [`sampled`] (same base patterns, same flips, same
+/// counting).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `samples == 0`.
+pub fn sampled_with(
+    program: &SimProgram,
+    scratch: &mut SimScratch,
+    samples: usize,
+    seed: u64,
+) -> Result<u32, SimError> {
+    if samples == 0 {
+        return Err(SimError::bad("samples", samples, "must be at least 1"));
+    }
+    let n = program.num_inputs();
+    if n == 0 {
+        return Ok(0);
+    }
+    let base = PatternSet::random(n, samples, seed);
+    program.run_clean(scratch, &base)?;
+    let base_streams: Vec<Vec<u64>> = (0..program.num_outputs())
+        .map(|o| program.output_stream(scratch, o).to_vec())
+        .collect();
+    let count = base.count();
+    let words = base.words_per_signal();
+    let tail = tail_mask(count);
+
+    let mut counts = vec![0u16; count];
+    let mut any_diff = vec![0u64; words];
+    for i in 0..n {
+        let flipped = base.with_input_flipped(i);
+        program.run_clean(scratch, &flipped)?;
+        any_diff.fill(0);
+        for (o, a) in base_streams.iter().enumerate() {
+            let b = program.output_stream(scratch, o);
+            for w in 0..words {
+                any_diff[w] |= a[w] ^ b[w];
             }
         }
+        add_sensitive_bits(&any_diff, tail, &mut counts);
     }
     Ok(u32::from(counts.iter().copied().max().unwrap_or(0)))
 }
@@ -212,6 +302,30 @@ pub fn estimate(
     } else {
         Ok(SensitivityEstimate::SampledLowerBound {
             value: sampled(netlist, samples, seed)?,
+            samples,
+        })
+    }
+}
+
+/// [`estimate`] on the compiled engine: dispatches to [`exact_with`]
+/// when feasible, otherwise [`sampled_with`] — bit-identical to the
+/// interpreted dispatch.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] if `samples == 0` and sampling is
+/// required.
+pub fn estimate_with(
+    program: &SimProgram,
+    scratch: &mut SimScratch,
+    samples: usize,
+    seed: u64,
+) -> Result<SensitivityEstimate, SimError> {
+    if program.num_inputs() <= EXACT_LIMIT {
+        Ok(SensitivityEstimate::Exact(exact_with(program, scratch)?))
+    } else {
+        Ok(SensitivityEstimate::SampledLowerBound {
+            value: sampled_with(program, scratch, samples, seed)?,
             samples,
         })
     }

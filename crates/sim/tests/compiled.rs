@@ -1,0 +1,198 @@
+//! Differential tests: the compiled tape executor against the
+//! interpreted oracle.
+//!
+//! The compiled engine's whole contract is *bitwise* equality with the
+//! interpreted path — same `NoisyTally` counts, same activity floats,
+//! same sensitivities — for every netlist, every ε (including the
+//! symmetric branch up to ε = 1), every seed and every chunk size.
+//! These properties are what lets the workspace swap the default
+//! engine without bumping the cache `FORMAT_VERSION` or regenerating a
+//! single golden CSV.
+
+use proptest::prelude::*;
+
+use nanobound_gen::random::{random_dag, RandomDagConfig};
+use nanobound_logic::{GateKind, Netlist};
+use nanobound_sim::{
+    estimate_activity, monte_carlo_tally, sensitivity, NoisyConfig, PatternSet, SimProgram,
+};
+
+fn small_dag() -> impl Strategy<Value = RandomDagConfig> {
+    (
+        1usize..=8,
+        1usize..=40,
+        2usize..=4,
+        1usize..=4,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(inputs, gates, max_fanin, outputs, seed)| RandomDagConfig {
+                inputs,
+                gates,
+                max_fanin,
+                outputs,
+                seed,
+            },
+        )
+}
+
+/// The ε grid the issue pins: noise-free, tiny, moderate, the coin-flip
+/// boundary and the far end of the symmetric branch.
+const EPSILONS: [f64; 5] = [0.0, 1e-6, 0.3, 0.5, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tallies_are_bitwise_identical_on_random_dags(
+        config in small_dag(),
+        fault_seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+        // Deliberately includes single-pattern chunks and partial words.
+        patterns in 1usize..300,
+    ) {
+        let nl = random_dag(&config).unwrap();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        for &eps in &EPSILONS {
+            let cfg = NoisyConfig::new(eps, fault_seed).unwrap();
+            let compiled = program
+                .run_tally(&mut scratch, &cfg, patterns, pattern_seed)
+                .unwrap();
+            let interp = monte_carlo_tally(&nl, &cfg, patterns, pattern_seed).unwrap();
+            prop_assert_eq!(&compiled, &interp, "eps={}", eps);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_chunk_sizes_stays_identical(
+        config in small_dag(),
+        fault_seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+        acc_seed in any::<u64>(),
+    ) {
+        // One scratch across differently-sized chunks, big and small in
+        // both orders: arena reuse must never leak state between runs.
+        let nl = random_dag(&config).unwrap();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let cfg = NoisyConfig::new(0.25, fault_seed).unwrap();
+        for &patterns in &[200usize, 1, 67, 128, 3] {
+            let compiled = program
+                .run_tally(&mut scratch, &cfg, patterns, pattern_seed)
+                .unwrap();
+            let interp = monte_carlo_tally(&nl, &cfg, patterns, pattern_seed).unwrap();
+            prop_assert_eq!(&compiled, &interp, "patterns={}", patterns);
+        }
+        // And the accumulate path: two chunks folded in place equal the
+        // interpreted chunks merged.
+        let mut acc = program.empty_tally();
+        program
+            .run_tally_accumulate(&mut scratch, &cfg, 100, acc_seed, &mut acc)
+            .unwrap();
+        program
+            .run_tally_accumulate(&mut scratch, &cfg, 31, acc_seed ^ 1, &mut acc)
+            .unwrap();
+        let mut expected = monte_carlo_tally(&nl, &cfg, 100, acc_seed).unwrap();
+        expected.merge(&monte_carlo_tally(&nl, &cfg, 31, acc_seed ^ 1).unwrap());
+        prop_assert_eq!(&acc, &expected);
+    }
+
+    #[test]
+    fn activity_profiles_are_bitwise_identical(
+        config in small_dag(),
+        seed in any::<u64>(),
+        patterns in 2usize..400,
+    ) {
+        let nl = random_dag(&config).unwrap();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let compiled = program
+            .estimate_activity(&mut scratch, patterns, seed)
+            .unwrap();
+        let interp = estimate_activity(&nl, patterns, seed).unwrap();
+        // Float-exact: same streams, same counts, same division order.
+        prop_assert_eq!(compiled, interp);
+    }
+
+    #[test]
+    fn sensitivities_are_identical(config in small_dag(), seed in any::<u64>()) {
+        let nl = random_dag(&config).unwrap();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let compiled_exact = sensitivity::exact_with(&program, &mut scratch).unwrap();
+        prop_assert_eq!(compiled_exact, sensitivity::exact(&nl).unwrap());
+        let compiled_sampled =
+            sensitivity::sampled_with(&program, &mut scratch, 128, seed).unwrap();
+        prop_assert_eq!(compiled_sampled, sensitivity::sampled(&nl, 128, seed).unwrap());
+        let compiled_est =
+            sensitivity::estimate_with(&program, &mut scratch, 64, seed).unwrap();
+        prop_assert_eq!(compiled_est, sensitivity::estimate(&nl, 64, seed).unwrap());
+    }
+}
+
+/// A netlist of nothing but wiring: buffers and constants, zero gates.
+fn wiring_only() -> Netlist {
+    let mut nl = Netlist::new("wiring");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let zero = nl.add_const(false);
+    let one = nl.add_const(true);
+    let buf_a = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+    let buf_buf = nl.add_gate(GateKind::Buf, &[buf_a]).unwrap();
+    nl.add_output("p", buf_buf).unwrap();
+    nl.add_output("q", b).unwrap();
+    nl.add_output("z", zero).unwrap();
+    nl.add_output("o", one).unwrap();
+    nl
+}
+
+#[test]
+fn zero_gate_netlists_match_across_all_epsilons() {
+    let nl = wiring_only();
+    let program = SimProgram::compile(&nl);
+    assert_eq!(program.gate_count(), 0);
+    let mut scratch = program.scratch();
+    for &eps in &EPSILONS {
+        let cfg = NoisyConfig::new(eps, 7).unwrap();
+        for patterns in [1usize, 64, 100] {
+            let compiled = program.run_tally(&mut scratch, &cfg, patterns, 9).unwrap();
+            let interp = monte_carlo_tally(&nl, &cfg, patterns, 9).unwrap();
+            assert_eq!(compiled, interp, "eps={eps} patterns={patterns}");
+            // Wiring is noise-free by the paper's device model.
+            assert_eq!(compiled.circuit_errors, 0);
+        }
+    }
+    // Activity and sensitivity on the degenerate circuit as well.
+    let compiled = program.estimate_activity(&mut scratch, 500, 3).unwrap();
+    let interp = estimate_activity(&nl, 500, 3).unwrap();
+    assert_eq!(compiled, interp);
+    assert_eq!(compiled.avg_gate_activity, 0.0);
+    assert_eq!(
+        sensitivity::exact_with(&program, &mut scratch).unwrap(),
+        sensitivity::exact(&nl).unwrap()
+    );
+}
+
+#[test]
+fn exhaustive_patterns_match_through_run_clean() {
+    // run_clean must accept externally built pattern sets (sensitivity
+    // uses exhaustive ones), not only the random streams it draws
+    // itself.
+    let config = RandomDagConfig {
+        inputs: 6,
+        gates: 30,
+        max_fanin: 3,
+        outputs: 3,
+        seed: 0xFEED,
+    };
+    let nl = random_dag(&config).unwrap();
+    let program = SimProgram::compile(&nl);
+    let mut scratch = program.scratch();
+    let patterns = PatternSet::exhaustive(6).unwrap();
+    program.run_clean(&mut scratch, &patterns).unwrap();
+    let values = nanobound_sim::evaluate_packed(&nl, &patterns).unwrap();
+    for id in nl.node_ids() {
+        assert_eq!(program.node_stream(&scratch, id), values.node(id), "{id}");
+    }
+}

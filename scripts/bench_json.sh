@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable engine-performance baseline.
+#
+# Usage: ./scripts/bench_json.sh [OUTPUT]    (default: BENCH_5.json)
+#
+# Runs the `perf_engines` benchmark binary — interpreted vs compiled
+# simulation throughput (patterns/sec) per benchmark netlist, three
+# workloads each (mask-sparse Monte-Carlo, mask-dense Monte-Carlo,
+# clean profiling eval) — and writes its JSON report to OUTPUT. The
+# binary cross-checks bitwise tally equality of the two engines before
+# timing anything, so a report is only ever produced for equivalent
+# engines.
+#
+# The file is a perf-trajectory artifact: future PRs regenerate it and
+# compare patterns/sec against the committed baseline. Numbers move
+# with the host; compare ratios (the `speedup` fields), not absolutes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+cargo build --release -p nanobound-bench --bench perf_engines >/dev/null
+cargo bench -p nanobound-bench --bench perf_engines 2>/dev/null > "$out"
+# Minimal well-formedness gate (no jq in the container): the document
+# must open/close an object and name every workload.
+grep -q '"bench": "engines"' "$out"
+grep -q '"mc_sparse"' "$out"
+grep -q '"mc_dense"' "$out"
+grep -q '"clean"' "$out"
+echo "wrote $out"

@@ -3,10 +3,20 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_nanobound"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    run_with_env(args, &[])
+}
+
+fn run_with_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_nanobound"));
+    command.args(args);
+    // Tests must not inherit an ambient engine override (a developer
+    // legitimately exporting the escape hatch would otherwise flip the
+    // expected outputs); every test states its engine explicitly.
+    command.env_remove("NANOBOUND_ENGINE");
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    let out = command.output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -446,4 +456,42 @@ fn usage_documents_the_jobs_flag() {
     // actual ceiling so the two cannot silently diverge.
     let range = format!("1..={}", nanobound::runner::MAX_JOBS);
     assert!(err.contains(&range), "usage range stale: {err}");
+}
+
+#[test]
+fn engine_escape_hatch_is_byte_identical_and_strict() {
+    // The interpreted oracle must reproduce the default compiled
+    // engine's output byte for byte (ci.sh diffs the full figure and
+    // validation sets; this pins a fast subset in-tree).
+    let (ok, compiled, err) = run(&["figures", "--only", "fig3", "--stdout"]);
+    assert!(ok, "stderr: {err}");
+    let (ok, interp, err) = run_with_env(
+        &["figures", "--only", "fig3", "--stdout"],
+        &[("NANOBOUND_ENGINE", "interp")],
+    );
+    assert!(ok, "stderr: {err}");
+    assert_eq!(compiled, interp);
+    // An explicit `compiled` is accepted too.
+    let (ok, explicit, _) = run_with_env(
+        &["figures", "--only", "fig3", "--stdout"],
+        &[("NANOBOUND_ENGINE", "compiled")],
+    );
+    assert!(ok);
+    assert_eq!(compiled, explicit);
+}
+
+#[test]
+fn unknown_engine_value_is_a_hard_error() {
+    // Strict parsing, like every flag since PR 4: a typo must not
+    // silently fall back to either engine.
+    let (ok, _, err) = run_with_env(&["validate", "--stdout"], &[("NANOBOUND_ENGINE", "turbo")]);
+    assert!(!ok);
+    assert!(
+        err.contains("NANOBOUND_ENGINE") && err.contains("turbo"),
+        "unhelpful error: {err}"
+    );
+    assert!(
+        err.contains("compiled") && err.contains("interp"),
+        "error must name the valid values: {err}"
+    );
 }
