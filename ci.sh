@@ -28,6 +28,12 @@
 #      byte-for-byte against the default compiled engine's artifacts —
 #      a compiled executor that drifts from the oracle by one bit in
 #      any tally, activity or sensitivity fails the gate
+#   9. the analyze gate: `lint --suite --deny warnings` must pass (the
+#      generated Section-6 suite stays lint-clean), its JSON report must
+#      match the committed golden byte-for-byte, an injected tape
+#      corruption must be rejected with a nonzero exit, and a lint
+#      request through `serve` must answer with the one-shot stdout
+#      bytes verbatim
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -113,5 +119,23 @@ if NANOBOUND_ENGINE=turbo target/release/nanobound validate --stdout >/dev/null 
   echo "NANOBOUND_ENGINE=turbo was silently accepted" >&2
   exit 1
 fi
+
+echo "==> analyze gate: suite lint, golden JSON, corruption rejection, serve parity"
+target/release/nanobound lint --suite --deny warnings > "$detdir/lint-suite.txt"
+target/release/nanobound lint --suite --format json > "$detdir/lint-suite.json"
+diff tests/golden/lint_suite.json "$detdir/lint-suite.json"
+# The verifier must catch a single-point tape corruption.
+if target/release/nanobound lint tests/fixtures/lint_dirty.bench --corrupt-tape 3 \
+    > "$detdir/lint-corrupt.out" 2>/dev/null; then
+  echo "corrupted tape passed the analyzer" >&2
+  exit 1
+fi
+grep -q NB020 "$detdir/lint-corrupt.out"
+# A lint request through serve answers with the one-shot bytes verbatim.
+target/release/nanobound lint tests/fixtures/lint_dirty.bench > "$detdir/exp-lint"
+printf '{"id":"l","workload":"lint","args":["tests/fixtures/lint_dirty.bench"]}\n' \
+    | target/release/nanobound serve > "$detdir/serve-lint.out" 2>/dev/null
+emit l "$detdir/exp-lint" > "$detdir/serve-lint-expected.out"
+diff "$detdir/serve-lint-expected.out" "$detdir/serve-lint.out"
 
 echo "CI green."

@@ -1,0 +1,251 @@
+//! The diagnostics engine shared by every analysis pass: severities,
+//! coded diagnostics with node/line spans, and deterministic text and
+//! JSON renderings.
+
+use std::fmt;
+
+use nanobound_logic::NodeId;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so that `Info < Warning < Error`; `--deny warnings` promotes
+/// warnings to run failures, infos never fail a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: statistics and model notes.
+    Info,
+    /// Suspicious but executable: dead logic, foldable gates, …
+    Warning,
+    /// The netlist or tape violates a hard invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Longest node list a diagnostic records; larger sets are truncated
+/// (the message carries the full count) so reports on big netlists stay
+/// readable and goldens stay small.
+pub const MAX_SPAN_NODES: usize = 8;
+
+/// One finding: a stable `NB0xx` code, a severity, a human message and
+/// a span (node ids, plus a source line when the design was ingested
+/// through `nanobound-io`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`NB001`, `NB020`, …).
+    pub code: &'static str,
+    /// The severity class.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Node indices the finding spans (possibly truncated to
+    /// [`MAX_SPAN_NODES`]; empty for whole-design findings).
+    pub nodes: Vec<usize>,
+    /// 1-based source line of the first spanned node, when known.
+    pub line: Option<usize>,
+}
+
+/// Every diagnostic one design produced, in emission order (which the
+/// lint pass keeps deterministic: checks in code order, nodes in id
+/// order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The design name the findings belong to.
+    pub design: String,
+    /// The findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `design`.
+    #[must_use]
+    pub fn new(design: impl Into<String>) -> Self {
+        Report {
+            design: design.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Appends a finding.
+    pub fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        nodes: Vec<usize>,
+        line: Option<usize>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            nodes,
+            line,
+        });
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Whether any finding is a warning.
+    #[must_use]
+    pub fn has_warnings(&self) -> bool {
+        self.count(Severity::Warning) > 0
+    }
+
+    /// Renders the report as diagnostic lines:
+    /// `design: severity CODE: message [n1 n2] (line 3)`.
+    pub fn write_text(&self, out: &mut String) {
+        for d in &self.diagnostics {
+            out.push_str(&self.design);
+            out.push_str(": ");
+            out.push_str(&d.severity.to_string());
+            out.push(' ');
+            out.push_str(d.code);
+            out.push_str(": ");
+            out.push_str(&d.message);
+            if !d.nodes.is_empty() {
+                out.push_str(" [");
+                for (i, &n) in d.nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    out.push_str(&NodeId::from_index(n).to_string());
+                }
+                out.push(']');
+            }
+            if let Some(line) = d.line {
+                out.push_str(&format!(" (line {line})"));
+            }
+            out.push('\n');
+        }
+    }
+
+    /// Renders the report as one JSON object (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"design\":");
+        json_string(&self.design, out);
+        out.push_str(",\"errors\":");
+        out.push_str(&self.count(Severity::Error).to_string());
+        out.push_str(",\"warnings\":");
+        out.push_str(&self.count(Severity::Warning).to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":");
+            json_string(d.code, out);
+            out.push_str(",\"severity\":");
+            json_string(&d.severity.to_string(), out);
+            out.push_str(",\"message\":");
+            json_string(&d.message, out);
+            if !d.nodes.is_empty() {
+                out.push_str(",\"nodes\":[");
+                for (j, n) in d.nodes.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&n.to_string());
+                }
+                out.push(']');
+            }
+            if let Some(line) = d.line {
+                out.push_str(&format!(",\"line\":{line}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_order_backs_deny_semantics() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn text_rendering_includes_span_and_line() {
+        let mut report = Report::new("c17");
+        report.push(
+            "NB004",
+            Severity::Warning,
+            "primary input `a` drives nothing",
+            vec![3],
+            Some(7),
+        );
+        report.push("NB010", Severity::Info, "6 gates", vec![], None);
+        let mut out = String::new();
+        report.write_text(&mut out);
+        assert_eq!(
+            out,
+            "c17: warning NB004: primary input `a` drives nothing [n3] (line 7)\n\
+             c17: info NB010: 6 gates\n"
+        );
+        assert!(report.has_warnings());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn json_rendering_is_machine_readable() {
+        let mut report = Report::new("d\"x");
+        report.push("NB001", Severity::Error, "cycle: a -> a", vec![1, 2], None);
+        let mut out = String::new();
+        report.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"design\":\"d\\\"x\",\"errors\":1,\"warnings\":0,\"diagnostics\":[\
+             {\"code\":\"NB001\",\"severity\":\"error\",\"message\":\"cycle: a -> a\",\
+             \"nodes\":[1,2]}]}"
+        );
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        let mut out = String::new();
+        json_string("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+}

@@ -1,0 +1,44 @@
+//! Static analysis for the `nanobound` workspace.
+//!
+//! Two passes, surfaced through `nanobound lint`, the serve `lint`
+//! workload and the CI analyze gate:
+//!
+//! - **Netlist lints** (`NB001`–`NB010`): combinational-cycle witnesses,
+//!   structural validity, dead logic, duplicate fanins, foldable gates,
+//!   shared output drivers, ε-fault-model applicability and a stats
+//!   summary — see [`lint::codes`] for the full table.
+//! - **Tape soundness** (`NB020`/`NB021`): compiles the netlist to a
+//!   [`SimProgram`](nanobound_sim::SimProgram) and runs
+//!   [`verify`](nanobound_sim::SimProgram::verify), the
+//!   RNG-stream-independent contract every simulation backend must
+//!   satisfy.
+//!
+//! Reports render deterministically as text or JSON ([`Report`]), so
+//! outputs are diffable and cacheable.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanobound_analyze::{lint_netlist, LintOptions, Severity};
+//! use nanobound_logic::{GateKind, Netlist};
+//!
+//! # fn main() -> Result<(), nanobound_logic::LogicError> {
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let g = nl.add_gate(GateKind::Nand, &[a, b])?;
+//! nl.add_output("y", g)?;
+//! let report = lint_netlist(&nl, &LintOptions::default());
+//! assert!(!report.has_errors() && !report.has_warnings());
+//! assert_eq!(report.count(Severity::Info), 2); // NB010 stats + NB021 tape
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lint;
+
+pub use diag::{Diagnostic, Report, Severity, MAX_SPAN_NODES};
+pub use lint::{codes, lint_design, lint_netlist, LintOptions};

@@ -1,0 +1,25 @@
+//! The analyzer's acceptance gate: the paper's whole Section-6 suite
+//! must be lint-clean (no errors, no warnings) under `--deny warnings`,
+//! exactly what CI enforces through the CLI.
+
+use nanobound_analyze::{lint_netlist, LintOptions, Severity};
+use nanobound_gen::standard_suite;
+
+#[test]
+fn standard_suite_is_lint_clean() {
+    let suite = standard_suite().unwrap();
+    assert!(!suite.is_empty());
+    for benchmark in &suite {
+        let report = lint_netlist(&benchmark.netlist, &LintOptions::default());
+        let mut text = String::new();
+        report.write_text(&mut text);
+        println!("{text}");
+        assert!(
+            !report.has_errors() && !report.has_warnings(),
+            "{} is not lint-clean:\n{text}",
+            benchmark.name
+        );
+        // At least the stats line and the tape-verified line per design.
+        assert!(report.count(Severity::Info) >= 2, "{}", benchmark.name);
+    }
+}

@@ -24,7 +24,7 @@ fn parity10() -> CircuitProfile {
 fn bench_bounds(c: &mut Criterion) {
     let profile = parity10();
     c.bench_function("bound_report_single_point", |b| {
-        b.iter(|| BoundReport::evaluate(black_box(&profile), 0.01, 0.01).unwrap())
+        b.iter(|| BoundReport::evaluate(black_box(&profile), 0.01, 0.01).unwrap());
     });
 
     c.bench_function("redundancy_bound_sweep_1000", |b| {
@@ -37,7 +37,7 @@ fn bench_bounds(c: &mut Criterion) {
                         .unwrap();
             }
             acc
-        })
+        });
     });
 
     // Full bound-report sweep, serial vs pooled grid_map: per-point cost
@@ -51,7 +51,7 @@ fn bench_bounds(c: &mut Criterion) {
                 BoundReport::evaluate(&profile, eps, 0.01)
             })
             .unwrap()
-        })
+        });
     });
     // Only meaningful (and only distinctly named) on multi-core hosts.
     let auto = ThreadPool::auto();
@@ -64,7 +64,7 @@ fn bench_bounds(c: &mut Criterion) {
                         BoundReport::evaluate(&profile, eps, 0.01)
                     })
                     .unwrap()
-                })
+                });
             },
         );
     }
@@ -87,7 +87,7 @@ fn bench_bounds(c: &mut Criterion) {
             || (),
             |()| nanobound_energy::iso_energy_vdd(&tech, base, 0.3, black_box(&variant)).unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 

@@ -9,11 +9,11 @@ use nanobound_redundancy::{multiplex, nmr, to_nand2, MultiplexConfig};
 fn bench_redundancy(c: &mut Criterion) {
     let rca = adder::ripple_carry(16).unwrap();
     c.bench_function("nmr3_rca16", |b| {
-        b.iter(|| nmr(black_box(&rca), 3).unwrap())
+        b.iter(|| nmr(black_box(&rca), 3).unwrap());
     });
 
     c.bench_function("to_nand2_rca16", |b| {
-        b.iter(|| to_nand2(black_box(&rca)).unwrap())
+        b.iter(|| to_nand2(black_box(&rca)).unwrap());
     });
 
     let tree = parity::parity_tree(16, 2).unwrap();
@@ -23,7 +23,7 @@ fn bench_redundancy(c: &mut Criterion) {
         seed: 1,
     };
     c.bench_function("multiplex9_parity16", |b| {
-        b.iter(|| multiplex(black_box(&tree), &cfg).unwrap())
+        b.iter(|| multiplex(black_box(&tree), &cfg).unwrap());
     });
 }
 

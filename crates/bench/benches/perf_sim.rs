@@ -17,17 +17,17 @@ fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.throughput(Throughput::Elements(4096u64 * mult.gate_count() as u64));
     group.bench_function("packed_eval_c6288a_4096", |b| {
-        b.iter(|| evaluate_packed(black_box(&mult), black_box(&patterns)).unwrap())
+        b.iter(|| evaluate_packed(black_box(&mult), black_box(&patterns)).unwrap());
     });
     group.finish();
 
     c.bench_function("activity_c6288a_4096", |b| {
-        b.iter(|| estimate_activity(black_box(&mult), 4096, 7).unwrap())
+        b.iter(|| estimate_activity(black_box(&mult), 4096, 7).unwrap());
     });
 
     c.bench_function("noisy_montecarlo_c6288a_4096", |b| {
         let cfg = NoisyConfig::new(0.01, 5).unwrap();
-        b.iter(|| monte_carlo(black_box(&mult), &cfg, 4096, 7).unwrap())
+        b.iter(|| monte_carlo(black_box(&mult), &cfg, 4096, 7).unwrap());
     });
 
     // Interpreted vs compiled, on the exact same chunk workload (the
@@ -39,7 +39,7 @@ fn bench_sim(c: &mut Criterion) {
     for (label, eps) in [("sparse_eps0.25", 0.25), ("dense_eps0.01", 0.01)] {
         let cfg = NoisyConfig::new(eps, 5).unwrap();
         c.bench_function(&format!("mc_tally_interp_c6288a_4096_{label}"), |b| {
-            b.iter(|| monte_carlo_tally(black_box(&mult), &cfg, 4096, 7).unwrap())
+            b.iter(|| monte_carlo_tally(black_box(&mult), &cfg, 4096, 7).unwrap());
         });
         let program = SimProgram::compile(&mult);
         let mut scratch = program.scratch();
@@ -48,7 +48,7 @@ fn bench_sim(c: &mut Criterion) {
                 program
                     .run_tally(black_box(&mut scratch), &cfg, 4096, 7)
                     .unwrap()
-            })
+            });
         });
     }
 
@@ -61,8 +61,8 @@ fn bench_sim(c: &mut Criterion) {
             b.iter(|| {
                 program
                     .run_clean(black_box(&mut scratch), black_box(&patterns))
-                    .unwrap()
-            })
+                    .unwrap();
+            });
         });
     }
 
@@ -73,18 +73,18 @@ fn bench_sim(c: &mut Criterion) {
     let cfg = NoisyConfig::new(0.01, 5).unwrap();
     let serial = ThreadPool::serial();
     c.bench_function("noisy_mc_sharded_32k_jobs1", |b| {
-        b.iter(|| monte_carlo_sharded(&serial, black_box(&mult), &cfg, 32_768, 7, 1024).unwrap())
+        b.iter(|| monte_carlo_sharded(&serial, black_box(&mult), &cfg, 32_768, 7, 1024).unwrap());
     });
     // Only meaningful (and only distinctly named) on multi-core hosts.
     let auto = ThreadPool::auto();
     if auto.jobs() > 1 {
         c.bench_function(&format!("noisy_mc_sharded_32k_jobs{}", auto.jobs()), |b| {
-            b.iter(|| monte_carlo_sharded(&auto, black_box(&mult), &cfg, 32_768, 7, 1024).unwrap())
+            b.iter(|| monte_carlo_sharded(&auto, black_box(&mult), &cfg, 32_768, 7, 1024).unwrap());
         });
     }
 
     c.bench_function("sensitivity_sampled_c6288a_256", |b| {
-        b.iter(|| nanobound_sim::sensitivity::sampled(black_box(&mult), 256, 3).unwrap())
+        b.iter(|| nanobound_sim::sensitivity::sampled(black_box(&mult), 256, 3).unwrap());
     });
 }
 

@@ -13,6 +13,7 @@
 //!
 //! This library crate only hosts shared helpers.
 
+#![forbid(unsafe_code)]
 use nanobound_cache::ShardCache;
 use nanobound_experiments::FigureOutput;
 use nanobound_runner::ThreadPool;

@@ -126,7 +126,7 @@ pub trait CacheCodec: Sized {
     /// Appends this value's encoding.
     fn encode(&self, enc: &mut Encoder);
     /// Decodes one value; `None` on any malformed input.
-    fn decode(dec: &mut Decoder) -> Option<Self>;
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self>;
 }
 
 /// Encodes one value to a fresh byte vector.
@@ -150,7 +150,7 @@ impl CacheCodec for u64 {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(*self);
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         dec.take_u64()
     }
 }
@@ -159,7 +159,7 @@ impl CacheCodec for usize {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(*self);
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         dec.take_usize()
     }
 }
@@ -168,7 +168,7 @@ impl CacheCodec for f64 {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_f64(*self);
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         dec.take_f64()
     }
 }
@@ -177,7 +177,7 @@ impl CacheCodec for bool {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_bool(*self);
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         dec.take_bool()
     }
 }
@@ -192,7 +192,7 @@ impl<T: CacheCodec> CacheCodec for Option<T> {
             }
         }
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         if dec.take_bool()? {
             Some(Some(T::decode(dec)?))
         } else {
@@ -208,7 +208,7 @@ impl<T: CacheCodec> CacheCodec for Vec<T> {
             item.encode(enc);
         }
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         let len = dec.take_usize()?;
         // A corrupt length must not drive a huge allocation: every
         // element consumes at least one byte of input.
@@ -228,7 +228,7 @@ impl<A: CacheCodec, B: CacheCodec> CacheCodec for (A, B) {
         self.0.encode(enc);
         self.1.encode(enc);
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         Some((A::decode(dec)?, B::decode(dec)?))
     }
 }
@@ -239,7 +239,7 @@ impl<A: CacheCodec, B: CacheCodec, C: CacheCodec> CacheCodec for (A, B, C) {
         self.1.encode(enc);
         self.2.encode(enc);
     }
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         Some((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
     }
 }

@@ -54,6 +54,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
 mod codec;
 mod fingerprint;
 mod gc;

@@ -53,6 +53,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod composite;
 pub mod depth;
 pub mod energy;

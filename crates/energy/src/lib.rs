@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod density;
 mod error;
 pub mod model;

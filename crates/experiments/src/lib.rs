@@ -36,6 +36,7 @@
 //! # Ok::<(), nanobound_experiments::ExperimentError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 mod error;
 pub mod fig2;
 pub mod fig3;

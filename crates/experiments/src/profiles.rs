@@ -81,7 +81,7 @@ impl CacheCodec for SensitivitySource {
         }
     }
 
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         match dec.take_u64()? {
             0 => Some(SensitivitySource::Hint),
             1 => Some(SensitivitySource::Exact),
@@ -112,7 +112,7 @@ impl CacheCodec for Measurement {
         self.source.encode(enc);
     }
 
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         let m = Measurement {
             activity: dec.take_f64()?,
             sensitivity: dec.take_f64()?,
@@ -438,6 +438,17 @@ pub fn profile_suite_cached_programs(
     try_grid_map(pool, &suite, |b| {
         profile_benchmark_cached_programs(b, config, cache, programs)
     })
+}
+
+/// The Section-6 suite's raw netlists, in suite order — the set
+/// `nanobound lint --suite` analyzes, and exactly the structures the
+/// profiling pipeline above starts from.
+///
+/// # Errors
+///
+/// Propagates suite-generation failures.
+pub fn suite_netlists() -> Result<Vec<Netlist>, ExperimentError> {
+    Ok(standard_suite()?.into_iter().map(|b| b.netlist).collect())
 }
 
 #[cfg(test)]

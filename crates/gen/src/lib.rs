@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 // Generator code walks several parallel NodeId arrays per bit position;
 // explicit index loops keep the hardware structure visible, so the
 // iterator-style rewrite clippy suggests would obscure intent.

@@ -117,6 +117,8 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
     }
 
     let mut netlist = Netlist::new("bench");
+    // Per-node source lines, pushed in lockstep with node creation.
+    let mut lines: Vec<usize> = Vec::new();
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     for (name, line) in &inputs {
         if ids.contains_key(name) {
@@ -132,6 +134,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             ));
         }
         ids.insert(name.clone(), netlist.add_input(name.clone()));
+        lines.push(*line);
     }
     for (latch, line) in &latches {
         if ids.contains_key(&latch.output) || defs.contains_key(&latch.output) {
@@ -144,6 +147,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             latch.output.clone(),
             netlist.add_input(latch.output.clone()),
         );
+        lines.push(*line);
     }
 
     // Topological resolution with an explicit stack (bench files can be huge
@@ -156,6 +160,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             &defs,
             &mut ids,
             &mut netlist,
+            &mut lines,
             &mut resolving,
             &mut in_progress,
         )?;
@@ -166,6 +171,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             &defs,
             &mut ids,
             &mut netlist,
+            &mut lines,
             &mut resolving,
             &mut in_progress,
         )?;
@@ -180,6 +186,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
             &defs,
             &mut ids,
             &mut netlist,
+            &mut lines,
             &mut resolving,
             &mut in_progress,
         )?;
@@ -205,6 +212,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
     Ok(Design {
         netlist,
         latches: latches.into_iter().map(|(l, _)| l).collect(),
+        source_lines: lines,
     })
 }
 
@@ -215,6 +223,7 @@ fn resolve<'a>(
     defs: &'a HashMap<String, GateDef>,
     ids: &mut HashMap<String, NodeId>,
     netlist: &mut Netlist,
+    lines: &mut Vec<usize>,
     stack: &mut Vec<&'a str>,
     in_progress: &mut HashMap<&'a str, bool>,
 ) -> Result<NodeId, ParseError> {
@@ -269,6 +278,7 @@ fn resolve<'a>(
         let id = netlist
             .add_gate(def.kind, &fanins)
             .map_err(|e| ParseError::at(def.line, ParseErrorKind::Logic(e)))?;
+        lines.push(def.line);
         ids.insert(current.to_owned(), id);
         in_progress.insert(current, false);
         stack.pop();
@@ -421,6 +431,32 @@ mod tests {
         // All-zero inputs: every NAND of zeros is 1 -> 22 = NAND(1,1) = 0.
         let v = d.netlist.evaluate(&[false; 5]).unwrap();
         assert_eq!(v, vec![false, false]);
+    }
+
+    #[test]
+    fn source_lines_cover_every_node() {
+        let d = parse(
+            "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+m = NOT(a)
+y = AND(m, b)
+",
+        )
+        .unwrap();
+        assert_eq!(d.source_lines.len(), d.netlist.node_count());
+        let line_of = |name: &str| {
+            let id = d
+                .netlist
+                .node_ids()
+                .find(|&id| d.netlist.signal_name(id) == name)
+                .unwrap();
+            d.source_line(id).unwrap()
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("y"), 5);
     }
 
     #[test]

@@ -192,6 +192,10 @@ fn build_design(
     latches: Vec<Latch>,
 ) -> Result<Design, ParseError> {
     let mut netlist = Netlist::new(model);
+    // Per-node source lines: pseudo/real inputs have no single statement
+    // (`.inputs` lists many names), so they stay unknown; every gate a
+    // cover materializes is attributed to its `.names` line.
+    let mut lines: Vec<usize> = Vec::new();
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     for name in inputs {
         if ids.contains_key(name) {
@@ -201,6 +205,7 @@ fn build_design(
             ));
         }
         ids.insert(name.clone(), netlist.add_input(name.clone()));
+        lines.push(0);
     }
     for latch in &latches {
         if ids.contains_key(&latch.output) {
@@ -213,6 +218,7 @@ fn build_design(
             latch.output.clone(),
             netlist.add_input(latch.output.clone()),
         );
+        lines.push(0);
     }
 
     let mut by_output: HashMap<&str, &Cover> = HashMap::new();
@@ -280,6 +286,7 @@ fn build_design(
             }
             let fanins: Vec<NodeId> = cover.inputs.iter().map(|a| ids[a.as_str()]).collect();
             let id = materialize_cover(&mut netlist, cover, &fanins)?;
+            lines.resize(netlist.node_count(), cover.line);
             ids.insert(current.to_owned(), id);
             in_progress.insert(current, false);
             stack.pop();
@@ -298,7 +305,11 @@ fn build_design(
             .ok_or_else(|| ParseError::at(0, ParseErrorKind::UnknownSignal(latch.input.clone())))?;
         netlist.add_output(format!("{}$next", latch.output), id)?;
     }
-    Ok(Design { netlist, latches })
+    Ok(Design {
+        netlist,
+        latches,
+        source_lines: lines,
+    })
 }
 
 /// Converts a sum-of-products cover to gates and returns the driving node.

@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod blif;
 mod error;
@@ -42,7 +44,7 @@ pub mod unroll;
 
 pub use error::{ParseError, ParseErrorKind, WriteError};
 
-use nanobound_logic::Netlist;
+use nanobound_logic::{Netlist, NodeId};
 
 /// A parsed design: the combinational netlist plus any sequential elements
 /// that were cut open during parsing.
@@ -52,6 +54,12 @@ pub struct Design {
     pub netlist: Netlist,
     /// Latches cut into (pseudo-input, pseudo-output) pairs.
     pub latches: Vec<Latch>,
+    /// 1-based source line of each node, indexed by [`NodeId::index`];
+    /// `0` (or a missing entry) means unknown. Populated best-effort by
+    /// the parsers so diagnostics can point back into the source text —
+    /// `.bench` knows every node's statement, BLIF attributes the gates
+    /// materialized from a cover to the cover's `.names` line.
+    pub source_lines: Vec<usize>,
 }
 
 impl Design {
@@ -61,6 +69,17 @@ impl Design {
         Design {
             netlist,
             latches: Vec::new(),
+            source_lines: Vec::new(),
+        }
+    }
+
+    /// The 1-based source line node `id` came from, if the parser
+    /// recorded one.
+    #[must_use]
+    pub fn source_line(&self, id: NodeId) -> Option<usize> {
+        match self.source_lines.get(id.index()) {
+            Some(0) | None => None,
+            Some(&line) => Some(line),
         }
     }
 

@@ -58,6 +58,27 @@ pub enum LogicError {
     /// The netlist has no primary outputs, so the requested analysis is
     /// meaningless.
     NoOutputs,
+    /// The node graph contains a combinational cycle.
+    ///
+    /// Only reachable through netlists built outside the ordered
+    /// [`add_gate`] path (e.g. [`from_parts`]); carries the witness as
+    /// node indices in cycle order, first node repeated at neither end.
+    ///
+    /// [`add_gate`]: crate::Netlist::add_gate
+    /// [`from_parts`]: crate::Netlist::from_parts
+    CombinationalCycle {
+        /// Node indices forming the cycle in dependency order: each node
+        /// takes the following node as a fanin, and the last takes the
+        /// first.
+        path: Vec<usize>,
+    },
+    /// The primary-input list disagrees with the node table.
+    ///
+    /// Only reachable through [`from_parts`]: the `inputs` list must name
+    /// exactly the `Node::Input` nodes, in id order.
+    ///
+    /// [`from_parts`]: crate::Netlist::from_parts
+    InputListMismatch,
 }
 
 impl fmt::Display for LogicError {
@@ -88,6 +109,19 @@ impl fmt::Display for LogicError {
                 write!(f, "maximum fanin must be at least 2, got {requested}")
             }
             LogicError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            LogicError::CombinationalCycle { path } => {
+                write!(f, "combinational cycle: ")?;
+                for id in path {
+                    write!(f, "n{id} -> ")?;
+                }
+                match path.first() {
+                    Some(first) => write!(f, "n{first}"),
+                    None => write!(f, "<empty witness>"),
+                }
+            }
+            LogicError::InputListMismatch => {
+                write!(f, "input list does not match the input nodes in id order")
+            }
         }
     }
 }
@@ -115,12 +149,22 @@ mod tests {
             LogicError::FaninOrder { gate: 4, fanin: 9 },
             LogicError::FaninBudgetTooSmall { requested: 1 },
             LogicError::NoOutputs,
+            LogicError::CombinationalCycle { path: vec![3, 5] },
+            LogicError::InputListMismatch,
         ];
         for e in errors {
             let msg = e.to_string();
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
         }
+    }
+
+    #[test]
+    fn cycle_witness_names_the_path_and_closes_it() {
+        let e = LogicError::CombinationalCycle { path: vec![3, 5] };
+        assert_eq!(e.to_string(), "combinational cycle: n3 -> n5 -> n3");
+        let e = LogicError::CombinationalCycle { path: vec![2] };
+        assert_eq!(e.to_string(), "combinational cycle: n2 -> n2");
     }
 
     #[test]

@@ -143,6 +143,74 @@ impl Netlist {
         }
     }
 
+    /// Assembles a netlist from raw parts **without** the topological
+    /// ordering guarantee.
+    ///
+    /// Deserializers and test fixtures sometimes hold node tables whose
+    /// fanins reference *later* ids — including genuine combinational
+    /// cycles that [`Netlist::add_gate`] makes unrepresentable. This
+    /// constructor admits them so analyses like
+    /// [`topo::try_topo_order`](crate::topo::try_topo_order) can report a
+    /// cycle witness instead of the producer failing opaquely. Arity, id
+    /// bounds, output drivers and the input list are still checked; only
+    /// the fanin-order invariant is waived, so most other APIs (which
+    /// assume id order) must not be used until [`Netlist::validate`]
+    /// passes.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::ArityMismatch`] for a gate with an illegal fanin
+    /// count, [`LogicError::UnknownNode`] for out-of-bounds fanins or
+    /// output drivers, [`LogicError::DuplicateOutput`] for repeated
+    /// output names, and [`LogicError::InputListMismatch`] when `inputs`
+    /// is not exactly the `Node::Input` ids in id order.
+    pub fn from_parts(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<Output>,
+    ) -> Result<Self, LogicError> {
+        let len = nodes.len();
+        for node in &nodes {
+            if let Node::Gate { kind, fanins } = node {
+                kind.check_arity(fanins.len())?;
+                for &f in fanins {
+                    if f.index() >= len {
+                        return Err(LogicError::UnknownNode { id: f.index(), len });
+                    }
+                }
+            }
+        }
+        let declared: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_input())
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect();
+        if inputs != declared {
+            return Err(LogicError::InputListMismatch);
+        }
+        for (i, out) in outputs.iter().enumerate() {
+            if out.driver.index() >= len {
+                return Err(LogicError::UnknownNode {
+                    id: out.driver.index(),
+                    len,
+                });
+            }
+            if outputs[..i].iter().any(|o| o.name == out.name) {
+                return Err(LogicError::DuplicateOutput {
+                    name: out.name.clone(),
+                });
+            }
+        }
+        Ok(Netlist {
+            name: name.into(),
+            nodes,
+            inputs,
+            outputs,
+        })
+    }
+
     /// The design name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -663,6 +731,90 @@ mod tests {
         let mut top = Netlist::new("top");
         let err = top.import(&inv, &[NodeId::from_index(5)]).unwrap_err();
         assert!(matches!(err, LogicError::UnknownNode { id: 5, .. }));
+    }
+
+    #[test]
+    fn from_parts_admits_forward_references() {
+        // n0 = Not(n1), n1 = input: representable only through from_parts.
+        let nodes = vec![
+            Node::Gate {
+                kind: GateKind::Not,
+                fanins: vec![NodeId::from_index(1)],
+            },
+            Node::Input { name: "a".into() },
+        ];
+        let nl = Netlist::from_parts(
+            "fwd",
+            nodes,
+            vec![NodeId::from_index(1)],
+            vec![Output {
+                name: "y".into(),
+                driver: NodeId::from_index(0),
+            }],
+        )
+        .unwrap();
+        assert_eq!(nl.node_count(), 2);
+        // The order invariant is (deliberately) violated.
+        assert!(matches!(
+            nl.validate().unwrap_err(),
+            LogicError::FaninOrder { gate: 0, fanin: 1 }
+        ));
+    }
+
+    #[test]
+    fn from_parts_still_checks_everything_but_order() {
+        let input = || Node::Input { name: "a".into() };
+        let err = Netlist::from_parts(
+            "bad",
+            vec![Node::Gate {
+                kind: GateKind::Maj,
+                fanins: vec![NodeId::from_index(0)],
+            }],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogicError::ArityMismatch { .. }));
+
+        let err = Netlist::from_parts(
+            "bad",
+            vec![Node::Gate {
+                kind: GateKind::Not,
+                fanins: vec![NodeId::from_index(9)],
+            }],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogicError::UnknownNode { id: 9, .. }));
+
+        let err = Netlist::from_parts("bad", vec![input()], vec![], vec![]).unwrap_err();
+        assert_eq!(err, LogicError::InputListMismatch);
+
+        let err = Netlist::from_parts(
+            "bad",
+            vec![input()],
+            vec![NodeId::from_index(0)],
+            vec![Output {
+                name: "y".into(),
+                driver: NodeId::from_index(4),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogicError::UnknownNode { id: 4, .. }));
+
+        let out = |name: &str| Output {
+            name: name.into(),
+            driver: NodeId::from_index(0),
+        };
+        let err = Netlist::from_parts(
+            "bad",
+            vec![input()],
+            vec![NodeId::from_index(0)],
+            vec![out("y"), out("y")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogicError::DuplicateOutput { .. }));
     }
 
     #[test]

@@ -1,7 +1,71 @@
 //! Topological analyses: logic levels, depth, fanout, reachability.
 
+use crate::error::LogicError;
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, Node, NodeId};
+
+/// Computes a topological order of the nodes, or the witness of a
+/// combinational cycle.
+///
+/// Unlike every other function in this module, this one does **not**
+/// assume the id-order invariant: it works on netlists assembled through
+/// [`Netlist::from_parts`], where fanins may reference later ids or even
+/// form cycles. On success the returned order places every fanin before
+/// its gate (for an ordinary netlist this is just `0..n`); on failure the
+/// error carries the offending cycle as a node path, e.g.
+/// `combinational cycle: n3 -> n5 -> n3`.
+///
+/// # Errors
+///
+/// [`LogicError::CombinationalCycle`] with the cycle path in dependency
+/// order: each node takes the next as a fanin, and the last takes the
+/// first.
+pub fn try_topo_order(netlist: &Netlist) -> Result<Vec<NodeId>, LogicError> {
+    const WHITE: u8 = 0; // unvisited
+    const GRAY: u8 = 1; // on the current DFS path
+    const BLACK: u8 = 2; // finished
+    let n = netlist.node_count();
+    let mut color = vec![WHITE; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS: (node, next fanin to expand).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        stack.push((root, 0));
+        color[root] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let fanins = netlist.node(NodeId::from_index(node)).fanins();
+            if *next < fanins.len() {
+                let fanin = fanins[*next].index();
+                *next += 1;
+                match color[fanin] {
+                    WHITE => {
+                        color[fanin] = GRAY;
+                        stack.push((fanin, 0));
+                    }
+                    GRAY => {
+                        // Back edge: the cycle is the DFS path from the
+                        // gray fanin down to the current node.
+                        let start = stack
+                            .iter()
+                            .position(|&(id, _)| id == fanin)
+                            .expect("gray nodes are on the stack");
+                        let path = stack[start..].iter().map(|&(id, _)| id).collect();
+                        return Err(LogicError::CombinationalCycle { path });
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                order.push(NodeId::from_index(node));
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
 
 /// Computes the logic level of every node.
 ///
@@ -198,5 +262,90 @@ mod tests {
         let nl = Netlist::new("empty");
         assert_eq!(depth(&nl), 0);
         assert!(levels(&nl).is_empty());
+    }
+
+    use crate::netlist::{Node, Output};
+
+    /// Builds a (possibly cyclic) netlist from `(kind, fanins)` gate
+    /// specs appended after one primary input.
+    fn raw(gates: &[(GateKind, &[usize])]) -> Netlist {
+        let mut nodes = vec![Node::Input { name: "a".into() }];
+        for (kind, fanins) in gates {
+            nodes.push(Node::Gate {
+                kind: *kind,
+                fanins: fanins.iter().map(|&i| NodeId::from_index(i)).collect(),
+            });
+        }
+        let last = NodeId::from_index(nodes.len() - 1);
+        Netlist::from_parts(
+            "raw",
+            nodes,
+            vec![NodeId::from_index(0)],
+            vec![Output {
+                name: "y".into(),
+                driver: last,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn try_topo_order_matches_ids_on_ordered_netlists() {
+        let (nl, _) = diamond();
+        let order = try_topo_order(&nl).unwrap();
+        assert_eq!(order, nl.node_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_topo_order_handles_forward_references() {
+        // n1 = Not(n2), n2 = Not(n0): out of id order but acyclic.
+        let nl = raw(&[(GateKind::Not, &[2]), (GateKind::Not, &[0])]);
+        let order = try_topo_order(&nl).unwrap();
+        let pos = |i: usize| {
+            order
+                .iter()
+                .position(|&id| id.index() == i)
+                .expect("all nodes ordered")
+        };
+        assert_eq!(order.len(), 3);
+        assert!(pos(0) < pos(2));
+        assert!(pos(2) < pos(1));
+    }
+
+    #[test]
+    fn self_loop_witness() {
+        // n1 = And(n0, n1): the tightest possible cycle.
+        let nl = raw(&[(GateKind::And, &[0, 1])]);
+        let err = try_topo_order(&nl).unwrap_err();
+        assert_eq!(err, LogicError::CombinationalCycle { path: vec![1] });
+        assert_eq!(err.to_string(), "combinational cycle: n1 -> n1");
+    }
+
+    #[test]
+    fn two_cycle_witness() {
+        // n1 = Nand(n0, n2), n2 = Nand(n0, n1).
+        let nl = raw(&[(GateKind::Nand, &[0, 2]), (GateKind::Nand, &[0, 1])]);
+        let err = try_topo_order(&nl).unwrap_err();
+        assert_eq!(err, LogicError::CombinationalCycle { path: vec![1, 2] });
+        assert_eq!(err.to_string(), "combinational cycle: n1 -> n2 -> n1");
+    }
+
+    #[test]
+    fn cycle_through_buf_chain_witness() {
+        // n1 = Or(n0, n3); n2 = Buf(n1); n3 = Buf(n2). The cycle is only
+        // reachable through wiring nodes — the witness must include them.
+        let nl = raw(&[
+            (GateKind::Or, &[0, 3]),
+            (GateKind::Buf, &[1]),
+            (GateKind::Buf, &[2]),
+        ]);
+        let err = try_topo_order(&nl).unwrap_err();
+        assert_eq!(
+            err,
+            LogicError::CombinationalCycle {
+                path: vec![1, 3, 2]
+            }
+        );
+        assert_eq!(err.to_string(), "combinational cycle: n1 -> n3 -> n2 -> n1");
     }
 }

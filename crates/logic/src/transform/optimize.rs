@@ -429,7 +429,11 @@ mod tests {
         let opt = optimize(&nl);
         assert_equivalent(&nl, &opt);
         assert_eq!(opt.gate_count(), 1);
-        let kinds: Vec<_> = opt.nodes().iter().filter_map(|n| n.kind()).collect();
+        let kinds: Vec<_> = opt
+            .nodes()
+            .iter()
+            .filter_map(crate::netlist::Node::kind)
+            .collect();
         assert!(kinds.contains(&GateKind::Xor));
     }
 
@@ -497,7 +501,11 @@ mod tests {
         nl.add_output("y", g).unwrap();
         let opt = optimize(&nl);
         assert_equivalent(&nl, &opt);
-        let kinds: Vec<_> = opt.nodes().iter().filter_map(|n| n.kind()).collect();
+        let kinds: Vec<_> = opt
+            .nodes()
+            .iter()
+            .filter_map(crate::netlist::Node::kind)
+            .collect();
         assert_eq!(kinds, vec![GateKind::Or]);
 
         // MAJ(a, a, b) == a

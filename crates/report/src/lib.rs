@@ -22,6 +22,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chart;
 pub mod table;
 

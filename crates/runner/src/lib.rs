@@ -41,6 +41,7 @@
 //! assert_eq!(ys, nanobound_core::sweep::grid_map(&xs, |&eps| 2.0 * eps * (1.0 - eps)));
 //! ```
 
+#![forbid(unsafe_code)]
 mod cached;
 mod error;
 mod grid;

@@ -11,21 +11,44 @@
 use nanobound_cache::ShardCache;
 use nanobound_runner::{ThreadPool, MAX_JOBS};
 
-/// One accepted flag: its `--name` and whether a value must follow.
+/// One accepted flag: its `--name`, whether a value must follow, and
+/// whether it may be given more than once.
+///
+/// A non-repeatable flag appearing twice is a **hard error naming the
+/// token**, never a silent last-one-wins — a wrapper script that
+/// appends `--delta 0.1` after a user's `--delta 0.01` must fail
+/// loudly, not quietly change which experiment ran. Flags whose values
+/// genuinely accumulate (`--eps`, `--only`) are declared with
+/// [`list`].
 #[derive(Clone, Copy, Debug)]
 pub struct FlagSpec {
     /// The flag name, without the leading `--`.
     pub name: &'static str,
     /// `true` when the next token is consumed as the flag's value.
     pub takes_value: bool,
+    /// `true` when each occurrence accumulates; otherwise a repeat is
+    /// rejected.
+    pub repeatable: bool,
 }
 
-/// A flag that takes a value (`--eps 0.01`).
+/// A single-occurrence flag that takes a value (`--delta 0.01`).
 #[must_use]
 pub const fn flag(name: &'static str) -> FlagSpec {
     FlagSpec {
         name,
         takes_value: true,
+        repeatable: false,
+    }
+}
+
+/// A repeatable value flag whose occurrences accumulate in order
+/// (`--eps 0.001 --eps 0.01`).
+#[must_use]
+pub const fn list(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+        repeatable: true,
     }
 }
 
@@ -36,6 +59,7 @@ pub const fn switch(name: &'static str) -> FlagSpec {
     FlagSpec {
         name,
         takes_value: false,
+        repeatable: false,
     }
 }
 
@@ -51,16 +75,22 @@ pub type Flags = Vec<(String, String)>;
 /// # Errors
 ///
 /// - an unknown flag: `` unknown flag `--frob` ``;
-/// - a value flag at the end of the list: `flag --eps expects a value`.
+/// - a value flag at the end of the list: `flag --eps expects a value`;
+/// - a repeated non-repeatable flag: `` duplicate flag `--delta` ``.
 pub fn parse_flags(args: &[String], spec: &[FlagSpec]) -> Result<(Vec<String>, Flags), String> {
     let mut positional = Vec::new();
-    let mut flags = Vec::new();
+    let mut flags: Flags = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
             let Some(known) = spec.iter().find(|f| f.name == name) else {
                 return Err(format!("unknown flag `--{name}`"));
             };
+            if !known.repeatable && flags.iter().any(|(n, _)| n == name) {
+                return Err(format!(
+                    "duplicate flag `--{name}` (it may be given only once)"
+                ));
+            }
             if !known.takes_value {
                 flags.push((name.to_owned(), "true".to_owned()));
                 continue;
@@ -230,10 +260,21 @@ mod tests {
     }
 
     #[test]
-    fn repeated_flags_accumulate_in_order() {
-        let spec = [flag("eps")];
+    fn repeatable_flags_accumulate_in_order() {
+        let spec = [list("eps")];
         let (_, flags) = parse_flags(&strings(&["--eps", "0.1", "--eps", "0.2"]), &spec).unwrap();
         assert_eq!(flag_values(&flags, "eps"), vec!["0.1", "0.2"]);
         assert_eq!(epsilons(&flags).unwrap(), vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn duplicate_non_repeatable_flags_name_the_token() {
+        let spec = [flag("delta")];
+        let err = parse_flags(&strings(&["--delta", "0.1", "--delta", "0.2"]), &spec).unwrap_err();
+        assert!(err.contains("duplicate flag `--delta`"), "{err}");
+        // Switches are non-repeatable too.
+        let spec = [switch("stdout")];
+        let err = parse_flags(&strings(&["--stdout", "--stdout"]), &spec).unwrap_err();
+        assert!(err.contains("duplicate flag `--stdout`"), "{err}");
     }
 }

@@ -14,11 +14,11 @@ use nanobound_cache::GcPolicy;
 use nanobound_experiments::{FigureId, FigureOutput};
 
 use crate::args::{
-    cache_from_flags, flag, flag_values, parse_flags, pool_from_flags, switch, FlagSpec, Flags,
-    COMMON_FLAGS,
+    cache_from_flags, flag, flag_values, list, parse_flags, pool_from_flags, switch, FlagSpec,
+    Flags, COMMON_FLAGS,
 };
 use crate::engine::{cache_summary, csv_of, Engine};
-use crate::requests::{BoundRequest, ProfileRequest};
+use crate::requests::{BoundRequest, LintRequest, ProfileRequest};
 use crate::serve::{self, ServeOptions};
 
 /// The binary's usage text (printed to stderr on `--help`).
@@ -34,6 +34,9 @@ USAGE:
     nanobound figures [OPTIONS]          regenerate paper figures as CSV
     nanobound validate [OPTIONS]         run the Monte-Carlo validation
                                          experiments (V1, V2) as CSV
+    nanobound lint [FILES] [OPTIONS]     static analysis: netlist lints
+                                         (NB001..NB010) and the compiled-tape
+                                         soundness check (NB020/NB021)
     nanobound serve [OPTIONS]            long-running batch service: one
                                          request per stdin line, framed
                                          responses on stdout
@@ -67,6 +70,11 @@ FIGURES / VALIDATE OPTIONS:
     --stdout         print CSV to stdout instead of writing files
                      (conflicts with --out)
 
+LINT OPTIONS:
+    --suite          also lint every generated Section-6 suite netlist
+    --format <F>     report rendering: text | json    [default: text]
+    --deny warnings  exit nonzero on warnings, not only on errors
+
 SERVE OPTIONS:
     --listen <ADDR>  accept TCP connections on ADDR instead of stdio
     --gc-bytes <N>   at startup, sweep the cache down toward N bytes
@@ -76,7 +84,7 @@ SERVE PROTOCOL (one request per line; full grammar in the README):
     {\"id\":\"1\",\"workload\":\"figure\",\"args\":[\"fig3\"]}
     -> {\"id\":\"1\",\"status\":\"ok\",\"bytes\":N} then exactly N payload
        bytes — byte-identical to the equivalent one-shot CLI stdout
-       (workloads: profile, bound, figure, validate, stats, ping,
+       (workloads: profile, bound, figure, validate, lint, stats, ping,
        shutdown)
 ";
 
@@ -92,6 +100,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
@@ -119,6 +128,27 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
     let request = BoundRequest::from_parts(&positional, &flags)?;
     let engine = Engine::new(pool_from_flags(&flags)?, None);
     print!("{}", engine.bound(&request)?);
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    // Analysis is cheap and deterministic: no pool, no cache flags.
+    let (positional, flags) = parse_flags(args, &LintRequest::FLAGS)?;
+    let request = LintRequest::from_parts(&positional, &flags)?;
+    let mut engine = Engine::new(nanobound_runner::ThreadPool::serial(), None);
+    let outcome = engine.lint(&request)?;
+    print!("{}", outcome.text);
+    if outcome.failed() {
+        let denied = if outcome.errors == 0 {
+            " (--deny warnings)"
+        } else {
+            ""
+        };
+        return Err(format!(
+            "lint found {} error(s) and {} warning(s){denied}",
+            outcome.errors, outcome.warnings
+        ));
+    }
     Ok(())
 }
 
@@ -154,7 +184,7 @@ fn write_figure(dir: &str, figure: &FigureOutput) -> Result<Vec<String>, String>
 }
 
 fn cmd_figures(args: &[String]) -> Result<(), String> {
-    let spec = [&ARTIFACT_FLAGS[..], &[flag("only")][..], &COMMON_FLAGS[..]].concat();
+    let spec = [&ARTIFACT_FLAGS[..], &[list("only")][..], &COMMON_FLAGS[..]].concat();
     let (positional, flags) = parse_flags(args, &spec)?;
     if !positional.is_empty() {
         return Err("`figures` takes only flags".to_owned());
@@ -281,7 +311,12 @@ mod tests {
             "bounds",
             "figures",
             "validate",
+            "lint",
             "serve",
+            "--deny warnings",
+            "--format",
+            "--suite",
+            "NB001",
             "--jobs",
             "--cache-dir",
             "--no-cache",

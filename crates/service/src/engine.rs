@@ -33,18 +33,20 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
+use nanobound_analyze::{lint_design, lint_netlist, LintOptions, Severity};
 use nanobound_cache::{Fingerprint, FingerprintBuilder, GcPolicy, GcReport, ShardCache};
 use nanobound_core::{BoundReport, CircuitProfile, DepthBound};
 use nanobound_experiments::profiles::{
-    profile_netlist_cached_programs, profile_suite_cached_programs, ProfileConfig,
+    profile_netlist_cached_programs, profile_suite_cached_programs, suite_netlists, ProfileConfig,
     ProfiledBenchmark,
 };
 use nanobound_experiments::{generate_figure_cached, validation, FigureId, FigureOutput};
 use nanobound_io::{bench, blif, unroll, Design};
+use nanobound_report::Table;
 use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
 use nanobound_sim::ProgramCache;
 
-use crate::requests::{BoundRequest, ProfileRequest};
+use crate::requests::{BoundRequest, LintFormat, LintRequest, ProfileRequest};
 
 /// The cache traffic summary line the CLI prints after a cached run
 /// (and the `stats` workload returns).
@@ -66,6 +68,30 @@ pub fn cache_summary(cache: &ShardCache) -> String {
             String::new()
         },
     )
+}
+
+/// What one `lint` workload produced: the rendered report (the exact
+/// one-shot stdout text) plus the tallies the front ends gate on — the
+/// CLI turns [`LintOutcome::failed`] into a nonzero exit, `serve` into
+/// a `status: error` response carrying the very same payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintOutcome {
+    /// The rendered report, byte-identical between front ends.
+    pub text: String,
+    /// Total error-severity findings across all designs.
+    pub errors: usize,
+    /// Total warning-severity findings across all designs.
+    pub warnings: usize,
+    /// Whether the request asked for `--deny warnings`.
+    pub deny_warnings: bool,
+}
+
+impl LintOutcome {
+    /// Whether this run should fail its front end.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.errors > 0 || (self.deny_warnings && self.warnings > 0)
+    }
 }
 
 /// Cap on each keyed in-memory registry. Reaching it flushes the whole
@@ -149,25 +175,7 @@ impl Engine {
     /// Unreadable/unparseable netlist files, unroll failures and
     /// simulation errors, with the CLI's exact messages.
     pub fn profile(&mut self, request: &ProfileRequest) -> Result<String, String> {
-        let path = &request.path;
-        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let as_blif = Path::new(path)
-            .extension()
-            .is_some_and(|e| e.eq_ignore_ascii_case("blif"));
-
-        let mut design_key = FingerprintBuilder::new("service-design");
-        design_key.push_str(&text);
-        design_key.push_u64(u64::from(as_blif));
-        let design_key = design_key.finish();
-        if !self.designs.contains_key(&design_key) {
-            let design = if as_blif {
-                blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
-            } else {
-                bench::parse(&text).map_err(|e| format!("{path}: {e}"))?
-            };
-            bounded_insert(&mut self.designs, design_key, design);
-        }
-        let design = &self.designs[&design_key];
+        let design = self.load_design(&request.path)?;
 
         let mut out = String::new();
         let netlist = if design.is_sequential() {
@@ -294,6 +302,91 @@ impl Engine {
         Ok(self.validation()?.iter().map(csv_of).collect())
     }
 
+    /// Executes a `lint` workload; returns the report text and the
+    /// severity tallies the front ends gate on.
+    ///
+    /// The text is exactly the one-shot CLI's stdout — findings are
+    /// *payload*, not errors; `Err` here means the request itself could
+    /// not run (unreadable file, unparseable netlist, suite-generation
+    /// failure).
+    ///
+    /// # Errors
+    ///
+    /// Unreadable/unparseable netlist files, with the CLI's exact
+    /// messages.
+    pub fn lint(&mut self, request: &LintRequest) -> Result<LintOutcome, String> {
+        let options = LintOptions {
+            check_tape: true,
+            corrupt_tape: request.corrupt_tape,
+        };
+        let mut reports = Vec::new();
+        for path in &request.paths {
+            let design = self.load_design(path)?;
+            let mut report = lint_design(design, &options);
+            // The parsers name every netlist after the format; the file
+            // stem is what a user can act on.
+            if let Some(stem) = Path::new(path).file_stem() {
+                report.design = stem.to_string_lossy().into_owned();
+            }
+            reports.push(report);
+        }
+        if request.suite {
+            for netlist in suite_netlists().map_err(|e| e.to_string())? {
+                reports.push(lint_netlist(&netlist, &options));
+            }
+        }
+        let mut text = String::new();
+        let (mut errors, mut warnings) = (0usize, 0usize);
+        for report in &reports {
+            errors += report.count(Severity::Error);
+            warnings += report.count(Severity::Warning);
+            match request.format {
+                LintFormat::Text => report.write_text(&mut text),
+                LintFormat::Json => {
+                    report.write_json(&mut text);
+                    text.push('\n');
+                }
+            }
+        }
+        if request.format == LintFormat::Text {
+            let _ = writeln!(
+                text,
+                "lint: {} design(s), {errors} error(s), {warnings} warning(s)",
+                reports.len()
+            );
+        }
+        Ok(LintOutcome {
+            text,
+            errors,
+            warnings,
+            deny_warnings: request.deny_warnings,
+        })
+    }
+
+    /// Parses (or replays) the design at `path`, keyed by file content
+    /// so a changed file is a different design and a re-request of the
+    /// same bytes parses zero times.
+    fn load_design(&mut self, path: &str) -> Result<&Design, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let as_blif = Path::new(path)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("blif"));
+
+        let mut design_key = FingerprintBuilder::new("service-design");
+        design_key.push_str(&text);
+        design_key.push_u64(u64::from(as_blif));
+        let design_key = design_key.finish();
+        if !self.designs.contains_key(&design_key) {
+            let design = if as_blif {
+                blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
+            } else {
+                bench::parse(&text).map_err(|e| format!("{path}: {e}"))?
+            };
+            bounded_insert(&mut self.designs, design_key, design);
+        }
+        Ok(&self.designs[&design_key])
+    }
+
     /// Profiles the benchmark suite once and keeps it for every figure
     /// that consumes measured profiles.
     fn ensure_suite(&mut self) -> Result<(), String> {
@@ -314,7 +407,7 @@ impl Engine {
 /// All of a figure's tables rendered as concatenated CSV.
 #[must_use]
 pub fn csv_of(figure: &FigureOutput) -> String {
-    figure.tables.iter().map(|t| t.to_csv()).collect()
+    figure.tables.iter().map(Table::to_csv).collect()
 }
 
 /// Renders one bound report per ε across the pool — the exact text the

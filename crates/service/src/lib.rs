@@ -15,8 +15,8 @@
 //! The crate has two faces:
 //!
 //! - [`cli`] — the subcommand layer of the `nanobound` binary
-//!   (`profile`, `bounds`, `figures`, `validate`, `serve`). The
-//!   one-shot commands are thin wrappers over [`Engine`] methods.
+//!   (`profile`, `bounds`, `figures`, `validate`, `lint`, `serve`).
+//!   The one-shot commands are thin wrappers over [`Engine`] methods.
 //! - [`serve`] + [`proto`] — the long-running mode: a line-delimited
 //!   JSON-ish request protocol on stdin/stdout (or a `--listen` TCP
 //!   socket), answering each request with a framed payload.
@@ -49,6 +49,8 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod cli;
 pub mod engine;
@@ -56,6 +58,6 @@ pub mod proto;
 pub mod requests;
 pub mod serve;
 
-pub use engine::Engine;
+pub use engine::{Engine, LintOutcome};
 pub use proto::Request;
 pub use serve::ServeOptions;

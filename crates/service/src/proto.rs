@@ -76,7 +76,7 @@ impl<'a> Parser<'a> {
         while self
             .bytes
             .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
+            .is_some_and(u8::is_ascii_whitespace)
         {
             self.pos += 1;
         }

@@ -10,7 +10,9 @@
 
 use nanobound_core::CircuitProfile;
 
-use crate::args::{epsilons, flag, flag_f64, flag_usize, FlagSpec, Flags};
+use crate::args::{
+    epsilons, flag, flag_f64, flag_usize, flag_values, list, switch, FlagSpec, Flags,
+};
 
 /// A `profile` workload: measure one netlist file and report its
 /// bounds.
@@ -33,7 +35,7 @@ pub struct ProfileRequest {
 impl ProfileRequest {
     /// The flags a `profile` request understands.
     pub const FLAGS: [FlagSpec; 5] = [
-        flag("eps"),
+        list("eps"),
         flag("delta"),
         flag("frames"),
         flag("patterns"),
@@ -82,7 +84,7 @@ impl BoundRequest {
         flag("fanin"),
         flag("inputs"),
         flag("depth"),
-        flag("eps"),
+        list("eps"),
         flag("delta"),
         flag("leak"),
     ];
@@ -123,6 +125,87 @@ impl BoundRequest {
     }
 }
 
+/// How a `lint` report is rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintFormat {
+    /// Human-readable diagnostic lines plus a summary line.
+    Text,
+    /// One JSON object per design, newline-delimited.
+    Json,
+}
+
+/// A `lint` workload: run the static analyzer over netlist files
+/// and/or the generated benchmark suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintRequest {
+    /// `.bench`/`.blif` files to lint, in argument order.
+    pub paths: Vec<String>,
+    /// Also lint every netlist of the paper's Section-6 suite.
+    pub suite: bool,
+    /// Output rendering.
+    pub format: LintFormat,
+    /// Treat warnings as failures (`--deny warnings`).
+    pub deny_warnings: bool,
+    /// Corrupt each compiled tape with this selector before verifying —
+    /// the CI fixture proving `NB020` actually fires end to end.
+    #[doc(hidden)]
+    pub corrupt_tape: Option<u64>,
+}
+
+impl LintRequest {
+    /// The flags a `lint` request understands.
+    pub const FLAGS: [FlagSpec; 4] = [
+        flag("format"),
+        flag("deny"),
+        switch("suite"),
+        flag("corrupt-tape"),
+    ];
+
+    /// Builds the request from parsed positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// At least one file or `--suite` is required; `--format` accepts
+    /// `text`/`json`; `--deny` accepts only `warnings`; `--corrupt-tape`
+    /// must be an integer selector.
+    pub fn from_parts(positional: &[String], flags: &Flags) -> Result<Self, String> {
+        let suite = !flag_values(flags, "suite").is_empty();
+        if positional.is_empty() && !suite {
+            return Err("`lint` expects netlist files and/or --suite".to_owned());
+        }
+        let format = match flag_values(flags, "format").last().copied() {
+            None | Some("text") => LintFormat::Text,
+            Some("json") => LintFormat::Json,
+            Some(other) => {
+                return Err(format!("--format: `{other}` is not `text` or `json`"));
+            }
+        };
+        let deny_warnings = match flag_values(flags, "deny").last().copied() {
+            None => false,
+            Some("warnings") => true,
+            Some(other) => {
+                return Err(format!(
+                    "--deny: `{other}` is not supported (only `warnings`)"
+                ));
+            }
+        };
+        let corrupt_tape = match flag_values(flags, "corrupt-tape").last() {
+            None => None,
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("--corrupt-tape: `{v}` is not an integer selector"))?,
+            ),
+        };
+        Ok(LintRequest {
+            paths: positional.to_vec(),
+            suite,
+            format,
+            deny_warnings,
+            corrupt_tape,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +241,55 @@ mod tests {
         let (pos, flags) = parse_flags(&strings(&["--size", "10"]), &BoundRequest::FLAGS).unwrap();
         let err = BoundRequest::from_parts(&pos, &flags).unwrap_err();
         assert!(err.contains("needs --size, --sensitivity"));
+    }
+
+    #[test]
+    fn lint_request_needs_files_or_suite() {
+        let err = LintRequest::from_parts(&[], &Vec::new()).unwrap_err();
+        assert!(err.contains("netlist files and/or --suite"), "{err}");
+        let (pos, flags) = parse_flags(&strings(&["--suite"]), &LintRequest::FLAGS).unwrap();
+        let req = LintRequest::from_parts(&pos, &flags).unwrap();
+        assert!(req.suite && req.paths.is_empty());
+        assert_eq!(req.format, LintFormat::Text);
+        assert!(!req.deny_warnings);
+        assert_eq!(req.corrupt_tape, None);
+    }
+
+    #[test]
+    fn lint_request_parses_every_flag() {
+        let (pos, flags) = parse_flags(
+            &strings(&[
+                "a.bench",
+                "--format",
+                "json",
+                "--deny",
+                "warnings",
+                "--corrupt-tape",
+                "5",
+            ]),
+            &LintRequest::FLAGS,
+        )
+        .unwrap();
+        let req = LintRequest::from_parts(&pos, &flags).unwrap();
+        assert_eq!(req.paths, vec!["a.bench"]);
+        assert_eq!(req.format, LintFormat::Json);
+        assert!(req.deny_warnings);
+        assert_eq!(req.corrupt_tape, Some(5));
+    }
+
+    #[test]
+    fn lint_request_rejects_bad_values() {
+        let (pos, flags) = parse_flags(
+            &strings(&["x.bench", "--format", "xml"]),
+            &LintRequest::FLAGS,
+        )
+        .unwrap();
+        let err = LintRequest::from_parts(&pos, &flags).unwrap_err();
+        assert!(err.contains("--format"), "{err}");
+        let (pos, flags) =
+            parse_flags(&strings(&["x.bench", "--deny", "all"]), &LintRequest::FLAGS).unwrap();
+        let err = LintRequest::from_parts(&pos, &flags).unwrap_err();
+        assert!(err.contains("--deny"), "{err}");
     }
 
     #[test]

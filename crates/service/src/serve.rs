@@ -21,7 +21,7 @@ use nanobound_experiments::FigureId;
 use crate::args::parse_flags;
 use crate::engine::{cache_summary, Engine};
 use crate::proto::{parse_request, write_response, Request};
-use crate::requests::{BoundRequest, ProfileRequest};
+use crate::requests::{BoundRequest, LintRequest, ProfileRequest};
 
 /// Transport configuration for one `serve` run.
 #[derive(Clone, Debug, Default)]
@@ -131,6 +131,19 @@ pub fn serve_session<R: BufRead, W: Write>(
 /// Executes one request; `(true, stdout-equivalent)` or
 /// `(false, "error: ...\n")` — the exact texts the one-shot CLI prints.
 fn dispatch(engine: &mut Engine, request: &Request) -> (bool, String) {
+    // `lint` is special-cased: findings are payload, not protocol
+    // errors. A failing report answers `status: error` but still
+    // carries the report text — byte-identical to the one-shot CLI's
+    // stdout — instead of an `error: ` message.
+    if request.workload == "lint" {
+        return match parse_flags(&request.args, &LintRequest::FLAGS)
+            .and_then(|(positional, flags)| LintRequest::from_parts(&positional, &flags))
+            .and_then(|req| engine.lint(&req))
+        {
+            Ok(outcome) => (!outcome.failed(), outcome.text),
+            Err(message) => (false, format!("error: {message}\n")),
+        };
+    }
     let result = match request.workload.as_str() {
         "profile" => parse_flags(&request.args, &ProfileRequest::FLAGS)
             .and_then(|(positional, flags)| ProfileRequest::from_parts(&positional, &flags))

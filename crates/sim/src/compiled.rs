@@ -114,12 +114,12 @@ impl EngineKind {
 /// alias slots and constants are materialized once per run — so every
 /// op draws fault masks and contributes to the gate tallies.
 #[derive(Clone, Debug)]
-struct Op {
-    kind: GateKind,
+pub(crate) struct Op {
+    pub(crate) kind: GateKind,
     /// Clean destination slot; the noisy destination is `dst + 1`.
-    dst: u32,
+    pub(crate) dst: u32,
     /// Range of this op's operands in [`SimProgram::operands`].
-    operands: (u32, u32),
+    pub(crate) operands: (u32, u32),
 }
 
 /// A netlist lowered to a flat, allocation-free instruction tape.
@@ -129,20 +129,20 @@ struct Op {
 /// [module docs](self) for the layout and the bit-identity contract.
 #[derive(Clone, Debug)]
 pub struct SimProgram {
-    ops: Vec<Op>,
+    pub(crate) ops: Vec<Op>,
     /// Flattened operand slots: `(clean, noisy)` per fanin.
-    operands: Vec<(u32, u32)>,
+    pub(crate) operands: Vec<(u32, u32)>,
     /// `(clean, noisy)` slot of every node, in node-id order.
-    node_slots: Vec<(u32, u32)>,
+    pub(crate) node_slots: Vec<(u32, u32)>,
     /// Whether each node counts as a logic gate, in node-id order.
-    is_gate: Vec<bool>,
+    pub(crate) is_gate: Vec<bool>,
     /// Input slots in primary-input order.
-    input_slots: Vec<u32>,
+    pub(crate) input_slots: Vec<u32>,
     /// `(clean, noisy)` slot of every output driver, declaration order.
-    output_slots: Vec<(u32, u32)>,
-    zero_slot: Option<u32>,
-    ones_slot: Option<u32>,
-    num_slots: usize,
+    pub(crate) output_slots: Vec<(u32, u32)>,
+    pub(crate) zero_slot: Option<u32>,
+    pub(crate) ones_slot: Option<u32>,
+    pub(crate) num_slots: usize,
 }
 
 impl SimProgram {
@@ -218,6 +218,14 @@ impl SimProgram {
                 .push(program.node_slots[output.driver.index()]);
         }
         program.num_slots = next_slot as usize;
+        // Every freshly built tape must satisfy the soundness contract;
+        // a compiler bug here would silently corrupt every downstream
+        // measurement, so fail loudly in debug builds.
+        if cfg!(debug_assertions) {
+            if let Err(defect) = program.verify(netlist) {
+                panic!("SimProgram::compile produced an unsound tape: {defect}");
+            }
+        }
         program
     }
 

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activity;
 pub mod bernoulli;
 pub mod compiled;
@@ -43,6 +45,7 @@ pub mod fingerprint;
 pub mod noisy;
 pub mod patterns;
 pub mod sensitivity;
+pub mod verify;
 
 pub use activity::{activity_from_probability, estimate_activity, ActivityProfile};
 pub use compiled::{EngineKind, ProgramCache, SimProgram, SimScratch, ENGINE_ENV};
@@ -55,3 +58,4 @@ pub use noisy::{
 };
 pub use patterns::PatternSet;
 pub use sensitivity::SensitivityEstimate;
+pub use verify::TapeDefect;

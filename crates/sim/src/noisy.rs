@@ -423,7 +423,7 @@ impl CacheCodec for NoisyTally {
         enc.put_u64(self.noisy_gate_toggles);
     }
 
-    fn decode(dec: &mut Decoder) -> Option<Self> {
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
         Some(NoisyTally {
             patterns: dec.take_usize()?,
             transitions: dec.take_usize()?,

@@ -116,6 +116,32 @@ proptest! {
     }
 
     #[test]
+    fn compiled_tapes_verify_on_random_dags(config in small_dag()) {
+        let nl = random_dag(&config).unwrap();
+        let program = SimProgram::compile(&nl);
+        program.verify(&nl).unwrap();
+    }
+
+    #[test]
+    fn corrupted_tapes_fail_verification(
+        config in small_dag(),
+        selector in any::<u64>(),
+    ) {
+        // A single-point mutation anywhere in the tape — destination,
+        // kind, op order, operand slot, arena size, node map — must be
+        // caught; soundness is what lets future backends drop the
+        // bit-identity oracle without losing the safety net.
+        let nl = random_dag(&config).unwrap();
+        let mut program = SimProgram::compile(&nl);
+        let what = program.corrupt_for_verifier_tests(selector);
+        prop_assert!(
+            program.verify(&nl).is_err(),
+            "corruption `{}` slipped through",
+            what
+        );
+    }
+
+    #[test]
     fn sensitivities_are_identical(config in small_dag(), seed in any::<u64>()) {
         let nl = random_dag(&config).unwrap();
         let program = SimProgram::compile(&nl);

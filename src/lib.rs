@@ -57,6 +57,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use nanobound_cache as cache;
 pub use nanobound_core as core;
 pub use nanobound_energy as energy;

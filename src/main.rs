@@ -5,6 +5,7 @@
 //! nanobound bounds --size S0 --sensitivity S --activity SW --fanin K [--inputs N] [--eps E] [--delta D]
 //! nanobound figures [--out DIR | --stdout] [--only FIG]...
 //! nanobound validate [--out DIR | --stdout]
+//! nanobound lint [FILES]... [--suite] [--format text|json] [--deny warnings]
 //! nanobound serve [--listen ADDR] [--gc-bytes N] [--gc-age-days D]
 //! ```
 //!

@@ -458,6 +458,101 @@ fn usage_documents_the_jobs_flag() {
     assert!(err.contains(&range), "usage range stale: {err}");
 }
 
+/// Path of a committed test fixture.
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_reports_the_dirty_fixture_and_still_exits_zero_without_deny() {
+    let (ok, out, err) = run(&["lint", &fixture("lint_dirty.bench")]);
+    assert!(ok, "warnings alone must not fail without --deny: {err}");
+    for code in [
+        "NB004", "NB005", "NB006", "NB007", "NB009", "NB010", "NB021",
+    ] {
+        assert!(out.contains(code), "missing {code}: {out}");
+    }
+    assert!(!out.contains("NB020"), "tape falsely rejected: {out}");
+    // Spans point back into the fixture source.
+    assert!(out.contains("`unused`"), "out: {out}");
+    assert!(out.contains("(line 13)"), "NB004 line span missing: {out}");
+    assert!(out.contains("lint: 1 design(s), 0 error(s),"), "out: {out}");
+}
+
+#[test]
+fn lint_deny_warnings_fails_but_still_prints_the_report() {
+    let (ok, out, err) = run(&["lint", &fixture("lint_dirty.bench"), "--deny", "warnings"]);
+    assert!(!ok);
+    assert!(out.contains("NB006"), "report missing from stdout: {out}");
+    assert!(
+        err.contains("--deny warnings") || err.contains("warning(s)"),
+        "stderr: {err}"
+    );
+    // A clean run passes under the same gate.
+    let (ok, _, err) = run(&["lint", "--suite", "--deny", "warnings"]);
+    assert!(ok, "generated suite is not lint-clean: {err}");
+}
+
+#[test]
+fn lint_flags_no_outputs() {
+    let (ok, out, _) = run(&["lint", &fixture("lint_no_outputs.bench")]);
+    assert!(ok);
+    assert!(out.contains("NB003"), "out: {out}");
+}
+
+#[test]
+fn lint_json_is_machine_readable_and_deterministic() {
+    let args = ["lint", &fixture("lint_dirty.bench"), "--format", "json"];
+    let (ok, first, err) = run(&args);
+    assert!(ok, "stderr: {err}");
+    assert!(
+        first.starts_with("{\"design\":\"lint_dirty\""),
+        "out: {first}"
+    );
+    assert!(first.contains("\"warnings\":"), "out: {first}");
+    assert!(first.contains("\"code\":\"NB006\""), "out: {first}");
+    let (_, second, _) = run(&args);
+    assert_eq!(first, second, "lint --format json is not deterministic");
+}
+
+#[test]
+fn lint_corrupt_tape_fixture_is_rejected() {
+    // The CI gate's negative control: an injected single-point tape
+    // corruption must surface as NB020 and a nonzero exit.
+    let (ok, out, _) = run(&["lint", &fixture("lint_dirty.bench"), "--corrupt-tape", "3"]);
+    assert!(!ok, "corrupted tape passed the analyzer: {out}");
+    assert!(out.contains("NB020"), "out: {out}");
+    assert!(out.contains("injected corruption"), "out: {out}");
+}
+
+#[test]
+fn lint_input_errors_are_clean_failures() {
+    let (ok, _, err) = run(&["lint"]);
+    assert!(!ok);
+    assert!(err.contains("--suite"), "stderr: {err}");
+    let (ok, _, err) = run(&["lint", "/nope/missing.bench"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "stderr: {err}");
+    let (ok, _, err) = run(&["lint", "x.bench", "--format", "xml"]);
+    assert!(!ok);
+    assert!(err.contains("--format"), "stderr: {err}");
+}
+
+#[test]
+fn duplicate_single_occurrence_flags_are_rejected_by_name() {
+    // Last-one-wins would silently change which experiment ran; the
+    // parser must name the repeated token instead.
+    let (ok, _, err) = run(&["lint", "x.bench", "--format", "text", "--format", "json"]);
+    assert!(!ok);
+    assert!(err.contains("duplicate flag `--format`"), "stderr: {err}");
+    let (ok, _, err) = run(&[BOUNDS_ARGS, &["--delta", "0.1", "--delta", "0.2"]].concat());
+    assert!(!ok);
+    assert!(err.contains("duplicate flag `--delta`"), "stderr: {err}");
+    // Genuinely repeatable flags still accumulate.
+    let (ok, _, err) = run(&[BOUNDS_ARGS, &["--eps", "0.01", "--eps", "0.1"]].concat());
+    assert!(ok, "repeatable --eps rejected: {err}");
+}
+
 #[test]
 fn engine_escape_hatch_is_byte_identical_and_strict() {
     // The interpreted oracle must reproduce the default compiled

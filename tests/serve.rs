@@ -252,3 +252,62 @@ fn tcp_transport_speaks_the_same_protocol() {
     let status = child.wait().expect("serve exits after shutdown");
     assert!(status.success());
 }
+
+#[test]
+fn serve_lint_payloads_equal_one_shot_stdout_byte_for_byte() {
+    let dirty = format!(
+        "{}/tests/fixtures/lint_dirty.bench",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let script = format!(
+        "{{\"id\":\"clean\",\"workload\":\"lint\",\"args\":[{}]}}\n\
+         {{\"id\":\"dirty\",\"workload\":\"lint\",\"args\":[{}]}}\n\
+         {{\"id\":\"json\",\"workload\":\"lint\",\"args\":[{}]}}\n\
+         {{\"id\":\"bad\",\"workload\":\"lint\",\"args\":[\"/nope/missing.bench\"]}}\n",
+        json_args(&["--suite", "--deny", "warnings"]),
+        json_args(&[dirty.as_str(), "--deny", "warnings"]),
+        json_args(&[dirty.as_str(), "--format", "json"]),
+    );
+    let (responses, _) = serve_session(&[], &script);
+    assert_eq!(responses.len(), 4);
+
+    let clean_expected = one_shot(&["lint", "--suite", "--deny", "warnings"]);
+    // The denied run exits nonzero one-shot but still prints the full
+    // report; the serve frame carries the same bytes with ok=false.
+    let denied = bin()
+        .args(["lint", dirty.as_str(), "--deny", "warnings"])
+        .output()
+        .expect("binary runs");
+    assert!(!denied.status.success());
+    let json_expected = one_shot(&["lint", dirty.as_str(), "--format", "json"]);
+    let failure_expected = one_shot_failure(&["lint", "/nope/missing.bench"]);
+
+    let (id, ok, payload) = &responses[0];
+    assert_eq!((id.as_str(), *ok), ("clean", true));
+    assert_eq!(
+        payload, &clean_expected,
+        "serve lint payload != one-shot stdout"
+    );
+
+    let (id, ok, payload) = &responses[1];
+    assert_eq!(
+        (id.as_str(), *ok),
+        ("dirty", false),
+        "denied warnings must flip the ok flag"
+    );
+    assert_eq!(
+        payload, &denied.stdout,
+        "denied lint payload != one-shot stdout"
+    );
+
+    let (id, ok, payload) = &responses[2];
+    assert_eq!((id.as_str(), *ok), ("json", true));
+    assert_eq!(payload, &json_expected, "json lint payload != one-shot");
+
+    let (id, ok, payload) = &responses[3];
+    assert_eq!((id.as_str(), *ok), ("bad", false));
+    assert_eq!(
+        payload, &failure_expected,
+        "lint failure payload != one-shot stderr"
+    );
+}
