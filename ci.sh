@@ -16,7 +16,11 @@
 #   6. the cache gate: `figures` cold into a fresh --cache-dir, again
 #      warm from the same cache, and once more with --no-cache, diffing
 #      all three outputs byte-for-byte — a cache that changes results
-#      (or a warm run that misses) fails the gate
+#      (or a warm run that misses) fails the gate; then the stale-format
+#      half: every cached shard's frame version is rewritten to 1 (a
+#      v1-era cache left on disk across the FORMAT_VERSION bump) and
+#      the next run must report zero hits — every stale entry a counted
+#      miss, none replayed — while producing byte-identical figures
 #   7. the serve gate: one scripted multi-request session piped into
 #      `nanobound serve` twice — cold cache at --jobs 1, then warm
 #      cache at --jobs $(nproc) — diffing the two response streams
@@ -24,10 +28,11 @@
 #      equivalent one-shot CLI invocations, so a service-mode response
 #      that drifts from the one-shot output by a single byte fails
 #   8. the engine gate: `figures` and `validate` re-run under
-#      NANOBOUND_ENGINE=interp (the interpreted oracle) and diffed
-#      byte-for-byte against the default compiled engine's artifacts —
-#      a compiled executor that drifts from the oracle by one bit in
-#      any tally, activity or sensitivity fails the gate
+#      NANOBOUND_ENGINE=interp (the interpreted oracle, spelling out
+#      the v2 fault stream word by word) and diffed byte-for-byte
+#      against the default compiled engine's artifacts (the bulk v2
+#      paths) — a compiled executor that drifts from the oracle by one
+#      bit in any tally, activity or sensitivity fails the gate
 #   9. the analyze gate: `lint --suite --deny warnings` must pass (the
 #      generated Section-6 suite stays lint-clean), its JSON report must
 #      match the committed golden byte-for-byte, an injected tape
@@ -73,6 +78,25 @@ target/release/nanobound figures --out "$detdir/nocache" --no-cache >/dev/null
 diff -r "$detdir/cold" "$detdir/warm"
 diff -r "$detdir/cold" "$detdir/nocache"
 diff -r "$detdir/j1" "$detdir/cold"
+
+echo "==> stale-cache gate: v1-version frames are counted misses, never replayed"
+# Rewrite every cached frame's version field (4 bytes LE at offset 4)
+# to 1, simulating a cache left on disk from before the stream-v2
+# FORMAT_VERSION bump. Every entry must be rejected up front — a
+# replayed v1 tally would silently mix two incompatible fault streams.
+find "$detdir/cache" -name '*.bin' -exec sh -c \
+    'printf "\001\000\000\000" | dd of="$1" bs=1 seek=4 count=4 conv=notrunc status=none' _ {} \;
+stale_summary="$(target/release/nanobound figures --out "$detdir/stale" \
+    --cache-dir "$detdir/cache" --jobs 1 | grep '^cache ')"
+case "$stale_summary" in
+  *": 0 hits,"*) ;;
+  *) echo "stale-version cache was replayed: $stale_summary" >&2; exit 1 ;;
+esac
+case "$stale_summary" in
+  *" 0 misses,"*) echo "stale entries were not counted as misses: $stale_summary" >&2; exit 1 ;;
+  *) ;;
+esac
+diff -r "$detdir/cold" "$detdir/stale"
 
 echo "==> serve gate: scripted session, cold --jobs 1 vs warm --jobs $(nproc) vs one-shot CLI"
 printf 'INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n' > "$detdir/xor2.bench"

@@ -2,51 +2,72 @@
 //! Monte-Carlo throughput per benchmark netlist.
 //!
 //! A plain binary (`harness = false`) that prints one JSON document to
-//! stdout — `scripts/bench_json.sh` redirects it into `BENCH_5.json`,
-//! the workspace's first performance-trajectory artifact. Future PRs
+//! stdout — `scripts/bench_json.sh` redirects it into `BENCH_6.json`,
+//! the workspace's performance-trajectory artifact. Future PRs
 //! regenerate the file and compare patterns/sec against it.
 //!
 //! Three workloads per netlist, both engines each:
 //!
-//! - `mc_sparse` — the paired clean/noisy chunk at ε = 0.25. A dyadic ε
-//!   needs a single fault-mask RNG draw per word, so this measures the
-//!   *executor* (graph walk, allocation, tally passes) rather than RNG
-//!   serialization. This is the headline speedup.
-//! - `mc_dense` — the same chunk at ε = 0.01, where ε's 22 live binary
-//!   digits cost 22 sequential RNG draws per gate-word in *both*
-//!   engines (the bit-identity contract freezes the mask stream), so
-//!   the ratio is bounded by the shared RNG cost. Reported so the
-//!   trajectory keeps both regimes honest.
+//! - `mc_sparse` — paired clean/noisy simulation at ε = 0.25. Under
+//!   the v2 counter stream a dyadic ε still needs a single mix per
+//!   mask word, so this measures the *executor* (graph walk,
+//!   allocation, tally passes) rather than mask generation.
+//! - `mc_dense` — the same work at ε = 0.01. Under the v1 sequential
+//!   stream this regime was bounded by ~22 shared RNG draws per
+//!   gate-word in both engines; the v2 stream's sparse geometric-gap
+//!   plan costs ~1.6 draws per word, so the compiled side is executor
+//!   -bound here too and the ratio is a multiple again.
 //! - `clean` — the error-free profiling evaluation behind
 //!   `figures`/`profile` (activity + sensitivity measurement).
 //!
-//! Every measured pair is also checked for bitwise tally equality —
-//! a benchmark run that drifted would be meaningless.
+//! The Monte-Carlo workloads run [`SHARDS`] chunk-sized shards per
+//! call: the interpreted side loops `monte_carlo_tally` shard by
+//! shard, the compiled side pushes `SimProgram::preferred_batch`-sized
+//! groups through `run_tally_batch` — the same shapes the cached
+//! runner drives in production. Every shard's batch tally is first
+//! cross-checked bitwise against the interpreted oracle — a benchmark
+//! run that drifted would be meaningless.
 
 use std::time::Instant;
 
 use nanobound_gen::standard_suite;
 use nanobound_logic::Netlist;
-use nanobound_sim::{evaluate_packed, monte_carlo_tally, NoisyConfig, PatternSet, SimProgram};
+use nanobound_sim::{
+    evaluate_packed, monte_carlo_tally, NoisyConfig, PatternSet, ShardSpec, SimProgram,
+};
 
-/// Patterns per measured chunk — the workspace's DEFAULT_CHUNK.
+/// Patterns per shard — the workspace's DEFAULT_CHUNK.
 const CHUNK: usize = 4096;
+/// Shards per Monte-Carlo measurement call.
+const SHARDS: usize = 4;
 /// Minimum wall-clock per measurement.
 const MIN_SECS: f64 = 0.2;
 /// Minimum iterations per measurement.
 const MIN_ITERS: u32 = 3;
 
-/// Times `f` (one chunk of `CHUNK` patterns per call) and returns
-/// patterns per second.
-fn patterns_per_sec(mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: fills caches and scratch arenas
+/// Times the two engines interleaved — one interpreted call, one
+/// compiled call, alternating — and returns patterns per second for
+/// each. Interleaving matters on shared machines: the headline number
+/// is the *ratio*, and alternating samples exposes both engines to
+/// the same slow drift (thermal, noisy neighbors) instead of letting
+/// it land entirely on whichever side was measured second.
+fn paired_pps(per_call: usize, mut interp: impl FnMut(), mut compiled: impl FnMut()) -> (f64, f64) {
+    interp(); // warm-up: fills caches and scratch arenas
+    compiled();
     let start = Instant::now();
+    let (mut interp_secs, mut compiled_secs) = (0.0f64, 0.0f64);
     let mut iters = 0u32;
-    while iters < MIN_ITERS || start.elapsed().as_secs_f64() < MIN_SECS {
-        f();
+    while iters < MIN_ITERS || start.elapsed().as_secs_f64() < 2.0 * MIN_SECS {
+        let t = Instant::now();
+        interp();
+        interp_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        compiled();
+        compiled_secs += t.elapsed().as_secs_f64();
         iters += 1;
     }
-    f64::from(iters) * CHUNK as f64 / start.elapsed().as_secs_f64()
+    let patterns = f64::from(iters) * per_call as f64;
+    (patterns / interp_secs, patterns / compiled_secs)
 }
 
 struct EnginePair {
@@ -70,18 +91,46 @@ impl EnginePair {
 }
 
 fn measure_mc(netlist: &Netlist, program: &SimProgram, eps: f64) -> EnginePair {
-    let cfg = NoisyConfig::new(eps, 5).expect("valid epsilon");
+    let shards: Vec<ShardSpec> = (0..SHARDS as u64)
+        .map(|i| ShardSpec {
+            fault_seed: 5 + i,
+            pattern_seed: 7 + i,
+            patterns: CHUNK,
+        })
+        .collect();
     let mut scratch = program.scratch();
-    // The contract behind the comparison: identical tallies.
-    let reference = monte_carlo_tally(netlist, &cfg, CHUNK, 7).expect("interpreted chunk");
-    let compiled = program
-        .run_tally(&mut scratch, &cfg, CHUNK, 7)
-        .expect("compiled chunk");
-    assert_eq!(reference, compiled, "engines diverged — benchmark void");
+    let mut batch = vec![program.empty_tally(); SHARDS];
+    let width = program.preferred_batch(CHUNK);
+    // The contract behind the comparison: identical tallies, shard by
+    // shard, before a single timing sample is taken.
+    for (specs, tallies) in shards.chunks(width).zip(batch.chunks_mut(width)) {
+        program
+            .run_tally_batch(&mut scratch, eps, specs, tallies)
+            .expect("compiled batch");
+    }
+    for (spec, tally) in shards.iter().zip(&batch) {
+        let cfg = NoisyConfig::new(eps, spec.fault_seed).expect("valid epsilon");
+        let reference = monte_carlo_tally(netlist, &cfg, spec.patterns, spec.pattern_seed)
+            .expect("interpreted shard");
+        assert_eq!(&reference, tally, "engines diverged — benchmark void");
+    }
 
-    let interp_pps = patterns_per_sec(|| drop(monte_carlo_tally(netlist, &cfg, CHUNK, 7).unwrap()));
-    let compiled_pps =
-        patterns_per_sec(|| drop(program.run_tally(&mut scratch, &cfg, CHUNK, 7).unwrap()));
+    let (interp_pps, compiled_pps) = paired_pps(
+        SHARDS * CHUNK,
+        || {
+            for spec in &shards {
+                let cfg = NoisyConfig::new(eps, spec.fault_seed).unwrap();
+                drop(monte_carlo_tally(netlist, &cfg, spec.patterns, spec.pattern_seed).unwrap());
+            }
+        },
+        || {
+            for (specs, tallies) in shards.chunks(width).zip(batch.chunks_mut(width)) {
+                program
+                    .run_tally_batch(&mut scratch, eps, specs, tallies)
+                    .unwrap();
+            }
+        },
+    );
     EnginePair {
         interp_pps,
         compiled_pps,
@@ -91,8 +140,11 @@ fn measure_mc(netlist: &Netlist, program: &SimProgram, eps: f64) -> EnginePair {
 fn measure_clean(netlist: &Netlist, program: &SimProgram) -> EnginePair {
     let patterns = PatternSet::random(netlist.input_count(), CHUNK, 7);
     let mut scratch = program.scratch();
-    let interp_pps = patterns_per_sec(|| drop(evaluate_packed(netlist, &patterns).unwrap()));
-    let compiled_pps = patterns_per_sec(|| program.run_clean(&mut scratch, &patterns).unwrap());
+    let (interp_pps, compiled_pps) = paired_pps(
+        CHUNK,
+        || drop(evaluate_packed(netlist, &patterns).unwrap()),
+        || program.run_clean(&mut scratch, &patterns).unwrap(),
+    );
     EnginePair {
         interp_pps,
         compiled_pps,
@@ -128,8 +180,10 @@ fn main() {
     let (largest_name, largest_gates, largest_speedup) = largest.expect("non-empty suite");
     println!("{{");
     println!("  \"bench\": \"engines\",");
-    println!("  \"pr\": 5,");
+    println!("  \"pr\": 6,");
     println!("  \"chunk_patterns\": {CHUNK},");
+    println!("  \"mc_shards\": {SHARDS},");
+    println!("  \"batch_policy\": \"preferred_batch\",");
     println!("  \"mc_sparse_eps\": 0.25,");
     println!("  \"mc_dense_eps\": 0.01,");
     println!(

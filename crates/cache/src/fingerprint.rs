@@ -25,7 +25,14 @@
 /// the semantics of any cached payload change: old entries stop being
 /// addressed (their directories are simply never looked up again) and
 /// every shard recomputes once.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 = initial cached-shard format (sequential `bernoulli_word`
+/// fault-mask stream); 2 = the v2 counter-based fault-mask stream
+/// (`nanobound_sim::faultstream`) — tallies simulated under v1 are not
+/// comparable and must never be replayed, so the bump orphans them
+/// (stale entries read as counted misses and `ShardCache::sweep`
+/// deletes them).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit offset basis — shared with the entry-checksum in
 /// `store.rs` (the store's integrity hash and fingerprint lane 1 are

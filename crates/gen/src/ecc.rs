@@ -143,6 +143,103 @@ pub fn error_detector(data_bits: usize) -> Result<Netlist, GenError> {
     Ok(nl)
 }
 
+/// A SEC-DED (single-error-correcting, double-error-detecting) extended
+/// Hamming codec — the circuit class of ISCAS `c1908` ("16-bit SEC/DED
+/// error corrector").
+///
+/// Inputs: `d0..d{n-1}` (received data), `c0..c{r-1}` (received check
+/// bits), `P` (received overall parity — the extended-Hamming bit that
+/// upgrades SEC to SEC-DED). Outputs:
+///
+/// - `y0..y{n-1}` — the data, with a single-bit error corrected (the
+///   correction is gated on the overall parity, so a double error is
+///   never miscorrected);
+/// - `s0..s{r-1}` — the syndrome;
+/// - `perr` — overall parity mismatch (XOR of every input; odd weight
+///   of flips);
+/// - `ded` — double-error detected (syndrome nonzero but overall
+///   parity clean).
+///
+/// Structure: `r` parity-check XOR trees and one `n + r + 1`-input
+/// overall-parity tree, `r` inverters, `n` syndrome-decode ANDs, `n`
+/// parity-gated correction ANDs and XORs, and the `ded` cone. For
+/// `data_bits = 16` (`r = 5`) this is a 22-input, 23-output network;
+/// NAND-expanded ([`crate::iscas::expand_xor_to_nand`]) it lands in the
+/// size class of `c1908`.
+///
+/// # Errors
+///
+/// Returns [`GenError::BadParameter`] under the same conditions as
+/// [`hamming_corrector`].
+pub fn sec_ded(data_bits: usize) -> Result<Netlist, GenError> {
+    if data_bits < 2 {
+        return Err(GenError::bad("data_bits", data_bits, "must be at least 2"));
+    }
+    if data_bits > 256 {
+        return Err(GenError::bad("data_bits", data_bits, "must be at most 256"));
+    }
+    let r = check_bits_for(data_bits);
+    let positions = data_positions(data_bits);
+
+    let mut nl = Netlist::new(format!("secded{data_bits}"));
+    let d: Vec<NodeId> = (0..data_bits)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
+    let c: Vec<NodeId> = (0..r).map(|i| nl.add_input(format!("c{i}"))).collect();
+    let p = nl.add_input("P");
+
+    let mut syndrome = Vec::with_capacity(r);
+    for j in 0..r {
+        let mut taps = vec![c[j]];
+        for (i, &pos) in positions.iter().enumerate() {
+            if pos >> j & 1 == 1 {
+                taps.push(d[i]);
+            }
+        }
+        syndrome.push(nl.add_gate(GateKind::Xor, &taps)?);
+    }
+    let nsyndrome: Vec<NodeId> = syndrome
+        .iter()
+        .map(|&s| nl.add_gate(GateKind::Not, &[s]))
+        .collect::<Result<_, _>>()?;
+
+    // Overall parity mismatch: the received word is even-parity by
+    // construction, so the XOR of every input is 1 iff an odd number
+    // of bits flipped in transit.
+    let mut all = d.clone();
+    all.extend_from_slice(&c);
+    all.push(p);
+    let perr = nl.add_gate(GateKind::Xor, &all)?;
+
+    for (i, &pos) in positions.iter().enumerate() {
+        let literals: Vec<NodeId> = (0..r)
+            .map(|j| {
+                if pos >> j & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    nsyndrome[j]
+                }
+            })
+            .collect();
+        let hit = nl.add_gate(GateKind::And, &literals)?;
+        // Correct only when the overall parity confirms an odd number
+        // of flips — a double error must not be "corrected" into a
+        // third.
+        let flip = nl.add_gate(GateKind::And, &[hit, perr])?;
+        let y = nl.add_gate(GateKind::Xor, &[d[i], flip])?;
+        nl.add_output(format!("y{i}"), y)?;
+    }
+    for (j, &s) in syndrome.iter().enumerate() {
+        nl.add_output(format!("s{j}"), s)?;
+    }
+    let any_syndrome = nl.add_gate(GateKind::Or, &syndrome)?;
+    let nperr = nl.add_gate(GateKind::Not, &[perr])?;
+    let ded = nl.add_gate(GateKind::And, &[nperr, any_syndrome])?;
+    nl.add_output("perr", perr)?;
+    nl.add_output("ded", ded)?;
+    Ok(nl)
+}
+
 /// Number of check bits the generators expect for `data_bits` of payload.
 #[must_use]
 pub fn check_bits(data_bits: usize) -> usize {
@@ -166,9 +263,111 @@ pub fn encode_checks(data: &[bool]) -> Vec<bool> {
         .collect()
 }
 
+/// Computes the overall parity bit `P` the SEC-DED codec expects for a
+/// clean `(data, checks)` word: the bit making the whole codeword
+/// even-parity (reference encoder used by the tests).
+#[must_use]
+pub fn encode_overall_parity(data: &[bool], checks: &[bool]) -> bool {
+    data.iter().chain(checks).fold(false, |acc, &b| acc ^ b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn secded_eval(nl: &Netlist, data: &[bool], checks: &[bool], parity: bool) -> Vec<bool> {
+        let mut inputs = data.to_vec();
+        inputs.extend_from_slice(checks);
+        inputs.push(parity);
+        nl.evaluate(&inputs).unwrap()
+    }
+
+    // Output layout of `sec_ded(n)`: y0..y{n-1}, s0..s{r-1}, perr, ded.
+    fn split_secded(out: &[bool], n: usize, r: usize) -> (&[bool], &[bool], bool, bool) {
+        (&out[..n], &out[n..n + r], out[n + r], out[n + r + 1])
+    }
+
+    #[test]
+    fn secded_clean_word_passes_through() {
+        let nl = sec_ded(16).unwrap();
+        for word in [0u64, 0xA5A5, 0xFFFF, 0x1234] {
+            let data: Vec<bool> = (0..16).map(|i| word >> i & 1 == 1).collect();
+            let checks = encode_checks(&data);
+            let parity = encode_overall_parity(&data, &checks);
+            let out = secded_eval(&nl, &data, &checks, parity);
+            let (y, s, perr, ded) = split_secded(&out, 16, 5);
+            assert_eq!(y, data, "word {word:#x}");
+            assert!(s.iter().all(|&b| !b), "clean syndrome, word {word:#x}");
+            assert!(!perr && !ded, "word {word:#x}");
+        }
+    }
+
+    #[test]
+    fn secded_single_data_error_corrected() {
+        let nl = sec_ded(16).unwrap();
+        let data: Vec<bool> = (0..16).map(|i| 0xBEEF >> i & 1 == 1).collect();
+        let checks = encode_checks(&data);
+        let parity = encode_overall_parity(&data, &checks);
+        for flip in 0..16 {
+            let mut corrupted = data.clone();
+            corrupted[flip] = !corrupted[flip];
+            let out = secded_eval(&nl, &corrupted, &checks, parity);
+            let (y, _, perr, ded) = split_secded(&out, 16, 5);
+            assert_eq!(y, data, "flip {flip}");
+            assert!(perr, "flip {flip} is an odd-weight error");
+            assert!(!ded, "flip {flip} is not a double error");
+        }
+    }
+
+    #[test]
+    fn secded_check_and_parity_errors_are_harmless() {
+        let nl = sec_ded(16).unwrap();
+        let data: Vec<bool> = (0..16).map(|i| 0x3C7 >> i & 1 == 1).collect();
+        let checks = encode_checks(&data);
+        let parity = encode_overall_parity(&data, &checks);
+        for flip in 0..checks.len() {
+            let mut corrupted = checks.clone();
+            corrupted[flip] = !corrupted[flip];
+            let out = secded_eval(&nl, &data, &corrupted, parity);
+            let (y, _, perr, ded) = split_secded(&out, 16, 5);
+            assert_eq!(y, data, "check flip {flip}");
+            assert!(perr && !ded, "check flip {flip}");
+        }
+        let out = secded_eval(&nl, &data, &checks, !parity);
+        let (y, s, perr, ded) = split_secded(&out, 16, 5);
+        assert_eq!(y, data, "parity-bit flip");
+        assert!(s.iter().all(|&b| !b), "parity flip leaves syndrome clean");
+        assert!(perr && !ded);
+    }
+
+    #[test]
+    fn secded_double_error_detected_not_miscorrected() {
+        let nl = sec_ded(16).unwrap();
+        let data: Vec<bool> = (0..16).map(|i| 0xF0F0 >> i & 1 == 1).collect();
+        let checks = encode_checks(&data);
+        let parity = encode_overall_parity(&data, &checks);
+        for (a, b) in [(0usize, 1usize), (2, 9), (7, 15)] {
+            let mut corrupted = data.clone();
+            corrupted[a] = !corrupted[a];
+            corrupted[b] = !corrupted[b];
+            let out = secded_eval(&nl, &corrupted, &checks, parity);
+            let (y, _, perr, ded) = split_secded(&out, 16, 5);
+            assert!(ded, "double error ({a},{b}) detected");
+            assert!(!perr, "double error is even-weight");
+            // The correction is parity-gated: the received (wrong) data
+            // passes through untouched rather than gaining a third flip.
+            assert_eq!(y, corrupted, "double error ({a},{b}) not miscorrected");
+        }
+    }
+
+    #[test]
+    fn secded_interface_shape() {
+        let nl = sec_ded(16).unwrap();
+        assert_eq!(nl.input_count(), 22); // 16 data + 5 checks + P
+        assert_eq!(nl.output_count(), 23); // 16 y + 5 s + perr + ded
+        assert!(sec_ded(1).is_err());
+        assert!(sec_ded(300).is_err());
+    }
 
     #[test]
     fn check_bit_counts() {

@@ -16,7 +16,7 @@
 //! | `c499`   | 32-bit single-error corrector (XOR form) | [`c499_analog`] |
 //! | `c880`   | 8-bit ALU          | [`c880_analog`] |
 //! | `c1355`  | `c499` with XORs expanded to NANDs | [`c1355_analog`] |
-//! | `c1908`  | 16-bit error detector/corrector | [`c1908_analog`] |
+//! | `c1908`  | 16-bit SEC/DED corrector, NAND form | [`c1908_analog`] |
 //! | `c6288`  | 16×16 array multiplier | [`c6288_analog`] |
 //! | `c7552`  | 32-bit adder/comparator | [`c7552_analog`] |
 
@@ -122,15 +122,21 @@ pub fn c1355_analog() -> Result<Netlist, GenError> {
     Ok(nl)
 }
 
-/// Analog of `c1908`: a 16-bit error detector (syndrome trees plus an
-/// `error` flag) — the original is documented as a 16-bit SEC/EDC
-/// circuit.
+/// Analog of `c1908`: a 16-bit SEC-DED corrector
+/// ([`ecc::sec_ded`]) with every XOR expanded to NAND logic — the
+/// original is documented as a 16-bit single-error-correcting /
+/// double-error-detecting circuit in NAND-dominated form (~880 gates,
+/// 33 inputs). The analog lands in the same structural class:
+/// NAND-dominated parity cones plus a syndrome decoder, hundreds of
+/// gates, 22 inputs. (An earlier revision shipped a 6-gate
+/// detector-only stub under this name; BENCH entries before BENCH_6
+/// misreport it.)
 ///
 /// # Errors
 ///
 /// Never fails for these fixed parameters.
 pub fn c1908_analog() -> Result<Netlist, GenError> {
-    let mut nl = ecc::error_detector(16)?;
+    let mut nl = expand_xor_to_nand(&ecc::sec_ded(16)?)?;
     nl.set_name("c1908a");
     Ok(nl)
 }
@@ -291,6 +297,17 @@ mod tests {
         assert_eq!(c499.output_count(), 32);
         let c880 = c880_analog().unwrap();
         assert_eq!(c880.input_count(), 19); // 8 + 8 + cin + 2 op bits
+        let c1908 = c1908_analog().unwrap();
+        assert_eq!(c1908.input_count(), 22); // 16 data + 5 checks + P
+        assert_eq!(c1908.output_count(), 23);
+        assert!(
+            c1908.gate_count() >= 100,
+            "c1908a must not regress to a stub: {} gates",
+            c1908.gate_count()
+        );
+        for node in c1908.nodes() {
+            assert!(!matches!(node.kind(), Some(GateKind::Xor | GateKind::Xnor)));
+        }
         let c6288 = c6288_analog().unwrap();
         assert_eq!(c6288.input_count(), 32);
         assert_eq!(c6288.output_count(), 32);

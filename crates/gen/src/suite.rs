@@ -90,15 +90,15 @@ impl fmt::Display for Benchmark {
 /// Propagates [`GenError`] from the generators; never fails for the fixed
 /// parameters used here.
 pub fn iscas_suite() -> Result<Vec<Benchmark>, GenError> {
-    let c1908_inputs = 16 + ecc::check_bits(16);
+    let c1908_inputs = 16 + ecc::check_bits(16) + 1; // data + checks + overall parity
     Ok(vec![
         Benchmark::new(iscas::c17(), CircuitClass::Control, None),
         Benchmark::new(iscas::c432_analog()?, CircuitClass::Control, None),
         Benchmark::new(iscas::c499_analog()?, CircuitClass::XorDominated, None),
         Benchmark::new(iscas::c880_analog()?, CircuitClass::Mixed, None),
         Benchmark::new(iscas::c1355_analog()?, CircuitClass::XorDominated, None),
-        // Every input of the detector feeds a syndrome XOR tree, so any
-        // single flip always toggles an output: s = n exactly.
+        // The overall-parity output `perr` XORs all 22 inputs, so any
+        // single flip always toggles it: s = n exactly.
         Benchmark::new(
             iscas::c1908_analog()?,
             CircuitClass::XorDominated,

@@ -29,8 +29,8 @@ use std::sync::Arc;
 use nanobound_cache::{CacheCodec, Fingerprint, FingerprintBuilder, ShardCache};
 use nanobound_logic::Netlist;
 use nanobound_sim::{
-    monte_carlo_tally, EngineKind, NoisyConfig, NoisyOutcome, NoisyTally, ProgramCache, SimError,
-    SimProgram,
+    monte_carlo_tally, EngineKind, NoisyConfig, NoisyOutcome, NoisyTally, ProgramCache, ShardSpec,
+    SimError, SimProgram, SimScratch,
 };
 
 use crate::pool::ThreadPool;
@@ -129,9 +129,11 @@ pub fn monte_carlo_sharded_cached(
 /// `NANOBOUND_ENGINE` environment variable ([`EngineKind::from_env`]):
 /// the compiled engine by default, the interpreted oracle under
 /// `NANOBOUND_ENGINE=interp`. Both produce **bit-identical** outcomes —
-/// the compiled executor replays the interpreted engines' exact pattern
-/// and fault-mask RNG streams — so cache entries, golden CSVs and
-/// `--jobs` invariance hold across backends.
+/// patterns replay the frozen `PatternSet::random` stream and fault
+/// masks are pure functions of `(shard seed, gate, word)` under the v2
+/// counter stream, identical regardless of engine, batching or
+/// evaluation order — so cache entries, golden CSVs and `--jobs`
+/// invariance hold across backends.
 ///
 /// # Errors
 ///
@@ -208,53 +210,99 @@ pub fn monte_carlo_sharded_cached_programs(
     }
 
     // Compiled engine: one program per call (or shared through the
-    // program cache), one scratch + running tally per worker. Without
-    // cache traffic a shard folds straight into its worker's
-    // accumulator — zero heap allocation per chunk after warm-up; with
-    // a cache, shards produce standalone tallies so they can be stored.
-    // Integer tallies merge associatively and commutatively, so the
-    // scheduling-dependent split between per-chunk tallies and worker
-    // accumulators cannot change the merged counts.
+    // program cache), one scratch + running tally per worker. Shards
+    // are executed [`SimProgram::preferred_batch`] at a time through
+    // one tape pass (`SimProgram::run_tally_batch`) — legal because
+    // the v2 fault stream derives each shard's masks as pure
+    // functions of its own seed, so batching changes wall-clock,
+    // never counts. Cache hits
+    // within a group merge as-is; misses simulate batched and, with a
+    // cache present, are stored individually so every shard stays a
+    // relocatable unit. Integer tallies merge associatively and
+    // commutatively, so the scheduling-dependent split between group
+    // tallies and worker accumulators cannot change the merged counts.
     let program: Arc<SimProgram> = match programs {
         Some(cache) => cache.get_or_compile(netlist),
         None => Arc::new(SimProgram::compile(netlist)),
     };
-    let (chunk_tallies, workers) = pool.map_indexed_init(
-        shards,
-        || (program.scratch(), program.empty_tally()),
-        |(scratch, acc), i| -> Result<Option<NoisyTally>, SimError> {
-            let len = chunk.min(patterns - i * chunk);
-            if let Some(tally) = load_shard(i, len) {
-                return Ok(Some(tally));
+    let batch = program.preferred_batch(chunk);
+    let groups = shards.div_ceil(batch);
+    let (group_tallies, workers) = pool.map_indexed_init(
+        groups,
+        || BatchWorker {
+            scratch: program.scratch(),
+            acc: program.empty_tally(),
+            specs: Vec::with_capacity(batch),
+            miss_idx: Vec::with_capacity(batch),
+            fresh: Vec::with_capacity(batch),
+        },
+        |w, g| -> Result<Option<NoisyTally>, SimError> {
+            let first = g * batch;
+            let last = (first + batch).min(shards);
+            w.specs.clear();
+            w.miss_idx.clear();
+            let mut group: Option<NoisyTally> = None;
+            for i in first..last {
+                let len = chunk.min(patterns - i * chunk);
+                if let Some(tally) = load_shard(i, len) {
+                    match &mut group {
+                        None => group = Some(tally),
+                        Some(total) => total.merge(&tally),
+                    }
+                } else {
+                    w.miss_idx.push(i);
+                    w.specs.push(ShardSpec {
+                        fault_seed: shard_seed(config.seed, i as u64),
+                        pattern_seed: shard_seed(pattern_seed, i as u64),
+                        patterns: len,
+                    });
+                }
             }
-            let shard_config = NoisyConfig::new(config.epsilon, shard_seed(config.seed, i as u64))?;
-            let shard_pattern_seed = shard_seed(pattern_seed, i as u64);
-            if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
-                let tally = program.run_tally(scratch, &shard_config, len, shard_pattern_seed)?;
-                cache.store_value(fingerprint, i as u64, &tally);
-                Ok(Some(tally))
-            } else {
-                program.run_tally_accumulate(
-                    scratch,
-                    &shard_config,
-                    len,
-                    shard_pattern_seed,
-                    acc,
-                )?;
-                Ok(None)
+            if !w.specs.is_empty() {
+                w.fresh.clear();
+                w.fresh.resize(w.specs.len(), program.empty_tally());
+                program.run_tally_batch(&mut w.scratch, config.epsilon, &w.specs, &mut w.fresh)?;
+                if let (Some(cache), Some(fingerprint)) = (cache, &fingerprint) {
+                    for (&i, tally) in w.miss_idx.iter().zip(&w.fresh) {
+                        cache.store_value(fingerprint, i as u64, tally);
+                        match &mut group {
+                            None => group = Some(tally.clone()),
+                            Some(total) => total.merge(tally),
+                        }
+                    }
+                } else {
+                    for tally in &w.fresh {
+                        w.acc.merge(tally);
+                    }
+                }
             }
+            Ok(group)
         },
     );
     let mut merged = program.empty_tally();
-    for tally in chunk_tallies {
+    for tally in group_tallies {
         if let Some(tally) = tally? {
             merged.merge(&tally);
         }
     }
-    for (_, acc) in workers {
-        merged.merge(&acc);
+    for w in workers {
+        merged.merge(&w.acc);
     }
     Ok(merged.outcome())
+}
+
+/// Per-worker state of the batched compiled pipeline.
+struct BatchWorker {
+    scratch: SimScratch,
+    /// Running tally of cache-less groups (kept out of the per-group
+    /// results so the no-cache hot path allocates nothing per group).
+    acc: NoisyTally,
+    /// Current group's miss specs, reused across groups.
+    specs: Vec<ShardSpec>,
+    /// Shard indices of `specs`, for cache storage.
+    miss_idx: Vec<usize>,
+    /// Freshly simulated tallies of the current group.
+    fresh: Vec<NoisyTally>,
 }
 
 /// [`grid_map`](crate::grid_map) with per-cell results served from /

@@ -88,6 +88,23 @@ impl BernoulliPlan {
         self.q == 0
     }
 
+    /// Index of the first live digit; `DIGITS − start` is the number of
+    /// uniform words one [`BernoulliPlan::draw`] consumes (the cost
+    /// model the v2 `MaskPlan` uses to choose between its dense and
+    /// sparse constructions).
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Digit `d` of the quantized probability — exposed so the v2
+    /// mask stream's bulk path can replay the [`BernoulliPlan::draw`]
+    /// fold across a whole block of independent words at once.
+    #[inline]
+    pub(crate) fn digit(&self, d: u32) -> bool {
+        self.q >> d & 1 == 1
+    }
+
     /// Draws one Bernoulli word; the exact stream of [`bernoulli_word`]
     /// with the plan's probability.
     pub fn draw(&self, rng: &mut impl Rng) -> u64 {
@@ -118,8 +135,12 @@ impl BernoulliPlan {
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn bernoulli_words(rng: &mut impl Rng, p: f64, out: &mut [u64]) {
+    // One plan per call, not per word: the binary expansion of `p` is
+    // loop-invariant and rebuilding it per word costs more than the
+    // draw itself at mask-sparse ε.
+    let plan = BernoulliPlan::new(p);
     for w in out {
-        *w = bernoulli_word(rng, p);
+        *w = plan.draw(rng);
     }
 }
 

@@ -23,10 +23,16 @@
 //!   chunks (a smaller tail chunk never reallocates).
 //!
 //! The fused executor ([`SimProgram::run_tally_accumulate`]) computes
-//! the clean and the noisy value of each gate in a single pass and
+//! the clean and the noisy value of each gate in a single pass —
+//! specialized per-shape kernels evaluate both lanes in one loop — and
 //! folds toggle counts and output mismatches into a
 //! [`NoisyTally`] *while the streams are still cache-hot* — no stored
 //! `NodeValues`, no second and third walk over the matrices.
+//! [`SimProgram::run_tally_batch`] goes one step further and pushes
+//! several independent shards through a single tape pass: each slot
+//! holds the shards' word segments back to back, so every op's
+//! dispatch, bounds checks and instruction fetch are amortized over
+//! `Σ words` instead of one chunk's worth.
 //!
 //! # The bit-identity contract
 //!
@@ -37,11 +43,17 @@
 //!
 //! - input patterns are drawn exactly like [`PatternSet::random`]
 //!   (input-major, one `next_u64` per word);
-//! - fault masks are drawn through the existing
-//!   [`bernoulli_word`](crate::bernoulli::bernoulli_word) stream, in
-//!   the exact per-gate, per-word order of [`crate::evaluate_noisy`]
-//!   (gates in id order — buffers and constants draw nothing there and
-//!   are not ops here);
+//! - fault masks come from the **v2 counter-based stream**
+//!   ([`crate::faultstream`], `FORMAT_VERSION` 2): the mask of
+//!   `(fault seed, gate ordinal, word)` is a pure SplitMix64-style
+//!   hash, identical no matter which engine derives it or in which
+//!   order — the gate ordinal is the op index here and the
+//!   `counts_as_gate` ordinal in [`crate::evaluate_noisy`], equal by
+//!   construction since ops are created for exactly those kinds in the
+//!   same node order. (Stream v1 was a *sequential* `bernoulli_word`
+//!   RNG walk, which forced both engines into one serial mask order
+//!   and capped dense-ε throughput; the v1→v2 switch is why
+//!   `nanobound_cache::FORMAT_VERSION` is 2.)
 //! - tallies are integer counts, and integer addition is associative,
 //!   so accumulation order cannot change the merged result.
 //!
@@ -59,8 +71,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::activity::{toggle_count, ActivityProfile};
-use crate::bernoulli::BernoulliPlan;
 use crate::error::SimError;
+use crate::faultstream::{gate_state, MaskPlan};
 use crate::fingerprint::netlist_fingerprint;
 use crate::noisy::{NoisyConfig, NoisyTally};
 use crate::patterns::{popcount_valid, tail_mask, PatternSet};
@@ -120,6 +132,23 @@ pub(crate) struct Op {
     pub(crate) dst: u32,
     /// Range of this op's operands in [`SimProgram::operands`].
     pub(crate) operands: (u32, u32),
+}
+
+/// One shard of a batched Monte-Carlo run: an independent chunk with
+/// its own fault-mask and input-pattern seeds.
+///
+/// The runner's shard contract makes every shard a pure relocatable
+/// unit keyed by `(master_seed, shard_index)`; a `ShardSpec` is that
+/// unit in executable form, and [`SimProgram::run_tally_batch`]
+/// executes several of them in one tape pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Seed of the shard's fault-mask stream (`NoisyConfig::seed`).
+    pub fault_seed: u64,
+    /// Seed of the shard's input-pattern stream.
+    pub pattern_seed: u64,
+    /// Patterns the shard simulates (must be ≥ 1).
+    pub patterns: usize,
 }
 
 /// A netlist lowered to a flat, allocation-free instruction tape.
@@ -247,6 +276,31 @@ impl SimProgram {
         self.ops.len()
     }
 
+    /// How many shards of `patterns` each are worth fusing through one
+    /// [`SimProgram::run_tally_batch`] pass.
+    ///
+    /// Batching widens every op from `w` to `batch·w` words, which
+    /// amortizes tape dispatch — a win for narrow shards — but
+    /// multiplies the live arena working set the same way, evicting
+    /// the hot slot state from cache on slot-heavy programs. Measured
+    /// across the suite netlists the crossover sits near 16 words per
+    /// pass under a ~64 KiB arena footprint, so: widen narrow shards
+    /// toward 16 words, never past 8 shards, never past the footprint
+    /// budget. Purely a wall-clock choice — the v2 fault stream makes
+    /// any grouping produce identical tallies.
+    #[must_use]
+    pub fn preferred_batch(&self, patterns: usize) -> usize {
+        const TARGET_WORDS: usize = 16;
+        const ARENA_BUDGET: usize = 64 << 10;
+        let words = patterns.div_ceil(64).max(1);
+        let by_dispatch = (TARGET_WORDS / words).clamp(1, 8);
+        // Two engines (clean + noisy) of `num_slots` slots holding
+        // `words` 64-bit words per shard.
+        let per_shard = 2 * self.num_slots * words * 8;
+        let by_footprint = (ARENA_BUDGET / per_shard.max(1)).max(1);
+        by_dispatch.min(by_footprint)
+    }
+
     /// A fresh, empty scratch for this program. The arena is sized on
     /// first execution and reused afterwards; keep one per worker.
     #[must_use]
@@ -256,6 +310,9 @@ impl SimProgram {
             any_diff: Vec::new(),
             words: 0,
             count: 0,
+            offsets: Vec::new(),
+            batch_clean: Vec::new(),
+            batch_noisy: Vec::new(),
         }
     }
 
@@ -301,10 +358,9 @@ impl SimProgram {
     /// into `tally` — the zero-allocation hot path.
     ///
     /// Patterns are drawn like [`PatternSet::random`] from
-    /// `pattern_seed` and fault masks through
-    /// [`bernoulli_word`](crate::bernoulli::bernoulli_word)'s stream from
-    /// `config.seed`, in the interpreted engines' exact stream order,
-    /// so `tally` grows by precisely the counts
+    /// `pattern_seed` and fault masks from the v2 counter stream
+    /// ([`MaskPlan`]) keyed by `config.seed` and each op's index, so
+    /// `tally` grows by precisely the counts
     /// [`monte_carlo_tally`](crate::monte_carlo_tally) would produce.
     ///
     /// # Errors
@@ -349,28 +405,23 @@ impl SimProgram {
         }
         self.fill_consts(scratch, words);
 
-        // The fused pass: clean and noisy streams per op, fault masks
-        // in evaluate_noisy's per-gate per-word order, toggle tallies
-        // while the streams are cache-hot. The Bernoulli plan (ε's
-        // binary expansion) is hoisted out of the loop — the drawn mask
-        // stream is exactly `bernoulli_word`'s.
-        let plan = BernoulliPlan::new(config.epsilon);
-        // ε quantized to zero draws nothing and XORs nothing: skip the
-        // mask loop outright (bit-identical — `bernoulli_word` consumes
-        // no RNG words there either).
+        // The fused pass: clean and noisy streams per op in one kernel
+        // loop, v2 fault masks keyed by the op index (which *is* the
+        // interpreted oracle's gate ordinal), toggle tallies while the
+        // streams are cache-hot. The mask plan (ε's stream
+        // construction) is hoisted out of the loop.
+        let plan = MaskPlan::new(config.epsilon);
+        // ε = 0 (exactly, or quantized) XORs nothing: skip the mask
+        // loop outright — the oracle's masks are identically zero too.
         let draw_masks = !plan.is_zero();
-        let mut fault_rng = StdRng::seed_from_u64(config.seed);
         let mut clean_toggles = 0u64;
         let mut noisy_toggles = 0u64;
-        for op in &self.ops {
+        for (op_index, op) in self.ops.iter().enumerate() {
             let (lo, clean_dst, noisy_dst) = scratch.op_dsts(op.dst, words);
             let operands = &self.operands[op.operands.0 as usize..op.operands.1 as usize];
-            eval_op(op.kind, lo, words, operands, Lane::Clean, clean_dst);
-            eval_op(op.kind, lo, words, operands, Lane::Noisy, noisy_dst);
+            eval_op_pair(op.kind, lo, words, operands, clean_dst, noisy_dst);
             if draw_masks {
-                for w in noisy_dst.iter_mut() {
-                    *w ^= plan.draw(&mut fault_rng);
-                }
+                plan.xor_masks(gate_state(config.seed, op_index as u64), 0, noisy_dst);
             }
             let (clean, noisy) = toggle_count_pair(clean_dst, noisy_dst, count);
             clean_toggles += clean;
@@ -406,6 +457,156 @@ impl SimProgram {
         tally.transitions += count - 1;
         tally.clean_gate_toggles += clean_toggles;
         tally.noisy_gate_toggles += noisy_toggles;
+        Ok(())
+    }
+
+    /// Runs several independent Monte-Carlo shards through **one** tape
+    /// pass, folding each shard's counts into its own tally.
+    ///
+    /// Every slot of the arena holds the shards' word segments back to
+    /// back, so each op is dispatched once for `Σ words` instead of
+    /// once per shard — this is the batching the order-free v2 fault
+    /// stream exists to permit (under the sequential v1 stream the
+    /// shards' mask draws could not interleave). Per-shard results are
+    /// **bit-identical** to running [`SimProgram::run_tally`] with the
+    /// same spec on its own: pattern fill replays each shard's
+    /// `PatternSet::random` stream, masks are pure functions of
+    /// `(fault_seed, op, word)`, and the tail garbage of one shard's
+    /// last word never leaks into another shard's counts because every
+    /// tally step masks by its own shard's pattern count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] if any shard has
+    /// `patterns == 0` (no partial execution happens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tallies` is not exactly one per shard, or any tally
+    /// was shaped for a different program.
+    pub fn run_tally_batch(
+        &self,
+        scratch: &mut SimScratch,
+        epsilon: f64,
+        shards: &[ShardSpec],
+        tallies: &mut [NoisyTally],
+    ) -> Result<(), SimError> {
+        assert_eq!(shards.len(), tallies.len(), "need one tally per shard");
+        for tally in tallies.iter() {
+            assert_eq!(
+                tally.per_output_errors.len(),
+                self.num_outputs(),
+                "tally covers a different output count"
+            );
+            assert_eq!(
+                tally.gates,
+                self.gate_count(),
+                "tally covers a different netlist"
+            );
+        }
+        for spec in shards {
+            if spec.patterns == 0 {
+                return Err(SimError::bad(
+                    "patterns",
+                    spec.patterns,
+                    "must be at least 1",
+                ));
+            }
+        }
+        if shards.is_empty() {
+            return Ok(());
+        }
+
+        // Shard j's segment spans words offsets[j]..offsets[j]+words_j
+        // of every slot. (The buffers live in the scratch so the
+        // steady-state batch loop stays allocation-free; taken out
+        // here to keep `op_dsts`' arena borrow disjoint.)
+        let mut offsets = std::mem::take(&mut scratch.offsets);
+        offsets.clear();
+        let mut total_words = 0usize;
+        let mut total_patterns = 0usize;
+        for spec in shards {
+            offsets.push(total_words);
+            total_words += spec.patterns.div_ceil(64);
+            total_patterns += spec.patterns;
+        }
+        scratch.prepare(self.num_slots, total_words, total_patterns);
+
+        // Input fill: shard-outer / input-inner, one pattern RNG per
+        // shard — exactly the words `PatternSet::random` would draw for
+        // each shard on its own.
+        for (&off, spec) in offsets.iter().zip(shards) {
+            let words = spec.patterns.div_ceil(64);
+            let mut rng = StdRng::seed_from_u64(spec.pattern_seed);
+            for &slot in &self.input_slots {
+                let base = slot as usize * total_words + off;
+                for w in &mut scratch.arena[base..base + words] {
+                    *w = rng.next_u64();
+                }
+            }
+        }
+        self.fill_consts(scratch, total_words);
+
+        let plan = MaskPlan::new(epsilon);
+        let draw_masks = !plan.is_zero();
+        let mut clean_toggles = std::mem::take(&mut scratch.batch_clean);
+        let mut noisy_toggles = std::mem::take(&mut scratch.batch_noisy);
+        clean_toggles.clear();
+        clean_toggles.resize(shards.len(), 0);
+        noisy_toggles.clear();
+        noisy_toggles.resize(shards.len(), 0);
+        for (op_index, op) in self.ops.iter().enumerate() {
+            let (lo, clean_dst, noisy_dst) = scratch.op_dsts(op.dst, total_words);
+            let operands = &self.operands[op.operands.0 as usize..op.operands.1 as usize];
+            eval_op_pair(op.kind, lo, total_words, operands, clean_dst, noisy_dst);
+            for (j, (&off, spec)) in offsets.iter().zip(shards).enumerate() {
+                let words = spec.patterns.div_ceil(64);
+                let noisy_seg = &mut noisy_dst[off..off + words];
+                if draw_masks {
+                    plan.xor_masks(gate_state(spec.fault_seed, op_index as u64), 0, noisy_seg);
+                }
+                let (clean, noisy) =
+                    toggle_count_pair(&clean_dst[off..off + words], noisy_seg, spec.patterns);
+                clean_toggles[j] += clean;
+                noisy_toggles[j] += noisy;
+            }
+        }
+
+        // Per-shard output mismatches, same masked-tail walk as the
+        // single-shard path.
+        let arena = &scratch.arena;
+        let any_diff = &mut scratch.any_diff;
+        for (j, (&off, spec)) in offsets.iter().zip(shards).enumerate() {
+            let words = spec.patterns.div_ceil(64);
+            let tail = tail_mask(spec.patterns);
+            let tally = &mut tallies[j];
+            any_diff[..words].fill(0);
+            for (o, &(clean, noisy)) in self.output_slots.iter().enumerate() {
+                let c = &arena[clean as usize * total_words + off..][..words];
+                let z = &arena[noisy as usize * total_words + off..][..words];
+                let mut ones = 0u64;
+                for w in 0..words - 1 {
+                    let diff = c[w] ^ z[w];
+                    ones += u64::from(diff.count_ones());
+                    any_diff[w] |= diff;
+                }
+                let diff = (c[words - 1] ^ z[words - 1]) & tail;
+                ones += u64::from(diff.count_ones());
+                any_diff[words - 1] |= diff;
+                tally.per_output_errors[o] += ones;
+            }
+            tally.circuit_errors += any_diff[..words]
+                .iter()
+                .map(|&w| u64::from(w.count_ones()))
+                .sum::<u64>();
+            tally.patterns += spec.patterns;
+            tally.transitions += spec.patterns - 1;
+            tally.clean_gate_toggles += clean_toggles[j];
+            tally.noisy_gate_toggles += noisy_toggles[j];
+        }
+        scratch.offsets = offsets;
+        scratch.batch_clean = clean_toggles;
+        scratch.batch_noisy = noisy_toggles;
         Ok(())
     }
 
@@ -590,6 +791,85 @@ enum Lane {
     Noisy,
 }
 
+/// Computes one op's clean **and** noisy streams in a single fused
+/// loop.
+///
+/// Specialized kernels cover the shapes that dominate real netlists
+/// (inverters; 2- and 3-input And/Nand/Or/Nor/Xor/Xnor; majority):
+/// one pass over the operand words evaluates both lanes, halving loop
+/// overhead versus two [`eval_op`] calls and letting the two
+/// independent dataflows fill the pipeline. Other shapes fall back to
+/// `eval_op` per lane. Bit-identical to the two-call form by
+/// construction — each lane computes the same expression over the same
+/// operand slots (and a unit test below pins it).
+fn eval_op_pair(
+    kind: GateKind,
+    lo: &[u64],
+    words: usize,
+    operands: &[(u32, u32)],
+    clean_dst: &mut [u64],
+    noisy_dst: &mut [u64],
+) {
+    let pair = |i: usize| -> (&[u64], &[u64]) {
+        let (clean, noisy) = operands[i];
+        (
+            &lo[clean as usize * words..][..words],
+            &lo[noisy as usize * words..][..words],
+        )
+    };
+    macro_rules! fuse2 {
+        (|$a:ident, $b:ident| $expr:expr) => {{
+            let (ac, an) = pair(0);
+            let (bc, bn) = pair(1);
+            for (w, (oc, on)) in clean_dst.iter_mut().zip(noisy_dst.iter_mut()).enumerate() {
+                let ($a, $b) = (ac[w], bc[w]);
+                *oc = $expr;
+                let ($a, $b) = (an[w], bn[w]);
+                *on = $expr;
+            }
+        }};
+    }
+    macro_rules! fuse3 {
+        (|$a:ident, $b:ident, $c:ident| $expr:expr) => {{
+            let (ac, an) = pair(0);
+            let (bc, bn) = pair(1);
+            let (cc, cn) = pair(2);
+            for (w, (oc, on)) in clean_dst.iter_mut().zip(noisy_dst.iter_mut()).enumerate() {
+                let ($a, $b, $c) = (ac[w], bc[w], cc[w]);
+                *oc = $expr;
+                let ($a, $b, $c) = (an[w], bn[w], cn[w]);
+                *on = $expr;
+            }
+        }};
+    }
+    match (kind, operands.len()) {
+        (GateKind::Not, 1) => {
+            let (ac, an) = pair(0);
+            for (w, (oc, on)) in clean_dst.iter_mut().zip(noisy_dst.iter_mut()).enumerate() {
+                *oc = !ac[w];
+                *on = !an[w];
+            }
+        }
+        (GateKind::And, 2) => fuse2!(|a, b| a & b),
+        (GateKind::Nand, 2) => fuse2!(|a, b| !(a & b)),
+        (GateKind::Or, 2) => fuse2!(|a, b| a | b),
+        (GateKind::Nor, 2) => fuse2!(|a, b| !(a | b)),
+        (GateKind::Xor, 2) => fuse2!(|a, b| a ^ b),
+        (GateKind::Xnor, 2) => fuse2!(|a, b| !(a ^ b)),
+        (GateKind::And, 3) => fuse3!(|a, b, c| a & b & c),
+        (GateKind::Nand, 3) => fuse3!(|a, b, c| !(a & b & c)),
+        (GateKind::Or, 3) => fuse3!(|a, b, c| a | b | c),
+        (GateKind::Nor, 3) => fuse3!(|a, b, c| !(a | b | c)),
+        (GateKind::Xor, 3) => fuse3!(|a, b, c| a ^ b ^ c),
+        (GateKind::Xnor, 3) => fuse3!(|a, b, c| !(a ^ b ^ c)),
+        (GateKind::Maj, 3) => fuse3!(|a, b, c| (a & b) | (a & c) | (b & c)),
+        _ => {
+            eval_op(kind, lo, words, operands, Lane::Clean, clean_dst);
+            eval_op(kind, lo, words, operands, Lane::Noisy, noisy_dst);
+        }
+    }
+}
+
 /// Computes one op's packed stream from already-computed slots.
 ///
 /// `lo` is the arena prefix below the op's destination — every operand
@@ -679,6 +959,12 @@ pub struct SimScratch {
     words: usize,
     /// Pattern count of the most recent run.
     count: usize,
+    /// Per-shard word offsets of the most recent batch run.
+    offsets: Vec<usize>,
+    /// Per-shard clean-toggle accumulators of the batch run.
+    batch_clean: Vec<u64>,
+    /// Per-shard noisy-toggle accumulators of the batch run.
+    batch_noisy: Vec<u64>,
 }
 
 impl SimScratch {
@@ -922,6 +1208,110 @@ mod tests {
         let c = cache.get_or_compile(&other);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batched_shards_are_bit_identical_to_individual_runs() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        for eps in [0.0, 0.01, 0.3, 0.5, 1.0] {
+            // Ragged shard sizes: exact word multiples, tails, and a
+            // single-pattern shard (zero transitions).
+            let shards = [
+                ShardSpec {
+                    fault_seed: 101,
+                    pattern_seed: 201,
+                    patterns: 64,
+                },
+                ShardSpec {
+                    fault_seed: 102,
+                    pattern_seed: 202,
+                    patterns: 65,
+                },
+                ShardSpec {
+                    fault_seed: 103,
+                    pattern_seed: 203,
+                    patterns: 1,
+                },
+                ShardSpec {
+                    fault_seed: 104,
+                    pattern_seed: 204,
+                    patterns: 333,
+                },
+            ];
+            let mut batched = vec![program.empty_tally(); shards.len()];
+            program
+                .run_tally_batch(&mut scratch, eps, &shards, &mut batched)
+                .unwrap();
+            for (spec, got) in shards.iter().zip(&batched) {
+                let cfg = NoisyConfig::new(eps, spec.fault_seed).unwrap();
+                let solo = program
+                    .run_tally(&mut scratch, &cfg, spec.patterns, spec.pattern_seed)
+                    .unwrap();
+                assert_eq!(*got, solo, "eps={eps} spec={spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes_without_partial_work() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        let mut scratch = program.scratch();
+        let shards = [ShardSpec {
+            fault_seed: 1,
+            pattern_seed: 2,
+            patterns: 0,
+        }];
+        let mut tallies = vec![program.empty_tally()];
+        assert!(program
+            .run_tally_batch(&mut scratch, 0.1, &shards, &mut tallies)
+            .is_err());
+        assert_eq!(tallies[0], program.empty_tally(), "no partial counts");
+        // Empty batch is a no-op, not an error.
+        program
+            .run_tally_batch(&mut scratch, 0.1, &[], &mut [])
+            .unwrap();
+    }
+
+    #[test]
+    fn fused_pair_kernels_match_generic_eval_op() {
+        use rand::rngs::StdRng;
+        // Every specialized shape plus a fallback arity (4-input And):
+        // operand slots 0..=7 over 3 words, destinations written both
+        // ways and compared.
+        let mut rng = StdRng::seed_from_u64(5);
+        let words = 3usize;
+        let lo: Vec<u64> = (0..8 * words).map(|_| rng.next_u64()).collect();
+        let cases: Vec<(GateKind, Vec<(u32, u32)>)> = vec![
+            (GateKind::Not, vec![(0, 1)]),
+            (GateKind::And, vec![(0, 1), (2, 3)]),
+            (GateKind::Nand, vec![(0, 1), (2, 3)]),
+            (GateKind::Or, vec![(4, 5), (6, 7)]),
+            (GateKind::Nor, vec![(4, 5), (6, 7)]),
+            (GateKind::Xor, vec![(0, 1), (4, 5)]),
+            (GateKind::Xnor, vec![(0, 1), (4, 5)]),
+            (GateKind::And, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Nand, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Or, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Nor, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Xor, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Xnor, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Maj, vec![(0, 1), (2, 3), (4, 5)]),
+            (GateKind::Nand, vec![(0, 1), (2, 3), (4, 5), (6, 7)]),
+        ];
+        for (kind, operands) in cases {
+            let mut fused_c = vec![0u64; words];
+            let mut fused_n = vec![0u64; words];
+            eval_op_pair(kind, &lo, words, &operands, &mut fused_c, &mut fused_n);
+            let mut gen_c = vec![0u64; words];
+            let mut gen_n = vec![0u64; words];
+            eval_op(kind, &lo, words, &operands, Lane::Clean, &mut gen_c);
+            eval_op(kind, &lo, words, &operands, Lane::Noisy, &mut gen_n);
+            assert_eq!(fused_c, gen_c, "{kind:?} x{} clean", operands.len());
+            assert_eq!(fused_n, gen_n, "{kind:?} x{} noisy", operands.len());
+        }
     }
 
     #[test]

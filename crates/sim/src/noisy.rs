@@ -9,16 +9,20 @@
 //! Buffers and constants are treated as wiring artifacts, not devices,
 //! and receive no noise — consistent with [`Netlist::gate_count`]
 //! defining the paper's device count `S0`.
+//!
+//! Fault masks come from the v2 counter-based stream
+//! ([`crate::faultstream`]): the mask of `(seed, gate ordinal, word)`
+//! is a pure hash, not a position in a sequential RNG stream, so this
+//! interpreted oracle and the compiled executor derive identical masks
+//! by construction regardless of evaluation order.
 
 use nanobound_cache::{CacheCodec, Decoder, Encoder};
 use nanobound_logic::{Netlist, Node};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::activity::{activity_of_values, toggle_count};
-use crate::bernoulli::bernoulli_word;
 use crate::engine::{eval_gate_into, evaluate_packed, NodeValues};
 use crate::error::SimError;
+use crate::faultstream::{gate_state, MaskPlan};
 use crate::patterns::{tail_mask, PatternSet};
 
 /// Configuration of one noisy simulation.
@@ -49,10 +53,22 @@ impl NoisyConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ 1`.
+    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ 1`, or if a
+    /// nonzero ε is so small that the fault stream quantizes it to an
+    /// exactly noise-free (or always-flipping) simulation — a silently
+    /// wrong answer surfaced as a parameter error instead.
     pub fn new(epsilon: f64, seed: u64) -> Result<Self, SimError> {
         if !(0.0..=1.0).contains(&epsilon) {
             return Err(SimError::bad("epsilon", epsilon, "must lie in [0, 1]"));
+        }
+        if MaskPlan::collapses(epsilon) {
+            return Err(SimError::bad(
+                "epsilon",
+                epsilon,
+                "quantizes to an exactly deterministic fault stream \
+                 (the mask generator resolves ~2^-70 at its floor); \
+                 pass epsilon = 0 or 1 explicitly if that is intended",
+            ));
         }
         Ok(NoisyConfig { epsilon, seed })
     }
@@ -61,9 +77,10 @@ impl NoisyConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ ½`; the
+    /// Returns [`SimError::BadParameter`] unless `0 ≤ ε ≤ ½` (the
     /// requirement text points at [`NoisyConfig::new`] for callers that
-    /// really do want the symmetric branch.
+    /// really do want the symmetric branch), or on the same
+    /// quantization-collapse condition as [`NoisyConfig::new`].
     pub fn strict(epsilon: f64, seed: u64) -> Result<Self, SimError> {
         if !(0.0..=0.5).contains(&epsilon) {
             return Err(SimError::bad(
@@ -73,7 +90,7 @@ impl NoisyConfig {
                  (use NoisyConfig::new to simulate the symmetric branch)",
             ));
         }
-        Ok(NoisyConfig { epsilon, seed })
+        NoisyConfig::new(epsilon, seed)
     }
 
     /// Whether this ε lies beyond the paper's ε ≤ ½ regime, where only
@@ -105,9 +122,14 @@ pub fn evaluate_noisy(
         });
     }
     let words = patterns.words_per_signal();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let plan = MaskPlan::new(config.epsilon);
     let mut values = vec![0u64; netlist.node_count() * words];
     let mut next_input = 0usize;
+    // Ordinal of the node among noise-carrying gates, in node-id order.
+    // This equals the gate's op index on the compiled tape (ops are
+    // created for exactly the `counts_as_gate` kinds, in the same
+    // order), which is what makes the two engines' masks identical.
+    let mut gate_ordinal = 0u64;
     for (i, node) in netlist.nodes().iter().enumerate() {
         let (done, rest) = values.split_at_mut(i * words);
         let out = &mut rest[..words];
@@ -119,8 +141,14 @@ pub fn evaluate_noisy(
             Node::Gate { kind, fanins } => {
                 eval_gate_into(*kind, fanins, done, words, out);
                 if kind.counts_as_gate() {
-                    for w in out.iter_mut() {
-                        *w ^= bernoulli_word(&mut rng, config.epsilon);
+                    let gs = gate_state(config.seed, gate_ordinal);
+                    gate_ordinal += 1;
+                    // The oracle spells out the stream definition one
+                    // word at a time; the compiled executor's bulk
+                    // `MaskPlan::xor_masks` must reproduce these bits
+                    // exactly (pinned by the differential tests).
+                    for (w, word) in out.iter_mut().enumerate() {
+                        *word ^= plan.mask_word(gs, w as u64);
                     }
                 }
             }
@@ -546,6 +574,28 @@ mod tests {
         assert!(NoisyConfig::new(1.1, 0).is_err());
         assert!(NoisyConfig::new(f64::NAN, 0).is_err());
         assert!(NoisyConfig::new(0.5, 0).is_ok());
+    }
+
+    #[test]
+    fn quantization_collapse_is_a_surfaced_error() {
+        // Exact endpoints are deliberate and fine.
+        assert!(NoisyConfig::new(0.0, 0).is_ok());
+        assert!(NoisyConfig::new(1.0, 0).is_ok());
+        // ε well below the v1 stream's 2^-25 cliff still simulates —
+        // the v2 sparse sampler resolves down to ~2^-70.
+        assert!(NoisyConfig::new(1e-6, 0).is_ok());
+        assert!(NoisyConfig::new((2f64).powi(-40), 0).is_ok());
+        assert!(NoisyConfig::new((2f64).powi(-60), 0).is_ok());
+        // Below the floor, a nonzero ε would silently simulate ε = 0:
+        // that is now a parameter error, for both constructors.
+        let err = NoisyConfig::new((2f64).powi(-80), 0).unwrap_err();
+        assert!(
+            err.to_string().contains("deterministic fault stream"),
+            "unhelpful error: {err}"
+        );
+        assert!(NoisyConfig::new(f64::MIN_POSITIVE, 0).is_err());
+        assert!(NoisyConfig::strict((2f64).powi(-80), 0).is_err());
+        assert!(NoisyConfig::strict(0.0, 0).is_ok());
     }
 
     #[test]

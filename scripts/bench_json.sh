@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the machine-readable engine-performance baseline.
 #
-# Usage: ./scripts/bench_json.sh [OUTPUT]    (default: BENCH_5.json)
+# Usage: ./scripts/bench_json.sh [OUTPUT]    (default: BENCH_6.json)
 #
 # Runs the `perf_engines` benchmark binary — interpreted vs compiled
 # simulation throughput (patterns/sec) per benchmark netlist, three
@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 cargo build --release -p nanobound-bench --bench perf_engines >/dev/null
 cargo bench -p nanobound-bench --bench perf_engines 2>/dev/null > "$out"
 # Minimal well-formedness gate (no jq in the container): the document
