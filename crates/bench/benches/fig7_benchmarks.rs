@@ -9,7 +9,7 @@ fn main() {
     let profiles = profile_suite_cached(
         &nanobound_bench::pool_from_env(),
         &ProfileConfig::default(),
-        nanobound_bench::cache_from_env().as_ref(),
+        nanobound_bench::profile_store_from_env().as_ref(),
     )
     .expect("suite profiles");
     println!("profiled {} benchmarks:", profiles.len());

@@ -2,11 +2,11 @@
 //! Monte-Carlo throughput per benchmark netlist.
 //!
 //! A plain binary (`harness = false`) that prints one JSON document to
-//! stdout — `scripts/bench_json.sh` redirects it into `BENCH_6.json`,
+//! stdout — `scripts/bench_json.sh` redirects it into `BENCH_7.json`,
 //! the workspace's performance-trajectory artifact. Future PRs
 //! regenerate the file and compare patterns/sec against it.
 //!
-//! Three workloads per netlist, both engines each:
+//! Four workloads per netlist, both engines each:
 //!
 //! - `mc_sparse` — paired clean/noisy simulation at ε = 0.25. Under
 //!   the v2 counter stream a dyadic ε still needs a single mix per
@@ -19,6 +19,21 @@
 //!   -bound here too and the ratio is a multiple again.
 //! - `clean` — the error-free profiling evaluation behind
 //!   `figures`/`profile` (activity + sensitivity measurement).
+//! - `activity` — the full activity profile (signal probabilities +
+//!   switching activities per node). The compiled side exercises
+//!   `SimProgram::estimate_activity`, whose tally loop reads the
+//!   bulk-filled clean planes; the profile is cross-checked equal to
+//!   the interpreted `estimate_activity` before timing.
+//!
+//! One cross-run workload on the largest hint-free benchmark:
+//!
+//! - `warm_sweep` — a leak-share grid swept twice through
+//!   `profile_benchmark_cached` against an on-disk [`ProfileStore`].
+//!   The cold pass measures activity/sensitivity once and reuses them
+//!   for the rest of the grid (profile keys exclude ε, δ and
+//!   leak-share); the warm pass reopens the store and must measure
+//!   nothing at all — asserted on the layer counters before the
+//!   timing is reported.
 //!
 //! The Monte-Carlo workloads run [`SHARDS`] chunk-sized shards per
 //! call: the interpreted side loops `monte_carlo_tally` shard by
@@ -30,10 +45,13 @@
 
 use std::time::Instant;
 
-use nanobound_gen::standard_suite;
+use nanobound_cache::{ProfileLayer, ProfileStore};
+use nanobound_experiments::profiles::{profile_benchmark_cached, ProfileConfig};
+use nanobound_gen::{standard_suite, Benchmark};
 use nanobound_logic::Netlist;
 use nanobound_sim::{
-    evaluate_packed, monte_carlo_tally, NoisyConfig, PatternSet, ShardSpec, SimProgram,
+    estimate_activity, evaluate_packed, monte_carlo_tally, NoisyConfig, PatternSet, ShardSpec,
+    SimProgram,
 };
 
 /// Patterns per shard — the workspace's DEFAULT_CHUNK.
@@ -151,6 +169,88 @@ fn measure_clean(netlist: &Netlist, program: &SimProgram) -> EnginePair {
     }
 }
 
+fn measure_activity_profile(netlist: &Netlist, program: &SimProgram) -> EnginePair {
+    let mut scratch = program.scratch();
+    // Same contract as the Monte-Carlo workloads: the compiled profile
+    // must equal the interpreted one exactly before a timing sample is
+    // taken.
+    let reference = estimate_activity(netlist, CHUNK, 7).expect("interpreted activity");
+    let bulk = program
+        .estimate_activity(&mut scratch, CHUNK, 7)
+        .expect("compiled activity");
+    assert_eq!(
+        reference, bulk,
+        "activity profiles diverged — benchmark void"
+    );
+
+    let (interp_pps, compiled_pps) = paired_pps(
+        CHUNK,
+        || drop(estimate_activity(netlist, CHUNK, 7).unwrap()),
+        || drop(program.estimate_activity(&mut scratch, CHUNK, 7).unwrap()),
+    );
+    EnginePair {
+        interp_pps,
+        compiled_pps,
+    }
+}
+
+/// Leak-share grid for the cross-run sweep workload. The profile store
+/// keys measurements on structure + sampling parameters only, so every
+/// point after the first reuses the first point's measurements.
+const SWEEP_GRID: [f64; 6] = [0.30, 0.38, 0.46, 0.54, 0.62, 0.70];
+
+fn measure_warm_sweep(bench: &Benchmark) -> String {
+    let root = std::env::temp_dir().join(format!("nanobound-perf-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let run = |store: &ProfileStore| {
+        let start = Instant::now();
+        for leak in SWEEP_GRID {
+            let config = ProfileConfig {
+                leak_share: leak,
+                ..ProfileConfig::default()
+            };
+            drop(profile_benchmark_cached(bench, &config, Some(store)).expect("profile"));
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let cold_store = ProfileStore::open(&root).expect("open profile store");
+    let cold_secs = run(&cold_store);
+    let cold_activity = cold_store.layer_stats(ProfileLayer::Activity);
+    let cold_sensitivity = cold_store.layer_stats(ProfileLayer::Sensitivity);
+    drop(cold_store);
+
+    let warm_store = ProfileStore::open(&root).expect("reopen profile store");
+    let warm_secs = run(&warm_store);
+    let warm_activity = warm_store.layer_stats(ProfileLayer::Activity);
+    let warm_sensitivity = warm_store.layer_stats(ProfileLayer::Sensitivity);
+    // A warm sweep that re-measures anything would make the timing a
+    // lie — the whole point is that the store carries the measurements
+    // across runs.
+    assert_eq!(warm_activity.measured, 0, "warm sweep re-measured activity");
+    assert_eq!(
+        warm_sensitivity.measured, 0,
+        "warm sweep re-measured sensitivity"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
+    format!(
+        "{{\"netlist\": \"{}\", \"grid_points\": {}, \"cold_secs\": {:.4}, \"warm_secs\": {:.4}, \"speedup\": {:.2}, \"cold_activity_measured\": {}, \"cold_activity_reused\": {}, \"cold_sensitivity_measured\": {}, \"cold_sensitivity_reused\": {}, \"warm_activity_reused\": {}, \"warm_sensitivity_reused\": {}}}",
+        bench.name,
+        SWEEP_GRID.len(),
+        cold_secs,
+        warm_secs,
+        cold_secs / warm_secs,
+        cold_activity.measured,
+        cold_activity.reused,
+        cold_sensitivity.measured,
+        cold_sensitivity.reused,
+        warm_activity.reused,
+        warm_sensitivity.reused,
+    )
+}
+
 fn main() {
     let suite = standard_suite().expect("standard suite generates");
     let mut entries = Vec::new();
@@ -161,6 +261,7 @@ fn main() {
         let sparse = measure_mc(netlist, &program, 0.25);
         let dense = measure_mc(netlist, &program, 0.01);
         let clean = measure_clean(netlist, &program);
+        let activity = measure_activity_profile(netlist, &program);
         if largest
             .as_ref()
             .is_none_or(|(_, gates, _)| netlist.gate_count() > *gates)
@@ -168,19 +269,28 @@ fn main() {
             largest = Some((bench.name.clone(), netlist.gate_count(), sparse.speedup()));
         }
         entries.push(format!(
-            "    {{\"name\": \"{}\", \"gates\": {}, \"inputs\": {}, \"mc_sparse\": {}, \"mc_dense\": {}, \"clean\": {}}}",
+            "    {{\"name\": \"{}\", \"gates\": {}, \"inputs\": {}, \"mc_sparse\": {}, \"mc_dense\": {}, \"clean\": {}, \"activity\": {}}}",
             bench.name,
             netlist.gate_count(),
             netlist.input_count(),
             sparse.json(),
             dense.json(),
             clean.json(),
+            activity.json(),
         ));
     }
+    // The sweep wants a benchmark whose sensitivity is *measured* (no
+    // analytic hint), so both profile layers show up in the counters;
+    // among those, take the largest.
+    let sweep_bench = suite
+        .iter()
+        .max_by_key(|b| (b.sensitivity_hint.is_none(), b.netlist.gate_count()))
+        .expect("non-empty suite");
+    let warm_sweep = measure_warm_sweep(sweep_bench);
     let (largest_name, largest_gates, largest_speedup) = largest.expect("non-empty suite");
     println!("{{");
     println!("  \"bench\": \"engines\",");
-    println!("  \"pr\": 6,");
+    println!("  \"pr\": 7,");
     println!("  \"chunk_patterns\": {CHUNK},");
     println!("  \"mc_shards\": {SHARDS},");
     println!("  \"batch_policy\": \"preferred_batch\",");
@@ -189,6 +299,7 @@ fn main() {
     println!(
         "  \"largest_netlist\": {{\"name\": \"{largest_name}\", \"gates\": {largest_gates}, \"mc_sparse_speedup\": {largest_speedup:.2}}},"
     );
+    println!("  \"warm_sweep\": {warm_sweep},");
     println!("  \"netlists\": [");
     println!("{}", entries.join(",\n"));
     println!("  ]");

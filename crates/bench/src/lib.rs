@@ -14,7 +14,7 @@
 //! This library crate only hosts shared helpers.
 
 #![forbid(unsafe_code)]
-use nanobound_cache::ShardCache;
+use nanobound_cache::{ProfileStore, ShardCache};
 use nanobound_experiments::FigureOutput;
 use nanobound_runner::ThreadPool;
 
@@ -66,6 +66,25 @@ pub fn cache_from_env() -> Option<ShardCache> {
         Err(_) => None,
         Ok(dir) => Some(
             ShardCache::open(&dir)
+                .unwrap_or_else(|e| panic!("NANOBOUND_CACHE_DIR=`{dir}` cannot be opened: {e}")),
+        ),
+    }
+}
+
+/// Opens the ε-independent profile store for a bench run from the same
+/// `NANOBOUND_CACHE_DIR` variable as [`cache_from_env`] (default: no
+/// store). Shares the shard cache's root — profile entries are
+/// domain-tagged, so the two namespaces never collide.
+///
+/// # Panics
+///
+/// Same contract as [`cache_from_env`].
+#[must_use]
+pub fn profile_store_from_env() -> Option<ProfileStore> {
+    match std::env::var("NANOBOUND_CACHE_DIR") {
+        Err(_) => None,
+        Ok(dir) => Some(
+            ProfileStore::open(&dir)
                 .unwrap_or_else(|e| panic!("NANOBOUND_CACHE_DIR=`{dir}` cannot be opened: {e}")),
         ),
     }

@@ -15,13 +15,14 @@
 
 use std::sync::Arc;
 
-use nanobound_cache::{CacheCodec, Decoder, Encoder, FingerprintBuilder, ShardCache};
+use nanobound_cache::{CacheCodec, Decoder, Encoder, ProfileLayer, ProfileStore};
 use nanobound_core::CircuitProfile;
 use nanobound_gen::{standard_suite, Benchmark};
 use nanobound_logic::{transform, CircuitStats, Netlist};
-use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
+use nanobound_runner::{experiment_builder, try_grid_map, ThreadPool};
 use nanobound_sim::{
     estimate_activity, sensitivity, EngineKind, ProgramCache, SensitivityEstimate, SimProgram,
+    SimScratch,
 };
 
 use crate::error::ExperimentError;
@@ -93,35 +94,47 @@ impl CacheCodec for SensitivitySource {
     }
 }
 
-/// The cached slice of one benchmark's measurement: the two quantities
-/// the simulator produces. Everything else in a [`CircuitProfile`] is
-/// recomputed structurally (mapping and stats are cheap and
-/// deterministic), so the cache stores only what is expensive.
-struct Measurement {
-    /// Raw `avg_gate_activity` (pre-clamp).
-    activity: f64,
-    /// Measured or hinted sensitivity.
-    sensitivity: f64,
+/// The persisted activity layer: one raw (pre-clamp)
+/// `avg_gate_activity`. Keyed on the mapped structure, pattern count
+/// and seed only — activity does not depend on ε, the leakage share,
+/// the sensitivity sample budget or the hint, so none of those are in
+/// its fingerprint and none of them force a re-measurement.
+struct StoredActivity(f64);
+
+impl CacheCodec for StoredActivity {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.0);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
+        let v = dec.take_f64()?;
+        // Sanity-gate decoded values: anything outside the simulator's
+        // codomain is a stale or colliding entry — recompute.
+        (0.0..=1.0).contains(&v).then_some(StoredActivity(v))
+    }
+}
+
+/// The persisted sensitivity layer: the measured value and its
+/// provenance. Keyed on the mapped structure, sample budget and seed;
+/// never consulted (or written) when an analytic hint short-circuits
+/// the measurement, so a hinted entry can never shadow a measured one.
+struct StoredSensitivity {
+    value: f64,
     source: SensitivitySource,
 }
 
-impl CacheCodec for Measurement {
+impl CacheCodec for StoredSensitivity {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_f64(self.activity);
-        enc.put_f64(self.sensitivity);
+        enc.put_f64(self.value);
         self.source.encode(enc);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Option<Self> {
-        let m = Measurement {
-            activity: dec.take_f64()?,
-            sensitivity: dec.take_f64()?,
+        let s = StoredSensitivity {
+            value: dec.take_f64()?,
             source: SensitivitySource::decode(dec)?,
         };
-        // Sanity-gate decoded values: anything outside the simulator's
-        // codomain is a stale or colliding entry — recompute.
-        ((0.0..=1.0).contains(&m.activity) && m.sensitivity.is_finite() && m.sensitivity >= 0.0)
-            .then_some(m)
+        (s.value.is_finite() && s.value >= 0.0 && s.source != SensitivitySource::Hint).then_some(s)
     }
 }
 
@@ -158,26 +171,32 @@ pub fn profile_netlist(
 
 /// [`profile_netlist`] with the expensive measurements (activity
 /// simulation, sensitivity estimation) served from / written to
-/// `cache`.
+/// `profiles`, each under its own ε-independent experiment fingerprint.
 ///
 /// The mapped netlist and its structural statistics are always
 /// recomputed — `transform::prepare` is deterministic and cheap — so a
-/// cache hit reproduces the exact [`ProfiledBenchmark`] a cold run
-/// builds, floats included (the cache stores their bit patterns). The
-/// fingerprint covers the *mapped* netlist structure, the measurement
-/// parameters and the hint, so any change to the benchmark or the
-/// config addresses fresh entries.
+/// store hit reproduces the exact [`ProfiledBenchmark`] a cold run
+/// builds, floats included (the store keeps their bit patterns). The
+/// two layers are keyed independently:
+///
+/// - **activity** over the mapped structure + pattern count + seed;
+/// - **sensitivity** over the mapped structure + sample budget + seed
+///   (skipped entirely when an analytic hint is supplied).
+///
+/// Neither key contains ε, δ, the leakage share or the hint, so an
+/// ε-grid sweep (or a hint change) reuses one measurement across the
+/// whole grid — across runs and processes.
 ///
 /// # Errors
 ///
-/// Same as [`profile_netlist`]; cache failures degrade to measurement.
+/// Same as [`profile_netlist`]; store failures degrade to measurement.
 pub fn profile_netlist_cached(
     netlist: &Netlist,
     sensitivity_hint: Option<u32>,
     config: &ProfileConfig,
-    cache: Option<&ShardCache>,
+    profiles: Option<&ProfileStore>,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
-    profile_netlist_cached_programs(netlist, sensitivity_hint, config, cache, None)
+    profile_netlist_cached_programs(netlist, sensitivity_hint, config, profiles, None)
 }
 
 /// [`profile_netlist_cached`] with compiled simulation programs served
@@ -197,40 +216,88 @@ pub fn profile_netlist_cached_programs(
     netlist: &Netlist,
     sensitivity_hint: Option<u32>,
     config: &ProfileConfig,
-    cache: Option<&ShardCache>,
+    profiles: Option<&ProfileStore>,
     programs: Option<&ProgramCache>,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
-    // Resolve (and strictly validate) the engine before the cache is
+    // Resolve (and strictly validate) the engine before the store is
     // consulted: a typo'd NANOBOUND_ENGINE must be a hard error on warm
     // runs too, not only when a measurement is actually executed.
     let engine = EngineKind::from_env().map_err(ExperimentError::from)?;
     let mapped = transform::prepare(netlist, config.max_fanin)?;
     let stats = CircuitStats::of(&mapped);
 
-    let fingerprint = cache.map(|_| {
-        let mut builder = FingerprintBuilder::new("profile");
-        netlist_fingerprint(&mut builder, &mapped);
-        builder.push_usize(config.patterns);
-        builder.push_usize(config.sensitivity_samples);
-        builder.push_u64(config.seed);
-        match sensitivity_hint {
-            None => builder.push_u64(u64::MAX),
-            Some(s) => builder.push_u64(u64::from(s)),
+    // The simulation backend is built lazily — a fully warm lookup
+    // compiles nothing — and at most once, so activity and sensitivity
+    // share one compiled tape exactly as the fused path did.
+    let mut backend = None;
+    let backend_for = |mapped: &Netlist| -> Backend {
+        match engine {
+            EngineKind::Interp => Backend::Interp,
+            EngineKind::Compiled => {
+                let program = match programs {
+                    Some(cache) => cache.get_or_compile(mapped),
+                    None => Arc::new(SimProgram::compile(mapped)),
+                };
+                let scratch = program.scratch();
+                Backend::Compiled { program, scratch }
+            }
         }
+    };
+
+    let activity_key = profiles.map(|_| {
+        let mut builder = experiment_builder("profile-activity", &mapped);
+        builder.push_usize(config.patterns);
+        builder.push_u64(config.seed);
         builder.finish()
     });
-    let cached = match (cache, &fingerprint) {
-        (Some(c), Some(fp)) => c.load_value::<Measurement>(fp, 0),
+    let stored = match (profiles, &activity_key) {
+        (Some(store), Some(fp)) => store.load::<StoredActivity>(ProfileLayer::Activity, fp),
         _ => None,
     };
-    let measurement = match cached {
-        Some(m) => m,
+    let activity = match stored {
+        Some(StoredActivity(v)) => v,
         None => {
-            let measurement = measure(engine, &mapped, sensitivity_hint, config, programs)?;
-            if let (Some(c), Some(fp)) = (cache, &fingerprint) {
-                c.store_value(fp, 0, &measurement);
+            let v = measure_activity(
+                backend.get_or_insert_with(|| backend_for(&mapped)),
+                &mapped,
+                config,
+            )?;
+            if let (Some(store), Some(fp)) = (profiles, &activity_key) {
+                store.store(fp, &StoredActivity(v));
             }
-            measurement
+            v
+        }
+    };
+
+    let (sensitivity, source) = match sensitivity_hint {
+        Some(s) => (f64::from(s), SensitivitySource::Hint),
+        None => {
+            let sensitivity_key = profiles.map(|_| {
+                let mut builder = experiment_builder("profile-sensitivity", &mapped);
+                builder.push_usize(config.sensitivity_samples);
+                builder.push_u64(config.seed);
+                builder.finish()
+            });
+            let stored = match (profiles, &sensitivity_key) {
+                (Some(store), Some(fp)) => {
+                    store.load::<StoredSensitivity>(ProfileLayer::Sensitivity, fp)
+                }
+                _ => None,
+            };
+            match stored {
+                Some(s) => (s.value, s.source),
+                None => {
+                    let (value, source) = measure_sensitivity(
+                        backend.get_or_insert_with(|| backend_for(&mapped)),
+                        &mapped,
+                        config,
+                    )?;
+                    if let (Some(store), Some(fp)) = (profiles, &sensitivity_key) {
+                        store.store(fp, &StoredSensitivity { value, source });
+                    }
+                    (value, source)
+                }
+            }
         }
     };
 
@@ -240,10 +307,10 @@ pub fn profile_netlist_cached_programs(
         outputs: stats.num_outputs,
         size: stats.num_gates,
         depth: stats.depth,
-        sensitivity: measurement.sensitivity,
+        sensitivity,
         // Clamp into the open interval the bounds require; a measured 0
         // or 1 only occurs for degenerate circuits.
-        activity: measurement.activity.clamp(1e-6, 1.0 - 1e-6),
+        activity: activity.clamp(1e-6, 1.0 - 1e-6),
         fanin: (stats.max_fanin.max(2)) as f64,
         leak_share: config.leak_share,
     };
@@ -251,73 +318,60 @@ pub fn profile_netlist_cached_programs(
         name: netlist.name().to_owned(),
         mapped,
         profile,
-        sensitivity_source: measurement.source,
+        sensitivity_source: source,
     })
 }
 
-/// Runs the expensive simulator measurements on a mapped netlist,
-/// dispatching on the resolved `NANOBOUND_ENGINE` backend. Both
-/// engines are bit-identical (pinned by `crates/sim/tests/compiled.rs`
-/// and the ci.sh engine gate), so the stored [`Measurement`] never
-/// depends on the backend.
-fn measure(
-    engine: EngineKind,
+/// A resolved simulation backend, built at most once per profile call.
+/// Both variants are bit-identical (pinned by
+/// `crates/sim/tests/compiled.rs` and the ci.sh engine gate), so no
+/// stored measurement depends on the choice.
+enum Backend {
+    Interp,
+    Compiled {
+        program: Arc<SimProgram>,
+        scratch: SimScratch,
+    },
+}
+
+/// Measures the raw (pre-clamp) average gate activity.
+fn measure_activity(
+    backend: &mut Backend,
     mapped: &Netlist,
-    sensitivity_hint: Option<u32>,
     config: &ProfileConfig,
-    programs: Option<&ProgramCache>,
-) -> Result<Measurement, ExperimentError> {
-    let (avg_activity, estimate): (f64, Option<SensitivityEstimate>) = match engine {
-        EngineKind::Interp => {
-            let activity = estimate_activity(mapped, config.patterns, config.seed)?;
-            let estimate = match sensitivity_hint {
-                Some(_) => None,
-                None => Some(sensitivity::estimate(
-                    mapped,
-                    config.sensitivity_samples,
-                    config.seed,
-                )?),
-            };
-            (activity.avg_gate_activity, estimate)
+) -> Result<f64, ExperimentError> {
+    Ok(match backend {
+        Backend::Interp => {
+            estimate_activity(mapped, config.patterns, config.seed)?.avg_gate_activity
         }
-        EngineKind::Compiled => {
-            let program = match programs {
-                Some(cache) => cache.get_or_compile(mapped),
-                None => Arc::new(SimProgram::compile(mapped)),
-            };
-            let mut scratch = program.scratch();
-            let activity = program.estimate_activity(&mut scratch, config.patterns, config.seed)?;
-            let estimate = match sensitivity_hint {
-                Some(_) => None,
-                None => Some(sensitivity::estimate_with(
-                    &program,
-                    &mut scratch,
-                    config.sensitivity_samples,
-                    config.seed,
-                )?),
-            };
-            (activity.avg_gate_activity, estimate)
+        Backend::Compiled { program, scratch } => {
+            program
+                .estimate_activity(scratch, config.patterns, config.seed)?
+                .avg_gate_activity
         }
-    };
-    let (sensitivity, source) = match (sensitivity_hint, estimate) {
-        (Some(s), _) => (f64::from(s), SensitivitySource::Hint),
-        (None, Some(est)) => {
-            let source = if est.is_exact() {
-                SensitivitySource::Exact
-            } else {
-                SensitivitySource::Sampled {
-                    samples: config.sensitivity_samples,
-                }
-            };
-            (f64::from(est.value()), source)
-        }
-        (None, None) => unreachable!("estimate computed whenever the hint is absent"),
-    };
-    Ok(Measurement {
-        activity: avg_activity,
-        sensitivity,
-        source,
     })
+}
+
+/// Measures Boolean sensitivity and classifies its provenance.
+fn measure_sensitivity(
+    backend: &mut Backend,
+    mapped: &Netlist,
+    config: &ProfileConfig,
+) -> Result<(f64, SensitivitySource), ExperimentError> {
+    let est: SensitivityEstimate = match backend {
+        Backend::Interp => sensitivity::estimate(mapped, config.sensitivity_samples, config.seed)?,
+        Backend::Compiled { program, scratch } => {
+            sensitivity::estimate_with(program, scratch, config.sensitivity_samples, config.seed)?
+        }
+    };
+    let source = if est.is_exact() {
+        SensitivitySource::Exact
+    } else {
+        SensitivitySource::Sampled {
+            samples: config.sensitivity_samples,
+        }
+    };
+    Ok((f64::from(est.value()), source))
 }
 
 /// Profiles a [`Benchmark`] (uses its sensitivity hint when present).
@@ -340,9 +394,9 @@ pub fn profile_benchmark(
 pub fn profile_benchmark_cached(
     benchmark: &Benchmark,
     config: &ProfileConfig,
-    cache: Option<&ShardCache>,
+    profiles: Option<&ProfileStore>,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
-    profile_benchmark_cached_programs(benchmark, config, cache, None)
+    profile_benchmark_cached_programs(benchmark, config, profiles, None)
 }
 
 /// [`profile_benchmark_cached`] with compiled programs shared through
@@ -354,14 +408,14 @@ pub fn profile_benchmark_cached(
 pub fn profile_benchmark_cached_programs(
     benchmark: &Benchmark,
     config: &ProfileConfig,
-    cache: Option<&ShardCache>,
+    profiles: Option<&ProfileStore>,
     programs: Option<&ProgramCache>,
 ) -> Result<ProfiledBenchmark, ExperimentError> {
     profile_netlist_cached_programs(
         &benchmark.netlist,
         benchmark.sensitivity_hint,
         config,
-        cache,
+        profiles,
         programs,
     )
 }
@@ -408,8 +462,8 @@ pub fn profile_suite_with(
 }
 
 /// Profiles the Section-6 suite with per-benchmark measurements served
-/// from / written to `cache` — the dominant cost of a `figures` run, so
-/// this is where a warm cache pays off most.
+/// from / written to `profiles` — the dominant cost of a `figures` run,
+/// so this is where a warm store pays off most.
 ///
 /// # Errors
 ///
@@ -417,9 +471,9 @@ pub fn profile_suite_with(
 pub fn profile_suite_cached(
     pool: &ThreadPool,
     config: &ProfileConfig,
-    cache: Option<&ShardCache>,
+    profiles: Option<&ProfileStore>,
 ) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
-    profile_suite_cached_programs(pool, config, cache, None)
+    profile_suite_cached_programs(pool, config, profiles, None)
 }
 
 /// [`profile_suite_cached`] with compiled programs shared through
@@ -431,12 +485,12 @@ pub fn profile_suite_cached(
 pub fn profile_suite_cached_programs(
     pool: &ThreadPool,
     config: &ProfileConfig,
-    cache: Option<&ShardCache>,
+    profiles: Option<&ProfileStore>,
     programs: Option<&ProgramCache>,
 ) -> Result<Vec<ProfiledBenchmark>, ExperimentError> {
     let suite = standard_suite()?;
     try_grid_map(pool, &suite, |b| {
-        profile_benchmark_cached_programs(b, config, cache, programs)
+        profile_benchmark_cached_programs(b, config, profiles, programs)
     })
 }
 
@@ -534,29 +588,71 @@ mod tests {
     fn cached_profile_is_identical_to_measured() {
         let dir = std::env::temp_dir().join("nanobound_profiles_cache");
         let _ = std::fs::remove_dir_all(&dir);
-        let cache = ShardCache::open(&dir).unwrap();
+        let store = ProfileStore::open(&dir).unwrap();
         let config = quick();
         let tree = parity::parity_tree(8, 2).unwrap();
         let plain = profile_netlist(&tree, None, &config).unwrap();
-        let cold = profile_netlist_cached(&tree, None, &config, Some(&cache)).unwrap();
-        let warm = profile_netlist_cached(&tree, None, &config, Some(&cache)).unwrap();
+        let cold = profile_netlist_cached(&tree, None, &config, Some(&store)).unwrap();
+        let warm = profile_netlist_cached(&tree, None, &config, Some(&store)).unwrap();
         for p in [&cold, &warm] {
             assert_eq!(p.profile, plain.profile);
             assert_eq!(p.sensitivity_source, plain.sensitivity_source);
             assert_eq!(p.mapped, plain.mapped);
         }
-        assert_eq!(cache.stats().hits, 1);
-        // A different seed is a different experiment: miss, not stale hit.
+        assert_eq!(store.layer_stats(ProfileLayer::Activity).reused, 1);
+        assert_eq!(store.layer_stats(ProfileLayer::Sensitivity).reused, 1);
+        // A different seed is a different experiment: re-measured, not a
+        // stale hit.
         let other = ProfileConfig {
             seed: 0xD00D,
             ..config
         };
-        let _ = profile_netlist_cached(&tree, None, &other, Some(&cache)).unwrap();
-        assert_eq!(cache.stats().hits, 1);
-        assert_eq!(cache.stats().misses, 2);
-        // A hint is part of the identity too.
-        let hinted = profile_netlist_cached(&tree, Some(8), &config, Some(&cache)).unwrap();
+        let _ = profile_netlist_cached(&tree, None, &other, Some(&store)).unwrap();
+        assert_eq!(store.layer_stats(ProfileLayer::Activity).measured, 2);
+        assert_eq!(store.layer_stats(ProfileLayer::Sensitivity).measured, 2);
+        // A hint bypasses the sensitivity layer but the activity layer
+        // still hits: the hint is deliberately not part of its identity.
+        let hinted = profile_netlist_cached(&tree, Some(8), &config, Some(&store)).unwrap();
         assert_eq!(hinted.sensitivity_source, SensitivitySource::Hint);
+        assert_eq!(store.layer_stats(ProfileLayer::Activity).reused, 2);
+        assert_eq!(store.layer_stats(ProfileLayer::Sensitivity).reused, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn activity_layer_ignores_sensitivity_and_leak_parameters() {
+        // An ε-grid sweep varies eps/δ/leak and sometimes the sample
+        // budget — none of which touch the activity measurement, so one
+        // stored activity entry must serve every such variation.
+        let dir = std::env::temp_dir().join("nanobound_profiles_eps_grid");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ProfileStore::open(&dir).unwrap();
+        let config = quick();
+        let tree = parity::parity_tree(8, 2).unwrap();
+        let base = profile_netlist_cached(&tree, None, &config, Some(&store)).unwrap();
+        let varied = ProfileConfig {
+            sensitivity_samples: 64,
+            leak_share: 0.3,
+            ..config
+        };
+        let swept = profile_netlist_cached(&tree, None, &varied, Some(&store)).unwrap();
+        assert_eq!(swept.profile.activity, base.profile.activity);
+        assert_eq!(
+            store.layer_stats(ProfileLayer::Activity),
+            nanobound_cache::ProfileLayerStats {
+                reused: 1,
+                measured: 1
+            },
+            "one activity measurement serves the whole grid"
+        );
+        // The sample budget *is* part of the sensitivity identity.
+        assert_eq!(
+            store.layer_stats(ProfileLayer::Sensitivity),
+            nanobound_cache::ProfileLayerStats {
+                reused: 0,
+                measured: 2
+            }
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

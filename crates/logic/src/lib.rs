@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cone;
 pub mod error;
 pub mod gate;
 pub mod netlist;
@@ -49,6 +50,7 @@ pub mod stats;
 pub mod topo;
 pub mod transform;
 
+pub use cone::{cone_hash, cone_support, extract_cone, output_cone_hashes, ConeHash};
 pub use error::LogicError;
 pub use gate::GateKind;
 pub use netlist::{Netlist, Node, NodeId};

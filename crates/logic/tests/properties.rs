@@ -1,13 +1,18 @@
-//! Property-based tests for the synthesis-lite transforms: every pass
-//! must preserve the Boolean function of arbitrary random circuits and
-//! respect its structural contract.
+//! Property-based tests for the synthesis-lite transforms and the
+//! structural cone identity: every pass must preserve the Boolean
+//! function of arbitrary random circuits and respect its structural
+//! contract, and the cone hash must agree with cone isomorphism on
+//! arbitrary random DAGs.
 
 use proptest::prelude::*;
 
+use nanobound_logic::cone::cone_events;
 use nanobound_logic::transform::{
     decompose_to_max_fanin, dedupe, fold_constants, optimize, prepare, sweep,
 };
-use nanobound_logic::{CircuitStats, GateKind, Netlist, NodeId};
+use nanobound_logic::{
+    cone_hash, extract_cone, output_cone_hashes, CircuitStats, GateKind, Netlist, NodeId,
+};
 
 /// A deterministic random netlist generator, independent of the
 /// `nanobound-gen` crate (which depends on this one).
@@ -55,6 +60,31 @@ fn build_random(netlist_seed: u64, inputs: usize, gates: usize) -> Netlist {
             .unwrap();
     }
     nl
+}
+
+/// Rebuilds `nl` node-for-node under fresh signal names: the structure
+/// (and hence every structural fingerprint) is untouched, only names
+/// change.
+fn renamed(nl: &Netlist) -> Netlist {
+    let mut out = Netlist::new("renamed");
+    let mut map: Vec<NodeId> = Vec::with_capacity(nl.node_count());
+    for (i, node) in nl.nodes().iter().enumerate() {
+        let id = match node.kind() {
+            None => out.add_input(format!("renamed_in{i}")),
+            Some(GateKind::Const0) => out.add_const(false),
+            Some(GateKind::Const1) => out.add_const(true),
+            Some(kind) => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                out.add_gate(kind, &fanins).expect("same valid structure")
+            }
+        };
+        map.push(id);
+    }
+    for (i, output) in nl.outputs().iter().enumerate() {
+        out.add_output(format!("renamed_out{i}"), map[output.driver.index()])
+            .expect("same valid driver");
+    }
+    out
 }
 
 fn exhaustively_equivalent(a: &Netlist, b: &Netlist) -> bool {
@@ -126,6 +156,78 @@ proptest! {
         let twice = optimize(&once);
         prop_assert_eq!(once.gate_count(), twice.gate_count());
         prop_assert!(exhaustively_equivalent(&once, &twice));
+    }
+
+    #[test]
+    fn cone_hashes_are_name_invariant(
+        seed in any::<u64>(),
+        inputs in 1usize..=7,
+        gates in 1usize..=30,
+    ) {
+        let nl = build_random(seed, inputs, gates);
+        prop_assert_eq!(output_cone_hashes(&nl), output_cone_hashes(&renamed(&nl)));
+    }
+
+    #[test]
+    fn cone_hash_equality_is_exactly_cone_isomorphism(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        inputs in 1usize..=6,
+        gates in 1usize..=20,
+    ) {
+        // Half the cases compare against a renamed rebuild (many
+        // isomorphic cone pairs, including every reconvergent shape the
+        // generator produces); the other half against an independent
+        // random DAG (mostly non-isomorphic pairs). The canonical event
+        // stream *is* rooted ordered-DAG isomorphism by construction,
+        // so hash equality must coincide with it on every pair.
+        let a = build_random(seed_a, inputs, gates);
+        let b = if seed_b % 2 == 0 {
+            renamed(&a)
+        } else {
+            build_random(seed_b, inputs, gates)
+        };
+        for ra in a.node_ids() {
+            for rb in b.node_ids() {
+                let hashes_equal = cone_hash(&a, ra) == cone_hash(&b, rb);
+                let isomorphic = cone_events(&a, ra) == cone_events(&b, rb);
+                prop_assert_eq!(
+                    hashes_equal, isomorphic,
+                    "root {:?} vs {:?}", ra, rb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extracted_cones_keep_their_hashes(
+        seed in any::<u64>(),
+        inputs in 1usize..=7,
+        gates in 1usize..=30,
+    ) {
+        let nl = build_random(seed, inputs, gates);
+        let all: Vec<usize> = (0..nl.output_count()).collect();
+        let mut selections: Vec<Vec<usize>> = all.iter().map(|&i| vec![i]).collect();
+        selections.push(all.clone());
+        if all.len() > 1 {
+            selections.push(all.iter().rev().copied().collect());
+        }
+        for outputs in selections {
+            let (child, kept) = extract_cone(&nl, &outputs);
+            child.validate().unwrap();
+            prop_assert!(
+                kept.windows(2).all(|w| w[0].index() < w[1].index()),
+                "kept nodes must stay in parent order"
+            );
+            let child_hashes = output_cone_hashes(&child);
+            for (slot, &oi) in outputs.iter().enumerate() {
+                prop_assert_eq!(
+                    child_hashes[slot],
+                    cone_hash(&nl, nl.outputs()[oi].driver),
+                    "slot {} (parent output {})", slot, oi
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use nanobound_cache::{CacheCodec, Fingerprint, FingerprintBuilder, ShardCache};
+use nanobound_cache::{CacheCodec, Fingerprint, ShardCache};
 use nanobound_logic::Netlist;
 use nanobound_sim::{
     monte_carlo_tally, EngineKind, NoisyConfig, NoisyOutcome, NoisyTally, ProgramCache, ShardSpec,
@@ -36,9 +36,10 @@ use nanobound_sim::{
 use crate::pool::ThreadPool;
 use crate::seed::shard_seed;
 
-// Re-exported from `nanobound-sim`, where it moved so the compiled
-// [`ProgramCache`] can address programs by the same structural identity.
-pub use nanobound_sim::netlist_fingerprint;
+// Re-exported from `nanobound-sim`, where the layered fingerprints
+// live so the compiled [`ProgramCache`] can address programs by the
+// same structural identity the experiment caches use.
+pub use nanobound_sim::{cone_fingerprints, experiment_builder, netlist_fingerprint};
 
 /// The fingerprint under which [`monte_carlo_sharded_cached`] stores its
 /// chunk tallies (exposed so tests can corrupt specific entries).
@@ -50,8 +51,10 @@ pub fn monte_carlo_fingerprint(
     pattern_seed: u64,
     chunk: usize,
 ) -> Fingerprint {
-    let mut builder = FingerprintBuilder::new("monte-carlo");
-    netlist_fingerprint(&mut builder, netlist);
+    // `experiment_builder` is byte-identical to the manual
+    // FingerprintBuilder + netlist_fingerprint sequence this function
+    // used before, so existing on-disk entries keep their addresses.
+    let mut builder = experiment_builder("monte-carlo", netlist);
     builder.push_f64(config.epsilon);
     builder.push_u64(config.seed);
     builder.push_usize(patterns);
@@ -310,7 +313,7 @@ struct BatchWorker {
 ///
 /// Cells are keyed by grid index, so `fingerprint` must capture the
 /// grid itself and every parameter of `f` — use
-/// [`FingerprintBuilder::push_f64s`] for the grid and push each
+/// [`nanobound_cache::FingerprintBuilder::push_f64s`] for the grid and push each
 /// constant explicitly. Encoded cells round-trip bit-exactly, so the
 /// result is identical to the uncached sweep for every hit/miss mix.
 pub fn grid_map_cached<X, T, F>(

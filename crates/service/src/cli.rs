@@ -17,7 +17,7 @@ use crate::args::{
     cache_from_flags, flag, flag_values, list, parse_flags, pool_from_flags, switch, FlagSpec,
     Flags, COMMON_FLAGS,
 };
-use crate::engine::{cache_summary, csv_of, Engine};
+use crate::engine::{csv_of, Engine};
 use crate::requests::{BoundRequest, LintRequest, ProfileRequest};
 use crate::serve::{self, ServeOptions};
 
@@ -116,8 +116,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let request = ProfileRequest::from_parts(&positional, &flags)?;
     let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
     print!("{}", engine.profile(&request)?);
-    if let Some(cache) = engine.cache() {
-        println!("{}", cache_summary(cache));
+    if engine.cache().is_some() {
+        print!("{}", engine.cache_report());
     }
     Ok(())
 }
@@ -216,8 +216,8 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             println!("wrote {path}");
         }
     }
-    if let Some(cache) = engine.cache() {
-        println!("{}", cache_summary(cache));
+    if engine.cache().is_some() {
+        print!("{}", engine.cache_report());
     }
     Ok(())
 }
@@ -243,8 +243,8 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             println!("wrote {path}");
         }
     }
-    if let Some(cache) = engine.cache() {
-        println!("{}", cache_summary(cache));
+    if engine.cache().is_some() {
+        print!("{}", engine.cache_report());
     }
     Ok(())
 }

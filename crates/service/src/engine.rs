@@ -34,7 +34,9 @@ use std::fs;
 use std::path::Path;
 
 use nanobound_analyze::{lint_design, lint_netlist, LintOptions, Severity};
-use nanobound_cache::{Fingerprint, FingerprintBuilder, GcPolicy, GcReport, ShardCache};
+use nanobound_cache::{
+    Fingerprint, FingerprintBuilder, GcPolicy, GcReport, ProfileLayer, ProfileStore, ShardCache,
+};
 use nanobound_core::{BoundReport, CircuitProfile, DepthBound};
 use nanobound_experiments::profiles::{
     profile_netlist_cached_programs, profile_suite_cached_programs, suite_netlists, ProfileConfig,
@@ -48,8 +50,9 @@ use nanobound_sim::ProgramCache;
 
 use crate::requests::{BoundRequest, LintFormat, LintRequest, ProfileRequest};
 
-/// The cache traffic summary line the CLI prints after a cached run
-/// (and the `stats` workload returns).
+/// The shard-cache traffic summary line — the first line of
+/// [`Engine::cache_report`]. Its format is pinned by the ci.sh cache
+/// gates; new per-registry lines go into the report, not here.
 #[must_use]
 pub fn cache_summary(cache: &ShardCache) -> String {
     let stats = cache.stats();
@@ -115,6 +118,9 @@ fn bounded_insert<V>(registry: &mut HashMap<Fingerprint, V>, key: Fingerprint, v
 pub struct Engine {
     pool: ThreadPool,
     cache: Option<ShardCache>,
+    /// ε-independent profile measurements, sharing the shard cache's
+    /// root (domain-tagged fingerprints keep the namespaces apart).
+    profiles: Option<ProfileStore>,
     designs: HashMap<Fingerprint, Design>,
     profiled: HashMap<Fingerprint, ProfiledBenchmark>,
     programs: ProgramCache,
@@ -125,12 +131,19 @@ pub struct Engine {
 
 impl Engine {
     /// Creates an engine over `pool`, with shard results served from /
-    /// written to `cache` when present.
+    /// written to `cache` when present. A cache also opens the
+    /// cross-run [`ProfileStore`] at the same root; if that fails the
+    /// engine degrades to uncached profile measurements rather than
+    /// erroring — the store is an accelerator, never an authority.
     #[must_use]
     pub fn new(pool: ThreadPool, cache: Option<ShardCache>) -> Self {
+        let profiles = cache
+            .as_ref()
+            .and_then(|c| ProfileStore::open(c.root()).ok());
         Engine {
             pool,
             cache,
+            profiles,
             designs: HashMap::new(),
             profiled: HashMap::new(),
             programs: ProgramCache::new(),
@@ -144,6 +157,40 @@ impl Engine {
     #[must_use]
     pub fn programs(&self) -> &ProgramCache {
         &self.programs
+    }
+
+    /// The engine's cross-run profile store, when one is open.
+    #[must_use]
+    pub fn profiles(&self) -> Option<&ProfileStore> {
+        self.profiles.as_ref()
+    }
+
+    /// The full cache traffic report: the pinned shard-cache summary
+    /// line (when a cache is configured) followed by one line per
+    /// in-memory/cross-run registry. Every line starts with `cache `
+    /// so front ends and tests can filter traffic reporting uniformly.
+    #[must_use]
+    pub fn cache_report(&self) -> String {
+        let mut out = String::new();
+        if let Some(cache) = &self.cache {
+            let _ = writeln!(out, "{}", cache_summary(cache));
+        }
+        let p = self.programs.stats();
+        let _ = writeln!(
+            out,
+            "cache programs: {} compiled ({} cones), {} shared, {} sliced",
+            p.compiled, p.unique_cones, p.shared, p.sliced
+        );
+        if let Some(store) = &self.profiles {
+            let a = store.layer_stats(ProfileLayer::Activity);
+            let s = store.layer_stats(ProfileLayer::Sensitivity);
+            let _ = writeln!(
+                out,
+                "cache profiles: {} activity reused ({} measured), {} sensitivity reused ({} measured)",
+                a.reused, a.measured, s.reused, s.measured
+            );
+        }
+        out
     }
 
     /// The engine's worker pool.
@@ -208,7 +255,7 @@ impl Engine {
                 &netlist,
                 None,
                 &config,
-                self.cache.as_ref(),
+                self.profiles.as_ref(),
                 Some(&self.programs),
             )
             .map_err(|e| e.to_string())?;
@@ -394,7 +441,7 @@ impl Engine {
             let suite = profile_suite_cached_programs(
                 &self.pool,
                 &ProfileConfig::default(),
-                self.cache.as_ref(),
+                self.profiles.as_ref(),
                 Some(&self.programs),
             )
             .map_err(|e| e.to_string())?;
@@ -584,6 +631,53 @@ mod tests {
             "structure shared, not recompiled"
         );
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_report_folds_in_every_registry() {
+        let dir = std::env::temp_dir().join("nanobound_service_engine_report");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("xor2.bench");
+        fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+        let cache_dir = dir.join("cache");
+        let mut engine = Engine::new(
+            ThreadPool::serial(),
+            Some(ShardCache::open(&cache_dir).unwrap()),
+        );
+        let request = ProfileRequest {
+            path: path.to_str().unwrap().to_owned(),
+            eps: vec![0.05],
+            delta: 0.01,
+            frames: 4,
+            patterns: 2_000,
+            leak: 0.5,
+        };
+        engine.profile(&request).unwrap();
+        let report = engine.cache_report();
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 3, "report: {report}");
+        assert!(
+            lines.iter().all(|l| l.starts_with("cache ")),
+            "report: {report}"
+        );
+        assert!(lines[0].contains(&cache_dir.display().to_string()));
+        assert!(lines[1].starts_with("cache programs: "), "report: {report}");
+        assert!(lines[2].starts_with("cache profiles: "), "report: {report}");
+        // The profile ran one cold measurement of each layer.
+        assert!(
+            lines[2].contains("0 activity reused (1 measured)"),
+            "report: {report}"
+        );
+        // Without a cache the report still covers the program registry.
+        let bare = engine_no_cache_report();
+        assert_eq!(bare.lines().count(), 1, "report: {bare}");
+        assert!(bare.starts_with("cache programs: "));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn engine_no_cache_report() -> String {
+        engine().cache_report()
     }
 
     #[test]

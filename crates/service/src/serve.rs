@@ -19,7 +19,7 @@ use nanobound_cache::GcPolicy;
 use nanobound_experiments::FigureId;
 
 use crate::args::parse_flags;
-use crate::engine::{cache_summary, Engine};
+use crate::engine::Engine;
 use crate::proto::{parse_request, write_response, Request};
 use crate::requests::{BoundRequest, LintRequest, ProfileRequest};
 
@@ -168,9 +168,10 @@ fn dispatch(engine: &mut Engine, request: &Request) -> (bool, String) {
                 Err("`validate` takes no arguments".to_owned())
             }
         }
-        "stats" => Ok(match engine.cache() {
-            Some(cache) => format!("{}\n", cache_summary(cache)),
-            None => "cache: off\n".to_owned(),
+        "stats" => Ok(if engine.cache().is_some() {
+            engine.cache_report()
+        } else {
+            "cache: off\n".to_owned()
         }),
         "ping" => Ok("pong\n".to_owned()),
         "shutdown" => Ok("bye\n".to_owned()),

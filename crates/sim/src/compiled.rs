@@ -66,11 +66,12 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use nanobound_cache::{Fingerprint, FingerprintBuilder};
+use nanobound_logic::{cone_support, extract_cone, output_cone_hashes, ConeHash};
 use nanobound_logic::{GateKind, Netlist, Node, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::activity::{toggle_count, ActivityProfile};
+use crate::activity::ActivityProfile;
 use crate::error::SimError;
 use crate::faultstream::{gate_state, MaskPlan};
 use crate::fingerprint::netlist_fingerprint;
@@ -125,7 +126,7 @@ impl EngineKind {
 /// Only kinds with [`GateKind::counts_as_gate`] become ops — buffers
 /// alias slots and constants are materialized once per run — so every
 /// op draws fault masks and contributes to the gate tallies.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct Op {
     pub(crate) kind: GateKind,
     /// Clean destination slot; the noisy destination is `dst + 1`.
@@ -156,7 +157,7 @@ pub struct ShardSpec {
 /// Compile once with [`SimProgram::compile`], then execute any number
 /// of chunks against a reusable [`SimScratch`]. See the
 /// [module docs](self) for the layout and the bit-identity contract.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimProgram {
     pub(crate) ops: Vec<Op>,
     /// Flattened operand slots: `(clean, noisy)` per fanin.
@@ -683,46 +684,18 @@ impl SimProgram {
         patterns: &PatternSet,
     ) -> Result<ActivityProfile, SimError> {
         self.run_clean(scratch, patterns)?;
-        let count = scratch.count;
-        let transitions = count.saturating_sub(1).max(1);
-        let mut signal_probability = Vec::with_capacity(self.node_slots.len());
-        let mut switching_activity = Vec::with_capacity(self.node_slots.len());
-        let mut gate_sw_sum = 0.0;
-        let mut gate_p_sum = 0.0;
-        let mut gates = 0usize;
-        for (&(clean, _), &is_gate) in self.node_slots.iter().zip(&self.is_gate) {
-            let stream = scratch.slot(clean, scratch.words);
-            let p = if count == 0 {
-                0.0
-            } else {
-                popcount_valid(stream, count) as f64 / count as f64
-            };
-            let sw = toggle_count(stream, count) as f64 / transitions as f64;
-            if is_gate {
-                gate_sw_sum += sw;
-                gate_p_sum += p;
-                gates += 1;
-            }
-            signal_probability.push(p);
-            switching_activity.push(sw);
-        }
-        let (avg_gate_activity, avg_gate_probability) = if gates == 0 {
-            (0.0, 0.0)
-        } else {
-            (gate_sw_sum / gates as f64, gate_p_sum / gates as f64)
-        };
-        Ok(ActivityProfile {
-            signal_probability,
-            switching_activity,
-            avg_gate_activity,
-            avg_gate_probability,
-            patterns: count,
-        })
+        Ok(self.profile_clean(scratch))
     }
 
     /// Simulates `patterns` random vectors (seeded) and profiles the
     /// netlist — bit-identical to
     /// [`estimate_activity`](crate::estimate_activity).
+    ///
+    /// This is the profile executor's bulk path: the input words are
+    /// drawn straight into the slot arena (the exact stream
+    /// [`PatternSet::random`] produces, input-major) instead of
+    /// materializing a pattern set and copying it in, and the per-node
+    /// statistics come from one fused popcount+toggle pass per stream.
     ///
     /// # Errors
     ///
@@ -736,8 +709,204 @@ impl SimProgram {
         if patterns < 2 {
             return Err(SimError::bad("patterns", patterns, "must be at least 2"));
         }
-        let set = PatternSet::random(self.num_inputs(), patterns, seed);
-        self.activity(scratch, &set)
+        let words = patterns.div_ceil(64);
+        scratch.prepare(self.num_slots, words, patterns);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &slot in &self.input_slots {
+            for w in scratch.slot_mut(slot, words) {
+                *w = rng.next_u64();
+            }
+        }
+        self.fill_consts(scratch, words);
+        for op in &self.ops {
+            let (lo, clean_dst, _) = scratch.op_dsts(op.dst, words);
+            let operands = &self.operands[op.operands.0 as usize..op.operands.1 as usize];
+            eval_op(op.kind, lo, words, operands, Lane::Clean, clean_dst);
+        }
+        Ok(self.profile_clean(scratch))
+    }
+
+    /// Derives the activity profile from the clean streams currently in
+    /// `scratch` — the shared tail of [`SimProgram::activity`] and
+    /// [`SimProgram::estimate_activity`].
+    fn profile_clean(&self, scratch: &SimScratch) -> ActivityProfile {
+        let count = scratch.count;
+        let transitions = count.saturating_sub(1).max(1);
+        let mut signal_probability = Vec::with_capacity(self.node_slots.len());
+        let mut switching_activity = Vec::with_capacity(self.node_slots.len());
+        let mut gate_sw_sum = 0.0;
+        let mut gate_p_sum = 0.0;
+        let mut gates = 0usize;
+        for (&(clean, _), &is_gate) in self.node_slots.iter().zip(&self.is_gate) {
+            let stream = scratch.slot(clean, scratch.words);
+            let (ones, toggles) = popcount_toggle(stream, count);
+            let p = if count == 0 {
+                0.0
+            } else {
+                ones as f64 / count as f64
+            };
+            let sw = toggles as f64 / transitions as f64;
+            if is_gate {
+                gate_sw_sum += sw;
+                gate_p_sum += p;
+                gates += 1;
+            }
+            signal_probability.push(p);
+            switching_activity.push(sw);
+        }
+        let (avg_gate_activity, avg_gate_probability) = if gates == 0 {
+            (0.0, 0.0)
+        } else {
+            (gate_sw_sum / gates as f64, gate_p_sum / gates as f64)
+        };
+        ActivityProfile {
+            signal_probability,
+            switching_activity,
+            avg_gate_activity,
+            avg_gate_probability,
+            patterns: count,
+        }
+    }
+
+    /// Op indices of the instructions inside output `index`'s fanin
+    /// cone, ascending — the tape-level image of the cone layer.
+    ///
+    /// Op indices are also the v2 fault-stream gate ordinals, so this
+    /// span is exactly the set of fault masks the output's noisy value
+    /// can depend on: it is what makes a tape sliced along cone
+    /// boundaries ([`SimProgram::slice`]) replay the same masks a fresh
+    /// compilation of the sub-netlist would draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a valid output index or `netlist` is
+    /// not the netlist this program was compiled from.
+    #[must_use]
+    pub fn output_cone_ops(&self, netlist: &Netlist, index: usize) -> Vec<u32> {
+        assert_eq!(
+            netlist.node_count(),
+            self.node_slots.len(),
+            "netlist does not match the compiled program"
+        );
+        // The op index of a gate node is its `counts_as_gate` ordinal.
+        let mut op_of = vec![u32::MAX; self.is_gate.len()];
+        let mut ordinal = 0u32;
+        for (i, &is_gate) in self.is_gate.iter().enumerate() {
+            if is_gate {
+                op_of[i] = ordinal;
+                ordinal += 1;
+            }
+        }
+        cone_support(netlist, &[netlist.outputs()[index].driver])
+            .into_iter()
+            .filter(|id| self.is_gate[id.index()])
+            .map(|id| op_of[id.index()])
+            .collect()
+    }
+
+    /// Slices this tape down to the fanin cones of the given parent
+    /// outputs, returning the extracted sub-netlist and its program.
+    ///
+    /// [`extract_cone`] keeps the cone's nodes in their relative parent
+    /// order, so replaying the slot allocator over the kept nodes and
+    /// carrying the kept ops across (with operands re-pointed at the
+    /// child's slots) reproduces **exactly** the tape
+    /// [`SimProgram::compile`] builds for the extracted netlist — same
+    /// op order, hence same fault-stream ordinals, hence bit-identical
+    /// tallies and profiles (debug builds assert the tape equality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output index is out of range or `parent` is not
+    /// the netlist this program was compiled from.
+    #[must_use]
+    pub fn slice(&self, parent: &Netlist, outputs: &[usize]) -> (Netlist, SimProgram) {
+        assert_eq!(
+            parent.node_count(),
+            self.node_slots.len(),
+            "netlist does not match the compiled program"
+        );
+        let (child, kept) = extract_cone(parent, outputs);
+        let mut op_of = vec![u32::MAX; self.is_gate.len()];
+        let mut ordinal = 0u32;
+        for (i, &is_gate) in self.is_gate.iter().enumerate() {
+            if is_gate {
+                op_of[i] = ordinal;
+                ordinal += 1;
+            }
+        }
+        let mut sliced = SimProgram {
+            ops: Vec::new(),
+            operands: Vec::new(),
+            node_slots: Vec::with_capacity(kept.len()),
+            is_gate: Vec::with_capacity(kept.len()),
+            input_slots: Vec::new(),
+            output_slots: Vec::with_capacity(outputs.len()),
+            zero_slot: None,
+            ones_slot: None,
+            num_slots: 0,
+        };
+        let mut next_slot = 0u32;
+        let mut fresh = |n: u32| {
+            let slot = next_slot;
+            next_slot += n;
+            slot
+        };
+        let mut child_of = vec![u32::MAX; parent.node_count()];
+        for (ci, pid) in kept.iter().enumerate() {
+            child_of[pid.index()] = u32::try_from(ci).expect("cone node count exceeds u32::MAX");
+            let slots = match parent.node(*pid) {
+                Node::Input { .. } => {
+                    let slot = fresh(1);
+                    sliced.input_slots.push(slot);
+                    (slot, slot)
+                }
+                Node::Gate { kind, fanins } => match kind {
+                    GateKind::Const0 => {
+                        let slot = *sliced.zero_slot.get_or_insert_with(|| fresh(1));
+                        (slot, slot)
+                    }
+                    GateKind::Const1 => {
+                        let slot = *sliced.ones_slot.get_or_insert_with(|| fresh(1));
+                        (slot, slot)
+                    }
+                    GateKind::Buf => sliced.node_slots[child_of[fanins[0].index()] as usize],
+                    _ => {
+                        let parent_op = &self.ops[op_of[pid.index()] as usize];
+                        let start = u32::try_from(sliced.operands.len())
+                            .expect("operand tape exceeds u32::MAX entries");
+                        for f in fanins {
+                            sliced
+                                .operands
+                                .push(sliced.node_slots[child_of[f.index()] as usize]);
+                        }
+                        let end = u32::try_from(sliced.operands.len())
+                            .expect("operand tape exceeds u32::MAX entries");
+                        let dst = fresh(2);
+                        sliced.ops.push(Op {
+                            kind: parent_op.kind,
+                            dst,
+                            operands: (start, end),
+                        });
+                        (dst, dst + 1)
+                    }
+                },
+            };
+            sliced.is_gate.push(self.is_gate[pid.index()]);
+            sliced.node_slots.push(slots);
+        }
+        for output in child.outputs() {
+            sliced
+                .output_slots
+                .push(sliced.node_slots[output.driver.index()]);
+        }
+        sliced.num_slots = next_slot as usize;
+        debug_assert_eq!(
+            sliced,
+            SimProgram::compile(&child),
+            "sliced tape must equal a fresh compilation of the extracted cone"
+        );
+        (child, sliced)
     }
 
     /// Writes the constant slots for the current word width.
@@ -782,6 +951,36 @@ fn toggle_count_pair(clean: &[u64], noisy: &[u64], count: usize) -> (u64, u64) {
         n_toggles += u64::from(((n ^ (n >> 1)) & mask).count_ones());
     }
     (c_toggles, n_toggles)
+}
+
+/// [`popcount_valid`] and [`toggle_count`] of one stream in a single
+/// fused pass — the profile executor's counting loop. Each word is
+/// loaded once and feeds both accumulators; for any `count ≥ 1` the
+/// toggle loop's full 64-transition blocks are exactly the non-final
+/// words (`(count-1)/64 == count.div_ceil(64) - 1`), so the two
+/// original loops line up word for word. Bit-identical to the two
+/// separate calls (pinned by a unit test below).
+fn popcount_toggle(stream: &[u64], count: usize) -> (u64, u64) {
+    if count < 2 {
+        return (popcount_valid(stream, count), 0);
+    }
+    let Some((&last, body)) = stream.split_last() else {
+        return (0, 0);
+    };
+    const WITHIN: u64 = (1u64 << 63) - 1;
+    let mut ones = 0u64;
+    let mut toggles = 0u64;
+    for (w, &x) in body.iter().enumerate() {
+        ones += u64::from(x.count_ones());
+        toggles += u64::from(((x ^ (x >> 1)) & WITHIN).count_ones());
+        toggles += (x >> 63) ^ (stream[w + 1] & 1);
+    }
+    ones += u64::from((last & tail_mask(count)).count_ones());
+    let rest = (count - 1) % 64;
+    if rest > 0 {
+        toggles += u64::from(((last ^ (last >> 1)) & ((1u64 << rest) - 1)).count_ones());
+    }
+    (ones, toggles)
 }
 
 /// Which of a node's two streams an operand read selects.
@@ -1011,16 +1210,64 @@ impl SimScratch {
 /// costs recompilation — the same policy as the service registries.
 const PROGRAM_CACHE_LIMIT: usize = 1024;
 
-/// A keyed, thread-safe store of compiled programs.
+/// Lifetime counters of a [`ProgramCache`]: how each request was
+/// served, and how many distinct cone structures the cache has
+/// registered.
 ///
-/// Programs are addressed by [`netlist_fingerprint`] (structure only —
-/// names do not influence execution), so structurally identical
-/// netlists share one compilation. A long-lived service keeps one
-/// `ProgramCache` next to its other registries and warm requests skip
-/// compilation entirely.
+/// `compiled + shared + sliced` is the total number of
+/// [`ProgramCache::get_or_compile`] calls; only `compiled` of them
+/// built a tape from scratch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Requests lowered from scratch (one tape construction each).
+    pub compiled: u64,
+    /// Distinct cone structures first registered by those compilations.
+    pub unique_cones: u64,
+    /// Requests answered by an already-cached whole-netlist tape.
+    pub shared: u64,
+    /// Requests answered by slicing a cached parent tape along cone
+    /// boundaries ([`SimProgram::slice`]).
+    pub sliced: u64,
+}
+
+/// One cached tape plus the identity layers it answers to.
+#[derive(Debug)]
+struct CacheEntry {
+    program: Arc<SimProgram>,
+    /// The compiled structure, retained so the entry can serve as a
+    /// slicing parent for structural sub-netlists.
+    netlist: Arc<Netlist>,
+    /// Cone hash of every output, declaration order.
+    cones: Vec<ConeHash>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Netlist layer: whole-structure fingerprint → tape.
+    by_netlist: HashMap<Fingerprint, CacheEntry>,
+    /// Cone layer: cone hash → (owning entry, output index) of the
+    /// first tape that compiled this cone structure.
+    by_cone: HashMap<ConeHash, (Fingerprint, u32)>,
+    stats: ProgramCacheStats,
+}
+
+/// A keyed, thread-safe store of compiled programs, indexed on two
+/// fingerprint layers.
+///
+/// The whole-netlist index addresses tapes by [`netlist_fingerprint`]
+/// (structure only — names do not influence execution), so structurally
+/// identical netlists share one compilation. Underneath it, a cone
+/// index maps every output's [`ConeHash`] to the tape that first
+/// compiled that cone structure: a request whose cones *all* live in
+/// one cached tape is answered by slicing that tape
+/// ([`SimProgram::slice`]) instead of compiling — warm traffic over a
+/// design family compiles each unique cone once. Sliced answers are
+/// admitted only when the extracted cone's fingerprint equals the
+/// request's and the tape passes [`SimProgram::verify`], so sharing can
+/// never change a result.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
-    inner: Mutex<HashMap<Fingerprint, Arc<SimProgram>>>,
+    inner: Mutex<CacheInner>,
 }
 
 impl ProgramCache {
@@ -1030,8 +1277,9 @@ impl ProgramCache {
         ProgramCache::default()
     }
 
-    /// Returns the compiled program for `netlist`, compiling and
-    /// storing it on first sight of the structure.
+    /// Returns the compiled program for `netlist` — from the netlist
+    /// index, by slicing a cached parent tape, or by compiling and
+    /// registering the structure on first sight.
     ///
     /// # Panics
     ///
@@ -1041,16 +1289,104 @@ impl ProgramCache {
         let mut builder = FingerprintBuilder::new("sim-program");
         netlist_fingerprint(&mut builder, netlist);
         let key = builder.finish();
-        let mut map = self.inner.lock().expect("program cache lock");
-        if let Some(program) = map.get(&key) {
-            return Arc::clone(program);
+        let mut inner = self.inner.lock().expect("program cache lock");
+        if let Some(entry) = inner.by_netlist.get(&key) {
+            let program = Arc::clone(&entry.program);
+            inner.stats.shared += 1;
+            return program;
         }
-        if map.len() >= PROGRAM_CACHE_LIMIT {
-            map.clear();
+        let cones = output_cone_hashes(netlist);
+        if let Some(program) = Self::slice_from_cached(&mut inner, netlist, key, &cones) {
+            return program;
+        }
+        if inner.by_netlist.len() >= PROGRAM_CACHE_LIMIT {
+            inner.by_netlist.clear();
+            inner.by_cone.clear();
         }
         let program = Arc::new(SimProgram::compile(netlist));
-        map.insert(key, Arc::clone(&program));
+        inner.stats.compiled += 1;
+        {
+            let CacheInner { by_cone, stats, .. } = &mut *inner;
+            for (i, &hash) in cones.iter().enumerate() {
+                by_cone.entry(hash).or_insert_with(|| {
+                    stats.unique_cones += 1;
+                    (key, u32::try_from(i).expect("output index fits u32"))
+                });
+            }
+        }
+        inner.by_netlist.insert(
+            key,
+            CacheEntry {
+                program: Arc::clone(&program),
+                netlist: Arc::new(netlist.clone()),
+                cones,
+            },
+        );
         program
+    }
+
+    /// Attempts to answer a request by slicing a cached tape: succeeds
+    /// when every requested cone already lives in one cached parent
+    /// *and* the slice provably equals a fresh compilation (fingerprint
+    /// match plus [`SimProgram::verify`]). A cone-hash match that does
+    /// not survive those checks falls back to compilation — slicing is
+    /// a discovery mechanism, never a soundness assumption.
+    fn slice_from_cached(
+        inner: &mut CacheInner,
+        netlist: &Netlist,
+        key: Fingerprint,
+        cones: &[ConeHash],
+    ) -> Option<Arc<SimProgram>> {
+        let (owner, _) = *inner.by_cone.get(cones.first()?)?;
+        if cones[1..]
+            .iter()
+            .any(|h| inner.by_cone.get(h).map(|&(o, _)| o) != Some(owner))
+        {
+            return None;
+        }
+        let entry = inner.by_netlist.get(&owner)?;
+        // Occurrence-wise matching: the i-th request output carrying a
+        // given hash maps to the i-th parent output carrying it, which
+        // keeps the picked indices consistent when cones repeat.
+        let mut cursor: HashMap<ConeHash, usize> = HashMap::new();
+        let mut picked = Vec::with_capacity(cones.len());
+        for &hash in cones {
+            let from = cursor.get(&hash).copied().unwrap_or(0);
+            let found = entry.cones[from..].iter().position(|&c| c == hash)? + from;
+            cursor.insert(hash, found + 1);
+            picked.push(found);
+        }
+        let (child, sliced) = entry.program.slice(&entry.netlist, &picked);
+        let mut builder = FingerprintBuilder::new("sim-program");
+        netlist_fingerprint(&mut builder, &child);
+        if builder.finish() != key || sliced.verify(netlist).is_err() {
+            return None;
+        }
+        let program = Arc::new(sliced);
+        if inner.by_netlist.len() >= PROGRAM_CACHE_LIMIT {
+            inner.by_netlist.clear();
+            inner.by_cone.clear();
+        }
+        inner.by_netlist.insert(
+            key,
+            CacheEntry {
+                program: Arc::clone(&program),
+                netlist: Arc::new(child),
+                cones: cones.to_vec(),
+            },
+        );
+        inner.stats.sliced += 1;
+        Some(program)
+    }
+
+    /// Lifetime counters: how requests were served so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> ProgramCacheStats {
+        self.inner.lock().expect("program cache lock").stats
     }
 
     /// Number of cached programs.
@@ -1060,7 +1396,11 @@ impl ProgramCache {
     /// Panics if the internal lock was poisoned by a panicking thread.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("program cache lock").len()
+        self.inner
+            .lock()
+            .expect("program cache lock")
+            .by_netlist
+            .len()
     }
 
     /// Whether the cache is empty.
@@ -1077,6 +1417,7 @@ impl ProgramCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activity::toggle_count;
     use crate::noisy::monte_carlo_tally;
     use crate::{estimate_activity, evaluate_packed};
 
@@ -1326,6 +1667,84 @@ mod tests {
             assert_eq!(c, toggle_count(&clean, count), "count={count}");
             assert_eq!(n, toggle_count(&noisy, count), "count={count}");
         }
+    }
+
+    #[test]
+    fn fused_popcount_toggle_matches_separate_kernels() {
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        for count in [0usize, 1, 2, 63, 64, 65, 127, 128, 129, 500] {
+            let words = count.div_ceil(64).max(1);
+            let stream: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+            let (ones, toggles) = popcount_toggle(&stream, count);
+            assert_eq!(ones, popcount_valid(&stream, count), "count={count}");
+            assert_eq!(toggles, toggle_count(&stream, count), "count={count}");
+        }
+    }
+
+    #[test]
+    fn output_cone_ops_cover_exactly_the_reachable_gates() {
+        let nl = mixed_netlist();
+        let program = SimProgram::compile(&nl);
+        // Output 1 (z = xor) reaches not/and/nor/xor but not maj.
+        // Gate ordinals in node order: not=0, and=1, nor=2, xor=3, maj=4.
+        assert_eq!(program.output_cone_ops(&nl, 1), vec![0, 1, 2, 3]);
+        // Output 0 (y = buf2 -> maj) reaches everything.
+        assert_eq!(program.output_cone_ops(&nl, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sliced_tape_is_bit_identical_to_fresh_compile_across_eps() {
+        let parent_nl = mixed_netlist();
+        let parent = SimProgram::compile(&parent_nl);
+        for outputs in [vec![1usize], vec![0], vec![1, 0], vec![0, 1]] {
+            let (child_nl, sliced) = parent.slice(&parent_nl, &outputs);
+            sliced.verify(&child_nl).unwrap();
+            let fresh = SimProgram::compile(&child_nl);
+            assert_eq!(sliced, fresh, "outputs={outputs:?}");
+            let mut s1 = sliced.scratch();
+            let mut s2 = fresh.scratch();
+            for eps in [0.0, 0.01, 0.25, 0.5] {
+                let cfg = NoisyConfig::new(eps, 77).unwrap();
+                let a = sliced.run_tally(&mut s1, &cfg, 500, 31).unwrap();
+                let b = fresh.run_tally(&mut s2, &cfg, 500, 31).unwrap();
+                assert_eq!(a, b, "outputs={outputs:?} eps={eps}");
+            }
+            let a = sliced.estimate_activity(&mut s1, 2000, 7).unwrap();
+            let b = fresh.estimate_activity(&mut s2, 2000, 7).unwrap();
+            assert_eq!(a, b, "outputs={outputs:?} activity");
+        }
+    }
+
+    #[test]
+    fn program_cache_slices_sub_netlists_and_counts_them() {
+        let cache = ProgramCache::new();
+        let parent_nl = mixed_netlist();
+        let parent = cache.get_or_compile(&parent_nl);
+        // A structural sub-netlist: output z's cone, extracted in
+        // parent order — exactly what a smaller family member looks
+        // like structurally.
+        let (child_nl, _) = extract_cone(&parent_nl, &[1]);
+        let sliced = cache.get_or_compile(&child_nl);
+        assert!(!Arc::ptr_eq(&parent, &sliced));
+        let stats = cache.stats();
+        assert_eq!(stats.compiled, 1, "only the parent compiles");
+        assert_eq!(stats.sliced, 1, "the sub-netlist is sliced");
+        assert_eq!(stats.shared, 0);
+        assert_eq!(stats.unique_cones, 2, "y cone and z cone");
+        // The sliced answer is cached on the netlist index: asking
+        // again shares it.
+        let again = cache.get_or_compile(&child_nl);
+        assert!(Arc::ptr_eq(&sliced, &again));
+        assert_eq!(cache.stats().shared, 1);
+        // Behavioural identity with a cold compilation.
+        let fresh = SimProgram::compile(&child_nl);
+        let cfg = NoisyConfig::new(0.1, 5).unwrap();
+        let a = sliced
+            .run_tally(&mut sliced.scratch(), &cfg, 300, 9)
+            .unwrap();
+        let b = fresh.run_tally(&mut fresh.scratch(), &cfg, 300, 9).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

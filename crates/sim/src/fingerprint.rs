@@ -1,12 +1,31 @@
-//! Structural netlist fingerprinting.
+//! Layered structural fingerprinting: cone → netlist → experiment.
 //!
 //! Lives in the simulator crate (rather than `nanobound-runner`, which
 //! re-exports it) so the [`ProgramCache`](crate::compiled::ProgramCache)
 //! can address compiled programs by the same identity the shard cache
 //! uses for experiment results.
+//!
+//! The workspace's caches key on three nested identity layers:
+//!
+//! 1. **Cone** — [`cone_fingerprints`]: one frozen [`ConeHash`] per
+//!    primary output, covering exactly that output's fanin cone (gate
+//!    ops + topology, name-free). Keys the [`ProgramCache`]'s
+//!    cone index, through which a tape compiled for one netlist is
+//!    sliced for structural sub-netlists.
+//! 2. **Netlist** — [`netlist_fingerprint`]: the whole structure
+//!    including output order. Keys compiled programs and, combined
+//!    with measurement parameters, every persistent store. **Frozen**:
+//!    shard-cache entries on disk address by it.
+//! 3. **Experiment** — [`experiment_builder`]: a domain-tagged builder
+//!    pre-seeded with the netlist layer, onto which callers push the
+//!    parameters their result depends on (ε, seeds, pattern counts…).
+//!    Keys Monte-Carlo shard tallies, sweep cells and profile
+//!    measurements. Parameters a result provably does *not* depend on
+//!    stay out of its key — that is what lets an ε-grid `profile`
+//!    sweep reuse one ε-independent activity profile across the grid.
 
 use nanobound_cache::FingerprintBuilder;
-use nanobound_logic::{GateKind, Netlist, Node};
+use nanobound_logic::{output_cone_hashes, ConeHash, GateKind, Netlist, Node};
 
 /// Folds a netlist's complete structure into a fingerprint: node kinds,
 /// fanin wiring and output drivers in declaration order.
@@ -35,5 +54,65 @@ pub fn netlist_fingerprint(builder: &mut FingerprintBuilder, netlist: &Netlist) 
     builder.push_usize(netlist.output_count());
     for output in netlist.outputs() {
         builder.push_usize(output.driver.index());
+    }
+}
+
+/// The cone layer: the frozen structural hash of every output's fanin
+/// cone, in output-declaration order.
+///
+/// A thin re-export of [`nanobound_logic::output_cone_hashes`] under
+/// the layered-fingerprint vocabulary — two outputs (of the same or
+/// different netlists) share a hash iff their cones are isomorphic as
+/// rooted ordered DAGs.
+#[must_use]
+pub fn cone_fingerprints(netlist: &Netlist) -> Vec<ConeHash> {
+    output_cone_hashes(netlist)
+}
+
+/// The experiment layer: a fingerprint builder for `domain`, pre-seeded
+/// with `netlist`'s structural layer.
+///
+/// Every experiment-level cache key in the workspace starts this way —
+/// push the remaining parameters the result depends on, then `finish()`.
+/// Byte-identical to constructing a [`FingerprintBuilder`] and calling
+/// [`netlist_fingerprint`] by hand, so existing on-disk entries keep
+/// their addresses.
+#[must_use]
+pub fn experiment_builder(domain: &str, netlist: &Netlist) -> FingerprintBuilder {
+    let mut builder = FingerprintBuilder::new(domain);
+    netlist_fingerprint(&mut builder, netlist);
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_builder_matches_the_manual_sequence() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.add_output("y", g).unwrap();
+        let mut manual = FingerprintBuilder::new("domain-x");
+        netlist_fingerprint(&mut manual, &nl);
+        manual.push_u64(42);
+        let mut layered = experiment_builder("domain-x", &nl);
+        layered.push_u64(42);
+        assert_eq!(manual.finish(), layered.finish());
+    }
+
+    #[test]
+    fn cone_layer_is_one_hash_per_output() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let n = nl.add_gate(GateKind::Not, &[x]).unwrap();
+        nl.add_output("y", x).unwrap();
+        nl.add_output("z", n).unwrap();
+        let cones = cone_fingerprints(&nl);
+        assert_eq!(cones.len(), 2);
+        assert_ne!(cones[0], cones[1]);
     }
 }

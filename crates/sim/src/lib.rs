@@ -54,11 +54,13 @@ pub mod sensitivity;
 pub mod verify;
 
 pub use activity::{activity_from_probability, estimate_activity, ActivityProfile};
-pub use compiled::{EngineKind, ProgramCache, ShardSpec, SimProgram, SimScratch, ENGINE_ENV};
+pub use compiled::{
+    EngineKind, ProgramCache, ProgramCacheStats, ShardSpec, SimProgram, SimScratch, ENGINE_ENV,
+};
 pub use engine::{evaluate_packed, NodeValues};
 pub use error::SimError;
 pub use faultstream::{gate_state, MaskPlan, STREAM_VERSION};
-pub use fingerprint::netlist_fingerprint;
+pub use fingerprint::{cone_fingerprints, experiment_builder, netlist_fingerprint};
 pub use noisy::{
     compare_runs, evaluate_noisy, monte_carlo, monte_carlo_tally, tally_runs, NoisyConfig,
     NoisyOutcome, NoisyTally,

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Regenerates the machine-readable engine-performance baseline.
 #
-# Usage: ./scripts/bench_json.sh [OUTPUT]    (default: BENCH_6.json)
+# Usage: ./scripts/bench_json.sh [OUTPUT]    (default: BENCH_7.json)
 #
 # Runs the `perf_engines` benchmark binary — interpreted vs compiled
-# simulation throughput (patterns/sec) per benchmark netlist, three
+# simulation throughput (patterns/sec) per benchmark netlist, four
 # workloads each (mask-sparse Monte-Carlo, mask-dense Monte-Carlo,
-# clean profiling eval) — and writes its JSON report to OUTPUT. The
-# binary cross-checks bitwise tally equality of the two engines before
-# timing anything, so a report is only ever produced for equivalent
-# engines.
+# clean profiling eval, bulk activity profiling), plus a cold-vs-warm
+# leak-share sweep through the on-disk profile store — and writes its
+# JSON report to OUTPUT. The binary cross-checks bitwise equality of
+# the two engines (tallies and activity profiles) before timing
+# anything, so a report is only ever produced for equivalent engines.
 #
 # The file is a perf-trajectory artifact: future PRs regenerate it and
 # compare patterns/sec against the committed baseline. Numbers move
@@ -17,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 cargo build --release -p nanobound-bench --bench perf_engines >/dev/null
 cargo bench -p nanobound-bench --bench perf_engines 2>/dev/null > "$out"
 # Minimal well-formedness gate (no jq in the container): the document
@@ -26,4 +27,6 @@ grep -q '"bench": "engines"' "$out"
 grep -q '"mc_sparse"' "$out"
 grep -q '"mc_dense"' "$out"
 grep -q '"clean"' "$out"
+grep -q '"activity"' "$out"
+grep -q '"warm_sweep"' "$out"
 echo "wrote $out"

@@ -204,10 +204,16 @@ fn profile_accepts_cache_flags_and_reports_traffic() {
     ];
     let (ok, cold, err) = run(&args);
     assert!(ok, "stderr: {err}");
-    assert!(cold.contains("1 misses"), "out: {cold}");
+    assert!(
+        cold.contains("0 activity reused (1 measured), 0 sensitivity reused (1 measured)"),
+        "out: {cold}"
+    );
     let (ok, warm, err) = run(&args);
     assert!(ok, "stderr: {err}");
-    assert!(warm.contains("1 hits"), "out: {warm}");
+    assert!(
+        warm.contains("1 activity reused (0 measured), 1 sensitivity reused (0 measured)"),
+        "out: {warm}"
+    );
     // The report itself is identical; only the cache summary differs.
     let strip = |s: &str| {
         s.lines()
