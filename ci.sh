@@ -47,6 +47,13 @@
 #      netlist by slicing the first one's tape, ε/leak grid points
 #      reuse the one ε-independent profile measurement, and the warm
 #      re-run compiles nothing and re-measures nothing
+#  11. the concurrent serve gate: one interleaved session — computing
+#      workloads with a --request-jobs mix and a mid-flight `gc`
+#      sweeping the live cache — run serially on a cold cache and again
+#      under --concurrency 4 on its own cold cache; the ordering buffer
+#      keeps frames in request order, so the two response streams must
+#      be byte-identical end to end (a dropped, reordered or drifted
+#      frame fails the diff)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -208,5 +215,30 @@ grep -q "cache programs: 0 compiled (0 cones), 0 shared, 0 sliced" \
     "$detdir/sweep-stats-warm.out"
 grep -q "cache profiles: 3 activity reused (0 measured), 3 sensitivity reused (0 measured)" \
     "$detdir/sweep-stats-warm.out"
+
+echo "==> concurrent serve gate: --concurrency 4 with mid-flight gc vs serial, byte-identical"
+# Interleaved computing workloads, per-request worker overrides and a
+# gc sweeping the shard cache while requests are in flight. Each run
+# gets its own fresh cache so both are cold; the response streams must
+# match byte for byte — request-ordered frames, no drops, no drift.
+cat > "$detdir/conc.jsonl" <<EOF
+{"id":"c1","workload":"bound","args":["--size","21","--sensitivity","10","--activity","0.5","--fanin","3","--eps","0.01"]}
+{"id":"c2","workload":"profile","args":["$detdir/xor2.bench","--eps","0.05","--request-jobs","2"]}
+{"id":"c3","workload":"figure","args":["fig3"]}
+{"id":"c4","workload":"gc","args":["--bytes","0"]}
+{"id":"c5","workload":"profile","args":["$detdir/xor2.bench","--eps","0.05"]}
+{"id":"c6","workload":"figure","args":["fig2","--request-jobs","3"]}
+{"id":"c7","workload":"validate","args":["--request-jobs","2"]}
+{"id":"c8","workload":"bound","args":["--request-jobs","4","--size","21","--sensitivity","10","--activity","0.5","--fanin","3","--eps","0.01"]}
+EOF
+target/release/nanobound serve --cache-dir "$detdir/conc-serial" --jobs 1 \
+    < "$detdir/conc.jsonl" > "$detdir/conc-serial.out" 2>/dev/null
+target/release/nanobound serve --cache-dir "$detdir/conc-parallel" --jobs 1 \
+    --concurrency 4 --queue 64 \
+    < "$detdir/conc.jsonl" > "$detdir/conc-parallel.out" 2>/dev/null
+diff "$detdir/conc-serial.out" "$detdir/conc-parallel.out"
+# The gc must have answered its fixed in-band payload, in order.
+grep -q '"id":"c4","status":"ok"' "$detdir/conc-parallel.out"
+grep -q "gc: swept" "$detdir/conc-parallel.out"
 
 echo "CI green."

@@ -4,8 +4,10 @@
 //! a [`FORMAT_VERSION`] bump orphans old directories instead of mutating
 //! them — so long-lived deployments (the `nanobound serve` engine) need
 //! a way to reclaim disk. [`ShardCache::sweep`] is that reclaimer: a
-//! single best-effort pass intended to run at service startup, before
-//! any requests are in flight.
+//! single best-effort pass. It runs at service startup (before any
+//! requests are in flight) and on demand mid-flight, in which case the
+//! caller passes the pinned in-flight fingerprint set
+//! ([`ShardCache::in_flight`]) as `protected`.
 //!
 //! **The sweep contract** (relied on by `nanobound-service` and pinned
 //! by the tests below):
@@ -271,6 +273,30 @@ mod tests {
         assert!(cache.load(&fp("keep"), 0).is_some());
         assert!(cache.load(&fp("keep"), 1).is_some());
         assert!(cache.load(&fp("evict"), 0).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_in_flight_fingerprints_survive_a_mid_flight_sweep() {
+        // The serve `gc` workload passes `cache.in_flight()` as the
+        // protected set — a pinned experiment's entries must ride out a
+        // max-pressure sweep, and unpinning re-exposes them.
+        let dir = scratch("in_flight");
+        let cache = ShardCache::open(&dir).unwrap();
+        cache.store(&fp("running"), 0, &[1u8; 100]);
+        cache.store(&fp("idle"), 0, &[2u8; 100]);
+        let pin = cache.pin(fp("running"));
+        let policy = GcPolicy {
+            max_bytes: Some(0),
+            max_age: None,
+        };
+        let report = cache.sweep(&policy, &cache.in_flight());
+        assert_eq!(report.deleted_entries, 1);
+        assert!(cache.load(&fp("running"), 0).is_some());
+        assert!(cache.load(&fp("idle"), 0).is_none());
+        drop(pin);
+        cache.sweep(&policy, &cache.in_flight());
+        assert!(cache.load(&fp("running"), 0).is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

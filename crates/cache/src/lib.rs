@@ -65,4 +65,4 @@ pub use codec::{decode_from_slice, encode_to_vec, CacheCodec, Decoder, Encoder};
 pub use fingerprint::{Fingerprint, FingerprintBuilder, FORMAT_VERSION};
 pub use gc::{GcPolicy, GcReport};
 pub use profile_store::{ProfileLayer, ProfileLayerStats, ProfileStore};
-pub use store::{CacheStats, ShardCache};
+pub use store::{CacheStats, InFlightGuard, ShardCache};

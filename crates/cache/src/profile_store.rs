@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::codec::CacheCodec;
 use crate::fingerprint::Fingerprint;
-use crate::store::{CacheStats, ShardCache};
+use crate::store::{CacheStats, InFlightGuard, ShardCache};
 
 /// Which ε-independent measurement a profile entry holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,6 +107,20 @@ impl ProfileStore {
     /// Stores one measurement (best-effort, like [`ShardCache::store`]).
     pub fn store<T: CacheCodec>(&self, fingerprint: &Fingerprint, value: &T) {
         self.disk.store_value(fingerprint, 0, value);
+    }
+
+    /// Pins a measurement fingerprint as in flight (see
+    /// [`ShardCache::pin`]); a mid-flight GC sweep over the shared root
+    /// must treat pinned profile entries as protected too.
+    pub fn pin(&self, fingerprint: Fingerprint) -> InFlightGuard<'_> {
+        self.disk.pin(fingerprint)
+    }
+
+    /// The pinned measurement fingerprints, deterministically ordered
+    /// (see [`ShardCache::in_flight`]).
+    #[must_use]
+    pub fn in_flight(&self) -> Vec<Fingerprint> {
+        self.disk.in_flight()
     }
 
     /// Reuse counters of one layer.

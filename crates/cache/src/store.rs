@@ -18,10 +18,12 @@
 //! entry, and concurrent writers of the same shard are harmless (they
 //! race to rename identical bytes).
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::codec::{decode_from_slice, encode_to_vec, CacheCodec};
 use crate::fingerprint::{Fingerprint, FNV_OFFSET, FNV_PRIME, FORMAT_VERSION};
@@ -74,6 +76,31 @@ pub struct ShardCache {
     misses: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
+    /// Refcounts of experiment fingerprints currently being computed —
+    /// the set a concurrent GC sweep must not delete out from under a
+    /// request (see [`ShardCache::pin`]).
+    in_flight: Mutex<HashMap<Fingerprint, usize>>,
+}
+
+/// An RAII pin marking one experiment fingerprint as in flight for the
+/// lifetime of the guard; see [`ShardCache::pin`].
+#[must_use = "dropping the guard immediately unpins the fingerprint"]
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    registry: &'a Mutex<HashMap<Fingerprint, usize>>,
+    fingerprint: Fingerprint,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.registry.lock().expect("in-flight registry lock");
+        if let Some(count) = pins.get_mut(&self.fingerprint) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.fingerprint);
+            }
+        }
+    }
 }
 
 impl ShardCache {
@@ -93,7 +120,36 @@ impl ShardCache {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
+            in_flight: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Pins `fingerprint` as in flight until the returned guard drops.
+    ///
+    /// A fingerprint is "in flight" while a request is between key
+    /// computation and final result assembly — the window in which a
+    /// concurrent [`ShardCache::sweep`](crate::gc) deleting its entries
+    /// would discard work the request is about to read back or has just
+    /// written. Pins are refcounted, so overlapping requests on the same
+    /// experiment compose.
+    pub fn pin(&self, fingerprint: Fingerprint) -> InFlightGuard<'_> {
+        let mut pins = self.in_flight.lock().expect("in-flight registry lock");
+        *pins.entry(fingerprint).or_insert(0) += 1;
+        InFlightGuard {
+            registry: &self.in_flight,
+            fingerprint,
+        }
+    }
+
+    /// A snapshot of the pinned fingerprints, deterministically ordered
+    /// (by hex digest) — the `protected` argument a mid-flight GC sweep
+    /// should pass.
+    #[must_use]
+    pub fn in_flight(&self) -> Vec<Fingerprint> {
+        let pins = self.in_flight.lock().expect("in-flight registry lock");
+        let mut all: Vec<Fingerprint> = pins.keys().copied().collect();
+        all.sort_by_key(|fp| fp.to_bytes());
+        all
     }
 
     /// The cache's root directory.
@@ -363,6 +419,48 @@ mod tests {
         assert_eq!(cache.load_value::<bool>(&key, 0), None);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pins_are_refcounted_and_released_on_drop() {
+        let dir = scratch("pins");
+        let cache = ShardCache::open(&dir).unwrap();
+        assert!(cache.in_flight().is_empty());
+        let a = cache.pin(fp("a"));
+        let a_again = cache.pin(fp("a"));
+        let b = cache.pin(fp("b"));
+        assert_eq!(
+            cache.in_flight().len(),
+            2,
+            "refcounts collapse to one entry"
+        );
+        drop(a);
+        assert_eq!(
+            cache.in_flight().len(),
+            2,
+            "fingerprint stays pinned while any guard lives"
+        );
+        drop(a_again);
+        assert_eq!(cache.in_flight(), vec![fp("b")]);
+        drop(b);
+        assert!(cache.in_flight().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_flight_snapshot_is_deterministically_ordered() {
+        let dir = scratch("pin_order");
+        let cache = ShardCache::open(&dir).unwrap();
+        let _guards: Vec<_> = ["z", "m", "a", "q"]
+            .iter()
+            .map(|tag| cache.pin(fp(tag)))
+            .collect();
+        let first = cache.in_flight();
+        let mut sorted = first.clone();
+        sorted.sort_by_key(|f| f.to_bytes());
+        assert_eq!(first, sorted);
+        assert_eq!(first, cache.in_flight(), "snapshots are stable");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -250,6 +250,12 @@ pub fn profile_netlist_cached_programs(
         builder.push_u64(config.seed);
         builder.finish()
     });
+    // Pin the measurement key while it is being read back or produced,
+    // so a concurrent GC sweep over the shared root protects it.
+    let _activity_pin = match (profiles, &activity_key) {
+        (Some(store), Some(fp)) => Some(store.pin(*fp)),
+        _ => None,
+    };
     let stored = match (profiles, &activity_key) {
         (Some(store), Some(fp)) => store.load::<StoredActivity>(ProfileLayer::Activity, fp),
         _ => None,
@@ -278,6 +284,10 @@ pub fn profile_netlist_cached_programs(
                 builder.push_u64(config.seed);
                 builder.finish()
             });
+            let _sensitivity_pin = match (profiles, &sensitivity_key) {
+                (Some(store), Some(fp)) => Some(store.pin(*fp)),
+                _ => None,
+            };
             let stored = match (profiles, &sensitivity_key) {
                 (Some(store), Some(fp)) => {
                     store.load::<StoredSensitivity>(ProfileLayer::Sensitivity, fp)

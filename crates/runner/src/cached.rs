@@ -166,6 +166,12 @@ pub fn monte_carlo_sharded_cached_programs(
     let engine = EngineKind::from_env()?;
     let fingerprint =
         cache.map(|_| monte_carlo_fingerprint(netlist, config, patterns, pattern_seed, chunk));
+    // Pin the experiment for the duration of the run: a concurrent GC
+    // sweep must not delete shards between this point and the merge.
+    let _in_flight = match (cache, &fingerprint) {
+        (Some(cache), Some(fingerprint)) => Some(cache.pin(*fingerprint)),
+        _ => None,
+    };
     let shards = patterns.div_ceil(chunk);
 
     // Validates a cached tally before merging: guard against entries
@@ -328,6 +334,7 @@ where
     T: CacheCodec + Send,
     F: Fn(&X) -> T + Sync,
 {
+    let _in_flight = cache.map(|cache| cache.pin(*fingerprint));
     pool.map_indexed(xs.len(), |i| {
         let Some(cache) = cache else { return f(&xs[i]) };
         if let Some(value) = cache.load_value::<T>(fingerprint, i as u64) {
@@ -360,6 +367,7 @@ where
     E: Send,
     F: Fn(&X) -> Result<T, E> + Sync,
 {
+    let _in_flight = cache.map(|cache| cache.pin(*fingerprint));
     pool.map_indexed(xs.len(), |i| {
         let Some(cache) = cache else { return f(&xs[i]) };
         if let Some(value) = cache.load_value::<T>(fingerprint, i as u64) {

@@ -57,5 +57,5 @@ pub use cached::{
 pub use error::RunnerError;
 pub use grid::{grid_map, try_grid_map};
 pub use montecarlo::{monte_carlo_sharded, DEFAULT_CHUNK};
-pub use pool::{ThreadPool, MAX_JOBS};
+pub use pool::{Dispatcher, ThreadPool, MAX_JOBS};
 pub use seed::shard_seed;

@@ -12,10 +12,17 @@
 //! order, so the output of [`ThreadPool::map_indexed`] is a pure function
 //! of the closure — identical for any worker count and any steal
 //! interleaving.
+//!
+//! For *open* task sets — jobs that stream in one at a time, as from a
+//! serve session — [`ThreadPool::dispatch_scope`] runs a scoped worker
+//! crew over a bounded admission queue with explicit overload reporting
+//! ([`Dispatcher::try_submit`]). Ordering of results is the caller's
+//! concern there; the crew only guarantees every admitted job runs
+//! exactly once.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use crate::error::RunnerError;
 
@@ -169,6 +176,138 @@ impl ThreadPool {
             .collect();
         (results, states)
     }
+
+    /// Runs `body` with a crew of [`jobs`](ThreadPool::jobs) workers
+    /// draining a bounded admission queue of streamed jobs.
+    ///
+    /// Unlike [`map_indexed`](ThreadPool::map_indexed) the task set is
+    /// *open*: `body` submits jobs as they arrive (a serve session
+    /// reading requests off a socket) via [`Dispatcher::try_submit`],
+    /// and a full queue hands the job back instead of blocking — the
+    /// submitter answers overload in-band. When `body` returns, the
+    /// queue is closed and drained: every admitted job runs exactly
+    /// once before `dispatch_scope` returns. Workers are scoped to the
+    /// call, like every other pool entry point — no detached threads.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside a job.
+    pub fn dispatch_scope<'env, R>(
+        &self,
+        capacity: usize,
+        body: impl FnOnce(&Dispatcher<'env>) -> R,
+    ) -> R {
+        let dispatcher = Dispatcher::new(capacity);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.jobs.get())
+                .map(|_| {
+                    let dispatcher = &dispatcher;
+                    scope.spawn(move || dispatcher.work())
+                })
+                .collect();
+            let out = body(&dispatcher);
+            dispatcher.close();
+            for handle in handles {
+                handle
+                    .join()
+                    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+            }
+            out
+        })
+    }
+}
+
+/// A boxed unit of streamed work; see [`ThreadPool::dispatch_scope`].
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// The bounded admission queue of one [`ThreadPool::dispatch_scope`]
+/// crew. Holds at most `capacity` not-yet-started jobs; admission
+/// beyond that is refused, never blocked on.
+pub struct Dispatcher<'env> {
+    state: Mutex<DispatchQueue<'env>>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+struct DispatchQueue<'env> {
+    jobs: VecDeque<Job<'env>>,
+    closed: bool,
+}
+
+impl std::fmt::Debug for Dispatcher<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("capacity", &self.capacity)
+            .field("queued", &self.queued())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'env> Dispatcher<'env> {
+    fn new(capacity: usize) -> Self {
+        Dispatcher {
+            state: Mutex::new(DispatchQueue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Submits one job, or hands it back when the queue is at capacity
+    /// so the caller can answer the overload in-band.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job itself when the queue is full.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), F>
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let mut state = self.state.lock().expect("dispatch queue lock");
+        if state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// The number of admitted jobs not yet picked up by a worker.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("dispatch queue lock").jobs.len()
+    }
+
+    /// Closes admission; workers drain the remaining queue and exit.
+    fn close(&self) {
+        self.state.lock().expect("dispatch queue lock").closed = true;
+        self.wake.notify_all();
+    }
+
+    /// One worker's loop: run jobs until the queue is closed *and* dry.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("dispatch queue lock");
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if state.closed {
+                        break None;
+                    }
+                    state = self.wake.wait(state).expect("dispatch queue lock");
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => return,
+            }
+        }
+    }
 }
 
 /// Pops the next task for worker `w`: front of its own deque, else a
@@ -287,6 +426,73 @@ mod tests {
         let (results, states) = pool.map_indexed_init(0, || 1u8, |_, i| i);
         assert!(results.is_empty());
         assert!(states.is_empty());
+    }
+
+    #[test]
+    fn dispatch_scope_runs_every_admitted_job_exactly_once() {
+        for jobs in [1usize, 2, 8] {
+            let pool = ThreadPool::new(jobs).unwrap();
+            let counter = AtomicUsize::new(0);
+            pool.dispatch_scope(16, |crew| {
+                for _ in 0..100 {
+                    let mut job = Some(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // A full queue hands the job back; retry until the
+                    // crew drains a slot.
+                    while let Err(returned) = crew.try_submit(job.take().unwrap()) {
+                        job = Some(returned);
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 100, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn full_queue_refuses_instead_of_blocking() {
+        use std::sync::mpsc;
+        let pool = ThreadPool::new(1).unwrap();
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let ran = AtomicUsize::new(0);
+        pool.dispatch_scope(2, |crew| {
+            assert!(crew
+                .try_submit(move || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                })
+                .is_ok());
+            // The single worker now holds the first job; the queue is
+            // empty and admits exactly `capacity` more.
+            started_rx.recv().unwrap();
+            assert!(crew.try_submit(|| {}).is_ok());
+            assert!(crew
+                .try_submit(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+                .is_ok());
+            assert_eq!(crew.queued(), 2);
+            assert!(
+                crew.try_submit(|| {}).is_err(),
+                "the third pending job must be refused, not queued"
+            );
+            release_tx.send(()).unwrap();
+        });
+        // Close-then-drain: the admitted jobs all ran.
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dispatch_job_panics_propagate_to_the_caller() {
+        let pool = ThreadPool::new(2).unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.dispatch_scope(8, |crew| {
+                let _ = crew.try_submit(|| panic!("job exploded"));
+            });
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use nanobound_cache::GcPolicy;
 use nanobound_experiments::{FigureId, FigureOutput};
+use nanobound_runner::MAX_JOBS;
 
 use crate::args::{
     cache_from_flags, flag, flag_values, list, parse_flags, pool_from_flags, switch, FlagSpec,
@@ -77,6 +78,10 @@ LINT OPTIONS:
 
 SERVE OPTIONS:
     --listen <ADDR>  accept TCP connections on ADDR instead of stdio
+    --concurrency <N>  dispatch up to N requests of a session at once
+                     (responses stay in request order)  [default: 1]
+    --queue <N>      admitted-request queue bound; past it requests are
+                     answered `error: overloaded` in-band [default: 256]
     --gc-bytes <N>   at startup, sweep the cache down toward N bytes
     --gc-age-days <D>  at startup, expire cache entries older than D days
 
@@ -84,8 +89,10 @@ SERVE PROTOCOL (one request per line; full grammar in the README):
     {\"id\":\"1\",\"workload\":\"figure\",\"args\":[\"fig3\"]}
     -> {\"id\":\"1\",\"status\":\"ok\",\"bytes\":N} then exactly N payload
        bytes — byte-identical to the equivalent one-shot CLI stdout
-       (workloads: profile, bound, figure, validate, lint, stats, ping,
-       shutdown)
+       (workloads: profile, bound, figure, validate, lint, gc, stats,
+       ping, shutdown; id \"?\" is reserved for malformed-line answers;
+       computing workloads accept --request-jobs <N> for a per-request
+       worker budget)
 ";
 
 /// Top-level dispatch for the `nanobound` binary.
@@ -114,7 +121,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let spec = [&ProfileRequest::FLAGS[..], &COMMON_FLAGS[..]].concat();
     let (positional, flags) = parse_flags(args, &spec)?;
     let request = ProfileRequest::from_parts(&positional, &flags)?;
-    let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
+    let engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
     print!("{}", engine.profile(&request)?);
     if engine.cache().is_some() {
         print!("{}", engine.cache_report());
@@ -135,7 +142,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     // Analysis is cheap and deterministic: no pool, no cache flags.
     let (positional, flags) = parse_flags(args, &LintRequest::FLAGS)?;
     let request = LintRequest::from_parts(&positional, &flags)?;
-    let mut engine = Engine::new(nanobound_runner::ThreadPool::serial(), None);
+    let engine = Engine::new(nanobound_runner::ThreadPool::serial(), None);
     let outcome = engine.lint(&request)?;
     print!("{}", outcome.text);
     if outcome.failed() {
@@ -202,7 +209,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?
     };
     let sink = artifact_sink(&flags)?;
-    let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
+    let engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
     let Some(dir) = sink else {
         for &id in &ids {
             print!("{}", engine.figure_csv(id)?);
@@ -229,7 +236,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         return Err("`validate` takes only flags".to_owned());
     }
     let sink = artifact_sink(&flags)?;
-    let mut engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
+    let engine = Engine::new(pool_from_flags(&flags)?, cache_from_flags(&flags)?);
     let outputs = engine.validation()?;
     let Some(dir) = sink else {
         for figure in &outputs {
@@ -251,7 +258,13 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let spec = [
-        &[flag("listen"), flag("gc-bytes"), flag("gc-age-days")][..],
+        &[
+            flag("listen"),
+            flag("concurrency"),
+            flag("queue"),
+            flag("gc-bytes"),
+            flag("gc-age-days"),
+        ][..],
         &COMMON_FLAGS[..],
     ]
     .concat();
@@ -289,14 +302,41 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if (max_bytes.is_some() || max_age.is_some()) && cache.is_none() {
         return Err("--gc-bytes/--gc-age-days need --cache-dir".to_owned());
     }
+    let concurrency = match flag_values(&flags, "concurrency").last() {
+        None => 1,
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| {
+                format!("--concurrency: `{v}` is not an integer (supported: 1..={MAX_JOBS})")
+            })?;
+            if !(1..=MAX_JOBS).contains(&n) {
+                return Err(format!(
+                    "--concurrency: `{v}` is out of range (supported: 1..={MAX_JOBS})"
+                ));
+            }
+            n
+        }
+    };
+    let queue = match flag_values(&flags, "queue").last() {
+        None => serve::DEFAULT_QUEUE,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(format!(
+                    "--queue: `{v}` is not a queue bound (supported: >= 1)"
+                ))
+            }
+        },
+    };
     let options = ServeOptions {
         listen: flag_values(&flags, "listen")
             .last()
             .map(|s| (*s).to_owned()),
         gc: GcPolicy { max_bytes, max_age },
+        concurrency,
+        queue,
     };
-    let mut engine = Engine::new(pool_from_flags(&flags)?, cache);
-    serve::run(&mut engine, &options)
+    let engine = Engine::new(pool_from_flags(&flags)?, cache);
+    serve::run(&engine, &options)
 }
 
 #[cfg(test)]
@@ -323,10 +363,33 @@ mod tests {
             "--only",
             "--stdout",
             "--listen",
+            "--concurrency",
+            "--queue",
+            "--request-jobs",
             "--gc-bytes",
             "1..=512",
+            "overloaded",
+            " gc,",
         ] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+
+    #[test]
+    fn concurrency_and_queue_flags_are_validated() {
+        let run = |tokens: &[&str]| {
+            let args: Vec<String> = tokens.iter().map(|s| (*s).to_owned()).collect();
+            cmd_serve(&args).unwrap_err()
+        };
+        for (tokens, needle) in [
+            (&["--concurrency", "0"][..], "--concurrency"),
+            (&["--concurrency", "99999"][..], "out of range"),
+            (&["--concurrency", "x"][..], "not an integer"),
+            (&["--queue", "0"][..], "--queue"),
+            (&["--queue", "-1"][..], "--queue"),
+        ] {
+            let err = run(tokens);
+            assert!(err.contains(needle), "tokens {tokens:?}: {err}");
         }
     }
 

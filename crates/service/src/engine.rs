@@ -27,11 +27,19 @@
 //! shard cache only ever replay bit-exact results, the text is
 //! independent of request order, warm/cold cache state and worker
 //! count.
+//!
+//! **Sharing.** Every workload method takes `&self`: the registries are
+//! keyed compute-once tables ([`Registry`]), so a concurrent serve
+//! session can dispatch requests onto one engine from many workers —
+//! a burst of identical requests still computes (and counts) each
+//! design parse, profile measurement and figure exactly once.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::hash::Hash;
 use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
 
 use nanobound_analyze::{lint_design, lint_netlist, LintOptions, Severity};
 use nanobound_cache::{
@@ -105,12 +113,102 @@ impl LintOutcome {
 /// grow monotonically until it OOMed.
 const REGISTRY_LIMIT: usize = 1024;
 
-/// Inserts into a bounded registry, flushing it first when full.
-fn bounded_insert<V>(registry: &mut HashMap<Fingerprint, V>, key: Fingerprint, value: V) {
-    if registry.len() >= REGISTRY_LIMIT {
-        registry.clear();
+/// A keyed compute-once registry.
+///
+/// The first requester of a key computes the value while concurrent
+/// requesters of that key block until it is ready, so a burst of
+/// identical requests costs one computation — which also keeps the
+/// [`Engine::cache_report`] counters independent of how requests were
+/// interleaved. Failed computations are not memoized (the next
+/// requester retries), and the registry is flushed wholesale at
+/// [`REGISTRY_LIMIT`] entries, like the `HashMap` registries it
+/// replaces.
+#[derive(Debug)]
+struct Registry<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum Slot<V> {
+    /// A computation for this key is in flight on some thread.
+    Pending,
+    Ready(Arc<V>),
+}
+
+impl<K: Clone + Eq + Hash, V> Registry<K, V> {
+    fn new() -> Self {
+        Registry {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        }
     }
-    registry.insert(key, value);
+
+    /// Completed entries (for tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("registry lock")
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Returns the value for `key`, computing it via `compute` if no
+    /// other thread already has (or is about to).
+    fn get_or_try_insert<F>(&self, key: K, compute: F) -> Result<Arc<V>, String>
+    where
+        F: FnOnce() -> Result<V, String>,
+    {
+        let mut slots = self.slots.lock().expect("registry lock");
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(value)) => return Ok(Arc::clone(value)),
+                Some(Slot::Pending) => slots = self.ready.wait(slots).expect("registry lock"),
+                None => break,
+            }
+        }
+        if slots.len() >= REGISTRY_LIMIT {
+            slots.clear();
+        }
+        slots.insert(key.clone(), Slot::Pending);
+        drop(slots);
+        // The guard clears the Pending marker on every exit path —
+        // error and panic included — so waiters never sleep forever.
+        let mut guard = PendingGuard {
+            registry: self,
+            key: Some(key),
+        };
+        let value = Arc::new(compute()?);
+        let key = guard.key.take().expect("guard disarmed exactly once");
+        self.slots
+            .lock()
+            .expect("registry lock")
+            .insert(key, Slot::Ready(Arc::clone(&value)));
+        self.ready.notify_all();
+        Ok(value)
+    }
+}
+
+/// Removes a [`Slot::Pending`] marker (and wakes waiters) unless
+/// disarmed by a successful insert.
+struct PendingGuard<'a, K: Clone + Eq + Hash, V> {
+    registry: &'a Registry<K, V>,
+    key: Option<K>,
+}
+
+impl<K: Clone + Eq + Hash, V> Drop for PendingGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut slots = self.registry.slots.lock().expect("registry lock");
+            if matches!(slots.get(&key), Some(Slot::Pending)) {
+                slots.remove(&key);
+            }
+            drop(slots);
+            self.registry.ready.notify_all();
+        }
+    }
 }
 
 /// The long-lived job engine; see the [module docs](self).
@@ -121,12 +219,12 @@ pub struct Engine {
     /// ε-independent profile measurements, sharing the shard cache's
     /// root (domain-tagged fingerprints keep the namespaces apart).
     profiles: Option<ProfileStore>,
-    designs: HashMap<Fingerprint, Design>,
-    profiled: HashMap<Fingerprint, ProfiledBenchmark>,
+    designs: Registry<Fingerprint, Design>,
+    profiled: Registry<Fingerprint, ProfiledBenchmark>,
     programs: ProgramCache,
-    figures: HashMap<FigureId, FigureOutput>,
-    suite: Option<Vec<ProfiledBenchmark>>,
-    validation: Option<Vec<FigureOutput>>,
+    figures: Registry<FigureId, FigureOutput>,
+    suite: Registry<(), Vec<ProfiledBenchmark>>,
+    validation: Registry<(), Vec<FigureOutput>>,
 }
 
 impl Engine {
@@ -144,12 +242,12 @@ impl Engine {
             pool,
             cache,
             profiles,
-            designs: HashMap::new(),
-            profiled: HashMap::new(),
+            designs: Registry::new(),
+            profiled: Registry::new(),
             programs: ProgramCache::new(),
-            figures: HashMap::new(),
-            suite: None,
-            validation: None,
+            figures: Registry::new(),
+            suite: Registry::new(),
+            validation: Registry::new(),
         }
     }
 
@@ -205,13 +303,19 @@ impl Engine {
         self.cache.as_ref()
     }
 
-    /// Sweeps the shard cache under `policy` (no-op without a cache).
-    ///
-    /// Run this at startup, before requests are in flight — nothing is
-    /// protected yet, and the sweep contract guarantees anything
-    /// deleted is recomputed as a plain miss.
+    /// Sweeps the shard cache under `policy` (no-op without a cache),
+    /// protecting every pinned in-flight experiment and profile
+    /// fingerprint — safe to run mid-flight from the `gc` serve
+    /// workload as well as at startup, where the protected set is
+    /// simply empty and anything deleted recomputes as a plain miss.
     pub fn gc(&self, policy: &GcPolicy) -> Option<GcReport> {
-        self.cache.as_ref().map(|c| c.sweep(policy, &[]))
+        self.cache.as_ref().map(|cache| {
+            let mut protected = cache.in_flight();
+            if let Some(store) = &self.profiles {
+                protected.extend(store.in_flight());
+            }
+            cache.sweep(policy, &protected)
+        })
     }
 
     /// Executes a `profile` workload; returns the one-shot CLI's exact
@@ -221,7 +325,22 @@ impl Engine {
     ///
     /// Unreadable/unparseable netlist files, unroll failures and
     /// simulation errors, with the CLI's exact messages.
-    pub fn profile(&mut self, request: &ProfileRequest) -> Result<String, String> {
+    pub fn profile(&self, request: &ProfileRequest) -> Result<String, String> {
+        self.profile_with(request, &self.pool)
+    }
+
+    /// [`Engine::profile`] under a caller-supplied worker budget — the
+    /// serve `--request-jobs` override. The text is identical for every
+    /// pool (runner contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::profile`].
+    pub fn profile_with(
+        &self,
+        request: &ProfileRequest,
+        pool: &ThreadPool,
+    ) -> Result<String, String> {
         let design = self.load_design(&request.path)?;
 
         let mut out = String::new();
@@ -232,7 +351,7 @@ impl Engine {
                 design.latches.len(),
                 request.frames,
             );
-            unroll::unroll_free(design, request.frames).map_err(|e| e.to_string())?
+            unroll::unroll_free(&design, request.frames).map_err(|e| e.to_string())?
         } else {
             design.netlist.clone()
         };
@@ -250,22 +369,20 @@ impl Engine {
         profile_key.push_u64(config.seed);
         profile_key.push_f64(config.leak_share);
         let profile_key = profile_key.finish();
-        if !self.profiled.contains_key(&profile_key) {
-            let profiled = profile_netlist_cached_programs(
+        let profiled = self.profiled.get_or_try_insert(profile_key, || {
+            profile_netlist_cached_programs(
                 &netlist,
                 None,
                 &config,
                 self.profiles.as_ref(),
                 Some(&self.programs),
             )
-            .map_err(|e| e.to_string())?;
-            bounded_insert(&mut self.profiled, profile_key, profiled);
-        }
-        let profiled = &self.profiled[&profile_key];
+            .map_err(|e| e.to_string())
+        })?;
 
         let _ = writeln!(out, "profile: {}", profiled.profile);
         out.push_str(&render_reports(
-            &self.pool,
+            pool,
             &profiled.profile,
             &request.eps,
             request.delta,
@@ -281,10 +398,19 @@ impl Engine {
     /// Bound-evaluation failures for out-of-range parameters, with the
     /// CLI's exact messages.
     pub fn bound(&self, request: &BoundRequest) -> Result<String, String> {
+        self.bound_with(request, &self.pool)
+    }
+
+    /// [`Engine::bound`] under a caller-supplied worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::bound`].
+    pub fn bound_with(&self, request: &BoundRequest, pool: &ThreadPool) -> Result<String, String> {
         let mut out = String::new();
         let _ = writeln!(out, "profile: {}", request.profile);
         out.push_str(&render_reports(
-            &self.pool,
+            pool,
             &request.profile,
             &request.eps,
             request.delta,
@@ -298,18 +424,27 @@ impl Engine {
     ///
     /// Propagates generator failures (not expected for the paper's
     /// fixed parameters).
-    pub fn figure(&mut self, id: FigureId) -> Result<FigureOutput, String> {
-        if let Some(figure) = self.figures.get(&id) {
-            return Ok(figure.clone());
-        }
-        if id.needs_profiles() {
-            self.ensure_suite()?;
-        }
-        let profiles = self.suite.as_deref().unwrap_or(&[]);
-        let figure = generate_figure_cached(id, &self.pool, self.cache.as_ref(), profiles)
-            .map_err(|e| e.to_string())?;
-        self.figures.insert(id, figure.clone());
-        Ok(figure)
+    pub fn figure(&self, id: FigureId) -> Result<FigureOutput, String> {
+        self.figure_with(id, &self.pool)
+    }
+
+    /// [`Engine::figure`] under a caller-supplied worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::figure`].
+    pub fn figure_with(&self, id: FigureId, pool: &ThreadPool) -> Result<FigureOutput, String> {
+        let figure = self.figures.get_or_try_insert(id, || {
+            let suite = if id.needs_profiles() {
+                Some(self.ensure_suite_with(pool)?)
+            } else {
+                None
+            };
+            let profiles: &[ProfiledBenchmark] = suite.as_ref().map_or(&[], |s| s.as_slice());
+            generate_figure_cached(id, pool, self.cache.as_ref(), profiles)
+                .map_err(|e| e.to_string())
+        })?;
+        Ok((*figure).clone())
     }
 
     /// One figure's tables as CSV — the `figures --only <id> --stdout`
@@ -318,8 +453,17 @@ impl Engine {
     /// # Errors
     ///
     /// Same as [`Engine::figure`].
-    pub fn figure_csv(&mut self, id: FigureId) -> Result<String, String> {
+    pub fn figure_csv(&self, id: FigureId) -> Result<String, String> {
         Ok(csv_of(&self.figure(id)?))
+    }
+
+    /// [`Engine::figure_csv`] under a caller-supplied worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::figure`].
+    pub fn figure_csv_with(&self, id: FigureId, pool: &ThreadPool) -> Result<String, String> {
+        Ok(csv_of(&self.figure_with(id, pool)?))
     }
 
     /// Runs (or replays) both validation experiments.
@@ -327,17 +471,21 @@ impl Engine {
     /// # Errors
     ///
     /// Propagates the underlying experiment failures.
-    pub fn validation(&mut self) -> Result<Vec<FigureOutput>, String> {
-        if self.validation.is_none() {
-            let outputs = validation::generate_cached_programs(
-                &self.pool,
-                self.cache.as_ref(),
-                Some(&self.programs),
-            )
-            .map_err(|e| e.to_string())?;
-            self.validation = Some(outputs);
-        }
-        Ok(self.validation.clone().expect("just populated"))
+    pub fn validation(&self) -> Result<Vec<FigureOutput>, String> {
+        self.validation_with(&self.pool)
+    }
+
+    /// [`Engine::validation`] under a caller-supplied worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::validation`].
+    pub fn validation_with(&self, pool: &ThreadPool) -> Result<Vec<FigureOutput>, String> {
+        let outputs = self.validation.get_or_try_insert((), || {
+            validation::generate_cached_programs(pool, self.cache.as_ref(), Some(&self.programs))
+                .map_err(|e| e.to_string())
+        })?;
+        Ok((*outputs).clone())
     }
 
     /// The validation tables as CSV — the `validate --stdout` text.
@@ -345,8 +493,17 @@ impl Engine {
     /// # Errors
     ///
     /// Same as [`Engine::validation`].
-    pub fn validation_csv(&mut self) -> Result<String, String> {
-        Ok(self.validation()?.iter().map(csv_of).collect())
+    pub fn validation_csv(&self) -> Result<String, String> {
+        self.validation_csv_with(&self.pool)
+    }
+
+    /// [`Engine::validation_csv`] under a caller-supplied worker budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::validation`].
+    pub fn validation_csv_with(&self, pool: &ThreadPool) -> Result<String, String> {
+        Ok(self.validation_with(pool)?.iter().map(csv_of).collect())
     }
 
     /// Executes a `lint` workload; returns the report text and the
@@ -361,7 +518,7 @@ impl Engine {
     ///
     /// Unreadable/unparseable netlist files, with the CLI's exact
     /// messages.
-    pub fn lint(&mut self, request: &LintRequest) -> Result<LintOutcome, String> {
+    pub fn lint(&self, request: &LintRequest) -> Result<LintOutcome, String> {
         let options = LintOptions {
             check_tape: true,
             corrupt_tape: request.corrupt_tape,
@@ -369,7 +526,7 @@ impl Engine {
         let mut reports = Vec::new();
         for path in &request.paths {
             let design = self.load_design(path)?;
-            let mut report = lint_design(design, &options);
+            let mut report = lint_design(&design, &options);
             // The parsers name every netlist after the format; the file
             // stem is what a user can act on.
             if let Some(stem) = Path::new(path).file_stem() {
@@ -413,7 +570,7 @@ impl Engine {
     /// Parses (or replays) the design at `path`, keyed by file content
     /// so a changed file is a different design and a re-request of the
     /// same bytes parses zero times.
-    fn load_design(&mut self, path: &str) -> Result<&Design, String> {
+    fn load_design(&self, path: &str) -> Result<Arc<Design>, String> {
         let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let as_blif = Path::new(path)
             .extension()
@@ -423,31 +580,27 @@ impl Engine {
         design_key.push_str(&text);
         design_key.push_u64(u64::from(as_blif));
         let design_key = design_key.finish();
-        if !self.designs.contains_key(&design_key) {
-            let design = if as_blif {
-                blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        self.designs.get_or_try_insert(design_key, || {
+            if as_blif {
+                blif::parse(&text).map_err(|e| format!("{path}: {e}"))
             } else {
-                bench::parse(&text).map_err(|e| format!("{path}: {e}"))?
-            };
-            bounded_insert(&mut self.designs, design_key, design);
-        }
-        Ok(&self.designs[&design_key])
+                bench::parse(&text).map_err(|e| format!("{path}: {e}"))
+            }
+        })
     }
 
     /// Profiles the benchmark suite once and keeps it for every figure
     /// that consumes measured profiles.
-    fn ensure_suite(&mut self) -> Result<(), String> {
-        if self.suite.is_none() {
-            let suite = profile_suite_cached_programs(
-                &self.pool,
+    fn ensure_suite_with(&self, pool: &ThreadPool) -> Result<Arc<Vec<ProfiledBenchmark>>, String> {
+        self.suite.get_or_try_insert((), || {
+            profile_suite_cached_programs(
+                pool,
                 &ProfileConfig::default(),
                 self.profiles.as_ref(),
                 Some(&self.programs),
             )
-            .map_err(|e| e.to_string())?;
-            self.suite = Some(suite);
-        }
-        Ok(())
+            .map_err(|e| e.to_string())
+        })
     }
 }
 
@@ -583,7 +736,7 @@ mod tests {
             patterns: 2_000,
             leak: 0.5,
         };
-        let mut engine = engine();
+        let engine = engine();
         let first = engine.profile(&request).unwrap();
         let second = engine.profile(&request).unwrap();
         assert_eq!(first, second);
@@ -618,7 +771,7 @@ mod tests {
             patterns,
             leak: 0.5,
         };
-        let mut engine = engine();
+        let engine = engine();
         engine.profile(&request(2_000)).unwrap();
         assert_eq!(engine.programs().len(), 1, "first profile compiles once");
         // A different measurement config re-measures the same mapped
@@ -641,7 +794,7 @@ mod tests {
         let path = dir.join("xor2.bench");
         fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
         let cache_dir = dir.join("cache");
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             ThreadPool::serial(),
             Some(ShardCache::open(&cache_dir).unwrap()),
         );
@@ -682,7 +835,7 @@ mod tests {
 
     #[test]
     fn figure_replay_is_memoized_and_identical() {
-        let mut engine = engine();
+        let engine = engine();
         let first = engine.figure_csv(FigureId::Fig2).unwrap();
         let second = engine.figure_csv(FigureId::Fig2).unwrap();
         assert_eq!(first, second);
@@ -691,14 +844,51 @@ mod tests {
 
     #[test]
     fn registries_never_exceed_the_cap() {
-        let mut registry = HashMap::new();
+        let registry: Registry<Fingerprint, usize> = Registry::new();
         for i in 0..REGISTRY_LIMIT * 2 + 3 {
             let mut builder = FingerprintBuilder::new("bound-test");
             builder.push_usize(i);
-            bounded_insert(&mut registry, builder.finish(), i);
+            registry
+                .get_or_try_insert(builder.finish(), || Ok(i))
+                .unwrap();
             assert!(registry.len() <= REGISTRY_LIMIT, "cap exceeded at {i}");
         }
-        assert!(!registry.is_empty());
+        assert!(registry.len() > 0);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_compute_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let registry: Registry<u8, usize> = Registry::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let value = registry
+                        .get_or_try_insert(7, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Widen the window in which latecomers must
+                            // block on the Pending slot.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            Ok(42)
+                        })
+                        .unwrap();
+                    assert_eq!(*value, 42);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_computations_are_not_memoized() {
+        let registry: Registry<u8, usize> = Registry::new();
+        let err = registry
+            .get_or_try_insert(1, || Err("boom".to_owned()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        let value = registry.get_or_try_insert(1, || Ok(5)).unwrap();
+        assert_eq!(*value, 5);
     }
 
     #[test]

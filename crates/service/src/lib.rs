@@ -19,7 +19,10 @@
 //!   The one-shot commands are thin wrappers over [`Engine`] methods.
 //! - [`serve`] + [`proto`] — the long-running mode: a line-delimited
 //!   JSON-ish request protocol on stdin/stdout (or a `--listen` TCP
-//!   socket), answering each request with a framed payload.
+//!   socket), answering each request with a framed payload. Requests
+//!   dispatch onto a bounded worker crew (`--concurrency`/`--queue`)
+//!   and responses are re-sequenced into request order, so the wire
+//!   stream is independent of how execution interleaved.
 //!
 //! **The byte-identity contract.** A `serve` response payload is
 //! byte-identical to the stdout of the equivalent one-shot CLI
@@ -38,12 +41,14 @@
 //! use nanobound_runner::ThreadPool;
 //! use nanobound_service::engine::Engine;
 //! use nanobound_service::proto::read_response;
-//! use nanobound_service::serve::serve_session;
+//! use nanobound_service::serve::{serve_session, SessionLimits};
 //!
-//! let mut engine = Engine::new(ThreadPool::serial(), None);
+//! let engine = Engine::new(ThreadPool::serial(), None);
 //! let script = "{\"id\":\"1\",\"workload\":\"ping\"}\n";
 //! let mut out = Vec::new();
-//! serve_session(&mut engine, script.as_bytes(), &mut out)?;
+//! let outcome = serve_session(&engine, script.as_bytes(), &mut out, SessionLimits::default());
+//! outcome.result?;
+//! assert!(!outcome.shutdown);
 //! let (id, ok, payload) = read_response(&mut out.as_slice())?.expect("one response");
 //! assert_eq!((id.as_str(), ok, &payload[..]), ("1", true, &b"pong\n"[..]));
 //! # Ok::<(), std::io::Error>(())
@@ -60,4 +65,4 @@ pub mod serve;
 
 pub use engine::{Engine, LintOutcome};
 pub use proto::Request;
-pub use serve::ServeOptions;
+pub use serve::{ServeOptions, SessionLimits, SessionOutcome};

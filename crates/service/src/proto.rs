@@ -11,11 +11,18 @@
 //! ```
 //!
 //! `id` is an opaque client token echoed in the response; `workload`
-//! names the job (`profile`, `figure`, `bound`, `validate`, `stats`,
-//! `ping`, `shutdown`); `args` (optional, default empty) carries the
-//! workload's CLI-style tokens — the same tokens the one-shot binary
-//! would take, *minus* transport-level flags (`--jobs`, `--cache-dir`,
-//! `--no-cache`), which belong to the server.
+//! names the job (`profile`, `figure`, `bound`, `validate`, `lint`,
+//! `gc`, `stats`, `ping`, `shutdown`); `args` (optional, default
+//! empty) carries the workload's CLI-style tokens — the same tokens
+//! the one-shot binary would take, *minus* transport-level flags
+//! (`--jobs`, `--cache-dir`, `--no-cache`), which belong to the
+//! server. The serve-only `--request-jobs N` token is accepted on the
+//! computing workloads to run one request under its own worker
+//! budget.
+//!
+//! The id `"?"` ([`RESERVED_ID`]) is reserved: responses to lines the
+//! server could not parse carry it, so no request may claim it —
+//! [`parse_request`] rejects it like any other malformed line.
 //!
 //! Each response is a one-line JSON header followed by an exact byte
 //! count of raw payload:
@@ -39,6 +46,11 @@
 //! the session continues.
 
 use std::io::{self, BufRead, Read, Write};
+
+/// The id carried by error responses to unparseable lines; no request
+/// may claim it, or a client could not tell its response from a
+/// malformed-line answer.
+pub const RESERVED_ID: &str = "?";
 
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -289,8 +301,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             (other, _) => return Err(format!("unknown key `{other}`")),
         }
     }
+    let id = id.ok_or("request needs an \"id\"")?;
+    if id == RESERVED_ID {
+        return Err(format!(
+            "id `{RESERVED_ID}` is reserved for malformed-line responses"
+        ));
+    }
     Ok(Request {
-        id: id.ok_or("request needs an \"id\"")?,
+        id,
         workload: workload.ok_or("request needs a \"workload\"")?,
         args,
     })
@@ -476,6 +494,17 @@ mod tests {
                 "line {line:?}: error {err:?} missing {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn the_reserved_id_cannot_be_claimed() {
+        // `?` tags responses to unparseable lines; a request wearing
+        // it would be indistinguishable from one of those answers.
+        let err = parse_request(r#"{"id":"?","workload":"ping"}"#).unwrap_err();
+        assert!(err.contains("reserved"), "{err}");
+        // But it is only the exact token that is reserved.
+        let req = parse_request(r#"{"id":"??","workload":"ping"}"#).unwrap();
+        assert_eq!(req.id, "??");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! `--cache-dir`, `--no-cache`) while the protocol rejects them — in
 //! service mode those belong to the server, not to a request.
 
+use std::time::Duration;
+
+use nanobound_cache::GcPolicy;
 use nanobound_core::CircuitProfile;
 
 use crate::args::{
@@ -121,6 +124,62 @@ impl BoundRequest {
             profile,
             eps: epsilons(flags)?,
             delta: flag_f64(flags, "delta", 0.01)?,
+        })
+    }
+}
+
+/// A `gc` serve workload: sweep the shard cache mid-flight under the
+/// requested policy, protecting every pinned in-flight fingerprint.
+/// The flags mirror `serve`'s startup `--gc-bytes`/`--gc-age-days`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcRequest {
+    /// The sweep policy; `None` fields mean no pressure of that kind
+    /// (only unconditional garbage is reclaimed).
+    pub policy: GcPolicy,
+}
+
+impl GcRequest {
+    /// The flags a `gc` request understands.
+    pub const FLAGS: [FlagSpec; 2] = [flag("bytes"), flag("age-days")];
+
+    /// Builds the request from parsed positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// `gc` takes no positionals; `--bytes` must be a byte count and
+    /// `--age-days` a finite, non-negative number of days.
+    pub fn from_parts(positional: &[String], flags: &Flags) -> Result<Self, String> {
+        if !positional.is_empty() {
+            return Err("`gc` takes only flags".to_owned());
+        }
+        let max_bytes = match flag_values(flags, "bytes").last() {
+            None => None,
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("--bytes: `{v}` is not a byte count"))?,
+            ),
+        };
+        let max_age = match flag_values(flags, "age-days").last() {
+            None => None,
+            Some(v) => {
+                // Absurd values are request errors, not panics:
+                // Duration::from_secs_f64 would abort on NaN/∞/overflow.
+                let days: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--age-days: `{v}` is not a number"))?;
+                if !days.is_finite() || days < 0.0 {
+                    return Err(format!(
+                        "--age-days: `{v}` must be a finite, non-negative number of days"
+                    ));
+                }
+                Some(
+                    Duration::try_from_secs_f64(days * 86_400.0)
+                        .map_err(|_| format!("--age-days: `{v}` is out of range"))?,
+                )
+            }
+        };
+        Ok(GcRequest {
+            policy: GcPolicy { max_bytes, max_age },
         })
     }
 }
@@ -290,6 +349,32 @@ mod tests {
             parse_flags(&strings(&["x.bench", "--deny", "all"]), &LintRequest::FLAGS).unwrap();
         let err = LintRequest::from_parts(&pos, &flags).unwrap_err();
         assert!(err.contains("--deny"), "{err}");
+    }
+
+    #[test]
+    fn gc_request_parses_policy_flags_and_rejects_junk() {
+        let (pos, flags) = parse_flags(&strings(&[]), &GcRequest::FLAGS).unwrap();
+        let req = GcRequest::from_parts(&pos, &flags).unwrap();
+        assert_eq!(req.policy, GcPolicy::default());
+
+        let (pos, flags) = parse_flags(
+            &strings(&["--bytes", "0", "--age-days", "2"]),
+            &GcRequest::FLAGS,
+        )
+        .unwrap();
+        let req = GcRequest::from_parts(&pos, &flags).unwrap();
+        assert_eq!(req.policy.max_bytes, Some(0));
+        assert_eq!(req.policy.max_age, Some(Duration::from_secs(2 * 86_400)));
+
+        let err = GcRequest::from_parts(&strings(&["stray"]), &Vec::new()).unwrap_err();
+        assert!(err.contains("only flags"), "{err}");
+        let (pos, flags) =
+            parse_flags(&strings(&["--age-days", "inf"]), &GcRequest::FLAGS).unwrap();
+        let err = GcRequest::from_parts(&pos, &flags).unwrap_err();
+        assert!(err.contains("--age-days"), "{err}");
+        let (pos, flags) = parse_flags(&strings(&["--bytes", "-3"]), &GcRequest::FLAGS).unwrap();
+        let err = GcRequest::from_parts(&pos, &flags).unwrap_err();
+        assert!(err.contains("--bytes"), "{err}");
     }
 
     #[test]

@@ -8,29 +8,108 @@
 //! engine — connections share the pool, the shard cache and every
 //! in-memory registry, which is the whole point of service mode.
 //!
+//! # Concurrency
+//!
+//! Within a session, requests are dispatched onto a worker crew of
+//! `--concurrency` threads (default 1) through a bounded admission
+//! queue of `--queue` slots. Admission control is in-band: a request
+//! that finds the queue full is answered immediately with a
+//! `status: error` / `error: overloaded` response — a frame is never
+//! silently dropped. Workers complete out of order, but an ordering
+//! buffer delivers every response frame in *request order*, so the
+//! byte stream a session produces is independent of the concurrency
+//! level and each `status: ok` payload stays byte-identical to the
+//! one-shot CLI's stdout.
+//!
+//! A request may carry `--request-jobs N` (on `profile`, `bound`,
+//! `figure`, `validate`) to run its computation under its own worker
+//! budget instead of the server pool; results are byte-identical for
+//! every N (runner contract).
+//!
+//! The `gc` workload sweeps the shard cache mid-flight; fingerprints
+//! pinned by in-flight requests are protected, so a sweep can run
+//! concurrently with the very requests whose shards it would
+//! otherwise reclaim.
+//!
 //! A malformed line or a failed workload answers with a
-//! `status: error` response and the session continues; only a
-//! `shutdown` request (or EOF / a vanished client) ends it.
+//! `status: error` response (id `"?"` — reserved for exactly this —
+//! when the line had no recoverable id) and the session continues;
+//! only a `shutdown` request (or EOF / a vanished client) ends it.
 
+use std::collections::{BTreeMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::sync::Mutex;
 
-use nanobound_cache::GcPolicy;
+use nanobound_cache::{GcPolicy, GcReport};
 use nanobound_experiments::FigureId;
+use nanobound_runner::{ThreadPool, MAX_JOBS};
 
 use crate::args::parse_flags;
 use crate::engine::Engine;
-use crate::proto::{parse_request, write_response, Request};
-use crate::requests::{BoundRequest, LintRequest, ProfileRequest};
+use crate::proto::{parse_request, write_response, Request, RESERVED_ID};
+use crate::requests::{BoundRequest, GcRequest, LintRequest, ProfileRequest};
+
+/// Default bound on admitted-but-unfinished requests per session.
+pub const DEFAULT_QUEUE: usize = 256;
+
+/// Per-session dispatch budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionLimits {
+    /// Worker threads dispatching requests (1 = serial dispatch).
+    pub concurrency: usize,
+    /// Bound on jobs awaiting a worker; at capacity new requests are
+    /// answered `error: overloaded` in-band.
+    pub queue: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            concurrency: 1,
+            queue: DEFAULT_QUEUE,
+        }
+    }
+}
+
+/// How one session ended.
+///
+/// `shutdown` and `result` are independent: a client can deliver a
+/// successful `shutdown` and then vanish before the `bye` frame lands,
+/// which is a transport error *and* a served shutdown — the accept
+/// loop must stop either way.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The client asked the whole service to stop.
+    pub shutdown: bool,
+    /// The transport's fate; workload failures are in-band
+    /// `status: error` responses, never transport errors.
+    pub result: io::Result<()>,
+}
 
 /// Transport configuration for one `serve` run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// `Some(addr)` to accept TCP connections instead of stdio.
     pub listen: Option<String>,
     /// The startup cache-GC policy (a no-pressure sweep still reclaims
     /// temp leftovers and stale-version entries).
     pub gc: GcPolicy,
+    /// Session dispatch workers (`--concurrency`, default 1).
+    pub concurrency: usize,
+    /// Admission-queue bound (`--queue`, default [`DEFAULT_QUEUE`]).
+    pub queue: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: None,
+            gc: GcPolicy::default(),
+            concurrency: 1,
+            queue: DEFAULT_QUEUE,
+        }
+    }
 }
 
 /// Runs the service until shutdown: startup GC, then the stdio session
@@ -40,23 +119,22 @@ pub struct ServeOptions {
 ///
 /// Unbindable listen addresses and stdio I/O failures; per-connection
 /// TCP failures are logged to stderr and survived.
-pub fn run(engine: &mut Engine, options: &ServeOptions) -> Result<(), String> {
+pub fn run(engine: &Engine, options: &ServeOptions) -> Result<(), String> {
     if let Some(report) = engine.gc(&options.gc) {
-        eprintln!(
-            "nanobound serve: cache gc: {} entries deleted ({} bytes), {} kept ({} bytes), {} failed deletes",
-            report.deleted_entries,
-            report.deleted_bytes,
-            report.kept_entries,
-            report.kept_bytes,
-            report.failed_deletes,
-        );
+        eprintln!("nanobound serve: {}", gc_report_line(&report));
     }
+    let limits = SessionLimits {
+        concurrency: options.concurrency,
+        queue: options.queue,
+    };
     match &options.listen {
         None => {
             eprintln!("nanobound serve: ready on stdio");
             let stdin = io::stdin();
-            let stdout = io::stdout();
-            serve_session(engine, stdin.lock(), &mut stdout.lock())
+            // `io::stdout()` (not a lock) so the sink is `Send`able
+            // across the dispatch workers.
+            serve_session(engine, stdin.lock(), &mut io::stdout(), limits)
+                .result
                 .map_err(|e| format!("serve: {e}"))?;
         }
         Some(addr) => {
@@ -82,12 +160,16 @@ pub fn run(engine: &mut Engine, options: &ServeOptions) -> Result<(), String> {
                     }
                 };
                 let mut writer = stream;
-                match serve_session(engine, reader, &mut writer) {
-                    Ok(true) => break,
-                    Ok(false) => {}
-                    // A client that vanished mid-response must not take
-                    // the service down with it.
-                    Err(e) => eprintln!("nanobound serve: session ended: {e}"),
+                let outcome = serve_session(engine, reader, &mut writer, limits);
+                if let Err(e) = outcome.result {
+                    // A client that vanished mid-response must not
+                    // take the service down with it.
+                    eprintln!("nanobound serve: session ended: {e}");
+                }
+                // ... but a served shutdown wins even over a vanished
+                // client: check it after, not instead of, the error.
+                if outcome.shutdown {
+                    break;
                 }
             }
         }
@@ -95,42 +177,299 @@ pub fn run(engine: &mut Engine, options: &ServeOptions) -> Result<(), String> {
     Ok(())
 }
 
-/// Serves one request stream until EOF or `shutdown`; returns `true`
-/// when the client asked the whole service to stop.
-///
-/// # Errors
-///
-/// Propagates I/O failures on the transport; workload failures are
-/// answered in-band as `status: error` responses.
-pub fn serve_session<R: BufRead, W: Write>(
-    engine: &mut Engine,
-    reader: R,
-    writer: &mut W,
-) -> io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match parse_request(&line) {
-            Err(message) => {
-                write_response(writer, "?", false, format!("error: {message}\n").as_bytes())?;
-            }
-            Ok(request) => {
-                let (ok, payload) = dispatch(engine, &request);
-                write_response(writer, &request.id, ok, payload.as_bytes())?;
-                if ok && request.workload == "shutdown" {
-                    return Ok(true);
-                }
-            }
+/// One response waiting for its turn on the wire.
+struct Frame {
+    id: String,
+    ok: bool,
+    payload: String,
+    /// Whether writing this frame ends its id's in-flight claim (true
+    /// for every frame that answers an admitted request; false for
+    /// malformed-line and duplicate-id errors, which never claimed
+    /// one).
+    release: bool,
+}
+
+struct SinkState<'w, W> {
+    writer: &'w mut W,
+    /// The next sequence slot to hit the wire.
+    next: u64,
+    /// Out-of-order completions parked until their turn.
+    pending: BTreeMap<u64, Frame>,
+    /// Ids admitted and not yet answered on the wire.
+    in_flight: HashSet<String>,
+    /// The first transport failure; later frames are consumed
+    /// silently (the peer is gone — there is nobody to reorder for).
+    error: Option<io::Error>,
+}
+
+/// The ordering/framing buffer: workers push completed frames tagged
+/// with their request-order sequence slot, and the sink writes each
+/// frame exactly when every earlier slot has been written — so the
+/// wire stream is in request order no matter how execution
+/// interleaved.
+struct FrameSink<'w, W> {
+    state: Mutex<SinkState<'w, W>>,
+}
+
+impl<'w, W: Write> FrameSink<'w, W> {
+    fn new(writer: &'w mut W) -> Self {
+        FrameSink {
+            state: Mutex::new(SinkState {
+                writer,
+                next: 0,
+                pending: BTreeMap::new(),
+                in_flight: HashSet::new(),
+                error: None,
+            }),
         }
     }
-    Ok(false)
+
+    /// Claims `id` for a new request; `false` if it is already in
+    /// flight (the claim ends when the answering frame is written).
+    fn admit(&self, id: &str) -> bool {
+        self.state
+            .lock()
+            .expect("sink lock")
+            .in_flight
+            .insert(id.to_owned())
+    }
+
+    /// Queues `frame` for sequence slot `seq` and writes every frame
+    /// whose turn has come.
+    fn push(&self, seq: u64, frame: Frame) {
+        let mut state = self.state.lock().expect("sink lock");
+        state.pending.insert(seq, frame);
+        loop {
+            let next = state.next;
+            let Some(frame) = state.pending.remove(&next) else {
+                break;
+            };
+            if state.error.is_none() {
+                if let Err(e) = write_response(
+                    &mut *state.writer,
+                    &frame.id,
+                    frame.ok,
+                    frame.payload.as_bytes(),
+                ) {
+                    state.error = Some(e);
+                }
+            }
+            if frame.release {
+                state.in_flight.remove(&frame.id);
+            }
+            state.next += 1;
+        }
+    }
+
+    /// Records a transport failure (first one wins).
+    fn fail(&self, error: io::Error) {
+        let mut state = self.state.lock().expect("sink lock");
+        if state.error.is_none() {
+            state.error = Some(error);
+        }
+    }
+
+    fn finish(self) -> io::Result<()> {
+        match self.state.into_inner().expect("sink lock").error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Serves one request stream until EOF or `shutdown`.
+///
+/// The calling thread parses and admits requests; admitted workloads
+/// run on `limits.concurrency` dispatch workers and their responses
+/// are re-sequenced into request order by a [`FrameSink`]. Transport
+/// failures land in [`SessionOutcome::result`]; workload failures are
+/// answered in-band as `status: error` responses.
+pub fn serve_session<R: BufRead, W: Write + Send>(
+    engine: &Engine,
+    reader: R,
+    writer: &mut W,
+    limits: SessionLimits,
+) -> SessionOutcome {
+    let crew = ThreadPool::new(limits.concurrency.clamp(1, MAX_JOBS))
+        .expect("clamped concurrency is a valid worker count");
+    let sink = FrameSink::new(writer);
+    let shutdown = crew.dispatch_scope(limits.queue.max(1), |dispatcher| {
+        let sink = &sink;
+        let mut seq: u64 = 0;
+        let mut shutdown = false;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    sink.fail(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let slot = seq;
+            seq += 1;
+            let request = match parse_request(&line) {
+                Ok(request) => request,
+                Err(message) => {
+                    sink.push(
+                        slot,
+                        Frame {
+                            id: RESERVED_ID.to_owned(),
+                            ok: false,
+                            payload: format!("error: {message}\n"),
+                            release: false,
+                        },
+                    );
+                    continue;
+                }
+            };
+            if !sink.admit(&request.id) {
+                // The id still names an unanswered request; answering
+                // it again would make the stream ambiguous. In-band
+                // error, claim untouched.
+                sink.push(
+                    slot,
+                    Frame {
+                        id: request.id.clone(),
+                        ok: false,
+                        payload: format!("error: id `{}` is already in flight\n", request.id),
+                        release: false,
+                    },
+                );
+                continue;
+            }
+            // `shutdown` is decided here on the reader, not on a
+            // worker: admitted requests drain and answer first (their
+            // slots precede this one), then the `bye` frame ends the
+            // stream.
+            if request.workload == "shutdown" {
+                match no_args("shutdown", &request.args) {
+                    Ok(()) => {
+                        sink.push(
+                            slot,
+                            Frame {
+                                id: request.id,
+                                ok: true,
+                                payload: "bye\n".to_owned(),
+                                release: true,
+                            },
+                        );
+                        shutdown = true;
+                        break;
+                    }
+                    Err(message) => {
+                        sink.push(
+                            slot,
+                            Frame {
+                                id: request.id,
+                                ok: false,
+                                payload: format!("error: {message}\n"),
+                                release: true,
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+            let id = request.id.clone();
+            let job = move || {
+                let (ok, payload) = dispatch(engine, &request);
+                sink.push(
+                    slot,
+                    Frame {
+                        id: request.id,
+                        ok,
+                        payload,
+                        release: true,
+                    },
+                );
+            };
+            if dispatcher.try_submit(job).is_err() {
+                // Queue full. The overload answer is a first-class
+                // in-band frame in this request's own slot — never a
+                // dropped or reordered response.
+                sink.push(
+                    slot,
+                    Frame {
+                        id,
+                        ok: false,
+                        payload: "error: overloaded\n".to_owned(),
+                        release: true,
+                    },
+                );
+            }
+        }
+        shutdown
+    });
+    SessionOutcome {
+        shutdown,
+        result: sink.finish(),
+    }
+}
+
+/// The stderr summary of one GC sweep (startup and `gc` workload
+/// alike — sweep counts are timing-dependent under concurrency, so
+/// they go to diagnostics, never into a response payload).
+fn gc_report_line(report: &GcReport) -> String {
+    format!(
+        "cache gc: {} entries deleted ({} bytes), {} kept ({} bytes), {} failed deletes",
+        report.deleted_entries,
+        report.deleted_bytes,
+        report.kept_entries,
+        report.kept_bytes,
+        report.failed_deletes,
+    )
+}
+
+/// Rejects stray arguments on workloads that take none.
+fn no_args(workload: &str, args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("`{workload}` takes no arguments"))
+    }
+}
+
+/// Strips the serve-only `--request-jobs N` override out of `args`,
+/// returning the remaining tokens and the override pool, if any.
+fn split_request_jobs(args: &[String]) -> Result<(Vec<String>, Option<ThreadPool>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut jobs = None;
+    let mut iter = args.iter();
+    while let Some(token) = iter.next() {
+        if token != "--request-jobs" {
+            rest.push(token.clone());
+            continue;
+        }
+        if jobs.is_some() {
+            return Err("duplicate flag `--request-jobs`".to_owned());
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| "flag `--request-jobs` needs a value".to_owned())?;
+        let count: usize = value.parse().map_err(|_| {
+            format!("--request-jobs: `{value}` is not an integer (supported: 1..={MAX_JOBS})")
+        })?;
+        jobs = Some(ThreadPool::new(count).map_err(|e| format!("--request-jobs: {e}"))?);
+    }
+    Ok((rest, jobs))
+}
+
+/// Parses the `--request-jobs` override off `args`, then runs `body`
+/// with the remaining tokens and the effective worker pool.
+fn with_request_pool<F>(engine: &Engine, args: &[String], body: F) -> Result<String, String>
+where
+    F: FnOnce(&[String], &ThreadPool) -> Result<String, String>,
+{
+    let (rest, pool) = split_request_jobs(args)?;
+    body(&rest, pool.as_ref().unwrap_or_else(|| engine.pool()))
 }
 
 /// Executes one request; `(true, stdout-equivalent)` or
 /// `(false, "error: ...\n")` — the exact texts the one-shot CLI prints.
-fn dispatch(engine: &mut Engine, request: &Request) -> (bool, String) {
+fn dispatch(engine: &Engine, request: &Request) -> (bool, String) {
     // `lint` is special-cased: findings are payload, not protocol
     // errors. A failing report answers `status: error` but still
     // carries the report text — byte-identical to the one-shot CLI's
@@ -145,36 +484,57 @@ fn dispatch(engine: &mut Engine, request: &Request) -> (bool, String) {
         };
     }
     let result = match request.workload.as_str() {
-        "profile" => parse_flags(&request.args, &ProfileRequest::FLAGS)
-            .and_then(|(positional, flags)| ProfileRequest::from_parts(&positional, &flags))
-            .and_then(|req| engine.profile(&req)),
+        "profile" => with_request_pool(engine, &request.args, |args, pool| {
+            parse_flags(args, &ProfileRequest::FLAGS)
+                .and_then(|(positional, flags)| ProfileRequest::from_parts(&positional, &flags))
+                .and_then(|req| engine.profile_with(&req, pool))
+        }),
         // `bound` per the protocol; `bounds` accepted as the CLI
         // subcommand spelling.
-        "bound" | "bounds" => parse_flags(&request.args, &BoundRequest::FLAGS)
-            .and_then(|(positional, flags)| BoundRequest::from_parts(&positional, &flags))
-            .and_then(|req| engine.bound(&req)),
-        "figure" => parse_flags(&request.args, &[])
-            .and_then(|(positional, _)| match positional.as_slice() {
-                [name] => FigureId::parse(name).ok_or_else(|| format!("unknown figure `{name}`")),
-                _ => Err(
-                    "`figure` expects exactly one figure name (fig2..fig8, headline)".to_owned(),
-                ),
-            })
-            .and_then(|id| engine.figure_csv(id)),
-        "validate" => {
-            if request.args.is_empty() {
-                engine.validation_csv()
-            } else {
-                Err("`validate` takes no arguments".to_owned())
-            }
-        }
-        "stats" => Ok(if engine.cache().is_some() {
-            engine.cache_report()
-        } else {
-            "cache: off\n".to_owned()
+        "bound" | "bounds" => with_request_pool(engine, &request.args, |args, pool| {
+            parse_flags(args, &BoundRequest::FLAGS)
+                .and_then(|(positional, flags)| BoundRequest::from_parts(&positional, &flags))
+                .and_then(|req| engine.bound_with(&req, pool))
         }),
-        "ping" => Ok("pong\n".to_owned()),
-        "shutdown" => Ok("bye\n".to_owned()),
+        "figure" => with_request_pool(engine, &request.args, |args, pool| {
+            parse_flags(args, &[])
+                .and_then(|(positional, _)| match positional.as_slice() {
+                    [name] => {
+                        FigureId::parse(name).ok_or_else(|| format!("unknown figure `{name}`"))
+                    }
+                    _ => Err(
+                        "`figure` expects exactly one figure name (fig2..fig8, headline)"
+                            .to_owned(),
+                    ),
+                })
+                .and_then(|id| engine.figure_csv_with(id, pool))
+        }),
+        "validate" => with_request_pool(engine, &request.args, |args, pool| {
+            no_args("validate", args)?;
+            engine.validation_csv_with(pool)
+        }),
+        "gc" => parse_flags(&request.args, &GcRequest::FLAGS)
+            .and_then(|(positional, flags)| GcRequest::from_parts(&positional, &flags))
+            .map(|req| match engine.gc(&req.policy) {
+                Some(report) => {
+                    // Deleted/kept counts depend on what happened to
+                    // be in flight; keep the payload deterministic
+                    // and report the details as diagnostics.
+                    eprintln!("nanobound serve: {}", gc_report_line(&report));
+                    "gc: swept\n".to_owned()
+                }
+                None => "gc: cache off\n".to_owned(),
+            }),
+        "stats" => no_args("stats", &request.args).map(|()| {
+            if engine.cache().is_some() {
+                engine.cache_report()
+            } else {
+                "cache: off\n".to_owned()
+            }
+        }),
+        "ping" => no_args("ping", &request.args).map(|()| "pong\n".to_owned()),
+        // `shutdown` never reaches dispatch — the session reader
+        // decides it inline so the stream can end.
         other => Err(format!("unknown workload `{other}`")),
     };
     match result {
@@ -187,15 +547,24 @@ fn dispatch(engine: &mut Engine, request: &Request) -> (bool, String) {
 mod tests {
     use super::*;
     use crate::proto::read_response;
-    use nanobound_runner::ThreadPool;
+    use nanobound_cache::ShardCache;
 
-    /// Runs a scripted session against a fresh engine; returns the
-    /// parsed responses.
-    fn session(script: &str) -> Vec<(String, bool, String)> {
-        let mut engine = Engine::new(ThreadPool::serial(), None);
+    /// Runs a scripted session against a fresh cacheless engine under
+    /// `limits`; returns the parsed responses.
+    fn session_with(script: &str, limits: SessionLimits) -> Vec<(String, bool, String)> {
+        let engine = Engine::new(ThreadPool::serial(), None);
         let mut out = Vec::new();
-        serve_session(&mut engine, script.as_bytes(), &mut out).unwrap();
-        let mut reader = BufReader::new(out.as_slice());
+        let outcome = serve_session(&engine, script.as_bytes(), &mut out, limits);
+        outcome.result.unwrap();
+        parse_stream(&out)
+    }
+
+    fn session(script: &str) -> Vec<(String, bool, String)> {
+        session_with(script, SessionLimits::default())
+    }
+
+    fn parse_stream(out: &[u8]) -> Vec<(String, bool, String)> {
+        let mut reader = BufReader::new(out);
         let mut responses = Vec::new();
         while let Some((id, ok, payload)) = read_response(&mut reader).unwrap() {
             responses.push((id, ok, String::from_utf8(payload).unwrap()));
@@ -261,6 +630,7 @@ mod tests {
     fn transport_flags_are_rejected_per_request() {
         // --jobs belongs to the server, not to a request: determinism
         // makes it meaningless per-request, so it must be an error.
+        // (--request-jobs is the sanctioned per-request budget.)
         let responses =
             session("{\"id\":\"j\",\"workload\":\"bound\",\"args\":[\"--jobs\",\"4\"]}\n");
         let (_, ok, payload) = &responses[0];
@@ -269,6 +639,63 @@ mod tests {
             payload.contains("unknown flag `--jobs`"),
             "payload: {payload}"
         );
+    }
+
+    #[test]
+    fn request_jobs_overrides_the_worker_budget_per_request() {
+        let with = session(
+            "{\"id\":\"w\",\"workload\":\"bound\",\"args\":[\"--request-jobs\",\"2\",\
+             \"--size\",\"21\",\"--sensitivity\",\"10\",\"--activity\",\"0.5\",\
+             \"--fanin\",\"3\",\"--eps\",\"0.01\"]}\n",
+        );
+        let without = session(
+            "{\"id\":\"w\",\"workload\":\"bound\",\"args\":[\"--size\",\"21\",\
+             \"--sensitivity\",\"10\",\"--activity\",\"0.5\",\"--fanin\",\"3\",\
+             \"--eps\",\"0.01\"]}\n",
+        );
+        assert!(with[0].1, "payload: {}", with[0].2);
+        // The runner contract: the override changes the worker count,
+        // never a byte of the payload.
+        assert_eq!(with[0].2, without[0].2);
+        // And the flag itself is validated.
+        for (args, needle) in [
+            ("[\"--request-jobs\"]", "needs a value"),
+            ("[\"--request-jobs\",\"0\"]", "--request-jobs"),
+            ("[\"--request-jobs\",\"x\"]", "not an integer"),
+            (
+                "[\"--request-jobs\",\"2\",\"--request-jobs\",\"2\"]",
+                "duplicate flag",
+            ),
+        ] {
+            let responses = session(&format!(
+                "{{\"id\":\"v\",\"workload\":\"validate\",\"args\":{args}}}\n"
+            ));
+            let (_, ok, payload) = &responses[0];
+            assert!(!ok);
+            assert!(payload.contains(needle), "args {args}: payload {payload}");
+        }
+    }
+
+    #[test]
+    fn no_arg_workloads_reject_stray_arguments() {
+        // ping/stats/shutdown used to swallow stray args silently
+        // while validate rejected them; all four are now consistent
+        // hard errors naming the workload.
+        for workload in ["ping", "stats", "validate", "shutdown"] {
+            let responses = session(&format!(
+                "{{\"id\":\"a\",\"workload\":\"{workload}\",\"args\":[\"stray\"]}}\n\
+                 {{\"id\":\"b\",\"workload\":\"ping\"}}\n"
+            ));
+            assert_eq!(responses.len(), 2, "workload {workload}");
+            let (_, ok, payload) = &responses[0];
+            assert!(!ok, "workload {workload}");
+            assert!(
+                payload.contains(&format!("`{workload}` takes no arguments")),
+                "workload {workload}: payload {payload}"
+            );
+            // A rejected shutdown must not shut anything down.
+            assert_eq!(responses[1], ("b".to_owned(), true, "pong\n".to_owned()));
+        }
     }
 
     #[test]
@@ -282,11 +709,124 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_wins_over_a_failing_transport() {
+        // The regression: a client that sends `shutdown` and vanishes
+        // before the `bye` frame lands produces a transport error —
+        // which used to eat the shutdown bit and leave the accept
+        // loop serving forever.
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "client gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let engine = Engine::new(ThreadPool::serial(), None);
+        let mut writer = FailingWriter;
+        let outcome = serve_session(
+            &engine,
+            "{\"id\":\"s\",\"workload\":\"shutdown\"}\n".as_bytes(),
+            &mut writer,
+            SessionLimits::default(),
+        );
+        assert!(outcome.shutdown, "shutdown was served");
+        assert!(outcome.result.is_err(), "the transport still failed");
+    }
+
+    #[test]
     fn stats_reports_cache_off_without_a_cache() {
         let responses = session("{\"id\":\"st\",\"workload\":\"stats\"}\n");
         assert_eq!(
             responses[0],
             ("st".to_owned(), true, "cache: off\n".to_owned())
         );
+    }
+
+    #[test]
+    fn gc_workload_answers_deterministically() {
+        // Without a cache there is nothing to sweep.
+        let responses = session("{\"id\":\"g\",\"workload\":\"gc\"}\n");
+        assert_eq!(
+            responses[0],
+            ("g".to_owned(), true, "gc: cache off\n".to_owned())
+        );
+        // With one, the payload is fixed — sweep counts are
+        // timing-dependent and go to stderr, not into the stream.
+        let dir = std::env::temp_dir().join("nanobound_serve_gc_workload");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::new(ThreadPool::serial(), Some(ShardCache::open(&dir).unwrap()));
+        let mut out = Vec::new();
+        let outcome = serve_session(
+            &engine,
+            "{\"id\":\"g\",\"workload\":\"gc\",\"args\":[\"--bytes\",\"0\"]}\n\
+             {\"id\":\"h\",\"workload\":\"gc\",\"args\":[\"--bytes\",\"junk\"]}\n"
+                .as_bytes(),
+            &mut out,
+            SessionLimits::default(),
+        );
+        outcome.result.unwrap();
+        let responses = parse_stream(&out);
+        assert_eq!(
+            responses[0],
+            ("g".to_owned(), true, "gc: swept\n".to_owned())
+        );
+        let (_, ok, payload) = &responses[1];
+        assert!(!ok);
+        assert!(payload.contains("--bytes"), "payload: {payload}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_dispatch_keeps_request_order() {
+        // Eight requests under four workers: completion order is
+        // anyone's guess, wire order is request order — always.
+        let script: String = (0..8)
+            .map(|i| format!("{{\"id\":\"r{i}\",\"workload\":\"ping\"}}\n"))
+            .collect();
+        let responses = session_with(
+            &script,
+            SessionLimits {
+                concurrency: 4,
+                queue: 16,
+            },
+        );
+        assert_eq!(responses.len(), 8);
+        for (i, (id, ok, payload)) in responses.iter().enumerate() {
+            assert_eq!(id, &format!("r{i}"));
+            assert!(ok);
+            assert_eq!(payload, "pong\n");
+        }
+    }
+
+    #[test]
+    fn the_sink_orders_frames_and_tracks_in_flight_ids() {
+        let frame = |id: &str, release: bool| Frame {
+            id: id.to_owned(),
+            ok: true,
+            payload: format!("{id}\n"),
+            release,
+        };
+        let mut out = Vec::new();
+        let sink = FrameSink::new(&mut out);
+        assert!(sink.admit("a"), "fresh id admitted");
+        assert!(sink.admit("b"));
+        assert!(!sink.admit("a"), "in-flight id refused");
+        // Slots 2 and 1 park until slot 0 arrives, then all three
+        // flush in sequence order.
+        sink.push(2, frame("c", false));
+        sink.push(1, frame("b", true));
+        assert_eq!(sink.state.lock().unwrap().next, 0, "nothing written yet");
+        sink.push(0, frame("a", true));
+        // A released id is immediately reusable; an unreleased one
+        // (frame "c" was pushed with release: false) is not.
+        assert!(sink.admit("a"), "released id reusable");
+        sink.finish().unwrap();
+        let ids: Vec<String> = parse_stream(&out)
+            .into_iter()
+            .map(|(id, _, _)| id)
+            .collect();
+        assert_eq!(ids, ["a", "b", "c"]);
     }
 }

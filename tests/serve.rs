@@ -7,12 +7,61 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 use nanobound::service::proto::read_response;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_nanobound"))
+}
+
+/// Spawns `nanobound serve --listen 127.0.0.1:0 <extra>` and waits for
+/// the bound address it announces on stderr.
+fn spawn_tcp_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = bin()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "serve exited before announcing its address"
+        );
+        if let Some(rest) = line
+            .trim_end()
+            .strip_prefix("nanobound serve: listening on ")
+        {
+            break rest.to_owned();
+        }
+    };
+    // Keep draining stderr until the child exits: dropping the pipe
+    // would make the service's own diagnostics fail to write.
+    std::thread::spawn(move || std::io::copy(&mut stderr, &mut std::io::sink()));
+    (child, addr)
+}
+
+/// Waits for `child` to exit cleanly, killing it (and failing) if it
+/// is still running after 60 seconds.
+fn assert_exits_cleanly(child: &mut Child, context: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("child pollable") {
+            assert!(status.success(), "{context}: serve exited nonzero");
+            return;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("{context}: serve kept running");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 /// Runs a one-shot CLI invocation that must succeed; returns stdout.
@@ -197,29 +246,7 @@ fn validate_over_serve_matches_the_one_shot_cli() {
 
 #[test]
 fn tcp_transport_speaks_the_same_protocol() {
-    let mut child = bin()
-        .args(["serve", "--listen", "127.0.0.1:0"])
-        .stdin(Stdio::null())
-        .stdout(Stdio::null())
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("serve spawns");
-    // The service announces the bound address on stderr.
-    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
-    let addr = loop {
-        let mut line = String::new();
-        assert!(
-            stderr.read_line(&mut line).expect("stderr readable") > 0,
-            "serve exited before announcing its address"
-        );
-        if let Some(rest) = line
-            .trim_end()
-            .strip_prefix("nanobound serve: listening on ")
-        {
-            break rest.to_owned();
-        }
-    };
-
+    let (mut child, addr) = spawn_tcp_serve(&[]);
     let stream = TcpStream::connect(&addr).expect("connect to serve");
     let mut writer = stream.try_clone().expect("clone stream");
     writer
@@ -310,4 +337,198 @@ fn serve_lint_payloads_equal_one_shot_stdout_byte_for_byte() {
         payload, &failure_expected,
         "lint failure payload != one-shot stderr"
     );
+}
+
+#[test]
+fn concurrent_session_with_mid_flight_gc_matches_the_serial_stream() {
+    // The tentpole contract: a session dispatched across 4 workers —
+    // with a gc sweeping the cache mid-flight and per-request worker
+    // overrides in the mix — produces the byte-identical response
+    // stream of a serial cold session. Separate fresh cache dirs keep
+    // the two runs independent.
+    let (dir, netlist) = scratch_netlist("concurrent");
+    let serial_cache = dir.join("serial").to_str().unwrap().to_owned();
+    let concurrent_cache = dir.join("concurrent").to_str().unwrap().to_owned();
+    let profile_args = [netlist.as_str(), "--eps", "0.05", "--patterns", "2000"];
+    let script = format!(
+        "{{\"id\":\"1\",\"workload\":\"bound\",\"args\":[{}]}}\n\
+         {{\"id\":\"2\",\"workload\":\"profile\",\"args\":[{}]}}\n\
+         {{\"id\":\"3\",\"workload\":\"figure\",\"args\":[\"fig2\"]}}\n\
+         {{\"id\":\"4\",\"workload\":\"gc\",\"args\":[\"--bytes\",\"0\"]}}\n\
+         this line is hostile\n\
+         {{\"id\":\"5\",\"workload\":\"profile\",\"args\":[{}]}}\n\
+         {{\"id\":\"6\",\"workload\":\"figure\",\"args\":[\"fig4\",\"--request-jobs\",\"2\"]}}\n\
+         {{\"id\":\"7\",\"workload\":\"bound\",\"args\":[\"--request-jobs\",\"3\",{}]}}\n",
+        json_args(&BOUND_ARGS),
+        json_args(&profile_args),
+        json_args(&profile_args),
+        json_args(&BOUND_ARGS),
+    );
+    let (_, serial_stream) = serve_session(&["--cache-dir", &serial_cache, "--jobs", "1"], &script);
+    let (responses, concurrent_stream) = serve_session(
+        &[
+            "--cache-dir",
+            &concurrent_cache,
+            "--jobs",
+            "1",
+            "--concurrency",
+            "4",
+            "--queue",
+            "64",
+        ],
+        &script,
+    );
+    assert_eq!(
+        concurrent_stream, serial_stream,
+        "--concurrency 4 stream != serial stream"
+    );
+    // And the gc ran against a live cache, in order, with its pinned
+    // deterministic payload.
+    let (id, ok, payload) = &responses[3];
+    assert_eq!((id.as_str(), *ok), ("4", true));
+    assert_eq!(&payload[..], &b"gc: swept\n"[..]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn overload_and_duplicate_ids_answer_in_band_and_in_order() {
+    // One worker, one queue slot, and a slow head request: the burst
+    // of pings behind it must each get a frame — `pong` if a slot
+    // freed up, `error: overloaded` otherwise — in request order,
+    // never a dropped frame. A ping reusing the slow request's id is
+    // refused in-band while that id is still unanswered.
+    let mut script = String::from("{\"id\":\"x\",\"workload\":\"validate\"}\n");
+    script.push_str("{\"id\":\"x\",\"workload\":\"ping\"}\n");
+    for i in 0..40 {
+        script.push_str(&format!("{{\"id\":\"p{i}\",\"workload\":\"ping\"}}\n"));
+    }
+    script.push_str("{\"id\":\"s\",\"workload\":\"shutdown\"}\n");
+    let (responses, _) = serve_session(&["--concurrency", "1", "--queue", "1"], &script);
+    assert_eq!(responses.len(), 43, "one frame per request, none dropped");
+
+    let (id, ok, payload) = &responses[0];
+    assert_eq!((id.as_str(), *ok), ("x", true));
+    assert_eq!(payload, &one_shot(&["validate", "--stdout"]));
+
+    let (id, ok, payload) = &responses[1];
+    assert_eq!((id.as_str(), *ok), ("x", false), "duplicate id refused");
+    assert_eq!(&payload[..], &b"error: id `x` is already in flight\n"[..]);
+
+    let mut overloaded = 0;
+    for (i, (id, ok, payload)) in responses[2..42].iter().enumerate() {
+        assert_eq!(id, &format!("p{i}"), "frames stay in request order");
+        match &payload[..] {
+            b"pong\n" => assert!(ok),
+            b"error: overloaded\n" => {
+                assert!(!ok);
+                overloaded += 1;
+            }
+            other => panic!(
+                "p{i}: unexpected payload {:?}",
+                String::from_utf8_lossy(other)
+            ),
+        }
+    }
+    assert!(overloaded > 0, "the burst never hit the queue bound");
+    assert_eq!(
+        (
+            responses[42].0.as_str(),
+            responses[42].1,
+            &responses[42].2[..]
+        ),
+        ("s", true, &b"bye\n"[..])
+    );
+}
+
+#[test]
+fn shutdown_from_a_vanishing_client_still_stops_the_service() {
+    // The regression (satellite of the concurrency work): a client
+    // that sends `shutdown` and disconnects before reading `bye`
+    // makes the session end in an I/O error — which used to swallow
+    // the shutdown and leave the accept loop serving forever.
+    let (mut child, addr) = spawn_tcp_serve(&[]);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect to serve");
+        stream
+            .write_all(b"{\"id\":\"s\",\"workload\":\"shutdown\"}\n")
+            .expect("shutdown written");
+        // Vanish without reading the response.
+    }
+    assert_exits_cleanly(&mut child, "shutdown from vanished client");
+}
+
+#[test]
+fn a_client_vanishing_mid_response_leaves_the_service_serving() {
+    let (mut child, addr) = spawn_tcp_serve(&[]);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect to serve");
+        stream
+            .write_all(b"{\"id\":\"gone\",\"workload\":\"figure\",\"args\":[\"fig2\"]}\n")
+            .expect("request written");
+        // Vanish while the figure is still being computed/written.
+    }
+    // The next connection must be served as if nothing happened.
+    let stream = TcpStream::connect(&addr).expect("reconnect to serve");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(
+            b"{\"id\":\"alive\",\"workload\":\"ping\"}\n\
+              {\"id\":\"s\",\"workload\":\"shutdown\"}\n",
+        )
+        .expect("requests written");
+    let mut reader = BufReader::new(stream);
+    let (id, ok, payload) = read_response(&mut reader).unwrap().expect("ping response");
+    assert_eq!(
+        (id.as_str(), ok, &payload[..]),
+        ("alive", true, &b"pong\n"[..])
+    );
+    let (id, ok, payload) = read_response(&mut reader)
+        .unwrap()
+        .expect("shutdown response");
+    assert_eq!((id.as_str(), ok, &payload[..]), ("s", true, &b"bye\n"[..]));
+    assert_exits_cleanly(&mut child, "shutdown after vanished client");
+}
+
+#[test]
+fn hostile_tcp_lines_answer_in_band_and_frames_stay_readable() {
+    // A megabyte of junk on one line, an id full of escapes, and the
+    // reserved id: each answers with a well-formed frame the strict
+    // `read_response` parser (which also guards against hostile byte
+    // counts) accepts, and the session survives all of them.
+    let (mut child, addr) = spawn_tcp_serve(&[]);
+    let stream = TcpStream::connect(&addr).expect("connect to serve");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let junk = "x".repeat(1 << 20);
+    writer.write_all(junk.as_bytes()).expect("junk written");
+    writer
+        .write_all(
+            b"\n\
+              {\"id\":\"q\\\"uote\\ttab\",\"workload\":\"ping\"}\n\
+              {\"id\":\"?\",\"workload\":\"ping\"}\n\
+              {\"id\":\"s\",\"workload\":\"shutdown\"}\n",
+        )
+        .expect("requests written");
+    let mut reader = BufReader::new(stream);
+    let (id, ok, payload) = read_response(&mut reader).unwrap().expect("junk answered");
+    assert_eq!((id.as_str(), ok), ("?", false));
+    assert!(payload.starts_with(b"error: "), "junk answer is in-band");
+    let (id, ok, payload) = read_response(&mut reader).unwrap().expect("escaped id");
+    assert_eq!(
+        (id.as_str(), ok, &payload[..]),
+        ("q\"uote\ttab", true, &b"pong\n"[..])
+    );
+    let (id, ok, payload) = read_response(&mut reader)
+        .unwrap()
+        .expect("reserved id refused");
+    assert_eq!((id.as_str(), ok), ("?", false));
+    assert!(
+        payload.windows(8).any(|w| w == b"reserved"),
+        "reserved-id answer names the reservation: {:?}",
+        String::from_utf8_lossy(&payload)
+    );
+    let (id, ok, payload) = read_response(&mut reader)
+        .unwrap()
+        .expect("shutdown response");
+    assert_eq!((id.as_str(), ok, &payload[..]), ("s", true, &b"bye\n"[..]));
+    assert_exits_cleanly(&mut child, "shutdown after hostile lines");
 }
