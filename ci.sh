@@ -54,6 +54,13 @@
 #      keeps frames in request order, so the two response streams must
 #      be byte-identical end to end (a dropped, reordered or drifted
 #      frame fails the diff)
+#  12. the cluster gate: one Monte-Carlo run distributed across three
+#      `serve` workers, byte-diffed against the serial (zero-worker)
+#      run — healthy, with one worker SIGKILLed mid-run, and under the
+#      pinned chaos schedule (--chaos-seed injecting refused connects,
+#      stalls, garbled headers and truncations) — plus a format check
+#      of the pinned per-worker stats line; a lost shard, a drifted
+#      byte, or a failure that is not a counted retry/ejection fails
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -240,5 +247,94 @@ diff "$detdir/conc-serial.out" "$detdir/conc-parallel.out"
 # The gc must have answered its fixed in-band payload, in order.
 grep -q '"id":"c4","status":"ok"' "$detdir/conc-parallel.out"
 grep -q "gc: swept" "$detdir/conc-parallel.out"
+
+echo "==> cluster gate: 3 workers vs serial — healthy, SIGKILL mid-run, seeded chaos"
+# A wide XOR chain big enough that the distributed run is in flight for
+# a couple of seconds — long enough to SIGKILL a worker mid-run.
+{
+  echo "INPUT(a)"; echo "INPUT(b)"; echo "OUTPUT(o)"; echo "n0 = XOR(a, b)"
+  for i in $(seq 1 1999); do echo "n$i = XOR(n$((i-1)), a)"; done
+  echo "o = AND(n1999, b)"
+} > "$detdir/clu.bench"
+CLU_ARGS=(--eps 0.02 --patterns 4194304 --chunk 16384 --batch 4 --jobs 2)
+
+# Spawns a serve worker on an ephemeral port; echoes "pid addr".
+start_worker() {
+  local log="$1" pid addr
+  target/release/nanobound serve --listen 127.0.0.1:0 >/dev/null 2>"$log" &
+  pid=$!
+  for _ in $(seq 200); do
+    addr="$(sed -n 's/^nanobound serve: listening on //p' "$log" | head -1)"
+    if [ -n "$addr" ]; then echo "$pid $addr"; return 0; fi
+    sleep 0.05
+  done
+  echo "worker never announced its address" >&2
+  return 1
+}
+# Extracts an aggregate counter ($2: retries|ejections) off the pinned
+# stats line in a coordinator stderr log ($1) — the segment before the
+# first per-worker field, which repeats the counter names.
+cluster_counter() {
+  grep -m1 '^nanobound cluster: [0-9]' "$1" | sed 's/ | worker.*//' \
+    | sed -n "s/.* \([0-9]\+\) $2.*/\1/p"
+}
+
+target/release/nanobound cluster "$detdir/clu.bench" "${CLU_ARGS[@]}" \
+    > "$detdir/clu-serial.out" 2>/dev/null
+
+# Healthy: three workers, zero failures, byte-identical, pinned stats.
+read -r W1 A1 < <(start_worker "$detdir/clu-w1.log")
+read -r W2 A2 < <(start_worker "$detdir/clu-w2.log")
+read -r W3 A3 < <(start_worker "$detdir/clu-w3.log")
+target/release/nanobound cluster "$detdir/clu.bench" "${CLU_ARGS[@]}" \
+    --worker "$A1" --worker "$A2" --worker "$A3" \
+    > "$detdir/clu-healthy.out" 2>"$detdir/clu-healthy.err"
+diff "$detdir/clu-serial.out" "$detdir/clu-healthy.out"
+grep -Eq '^nanobound cluster: [0-9]+ shards, [0-9]+ cached, [0-9]+ local, [0-9]+ retries, [0-9]+ ejections( \| worker [0-9.:]+: [0-9]+ shards, [0-9]+ retries, [0-9]+ ejections){3}$' \
+    "$detdir/clu-healthy.err"
+kill "$W1" "$W2" "$W3" 2>/dev/null || true
+
+# One worker SIGKILLed mid-run: its queued shards are re-queued to the
+# survivors, the kill shows up as counted retries + an ejection, and
+# the output still matches the serial run byte for byte.
+read -r W1 A1 < <(start_worker "$detdir/clu-w1.log")
+read -r W2 A2 < <(start_worker "$detdir/clu-w2.log")
+read -r W3 A3 < <(start_worker "$detdir/clu-w3.log")
+target/release/nanobound cluster "$detdir/clu.bench" "${CLU_ARGS[@]}" \
+    --worker "$A1" --worker "$A2" --worker "$A3" \
+    --quarantine-after 1 --backoff-ms 1 --connect-timeout 1 \
+    > "$detdir/clu-killed.out" 2>"$detdir/clu-killed.err" &
+CLUSTER_PID=$!
+sleep 0.4
+kill -9 "$W3" 2>/dev/null || true
+wait "$CLUSTER_PID"
+diff "$detdir/clu-serial.out" "$detdir/clu-killed.out"
+KILL_EJECT="$(cluster_counter "$detdir/clu-killed.err" ejections)"
+if [ -z "$KILL_EJECT" ] || [ "$KILL_EJECT" -lt 1 ]; then
+  echo "SIGKILLed worker was never ejected:" >&2
+  cat "$detdir/clu-killed.err" >&2
+  exit 1
+fi
+kill "$W1" "$W2" 2>/dev/null || true
+
+# Seeded chaos: deterministic fault injection (refused connects,
+# stalls, garbled headers, truncations) on every worker's transport.
+# Seed 25 is pinned so each worker's first draw is a fault — the run
+# must log counted retries and still match serial byte for byte.
+read -r W1 A1 < <(start_worker "$detdir/clu-w1.log")
+read -r W2 A2 < <(start_worker "$detdir/clu-w2.log")
+read -r W3 A3 < <(start_worker "$detdir/clu-w3.log")
+target/release/nanobound cluster "$detdir/clu.bench" "${CLU_ARGS[@]}" \
+    --worker "$A1" --worker "$A2" --worker "$A3" \
+    --chaos-seed 25 --backoff-ms 1 \
+    > "$detdir/clu-chaos.out" 2>"$detdir/clu-chaos.err"
+diff "$detdir/clu-serial.out" "$detdir/clu-chaos.out"
+CHAOS_RETRIES="$(cluster_counter "$detdir/clu-chaos.err" retries)"
+if [ -z "$CHAOS_RETRIES" ] || [ "$CHAOS_RETRIES" -lt 1 ]; then
+  echo "chaos schedule injected no counted fault:" >&2
+  cat "$detdir/clu-chaos.err" >&2
+  exit 1
+fi
+kill "$W1" "$W2" "$W3" 2>/dev/null || true
 
 echo "CI green."

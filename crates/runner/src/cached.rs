@@ -35,6 +35,7 @@ use nanobound_sim::{
 
 use crate::pool::ThreadPool;
 use crate::seed::shard_seed;
+use crate::shards::{tally_admissible, ShardPlan};
 
 // Re-exported from `nanobound-sim`, where the layered fingerprints
 // live so the compiled [`ProgramCache`] can address programs by the
@@ -153,16 +154,12 @@ pub fn monte_carlo_sharded_cached_programs(
     cache: Option<&ShardCache>,
     programs: Option<&ProgramCache>,
 ) -> Result<NoisyOutcome, SimError> {
-    if patterns < 2 {
-        return Err(SimError::bad("patterns", patterns, "must be at least 2"));
-    }
-    if chunk == 0 {
-        return Err(SimError::bad("chunk", chunk, "must be at least 1"));
-    }
     // This is the single sharding pipeline: the uncached
     // [`monte_carlo_sharded`] delegates here with `cache: None`, so the
     // shard math, seed derivation and merge can never diverge between
-    // the two entry points.
+    // the two entry points. The plan validates `patterns`/`chunk` and
+    // owns the shard arithmetic shared with the cluster paths.
+    let plan = ShardPlan::new(patterns, chunk)?;
     let engine = EngineKind::from_env()?;
     let fingerprint =
         cache.map(|_| monte_carlo_fingerprint(netlist, config, patterns, pattern_seed, chunk));
@@ -172,24 +169,21 @@ pub fn monte_carlo_sharded_cached_programs(
         (Some(cache), Some(fingerprint)) => Some(cache.pin(*fingerprint)),
         _ => None,
     };
-    let shards = patterns.div_ceil(chunk);
+    let shards = plan.shard_count();
 
     // Validates a cached tally before merging: guard against entries
     // that verified and decoded but describe a different experiment
     // (only reachable via a fingerprint collision) — mismatches
-    // recompute.
+    // recompute. The same predicate admits remote cluster results.
     let load_shard = |i: usize, len: usize| -> Option<NoisyTally> {
         let (cache, fingerprint) = (cache?, fingerprint.as_ref()?);
         let tally = cache.load_value::<NoisyTally>(fingerprint, i as u64)?;
-        (tally.patterns == len
-            && tally.gates == netlist.gate_count()
-            && tally.per_output_errors.len() == netlist.output_count())
-        .then_some(tally)
+        tally_admissible(netlist, &tally, len).then_some(tally)
     };
 
     if engine == EngineKind::Interp {
         let tallies: Vec<Result<NoisyTally, SimError>> = pool.map_indexed(shards, |i| {
-            let len = chunk.min(patterns - i * chunk);
+            let len = plan.shard_patterns(i);
             if let Some(tally) = load_shard(i, len) {
                 return Ok(tally);
             }
@@ -252,7 +246,7 @@ pub fn monte_carlo_sharded_cached_programs(
             w.miss_idx.clear();
             let mut group: Option<NoisyTally> = None;
             for i in first..last {
-                let len = chunk.min(patterns - i * chunk);
+                let len = plan.shard_patterns(i);
                 if let Some(tally) = load_shard(i, len) {
                     match &mut group {
                         None => group = Some(tally),

@@ -19,7 +19,11 @@
 //!   [`try_grid_map_cached`]) — the same computations backed by
 //!   `nanobound-cache`'s content-addressed shard store, keyed by a
 //!   [`monte_carlo_fingerprint`]-style experiment identity so a warm
-//!   cache run stays byte-identical to a cold one.
+//!   cache run stays byte-identical to a cold one;
+//! - [`ShardPlan`] / [`monte_carlo_shard_tallies`] — the relocatable
+//!   shard abstraction behind `nanobound cluster`: any contiguous
+//!   [`ShardRange`] of an experiment can be computed by any process and
+//!   merged in any order without changing a bit of the outcome.
 //!
 //! **The determinism contract.** For every entry point in this crate,
 //! the output is a pure function of the arguments: running with
@@ -48,6 +52,7 @@ mod grid;
 mod montecarlo;
 mod pool;
 mod seed;
+mod shards;
 
 pub use cached::{
     cone_fingerprints, experiment_builder, grid_map_cached, monte_carlo_fingerprint,
@@ -59,3 +64,4 @@ pub use grid::{grid_map, try_grid_map};
 pub use montecarlo::{monte_carlo_sharded, DEFAULT_CHUNK};
 pub use pool::{Dispatcher, ThreadPool, MAX_JOBS};
 pub use seed::shard_seed;
+pub use shards::{monte_carlo_shard_tallies, tally_admissible, ShardPlan, ShardRange};

@@ -8,16 +8,19 @@
 //! responses are byte-identical: they are the same code path.
 
 use std::fs;
+use std::path::Path;
 use std::time::Duration;
 
 use nanobound_cache::GcPolicy;
 use nanobound_experiments::{FigureId, FigureOutput};
-use nanobound_runner::MAX_JOBS;
+use nanobound_runner::{ShardPlan, DEFAULT_CHUNK, MAX_JOBS};
+use nanobound_sim::{NoisyConfig, ProgramCache};
 
 use crate::args::{
-    cache_from_flags, flag, flag_values, list, parse_flags, pool_from_flags, switch, FlagSpec,
-    Flags, COMMON_FLAGS,
+    cache_from_flags, flag, flag_f64, flag_usize, flag_values, list, parse_flags, pool_from_flags,
+    switch, FlagSpec, Flags, COMMON_FLAGS,
 };
+use crate::cluster::{run_cluster, stats_line, ClusterJob, ClusterOptions};
 use crate::engine::{csv_of, Engine};
 use crate::requests::{BoundRequest, LintRequest, ProfileRequest};
 use crate::serve::{self, ServeOptions};
@@ -41,6 +44,10 @@ USAGE:
     nanobound serve [OPTIONS]            long-running batch service: one
                                          request per stdin line, framed
                                          responses on stdout
+    nanobound cluster <FILE> [OPTIONS]   distribute one Monte-Carlo run's
+                                         shards across N serve workers;
+                                         byte-identical to a local run
+                                         under worker failure
 
 COMMON OPTIONS:
     --jobs <N>       worker threads (1..=512)  [default: all hardware threads]
@@ -82,17 +89,42 @@ SERVE OPTIONS:
                      (responses stay in request order)  [default: 1]
     --queue <N>      admitted-request queue bound; past it requests are
                      answered `error: overloaded` in-band [default: 256]
+    --idle-timeout <S>  close a TCP session in-band after S seconds
+                     without a request, so a stalled client cannot
+                     block later connections  [default: wait forever]
     --gc-bytes <N>   at startup, sweep the cache down toward N bytes
     --gc-age-days <D>  at startup, expire cache entries older than D days
+
+CLUSTER OPTIONS:
+    --worker <ADDR>  a serve worker's TCP address (repeatable; none
+                     runs every shard locally — the serial baseline)
+    --eps <E>        gate error probability          [default: 0.01]
+    --fault-seed <N>    fault-mask master seed       [default: 1]
+    --pattern-seed <N>  input-pattern master seed    [default: 2]
+    --patterns <N>   Monte-Carlo patterns            [default: 40960]
+    --chunk <N>      patterns per shard              [default: 4096]
+    --batch <N>      shards per worker request       [default: 1]
+    --connect-timeout <S> / --io-timeout <S>  worker deadlines, seconds
+                     [defaults: 5 / 30]
+    --quarantine-after <N>  consecutive failures before a worker is
+                     ejected and ping-probed        [default: 3]
+    --backoff-ms <N>  initial retry backoff, doubling per consecutive
+                     failure                        [default: 50]
+    --chaos-seed <N>  deterministic fault injection on the coordinator
+                     transport (tests/ci only)
+    every failed attempt is retried on a surviving worker or computed
+    locally — the run completes, byte-identically, as long as the
+    coordinator lives
 
 SERVE PROTOCOL (one request per line; full grammar in the README):
     {\"id\":\"1\",\"workload\":\"figure\",\"args\":[\"fig3\"]}
     -> {\"id\":\"1\",\"status\":\"ok\",\"bytes\":N} then exactly N payload
        bytes — byte-identical to the equivalent one-shot CLI stdout
        (workloads: profile, bound, figure, validate, lint, gc, stats,
-       ping, shutdown; id \"?\" is reserved for malformed-line answers;
-       computing workloads accept --request-jobs <N> for a per-request
-       worker budget)
+       ping, shutdown, and the cluster shard workload mc_shards; id
+       \"?\" is reserved for malformed-line answers; computing
+       workloads accept --request-jobs <N> for a per-request worker
+       budget)
 ";
 
 /// Top-level dispatch for the `nanobound` binary.
@@ -109,6 +141,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("validate") => cmd_validate(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             Ok(())
@@ -262,6 +295,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             flag("listen"),
             flag("concurrency"),
             flag("queue"),
+            flag("idle-timeout"),
             flag("gc-bytes"),
             flag("gc-age-days"),
         ][..],
@@ -327,16 +361,171 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
         },
     };
+    let listen = flag_values(&flags, "listen")
+        .last()
+        .map(|s| (*s).to_owned());
+    let idle_timeout = match flag_values(&flags, "idle-timeout").last() {
+        None => None,
+        Some(v) => {
+            if listen.is_none() {
+                return Err(
+                    "--idle-timeout needs --listen (stdio sessions cannot stall the accept loop)"
+                        .to_owned(),
+                );
+            }
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--idle-timeout: `{v}` is not a number of seconds"))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!(
+                    "--idle-timeout: `{v}` must be a finite, positive number of seconds"
+                ));
+            }
+            Some(
+                Duration::try_from_secs_f64(secs)
+                    .map_err(|_| format!("--idle-timeout: `{v}` is out of range"))?,
+            )
+        }
+    };
     let options = ServeOptions {
-        listen: flag_values(&flags, "listen")
-            .last()
-            .map(|s| (*s).to_owned()),
+        listen,
         gc: GcPolicy { max_bytes, max_age },
         concurrency,
         queue,
+        idle_timeout,
     };
     let engine = Engine::new(pool_from_flags(&flags)?, cache);
     serve::run(&engine, &options)
+}
+
+/// Parses a seconds flag into a `Duration`.
+fn duration_flag(flags: &Flags, name: &str, default: f64) -> Result<Duration, String> {
+    let secs = flag_f64(flags, name, default)?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!(
+            "--{name}: `{secs}` must be a finite, positive number of seconds"
+        ));
+    }
+    Duration::try_from_secs_f64(secs).map_err(|_| format!("--{name}: `{secs}` is out of range"))
+}
+
+/// Parses an optional u64 flag.
+fn u64_flag(flags: &Flags, name: &str) -> Result<Option<u64>, String> {
+    match flag_values(flags, name).last() {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--{name}: `{v}` is not a non-negative integer")),
+    }
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let spec = [
+        &[
+            list("worker"),
+            flag("eps"),
+            flag("fault-seed"),
+            flag("pattern-seed"),
+            flag("patterns"),
+            flag("chunk"),
+            flag("batch"),
+            flag("connect-timeout"),
+            flag("io-timeout"),
+            flag("quarantine-after"),
+            flag("backoff-ms"),
+            flag("chaos-seed"),
+        ][..],
+        &COMMON_FLAGS[..],
+    ]
+    .concat();
+    let (positional, flags) = parse_flags(args, &spec)?;
+    let [path] = positional.as_slice() else {
+        return Err("`cluster` expects exactly one netlist file".to_owned());
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let blif = Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("blif"));
+    let design = if blif {
+        nanobound_io::blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        nanobound_io::bench::parse(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    if design.is_sequential() {
+        return Err(format!(
+            "{path}: `cluster` takes combinational netlists only ({} latches)",
+            design.latches.len()
+        ));
+    }
+    let eps = flag_f64(&flags, "eps", 0.01)?;
+    let fault_seed = u64_flag(&flags, "fault-seed")?.unwrap_or(1);
+    let pattern_seed = u64_flag(&flags, "pattern-seed")?.unwrap_or(2);
+    let patterns = flag_usize(&flags, "patterns", 40_960)?;
+    let chunk = flag_usize(&flags, "chunk", DEFAULT_CHUNK)?;
+    let config = NoisyConfig::new(eps, fault_seed).map_err(|e| e.to_string())?;
+    let plan = ShardPlan::new(patterns, chunk).map_err(|e| e.to_string())?;
+    let job = ClusterJob {
+        netlist: &design.netlist,
+        netlist_text: &text,
+        blif,
+        config,
+        pattern_seed,
+        plan,
+        batch: flag_usize(&flags, "batch", 1)?.max(1),
+    };
+    let quarantine_after = u64_flag(&flags, "quarantine-after")?.unwrap_or(3);
+    if quarantine_after == 0 {
+        return Err("--quarantine-after: must be at least 1".to_owned());
+    }
+    let backoff_ms = u64_flag(&flags, "backoff-ms")?.unwrap_or(50);
+    let options = ClusterOptions {
+        workers: flag_values(&flags, "worker")
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        connect_timeout: duration_flag(&flags, "connect-timeout", 5.0)?,
+        io_timeout: duration_flag(&flags, "io-timeout", 30.0)?,
+        quarantine_after: u32::try_from(quarantine_after)
+            .map_err(|_| "--quarantine-after: out of range".to_owned())?,
+        backoff: Duration::from_millis(backoff_ms),
+        chaos_seed: u64_flag(&flags, "chaos-seed")?,
+    };
+    let pool = pool_from_flags(&flags)?;
+    let cache = cache_from_flags(&flags)?;
+    let programs = ProgramCache::new();
+    let run = run_cluster(&pool, cache.as_ref(), Some(&programs), &job, &options)?;
+    eprintln!("nanobound {}", stats_line(&run.stats));
+
+    // The result text — byte-identical no matter where shards ran.
+    let outcome = run.tally.outcome();
+    println!(
+        "monte-carlo: {} patterns, {} shards, eps = {eps}",
+        plan.patterns(),
+        plan.shard_count()
+    );
+    println!("circuit error rate: {}", outcome.circuit_error_rate);
+    for (i, rate) in outcome.per_output_error_rate.iter().enumerate() {
+        println!("output {i} error rate: {rate}");
+    }
+    println!(
+        "noisy avg gate activity: {}",
+        outcome.noisy_avg_gate_activity
+    );
+    println!(
+        "clean avg gate activity: {}",
+        outcome.clean_avg_gate_activity
+    );
+    if let Some(cache) = &cache {
+        // Diagnostics, not payload: hit/miss traffic depends on where
+        // shards ran, and cluster stdout must stay byte-identical
+        // across transports.
+        eprintln!(
+            "nanobound cluster cache: {}",
+            crate::engine::cache_summary(cache)
+        );
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -366,6 +555,12 @@ mod tests {
             "--concurrency",
             "--queue",
             "--request-jobs",
+            "--idle-timeout",
+            "cluster",
+            "--worker",
+            "--chaos-seed",
+            "--quarantine-after",
+            "mc_shards",
             "--gc-bytes",
             "1..=512",
             "overloaded",

@@ -53,10 +53,12 @@ use nanobound_experiments::profiles::{
 use nanobound_experiments::{generate_figure_cached, validation, FigureId, FigureOutput};
 use nanobound_io::{bench, blif, unroll, Design};
 use nanobound_report::Table;
-use nanobound_runner::{netlist_fingerprint, try_grid_map, ThreadPool};
-use nanobound_sim::ProgramCache;
+use nanobound_runner::{
+    monte_carlo_shard_tallies, netlist_fingerprint, try_grid_map, ShardPlan, ShardRange, ThreadPool,
+};
+use nanobound_sim::{NoisyConfig, ProgramCache};
 
-use crate::requests::{BoundRequest, LintFormat, LintRequest, ProfileRequest};
+use crate::requests::{BoundRequest, LintFormat, LintRequest, McShardsRequest, ProfileRequest};
 
 /// The shard-cache traffic summary line — the first line of
 /// [`Engine::cache_report`]. Its format is pinned by the ci.sh cache
@@ -575,18 +577,79 @@ impl Engine {
         let as_blif = Path::new(path)
             .extension()
             .is_some_and(|e| e.eq_ignore_ascii_case("blif"));
+        self.design_from_text(&text, as_blif, path)
+    }
 
+    /// Parses (or replays) a design from source text — the shared back
+    /// end of [`Engine::load_design`] and the `mc_shards` workload,
+    /// whose netlists arrive in-band instead of via the filesystem.
+    /// `origin` names the source in error messages.
+    fn design_from_text(
+        &self,
+        text: &str,
+        as_blif: bool,
+        origin: &str,
+    ) -> Result<Arc<Design>, String> {
         let mut design_key = FingerprintBuilder::new("service-design");
-        design_key.push_str(&text);
+        design_key.push_str(text);
         design_key.push_u64(u64::from(as_blif));
         let design_key = design_key.finish();
         self.designs.get_or_try_insert(design_key, || {
             if as_blif {
-                blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+                blif::parse(text).map_err(|e| format!("{origin}: {e}"))
             } else {
-                bench::parse(&text).map_err(|e| format!("{path}: {e}"))
+                bench::parse(text).map_err(|e| format!("{origin}: {e}"))
             }
         })
+    }
+
+    /// Executes an `mc_shards` workload: computes the requested shard
+    /// range of the experiment and answers binary tally frames
+    /// ([`crate::cluster::encode_tally_frames`]).
+    ///
+    /// The shards are computed through the very same
+    /// [`monte_carlo_shard_tallies`] path (and, when this engine has a
+    /// cache, the very same on-disk addresses) a local run uses, so a
+    /// worker's answer is bit-identical to computing the range on the
+    /// coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Unparseable netlists, sequential designs (the coordinator
+    /// unrolls; a worker never should, or frame counts would fork the
+    /// experiment), invalid ε/plan parameters and out-of-plan ranges,
+    /// with messages naming the offending flag.
+    pub fn mc_shards(
+        &self,
+        request: &McShardsRequest,
+        pool: &ThreadPool,
+    ) -> Result<Vec<u8>, String> {
+        let design = self.design_from_text(&request.netlist, request.blif, "--netlist")?;
+        if design.is_sequential() {
+            return Err(
+                "`mc_shards` takes combinational netlists only (unroll on the coordinator)"
+                    .to_owned(),
+            );
+        }
+        let config =
+            NoisyConfig::new(request.eps, request.fault_seed).map_err(|e| e.to_string())?;
+        let plan = ShardPlan::new(request.patterns, request.chunk).map_err(|e| e.to_string())?;
+        let range = ShardRange {
+            first: request.first as usize,
+            last: request.last as usize,
+        };
+        let tallies = monte_carlo_shard_tallies(
+            pool,
+            &design.netlist,
+            &config,
+            &plan,
+            request.pattern_seed,
+            range,
+            self.cache.as_ref(),
+            Some(&self.programs),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(crate::cluster::encode_tally_frames(request.first, &tallies))
     }
 
     /// Profiles the benchmark suite once and keeps it for every figure

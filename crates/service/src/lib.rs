@@ -23,6 +23,11 @@
 //!   dispatch onto a bounded worker crew (`--concurrency`/`--queue`)
 //!   and responses are re-sequenced into request order, so the wire
 //!   stream is independent of how execution interleaved.
+//! - [`cluster`] — the fault-tolerant coordinator: `nanobound cluster`
+//!   fans Monte-Carlo shard batches out to N `serve` processes via the
+//!   `mc_shards` workload, retries and quarantines failing workers,
+//!   and falls back to local compute — byte-identical to a
+//!   single-process run under any failure the coordinator survives.
 //!
 //! **The byte-identity contract.** A `serve` response payload is
 //! byte-identical to the stdout of the equivalent one-shot CLI
@@ -58,11 +63,13 @@
 
 pub mod args;
 pub mod cli;
+pub mod cluster;
 pub mod engine;
 pub mod proto;
 pub mod requests;
 pub mod serve;
 
+pub use cluster::{run_cluster, ClusterJob, ClusterOptions, ClusterRun, ClusterStats};
 pub use engine::{Engine, LintOutcome};
 pub use proto::Request;
 pub use serve::{ServeOptions, SessionLimits, SessionOutcome};

@@ -331,6 +331,71 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Formats one request line (without trailing newline) — the writer
+/// side of [`parse_request`], used by the cluster coordinator and
+/// scripted clients. Arbitrary argument strings (newlines, quotes,
+/// whole netlist files) round-trip through the escape rules.
+#[must_use]
+pub fn format_request(id: &str, workload: &str, args: &[String]) -> String {
+    let mut out = format!(
+        "{{\"id\":\"{}\",\"workload\":\"{}\"",
+        escape(id),
+        escape(workload)
+    );
+    if !args.is_empty() {
+        out.push_str(",\"args\":[");
+        for (i, arg) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(arg));
+            out.push('"');
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one response header line (sans newline) into
+/// `(id, ok, payload bytes)`.
+///
+/// This is the single header decoder: [`read_response`] uses it for
+/// trusted test streams, and the cluster coordinator uses it on bytes
+/// from remote workers — where *any* failure here must become a counted
+/// retryable worker failure, never a panic or a wedged run. It is
+/// strict: the `status` value must be exactly `ok` or `error`, so a
+/// garbled status byte is malformed instead of silently reading as an
+/// error response.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema violation.
+pub fn parse_response_header(line: &str) -> Result<(String, bool, u64), String> {
+    let fields = Parser::new(line).parse_object()?;
+    let mut id = None;
+    let mut status = None;
+    let mut bytes = None;
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("id", Value::Str(s)) => id = Some(s),
+            ("status", Value::Str(s)) => status = Some(s),
+            ("bytes", Value::Num(n)) => bytes = Some(n),
+            (k, v) => return Err(format!("unexpected field {k}={v:?}")),
+        }
+    }
+    let (Some(id), Some(status), Some(bytes)) = (id, status, bytes) else {
+        return Err("missing id/status/bytes".to_owned());
+    };
+    let ok = match status.as_str() {
+        "ok" => true,
+        "error" => false,
+        other => return Err(format!("status `{other}` is not `ok` or `error`")),
+    };
+    Ok((id, ok, bytes))
+}
+
 /// The response header line (without trailing newline).
 #[must_use]
 pub fn response_header(id: &str, ok: bool, bytes: usize) -> String {
@@ -373,25 +438,8 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Option<(String, b
     if reader.read_line(&mut header)? == 0 {
         return Ok(None);
     }
-    let malformed =
-        |msg: String| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {msg}"));
-    let fields = Parser::new(header.trim_end_matches('\n'))
-        .parse_object()
-        .map_err(malformed)?;
-    let mut id = None;
-    let mut status = None;
-    let mut bytes = None;
-    for (key, value) in fields {
-        match (key.as_str(), value) {
-            ("id", Value::Str(s)) => id = Some(s),
-            ("status", Value::Str(s)) => status = Some(s),
-            ("bytes", Value::Num(n)) => bytes = Some(n),
-            (k, v) => return Err(malformed(format!("unexpected field {k}={v:?}"))),
-        }
-    }
-    let (Some(id), Some(status), Some(bytes)) = (id, status, bytes) else {
-        return Err(malformed("missing id/status/bytes".to_owned()));
-    };
+    let (id, ok, bytes) = parse_response_header(header.trim_end_matches('\n'))
+        .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {msg}")))?;
     // Never size an allocation from the untrusted header: `take` +
     // `read_to_end` grows with the bytes that actually arrive, so a
     // corrupt or hostile count ends in an error, not an abort.
@@ -406,7 +454,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Option<(String, b
             ),
         ));
     }
-    Ok(Some((id, status == "ok", payload)))
+    Ok(Some((id, ok, payload)))
 }
 
 #[cfg(test)]
@@ -505,6 +553,102 @@ mod tests {
         // But it is only the exact token that is reserved.
         let req = parse_request(r#"{"id":"??","workload":"ping"}"#).unwrap();
         assert_eq!(req.id, "??");
+    }
+
+    #[test]
+    fn format_request_roundtrips_hostile_strings() {
+        // The coordinator ships whole netlist files (newlines, spaces)
+        // and arbitrary tokens through request args; every byte must
+        // survive the wire format.
+        let args: Vec<String> = [
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+            "quote\"back\\slash",
+            "tab\there",
+            "unicode é 😀",
+            "",
+            "--flag",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let line = format_request("id-1", "mc_shards", &args);
+        let parsed = parse_request(&line).unwrap();
+        assert_eq!(parsed.id, "id-1");
+        assert_eq!(parsed.workload, "mc_shards");
+        assert_eq!(parsed.args, args);
+        // No args: the key is omitted and defaults to empty.
+        let parsed = parse_request(&format_request("p", "ping", &[])).unwrap();
+        assert!(parsed.args.is_empty());
+    }
+
+    #[test]
+    fn response_header_roundtrips_through_the_parser() {
+        for (id, ok, bytes) in [("r1", true, 0u64), ("we\"ird\n", false, 123_456)] {
+            let line = response_header(id, ok, bytes as usize);
+            assert_eq!(
+                parse_response_header(&line).unwrap(),
+                (id.to_owned(), ok, bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_response_headers_are_exhaustively_rejected() {
+        // Every shape a corrupt, truncated or hostile worker header can
+        // take must come back as a described error — this is what turns
+        // wire garbage into a counted retryable failure upstream.
+        for (line, needle) in [
+            ("", "object"),
+            ("garbage", "object"),
+            ("{", "string"),
+            (r#"{"id":"x""#, "expected"),
+            (r#"{"id":"x","status":"ok","bytes":5"#, "expected"),
+            (r#"{"id":"x","status":"ok"}"#, "missing id/status/bytes"),
+            (r#"{"id":"x","bytes":5}"#, "missing id/status/bytes"),
+            (r#"{"status":"ok","bytes":5}"#, "missing id/status/bytes"),
+            (
+                r#"{"id":"x","status":"oz","bytes":5}"#,
+                "not `ok` or `error`",
+            ),
+            (r#"{"id":"x","status":"ok","bytes":-5}"#, "expected"),
+            (
+                r#"{"id":"x","status":"ok","bytes":99999999999999999999}"#,
+                "out of range",
+            ),
+            (
+                r#"{"id":"x","status":"ok","bytes":"5"}"#,
+                "unexpected field",
+            ),
+            (r#"{"id":5,"status":"ok","bytes":5}"#, "unexpected field"),
+            (
+                r#"{"id":"x","status":"ok","bytes":5,"extra":"y"}"#,
+                "unexpected field",
+            ),
+            (r#"{"id":"x","status":"ok","bytes":5} junk"#, "trailing"),
+            (
+                r#"{"id":"x","id":"y","status":"ok","bytes":5}"#,
+                "duplicate",
+            ),
+            (r#"{"id":"\q","status":"ok","bytes":5}"#, "escape"),
+        ] {
+            let err = parse_response_header(line).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "line {line:?}: error {err:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_response_maps_header_garbage_to_invalid_data() {
+        for stream in [
+            "garbage\npayload",
+            "{\"id\":\"x\",\"status\":\"maybe\",\"bytes\":2}\nok",
+        ] {
+            let mut reader = io::BufReader::new(stream.as_bytes());
+            let err = read_response(&mut reader).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "stream {stream:?}");
+        }
     }
 
     #[test]

@@ -184,6 +184,90 @@ impl GcRequest {
     }
 }
 
+/// An `mc_shards` serve workload: compute one contiguous range of
+/// Monte-Carlo shards for a netlist and answer the encoded tallies.
+///
+/// This is the cluster's worker-side request. Everything that
+/// identifies the experiment travels in-band — the netlist ships as
+/// inline text (`--netlist`), not a path, so a worker needs no shared
+/// filesystem — and every flag is mandatory: a coordinator always
+/// knows the full experiment identity, and defaults on the wire would
+/// silently fork the fingerprint between versions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McShardsRequest {
+    /// The netlist source text.
+    pub netlist: String,
+    /// Parse the text as BLIF instead of ISCAS `.bench`.
+    pub blif: bool,
+    /// Gate error probability ε.
+    pub eps: f64,
+    /// Master seed of the fault-mask stream.
+    pub fault_seed: u64,
+    /// Master seed of the input-pattern stream.
+    pub pattern_seed: u64,
+    /// Total patterns of the whole experiment (not of this range).
+    pub patterns: usize,
+    /// Patterns per shard.
+    pub chunk: usize,
+    /// First shard index of the requested range (inclusive).
+    pub first: u64,
+    /// One past the last shard index of the requested range.
+    pub last: u64,
+}
+
+impl McShardsRequest {
+    /// The flags an `mc_shards` request understands.
+    pub const FLAGS: [FlagSpec; 9] = [
+        flag("netlist"),
+        switch("blif"),
+        flag("eps"),
+        flag("fault-seed"),
+        flag("pattern-seed"),
+        flag("patterns"),
+        flag("chunk"),
+        flag("first"),
+        flag("last"),
+    ];
+
+    /// Builds the request from parsed positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// `mc_shards` takes no positionals; every flag except `--blif` is
+    /// required and must parse.
+    pub fn from_parts(positional: &[String], flags: &Flags) -> Result<Self, String> {
+        if !positional.is_empty() {
+            return Err("`mc_shards` takes only flags".to_owned());
+        }
+        fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+            flag_values(flags, name)
+                .last()
+                .copied()
+                .ok_or_else(|| format!("`mc_shards` requires --{name}"))
+        }
+        fn required_u64(flags: &Flags, name: &str) -> Result<u64, String> {
+            let v = required(flags, name)?;
+            v.parse()
+                .map_err(|_| format!("--{name}: `{v}` is not a non-negative integer"))
+        }
+        let eps_text = required(flags, "eps")?;
+        let eps: f64 = eps_text
+            .parse()
+            .map_err(|_| format!("--eps: `{eps_text}` is not a number"))?;
+        Ok(McShardsRequest {
+            netlist: required(flags, "netlist")?.to_owned(),
+            blif: !flag_values(flags, "blif").is_empty(),
+            eps,
+            fault_seed: required_u64(flags, "fault-seed")?,
+            pattern_seed: required_u64(flags, "pattern-seed")?,
+            patterns: required_u64(flags, "patterns")? as usize,
+            chunk: required_u64(flags, "chunk")? as usize,
+            first: required_u64(flags, "first")?,
+            last: required_u64(flags, "last")?,
+        })
+    }
+}
+
 /// How a `lint` report is rendered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LintFormat {
@@ -375,6 +459,79 @@ mod tests {
         let (pos, flags) = parse_flags(&strings(&["--bytes", "-3"]), &GcRequest::FLAGS).unwrap();
         let err = GcRequest::from_parts(&pos, &flags).unwrap_err();
         assert!(err.contains("--bytes"), "{err}");
+    }
+
+    #[test]
+    fn mc_shards_request_requires_every_flag_and_parses() {
+        let full = strings(&[
+            "--netlist",
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+            "--eps",
+            "0.01",
+            "--fault-seed",
+            "7",
+            "--pattern-seed",
+            "11",
+            "--patterns",
+            "1024",
+            "--chunk",
+            "256",
+            "--first",
+            "1",
+            "--last",
+            "3",
+        ]);
+        let (pos, flags) = parse_flags(&full, &McShardsRequest::FLAGS).unwrap();
+        let req = McShardsRequest::from_parts(&pos, &flags).unwrap();
+        assert!(req.netlist.contains("NOT(a)"));
+        assert!(!req.blif);
+        assert_eq!(req.eps, 0.01);
+        assert_eq!((req.fault_seed, req.pattern_seed), (7, 11));
+        assert_eq!((req.patterns, req.chunk), (1024, 256));
+        assert_eq!((req.first, req.last), (1, 3));
+
+        // Every required flag missing in turn is a described error —
+        // a wire default would silently fork the experiment identity.
+        for miss in [
+            "netlist",
+            "eps",
+            "fault-seed",
+            "pattern-seed",
+            "patterns",
+            "chunk",
+            "first",
+            "last",
+        ] {
+            let pruned: Vec<String> = {
+                let mut out = Vec::new();
+                let mut iter = full.iter();
+                while let Some(token) = iter.next() {
+                    if token == &format!("--{miss}") {
+                        iter.next();
+                        continue;
+                    }
+                    out.push(token.clone());
+                }
+                out
+            };
+            let (pos, flags) = parse_flags(&pruned, &McShardsRequest::FLAGS).unwrap();
+            let err = McShardsRequest::from_parts(&pos, &flags).unwrap_err();
+            assert!(err.contains(&format!("--{miss}")), "{miss}: {err}");
+        }
+
+        let err = McShardsRequest::from_parts(&strings(&["stray"]), &Vec::new()).unwrap_err();
+        assert!(err.contains("only flags"), "{err}");
+        let (pos, flags) = parse_flags(
+            &{
+                let mut bad = full.clone();
+                bad[7] = "-1".to_owned();
+                bad
+            },
+            &McShardsRequest::FLAGS,
+        )
+        .unwrap();
+        let err = McShardsRequest::from_parts(&pos, &flags).unwrap_err();
+        assert!(err.contains("--pattern-seed"), "{err}");
     }
 
     #[test]

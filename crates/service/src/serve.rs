@@ -40,6 +40,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::sync::Mutex;
+use std::time::Duration;
 
 use nanobound_cache::{GcPolicy, GcReport};
 use nanobound_experiments::FigureId;
@@ -48,7 +49,7 @@ use nanobound_runner::{ThreadPool, MAX_JOBS};
 use crate::args::parse_flags;
 use crate::engine::Engine;
 use crate::proto::{parse_request, write_response, Request, RESERVED_ID};
-use crate::requests::{BoundRequest, GcRequest, LintRequest, ProfileRequest};
+use crate::requests::{BoundRequest, GcRequest, LintRequest, McShardsRequest, ProfileRequest};
 
 /// Default bound on admitted-but-unfinished requests per session.
 pub const DEFAULT_QUEUE: usize = 256;
@@ -99,6 +100,12 @@ pub struct ServeOptions {
     pub concurrency: usize,
     /// Admission-queue bound (`--queue`, default [`DEFAULT_QUEUE`]).
     pub queue: usize,
+    /// Per-connection read deadline (`--idle-timeout`). TCP
+    /// connections are served sequentially, so without this a single
+    /// stalled or half-open client blocks every later connection
+    /// forever. `None` (the default) keeps the historical
+    /// wait-forever behaviour.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -108,6 +115,7 @@ impl Default for ServeOptions {
             gc: GcPolicy::default(),
             concurrency: 1,
             queue: DEFAULT_QUEUE,
+            idle_timeout: None,
         }
     }
 }
@@ -152,6 +160,12 @@ pub fn run(engine: &Engine, options: &ServeOptions) -> Result<(), String> {
                         continue;
                     }
                 };
+                // Socket options are per-socket, not per-fd: setting
+                // the timeout before `try_clone` covers both halves.
+                if let Err(e) = stream.set_read_timeout(options.idle_timeout) {
+                    eprintln!("nanobound serve: cannot set idle timeout: {e}");
+                    continue;
+                }
                 let reader = match stream.try_clone() {
                     Ok(clone) => BufReader::new(clone),
                     Err(e) => {
@@ -181,7 +195,9 @@ pub fn run(engine: &Engine, options: &ServeOptions) -> Result<(), String> {
 struct Frame {
     id: String,
     ok: bool,
-    payload: String,
+    /// Raw payload bytes: text for the CLI-mirroring workloads, binary
+    /// tally frames for `mc_shards`.
+    payload: Vec<u8>,
     /// Whether writing this frame ends its id's in-flight claim (true
     /// for every frame that answers an admitted request; false for
     /// malformed-line and duplicate-id errors, which never claimed
@@ -245,12 +261,9 @@ impl<'w, W: Write> FrameSink<'w, W> {
                 break;
             };
             if state.error.is_none() {
-                if let Err(e) = write_response(
-                    &mut *state.writer,
-                    &frame.id,
-                    frame.ok,
-                    frame.payload.as_bytes(),
-                ) {
+                if let Err(e) =
+                    write_response(&mut *state.writer, &frame.id, frame.ok, &frame.payload)
+                {
                     state.error = Some(e);
                 }
             }
@@ -300,6 +313,29 @@ pub fn serve_session<R: BufRead, W: Write + Send>(
         for line in reader.lines() {
             let line = match line {
                 Ok(line) => line,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The connection's idle deadline fired. Close the
+                    // session cleanly with an in-band notice so the
+                    // accept loop moves on to the next client — this
+                    // is the cure for one stalled client wedging the
+                    // sequential TCP accept loop, not a transport
+                    // failure.
+                    sink.push(
+                        seq,
+                        Frame {
+                            id: RESERVED_ID.to_owned(),
+                            ok: false,
+                            payload: b"error: idle timeout, closing session\n".to_vec(),
+                            release: false,
+                        },
+                    );
+                    break;
+                }
                 Err(e) => {
                     sink.fail(e);
                     break;
@@ -318,7 +354,7 @@ pub fn serve_session<R: BufRead, W: Write + Send>(
                         Frame {
                             id: RESERVED_ID.to_owned(),
                             ok: false,
-                            payload: format!("error: {message}\n"),
+                            payload: format!("error: {message}\n").into_bytes(),
                             release: false,
                         },
                     );
@@ -334,7 +370,8 @@ pub fn serve_session<R: BufRead, W: Write + Send>(
                     Frame {
                         id: request.id.clone(),
                         ok: false,
-                        payload: format!("error: id `{}` is already in flight\n", request.id),
+                        payload: format!("error: id `{}` is already in flight\n", request.id)
+                            .into_bytes(),
                         release: false,
                     },
                 );
@@ -352,7 +389,7 @@ pub fn serve_session<R: BufRead, W: Write + Send>(
                             Frame {
                                 id: request.id,
                                 ok: true,
-                                payload: "bye\n".to_owned(),
+                                payload: b"bye\n".to_vec(),
                                 release: true,
                             },
                         );
@@ -365,7 +402,7 @@ pub fn serve_session<R: BufRead, W: Write + Send>(
                             Frame {
                                 id: request.id,
                                 ok: false,
-                                payload: format!("error: {message}\n"),
+                                payload: format!("error: {message}\n").into_bytes(),
                                 release: true,
                             },
                         );
@@ -395,7 +432,7 @@ pub fn serve_session<R: BufRead, W: Write + Send>(
                     Frame {
                         id,
                         ok: false,
-                        payload: "error: overloaded\n".to_owned(),
+                        payload: b"error: overloaded\n".to_vec(),
                         release: true,
                     },
                 );
@@ -459,17 +496,18 @@ fn split_request_jobs(args: &[String]) -> Result<(Vec<String>, Option<ThreadPool
 
 /// Parses the `--request-jobs` override off `args`, then runs `body`
 /// with the remaining tokens and the effective worker pool.
-fn with_request_pool<F>(engine: &Engine, args: &[String], body: F) -> Result<String, String>
+fn with_request_pool<T, F>(engine: &Engine, args: &[String], body: F) -> Result<T, String>
 where
-    F: FnOnce(&[String], &ThreadPool) -> Result<String, String>,
+    F: FnOnce(&[String], &ThreadPool) -> Result<T, String>,
 {
     let (rest, pool) = split_request_jobs(args)?;
     body(&rest, pool.as_ref().unwrap_or_else(|| engine.pool()))
 }
 
-/// Executes one request; `(true, stdout-equivalent)` or
-/// `(false, "error: ...\n")` — the exact texts the one-shot CLI prints.
-fn dispatch(engine: &Engine, request: &Request) -> (bool, String) {
+/// Executes one request; `(true, stdout-equivalent bytes)` or
+/// `(false, "error: ...\n")` — text workloads answer the exact bytes
+/// the one-shot CLI prints, `mc_shards` answers binary tally frames.
+fn dispatch(engine: &Engine, request: &Request) -> (bool, Vec<u8>) {
     // `lint` is special-cased: findings are payload, not protocol
     // errors. A failing report answers `status: error` but still
     // carries the report text — byte-identical to the one-shot CLI's
@@ -479,8 +517,20 @@ fn dispatch(engine: &Engine, request: &Request) -> (bool, String) {
             .and_then(|(positional, flags)| LintRequest::from_parts(&positional, &flags))
             .and_then(|req| engine.lint(&req))
         {
-            Ok(outcome) => (!outcome.failed(), outcome.text),
-            Err(message) => (false, format!("error: {message}\n")),
+            Ok(outcome) => (!outcome.failed(), outcome.text.into_bytes()),
+            Err(message) => (false, format!("error: {message}\n").into_bytes()),
+        };
+    }
+    // `mc_shards` is the cluster workload: its payload is binary
+    // `NoisyTally` frames, not CLI-mirroring text.
+    if request.workload == "mc_shards" {
+        return match with_request_pool(engine, &request.args, |args, pool| {
+            parse_flags(args, &McShardsRequest::FLAGS)
+                .and_then(|(positional, flags)| McShardsRequest::from_parts(&positional, &flags))
+                .and_then(|req| engine.mc_shards(&req, pool))
+        }) {
+            Ok(payload) => (true, payload),
+            Err(message) => (false, format!("error: {message}\n").into_bytes()),
         };
     }
     let result = match request.workload.as_str() {
@@ -538,8 +588,8 @@ fn dispatch(engine: &Engine, request: &Request) -> (bool, String) {
         other => Err(format!("unknown workload `{other}`")),
     };
     match result {
-        Ok(payload) => (true, payload),
-        Err(message) => (false, format!("error: {message}\n")),
+        Ok(payload) => (true, payload.into_bytes()),
+        Err(message) => (false, format!("error: {message}\n").into_bytes()),
     }
 }
 
@@ -736,6 +786,50 @@ mod tests {
     }
 
     #[test]
+    fn an_idle_timeout_closes_the_session_in_band() {
+        // A reader that serves one request and then stalls forever —
+        // surfaced as the `WouldBlock`/`TimedOut` a TCP read deadline
+        // produces. The session must answer what it got, send a clean
+        // in-band close notice, and end with Ok (not a transport
+        // error), so the accept loop moves on to the next client.
+        struct Stalling<'a> {
+            first: &'a [u8],
+        }
+        impl io::Read for Stalling<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.first.is_empty() {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"));
+                }
+                let n = self.first.len().min(buf.len());
+                buf[..n].copy_from_slice(&self.first[..n]);
+                self.first = &self.first[n..];
+                Ok(n)
+            }
+        }
+        let engine = Engine::new(ThreadPool::serial(), None);
+        let mut out = Vec::new();
+        let reader = BufReader::new(Stalling {
+            first: b"{\"id\":\"a\",\"workload\":\"ping\"}\n",
+        });
+        let outcome = serve_session(&engine, reader, &mut out, SessionLimits::default());
+        assert!(!outcome.shutdown);
+        outcome
+            .result
+            .expect("an idle timeout is not a transport failure");
+        let responses = parse_stream(&out);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0], ("a".to_owned(), true, "pong\n".to_owned()));
+        assert_eq!(
+            responses[1],
+            (
+                RESERVED_ID.to_owned(),
+                false,
+                "error: idle timeout, closing session\n".to_owned()
+            )
+        );
+    }
+
+    #[test]
     fn stats_reports_cache_off_without_a_cache() {
         let responses = session("{\"id\":\"st\",\"workload\":\"stats\"}\n");
         assert_eq!(
@@ -805,7 +899,7 @@ mod tests {
         let frame = |id: &str, release: bool| Frame {
             id: id.to_owned(),
             ok: true,
-            payload: format!("{id}\n"),
+            payload: format!("{id}\n").into_bytes(),
             release,
         };
         let mut out = Vec::new();

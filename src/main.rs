@@ -6,7 +6,8 @@
 //! nanobound figures [--out DIR | --stdout] [--only FIG]...
 //! nanobound validate [--out DIR | --stdout]
 //! nanobound lint [FILES]... [--suite] [--format text|json] [--deny warnings]
-//! nanobound serve [--listen ADDR] [--gc-bytes N] [--gc-age-days D]
+//! nanobound serve [--listen ADDR] [--idle-timeout S] [--gc-bytes N] [--gc-age-days D]
+//! nanobound cluster <file.bench|file.blif> [--worker ADDR]... [--chaos-seed N]
 //! ```
 //!
 //! The binary is a thin shell: every subcommand lives in

@@ -1,0 +1,274 @@
+//! End-to-end tests of `nanobound cluster`: the distributed Monte-Carlo
+//! run must produce stdout **byte-identical** to the serial (zero
+//! worker) run under every failure the coordinator survives — dead
+//! workers, seeded chaos on the wire — with every failure surfaced as a
+//! counted retry or ejection on the pinned stats line, never as an
+//! error or a lost shard.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nanobound"))
+}
+
+/// Spawns a `nanobound serve` worker on an ephemeral TCP port and
+/// returns the child plus the address it announced.
+fn spawn_worker() -> (Child, String) {
+    let mut child = bin()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "serve exited before announcing its address"
+        );
+        if let Some(rest) = line
+            .trim_end()
+            .strip_prefix("nanobound serve: listening on ")
+        {
+            break rest.to_owned();
+        }
+    };
+    std::thread::spawn(move || std::io::copy(&mut stderr, &mut std::io::sink()));
+    (child, addr)
+}
+
+/// An address that is guaranteed to refuse connections: bind an
+/// ephemeral port, note it, and close the listener.
+fn dead_address() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("bound address").to_string();
+    drop(listener);
+    addr
+}
+
+fn scratch_netlist(name: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("nanobound_cluster_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mix.bench");
+    std::fs::write(
+        &path,
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+         OUTPUT(x)\nOUTPUT(y)\n\
+         n1 = AND(a, b)\n\
+         n2 = OR(c, d)\n\
+         n3 = XOR(n1, n2)\n\
+         n4 = NOT(n2)\n\
+         x = AND(n3, n4)\n\
+         y = XOR(n1, n4)\n",
+    )
+    .unwrap();
+    (dir, path.to_str().unwrap().to_owned())
+}
+
+const RUN_ARGS: [&str; 10] = [
+    "--eps",
+    "0.02",
+    "--patterns",
+    "4096",
+    "--chunk",
+    "256",
+    "--batch",
+    "2",
+    "--jobs",
+    "2",
+];
+
+/// Runs `nanobound cluster` and returns `(stdout, stats)`, where
+/// `stats` is the pinned `cluster: ...` stats line from stderr.
+fn run_cluster_cmd(netlist: &str, extra: &[&str]) -> (Vec<u8>, String) {
+    let out = bin()
+        .arg("cluster")
+        .arg(netlist)
+        .args(RUN_ARGS)
+        .args(extra)
+        .output()
+        .expect("cluster runs");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "cluster {extra:?} failed: {stderr}");
+    // The pinned stats line is `nanobound cluster: {n} shards, ...`;
+    // worker diagnostics share the prefix but never lead with a digit.
+    let stats = stderr
+        .lines()
+        .filter_map(|line| line.strip_prefix("nanobound cluster: "))
+        .find(|rest| rest.starts_with(|c: char| c.is_ascii_digit()))
+        .unwrap_or_else(|| panic!("no stats line in stderr: {stderr}"))
+        .to_owned();
+    (out.stdout, stats)
+}
+
+/// Pulls the aggregate `{n} retries` / `{n} ejections` counters off the
+/// stats line (the segment before the first ` | worker`).
+fn aggregate_counter(stats: &str, name: &str) -> u64 {
+    let aggregate = stats.split(" | ").next().unwrap();
+    aggregate
+        .split(", ")
+        .find_map(|field| field.strip_suffix(&format!(" {name}")))
+        .unwrap_or_else(|| panic!("no `{name}` field in stats line: {stats}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable `{name}` count: {stats}"))
+}
+
+#[test]
+fn healthy_workers_match_the_serial_run_byte_for_byte() {
+    let (dir, netlist) = scratch_netlist("healthy");
+    let (serial_out, serial_stats) = run_cluster_cmd(&netlist, &[]);
+    assert!(
+        serial_out.starts_with(b"monte-carlo: 4096 patterns, 16 shards"),
+        "unexpected result header: {}",
+        String::from_utf8_lossy(&serial_out)
+    );
+    assert!(
+        serial_stats.starts_with("16 shards, ") || serial_stats.contains("16 shards"),
+        "serial stats miscounts shards: {serial_stats}"
+    );
+
+    let (mut w1, a1) = spawn_worker();
+    let (mut w2, a2) = spawn_worker();
+    let (distributed_out, stats) = run_cluster_cmd(&netlist, &["--worker", &a1, "--worker", &a2]);
+    let _ = w1.kill();
+    let _ = w2.kill();
+
+    assert_eq!(
+        distributed_out, serial_out,
+        "2-worker stdout != serial stdout"
+    );
+    assert_eq!(aggregate_counter(&stats, "retries"), 0);
+    assert_eq!(aggregate_counter(&stats, "ejections"), 0);
+    assert!(
+        stats.contains(&format!("worker {a1}:")) && stats.contains(&format!("worker {a2}:")),
+        "stats line is missing a worker segment: {stats}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_dead_worker_is_ejected_and_the_run_still_matches_serial() {
+    let (dir, netlist) = scratch_netlist("dead");
+    let (serial_out, _) = run_cluster_cmd(&netlist, &[]);
+
+    let (mut w1, a1) = spawn_worker();
+    let dead = dead_address();
+    let (out, stats) = run_cluster_cmd(
+        &netlist,
+        &[
+            "--worker",
+            &a1,
+            "--worker",
+            &dead,
+            "--quarantine-after",
+            "1",
+            "--backoff-ms",
+            "1",
+            "--connect-timeout",
+            "0.5",
+        ],
+    );
+    let _ = w1.kill();
+
+    assert_eq!(out, serial_out, "degraded stdout != serial stdout");
+    assert!(
+        aggregate_counter(&stats, "ejections") >= 1,
+        "the dead worker was never ejected: {stats}"
+    );
+    assert!(
+        aggregate_counter(&stats, "retries") >= 1,
+        "the dead worker's failures were not counted: {stats}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_worker_dead_degrades_to_local_compute() {
+    let (dir, netlist) = scratch_netlist("alldead");
+    let (serial_out, _) = run_cluster_cmd(&netlist, &[]);
+    let (out, stats) = run_cluster_cmd(
+        &netlist,
+        &[
+            "--worker",
+            &dead_address(),
+            "--quarantine-after",
+            "1",
+            "--backoff-ms",
+            "1",
+            "--connect-timeout",
+            "0.5",
+        ],
+    );
+    assert_eq!(out, serial_out, "coordinator-only stdout != serial stdout");
+    assert!(
+        aggregate_counter(&stats, "ejections") >= 1,
+        "the dead worker was never ejected: {stats}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn seeded_chaos_retries_but_never_changes_a_byte() {
+    let (dir, netlist) = scratch_netlist("chaos");
+    let (serial_out, _) = run_cluster_cmd(&netlist, &[]);
+
+    let (mut w1, a1) = spawn_worker();
+    let (mut w2, a2) = spawn_worker();
+    // Seed 25 is the pinned ci seed: every worker's first chaos draw is
+    // a fault, so at least one retry is guaranteed.
+    let (out, stats) = run_cluster_cmd(
+        &netlist,
+        &[
+            "--worker",
+            &a1,
+            "--worker",
+            &a2,
+            "--chaos-seed",
+            "25",
+            "--backoff-ms",
+            "1",
+        ],
+    );
+    let _ = w1.kill();
+    let _ = w2.kill();
+
+    assert_eq!(out, serial_out, "chaos stdout != serial stdout");
+    assert!(
+        aggregate_counter(&stats, "retries") >= 1,
+        "seed 25 injected no counted fault: {stats}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn remote_results_land_in_the_local_cache() {
+    let (dir, netlist) = scratch_netlist("cachefeed");
+    let cache = dir.join("cache").to_str().unwrap().to_owned();
+
+    let (mut w1, a1) = spawn_worker();
+    let (first_out, first_stats) =
+        run_cluster_cmd(&netlist, &["--worker", &a1, "--cache-dir", &cache]);
+    let _ = w1.kill();
+
+    // A serial re-run over the same cache must be fully warm: every
+    // shard a hit, zero computed anywhere, same bytes out.
+    let (second_out, second_stats) = run_cluster_cmd(&netlist, &["--cache-dir", &cache]);
+    assert_eq!(second_out, first_out, "warm stdout != distributed stdout");
+    assert_eq!(
+        aggregate_counter(&first_stats, "cached"),
+        0,
+        "first run unexpectedly warm: {first_stats}"
+    );
+    assert_eq!(
+        aggregate_counter(&second_stats, "cached"),
+        16,
+        "remote tallies were not stored locally: {second_stats}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -490,6 +490,66 @@ fn a_client_vanishing_mid_response_leaves_the_service_serving() {
 }
 
 #[test]
+fn a_stalling_client_is_timed_out_in_band_and_the_next_client_is_served() {
+    // The regression: the TCP accept loop is sequential and the reader
+    // blocks forever on a client that connects and goes silent, so one
+    // stalled (or half-dead) client used to wedge the whole service.
+    // With `--idle-timeout` the session is closed with an in-band
+    // reserved-id error frame and the accept loop moves on.
+    let (mut child, addr) = spawn_tcp_serve(&["--idle-timeout", "0.5"]);
+    {
+        let stream = TcpStream::connect(&addr).expect("connect to serve");
+        let mut writer = stream.try_clone().expect("clone stream");
+        writer
+            .write_all(b"{\"id\":\"warm\",\"workload\":\"ping\"}\n")
+            .expect("ping written");
+        // ... and stall: never send the newline-terminated next request.
+        writer
+            .write_all(b"{\"id\":\"half")
+            .expect("half request written");
+        let mut reader = BufReader::new(stream);
+        let (id, ok, payload) = read_response(&mut reader).unwrap().expect("ping response");
+        assert_eq!(
+            (id.as_str(), ok, &payload[..]),
+            ("warm", true, &b"pong\n"[..])
+        );
+        let (id, ok, payload) = read_response(&mut reader)
+            .unwrap()
+            .expect("idle-timeout frame");
+        assert_eq!((id.as_str(), ok), ("?", false), "reserved-id close frame");
+        assert!(
+            payload.windows(12).any(|w| w == b"idle timeout"),
+            "close frame names the timeout: {:?}",
+            String::from_utf8_lossy(&payload)
+        );
+        assert!(
+            read_response(&mut reader).unwrap().is_none(),
+            "the session ends after the close frame"
+        );
+    }
+    // The accept loop is free again: a fresh client is served in full.
+    let stream = TcpStream::connect(&addr).expect("reconnect to serve");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(
+            b"{\"id\":\"next\",\"workload\":\"ping\"}\n\
+              {\"id\":\"s\",\"workload\":\"shutdown\"}\n",
+        )
+        .expect("requests written");
+    let mut reader = BufReader::new(stream);
+    let (id, ok, payload) = read_response(&mut reader).unwrap().expect("ping response");
+    assert_eq!(
+        (id.as_str(), ok, &payload[..]),
+        ("next", true, &b"pong\n"[..])
+    );
+    let (id, ok, payload) = read_response(&mut reader)
+        .unwrap()
+        .expect("shutdown response");
+    assert_eq!((id.as_str(), ok, &payload[..]), ("s", true, &b"bye\n"[..]));
+    assert_exits_cleanly(&mut child, "shutdown after stalled client");
+}
+
+#[test]
 fn hostile_tcp_lines_answer_in_band_and_frames_stay_readable() {
     // A megabyte of junk on one line, an id full of escapes, and the
     // reserved id: each answers with a well-formed frame the strict
